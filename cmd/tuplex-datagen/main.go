@@ -1,0 +1,65 @@
+// Command tuplex-datagen writes the synthetic evaluation datasets to
+// disk so pipelines can run over real files.
+//
+// Usage:
+//
+//	tuplex-datagen -dataset zillow -rows 100000 -out zillow.csv
+//	tuplex-datagen -dataset flights -rows 50000 -out flights.csv
+//	tuplex-datagen -dataset weblogs -rows 200000 -out logs.txt
+//	tuplex-datagen -dataset 311 -rows 100000 -out 311.csv
+//	tuplex-datagen -dataset tpch -rows 1000000 -out lineitem.csv
+//
+// The flights dataset also writes carriers.csv and airports.txt next to
+// the main file; weblogs also writes bad_ips.csv.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/gotuplex/tuplex/internal/data"
+)
+
+func main() {
+	dataset := flag.String("dataset", "zillow", "zillow | flights | weblogs | 311 | tpch")
+	rows := flag.Int("rows", 100_000, "row count")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	out := flag.String("out", "", "output path (required)")
+	dirty := flag.Float64("dirty", 0.005, "dirty-row fraction (zillow)")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "tuplex-datagen: -out is required")
+		os.Exit(2)
+	}
+
+	write := func(path string, b []byte) {
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "tuplex-datagen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%.1f MB)\n", path, float64(len(b))/(1<<20))
+	}
+
+	dir := filepath.Dir(*out)
+	switch *dataset {
+	case "zillow":
+		write(*out, data.Zillow(data.ZillowConfig{Rows: *rows, Seed: *seed, DirtyFraction: *dirty}))
+	case "flights":
+		write(*out, data.Flights(data.FlightsConfig{Rows: *rows, Seed: *seed}))
+		write(filepath.Join(dir, "carriers.csv"), data.Carriers())
+		write(filepath.Join(dir, "airports.txt"), data.Airports())
+	case "weblogs":
+		logs, bad := data.Weblogs(data.WeblogConfig{Rows: *rows, Seed: *seed})
+		write(*out, logs)
+		write(filepath.Join(dir, "bad_ips.csv"), bad)
+	case "311":
+		write(*out, data.ThreeOneOne(data.ThreeOneOneConfig{Rows: *rows, Seed: *seed}))
+	case "tpch":
+		write(*out, data.TPCHLineitem(data.TPCHConfig{Rows: *rows, Seed: *seed}))
+	default:
+		fmt.Fprintf(os.Stderr, "tuplex-datagen: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+}

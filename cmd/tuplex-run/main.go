@@ -1,0 +1,157 @@
+// Command tuplex-run executes one of the paper's evaluation pipelines
+// end to end, over files on disk (see tuplex-datagen) or freshly
+// generated data, and prints the dual-mode execution metrics.
+//
+// Usage:
+//
+//	tuplex-run -pipeline zillow -rows 200000 -executors 8
+//	tuplex-run -pipeline zillow -input zillow.csv -output out.csv
+//	tuplex-run -pipeline flights -input flights.csv
+//	tuplex-run -pipeline weblogs -variant regex -rows 100000
+//	tuplex-run -pipeline 311 -rows 200000
+//	tuplex-run -pipeline q6 -rows 1000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	tuplex "github.com/gotuplex/tuplex"
+	"github.com/gotuplex/tuplex/internal/data"
+	"github.com/gotuplex/tuplex/internal/pipelines"
+)
+
+func main() {
+	pipeline := flag.String("pipeline", "zillow", "zillow | flights | weblogs | 311 | q6")
+	input := flag.String("input", "", "input path (generated in memory when empty)")
+	output := flag.String("output", "", "output CSV path (collect when empty)")
+	rows := flag.Int("rows", 100_000, "rows to generate when -input is empty")
+	executors := flag.Int("executors", 4, "executor threads")
+	variant := flag.String("variant", "strip", "weblogs parse variant: strip|split|regex|percol")
+	noOpt := flag.Bool("no-opt", false, "disable all optimizations (for comparison)")
+	flag.Parse()
+
+	opts := []tuplex.Option{tuplex.WithExecutors(*executors)}
+	if *noOpt {
+		opts = append(opts,
+			tuplex.WithoutLogicalOptimizations(),
+			tuplex.WithoutStageFusion(),
+			tuplex.WithoutCompilerOptimizations(),
+			tuplex.WithoutNullOptimization())
+	}
+	c := tuplex.NewContext(opts...)
+
+	load := func(gen func() []byte) []byte {
+		if *input != "" {
+			b, err := os.ReadFile(*input)
+			fatalIf(err)
+			return b
+		}
+		return gen()
+	}
+
+	var ds *tuplex.DataSet
+	var aggregate bool
+	switch *pipeline {
+	case "zillow":
+		raw := load(func() []byte { return data.Zillow(data.ZillowConfig{Rows: *rows, Seed: 42, DirtyFraction: 0.005}) })
+		ds = pipelines.Zillow(c.CSV("", tuplex.CSVData(raw)))
+	case "flights":
+		raw := load(func() []byte { return data.Flights(data.FlightsConfig{Rows: *rows, Seed: 42}) })
+		carriers, airports := data.Carriers(), data.Airports()
+		if *input != "" {
+			dir := filepath.Dir(*input)
+			if b, err := os.ReadFile(filepath.Join(dir, "carriers.csv")); err == nil {
+				carriers = b
+			}
+			if b, err := os.ReadFile(filepath.Join(dir, "airports.txt")); err == nil {
+				airports = b
+			}
+		}
+		ds = pipelines.Flights(pipelines.FlightsSources(c, raw, carriers, airports))
+	case "weblogs":
+		logs := load(func() []byte {
+			l, bad := data.Weblogs(data.WeblogConfig{Rows: *rows, Seed: 42})
+			_ = bad
+			return l
+		})
+		_, bad := data.Weblogs(data.WeblogConfig{Rows: 1, Seed: 42})
+		if *input != "" {
+			if b, err := os.ReadFile(filepath.Join(filepath.Dir(*input), "bad_ips.csv")); err == nil {
+				bad = b
+			}
+		}
+		v := pipelines.WeblogStrip
+		switch *variant {
+		case "split":
+			v = pipelines.WeblogSplit
+		case "regex":
+			v = pipelines.WeblogRegex
+		case "percol":
+			v = pipelines.WeblogPerColRegex
+		}
+		ds = pipelines.Weblogs(c.Text("", tuplex.TextData(logs)), c.CSV("", tuplex.CSVData(bad)), v)
+	case "311":
+		raw := load(func() []byte { return data.ThreeOneOne(data.ThreeOneOneConfig{Rows: *rows, Seed: 42}) })
+		ds = pipelines.ThreeOneOne(c.CSV("", tuplex.CSVData(raw)))
+	case "q6":
+		raw := load(func() []byte { return data.TPCHLineitem(data.TPCHConfig{Rows: *rows, Seed: 42}) })
+		aggregate = true
+		t0 := time.Now()
+		revenue, res, err := pipelines.Q6(c.CSV("", tuplex.CSVData(raw)))
+		fatalIf(err)
+		fmt.Printf("Q6 revenue: %.2f (in %v)\n", revenue, time.Since(t0))
+		fmt.Println("metrics:", res.Metrics)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "tuplex-run: unknown pipeline %q\n", *pipeline)
+		os.Exit(2)
+	}
+	_ = aggregate
+
+	t0 := time.Now()
+	var res *tuplex.Result
+	var err error
+	if *output != "" {
+		res, err = ds.ToCSV(*output)
+	} else {
+		res, err = ds.Collect()
+	}
+	fatalIf(err)
+	elapsed := time.Since(t0)
+
+	if *output != "" {
+		fmt.Printf("wrote %s (%.1f MB) in %v\n", *output, float64(len(res.CSV))/(1<<20), elapsed)
+	} else {
+		fmt.Printf("collected %d rows in %v\n", len(res.Rows), elapsed)
+		for i, row := range res.Rows {
+			if i >= 3 {
+				break
+			}
+			fmt.Printf("  %v\n", row)
+		}
+	}
+	fmt.Println("metrics:", res.Metrics)
+	if len(res.Failed) > 0 {
+		fmt.Printf("%d failed rows (first 3):\n", len(res.Failed))
+		for i, f := range res.Failed {
+			if i >= 3 {
+				break
+			}
+			fmt.Printf("  [%s] %.80s\n", f.Exc, f.Input)
+		}
+	}
+	for _, wmsg := range res.Warnings {
+		fmt.Println("warning:", wmsg)
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tuplex-run:", err)
+		os.Exit(1)
+	}
+}

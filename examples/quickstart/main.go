@@ -1,0 +1,61 @@
+// Quickstart: the paper's introductory example (§1/§3) — join flight
+// records with a carrier table and convert a distance column with a
+// Python UDF, including a resolver for rows where the distance is
+// missing.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	tuplex "github.com/gotuplex/tuplex"
+)
+
+const flights = `code,flight,distance
+AA,100,1250
+DL,21,802
+AA,455,
+UA,9,2441
+ZZ,1,100
+DL,7,bad-data
+`
+
+const carriers = `code,name
+AA,American Airlines
+DL,Delta Air Lines
+UA,United Airlines
+`
+
+func main() {
+	c := tuplex.NewContext(tuplex.WithExecutors(2), tuplex.WithSampleSize(2))
+
+	carrierDS := c.CSV("", tuplex.CSVData([]byte(carriers)))
+	res, err := c.CSV("", tuplex.CSVData([]byte(flights))).
+		Join(carrierDS, "code", "code").
+		// Natural Python, no type annotations: kilometers to miles.
+		MapColumn("distance", tuplex.UDF("lambda m: m * 1.609")).
+		// The empty-distance row raises TypeError (None * float) on the
+		// exception path; the resolver recovers it (§3).
+		Resolve(tuplex.TypeError, tuplex.UDF("lambda m: 0.0")).
+		Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("columns:", res.Columns)
+	for _, row := range res.Rows {
+		fmt.Println(row)
+	}
+	fmt.Println()
+	fmt.Println("metrics:", res.Metrics)
+	// The 'bad-data' row cannot be resolved ('bad-data' * 1.609 is a
+	// TypeError, and the resolver returns 0.0 — so it actually resolves;
+	// rows that fail every path are reported instead of crashing:
+	for _, f := range res.Failed {
+		fmt.Printf("failed row [%s]: %s\n", f.Exc, f.Input)
+	}
+}

@@ -1,0 +1,68 @@
+// Weblogs: the paper's log-wrangling pipeline (§6.1.3, Appendix A.3) in
+// all three parse variants — natural Python string ops, split(), and a
+// single regular expression — plus username anonymization via re.sub and
+// random.choice, and a join against a bad-IP blacklist.
+//
+// Run with:
+//
+//	go run ./examples/weblogs [-rows N] [-variant strip|split|regex]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	tuplex "github.com/gotuplex/tuplex"
+	"github.com/gotuplex/tuplex/internal/data"
+	"github.com/gotuplex/tuplex/internal/pipelines"
+)
+
+func main() {
+	rows := flag.Int("rows", 100_000, "log lines to generate")
+	executors := flag.Int("executors", 4, "executor threads")
+	variantName := flag.String("variant", "strip", "parse variant: strip, split, regex, percol")
+	flag.Parse()
+
+	variant := pipelines.WeblogStrip
+	switch *variantName {
+	case "split":
+		variant = pipelines.WeblogSplit
+	case "regex":
+		variant = pipelines.WeblogRegex
+	case "percol":
+		variant = pipelines.WeblogPerColRegex
+	}
+
+	logs, badIPs := data.Weblogs(data.WeblogConfig{Rows: *rows, Seed: 7})
+	fmt.Printf("input: %.1f MB of logs, %s variant\n", float64(len(logs))/(1<<20), variant)
+
+	c := tuplex.NewContext(tuplex.WithExecutors(*executors), tuplex.WithSeed(1234))
+	t0 := time.Now()
+	res, err := pipelines.Weblogs(
+		c.Text("", tuplex.TextData(logs)),
+		c.CSV("", tuplex.CSVData(badIPs)),
+		variant).Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("retained %d requests from blacklisted IPs in %v\n", len(res.Rows), time.Since(t0))
+	fmt.Println("metrics:", res.Metrics)
+	for i, row := range res.Rows {
+		if i >= 5 {
+			break
+		}
+		// /~username paths are anonymized to random tags.
+		fmt.Printf("  %v %v %v -> %v\n", row[0], row[2], row[5], row[3])
+	}
+	if len(res.Failed) > 0 {
+		fmt.Printf("%d anomalous lines could not be parsed (reported, not raised):\n", len(res.Failed))
+		for i, f := range res.Failed {
+			if i >= 3 {
+				break
+			}
+			fmt.Printf("  [%s] %.60s\n", f.Exc, f.Input)
+		}
+	}
+}

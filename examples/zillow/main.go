@@ -1,0 +1,48 @@
+// Zillow: the paper's flagship end-to-end pipeline (§6.1.1, Appendix
+// A.1) — twelve string-heavy Python UDFs extracting bedrooms, bathrooms,
+// square footage, offer type and price from real-estate listings.
+//
+// Run with:
+//
+//	go run ./examples/zillow [-rows N] [-executors N] [-out file.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	tuplex "github.com/gotuplex/tuplex"
+	"github.com/gotuplex/tuplex/internal/data"
+	"github.com/gotuplex/tuplex/internal/pipelines"
+)
+
+func main() {
+	rows := flag.Int("rows", 100_000, "listings to generate")
+	executors := flag.Int("executors", 4, "executor threads")
+	out := flag.String("out", "", "write output CSV to this path")
+	dirty := flag.Float64("dirty", 0.005, "fraction of malformed rows")
+	flag.Parse()
+
+	fmt.Printf("generating %d listings (%.1f%% dirty)...\n", *rows, *dirty*100)
+	raw := data.Zillow(data.ZillowConfig{Rows: *rows, Seed: 42, DirtyFraction: *dirty})
+	fmt.Printf("input: %.1f MB\n", float64(len(raw))/(1<<20))
+
+	c := tuplex.NewContext(tuplex.WithExecutors(*executors))
+	t0 := time.Now()
+	res, err := pipelines.Zillow(c.CSV("", tuplex.CSVData(raw))).ToCSV(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pipeline done in %v\n", time.Since(t0))
+	fmt.Println("metrics:", res.Metrics)
+	fmt.Printf("output: %.1f MB, %d failed rows\n", float64(len(res.CSV))/(1<<20), len(res.Failed))
+	for i, f := range res.Failed {
+		if i >= 3 {
+			fmt.Printf("  ... and %d more\n", len(res.Failed)-3)
+			break
+		}
+		fmt.Printf("  failed [%s]: %.80s\n", f.Exc, f.Input)
+	}
+}

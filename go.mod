@@ -1,0 +1,3 @@
+module github.com/gotuplex/tuplex
+
+go 1.22

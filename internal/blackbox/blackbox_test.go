@@ -1,0 +1,198 @@
+package blackbox
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	tuplex "github.com/gotuplex/tuplex"
+	"github.com/gotuplex/tuplex/internal/data"
+	"github.com/gotuplex/tuplex/internal/handopt"
+	"github.com/gotuplex/tuplex/internal/pipelines"
+	"github.com/gotuplex/tuplex/internal/pyvalue"
+)
+
+func TestSerdeRoundTrip(t *testing.T) {
+	d := pyvalue.NewDict()
+	d.Set("k", &pyvalue.List{Items: []pyvalue.Value{pyvalue.Int(-7), pyvalue.Str("x")}})
+	vals := []pyvalue.Value{
+		pyvalue.None{}, pyvalue.Bool(true), pyvalue.Int(42), pyvalue.Int(-1),
+		pyvalue.Float(1.609), pyvalue.Str("hello, world"),
+		&pyvalue.Tuple{Items: []pyvalue.Value{pyvalue.Int(1), pyvalue.None{}}},
+		d,
+	}
+	for _, v := range vals {
+		got := roundTrip(v)
+		if !pyvalue.Equal(v, got) {
+			t.Errorf("roundTrip(%s) = %s", pyvalue.Repr(v), pyvalue.Repr(got))
+		}
+	}
+}
+
+// TestZillowAllModesMatchNative: every black-box configuration must
+// produce the same rows the hand-optimized implementation produces (the
+// generated data is clean enough that no rows raise).
+func TestZillowAllModesMatchNative(t *testing.T) {
+	raw := data.Zillow(data.ZillowConfig{Rows: 800, Seed: 5, DirtyFraction: 0})
+	want := handopt.Zillow(raw)
+	if len(want) == 0 {
+		t.Fatal("empty oracle output")
+	}
+	cfgs := map[string]Config{
+		"python-dict":   {Mode: ModePython, RowFormat: RowsAsDicts},
+		"python-tuple":  {Mode: ModePython, RowFormat: RowsAsTuples},
+		"pyspark-dict":  {Mode: ModePySpark, Executors: 4, RowFormat: RowsAsDicts},
+		"pyspark-tuple": {Mode: ModePySpark, Executors: 4, RowFormat: RowsAsTuples},
+		"dask":          {Mode: ModeDask, Executors: 4, RowFormat: RowsAsDicts},
+		"cython-analog": {Mode: ModePython, UDFEngine: EngineTranspiled},
+		"pypy-analog":   {Mode: ModePython, UDFEngine: EngineTraced},
+	}
+	for name, cfg := range cfgs {
+		e := New(cfg)
+		f, err := e.RunZillow(raw)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(f.Rows) != len(want) {
+			t.Fatalf("%s: %d rows, want %d", name, len(f.Rows), len(want))
+		}
+		for i, w := range want {
+			got := f.Rows[i]
+			if string(got[0].(pyvalue.Str)) != w.URL ||
+				string(got[1].(pyvalue.Str)) != w.Zipcode ||
+				int64(got[10].(pyvalue.Int)) != w.Price {
+				t.Fatalf("%s: row %d = %v, want %+v", name, i, got, w)
+			}
+		}
+	}
+}
+
+func TestQ6MatchesNative(t *testing.T) {
+	raw := data.TPCHLineitem(data.TPCHConfig{Rows: 5000, Seed: 13})
+	want := handopt.Q6(raw, data.Q6DateLo, data.Q6DateHi)
+	for _, cfg := range []Config{
+		{Mode: ModePython},
+		{Mode: ModeDask, Executors: 4},
+	} {
+		e := New(cfg)
+		got, err := e.RunQ6(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-6*math.Max(1, want) {
+			t.Fatalf("%v: %.4f want %.4f", cfg.Mode, got, want)
+		}
+	}
+}
+
+func Test311MatchesNative(t *testing.T) {
+	raw := data.ThreeOneOne(data.ThreeOneOneConfig{Rows: 2000, Seed: 9})
+	want := handopt.ThreeOneOne(raw)
+	e := New(Config{Mode: ModePython})
+	f, err := e.Run311(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, r := range f.Rows {
+		got[string(r[0].(pyvalue.Str))] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d unique zips, want %d", len(got), len(want))
+	}
+}
+
+func TestWeblogsVariantsRun(t *testing.T) {
+	logs, bad := data.Weblogs(data.WeblogConfig{Rows: 800, Seed: 3})
+	want := handopt.Weblogs(logs, bad, 1)
+	for _, variant := range []pipelines.WeblogVariant{
+		pipelines.WeblogStrip, pipelines.WeblogSplit, pipelines.WeblogRegex,
+	} {
+		for _, mode := range []Mode{ModePython, ModePySparkSQL} {
+			e := New(Config{Mode: mode, Executors: 2})
+			f, err := e.RunWeblogs(logs, bad, variant)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", mode, variant, err)
+			}
+			if len(f.Rows) != len(want) {
+				t.Fatalf("%v/%v: %d rows, want %d", mode, variant, len(f.Rows), len(want))
+			}
+		}
+	}
+}
+
+func TestFlightsRuns(t *testing.T) {
+	perf := data.Flights(data.FlightsConfig{Rows: 600, Seed: 2})
+	e := New(Config{Mode: ModeDask, Executors: 2})
+	f, err := e.RunFlights(perf, data.Carriers(), data.Airports())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) == 0 || len(f.Columns) != len(pipelines.FlightsOutputColumns) {
+		t.Fatalf("rows=%d cols=%v", len(f.Rows), f.Columns)
+	}
+}
+
+// TestFlightsMatchesTuplex cross-checks the two engines on the flights
+// pipeline (black-box boxed execution vs dual-mode compiled execution).
+func TestFlightsMatchesTuplexRowCount(t *testing.T) {
+	perf := data.Flights(data.FlightsConfig{Rows: 800, Seed: 4})
+	e := New(Config{Mode: ModePython})
+	bf, err := e.RunFlights(perf, data.Carriers(), data.Airports())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tctx := newTuplexFlights(t, perf)
+	if len(bf.Rows) != len(tctx) {
+		t.Fatalf("blackbox %d rows, tuplex %d rows", len(bf.Rows), len(tctx))
+	}
+	for i := range tctx {
+		if fmt.Sprint(unboxRow(bf.Rows[i])) != fmt.Sprint(tctx[i]) {
+			t.Fatalf("row %d: blackbox %v vs tuplex %v", i, unboxRow(bf.Rows[i]), tctx[i])
+		}
+	}
+}
+
+func unboxRow(r []pyvalue.Value) []string {
+	out := make([]string, len(r))
+	for i, v := range r {
+		out[i] = pyvalue.Repr(v)
+	}
+	return out
+}
+
+func reprAny(v any) string {
+	switch v := v.(type) {
+	case nil:
+		return "None"
+	case bool:
+		if v {
+			return "True"
+		}
+		return "False"
+	case float64:
+		return pyvalue.FloatRepr(v)
+	case string:
+		return pyvalue.Repr(pyvalue.Str(v))
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+func newTuplexFlights(t *testing.T, perf []byte) [][]string {
+	t.Helper()
+	tpx := pipelines.FlightsSources(tuplex.NewContext(), perf, data.Carriers(), data.Airports())
+	res, err := pipelines.Flights(tpx).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]string, len(res.Rows))
+	for i, r := range res.Rows {
+		row := make([]string, len(r))
+		for j, v := range r {
+			row[j] = reprAny(v)
+		}
+		out[i] = row
+	}
+	return out
+}

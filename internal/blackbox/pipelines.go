@@ -1,0 +1,429 @@
+package blackbox
+
+import (
+	"fmt"
+
+	"github.com/gotuplex/tuplex/internal/data"
+	"github.com/gotuplex/tuplex/internal/pipelines"
+	"github.com/gotuplex/tuplex/internal/pyvalue"
+)
+
+// This file runs the paper's evaluation pipelines on the black-box
+// engine, reusing the exact UDF sources from internal/pipelines. It is
+// what "the same pipeline in PySpark/Dask" means in the §6.1 figures.
+
+// RunZillow executes the Zillow pipeline; returns the output frame.
+func (e *Engine) RunZillow(raw []byte) (*Frame, error) {
+	f, err := e.CSV(raw, true, ',', nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	steps := []func(*Frame) (*Frame, error){
+		func(f *Frame) (*Frame, error) { return e.WithColumnUDF(f, "bedrooms", pipelines.ZillowExtractBd, nil) },
+		func(f *Frame) (*Frame, error) { return e.FilterUDF(f, "lambda x: x['bedrooms'] < 10", nil) },
+		func(f *Frame) (*Frame, error) { return e.WithColumnUDF(f, "type", pipelines.ZillowExtractType, nil) },
+		func(f *Frame) (*Frame, error) { return e.FilterUDF(f, "lambda x: x['type'] == 'house'", nil) },
+		func(f *Frame) (*Frame, error) {
+			return e.WithColumnUDF(f, "zipcode", "lambda x: '%05d' % int(x['postal_code'])", nil)
+		},
+		func(f *Frame) (*Frame, error) {
+			return e.MapColumnUDF(f, "city", "lambda x: x[0].upper() + x[1:].lower()", nil)
+		},
+		func(f *Frame) (*Frame, error) { return e.WithColumnUDF(f, "bathrooms", pipelines.ZillowExtractBa, nil) },
+		func(f *Frame) (*Frame, error) { return e.WithColumnUDF(f, "sqft", pipelines.ZillowExtractSqft, nil) },
+		func(f *Frame) (*Frame, error) { return e.WithColumnUDF(f, "offer", pipelines.ZillowExtractOffer, nil) },
+		func(f *Frame) (*Frame, error) { return e.WithColumnUDF(f, "price", pipelines.ZillowExtractPrice, nil) },
+		func(f *Frame) (*Frame, error) { return e.FilterUDF(f, "lambda x: 100000 < x['price'] < 2e7", nil) },
+		func(f *Frame) (*Frame, error) { return e.Select(f, pipelines.ZillowOutputColumns...) },
+	}
+	if e.cfg.RowFormat == RowsAsTuples {
+		// The tuple pipelines index columns by position (the Fig. 3
+		// "tuple" variant's painstaking numerical indexing).
+		steps = zillowTupleSteps(e)
+	}
+	for _, step := range steps {
+		f, err = step(f)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// zillowTupleSteps is the tuple-indexed variant. Input columns:
+// 0 title, 1 address, 2 city, 3 state, 4 postal_code, 5 price,
+// 6 facts and features, 7 provider, 8 url, 9 sales_date; appended:
+// 10 bedrooms, 11 type, 12 zipcode, 13 bathrooms, 14 sqft, 15 offer,
+// 16 price2.
+func zillowTupleSteps(e *Engine) []func(*Frame) (*Frame, error) {
+	extract := func(marker string, plus int, find string) string {
+		_ = find
+		return `def extract(x):
+    val = x[6]
+    max_idx = val.find('` + marker + `')
+    if max_idx < 0:
+        max_idx = len(val)
+    s = val[:max_idx]
+    split_idx = s.rfind(',')
+    if split_idx < 0:
+        split_idx = 0
+    else:
+        split_idx += 2
+    r = s[split_idx:]
+    return int(r)
+`
+	}
+	return []func(*Frame) (*Frame, error){
+		func(f *Frame) (*Frame, error) {
+			return e.WithColumnUDF(f, "bedrooms", extract(" bd", 2, ""), nil)
+		},
+		func(f *Frame) (*Frame, error) { return e.FilterUDF(f, "lambda x: x[10] < 10", nil) },
+		func(f *Frame) (*Frame, error) {
+			return e.WithColumnUDF(f, "type", `def extractType(x):
+    t = x[0].lower()
+    type = 'unknown'
+    if 'condo' in t or 'apartment' in t:
+        type = 'condo'
+    if 'house' in t:
+        type = 'house'
+    return type
+`, nil)
+		},
+		func(f *Frame) (*Frame, error) { return e.FilterUDF(f, "lambda x: x[11] == 'house'", nil) },
+		func(f *Frame) (*Frame, error) {
+			return e.WithColumnUDF(f, "zipcode", "lambda x: '%05d' % int(x[4])", nil)
+		},
+		func(f *Frame) (*Frame, error) {
+			return e.MapColumnUDF(f, "city", "lambda x: x[0].upper() + x[1:].lower()", nil)
+		},
+		func(f *Frame) (*Frame, error) {
+			return e.WithColumnUDF(f, "bathrooms", extract(" ba", 2, ""), nil)
+		},
+		func(f *Frame) (*Frame, error) {
+			return e.WithColumnUDF(f, "sqft", `def extractSqft(x):
+    val = x[6]
+    max_idx = val.find(' sqft')
+    if max_idx < 0:
+        max_idx = len(val)
+    s = val[:max_idx]
+    split_idx = s.rfind('ba ,')
+    if split_idx < 0:
+        split_idx = 0
+    else:
+        split_idx += 5
+    r = s[split_idx:]
+    r = r.replace(',', '')
+    return int(r)
+`, nil)
+		},
+		func(f *Frame) (*Frame, error) {
+			return e.WithColumnUDF(f, "offer", `def extractOffer(x):
+    offer = x[0].lower()
+    if 'sale' in offer:
+        return 'sale'
+    if 'rent' in offer:
+        return 'rent'
+    if 'sold' in offer:
+        return 'sold'
+    if 'foreclose' in offer.lower():
+        return 'foreclosed'
+    return offer
+`, nil)
+		},
+		func(f *Frame) (*Frame, error) {
+			return e.WithColumnUDF(f, "price2", `def extractPrice(x):
+    price = x[5]
+    p = 0
+    if x[15] == 'sold':
+        val = x[6]
+        s = val[val.find('Price/sqft:') + len('Price/sqft:') + 1:]
+        r = s[s.find('$')+1:s.find(', ') - 1]
+        price_per_sqft = int(r)
+        p = price_per_sqft * x[14]
+    elif x[15] == 'rent':
+        max_idx = price.rfind('/')
+        p = int(price[1:max_idx].replace(',', ''))
+    else:
+        p = int(price[1:].replace(',', ''))
+    return p
+`, nil)
+		},
+		func(f *Frame) (*Frame, error) { return e.FilterUDF(f, "lambda x: 100000 < x[16] < 2e7", nil) },
+		func(f *Frame) (*Frame, error) {
+			f2, err := e.Select(f, "url", "zipcode", "address", "city", "state",
+				"bedrooms", "bathrooms", "sqft", "offer", "type", "price2")
+			if err != nil {
+				return nil, err
+			}
+			f2.Columns[len(f2.Columns)-1] = "price"
+			return f2, nil
+		},
+	}
+}
+
+// RunFlights executes the flights pipeline on the black-box engine.
+func (e *Engine) RunFlights(perf, carriers, airports []byte) (*Frame, error) {
+	f, err := e.CSV(perf, true, ',', nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range data.FlightPerfColumns() {
+		if f, err = e.Rename(f, c, pipelines.RenameBTSColumn(c)); err != nil {
+			return nil, err
+		}
+	}
+	type step func(*Frame) (*Frame, error)
+	apply := func(steps ...step) error {
+		for _, s := range steps {
+			if f, err = s(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	wc := func(col, src string) step {
+		return func(f *Frame) (*Frame, error) { return e.WithColumnUDF(f, col, src, nil) }
+	}
+	mc := func(col, src string) step {
+		return func(f *Frame) (*Frame, error) { return e.MapColumnUDF(f, col, src, nil) }
+	}
+	if err := apply(
+		wc("OriginCity", "lambda x: x['OriginCityName'][:x['OriginCityName'].rfind(',')].strip()"),
+		wc("OriginState", "lambda x: x['OriginCityName'][x['OriginCityName'].rfind(',')+1:].strip()"),
+		wc("DestCity", "lambda x: x['DestCityName'][:x['DestCityName'].rfind(',')].strip()"),
+		wc("DestState", "lambda x: x['DestCityName'][x['DestCityName'].rfind(',')+1:].strip()"),
+		mc("CrsArrTime", "lambda x: '{:02}:{:02}'.format(int(x / 100), x % 100) if x else None"),
+		mc("CrsDepTime", "lambda x: '{:02}:{:02}'.format(int(x / 100), x % 100) if x else None"),
+		wc("CancellationCode", pipelines.FlightsCleanCode),
+		mc("Diverted", "lambda x: True if x > 0 else False"),
+		mc("Cancelled", "lambda x: True if x > 0 else False"),
+		wc("CancellationReason", pipelines.FlightsDiverted),
+		wc("ActualElapsedTime", pipelines.FlightsFillInTimes),
+	); err != nil {
+		return nil, err
+	}
+
+	cf, err := e.CSV(carriers, true, ',', nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if cf, err = e.WithColumnUDF(cf, "AirlineName", "lambda x: x['Description'][:x['Description'].rfind('(')].strip()", nil); err != nil {
+		return nil, err
+	}
+	if cf, err = e.WithColumnUDF(cf, "AirlineYearFounded", "lambda x: int(x['Description'][x['Description'].rfind('(') + 1:x['Description'].rfind('-')])", nil); err != nil {
+		return nil, err
+	}
+	if cf, err = e.WithColumnUDF(cf, "AirlineYearDefunct", pipelines.FlightsExtractDefunctYear, nil); err != nil {
+		return nil, err
+	}
+
+	af, err := e.CSV(airports, false, ':', data.AirportColumns, []string{"", "N/a", "N/A"})
+	if err != nil {
+		return nil, err
+	}
+	if af, err = e.MapColumnUDF(af, "AirportName", "lambda x: string.capwords(x) if x else None", nil); err != nil {
+		return nil, err
+	}
+	if af, err = e.MapColumnUDF(af, "AirportCity", "lambda x: string.capwords(x) if x else None", nil); err != nil {
+		return nil, err
+	}
+
+	if f, err = e.Join(f, cf, "OpUniqueCarrier", "Code", false, ""); err != nil {
+		return nil, err
+	}
+	if f, err = e.Join(f, af, "Origin", "IATACode", true, "Origin"); err != nil {
+		return nil, err
+	}
+	if f, err = e.Join(f, af, "Dest", "IATACode", true, "Dest"); err != nil {
+		return nil, err
+	}
+	if err := apply(
+		mc("Distance", "lambda x: x / 0.00062137119224"),
+		mc("AirlineName", "lambda s: s.replace('Inc.', '').replace('LLC', '').replace('Co.', '').strip()"),
+	); err != nil {
+		return nil, err
+	}
+	for _, rn := range [][2]string{
+		{"OriginLatitudeDecimal", "OriginLatitude"}, {"OriginLongitudeDecimal", "OriginLongitude"},
+		{"DestLatitudeDecimal", "DestLatitude"}, {"DestLongitudeDecimal", "DestLongitude"},
+		{"OpUniqueCarrier", "CarrierCode"}, {"OpCarrierFlNum", "FlightNumber"},
+		{"DayOfMonth", "Day"}, {"AirlineName", "CarrierName"},
+		{"Origin", "OriginAirportIATACode"}, {"Dest", "DestAirportIATACode"},
+	} {
+		if f, err = e.Rename(f, rn[0], rn[1]); err != nil {
+			return nil, err
+		}
+	}
+	if f, err = e.FilterUDF(f, pipelines.FlightsFilterDefunct, nil); err != nil {
+		return nil, err
+	}
+	for _, c := range pipelines.FlightsNumericCols {
+		if f, err = e.MapColumnUDF(f, c, "lambda x: int(x) if x else 0", nil); err != nil {
+			return nil, err
+		}
+	}
+	return e.Select(f, pipelines.FlightsOutputColumns...)
+}
+
+// RunWeblogs executes the weblog pipeline under the given variant. For
+// the PySparkSQL modes, line splitting / per-column regex run natively.
+func (e *Engine) RunWeblogs(logs, badIPs []byte, variant pipelines.WeblogVariant) (*Frame, error) {
+	f := e.Text(logs, "logline")
+	bf, err := e.CSV(badIPs, true, ',', nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	globals := map[string]pyvalue.Value{"LETTERS": pyvalue.Str(pipelines.WeblogLetters)}
+	switch variant {
+	case pipelines.WeblogStrip:
+		if f, err = e.MapUDF(f, pipelines.WeblogParseStrip, nil); err != nil {
+			return nil, err
+		}
+	case pipelines.WeblogSplit:
+		if e.cfg.Mode == ModePySparkSQL {
+			// Native split + cast ("PySparkSQL (split)" in Fig. 5).
+			if f, err = e.NativeSplitColumns(f, []string{
+				"ip", "client_id", "user_id", "date1", "date2", "method",
+				"endpoint", "protocol", "response_code", "content_size"}); err != nil {
+				return nil, err
+			}
+			if f, err = e.WithColumnUDF(f, "date", "lambda x: (x['date1'] + ' ' + x['date2'])[1:-1] if x['date1'] and x['date2'] else ''", nil); err != nil {
+				return nil, err
+			}
+			if f, err = e.MapColumnUDF(f, "method", "lambda x: x[1:] if x else ''", nil); err != nil {
+				return nil, err
+			}
+			if f, err = e.MapColumnUDF(f, "protocol", "lambda x: x[:-1] if x else ''", nil); err != nil {
+				return nil, err
+			}
+			if f, err = e.NativeCastInt(f, "response_code"); err != nil {
+				return nil, err
+			}
+			if f, err = e.MapColumnUDF(f, "content_size", "lambda x: 0 if x == '-' or not x else int(x)", nil); err != nil {
+				return nil, err
+			}
+			if f, err = e.FilterUDF(f, "lambda x: x['endpoint'] is not None and len(x['endpoint']) > 0", nil); err != nil {
+				return nil, err
+			}
+		} else {
+			steps := [][2]string{
+				{"cols", "lambda x: x['logline'].split(' ')"},
+				{"ip", "lambda x: x['cols'][0].strip()"},
+				{"client_id", "lambda x: x['cols'][1].strip()"},
+				{"user_id", "lambda x: x['cols'][2].strip()"},
+				{"date", "lambda x: x['cols'][3] + \" \" + x['cols'][4]"},
+			}
+			for _, s := range steps {
+				if f, err = e.WithColumnUDF(f, s[0], s[1], nil); err != nil {
+					return nil, err
+				}
+			}
+			if f, err = e.MapColumnUDF(f, "date", "lambda x: x.strip()", nil); err != nil {
+				return nil, err
+			}
+			if f, err = e.MapColumnUDF(f, "date", "lambda x: x[1:-1]", nil); err != nil {
+				return nil, err
+			}
+			more := [][2]string{
+				{"method", "lambda x: x['cols'][5].strip()"},
+				{"endpoint", "lambda x: x['cols'][6].strip()"},
+				{"protocol", "lambda x: x['cols'][7].strip()"},
+				{"response_code", "lambda x: int(x['cols'][8].strip())"},
+				{"content_size", "lambda x: x['cols'][9].strip()"},
+			}
+			for _, s := range more {
+				if f, err = e.WithColumnUDF(f, s[0], s[1], nil); err != nil {
+					return nil, err
+				}
+			}
+			if f, err = e.MapColumnUDF(f, "method", "lambda x: x[1:]", nil); err != nil {
+				return nil, err
+			}
+			if f, err = e.MapColumnUDF(f, "protocol", "lambda x: x[:-1]", nil); err != nil {
+				return nil, err
+			}
+			if f, err = e.MapColumnUDF(f, "content_size", "lambda x: 0 if x == '-' else int(x)", nil); err != nil {
+				return nil, err
+			}
+			if f, err = e.FilterUDF(f, "lambda x: len(x['endpoint']) > 0", nil); err != nil {
+				return nil, err
+			}
+		}
+	default: // single regex, or per-column regex in SQL mode
+		if e.cfg.Mode == ModePySparkSQL {
+			// Per-column regexp_extract, natively.
+			fields := [][3]string{
+				{"ip", `^(\S+)`, "1"},
+				{"date", `\[([\w:/]+\s[+\-]\d{4})\]`, "1"},
+				{"method", `"(\S+) \S+\s*\S*\s*"`, "1"},
+				{"endpoint", `"\S+ (\S+)\s*\S*\s*"`, "1"},
+				{"protocol", `"\S+ \S+\s*(\S*)\s*"`, "1"},
+				{"response_code", `\s(\d{3})\s`, "1"},
+				{"content_size", `\s(\S+)$`, "1"},
+			}
+			for _, fd := range fields {
+				if f, err = e.NativeRegexExtract(f, "logline", fd[0], fd[1], 1); err != nil {
+					return nil, err
+				}
+			}
+			// SparkSQL casts silently null out garbage; mirror that (the
+			// §7 silent-semantics hazard) with a digit guard.
+			if f, err = e.NativeCastInt(f, "response_code"); err != nil {
+				return nil, err
+			}
+			if f, err = e.MapColumnUDF(f, "content_size", "lambda x: int(x) if x and x.isdigit() else 0", nil); err != nil {
+				return nil, err
+			}
+			if f, err = e.FilterUDF(f, "lambda x: len(x['ip']) > 0", nil); err != nil {
+				return nil, err
+			}
+		} else {
+			if f, err = e.MapUDF(f, pipelines.WeblogParseRegex, nil); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if f, err = e.MapColumnUDF(f, "endpoint", pipelines.WeblogRandomize, globals); err != nil {
+		return nil, err
+	}
+	if f, err = e.Join(f, bf, "ip", "BadIPs", false, ""); err != nil {
+		return nil, err
+	}
+	return e.Select(f, pipelines.WeblogOutputColumns...)
+}
+
+// Run311 executes the 311 cleaning query.
+func (e *Engine) Run311(raw []byte) (*Frame, error) {
+	f, err := e.CSV(raw, true, ',', nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if f, err = e.Select(f, "Incident Zip"); err != nil {
+		return nil, err
+	}
+	if f, err = e.MapColumnUDF(f, "Incident Zip", pipelines.ThreeOneOneFixZip, nil); err != nil {
+		return nil, err
+	}
+	if f, err = e.FilterUDF(f, "lambda x: x is not None", nil); err != nil {
+		return nil, err
+	}
+	return e.Unique(f), nil
+}
+
+// RunQ6 executes TPC-H Q6.
+func (e *Engine) RunQ6(raw []byte) (float64, error) {
+	f, err := e.CSV(raw, true, ',', nil, nil)
+	if err != nil {
+		return 0, err
+	}
+	agg := "lambda acc, r: acc + r['l_extendedprice'] * r['l_discount'] if (r['l_shipdate'] >= 731 and r['l_shipdate'] < 1096 and 0.05 <= r['l_discount'] <= 0.07 and r['l_quantity'] < 24) else acc"
+	v, err := e.Aggregate(f, agg, "lambda a, b: a + b", pyvalue.Float(0))
+	if err != nil {
+		return 0, err
+	}
+	fv, ok := v.(pyvalue.Float)
+	if !ok {
+		return 0, fmt.Errorf("blackbox: Q6 result %T", v)
+	}
+	return float64(fv), nil
+}

@@ -1,0 +1,139 @@
+package blackbox
+
+import (
+	"encoding/binary"
+	"math"
+
+	"github.com/gotuplex/tuplex/internal/pyvalue"
+)
+
+// serde implements a compact pickle-like binary codec for boxed values.
+// PySpark modes round-trip every UDF argument and result through it,
+// doing the real work (byte encoding, allocation, decoding) that the
+// JVM↔Python-worker boundary costs in the systems the paper compares
+// against (§2: "passing data between the Python interpreter and the
+// JVM").
+
+const (
+	serNone byte = iota
+	serFalse
+	serTrue
+	serInt
+	serFloat
+	serStr
+	serList
+	serTuple
+	serDict
+)
+
+// encode appends v's encoding to buf.
+func encode(buf []byte, v pyvalue.Value) []byte {
+	switch v := v.(type) {
+	case pyvalue.None:
+		return append(buf, serNone)
+	case pyvalue.Bool:
+		if v {
+			return append(buf, serTrue)
+		}
+		return append(buf, serFalse)
+	case pyvalue.Int:
+		buf = append(buf, serInt)
+		return binary.AppendVarint(buf, int64(v))
+	case pyvalue.Float:
+		buf = append(buf, serFloat)
+		return binary.BigEndian.AppendUint64(buf, math.Float64bits(float64(v)))
+	case pyvalue.Str:
+		buf = append(buf, serStr)
+		buf = binary.AppendUvarint(buf, uint64(len(v)))
+		return append(buf, v...)
+	case *pyvalue.List:
+		buf = append(buf, serList)
+		buf = binary.AppendUvarint(buf, uint64(len(v.Items)))
+		for _, it := range v.Items {
+			buf = encode(buf, it)
+		}
+		return buf
+	case *pyvalue.Tuple:
+		buf = append(buf, serTuple)
+		buf = binary.AppendUvarint(buf, uint64(len(v.Items)))
+		for _, it := range v.Items {
+			buf = encode(buf, it)
+		}
+		return buf
+	case *pyvalue.Dict:
+		buf = append(buf, serDict)
+		keys := v.Keys()
+		buf = binary.AppendUvarint(buf, uint64(len(keys)))
+		for _, k := range keys {
+			buf = binary.AppendUvarint(buf, uint64(len(k)))
+			buf = append(buf, k...)
+			val, _ := v.Get(k)
+			buf = encode(buf, val)
+		}
+		return buf
+	default:
+		// Opaque values (match objects) degrade to their repr.
+		s := pyvalue.Repr(v)
+		buf = append(buf, serStr)
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		return append(buf, s...)
+	}
+}
+
+// decode reads one value, returning it and the remaining bytes.
+func decode(buf []byte) (pyvalue.Value, []byte) {
+	tag := buf[0]
+	buf = buf[1:]
+	switch tag {
+	case serNone:
+		return pyvalue.None{}, buf
+	case serFalse:
+		return pyvalue.Bool(false), buf
+	case serTrue:
+		return pyvalue.Bool(true), buf
+	case serInt:
+		v, n := binary.Varint(buf)
+		return pyvalue.Int(v), buf[n:]
+	case serFloat:
+		bits := binary.BigEndian.Uint64(buf)
+		return pyvalue.Float(math.Float64frombits(bits)), buf[8:]
+	case serStr:
+		l, n := binary.Uvarint(buf)
+		buf = buf[n:]
+		return pyvalue.Str(string(buf[:l])), buf[l:]
+	case serList, serTuple:
+		l, n := binary.Uvarint(buf)
+		buf = buf[n:]
+		items := make([]pyvalue.Value, l)
+		for i := range items {
+			items[i], buf = decode(buf)
+		}
+		if tag == serList {
+			return &pyvalue.List{Items: items}, buf
+		}
+		return &pyvalue.Tuple{Items: items}, buf
+	case serDict:
+		l, n := binary.Uvarint(buf)
+		buf = buf[n:]
+		d := pyvalue.NewDict()
+		for range l {
+			kl, kn := binary.Uvarint(buf)
+			buf = buf[kn:]
+			k := string(buf[:kl])
+			buf = buf[kl:]
+			var v pyvalue.Value
+			v, buf = decode(buf)
+			d.Set(k, v)
+		}
+		return d, buf
+	default:
+		return pyvalue.None{}, buf
+	}
+}
+
+// roundTrip encodes and decodes v — one boundary crossing.
+func roundTrip(v pyvalue.Value) pyvalue.Value {
+	buf := encode(make([]byte, 0, 64), v)
+	out, _ := decode(buf)
+	return out
+}

@@ -1,0 +1,405 @@
+package codegen
+
+import (
+	"testing"
+
+	"github.com/gotuplex/tuplex/internal/inference"
+	"github.com/gotuplex/tuplex/internal/interp"
+	"github.com/gotuplex/tuplex/internal/pyast"
+	"github.com/gotuplex/tuplex/internal/pyvalue"
+	"github.com/gotuplex/tuplex/internal/rows"
+	"github.com/gotuplex/tuplex/internal/types"
+)
+
+// compileUDF parses, types and compiles a UDF for the given param types.
+func compileUDF(t *testing.T, src string, params []types.Type, opts Options) (*UDF, *inference.Info) {
+	t.Helper()
+	fn, err := pyast.ParseUDF(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := inference.TypeFunction(fn, params, nil, inference.Options{})
+	if err != nil {
+		t.Fatalf("inference: %v", err)
+	}
+	u, err := Compile(info, nil, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return u, info
+}
+
+func callUDF(t *testing.T, u *UDF, args ...rows.Slot) (rows.Slot, ECode) {
+	t.Helper()
+	fr := NewFrame(u.NumSlots())
+	return u.Call(fr, args)
+}
+
+func wantSlot(t *testing.T, got rows.Slot, ec ECode, want rows.Slot) {
+	t.Helper()
+	if ec != 0 {
+		t.Fatalf("unexpected exception %v", ec)
+	}
+	if !rows.Equal(got, want) || got.Tag != want.Tag {
+		t.Fatalf("got %v (%v), want %v (%v)", got.Value(), got.Tag, want.Value(), want.Tag)
+	}
+}
+
+func TestCompiledArithmetic(t *testing.T) {
+	u, _ := compileUDF(t, "lambda m: m * 1.609", []types.Type{types.I64}, DefaultOptions())
+	v, ec := callUDF(t, u, rows.I64(100))
+	wantSlot(t, v, ec, rows.F64(160.9))
+	if !types.Equal(u.ReturnType(), types.F64) {
+		t.Fatalf("ret = %s", u.ReturnType())
+	}
+}
+
+func TestCompiledIntOps(t *testing.T) {
+	u, _ := compileUDF(t, "lambda a, b: a // b + a % b", []types.Type{types.I64, types.I64}, DefaultOptions())
+	v, ec := callUDF(t, u, rows.I64(-7), rows.I64(2))
+	wantSlot(t, v, ec, rows.I64(-3)) // -4 + 1
+	_, ec = callUDF(t, u, rows.I64(1), rows.I64(0))
+	if ec != pyvalue.ExcZeroDivisionError {
+		t.Fatalf("ec = %v", ec)
+	}
+}
+
+func TestCompiledTernaryWithOption(t *testing.T) {
+	u, _ := compileUDF(t, "lambda m: m * 1.609 if m else 0.0",
+		[]types.Type{types.Option(types.F64)}, DefaultOptions())
+	v, ec := callUDF(t, u, rows.F64(2))
+	wantSlot(t, v, ec, rows.F64(3.218))
+	v, ec = callUDF(t, u, rows.Null())
+	wantSlot(t, v, ec, rows.F64(0))
+}
+
+func TestCompiledNullPathConstantFold(t *testing.T) {
+	// Column typed Null: the then branch is dead; result is the constant
+	// else arm (the paper's 3-instruction example).
+	u, info := compileUDF(t, "lambda m: m * 1.609 if m else 0.0",
+		[]types.Type{types.Null}, DefaultOptions())
+	if len(info.Dead) != 1 {
+		t.Fatalf("dead = %v", info.Dead)
+	}
+	v, ec := callUDF(t, u, rows.Null())
+	wantSlot(t, v, ec, rows.F64(0))
+}
+
+func TestCompiledRowAccess(t *testing.T) {
+	sch := types.NewSchema([]types.Column{
+		{Name: "price", Type: types.I64},
+		{Name: "city", Type: types.Str},
+	})
+	u, _ := compileUDF(t, "lambda x: x['price'] * 2", []types.Type{types.Row(sch)}, DefaultOptions())
+	row := rows.Tuple([]rows.Slot{rows.I64(21), rows.Str("boston")})
+	v, ec := callUDF(t, u, row)
+	wantSlot(t, v, ec, rows.I64(42))
+
+	u2, _ := compileUDF(t, "lambda x: x[1].upper()", []types.Type{types.Row(sch)}, DefaultOptions())
+	v, ec = callUDF(t, u2, row)
+	wantSlot(t, v, ec, rows.Str("BOSTON"))
+}
+
+func TestCompiledStringMethods(t *testing.T) {
+	u, _ := compileUDF(t, "lambda s: s[s.find('$')+1:].replace(',', '')",
+		[]types.Type{types.Str}, DefaultOptions())
+	v, ec := callUDF(t, u, rows.Str("$1,250,000"))
+	wantSlot(t, v, ec, rows.Str("1250000"))
+}
+
+func TestCompiledIntParse(t *testing.T) {
+	u, _ := compileUDF(t, "lambda s: int(s)", []types.Type{types.Str}, DefaultOptions())
+	v, ec := callUDF(t, u, rows.Str(" 42 "))
+	wantSlot(t, v, ec, rows.I64(42))
+	_, ec = callUDF(t, u, rows.Str("1,5"))
+	if ec != pyvalue.ExcValueError {
+		t.Fatalf("ec = %v", ec)
+	}
+}
+
+func TestCompiledNoneMethodRaisesAttributeError(t *testing.T) {
+	// Optional string column, receiver is None at runtime.
+	u, _ := compileUDF(t, "lambda s: s.find('x')",
+		[]types.Type{types.Option(types.Str)}, DefaultOptions())
+	_, ec := callUDF(t, u, rows.Null())
+	if ec != pyvalue.ExcAttributeError {
+		t.Fatalf("ec = %v", ec)
+	}
+}
+
+func TestCompiledChainedCompare(t *testing.T) {
+	u, _ := compileUDF(t, "lambda x: 100000 < x <= 2e7", []types.Type{types.I64}, DefaultOptions())
+	v, ec := callUDF(t, u, rows.I64(150000))
+	wantSlot(t, v, ec, rows.Bool(true))
+	v, ec = callUDF(t, u, rows.I64(99))
+	wantSlot(t, v, ec, rows.Bool(false))
+}
+
+func TestCompiledRegexSearch(t *testing.T) {
+	src := `def parse(x):
+    match = re_search('^(\S+) (\S+)', x)
+    if match:
+        return match[1]
+    return ''
+`
+	u, _ := compileUDF(t, src, []types.Type{types.Str}, DefaultOptions())
+	v, ec := callUDF(t, u, rows.Str("1.2.3.4 - rest"))
+	wantSlot(t, v, ec, rows.Str("1.2.3.4"))
+	v, ec = callUDF(t, u, rows.Str(""))
+	wantSlot(t, v, ec, rows.Str(""))
+}
+
+func TestCompiledReSub(t *testing.T) {
+	u, _ := compileUDF(t, "lambda x: re_sub('^/~[^/]+', '/~anon', x)",
+		[]types.Type{types.Str}, DefaultOptions())
+	v, ec := callUDF(t, u, rows.Str("/~alice/pubs"))
+	wantSlot(t, v, ec, rows.Str("/~anon/pubs"))
+}
+
+func TestCompiledRangeLoop(t *testing.T) {
+	src := `def f(n):
+    total = 0
+    for i in range(n):
+        if i % 2 == 0:
+            continue
+        total += i
+    return total
+`
+	u, _ := compileUDF(t, src, []types.Type{types.I64}, DefaultOptions())
+	v, ec := callUDF(t, u, rows.I64(10))
+	wantSlot(t, v, ec, rows.I64(25))
+}
+
+func TestCompiledListCompJoin(t *testing.T) {
+	fn, err := pyast.ParseUDF("lambda x: ''.join([random_choice(LETTERS) for t in range(10)])")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := inference.TypeFunction(fn, []types.Type{types.Str},
+		map[string]types.Type{"LETTERS": types.Str}, inference.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Compilable() {
+		t.Fatalf("failed: %v", info.Failed)
+	}
+	u, err := Compile(info, map[string]pyvalue.Value{"LETTERS": pyvalue.Str("ABC")}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ec := callUDF(t, u, rows.Str("x"))
+	if ec != 0 {
+		t.Fatalf("ec = %v", ec)
+	}
+	if len(v.S) != 10 {
+		t.Fatalf("len = %d", len(v.S))
+	}
+	for i := range v.S {
+		if v.S[i] < 'A' || v.S[i] > 'C' {
+			t.Fatalf("bad char %q", v.S)
+		}
+	}
+}
+
+func TestCompiledDictReturn(t *testing.T) {
+	u, _ := compileUDF(t, "lambda x: {'a': x + 1, 'b': 'y'}", []types.Type{types.I64}, DefaultOptions())
+	v, ec := callUDF(t, u, rows.I64(1))
+	if ec != 0 {
+		t.Fatalf("ec = %v", ec)
+	}
+	keys, ok := DictSlotKeys(v)
+	if !ok || len(keys) != 2 || keys[0] != "a" {
+		t.Fatalf("keys = %v, %v", keys, ok)
+	}
+	if !rows.Equal(v.Seq[0], rows.I64(2)) {
+		t.Fatalf("a = %v", v.Seq[0])
+	}
+}
+
+func TestCompiledFailedNodeExits(t *testing.T) {
+	// str + int is a static TypeError: compiled code must return the
+	// TypeError code, sending the row to the exception path.
+	u, info := compileUDF(t, "lambda x: x + 1", []types.Type{types.Str}, DefaultOptions())
+	if info.Compilable() {
+		t.Fatal("should not be compilable")
+	}
+	_, ec := callUDF(t, u, rows.Str("a"))
+	if ec != pyvalue.ExcTypeError {
+		t.Fatalf("ec = %v", ec)
+	}
+}
+
+func TestCompiledFormatCalls(t *testing.T) {
+	u, _ := compileUDF(t, "lambda x: '{:02}:{:02}'.format(int(x / 100), x % 100)",
+		[]types.Type{types.I64}, DefaultOptions())
+	v, ec := callUDF(t, u, rows.I64(545))
+	wantSlot(t, v, ec, rows.Str("05:45"))
+
+	u2, _ := compileUDF(t, "lambda x: '%05d' % int(x)", []types.Type{types.Str}, DefaultOptions())
+	v, ec = callUDF(t, u2, rows.Str("2134"))
+	wantSlot(t, v, ec, rows.Str("02134"))
+}
+
+// TestCompiledMatchesInterpreter is the core dual-mode invariant (§4.1):
+// for rows on the fast path, compiled execution must be indistinguishable
+// from the interpreter — same values or same exception kinds.
+func TestCompiledMatchesInterpreter(t *testing.T) {
+	cases := []struct {
+		src    string
+		params []types.Type
+		args   [][]rows.Slot
+	}{
+		{
+			"lambda m: m * 1.609 if m else 0.0",
+			[]types.Type{types.Option(types.F64)},
+			[][]rows.Slot{{rows.F64(2)}, {rows.Null()}, {rows.F64(0)}},
+		},
+		{
+			"lambda a, b: a / b",
+			[]types.Type{types.I64, types.I64},
+			[][]rows.Slot{{rows.I64(7), rows.I64(2)}, {rows.I64(1), rows.I64(0)}},
+		},
+		{
+			"lambda s: s[0].upper() + s[1:].lower()",
+			[]types.Type{types.Str},
+			[][]rows.Slot{{rows.Str("bOSTON")}, {rows.Str("")}, {rows.Str("x")}},
+		},
+		{
+			"lambda s: int(s.replace(',', ''))",
+			[]types.Type{types.Str},
+			[][]rows.Slot{{rows.Str("1,560")}, {rows.Str("bad")}, {rows.Str("")}},
+		},
+		{
+			"lambda x: 100000 < x <= 2e7",
+			[]types.Type{types.F64},
+			[][]rows.Slot{{rows.F64(5e5)}, {rows.F64(1)}, {rows.F64(2e7)}},
+		},
+		{
+			`def f(n):
+    total = 0
+    for i in range(n):
+        total += i * i
+    return total
+`,
+			[]types.Type{types.I64},
+			[][]rows.Slot{{rows.I64(10)}, {rows.I64(0)}, {rows.I64(-3)}},
+		},
+		{
+			"lambda s: s.split(',')[1].strip()",
+			[]types.Type{types.Str},
+			[][]rows.Slot{{rows.Str("a, b, c")}, {rows.Str("solo")}},
+		},
+		{
+			"lambda s: 'sale' in s or 'rent' in s",
+			[]types.Type{types.Str},
+			[][]rows.Slot{{rows.Str("for sale!")}, {rows.Str("to rent")}, {rows.Str("sold")}},
+		},
+		{
+			"lambda x: -x ** 2",
+			[]types.Type{types.I64},
+			[][]rows.Slot{{rows.I64(3)}, {rows.I64(-2)}},
+		},
+		{
+			"lambda s: s.strip()[1:-1]",
+			[]types.Type{types.Str},
+			[][]rows.Slot{{rows.Str("  [abc]  ")}, {rows.Str("")}},
+		},
+	}
+	for _, tc := range cases {
+		for _, mode := range []Options{DefaultOptions(), {Specialize: false}} {
+			u, _ := compileUDF(t, tc.src, tc.params, mode)
+			fn, _ := pyast.ParseUDF(tc.src)
+			ip := interp.New(nil)
+			for _, args := range tc.args {
+				gotSlot, gotEc := callUDF(t, u, args...)
+				boxedArgs := make([]pyvalue.Value, len(args))
+				for i, a := range args {
+					boxedArgs[i] = a.Value()
+				}
+				want, werr := ip.Call(fn, boxedArgs)
+				wantEc := pyvalue.KindOf(werr)
+				if gotEc != 0 {
+					// ExcUnsupported means "retry on general path": verify
+					// the general path (boxed) handles it. Otherwise the
+					// exception kinds must agree.
+					if gotEc != pyvalue.ExcUnsupported && gotEc != wantEc {
+						t.Errorf("%s %v [spec=%v]: compiled ec=%v, interp err=%v",
+							tc.src, args, mode.Specialize, gotEc, werr)
+					}
+					continue
+				}
+				if wantEc != 0 {
+					t.Errorf("%s %v [spec=%v]: compiled ok, interp err=%v", tc.src, args, mode.Specialize, werr)
+					continue
+				}
+				if !pyvalue.Equal(gotSlot.Value(), want) {
+					t.Errorf("%s %v [spec=%v]: compiled %s, interp %s",
+						tc.src, args, mode.Specialize, pyvalue.Repr(gotSlot.Value()), pyvalue.Repr(want))
+				}
+			}
+		}
+	}
+}
+
+func TestCompiledZillowExtractBd(t *testing.T) {
+	src := `def extractBd(x):
+    val = x['facts and features']
+    max_idx = val.find(' bd')
+    if max_idx < 0:
+        max_idx = len(val)
+    s = val[:max_idx]
+    split_idx = s.rfind(',')
+    if split_idx < 0:
+        split_idx = 0
+    else:
+        split_idx += 2
+    r = s[split_idx:]
+    return int(r)
+`
+	sch := types.NewSchema([]types.Column{{Name: "facts and features", Type: types.Str}})
+	u, info := compileUDF(t, src, []types.Type{types.Row(sch)}, DefaultOptions())
+	if !info.Compilable() {
+		t.Fatalf("failed: %v", info.Failed)
+	}
+	row := rows.Tuple([]rows.Slot{rows.Str("3 bds, 2 ba , 1,560 sqft")})
+	v, ec := callUDF(t, u, row)
+	wantSlot(t, v, ec, rows.I64(3))
+	// Dirty row raises ValueError as a return code.
+	dirty := rows.Tuple([]rows.Slot{rows.Str("studio apartment")})
+	_, ec = callUDF(t, u, dirty)
+	if ec != pyvalue.ExcValueError {
+		t.Fatalf("ec = %v", ec)
+	}
+}
+
+func TestUnassignedLocalRaisesNameError(t *testing.T) {
+	src := `def f(x):
+    if x > 0:
+        y = 1
+    return y
+`
+	u, _ := compileUDF(t, src, []types.Type{types.I64}, DefaultOptions())
+	v, ec := callUDF(t, u, rows.I64(5))
+	wantSlot(t, v, ec, rows.I64(1))
+	_, ec = callUDF(t, u, rows.I64(-1))
+	if ec != pyvalue.ExcNameError {
+		t.Fatalf("ec = %v", ec)
+	}
+}
+
+func TestFrameReuseDoesNotLeakState(t *testing.T) {
+	src := `def f(x):
+    if x > 0:
+        y = x
+    else:
+        y = 0
+    return y
+`
+	u, _ := compileUDF(t, src, []types.Type{types.I64}, DefaultOptions())
+	fr := NewFrame(u.NumSlots())
+	v, ec := u.Call(fr, []rows.Slot{rows.I64(7)})
+	wantSlot(t, v, ec, rows.I64(7))
+	// Second call with the else path must not see the previous y.
+	v, ec = u.Call(fr, []rows.Slot{rows.I64(-1)})
+	wantSlot(t, v, ec, rows.I64(0))
+}

@@ -1,0 +1,194 @@
+package codegen
+
+import (
+	"testing"
+
+	"github.com/gotuplex/tuplex/internal/pyvalue"
+	"github.com/gotuplex/tuplex/internal/rows"
+	"github.com/gotuplex/tuplex/internal/types"
+)
+
+func TestCompiledWhileLoop(t *testing.T) {
+	src := `def isqrt(n):
+    i = 0
+    while i * i <= n:
+        i += 1
+    return i - 1
+`
+	u, _ := compileUDF(t, src, []types.Type{types.I64}, DefaultOptions())
+	v, ec := callUDF(t, u, rows.I64(17))
+	wantSlot(t, v, ec, rows.I64(4))
+	v, ec = callUDF(t, u, rows.I64(0))
+	wantSlot(t, v, ec, rows.I64(0))
+}
+
+func TestCompiledBitwiseOps(t *testing.T) {
+	u, _ := compileUDF(t, "lambda a, b: (a & b) | (a ^ b) | (a << 1) | (a >> 1)",
+		[]types.Type{types.I64, types.I64}, DefaultOptions())
+	v, ec := callUDF(t, u, rows.I64(12), rows.I64(10))
+	want := (int64(12) & 10) | (12 ^ 10) | (12 << 1) | (12 >> 1)
+	wantSlot(t, v, ec, rows.I64(want))
+}
+
+func TestCompiledIsNone(t *testing.T) {
+	u, _ := compileUDF(t, "lambda x: x is None", []types.Type{types.Option(types.Str)}, DefaultOptions())
+	v, ec := callUDF(t, u, rows.Null())
+	wantSlot(t, v, ec, rows.Bool(true))
+	v, ec = callUDF(t, u, rows.Str("x"))
+	wantSlot(t, v, ec, rows.Bool(false))
+
+	u2, _ := compileUDF(t, "lambda x: x is not None", []types.Type{types.Option(types.I64)}, DefaultOptions())
+	v, ec = callUDF(t, u2, rows.I64(0))
+	wantSlot(t, v, ec, rows.Bool(true))
+}
+
+func TestCompiledStringPredicates(t *testing.T) {
+	u, _ := compileUDF(t, "lambda s: s.isdigit() or s.startswith('x')",
+		[]types.Type{types.Str}, DefaultOptions())
+	v, ec := callUDF(t, u, rows.Str("123"))
+	wantSlot(t, v, ec, rows.Bool(true))
+	v, ec = callUDF(t, u, rows.Str("xab"))
+	wantSlot(t, v, ec, rows.Bool(true))
+	v, ec = callUDF(t, u, rows.Str("zz9"))
+	wantSlot(t, v, ec, rows.Bool(false))
+}
+
+func TestCompiledZfillTitleJust(t *testing.T) {
+	u, _ := compileUDF(t, "lambda s: s.zfill(6) + '|' + s.title() + '|' + s.ljust(4)",
+		[]types.Type{types.Str}, DefaultOptions())
+	v, ec := callUDF(t, u, rows.Str("ab"))
+	wantSlot(t, v, ec, rows.Str("0000ab|Ab|ab  "))
+}
+
+func TestCompiledMinMaxNumeric(t *testing.T) {
+	u, _ := compileUDF(t, "lambda a, b: min(a, b) + max(a, b)",
+		[]types.Type{types.I64, types.I64}, DefaultOptions())
+	v, ec := callUDF(t, u, rows.I64(3), rows.I64(9))
+	wantSlot(t, v, ec, rows.I64(12))
+}
+
+func TestCompiledAbsRound(t *testing.T) {
+	u, _ := compileUDF(t, "lambda x: abs(x)", []types.Type{types.F64}, DefaultOptions())
+	v, ec := callUDF(t, u, rows.F64(-2.5))
+	wantSlot(t, v, ec, rows.F64(2.5))
+	u2, _ := compileUDF(t, "lambda x: round(x)", []types.Type{types.F64}, DefaultOptions())
+	v, ec = callUDF(t, u2, rows.F64(2.5)) // banker's rounding
+	wantSlot(t, v, ec, rows.I64(2))
+}
+
+func TestCompiledStrOfEverything(t *testing.T) {
+	u, _ := compileUDF(t, "lambda x: str(x)", []types.Type{types.Option(types.F64)}, DefaultOptions())
+	v, ec := callUDF(t, u, rows.F64(1.5))
+	wantSlot(t, v, ec, rows.Str("1.5"))
+	v, ec = callUDF(t, u, rows.Null())
+	wantSlot(t, v, ec, rows.Str("None"))
+}
+
+func TestCompiledNegativeStringIndex(t *testing.T) {
+	u, _ := compileUDF(t, "lambda s: s[-1] + s[-2]", []types.Type{types.Str}, DefaultOptions())
+	v, ec := callUDF(t, u, rows.Str("abc"))
+	wantSlot(t, v, ec, rows.Str("cb"))
+	_, ec = callUDF(t, u, rows.Str("a"))
+	if ec != pyvalue.ExcIndexError {
+		t.Fatalf("ec = %v", ec)
+	}
+}
+
+func TestCompiledStepSlices(t *testing.T) {
+	u, _ := compileUDF(t, "lambda s: s[::2] + '|' + s[::-1]", []types.Type{types.Str}, DefaultOptions())
+	v, ec := callUDF(t, u, rows.Str("abcdef"))
+	wantSlot(t, v, ec, rows.Str("ace|fedcba"))
+}
+
+func TestCompiledTupleReturn(t *testing.T) {
+	u, _ := compileUDF(t, "lambda x: (x, x * 2, 'tag')", []types.Type{types.I64}, DefaultOptions())
+	v, ec := callUDF(t, u, rows.I64(5))
+	if ec != 0 || v.Tag != types.KindTuple || len(v.Seq) != 3 {
+		t.Fatalf("v = %+v ec = %v", v, ec)
+	}
+	if v.Seq[1].I != 10 || v.Seq[2].S != "tag" {
+		t.Fatalf("seq = %+v", v.Seq)
+	}
+}
+
+func TestCompiledTupleUnpack(t *testing.T) {
+	src := `def f(x):
+    a, b = x, x + 1
+    return b * 10 + a
+`
+	u, _ := compileUDF(t, src, []types.Type{types.I64}, DefaultOptions())
+	v, ec := callUDF(t, u, rows.I64(3))
+	wantSlot(t, v, ec, rows.I64(43))
+}
+
+func TestCompiledBreakContinue(t *testing.T) {
+	src := `def f(n):
+    total = 0
+    for i in range(100):
+        if i >= n:
+            break
+        if i % 2 == 0:
+            continue
+        total += i
+    return total
+`
+	u, _ := compileUDF(t, src, []types.Type{types.I64}, DefaultOptions())
+	v, ec := callUDF(t, u, rows.I64(6))
+	wantSlot(t, v, ec, rows.I64(9)) // 1 + 3 + 5
+}
+
+func TestCompiledNestedConditionalChains(t *testing.T) {
+	src := `def band(x):
+    if x < 10:
+        return 'small'
+    elif x < 100:
+        return 'medium'
+    elif x < 1000:
+        return 'large'
+    else:
+        return 'huge'
+`
+	u, _ := compileUDF(t, src, []types.Type{types.I64}, DefaultOptions())
+	for in, want := range map[int64]string{5: "small", 50: "medium", 500: "large", 5000: "huge"} {
+		v, ec := callUDF(t, u, rows.I64(in))
+		wantSlot(t, v, ec, rows.Str(want))
+	}
+}
+
+func TestClearSlotAnalysis(t *testing.T) {
+	// Locals assigned in a straight-line prefix are not cleared between
+	// calls; conditionally-assigned locals are.
+	src := `def f(x):
+    a = x + 1
+    b = a * 2
+    if x > 0:
+        c = 1
+    return b
+`
+	u, _ := compileUDF(t, src, []types.Type{types.I64}, DefaultOptions())
+	// slots: x, a, b, c -> only c needs clearing.
+	if len(u.clearSlots) != 1 {
+		t.Fatalf("clearSlots = %v", u.clearSlots)
+	}
+	// Behavior across reused frames stays correct.
+	fr := NewFrame(u.NumSlots())
+	v, ec := u.Call(fr, []rows.Slot{rows.I64(5)})
+	wantSlot(t, v, ec, rows.I64(12))
+	v, ec = u.Call(fr, []rows.Slot{rows.I64(-5)})
+	wantSlot(t, v, ec, rows.I64(-8))
+}
+
+func TestCompiledPercentFormats(t *testing.T) {
+	u, _ := compileUDF(t, "lambda x: '%s=%d (%.1f%%)' % (x, x * 2, 12.5)",
+		[]types.Type{types.I64}, DefaultOptions())
+	v, ec := callUDF(t, u, rows.I64(4))
+	wantSlot(t, v, ec, rows.Str("4=8 (12.5%)"))
+}
+
+func TestCompiledInOnListLiteral(t *testing.T) {
+	u, _ := compileUDF(t, "lambda s: s in ('a', 'b', 'c')", []types.Type{types.Str}, DefaultOptions())
+	v, ec := callUDF(t, u, rows.Str("b"))
+	wantSlot(t, v, ec, rows.Bool(true))
+	v, ec = callUDF(t, u, rows.Str("z"))
+	wantSlot(t, v, ec, rows.Bool(false))
+}

@@ -1,0 +1,658 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/gotuplex/tuplex/internal/csvio"
+	"github.com/gotuplex/tuplex/internal/interp"
+	"github.com/gotuplex/tuplex/internal/logical"
+	"github.com/gotuplex/tuplex/internal/physical"
+	"github.com/gotuplex/tuplex/internal/pyvalue"
+	"github.com/gotuplex/tuplex/internal/rows"
+	"github.com/gotuplex/tuplex/internal/types"
+)
+
+// pathMode selects which exception path executes a boxed row.
+type pathMode uint8
+
+const (
+	// pathGeneral is the compiled general-case path (closure-compiled
+	// boxed UDFs, most general column types).
+	pathGeneral pathMode = iota
+	// pathFallback is the tree-walking interpreter (always available).
+	pathFallback
+)
+
+// errDropped signals that a row was legitimately removed (filter false,
+// ignore() handler, inner-join miss).
+var errDropped = errors.New("row dropped")
+
+// boxedUDF is one UDF's boxed execution forms, with a private
+// interpreter instance (the boxed paths run serially, mirroring the
+// prototype's GIL acquisition for interpreter work).
+type boxedUDF struct {
+	spec     *logical.UDFSpec
+	ip       *interp.Interp
+	compiled *interp.Compiled
+	// dictParam selects dict-style (vs tuple-style) boxed rows for
+	// whole-row UDFs, from the UDF's observed access pattern.
+	dictParam bool
+}
+
+// compileBoxedUDF prepares a UDF for the exception paths.
+func (eng *engine) compileBoxedUDF(spec *logical.UDFSpec) (*boxedUDF, error) {
+	u := &boxedUDF{spec: spec, ip: interp.New(spec.Globals)}
+	u.dictParam = len(spec.Access.ByName) > 0 || len(spec.Access.ByIndex) == 0
+	if compiled, err := u.ip.Compile(spec.Fn); err == nil {
+		u.compiled = compiled
+	}
+	return u, nil
+}
+
+// call runs the UDF in the given mode.
+func (u *boxedUDF) call(mode pathMode, args []pyvalue.Value) (pyvalue.Value, error) {
+	if mode == pathGeneral {
+		if u.compiled == nil {
+			return nil, pyvalue.Raise(pyvalue.ExcUnsupported, "UDF not compilable on general path")
+		}
+		return u.compiled.Call(u.ip, args)
+	}
+	return u.ip.Call(u.spec.Fn, args)
+}
+
+// bOpKind enumerates boxed-path operator kinds.
+type bOpKind uint8
+
+const (
+	bOpNoop bOpKind = iota
+	bOpMap
+	bOpFilter
+	bOpWithColumn
+	bOpMapColumn
+	bOpSelect
+	bOpJoin
+)
+
+// boxedOp is one stage operator in boxed form.
+type boxedOp struct {
+	kind      bOpKind
+	udf       *boxedUDF
+	handlers  *opHandlers
+	inSchema  *types.Schema
+	outSchema *types.Schema
+	col       string
+	colIdx    int
+	scalar    bool
+	sel       []int
+	join      *buildTable
+	keyIdx    int
+	leftOuter bool
+	// accessCols caches the row positions of the UDF's accessed columns
+	// (lazily resolved; -1 for columns missing from the schema).
+	accessCols []int
+}
+
+// applyHandlers wraps a UDF invocation with the operator's ignore and
+// resolve handlers (§3: resolvers run on the exception paths only; a
+// compilable resolver runs on the general path, every resolver runs on
+// the fallback path).
+func applyHandlers(h *opHandlers, mode pathMode, call func() (pyvalue.Value, error), args []pyvalue.Value) (pyvalue.Value, error, bool) {
+	v, err := call()
+	if err == nil {
+		return v, nil, false
+	}
+	kind := pyvalue.KindOf(err)
+	if h != nil {
+		for _, ig := range h.ignores {
+			if ig == kind {
+				return nil, errDropped, false
+			}
+		}
+		for _, r := range h.resolvers {
+			if r.exc != kind {
+				continue
+			}
+			rv, rerr := r.udf.call(mode, args)
+			if rerr == nil {
+				return rv, nil, true
+			}
+			// The resolver itself failed: surface its error (a general
+			// path failure will retry everything on the fallback path).
+			return nil, rerr, false
+		}
+	}
+	return nil, err, false
+}
+
+// cloneBoxedProgram builds an independent copy of the boxed op list with
+// fresh interpreter instances, so the general-case path can run in
+// parallel across executors (§4.3's batched slow path; only the
+// interpreter fallback serializes, modeling the GIL).
+func (cs *compiledStage) cloneBoxedProgram() []*boxedOp {
+	out := make([]*boxedOp, len(cs.boxed))
+	cloneUDF := func(u *boxedUDF) *boxedUDF {
+		if u == nil {
+			return nil
+		}
+		nu, err := cs.eng.compileBoxedUDF(u.spec)
+		if err != nil {
+			return u
+		}
+		return nu
+	}
+	for i, op := range cs.boxed {
+		cp := *op
+		cp.udf = cloneUDF(op.udf)
+		if op.handlers != nil {
+			h := &opHandlers{ignores: op.handlers.ignores}
+			for _, r := range op.handlers.resolvers {
+				h.resolvers = append(h.resolvers, resolverSpec{exc: r.exc, udf: cloneUDF(r.udf)})
+			}
+			cp.handlers = h
+		}
+		out[i] = &cp
+	}
+	return out
+}
+
+// runBoxedRow pushes one boxed row through the given boxed program and
+// returns the output rows (possibly several after joins, or none after
+// filters/inner-join misses). resolved reports whether a user resolver
+// fired.
+func (cs *compiledStage) runBoxedRow(prog []*boxedOp, mode pathMode, vals []pyvalue.Value) (out [][]pyvalue.Value, resolved bool, err error) {
+	cur := [][]pyvalue.Value{vals}
+	for _, op := range prog {
+		if len(cur) == 0 {
+			return nil, resolved, errDropped
+		}
+		var next [][]pyvalue.Value
+		for _, row := range cur {
+			produced, res, err := op.apply(mode, row)
+			if err != nil {
+				if errors.Is(err, errDropped) {
+					continue
+				}
+				return nil, resolved, err
+			}
+			resolved = resolved || res
+			next = append(next, produced...)
+		}
+		cur = next
+	}
+	if len(cur) == 0 {
+		return nil, resolved, errDropped
+	}
+	return cur, resolved, nil
+}
+
+// udfArg builds the boxed argument for a whole-row or scalar UDF.
+func (op *boxedOp) udfArg(row []pyvalue.Value) pyvalue.Value {
+	if op.scalar {
+		idx := op.colIdx
+		if op.kind != bOpMapColumn {
+			idx = 0
+		}
+		if idx >= len(row) {
+			return pyvalue.None{}
+		}
+		return row[idx]
+	}
+	if op.udf != nil && op.udf.dictParam {
+		names := op.inSchema.Names()
+		d := pyvalue.NewDict()
+		// Build only the columns the UDF reads (the access analysis is
+		// sound: whole-row escapes force the full dict) — the general
+		// path's analog of the planner's projection pushdown.
+		access := op.udf.spec.Access
+		if !access.WholeRow && len(access.ByName) > 0 {
+			if op.accessCols == nil {
+				op.accessCols = make([]int, len(access.ByName))
+				for j, name := range access.ByName {
+					op.accessCols[j] = -1
+					for i, n := range names {
+						if n == name {
+							op.accessCols[j] = i
+							break
+						}
+					}
+				}
+			}
+			for j, idx := range op.accessCols {
+				if idx >= 0 && idx < len(row) {
+					d.Set(access.ByName[j], row[idx])
+				}
+			}
+			return d
+		}
+		for i, v := range row {
+			if i < len(names) {
+				d.Set(names[i], v)
+			}
+		}
+		return d
+	}
+	return &pyvalue.Tuple{Items: row}
+}
+
+// apply runs one boxed operator on one row.
+func (op *boxedOp) apply(mode pathMode, row []pyvalue.Value) ([][]pyvalue.Value, bool, error) {
+	switch op.kind {
+	case bOpNoop:
+		return [][]pyvalue.Value{row}, false, nil
+	case bOpMap:
+		arg := op.udfArg(row)
+		v, err, res := applyHandlers(op.handlers, mode, func() (pyvalue.Value, error) {
+			return op.udf.call(mode, []pyvalue.Value{arg})
+		}, []pyvalue.Value{arg})
+		if err != nil {
+			return nil, res, err
+		}
+		out, err := mapResultRow(v, op.outSchema)
+		if err != nil {
+			return nil, res, err
+		}
+		return [][]pyvalue.Value{out}, res, nil
+	case bOpFilter:
+		arg := op.udfArg(row)
+		v, err, res := applyHandlers(op.handlers, mode, func() (pyvalue.Value, error) {
+			return op.udf.call(mode, []pyvalue.Value{arg})
+		}, []pyvalue.Value{arg})
+		if err != nil {
+			return nil, res, err
+		}
+		if !pyvalue.Truth(v) {
+			return nil, res, errDropped
+		}
+		return [][]pyvalue.Value{row}, res, nil
+	case bOpWithColumn:
+		arg := op.udfArg(row)
+		v, err, res := applyHandlers(op.handlers, mode, func() (pyvalue.Value, error) {
+			return op.udf.call(mode, []pyvalue.Value{arg})
+		}, []pyvalue.Value{arg})
+		if err != nil {
+			return nil, res, err
+		}
+		out := append(append([]pyvalue.Value{}, row...), nil)
+		if op.colIdx >= 0 && op.colIdx < len(row) {
+			out = out[:len(row)]
+			out[op.colIdx] = v
+		} else {
+			out[len(row)] = v
+		}
+		return [][]pyvalue.Value{out}, res, nil
+	case bOpMapColumn:
+		if op.colIdx >= len(row) {
+			return nil, false, pyvalue.Raise(pyvalue.ExcIndexError, "row too short for column %q", op.col)
+		}
+		arg := row[op.colIdx]
+		v, err, res := applyHandlers(op.handlers, mode, func() (pyvalue.Value, error) {
+			return op.udf.call(mode, []pyvalue.Value{arg})
+		}, []pyvalue.Value{arg})
+		if err != nil {
+			return nil, res, err
+		}
+		out := append([]pyvalue.Value{}, row...)
+		out[op.colIdx] = v
+		return [][]pyvalue.Value{out}, res, nil
+	case bOpSelect:
+		out := make([]pyvalue.Value, len(op.sel))
+		for i, idx := range op.sel {
+			if idx >= len(row) {
+				return nil, false, pyvalue.Raise(pyvalue.ExcIndexError, "row too short for select")
+			}
+			out[i] = row[idx]
+		}
+		return [][]pyvalue.Value{out}, false, nil
+	case bOpJoin:
+		return op.applyJoin(row)
+	default:
+		return nil, false, fmt.Errorf("core: unknown boxed op %d", op.kind)
+	}
+}
+
+// applyJoin probes both the normal and general build maps (§4.5's
+// pairwise NC/EC coverage for exception-side probe rows).
+func (op *boxedOp) applyJoin(row []pyvalue.Value) ([][]pyvalue.Value, bool, error) {
+	if op.keyIdx >= len(row) {
+		return nil, false, pyvalue.Raise(pyvalue.ExcKeyError, "row too short for join key")
+	}
+	bt := op.join
+	var out [][]pyvalue.Value
+	if k, ok := joinKeyBoxed(row[op.keyIdx]); ok {
+		for _, m := range bt.normal[k] {
+			joined := append(append([]pyvalue.Value{}, row...), rows.RowToValues(m)...)
+			out = append(out, joined)
+		}
+		for _, m := range bt.general[k] {
+			joined := append(append([]pyvalue.Value{}, row...), m...)
+			out = append(out, joined)
+		}
+	}
+	if len(out) == 0 {
+		if !op.leftOuter {
+			return nil, false, errDropped
+		}
+		joined := append([]pyvalue.Value{}, row...)
+		for range bt.addedCols {
+			joined = append(joined, pyvalue.None{})
+		}
+		out = append(out, joined)
+	}
+	return out, false, nil
+}
+
+// mapResultRow converts a map UDF's boxed result into a positional row
+// per the output schema.
+func mapResultRow(v pyvalue.Value, outSchema *types.Schema) ([]pyvalue.Value, error) {
+	switch v := v.(type) {
+	case *pyvalue.Dict:
+		out := make([]pyvalue.Value, outSchema.Len())
+		for i, name := range outSchema.Names() {
+			val, ok := v.Get(name)
+			if !ok {
+				return nil, pyvalue.Raise(pyvalue.ExcKeyError, "map result missing column %q", name)
+			}
+			out[i] = val
+		}
+		return out, nil
+	case *pyvalue.Tuple:
+		if v == nil || len(v.Items) != outSchema.Len() {
+			return nil, pyvalue.Raise(pyvalue.ExcValueError, "map result arity mismatch")
+		}
+		return v.Items, nil
+	default:
+		if outSchema.Len() != 1 {
+			return nil, pyvalue.Raise(pyvalue.ExcValueError, "map result arity mismatch")
+		}
+		return []pyvalue.Value{v}, nil
+	}
+}
+
+// resolveExceptions drains the stage's exception pool through the
+// general path, the fallback path and user resolvers (§4.3, Figure 2),
+// updating the materialization in place. It runs serially — exception
+// rows are rare by construction, and the fallback path models the
+// prototype's GIL.
+func (eng *engine) resolveExceptions(cs *compiledStage, out *mat) error {
+	pool := out.exceptional
+	out.exceptional = nil
+	// Input-materialization exceptions from the previous stage also run
+	// through this stage's boxed program.
+	if cs.boxedInput != nil && cs.records == nil && cs.inputRows == nil {
+		pool = append(pool, cs.boxedInput.exceptional...)
+	}
+	// Unique terminal: merge task sets before deduplicating exceptions
+	// against them.
+	var uniqSeen map[string]bool
+	if cs.terminal == physical.TerminalUnique {
+		uniqSeen = eng.mergeUnique(cs, out)
+	}
+	c := &eng.res.Metrics.Counters
+	joinScale := uint64(1)
+	for _, op := range cs.boxed {
+		if op.kind == bOpJoin {
+			joinScale *= 256
+		}
+	}
+	var boxedAgg pyvalue.Value
+	boxedAggRows := 0
+
+	// Generalize raw rows once.
+	genVals := func(ex *exRow) []pyvalue.Value {
+		if ex.vals != nil {
+			return ex.vals
+		}
+		if cs.isText {
+			return []pyvalue.Value{pyvalue.Str(string(ex.raw))}
+		}
+		// Parse generally, then project to the stage's input columns so
+		// positions line up with the (possibly pushdown-narrowed)
+		// schema. Cells missing from short rows become None — the
+		// interpreter view of dirty data.
+		full := csvio.GeneralParse(ex.raw, cs.parse.Delim, cs.nullValues)
+		vals := make([]pyvalue.Value, len(cs.parse.Fields))
+		for i, f := range cs.parse.Fields {
+			if f.Col < len(full) {
+				vals[i] = full[f.Col]
+			} else {
+				vals[i] = pyvalue.None{}
+			}
+		}
+		return vals
+	}
+
+	// Phase 1 — the compiled general path, fanned across executors for
+	// large pools.
+	type exOutcome struct {
+		vals     []pyvalue.Value
+		outRows  [][]pyvalue.Value
+		resolved bool
+		err      error
+		mode     pathMode
+	}
+	outcomes := make([]exOutcome, len(pool))
+	workers := eng.opts.Executors
+	if workers > 1 && len(pool) >= 64 {
+		var wg sync.WaitGroup
+		chunk := (len(pool) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(pool) {
+				hi = len(pool)
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				prog := cs.cloneBoxedProgram()
+				for i := lo; i < hi; i++ {
+					vals := genVals(&pool[i])
+					outRows, resolved, err := cs.runBoxedRow(prog, pathGeneral, vals)
+					outcomes[i] = exOutcome{vals: vals, outRows: outRows, resolved: resolved, err: err, mode: pathGeneral}
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		for i := range pool {
+			vals := genVals(&pool[i])
+			outRows, resolved, err := cs.runBoxedRow(cs.boxed, pathGeneral, vals)
+			outcomes[i] = exOutcome{vals: vals, outRows: outRows, resolved: resolved, err: err, mode: pathGeneral}
+		}
+	}
+
+	// Phase 2 — retries on the interpreter fallback run serially (the
+	// GIL analog), then terminal application in input order.
+	for i := range pool {
+		ex := pool[i]
+		oc := &outcomes[i]
+		vals := oc.vals
+		mode := oc.mode
+		outRows, resolved, err := oc.outRows, oc.resolved, oc.err
+		if err != nil && !errors.Is(err, errDropped) {
+			mode = pathFallback
+			outRows, resolved, err = cs.runBoxedRow(cs.boxed, mode, vals)
+		}
+		if errors.Is(err, errDropped) {
+			c.IgnoredRows.Add(1)
+			continue
+		}
+		if err != nil {
+			c.FailedRows.Add(1)
+			eng.res.Failed = append(eng.res.Failed, FailedRow{
+				Exc:   pyvalue.KindOf(err),
+				Msg:   err.Error(),
+				Input: renderInput(ex, vals),
+			})
+			continue
+		}
+		switch {
+		case resolved:
+			c.ResolverResolved.Add(1)
+		case mode == pathGeneral:
+			c.GeneralResolved.Add(1)
+		default:
+			c.FallbackResolved.Add(1)
+		}
+		// Terminal application.
+		switch cs.terminal {
+		case physical.TerminalAggregate:
+			for _, r := range outRows {
+				acc := boxedAgg
+				if boxedAggRows == 0 {
+					acc = cs.aggInit
+				}
+				arg := aggRowArg(cs, r)
+				v, aerr := cs.aggUDF.boxed.call(pathFallback, []pyvalue.Value{acc, arg})
+				if aerr != nil {
+					c.FailedRows.Add(1)
+					eng.res.Failed = append(eng.res.Failed, FailedRow{
+						Exc: pyvalue.KindOf(aerr), Msg: aerr.Error(), Input: renderInput(ex, vals)})
+					continue
+				}
+				boxedAgg = v
+				boxedAggRows++
+			}
+		case physical.TerminalUnique:
+			for _, r := range outRows {
+				k := uniqueKeyBoxed(r)
+				if !uniqSeen[k] {
+					uniqSeen[k] = true
+					out.exceptional = append(out.exceptional, exRow{part: ex.part, key: ex.key * joinScale, vals: r})
+				}
+			}
+		default:
+			for i, r := range outRows {
+				sub := uint64(i)
+				if sub > joinScale-1 {
+					sub = joinScale - 1
+				}
+				out.exceptional = append(out.exceptional, exRow{part: ex.part, key: ex.key*joinScale + sub, vals: r})
+			}
+		}
+	}
+
+	// Finalize aggregates: combine task partials plus the boxed partial.
+	if cs.terminal == physical.TerminalAggregate {
+		v, err := eng.combinePartials(cs, boxedAgg, boxedAggRows)
+		if err != nil {
+			return err
+		}
+		out.aggValue = v
+		out.isAgg = true
+		out.parts = [][]rows.Row{nil}
+		out.keys = [][]uint64{nil}
+	}
+	return nil
+}
+
+// aggRowArg builds the row argument for the boxed aggregate UDF.
+func aggRowArg(cs *compiledStage, r []pyvalue.Value) pyvalue.Value {
+	if cs.outSchema.Len() == 1 && len(cs.aggUDF.spec.Access.ByName) == 0 {
+		return r[0]
+	}
+	if cs.aggUDF.boxed.dictParam {
+		d := pyvalue.NewDict()
+		for i, name := range cs.outSchema.Names() {
+			if i < len(r) {
+				d.Set(name, r[i])
+			}
+		}
+		return d
+	}
+	return &pyvalue.Tuple{Items: r}
+}
+
+// combinePartials folds per-task accumulators (and the boxed exception
+// partial) with the combiner UDF (§4.6 "merging of partial aggregates").
+func (eng *engine) combinePartials(cs *compiledStage, boxedAgg pyvalue.Value, boxedRows int) (pyvalue.Value, error) {
+	var partials []pyvalue.Value
+	for _, ts := range cs.tasks {
+		if ts != nil && ts.hasAgg {
+			partials = append(partials, ts.aggSlot.Value())
+		}
+	}
+	if boxedRows > 0 {
+		partials = append(partials, boxedAgg)
+	}
+	if len(partials) == 0 {
+		return cs.aggInit, nil
+	}
+	acc := partials[0]
+	for _, p := range partials[1:] {
+		if cs.combUDF == nil {
+			return nil, fmt.Errorf("core: aggregate over multiple partitions requires a combiner UDF")
+		}
+		v, err := cs.combUDF.call(pathFallback, []pyvalue.Value{acc, p})
+		if err != nil {
+			return nil, fmt.Errorf("core: combiner failed: %w", err)
+		}
+		acc = v
+	}
+	return acc, nil
+}
+
+// mergeUnique folds per-task unique sets into the output mat and returns
+// the seen-key set for exception deduplication.
+func (eng *engine) mergeUnique(cs *compiledStage, out *mat) map[string]bool {
+	type entry struct {
+		row rows.Row
+		key uint64
+	}
+	merged := map[string]entry{}
+	for _, ts := range cs.tasks {
+		if ts == nil {
+			continue
+		}
+		for k, r := range ts.uniq {
+			key := ts.uniqKeys[k]
+			if e, ok := merged[k]; !ok || key < e.key {
+				merged[k] = entry{row: r, key: key}
+			}
+		}
+	}
+	entries := make([]entry, 0, len(merged))
+	seen := make(map[string]bool, len(merged))
+	for k, e := range merged {
+		entries = append(entries, e)
+		seen[k] = true
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+	rowsOut := make([]rows.Row, len(entries))
+	keysOut := make([]uint64, len(entries))
+	for i, e := range entries {
+		rowsOut[i] = e.row
+		keysOut[i] = e.key
+	}
+	out.parts = [][]rows.Row{rowsOut}
+	out.keys = [][]uint64{keysOut}
+	return seen
+}
+
+func renderInput(ex exRow, vals []pyvalue.Value) string {
+	if ex.raw != nil {
+		return string(ex.raw)
+	}
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = pyvalue.Repr(v)
+	}
+	return "(" + joinStrings(parts, ", ") + ")"
+}
+
+func joinStrings(parts []string, sep string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += sep
+		}
+		out += p
+	}
+	return out
+}

@@ -1,0 +1,417 @@
+// Package core is Tuplex's execution engine: it samples inputs, compiles
+// each stage's three code paths (normal / general / fallback), runs
+// partitions across a pool of executor threads, collects exception rows
+// post-facto, resolves them through the slower paths and user resolvers,
+// and merges results in input order (§4.3–§4.6).
+//
+// The three paths and their engines:
+//
+//   - normal case:   internal/codegen — unboxed slot closures, return-code
+//     exceptions ("LLVM fast path");
+//   - general case:  internal/interp.Compiled — closure-compiled over
+//     boxed values with the most general (Option) column types;
+//   - fallback:      internal/interp tree-walking — the "Python
+//     interpreter", always able to run any supported UDF.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/gotuplex/tuplex/internal/codegen"
+	"github.com/gotuplex/tuplex/internal/logical"
+	"github.com/gotuplex/tuplex/internal/metrics"
+	"github.com/gotuplex/tuplex/internal/physical"
+	"github.com/gotuplex/tuplex/internal/pyvalue"
+	"github.com/gotuplex/tuplex/internal/rows"
+	"github.com/gotuplex/tuplex/internal/sample"
+	"github.com/gotuplex/tuplex/internal/types"
+)
+
+// Options configures one execution.
+type Options struct {
+	// Executors is the worker-thread count (the paper's per-server
+	// executor threads).
+	Executors int
+	// PartitionRows caps rows per partition task.
+	PartitionRows int
+	// Sample configures normal-case detection.
+	Sample sample.Config
+	// Logical toggles the planner rewrites.
+	Logical logical.Options
+	// Fusion keeps stages maximal (§6.3.2 ablation when false).
+	Fusion bool
+	// Codegen configures fast-path generation.
+	Codegen codegen.Options
+	// Seed seeds per-task PRNGs (random.choice reproducibility).
+	Seed uint64
+}
+
+// DefaultOptions returns the fully-optimized single-threaded setup.
+func DefaultOptions() Options {
+	return Options{
+		Executors:     1,
+		PartitionRows: 1 << 16,
+		Logical:       logical.AllOptimizations(),
+		Fusion:        true,
+		Codegen:       codegen.DefaultOptions(),
+		Seed:          0x745,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Executors <= 0 {
+		o.Executors = 1
+	}
+	if o.PartitionRows <= 0 {
+		o.PartitionRows = 1 << 16
+	}
+	return o
+}
+
+// SinkKind selects the pipeline output form.
+type SinkKind uint8
+
+const (
+	// SinkCollect returns boxed rows in the Result.
+	SinkCollect SinkKind = iota
+	// SinkCSV renders CSV bytes (and optionally writes them to a path).
+	SinkCSV
+)
+
+// FailedRow describes an input row no path could process (§3: reported
+// to the user, never crashing the pipeline).
+type FailedRow struct {
+	Exc   pyvalue.ExcKind
+	Msg   string
+	Input string
+}
+
+// Result is the outcome of one pipeline execution.
+type Result struct {
+	Schema  *types.Schema
+	Rows    [][]pyvalue.Value
+	CSV     []byte
+	Failed  []FailedRow
+	Metrics *metrics.Metrics
+	// Warnings carries advisory messages (e.g. the §7 all-exceptions
+	// sample warning).
+	Warnings []string
+}
+
+// Execute runs the plan rooted at sink.
+func Execute(sinkNode *logical.Node, kind SinkKind, csvPath string, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	res := &Result{Metrics: &metrics.Metrics{}}
+	t0 := time.Now()
+
+	tOpt := time.Now()
+	plan := sinkNode
+	var err error
+	if opts.Logical != (logical.Options{}) {
+		plan, err = logical.Optimize(sinkNode, opts.Logical)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Metrics.Timings.Optimize = time.Since(tOpt)
+
+	eng := &engine{opts: opts, res: res, sink: kind}
+	out, err := eng.runChain(plan)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.finish(out, kind, csvPath, res); err != nil {
+		return nil, err
+	}
+	res.Metrics.Timings.Total = time.Since(t0)
+	return res, nil
+}
+
+// engine carries run-wide state.
+type engine struct {
+	opts Options
+	res  *Result
+	// sink is the requested output form; the final stage's terminal
+	// renders CSV directly when it is SinkCSV.
+	sink SinkKind
+}
+
+// exRow is one pooled exception row awaiting slow-path processing.
+type exRow struct {
+	part int
+	key  uint64
+	// vals is the boxed stage-input row (nil when raw is the source
+	// record still to be parsed generally).
+	vals []pyvalue.Value
+	raw  []byte
+	ec   pyvalue.ExcKind
+}
+
+// mat is a materialized row set between stages.
+type mat struct {
+	schema *types.Schema
+	// parts/keys are the normal-case rows per partition (keys parallel).
+	parts [][]rows.Row
+	keys  [][]uint64
+	// exceptional rows carry boxed data outside the normal case.
+	exceptional []exRow
+	// csvParts/csvEnds hold per-partition rendered CSV (streaming sink):
+	// csvEnds[i] records the byte offset after each row in csvParts[i].
+	csvParts [][]byte
+	csvEnds  [][]int
+	isCSV    bool
+	// delimiter/nullValues propagate source config for exception parsing.
+	nullValues []string
+	// aggregate terminal result (when the producing stage aggregated).
+	aggValue pyvalue.Value
+	isAgg    bool
+}
+
+// runChain executes the full chain of stages for one plan and returns
+// the final materialization.
+func (eng *engine) runChain(sinkNode *logical.Node) (*mat, error) {
+	pplan, err := physical.Split(sinkNode, physical.Options{Fusion: eng.opts.Fusion})
+	if err != nil {
+		return nil, err
+	}
+	eng.res.Metrics.Stages += pplan.NumStages()
+	var cur *mat
+	for si := range pplan.Stages {
+		st := &pplan.Stages[si]
+		cur, err = eng.runStage(st, cur)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+// runStage compiles and executes one stage over its input.
+func (eng *engine) runStage(st *physical.Stage, input *mat) (*mat, error) {
+	tCompile := time.Now()
+	cs, err := eng.compileStage(st, input)
+	if err != nil {
+		return nil, err
+	}
+	eng.res.Metrics.Timings.Compile += time.Since(tCompile) - cs.sampleTime
+	eng.res.Metrics.Timings.Sample += cs.sampleTime
+
+	tExec := time.Now()
+	out, err := eng.executeStage(cs)
+	if err != nil {
+		return nil, err
+	}
+	eng.res.Metrics.Timings.Execute += time.Since(tExec)
+
+	// Post-facto exception resolution (§4.3): general path, then
+	// fallback, then user resolvers along the way.
+	tRes := time.Now()
+	if err := eng.resolveExceptions(cs, out); err != nil {
+		return nil, err
+	}
+	eng.res.Metrics.Timings.Resolve += time.Since(tRes)
+	return out, nil
+}
+
+// executeStage drives the partitions through the compiled normal path.
+func (eng *engine) executeStage(cs *compiledStage) (*mat, error) {
+	nparts := cs.numPartitions()
+	out := &mat{
+		schema:     cs.outSchema,
+		parts:      make([][]rows.Row, nparts),
+		keys:       make([][]uint64, nparts),
+		nullValues: cs.nullValues,
+		isCSV:      cs.sinkCSV,
+	}
+	if cs.sinkCSV {
+		out.csvParts = make([][]byte, nparts)
+		out.csvEnds = make([][]int, nparts)
+	}
+	workers := eng.opts.Executors
+	if workers > nparts {
+		workers = nparts
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	tasks := make([]*task, nparts)
+	var wg sync.WaitGroup
+	partCh := make(chan int, nparts)
+	for p := range nparts {
+		partCh <- p
+	}
+	close(partCh)
+	errs := make([]error, workers)
+	for w := range workers {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for p := range partCh {
+				ts := cs.newTask(eng, p)
+				tasks[p] = ts
+				if err := cs.runPartition(ts, p); err != nil {
+					errs[w] = err
+					return
+				}
+				out.parts[p] = ts.outRows
+				out.keys[p] = ts.outKeys
+				if ts.csvW != nil {
+					out.csvParts[p] = ts.csvW.Bytes()
+					out.csvEnds[p] = ts.lineEnds
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Gather exception pools and terminal state.
+	for _, ts := range tasks {
+		if ts == nil {
+			continue
+		}
+		out.exceptional = append(out.exceptional, ts.pool...)
+	}
+	cs.tasks = tasks
+	if cs.terminal == physical.TerminalAggregate {
+		out.isAgg = true
+	}
+	return out, nil
+}
+
+// finish converts the final materialization into the requested sink
+// form.
+func (eng *engine) finish(out *mat, kind SinkKind, csvPath string, res *Result) error {
+	res.Schema = out.schema
+	if out.isAgg {
+		// Aggregate results: one row holding the accumulator.
+		res.Rows = [][]pyvalue.Value{{out.aggValue}}
+		if kind == SinkCSV {
+			return fmt.Errorf("core: tocsv on an aggregate result is not supported; use collect")
+		}
+		return nil
+	}
+	switch kind {
+	case SinkCollect:
+		merged := eng.mergeOrdered(out)
+		eng.res.Metrics.Counters.OutputRows.Add(int64(len(merged)))
+		res.Rows = merged
+		return nil
+	case SinkCSV:
+		// Rows were rendered inside the partition tasks; stitch buffers,
+		// splicing exception-path rows into position where needed.
+		w := newCSVWriterFor(out.schema)
+		exByPart := map[int][]exRow{}
+		for _, ex := range out.exceptional {
+			exByPart[ex.part] = append(exByPart[ex.part], ex)
+		}
+		n := int64(0)
+		for p := range out.csvParts {
+			buf, ends := out.csvParts[p], out.csvEnds[p]
+			keysP := out.keys[p]
+			exs := exByPart[p]
+			if len(exs) == 0 {
+				w.WriteRaw(buf)
+				n += int64(len(ends))
+				continue
+			}
+			sortExRows(exs)
+			i, j := 0, 0
+			for i < len(ends) || j < len(exs) {
+				if j >= len(exs) || (i < len(ends) && keysP[i] <= exs[j].key) {
+					start := 0
+					if i > 0 {
+						start = ends[i-1]
+					}
+					w.WriteRaw(buf[start:ends[i]])
+					i++
+				} else {
+					w.WriteValues(exs[j].vals)
+					j++
+				}
+				n++
+			}
+		}
+		eng.res.Metrics.Counters.OutputRows.Add(n)
+		res.CSV = w.Bytes()
+		if csvPath != "" {
+			return w.WriteFile(csvPath)
+		}
+		return nil
+	default:
+		return fmt.Errorf("core: unknown sink kind %d", kind)
+	}
+}
+
+// mergeOrdered merges normal and exception-resolved rows back into input
+// order (§4.3 "Merge Rows") and boxes them.
+func (eng *engine) mergeOrdered(out *mat) [][]pyvalue.Value {
+	// Group resolved exceptional rows per partition.
+	exByPart := map[int][]exRow{}
+	for _, ex := range out.exceptional {
+		exByPart[ex.part] = append(exByPart[ex.part], ex)
+	}
+	var merged [][]pyvalue.Value
+	for p := range out.parts {
+		exs := exByPart[p]
+		sortExRows(exs)
+		rowsP, keysP := out.parts[p], out.keys[p]
+		i, j := 0, 0
+		for i < len(rowsP) || j < len(exs) {
+			if j >= len(exs) || (i < len(rowsP) && keysP[i] <= exs[j].key) {
+				merged = append(merged, rows.RowToValues(rowsP[i]))
+				i++
+			} else {
+				merged = append(merged, exs[j].vals)
+				j++
+			}
+		}
+	}
+	return merged
+}
+
+func sortExRows(exs []exRow) {
+	// Insertion sort: exception lists are short by design.
+	for i := 1; i < len(exs); i++ {
+		for j := i; j > 0 && exs[j].key < exs[j-1].key; j-- {
+			exs[j], exs[j-1] = exs[j-1], exs[j]
+		}
+	}
+}
+
+func typeOfBoxed(v pyvalue.Value) types.Type {
+	switch v := v.(type) {
+	case pyvalue.None:
+		return types.Null
+	case pyvalue.Bool:
+		return types.Bool
+	case pyvalue.Int:
+		return types.I64
+	case pyvalue.Float:
+		return types.F64
+	case pyvalue.Str:
+		return types.Str
+	case *pyvalue.List:
+		var u types.Type
+		for _, it := range v.Items {
+			u = types.Unify(u, typeOfBoxed(it))
+		}
+		if !u.IsValid() {
+			u = types.Any
+		}
+		return types.List(u)
+	case *pyvalue.Tuple:
+		elts := make([]types.Type, len(v.Items))
+		for i, it := range v.Items {
+			elts[i] = typeOfBoxed(it)
+		}
+		return types.Tuple(elts...)
+	default:
+		return types.Any
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/gotuplex/tuplex/internal/logical"
+	"github.com/gotuplex/tuplex/internal/pyvalue"
+	"github.com/gotuplex/tuplex/internal/rows"
+	"github.com/gotuplex/tuplex/internal/types"
+)
+
+// buildTable is a materialized hash-join build side (§4.5): the build
+// plan's normal-case rows keyed for probing, plus a separate map of
+// exception-path rows. A probe key that hits the exception map sends the
+// probe row to the exception path so all four NC/EC join pairs are
+// covered without slowing the fast path.
+type buildTable struct {
+	schema   *types.Schema // build-side columns in output order (key excluded)
+	keyName  string
+	normal   map[string][]rows.Row
+	general  map[string][][]pyvalue.Value
+	genCount int
+	// addedCols is the number of columns the build side contributes.
+	addedCols int
+}
+
+// buildJoinTable executes the build-side plan and hashes it. Per §4.5,
+// Tuplex "executes all code paths for the build side of the join and
+// resolves its exception rows before executing any code path of the
+// other side".
+func (eng *engine) buildJoinTable(op *logical.JoinOp) (*buildTable, error) {
+	buildMat, err := eng.runChain(op.Build)
+	if err != nil {
+		return nil, err
+	}
+	if buildMat.isAgg {
+		return nil, fmt.Errorf("core: cannot join against an aggregate result")
+	}
+	sch := buildMat.schema
+	keyIdx, ok := sch.Lookup(op.RightKey)
+	if !ok {
+		return nil, fmt.Errorf("core: join: build side has no column %q (have %v)", op.RightKey, sch.Names())
+	}
+	// Output columns: build side minus the key, prefixed.
+	var outCols []types.Column
+	var colMap []int
+	for i := 0; i < sch.Len(); i++ {
+		if i == keyIdx {
+			continue
+		}
+		c := sch.Col(i)
+		t := c.Type
+		if op.Left {
+			// Unmatched probe rows pad with None, so every contributed
+			// column is optional in the output schema.
+			t = types.Option(t)
+		}
+		outCols = append(outCols, types.Column{Name: op.RightPrefix + c.Name, Type: t})
+		colMap = append(colMap, i)
+	}
+	bt := &buildTable{
+		schema:    types.NewSchema(outCols),
+		keyName:   op.RightKey,
+		normal:    make(map[string][]rows.Row),
+		general:   make(map[string][][]pyvalue.Value),
+		addedCols: len(outCols),
+	}
+	for p := range buildMat.parts {
+		for _, r := range buildMat.parts[p] {
+			k, ok := joinKeySlot(r[keyIdx])
+			if !ok {
+				continue // null keys never match
+			}
+			proj := make(rows.Row, len(colMap))
+			for j, i := range colMap {
+				proj[j] = r[i]
+			}
+			bt.normal[k] = append(bt.normal[k], proj)
+		}
+	}
+	for _, ex := range buildMat.exceptional {
+		if len(ex.vals) != sch.Len() {
+			continue
+		}
+		k, ok := joinKeyBoxed(ex.vals[keyIdx])
+		if !ok {
+			continue
+		}
+		// Conforming rows can join on the fast path; the rest stay boxed.
+		if slots, okc := unboxConforming(ex.vals, sch, make([]rows.Slot, sch.Len())); okc {
+			proj := make(rows.Row, len(colMap))
+			for j, i := range colMap {
+				proj[j] = slots[i]
+			}
+			bt.normal[k] = append(bt.normal[k], proj)
+			continue
+		}
+		proj := make([]pyvalue.Value, len(colMap))
+		for j, i := range colMap {
+			proj[j] = ex.vals[i]
+		}
+		bt.general[k] = append(bt.general[k], proj)
+		bt.genCount++
+	}
+	return bt, nil
+}
+
+// joinOutputSchema is the probe-side schema after the join.
+func joinOutputSchema(probe *types.Schema, op *logical.JoinOp, bt *buildTable) *types.Schema {
+	cols := make([]types.Column, 0, probe.Len()+bt.schema.Len())
+	for i := 0; i < probe.Len(); i++ {
+		c := probe.Col(i)
+		cols = append(cols, types.Column{Name: op.LeftPrefix + c.Name, Type: c.Type})
+	}
+	cols = append(cols, bt.schema.Columns()...)
+	return types.NewSchema(cols)
+}
+
+// joinKeySlot normalizes a slot into a hash key. Numerics normalize so
+// 1, 1.0 and True join (Python equality); None yields no key.
+func joinKeySlot(s rows.Slot) (string, bool) {
+	switch s.Tag {
+	case types.KindStr:
+		return "s:" + s.S, true
+	case types.KindI64:
+		return "i:" + strconv.FormatInt(s.I, 10), true
+	case types.KindBool:
+		if s.B {
+			return "i:1", true
+		}
+		return "i:0", true
+	case types.KindF64:
+		if s.F == float64(int64(s.F)) {
+			return "i:" + strconv.FormatInt(int64(s.F), 10), true
+		}
+		return "f:" + strconv.FormatFloat(s.F, 'g', -1, 64), true
+	case types.KindNull:
+		return "", false
+	default:
+		return "", false
+	}
+}
+
+// joinKeyBoxed normalizes a boxed value identically to joinKeySlot.
+func joinKeyBoxed(v pyvalue.Value) (string, bool) {
+	return joinKeySlot(rows.FromValue(v))
+}

@@ -1,0 +1,806 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/gotuplex/tuplex/internal/codegen"
+	"github.com/gotuplex/tuplex/internal/csvio"
+	"github.com/gotuplex/tuplex/internal/inference"
+	"github.com/gotuplex/tuplex/internal/logical"
+	"github.com/gotuplex/tuplex/internal/physical"
+	"github.com/gotuplex/tuplex/internal/pyre"
+	"github.com/gotuplex/tuplex/internal/pyvalue"
+	"github.com/gotuplex/tuplex/internal/rows"
+	"github.com/gotuplex/tuplex/internal/sample"
+	"github.com/gotuplex/tuplex/internal/types"
+)
+
+// ECode aliases the return-code exception representation.
+type ECode = codegen.ECode
+
+// nstep is one compiled normal-path step (push model: each step calls
+// the next; a nonzero return code aborts the row, which the driver then
+// pools).
+type nstep func(ts *task, key uint64, row rows.Row) ECode
+
+// opHandlers are the resolvers/ignores attached to one UDF operator.
+type opHandlers struct {
+	resolvers []resolverSpec
+	ignores   []pyvalue.ExcKind
+}
+
+type resolverSpec struct {
+	exc pyvalue.ExcKind
+	udf *boxedUDF
+}
+
+// compiledStage is one stage ready to run.
+type compiledStage struct {
+	eng      *engine
+	terminal physical.TerminalKind
+	termOp   logical.Op
+
+	// Source-side state.
+	records    [][]byte // raw records for CSV/text sources
+	parse      *csvio.ParseSpec
+	isText     bool
+	nFields    int               // projected parser field count (source stages)
+	boxedInput *mat              // input materialization for non-source stages
+	inputRows  [][]pyvalue.Value // parallelize source
+	partRanges [][2]int
+
+	inSchema   *types.Schema
+	outSchema  *types.Schema
+	nullValues []string
+
+	entry   nstep // head of the compiled normal path
+	maxCols int
+	nUDFs   int
+	// sinkCSV marks a final stage that renders CSV inside the tasks.
+	sinkCSV bool
+
+	// Boxed-path program (general & fallback), parallel to stage ops.
+	boxed []*boxedOp
+
+	// aggregate state
+	aggInit     pyvalue.Value
+	aggScalar   bool
+	aggSlotType types.Type
+	aggUDF      *stageUDF
+	combUDF     *boxedUDF
+
+	sampleTime time.Duration
+	tasks      []*task
+}
+
+// stageUDF bundles one operator's three compiled forms.
+type stageUDF struct {
+	spec     *logical.UDFSpec
+	compiled *codegen.UDF // normal path; nil if not fast-path compilable
+	boxed    *boxedUDF
+	// scalarParam reports that the UDF receives the bare column value
+	// (single-column rows / mapColumn).
+	scalarParam bool
+	frameIdx    int
+}
+
+// task is per-partition execution state.
+type task struct {
+	eng  *engine
+	cs   *compiledStage
+	part int
+
+	frames  []*codegen.Frame
+	scratch [][]rows.Slot
+	rowBuf  []rows.Slot
+
+	outRows []rows.Row
+	outKeys []uint64
+	pool    []exRow
+
+	// streaming CSV sink state
+	csvW     *csvio.Writer
+	lineEnds []int
+
+	aggSlot rows.Slot
+	hasAgg  bool
+
+	uniq     map[string]rows.Row
+	uniqKeys map[string]uint64
+}
+
+func (cs *compiledStage) numPartitions() int { return len(cs.partRanges) }
+
+func (cs *compiledStage) newTask(eng *engine, part int) *task {
+	ts := &task{eng: eng, cs: cs, part: part}
+	ts.frames = make([]*codegen.Frame, cs.nUDFs)
+	for i := range ts.frames {
+		ts.frames[i] = codegen.NewFrame(8)
+		ts.frames[i].Rand = pyre.NewPRNG(eng.opts.Seed + uint64(part)*1000003 + uint64(i))
+	}
+	ts.scratch = make([][]rows.Slot, cs.nUDFs+4)
+	ts.rowBuf = make([]rows.Slot, 0, cs.maxCols)
+	if cs.terminal == physical.TerminalUnique {
+		ts.uniq = map[string]rows.Row{}
+		ts.uniqKeys = map[string]uint64{}
+	}
+	if cs.terminal == physical.TerminalAggregate {
+		ts.aggSlot = coerceSlot(rows.FromValue(cs.aggInit), cs.aggSlotType)
+		ts.hasAgg = true
+	}
+	if cs.sinkCSV {
+		ts.csvW = csvio.NewWriter(',')
+	}
+	return ts
+}
+
+// runPartition feeds the partition's rows through the normal path.
+// Counters accumulate locally and flush once per partition — atomics per
+// row would dominate tight loops.
+func (cs *compiledStage) runPartition(ts *task, p int) error {
+	r := cs.partRanges[p]
+	var input, rejects, normalExc, normal int64
+	switch {
+	case cs.records != nil:
+		for i := r[0]; i < r[1]; i++ {
+			rec := cs.records[i]
+			key := uint64(i)
+			input++
+			var row rows.Row
+			var ec ECode
+			if cs.isText {
+				row = ts.rowBuf[:1]
+				row[0] = rows.Str(string(rec))
+			} else {
+				row = ts.rowBuf[:cs.nFields]
+				ec = cs.parse.ParseLine(rec, row)
+			}
+			if ec != 0 {
+				rejects++
+				ts.pool = append(ts.pool, exRow{part: p, key: key, raw: rec, ec: ec})
+				continue
+			}
+			if ec = cs.entry(ts, key, row); ec != 0 {
+				normalExc++
+				ts.pool = append(ts.pool, exRow{part: p, key: key, raw: rec, ec: ec})
+				continue
+			}
+			normal++
+		}
+	case cs.inputRows != nil:
+		for i := r[0]; i < r[1]; i++ {
+			key := uint64(i)
+			input++
+			boxed := cs.inputRows[i]
+			row, ok := unboxConforming(boxed, cs.inSchema, ts.rowBuf)
+			if !ok {
+				rejects++
+				ts.pool = append(ts.pool, exRow{part: p, key: key, vals: boxed, ec: pyvalue.ExcBadParse})
+				continue
+			}
+			if ec := cs.entry(ts, key, row); ec != 0 {
+				normalExc++
+				ts.pool = append(ts.pool, exRow{part: p, key: key, vals: boxed, ec: ec})
+				continue
+			}
+			normal++
+		}
+	default:
+		in := cs.boxedInput
+		rowsP, keysP := in.parts[p], in.keys[p]
+		for i := range rowsP {
+			input++
+			row := append(ts.rowBuf[:0], rowsP[i]...)
+			if ec := cs.entry(ts, keysP[i], row); ec != 0 {
+				normalExc++
+				ts.pool = append(ts.pool, exRow{part: p, key: keysP[i], vals: rows.RowToValues(rowsP[i]), ec: ec})
+				continue
+			}
+			normal++
+		}
+	}
+	c := &ts.eng.res.Metrics.Counters
+	c.InputRows.Add(input)
+	c.ClassifierRejects.Add(rejects)
+	c.NormalPathExceptions.Add(normalExc)
+	c.NormalRows.Add(normal)
+	return nil
+}
+
+// unboxConforming converts a boxed row to slots when it matches the
+// normal schema.
+func unboxConforming(vals []pyvalue.Value, sch *types.Schema, buf []rows.Slot) (rows.Row, bool) {
+	if len(vals) != sch.Len() {
+		return nil, false
+	}
+	row := buf[:len(vals)]
+	for i, v := range vals {
+		s := rows.FromValue(v)
+		if !rows.Matches(s, sch.Col(i).Type) {
+			return nil, false
+		}
+		row[i] = s
+	}
+	return row, true
+}
+
+// compileStage builds the normal and boxed programs for one stage.
+func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage, error) {
+	cs := &compiledStage{eng: eng, terminal: st.Terminal, termOp: st.TerminalOp}
+	cs.sinkCSV = st.Terminal == physical.TerminalSink && eng.sink == SinkCSV
+	if err := eng.prepareSource(cs, st, input); err != nil {
+		return nil, err
+	}
+
+	// Walk ops: compute schemas, compile UDFs, build step compilers.
+	type compiledOp struct {
+		make func(next nstep) nstep
+	}
+	var nops []compiledOp
+	schema := cs.inSchema
+	cs.maxCols = schema.Len()
+	frameIdx := 0
+	var lastHandlers *opHandlers
+
+	for _, op := range st.Ops {
+		switch op := op.(type) {
+		case *logical.MapOp:
+			scalar, paramT := paramStyle(op.UDF, schema)
+			su, err := eng.compileUDF(op.UDF, []types.Type{paramT}, scalar)
+			if err != nil {
+				return nil, err
+			}
+			su.frameIdx = frameIdx
+			frameIdx++
+			outSchema := mapOutputSchema(su)
+			h := &opHandlers{}
+			bop := &boxedOp{kind: bOpMap, udf: su.boxed, handlers: h, inSchema: schema, outSchema: outSchema, scalar: scalar}
+			cs.boxed = append(cs.boxed, bop)
+			lastHandlers = h
+			inIdx := 0 // scalar single-column index
+			nCols := outSchema.Len()
+			scratchIdx := su.frameIdx
+			nops = append(nops, compiledOp{make: func(next nstep) nstep {
+				return func(ts *task, key uint64, row rows.Row) ECode {
+					v, ec := callNormalUDF(ts, su, row, inIdx, scalar)
+					if ec != 0 {
+						return ec
+					}
+					out := ts.opScratch(scratchIdx, cs.maxCols)
+					switch {
+					case len(v.Seq) > 0 && (v.Tag == types.KindDict || v.Tag == types.KindTuple):
+						if len(v.Seq) != nCols {
+							return pyvalue.ExcUnsupported
+						}
+						out = append(out, v.Seq...)
+					case nCols == 1:
+						out = append(out, v)
+					default:
+						return pyvalue.ExcUnsupported
+					}
+					return next(ts, key, out)
+				}
+			}})
+			schema = outSchema
+			if schema.Len() > cs.maxCols {
+				cs.maxCols = schema.Len() + 8
+			}
+
+		case *logical.FilterOp:
+			scalar, paramT := paramStyle(op.UDF, schema)
+			su, err := eng.compileUDF(op.UDF, []types.Type{paramT}, scalar)
+			if err != nil {
+				return nil, err
+			}
+			su.frameIdx = frameIdx
+			frameIdx++
+			h := &opHandlers{}
+			cs.boxed = append(cs.boxed, &boxedOp{kind: bOpFilter, udf: su.boxed, handlers: h, inSchema: schema, scalar: scalar})
+			lastHandlers = h
+			nops = append(nops, compiledOp{make: func(next nstep) nstep {
+				return func(ts *task, key uint64, row rows.Row) ECode {
+					v, ec := callNormalUDF(ts, su, row, 0, scalar)
+					if ec != 0 {
+						return ec
+					}
+					if !v.Truth() {
+						return 0
+					}
+					return next(ts, key, row)
+				}
+			}})
+
+		case *logical.WithColumnOp:
+			scalar, paramT := paramStyle(op.UDF, schema)
+			su, err := eng.compileUDF(op.UDF, []types.Type{paramT}, scalar)
+			if err != nil {
+				return nil, err
+			}
+			su.frameIdx = frameIdx
+			frameIdx++
+			retT := su.returnType()
+			replaceIdx, exists := schema.Lookup(op.Col)
+			if !exists {
+				replaceIdx = -1
+			}
+			h := &opHandlers{}
+			cs.boxed = append(cs.boxed, &boxedOp{kind: bOpWithColumn, udf: su.boxed, handlers: h, inSchema: schema, col: op.Col, colIdx: replaceIdx, scalar: scalar})
+			lastHandlers = h
+			nops = append(nops, compiledOp{make: func(next nstep) nstep {
+				return func(ts *task, key uint64, row rows.Row) ECode {
+					v, ec := callNormalUDF(ts, su, row, 0, scalar)
+					if ec != 0 {
+						return ec
+					}
+					if replaceIdx >= 0 {
+						row[replaceIdx] = v
+					} else {
+						row = append(row, v)
+					}
+					return next(ts, key, row)
+				}
+			}})
+			schema = schema.WithColumn(op.Col, retT)
+			if schema.Len() > cs.maxCols {
+				cs.maxCols = schema.Len() + 8
+			}
+
+		case *logical.MapColumnOp:
+			idx, ok := schema.Lookup(op.Col)
+			if !ok {
+				return nil, fmt.Errorf("core: mapColumn: no column %q in %s", op.Col, schema)
+			}
+			colT := schema.Col(idx).Type
+			su, err := eng.compileUDF(op.UDF, []types.Type{colT}, true)
+			if err != nil {
+				return nil, err
+			}
+			su.frameIdx = frameIdx
+			frameIdx++
+			h := &opHandlers{}
+			cs.boxed = append(cs.boxed, &boxedOp{kind: bOpMapColumn, udf: su.boxed, handlers: h, inSchema: schema, col: op.Col, colIdx: idx, scalar: true})
+			lastHandlers = h
+			nops = append(nops, compiledOp{make: func(next nstep) nstep {
+				return func(ts *task, key uint64, row rows.Row) ECode {
+					v, ec := callNormalUDF(ts, su, row, idx, true)
+					if ec != 0 {
+						return ec
+					}
+					row[idx] = v
+					return next(ts, key, row)
+				}
+			}})
+			schema = schema.WithColumn(op.Col, su.returnType())
+
+		case *logical.RenameOp:
+			ns, err := schema.Rename(op.Old, op.New)
+			if err != nil {
+				return nil, err
+			}
+			schema = ns
+			cs.boxed = append(cs.boxed, &boxedOp{kind: bOpNoop})
+
+		case *logical.SelectOp:
+			ns, idx, err := schema.Select(op.Cols)
+			if err != nil {
+				return nil, err
+			}
+			schema = ns
+			sel := append([]int(nil), idx...)
+			selScratch := frameIdx
+			frameIdx++
+			cs.boxed = append(cs.boxed, &boxedOp{kind: bOpSelect, sel: sel})
+			nops = append(nops, compiledOp{make: func(next nstep) nstep {
+				return func(ts *task, key uint64, row rows.Row) ECode {
+					out := ts.opScratch(selScratch, len(sel))
+					for _, i := range sel {
+						out = append(out, row[i])
+					}
+					return next(ts, key, out)
+				}
+			}})
+
+		case *logical.ResolveOp:
+			if lastHandlers == nil {
+				return nil, fmt.Errorf("core: resolve() without a preceding UDF operator")
+			}
+			bu, err := eng.compileBoxedUDF(op.UDF)
+			if err != nil {
+				return nil, err
+			}
+			lastHandlers.resolvers = append(lastHandlers.resolvers, resolverSpec{exc: op.Exc, udf: bu})
+			cs.boxed = append(cs.boxed, &boxedOp{kind: bOpNoop})
+
+		case *logical.IgnoreOp:
+			if lastHandlers == nil {
+				return nil, fmt.Errorf("core: ignore() without a preceding UDF operator")
+			}
+			lastHandlers.ignores = append(lastHandlers.ignores, op.Exc)
+			cs.boxed = append(cs.boxed, &boxedOp{kind: bOpNoop})
+
+		case *logical.JoinOp:
+			bt, err := eng.buildJoinTable(op)
+			if err != nil {
+				return nil, err
+			}
+			keyIdx, ok := schema.Lookup(op.LeftKey)
+			if !ok {
+				return nil, fmt.Errorf("core: join: no column %q in %s", op.LeftKey, schema)
+			}
+			outSchema := joinOutputSchema(schema, op, bt)
+			left := op.Left
+			bAdd := bt.addedCols
+			scratchIdx := frameIdx
+			frameIdx++ // reserve a scratch slot (no frame needed)
+			cs.boxed = append(cs.boxed, &boxedOp{kind: bOpJoin, join: bt, keyIdx: keyIdx, leftOuter: left, inSchema: schema, outSchema: outSchema})
+			nops = append(nops, compiledOp{make: func(next nstep) nstep {
+				return func(ts *task, key uint64, row rows.Row) ECode {
+					k, ok := joinKeySlot(row[keyIdx])
+					var matches []rows.Row
+					if ok {
+						if bt.genCount > 0 && len(bt.general[k]) > 0 {
+							// Normal×exception join pairs run on the
+							// exception path (§4.5 pairwise joins).
+							return pyvalue.ExcUnsupported
+						}
+						matches = bt.normal[k]
+					}
+					if len(matches) == 0 {
+						if !left {
+							return 0
+						}
+						out := ts.opScratch(scratchIdx, cs.maxCols)
+						out = append(out, row...)
+						for range bAdd {
+							out = append(out, rows.Null())
+						}
+						return next(ts, key*256, out)
+					}
+					for i, m := range matches {
+						sub := uint64(i)
+						if sub > 255 {
+							sub = 255
+						}
+						out := ts.opScratch(scratchIdx, cs.maxCols)
+						out = append(out, row...)
+						out = append(out, m...)
+						if ec := next(ts, key*256+sub, out); ec != 0 {
+							return ec
+						}
+					}
+					return 0
+				}
+			}})
+			schema = outSchema
+			if schema.Len() > cs.maxCols {
+				cs.maxCols = schema.Len() + 8
+			}
+
+		default:
+			return nil, fmt.Errorf("core: unsupported operator %T", op)
+		}
+	}
+
+	cs.outSchema = schema
+	cs.nUDFs = frameIdx + 1
+
+	// Terminal handling.
+	if st.Terminal == physical.TerminalAggregate {
+		agg := st.TerminalOp.(*logical.AggregateOp)
+		if err := eng.compileAggregate(cs, agg, schema); err != nil {
+			return nil, err
+		}
+	}
+	term, err := cs.makeTerminal()
+	if err != nil {
+		return nil, err
+	}
+	// Compose the chain back to front.
+	entry := term
+	for i := len(nops) - 1; i >= 0; i-- {
+		entry = nops[i].make(entry)
+	}
+	cs.entry = entry
+	return cs, nil
+}
+
+// opScratch returns a reusable slot buffer for op i.
+func (ts *task) opScratch(i, capHint int) []rows.Slot {
+	for i >= len(ts.scratch) {
+		ts.scratch = append(ts.scratch, nil)
+	}
+	if cap(ts.scratch[i]) < capHint {
+		ts.scratch[i] = make([]rows.Slot, 0, capHint+8)
+	}
+	return ts.scratch[i][:0]
+}
+
+// callNormalUDF invokes a compiled UDF with either the whole row or one
+// column value.
+func callNormalUDF(ts *task, su *stageUDF, row rows.Row, colIdx int, scalar bool) (rows.Slot, ECode) {
+	if su.compiled == nil {
+		return rows.Slot{}, pyvalue.ExcUnsupported
+	}
+	fr := ts.frames[su.frameIdx]
+	var arg rows.Slot
+	if scalar {
+		arg = row[colIdx]
+	} else {
+		arg = rows.Tuple(row)
+	}
+	return su.compiled.Call(fr, []rows.Slot{arg})
+}
+
+func (su *stageUDF) returnType() types.Type {
+	if su.compiled != nil {
+		return su.compiled.ReturnType()
+	}
+	return types.Any
+}
+
+// paramStyle decides whether a UDF receives the bare value of a
+// single-column row or the whole row (dict/tuple access compiles to
+// direct column loads either way).
+func paramStyle(spec *logical.UDFSpec, schema *types.Schema) (scalar bool, paramT types.Type) {
+	if schema.Len() == 1 {
+		if len(spec.Access.ByName) > 0 {
+			if _, ok := schema.Lookup(spec.Access.ByName[0]); ok {
+				return false, types.Row(schema)
+			}
+		}
+		return true, schema.Col(0).Type
+	}
+	return false, types.Row(schema)
+}
+
+// compileUDF builds the three execution forms for one UDF.
+func (eng *engine) compileUDF(spec *logical.UDFSpec, paramTypes []types.Type, scalar bool) (*stageUDF, error) {
+	su := &stageUDF{spec: spec, scalarParam: scalar}
+	bu, err := eng.compileBoxedUDF(spec)
+	if err != nil {
+		return nil, err
+	}
+	su.boxed = bu
+	globalTypes := map[string]types.Type{}
+	for k, v := range spec.Globals {
+		globalTypes[k] = typeOfBoxed(v)
+	}
+	info, err := inference.TypeFunction(spec.Fn, paramTypes, globalTypes, inference.Options{})
+	if err != nil {
+		// Structural mismatch (e.g. wrong arity): the UDF can still run
+		// boxed; the fast path is simply absent.
+		return su, nil
+	}
+	u, err := codegen.Compile(info, spec.Globals, eng.opts.Codegen)
+	if err != nil {
+		return su, nil
+	}
+	su.compiled = u
+	return su, nil
+}
+
+// mapOutputSchema derives the schema a MapOp produces.
+func mapOutputSchema(su *stageUDF) *types.Schema {
+	rt := su.returnType()
+	switch rt.Kind() {
+	case types.KindRow:
+		return rt.Schema()
+	case types.KindTuple:
+		elts := rt.Elts()
+		cols := make([]types.Column, len(elts))
+		for i, t := range elts {
+			cols[i] = types.Column{Name: fmt.Sprintf("_%d", i), Type: t}
+		}
+		return types.NewSchema(cols)
+	default:
+		name := "value"
+		if su.spec.Access != nil && len(su.spec.Access.OutputColumns) == 1 {
+			name = su.spec.Access.OutputColumns[0]
+		}
+		return types.NewSchema([]types.Column{{Name: name, Type: rt}})
+	}
+}
+
+// prepareSource loads records / wires the input mat and derives the
+// stage input schema.
+func (eng *engine) prepareSource(cs *compiledStage, st *physical.Stage, input *mat) error {
+	switch src := st.Source.(type) {
+	case *logical.CSVSource:
+		delim := src.Delim
+		if delim == 0 {
+			delim = ','
+		}
+		var records [][]byte
+		var names []string
+		addData := func(data []byte) {
+			recs := csvio.SplitRecords(data)
+			if src.Header && len(recs) > 0 {
+				// Each file carries its own header; the first one names
+				// the columns, the rest are dropped.
+				if names == nil && src.Columns == nil {
+					names = csvio.SplitCells(recs[0], delim, nil)
+				}
+				recs = recs[1:]
+			}
+			records = append(records, recs...)
+		}
+		if src.Data != nil {
+			addData(src.Data)
+		} else {
+			// The paper's pipelines open multi-file inputs as
+			// ','.join(paths); accept the same spelling.
+			for _, path := range strings.Split(src.Path, ",") {
+				data, err := os.ReadFile(strings.TrimSpace(path))
+				if err != nil {
+					return fmt.Errorf("core: reading %s: %w", path, err)
+				}
+				addData(data)
+			}
+		}
+		if len(records) == 0 {
+			return fmt.Errorf("core: empty CSV input %s", src.Path)
+		}
+		if src.Columns != nil {
+			names = src.Columns
+		}
+		t0 := time.Now()
+		plan, err := sample.Sample(records, delim, names, eng.mkSampleCfg(src.NullValues))
+		cs.sampleTime = time.Since(t0)
+		if err != nil {
+			return err
+		}
+		if plan.AllExceptions {
+			eng.res.Warnings = append(eng.res.Warnings,
+				"sample produced only exceptions; revise the pipeline or increase the sample size")
+		}
+		cs.records = records
+		cs.nullValues = plan.Config.NullValues
+		// Projection pushdown into the generated parser.
+		proj := src.Projected()
+		fields, schema := projectedFields(plan, proj)
+		cs.parse = csvio.NewParseSpec(delim, plan.NumCols, fields, plan.Config.NullValues)
+		cs.nFields = len(fields)
+		cs.inSchema = schema
+		cs.partRanges = splitRange(len(records), eng.partSize(len(records)))
+		cs.boxedInput = &mat{schema: plan.GeneralSchema}
+	case *logical.TextSource:
+		data := src.Data
+		if data == nil {
+			var err error
+			data, err = os.ReadFile(src.Path)
+			if err != nil {
+				return fmt.Errorf("core: reading %s: %w", src.Path, err)
+			}
+		}
+		lines := splitPlainLines(data)
+		colName := src.Column
+		if colName == "" {
+			colName = "value"
+		}
+		cs.records = lines
+		cs.isText = true
+		cs.nullValues = csvio.DefaultNullValues
+		cs.inSchema = types.NewSchema([]types.Column{{Name: colName, Type: types.Str}})
+		cs.partRanges = splitRange(len(lines), eng.partSize(len(lines)))
+	case *logical.ParallelizeSource:
+		t0 := time.Now()
+		plan, err := sample.SampleValues(src.Rows, src.Names, eng.mkSampleCfg(nil))
+		cs.sampleTime = time.Since(t0)
+		if err != nil {
+			return err
+		}
+		cs.inputRows = src.Rows
+		cs.nullValues = csvio.DefaultNullValues
+		cs.inSchema = plan.Schema
+		cs.partRanges = splitRange(len(src.Rows), eng.partSize(len(src.Rows)))
+	case nil:
+		if input == nil {
+			return fmt.Errorf("core: stage without source or input")
+		}
+		cs.boxedInput = input
+		cs.inSchema = input.schema
+		cs.nullValues = input.nullValues
+		cs.partRanges = make([][2]int, len(input.parts))
+		for i, p := range input.parts {
+			cs.partRanges[i] = [2]int{0, len(p)}
+		}
+	default:
+		return fmt.Errorf("core: unsupported source %T", st.Source)
+	}
+	if cs.nullValues == nil {
+		cs.nullValues = csvio.DefaultNullValues
+	}
+	return nil
+}
+
+func (eng *engine) mkSampleCfg(nullValues []string) sample.Config {
+	cfg := eng.opts.Sample
+	if nullValues != nil {
+		cfg.NullValues = nullValues
+	}
+	return cfg
+}
+
+// projectedFields maps the pushed projection to parser fields and the
+// stage input schema (source column order).
+func projectedFields(plan *sample.CasePlan, proj []string) ([]csvio.FieldSpec, *types.Schema) {
+	full := plan.Schema
+	var idxs []int
+	if proj == nil {
+		idxs = make([]int, full.Len())
+		for i := range idxs {
+			idxs[i] = i
+		}
+	} else {
+		seen := map[int]bool{}
+		for _, name := range proj {
+			if i, ok := full.Lookup(name); ok && !seen[i] {
+				idxs = append(idxs, i)
+				seen[i] = true
+			}
+		}
+		sort.Ints(idxs)
+		if len(idxs) == 0 {
+			// Degenerate projection (e.g. a count-only pipeline): keep
+			// the first column so rows still flow.
+			idxs = []int{0}
+		}
+	}
+	fields := make([]csvio.FieldSpec, len(idxs))
+	cols := make([]types.Column, len(idxs))
+	for i, idx := range idxs {
+		fields[i] = csvio.FieldSpec{Col: idx, Type: full.Col(idx).Type}
+		cols[i] = full.Col(idx)
+	}
+	return fields, types.NewSchema(cols)
+}
+
+func (eng *engine) partSize(n int) int {
+	per := n / (4 * eng.opts.Executors)
+	if per < 1024 {
+		per = 1024
+	}
+	if per > eng.opts.PartitionRows {
+		per = eng.opts.PartitionRows
+	}
+	return per
+}
+
+func splitRange(n, size int) [][2]int {
+	if n == 0 {
+		return [][2]int{{0, 0}}
+	}
+	var out [][2]int
+	for start := 0; start < n; start += size {
+		end := start + size
+		if end > n {
+			end = n
+		}
+		out = append(out, [2]int{start, end})
+	}
+	return out
+}
+
+// splitPlainLines splits text content on newlines (no quoting).
+func splitPlainLines(data []byte) [][]byte {
+	var out [][]byte
+	start := 0
+	for i := 0; i < len(data); i++ {
+		if data[i] == '\n' {
+			end := i
+			if end > start && data[end-1] == '\r' {
+				end--
+			}
+			out = append(out, data[start:end])
+			start = i + 1
+		}
+	}
+	if start < len(data) {
+		out = append(out, data[start:])
+	}
+	return out
+}

@@ -1,0 +1,675 @@
+// Package csvio implements CSV reading and writing for the engine.
+//
+// The reader has two layers, mirroring the paper's design:
+//
+//   - a general tokenizer that splits lines into cells (quotes, escapes),
+//     used for sampling and the exception paths; and
+//   - a "generated" parser (ParseSpec.ParseLine) specialized to the
+//     normal-case plan: it touches only the columns the pipeline actually
+//     reads (projection pushdown into the parser, §6.2.2's end-to-end
+//     advantage) and parses each directly into an unboxed slot of the
+//     expected type. Any mismatch returns a BadParse code, which routes
+//     the raw line to the exception row pool — the generated parser IS
+//     the row classifier for CSV sources (§4.3).
+package csvio
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/gotuplex/tuplex/internal/pyvalue"
+	"github.com/gotuplex/tuplex/internal/rows"
+	"github.com/gotuplex/tuplex/internal/types"
+)
+
+// NullValues are the cell spellings treated as NULL by default, matching
+// the pipelines' conventions (the flights pipeline passes custom ones).
+var DefaultNullValues = []string{""}
+
+// SplitRecords splits raw CSV bytes into physical lines, respecting
+// quoted fields that span cell boundaries (quoted newlines are kept
+// within one record). The returned slices alias data.
+func SplitRecords(data []byte) [][]byte {
+	var out [][]byte
+	start := 0
+	inQuote := false
+	for i := 0; i < len(data); i++ {
+		switch data[i] {
+		case '"':
+			inQuote = !inQuote
+		case '\n':
+			if inQuote {
+				continue
+			}
+			end := i
+			if end > start && data[end-1] == '\r' {
+				end--
+			}
+			out = append(out, data[start:end])
+			start = i + 1
+		}
+	}
+	if start < len(data) {
+		end := len(data)
+		if end > start && data[end-1] == '\r' {
+			end--
+		}
+		if end > start {
+			out = append(out, data[start:end])
+		}
+	}
+	return out
+}
+
+// SplitCells tokenizes one record into cells. Quoted cells are unescaped
+// ("" -> "). The scratch slice is reused when capacity allows.
+func SplitCells(line []byte, delim byte, scratch []string) []string {
+	cells := scratch[:0]
+	i := 0
+	n := len(line)
+	for {
+		if i >= n {
+			cells = append(cells, "")
+			return cells
+		}
+		if line[i] == '"' {
+			// Quoted cell.
+			var sb strings.Builder
+			i++
+			for i < n {
+				c := line[i]
+				if c == '"' {
+					if i+1 < n && line[i+1] == '"' {
+						sb.WriteByte('"')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(c)
+				i++
+			}
+			cells = append(cells, sb.String())
+			if i < n && line[i] == delim {
+				i++
+				continue
+			}
+			if i >= n {
+				return cells
+			}
+			// Garbage after closing quote: take it verbatim to the next
+			// delimiter (dirty data stays data, not an error).
+			start := i
+			for i < n && line[i] != delim {
+				i++
+			}
+			cells[len(cells)-1] += string(line[start:i])
+			if i < n {
+				i++
+				continue
+			}
+			return cells
+		}
+		start := i
+		for i < n && line[i] != delim {
+			i++
+		}
+		cells = append(cells, string(line[start:i]))
+		if i < n {
+			i++ // skip delimiter
+			continue
+		}
+		return cells
+	}
+}
+
+// CountCells counts cells without materializing them. Quotes are only
+// significant at the start of a cell, matching SplitCells.
+func CountCells(line []byte, delim byte) int {
+	count := 1
+	i, n := 0, len(line)
+	for i < n {
+		if line[i] == '"' {
+			i++
+			for i < n {
+				if line[i] == '"' {
+					if i+1 < n && line[i+1] == '"' {
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				i++
+			}
+		}
+		for i < n && line[i] != delim {
+			i++
+		}
+		if i < n {
+			count++
+			i++
+		}
+	}
+	return count
+}
+
+// FieldSpec describes one projected column of a generated parser.
+type FieldSpec struct {
+	// Col is the CSV column index.
+	Col int
+	// Type is the expected normal-case type (Option/Null allowed).
+	Type types.Type
+}
+
+// ParseSpec is a parsing plan specialized to a sampled normal case: the
+// expected column count, the projected fields and the null spellings.
+type ParseSpec struct {
+	Delim      byte
+	NumCols    int
+	Fields     []FieldSpec
+	NullValues []string
+	// maxCol caches the highest projected column.
+	maxCol int
+}
+
+// NewParseSpec builds a parse plan. fields must be sorted by Col.
+func NewParseSpec(delim byte, numCols int, fields []FieldSpec, nullValues []string) *ParseSpec {
+	if nullValues == nil {
+		nullValues = DefaultNullValues
+	}
+	maxCol := -1
+	for i, f := range fields {
+		if i > 0 && fields[i-1].Col >= f.Col {
+			panic("csvio: fields must be sorted by column")
+		}
+		maxCol = f.Col
+	}
+	return &ParseSpec{Delim: delim, NumCols: numCols, Fields: fields, NullValues: nullValues, maxCol: maxCol}
+}
+
+// IsNullCell reports whether the cell spells NULL under the plan.
+func (p *ParseSpec) IsNullCell(cell string) bool {
+	for _, nv := range p.NullValues {
+		if cell == nv {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseLine runs the generated parser on one record, writing the
+// projected columns into out (len(out) must equal len(p.Fields)). It
+// returns ExcBadParse when the line does not match the normal case —
+// wrong column count or a cell that fails to parse as its expected type.
+// Only the projected cells are materialized; skipped columns cost a scan
+// only, and numeric cells parse straight from the input bytes without a
+// string allocation (the "generated parser" advantage of §6.2.2).
+func (p *ParseSpec) ParseLine(line []byte, out rows.Row) pyvalue.ExcKind {
+	n := len(line)
+	i := 0
+	col := 0
+	fi := 0
+	for {
+		wanted := fi < len(p.Fields) && p.Fields[fi].Col == col
+		var raw []byte
+		var cell string
+		quoted := false
+		if i < n && line[i] == '"' {
+			quoted = true
+			start := i + 1
+			i++
+			escaped := false
+			for i < n {
+				c := line[i]
+				if c == '"' {
+					if i+1 < n && line[i+1] == '"' {
+						escaped = true
+						i += 2
+						continue
+					}
+					break
+				}
+				i++
+			}
+			body := line[start:i]
+			if i < n {
+				i++ // closing quote
+			}
+			if wanted {
+				if escaped {
+					cell = strings.ReplaceAll(string(body), `""`, `"`)
+				} else {
+					raw = body
+				}
+			}
+			for i < n && line[i] != p.Delim {
+				i++ // tolerate trailing garbage
+			}
+		} else {
+			start := i
+			for i < n && line[i] != p.Delim {
+				i++
+			}
+			if wanted {
+				raw = line[start:i]
+			}
+		}
+		if wanted {
+			if ec := p.parseCellBytes(raw, cell, quoted, p.Fields[fi].Type, &out[fi]); ec != 0 {
+				return ec
+			}
+			fi++
+		}
+		col++
+		if i >= n {
+			break
+		}
+		i++ // delimiter
+	}
+	if col != p.NumCols {
+		return pyvalue.ExcBadParse
+	}
+	if fi != len(p.Fields) {
+		return pyvalue.ExcBadParse
+	}
+	return 0
+}
+
+// parseCellBytes parses one projected cell. raw holds the bytes unless
+// the cell needed unescaping (then cell holds the text).
+func (p *ParseSpec) parseCellBytes(raw []byte, cell string, quoted bool, t types.Type, out *rows.Slot) pyvalue.ExcKind {
+	switch t.Kind() {
+	case types.KindOption:
+		if !quoted && p.isNullBytes(raw, cell) {
+			*out = rows.Null()
+			return 0
+		}
+		return p.parseCellBytes(raw, cell, quoted, t.Elem(), out)
+	case types.KindNull:
+		if !quoted && p.isNullBytes(raw, cell) {
+			*out = rows.Null()
+			return 0
+		}
+		return pyvalue.ExcBadParse
+	case types.KindStr:
+		if raw != nil {
+			*out = rows.Str(string(raw))
+		} else {
+			*out = rows.Str(cell)
+		}
+		return 0
+	case types.KindI64:
+		v, ok := ParseI64Bytes(raw, cell)
+		if !ok {
+			return pyvalue.ExcBadParse
+		}
+		*out = rows.I64(v)
+		return 0
+	case types.KindF64:
+		var v float64
+		var ok bool
+		if raw != nil {
+			v, ok = ParseF64Bytes(raw)
+		} else {
+			v, ok = ParseF64(cell)
+		}
+		if !ok {
+			return pyvalue.ExcBadParse
+		}
+		*out = rows.F64(v)
+		return 0
+	case types.KindBool:
+		s := cell
+		if raw != nil {
+			s = string(raw) // bool cells are tiny; alloc is fine
+		}
+		v, ok := ParseBool(s)
+		if !ok {
+			return pyvalue.ExcBadParse
+		}
+		*out = rows.Bool(v)
+		return 0
+	default:
+		return pyvalue.ExcBadParse
+	}
+}
+
+func (p *ParseSpec) isNullBytes(raw []byte, cell string) bool {
+	if raw != nil {
+		for _, nv := range p.NullValues {
+			if string(raw) == nv { // no alloc: comparison special case
+				return true
+			}
+		}
+		return false
+	}
+	return p.IsNullCell(cell)
+}
+
+// ParseI64Bytes parses a strict integer from bytes (or from cell when
+// raw is nil).
+func ParseI64Bytes(raw []byte, cell string) (int64, bool) {
+	if raw == nil {
+		return ParseI64(cell)
+	}
+	if len(raw) == 0 {
+		return 0, false
+	}
+	i := 0
+	neg := false
+	if raw[0] == '+' || raw[0] == '-' {
+		neg = raw[0] == '-'
+		i = 1
+		if len(raw) == 1 {
+			return 0, false
+		}
+	}
+	var v int64
+	for ; i < len(raw); i++ {
+		c := raw[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int64(c-'0')
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+// ParseF64Bytes parses a float from bytes without allocating for the
+// common fixed-point spellings ("123", "-4.5"); other spellings fall
+// back to strconv.
+func ParseF64Bytes(raw []byte) (float64, bool) {
+	if len(raw) == 0 {
+		return 0, false
+	}
+	i := 0
+	neg := false
+	if raw[0] == '+' || raw[0] == '-' {
+		neg = raw[0] == '-'
+		i = 1
+	}
+	intPart := int64(0)
+	digits := 0
+	for i < len(raw) && raw[i] >= '0' && raw[i] <= '9' {
+		intPart = intPart*10 + int64(raw[i]-'0')
+		i++
+		digits++
+	}
+	if i == len(raw) && digits > 0 && digits < 19 {
+		f := float64(intPart)
+		if neg {
+			f = -f
+		}
+		return f, true
+	}
+	if i < len(raw) && raw[i] == '.' {
+		i++
+		frac := int64(0)
+		fdigits := 0
+		for i < len(raw) && raw[i] >= '0' && raw[i] <= '9' {
+			frac = frac*10 + int64(raw[i]-'0')
+			i++
+			fdigits++
+		}
+		// Only the exactly-representable fractions take the no-alloc
+		// path ("123.0", "4.5", "2.25"); everything else goes through
+		// strconv so results are bit-identical with the general parsers.
+		if i == len(raw) && digits > 0 && digits < 16 && fdigits > 0 && exactFrac(frac, fdigits) {
+			f := float64(intPart) + float64(frac)/pow10Table[fdigits]
+			if neg {
+				f = -f
+			}
+			return f, true
+		}
+	}
+	return ParseF64(string(raw))
+}
+
+var pow10Table = [16]float64{1, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12, 1e13, 1e14, 1e15}
+
+// exactFrac reports whether frac/10^fdigits is exactly representable in
+// a float64 (so the fast path matches strconv bit-for-bit): the reduced
+// denominator must be a power of two, i.e. frac must absorb all factors
+// of 5^fdigits.
+func exactFrac(frac int64, fdigits int) bool {
+	if fdigits >= len(pow10Table) {
+		return false
+	}
+	for i := 0; i < fdigits; i++ {
+		if frac%5 != 0 {
+			if frac != 0 {
+				return false
+			}
+			break
+		}
+		frac /= 5
+	}
+	return true
+}
+
+// parseCell parses one cell against its expected type.
+func (p *ParseSpec) parseCell(cell string, quoted bool, t types.Type, out *rows.Slot) pyvalue.ExcKind {
+	switch t.Kind() {
+	case types.KindOption:
+		if !quoted && p.IsNullCell(cell) {
+			*out = rows.Null()
+			return 0
+		}
+		return p.parseCell(cell, quoted, t.Elem(), out)
+	case types.KindNull:
+		if !quoted && p.IsNullCell(cell) {
+			*out = rows.Null()
+			return 0
+		}
+		return pyvalue.ExcBadParse
+	case types.KindStr:
+		*out = rows.Str(cell)
+		return 0
+	case types.KindI64:
+		v, ok := ParseI64(cell)
+		if !ok {
+			return pyvalue.ExcBadParse
+		}
+		*out = rows.I64(v)
+		return 0
+	case types.KindF64:
+		v, ok := ParseF64(cell)
+		if !ok {
+			return pyvalue.ExcBadParse
+		}
+		*out = rows.F64(v)
+		return 0
+	case types.KindBool:
+		v, ok := ParseBool(cell)
+		if !ok {
+			return pyvalue.ExcBadParse
+		}
+		*out = rows.Bool(v)
+		return 0
+	default:
+		return pyvalue.ExcBadParse
+	}
+}
+
+// ParseI64 parses a strict integer cell (optional sign, digits).
+func ParseI64(s string) (int64, bool) {
+	if s == "" {
+		return 0, false
+	}
+	i := 0
+	neg := false
+	if s[0] == '+' || s[0] == '-' {
+		neg = s[0] == '-'
+		i = 1
+		if len(s) == 1 {
+			return 0, false
+		}
+	}
+	var v int64
+	for ; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int64(c-'0')
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+// ParseF64 parses a float cell (accepts integer spellings too).
+func ParseF64(s string) (float64, bool) {
+	if s == "" {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return f, true
+}
+
+// ParseBool parses boolean cells: true/false (any case), 0/1 — the §4.2
+// heuristics.
+func ParseBool(s string) (bool, bool) {
+	switch s {
+	case "0":
+		return false, true
+	case "1":
+		return true, true
+	}
+	switch strings.ToLower(s) {
+	case "true":
+		return true, true
+	case "false":
+		return false, true
+	}
+	return false, false
+}
+
+// GeneralParse parses every cell of a record as the most general type
+// for the exception paths: null spellings become None, numeric-looking
+// cells numbers, booleans booleans, everything else strings. This
+// mirrors the interpreter's view of a CSV row.
+func GeneralParse(line []byte, delim byte, nullValues []string) []pyvalue.Value {
+	cells := SplitCells(line, delim, nil)
+	out := make([]pyvalue.Value, len(cells))
+	for i, c := range cells {
+		out[i] = SniffValue(c, nullValues)
+	}
+	return out
+}
+
+// SniffValue converts a raw cell into the boxed value its spelling
+// suggests.
+func SniffValue(cell string, nullValues []string) pyvalue.Value {
+	for _, nv := range nullValues {
+		if cell == nv {
+			return pyvalue.None{}
+		}
+	}
+	if b, ok := ParseBool(cell); ok {
+		if cell == "0" || cell == "1" {
+			// Keep plain 0/1 cells as ints when boxing generally; the
+			// bool reading only wins when a column's histogram says so.
+			if cell == "0" {
+				return pyvalue.Int(0)
+			}
+			return pyvalue.Int(1)
+		}
+		return pyvalue.Bool(b)
+	}
+	if v, ok := ParseI64(cell); ok {
+		return pyvalue.Int(v)
+	}
+	if f, ok := ParseF64(cell); ok && strings.ContainsAny(cell, ".eE") {
+		return pyvalue.Float(f)
+	}
+	return pyvalue.Str(cell)
+}
+
+// ---- Writer ----
+
+// Writer writes rows as CSV with minimal quoting.
+type Writer struct {
+	sb    strings.Builder
+	delim byte
+}
+
+// NewWriter returns a Writer using the given delimiter.
+func NewWriter(delim byte) *Writer { return &Writer{delim: delim} }
+
+// WriteHeader writes the column-name row.
+func (w *Writer) WriteHeader(names []string) {
+	for i, n := range names {
+		if i > 0 {
+			w.sb.WriteByte(w.delim)
+		}
+		w.writeCell(n)
+	}
+	w.sb.WriteByte('\n')
+}
+
+// WriteRow renders one row.
+func (w *Writer) WriteRow(r rows.Row) {
+	for i, s := range r {
+		if i > 0 {
+			w.sb.WriteByte(w.delim)
+		}
+		w.writeCell(s.RenderString())
+	}
+	w.sb.WriteByte('\n')
+}
+
+// WriteValues renders one boxed row (exception-path results).
+func (w *Writer) WriteValues(vs []pyvalue.Value) {
+	for i, v := range vs {
+		if i > 0 {
+			w.sb.WriteByte(w.delim)
+		}
+		if _, isNone := v.(pyvalue.None); isNone {
+			continue
+		}
+		w.writeCell(pyvalue.ToStr(v))
+	}
+	w.sb.WriteByte('\n')
+}
+
+func (w *Writer) writeCell(s string) {
+	if strings.ContainsAny(s, string([]byte{w.delim, '"', '\n', '\r'})) {
+		w.sb.WriteByte('"')
+		w.sb.WriteString(strings.ReplaceAll(s, `"`, `""`))
+		w.sb.WriteByte('"')
+		return
+	}
+	w.sb.WriteString(s)
+}
+
+// WriteRaw appends pre-rendered CSV bytes.
+func (w *Writer) WriteRaw(b []byte) { w.sb.Write(b) }
+
+// Bytes returns the accumulated output.
+func (w *Writer) Bytes() []byte { return []byte(w.sb.String()) }
+
+// Len returns the accumulated output size.
+func (w *Writer) Len() int { return w.sb.Len() }
+
+// Reset clears the writer.
+func (w *Writer) Reset() { w.sb.Reset() }
+
+// WriteFile flushes the accumulated output to path.
+func (w *Writer) WriteFile(path string) error {
+	if err := os.WriteFile(path, w.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("csvio: writing %s: %w", path, err)
+	}
+	return nil
+}

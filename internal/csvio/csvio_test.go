@@ -1,0 +1,220 @@
+package csvio
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/gotuplex/tuplex/internal/pyvalue"
+	"github.com/gotuplex/tuplex/internal/rows"
+	"github.com/gotuplex/tuplex/internal/types"
+)
+
+func TestSplitRecords(t *testing.T) {
+	data := []byte("a,b\nc,d\r\ne,\"f\ng\"\nlast")
+	recs := SplitRecords(data)
+	if len(recs) != 4 {
+		t.Fatalf("records = %d: %q", len(recs), recs)
+	}
+	if string(recs[1]) != "c,d" {
+		t.Fatalf("rec1 = %q", recs[1])
+	}
+	if string(recs[2]) != "e,\"f\ng\"" {
+		t.Fatalf("quoted newline split: %q", recs[2])
+	}
+	if string(recs[3]) != "last" {
+		t.Fatalf("no trailing newline: %q", recs[3])
+	}
+}
+
+func TestSplitCells(t *testing.T) {
+	cases := []struct {
+		line string
+		want []string
+	}{
+		{"a,b,c", []string{"a", "b", "c"}},
+		{"a,,c", []string{"a", "", "c"}},
+		{"a,b,", []string{"a", "b", ""}},
+		{"", []string{""}},
+		{`"a,b",c`, []string{"a,b", "c"}},
+		{`"say ""hi""",x`, []string{`say "hi"`, "x"}},
+		{`"multi
+line",y`, []string{"multi\nline", "y"}},
+	}
+	for _, c := range cases {
+		got := SplitCells([]byte(c.line), ',', nil)
+		if len(got) != len(c.want) {
+			t.Errorf("%q: got %q, want %q", c.line, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%q[%d]: got %q, want %q", c.line, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestCountCellsMatchesSplit(t *testing.T) {
+	f := func(raw []byte) bool {
+		// Constrain to printable-ish CSV data.
+		var sb strings.Builder
+		alphabet := "ab,\"x1"
+		for _, b := range raw {
+			sb.WriteByte(alphabet[int(b)%len(alphabet)])
+		}
+		line := []byte(sb.String())
+		return CountCells(line, ',') == len(SplitCells(line, ',', nil))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratedParserProjectsAndTypes(t *testing.T) {
+	spec := NewParseSpec(',', 4, []FieldSpec{
+		{Col: 0, Type: types.I64},
+		{Col: 2, Type: types.Str},
+		{Col: 3, Type: types.F64},
+	}, nil)
+	out := make(rows.Row, 3)
+	if ec := spec.ParseLine([]byte("42,skipped,hello,1.5"), out); ec != 0 {
+		t.Fatalf("ec = %v", ec)
+	}
+	if out[0].I != 42 || out[1].S != "hello" || out[2].F != 1.5 {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestGeneratedParserRejectsBadStructure(t *testing.T) {
+	spec := NewParseSpec(',', 3, []FieldSpec{{Col: 0, Type: types.I64}}, nil)
+	out := make(rows.Row, 1)
+	// Wrong column count.
+	if ec := spec.ParseLine([]byte("1,2"), out); ec != pyvalue.ExcBadParse {
+		t.Fatalf("short row ec = %v", ec)
+	}
+	if ec := spec.ParseLine([]byte("1,2,3,4"), out); ec != pyvalue.ExcBadParse {
+		t.Fatalf("long row ec = %v", ec)
+	}
+	// Type mismatch in a projected column.
+	if ec := spec.ParseLine([]byte("abc,2,3"), out); ec != pyvalue.ExcBadParse {
+		t.Fatalf("bad int ec = %v", ec)
+	}
+	// Mismatch in a skipped column is fine.
+	if ec := spec.ParseLine([]byte("7,anything,at all"), out); ec != 0 {
+		t.Fatalf("skipped col ec = %v", ec)
+	}
+}
+
+func TestGeneratedParserNullPolicy(t *testing.T) {
+	spec := NewParseSpec(',', 2, []FieldSpec{
+		{Col: 0, Type: types.Option(types.I64)},
+		{Col: 1, Type: types.Null},
+	}, []string{"", "N/A"})
+	out := make(rows.Row, 2)
+	if ec := spec.ParseLine([]byte("5,"), out); ec != 0 {
+		t.Fatalf("ec = %v", ec)
+	}
+	if out[0].I != 5 || !out[1].IsNull() {
+		t.Fatalf("out = %+v", out)
+	}
+	if ec := spec.ParseLine([]byte("N/A,N/A"), out); ec != 0 {
+		t.Fatalf("ec = %v", ec)
+	}
+	if !out[0].IsNull() {
+		t.Fatalf("null spelled N/A not detected")
+	}
+	// A non-null cell in a Null-typed column violates the normal case.
+	if ec := spec.ParseLine([]byte("5,value"), out); ec != pyvalue.ExcBadParse {
+		t.Fatalf("ec = %v", ec)
+	}
+}
+
+func TestGeneratedParserQuotedCells(t *testing.T) {
+	spec := NewParseSpec(',', 2, []FieldSpec{{Col: 1, Type: types.Str}}, nil)
+	out := make(rows.Row, 1)
+	if ec := spec.ParseLine([]byte(`1,"hello, world"`), out); ec != 0 {
+		t.Fatalf("ec = %v", ec)
+	}
+	if out[0].S != "hello, world" {
+		t.Fatalf("got %q", out[0].S)
+	}
+}
+
+func TestStrictNumericParsers(t *testing.T) {
+	if _, ok := ParseI64("12a"); ok {
+		t.Fatal("12a parsed as int")
+	}
+	if _, ok := ParseI64(""); ok {
+		t.Fatal("empty parsed as int")
+	}
+	if v, ok := ParseI64("-42"); !ok || v != -42 {
+		t.Fatal("-42 failed")
+	}
+	if _, ok := ParseF64("1.2.3"); ok {
+		t.Fatal("1.2.3 parsed as float")
+	}
+	if v, ok := ParseF64("2e7"); !ok || v != 2e7 {
+		t.Fatal("2e7 failed")
+	}
+	if b, ok := ParseBool("TRUE"); !ok || !b {
+		t.Fatal("TRUE failed")
+	}
+	if b, ok := ParseBool("0"); !ok || b {
+		t.Fatal("0 failed")
+	}
+	if _, ok := ParseBool("2"); ok {
+		t.Fatal("2 parsed as bool")
+	}
+}
+
+func TestWriterQuoting(t *testing.T) {
+	w := NewWriter(',')
+	w.WriteHeader([]string{"a", "b,comma"})
+	w.WriteRow(rows.Row{rows.Str("plain"), rows.Str(`has "quotes", and comma`)})
+	w.WriteRow(rows.Row{rows.I64(5), rows.Null()})
+	w.WriteRow(rows.Row{rows.F64(2.5), rows.Bool(true)})
+	got := string(w.Bytes())
+	want := "a,\"b,comma\"\nplain,\"has \"\"quotes\"\", and comma\"\n5,\n2.5,True\n"
+	if got != want {
+		t.Fatalf("got:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestWriterRoundTrip(t *testing.T) {
+	w := NewWriter(',')
+	in := rows.Row{rows.Str("a,b"), rows.Str(`"q"`), rows.Str("plain"), rows.Str("nl\nin cell")}
+	w.WriteRow(in)
+	recs := SplitRecords(w.Bytes())
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	cells := SplitCells(recs[0], ',', nil)
+	if len(cells) != 4 {
+		t.Fatalf("cells = %q", cells)
+	}
+	for i := range cells {
+		if cells[i] != in[i].S {
+			t.Errorf("cell %d: got %q, want %q", i, cells[i], in[i].S)
+		}
+	}
+}
+
+func TestGeneralParseSniffsValues(t *testing.T) {
+	vs := GeneralParse([]byte("42,1.5,text,,true"), ',', []string{""})
+	if !pyvalue.Equal(vs[0], pyvalue.Int(42)) {
+		t.Fatalf("v0 = %s", pyvalue.Repr(vs[0]))
+	}
+	if !pyvalue.Equal(vs[1], pyvalue.Float(1.5)) {
+		t.Fatalf("v1 = %s", pyvalue.Repr(vs[1]))
+	}
+	if !pyvalue.Equal(vs[2], pyvalue.Str("text")) {
+		t.Fatalf("v2 = %s", pyvalue.Repr(vs[2]))
+	}
+	if !pyvalue.Equal(vs[3], pyvalue.None{}) {
+		t.Fatalf("v3 = %s", pyvalue.Repr(vs[3]))
+	}
+	if !pyvalue.Equal(vs[4], pyvalue.Bool(true)) {
+		t.Fatalf("v4 = %s", pyvalue.Repr(vs[4]))
+	}
+}

@@ -1,0 +1,66 @@
+// Package data synthesizes the evaluation datasets of the paper's §6
+// (Table 2): Zillow real-estate listings, US flight on-time performance
+// with carrier and airport side tables, Apache web-server logs with a
+// bad-IP list, NYC 311 service requests and TPC-H lineitem. Generators
+// are deterministic (seeded) and reproduce the schema shapes, value
+// formats and dirtiness patterns the pipelines' UDFs exercise — including
+// the exception-rate knobs (e.g. the ~2.6% diverted-flight rows that
+// take the general-case path in §6.1.2).
+package data
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/gotuplex/tuplex/internal/pyre"
+)
+
+// rng wraps the deterministic PRNG with generator conveniences.
+type rng struct{ *pyre.PRNG }
+
+func newRng(seed uint64) *rng { return &rng{pyre.NewPRNG(seed)} }
+
+func (r *rng) pick(options ...string) string { return options[r.Intn(len(options))] }
+
+func (r *rng) rangeInt(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Intn(hi-lo)
+}
+
+func (r *rng) chance(p float64) bool { return r.Float64() < p }
+
+// commaInt renders an int with thousands separators ("1,560").
+func commaInt(n int) string {
+	s := fmt.Sprintf("%d", n)
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg, s = true, s[1:]
+	}
+	var sb strings.Builder
+	for i, c := range s {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteRune(c)
+	}
+	if neg {
+		return "-" + sb.String()
+	}
+	return sb.String()
+}
+
+var letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+func (r *rng) upperWord(n int) string {
+	var sb strings.Builder
+	for range n {
+		sb.WriteByte(letters[r.Intn(26)])
+	}
+	return sb.String()
+}
+
+func (r *rng) ipv4() string {
+	return fmt.Sprintf("%d.%d.%d.%d", 1+r.Intn(254), r.Intn(256), r.Intn(256), 1+r.Intn(254))
+}

@@ -1,0 +1,222 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/gotuplex/tuplex/internal/csvio"
+)
+
+func TestZillowDeterministicAndWellFormed(t *testing.T) {
+	a := Zillow(ZillowConfig{Rows: 500, Seed: 9, DirtyFraction: 0.02})
+	b := Zillow(ZillowConfig{Rows: 500, Seed: 9, DirtyFraction: 0.02})
+	if !bytes.Equal(a, b) {
+		t.Fatal("generator not deterministic")
+	}
+	c := Zillow(ZillowConfig{Rows: 500, Seed: 10, DirtyFraction: 0.02})
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical data")
+	}
+	records := csvio.SplitRecords(a)
+	if len(records) != 501 {
+		t.Fatalf("records = %d", len(records))
+	}
+	header := csvio.SplitCells(records[0], ',', nil)
+	if len(header) != len(ZillowColumns) {
+		t.Fatalf("header = %v", header)
+	}
+	for i, rec := range records[1:] {
+		if csvio.CountCells(rec, ',') != len(ZillowColumns) {
+			t.Fatalf("row %d has wrong arity: %q", i, rec)
+		}
+	}
+}
+
+func TestZillowFactsFormatMatchesUDFExpectations(t *testing.T) {
+	raw := Zillow(ZillowConfig{Rows: 300, Seed: 4})
+	records := csvio.SplitRecords(raw)
+	factsIdx := 6
+	soldSeen := false
+	for _, rec := range records[1:] {
+		cells := csvio.SplitCells(rec, ',', nil)
+		facts := cells[factsIdx]
+		if strings.Contains(facts, "Price/sqft:") {
+			soldSeen = true
+			// extractPrice needs "$N , " after the marker.
+			i := strings.Index(facts, "$")
+			if i < 0 || !strings.Contains(facts[i:], " , ") {
+				t.Fatalf("sold facts not UDF-compatible: %q", facts)
+			}
+		}
+		if strings.Contains(facts, " sqft") && !strings.Contains(facts, "ba , ") {
+			t.Fatalf("sqft facts missing 'ba , ' marker: %q", facts)
+		}
+	}
+	if !soldSeen {
+		t.Fatal("no sold listings generated")
+	}
+}
+
+func TestFlightsStructureAndRates(t *testing.T) {
+	cfg := FlightsConfig{Rows: 5000, Seed: 2}.WithDefaults()
+	raw := Flights(cfg)
+	records := csvio.SplitRecords(raw)
+	if len(records) != cfg.Rows+1 {
+		t.Fatalf("records = %d", len(records))
+	}
+	header := csvio.SplitCells(records[0], ',', nil)
+	if len(header) != 110 {
+		t.Fatalf("columns = %d, want 110", len(header))
+	}
+	idx := map[string]int{}
+	for i, h := range header {
+		idx[h] = i
+	}
+	diverted, cancelled := 0, 0
+	for _, rec := range records[1:] {
+		cells := csvio.SplitCells(rec, ',', nil)
+		if len(cells) != 110 {
+			t.Fatalf("bad arity: %d", len(cells))
+		}
+		if cells[idx["DIVERTED"]] == "1.0" {
+			diverted++
+			if cells[idx["DIV_ACTUAL_ELAPSED_TIME"]] == "" {
+				t.Fatal("diverted row missing DIV_ACTUAL_ELAPSED_TIME")
+			}
+		}
+		if cells[idx["CANCELLED"]] == "1.0" {
+			cancelled++
+			if cells[idx["CANCELLATION_CODE"]] == "" {
+				t.Fatal("cancelled row missing code")
+			}
+		}
+	}
+	dr := float64(diverted) / float64(cfg.Rows)
+	if dr < 0.01 || dr > 0.035 {
+		t.Fatalf("diverted rate = %.3f, want ~%.3f", dr, cfg.DivertedFraction)
+	}
+	if cancelled == 0 {
+		t.Fatal("no cancelled flights")
+	}
+}
+
+func TestCarriersFormatMatchesUDF(t *testing.T) {
+	raw := Carriers()
+	records := csvio.SplitRecords(raw)
+	if len(records) < 5 {
+		t.Fatal("too few carriers")
+	}
+	for _, rec := range records[1:] {
+		cells := csvio.SplitCells(rec, ',', nil)
+		desc := cells[1]
+		// extractDefunctYear relies on "Name (YYYY - [YYYY])".
+		if !strings.Contains(desc, "(") || !strings.Contains(desc, "-") || !strings.HasSuffix(desc, ")") {
+			t.Fatalf("bad carrier description %q", desc)
+		}
+	}
+}
+
+func TestAirportsColonDelimited(t *testing.T) {
+	raw := Airports()
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		if got := len(strings.Split(line, ":")); got != len(AirportColumns) {
+			t.Fatalf("airport line has %d fields, want %d: %q", got, len(AirportColumns), line)
+		}
+	}
+}
+
+func TestWeblogsFormats(t *testing.T) {
+	logs, bad := Weblogs(WeblogConfig{Rows: 2000, Seed: 6})
+	lines := strings.Split(strings.TrimSpace(string(logs)), "\n")
+	if len(lines) != 2000 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	badRecords := csvio.SplitRecords(bad)
+	if string(badRecords[0]) != "BadIPs" {
+		t.Fatalf("bad-IP header = %q", badRecords[0])
+	}
+	userPaths, badHits := 0, 0
+	badSet := map[string]bool{}
+	for _, r := range badRecords[1:] {
+		badSet[string(r)] = true
+	}
+	for _, l := range lines {
+		if strings.Contains(l, "/~") {
+			userPaths++
+		}
+		if i := strings.IndexByte(l, ' '); i > 0 && badSet[l[:i]] {
+			badHits++
+		}
+	}
+	if userPaths == 0 {
+		t.Fatal("no /~user paths generated")
+	}
+	if badHits == 0 {
+		t.Fatal("no blacklisted-IP requests generated")
+	}
+}
+
+func TestThreeOneOneMessiness(t *testing.T) {
+	raw := ThreeOneOne(ThreeOneOneConfig{Rows: 3000, Seed: 7, MessyFraction: 0.1})
+	records := csvio.SplitRecords(raw)
+	zipIdx := -1
+	for i, h := range csvio.SplitCells(records[0], ',', nil) {
+		if h == "Incident Zip" {
+			zipIdx = i
+		}
+	}
+	if zipIdx < 0 {
+		t.Fatal("no Incident Zip column")
+	}
+	kinds := map[string]int{}
+	for _, rec := range records[1:] {
+		z := csvio.SplitCells(rec, ',', nil)[zipIdx]
+		switch {
+		case z == "":
+			kinds["empty"]++
+		case strings.Contains(z, "-"):
+			kinds["zip+4"]++
+		case strings.Contains(z, "."):
+			kinds["float"]++
+		case z == "NO CLUE" || z == "00000":
+			kinds["placeholder"]++
+		default:
+			kinds["clean"]++
+		}
+	}
+	for _, k := range []string{"empty", "zip+4", "float", "placeholder", "clean"} {
+		if kinds[k] == 0 {
+			t.Fatalf("messiness kind %q missing: %v", k, kinds)
+		}
+	}
+}
+
+func TestTPCHLineitemRanges(t *testing.T) {
+	raw := TPCHLineitem(TPCHConfig{Rows: 5000, Seed: 8})
+	records := csvio.SplitRecords(raw)
+	inWindow := 0
+	for _, rec := range records[1:] {
+		cells := csvio.SplitCells(rec, ',', nil)
+		if len(cells) != 4 {
+			t.Fatalf("bad arity %q", rec)
+		}
+		q, ok := csvio.ParseI64(cells[0])
+		if !ok || q < 1 || q > 50 {
+			t.Fatalf("quantity %q", cells[0])
+		}
+		d, ok := csvio.ParseF64(cells[2])
+		if !ok || d < 0 || d > 0.1 {
+			t.Fatalf("discount %q", cells[2])
+		}
+		s, _ := csvio.ParseI64(cells[3])
+		if s >= Q6DateLo && s < Q6DateHi {
+			inWindow++
+		}
+	}
+	// ~1/7 of dates should land in the Q6 year.
+	frac := float64(inWindow) / 5000
+	if frac < 0.08 || frac > 0.22 {
+		t.Fatalf("Q6 window fraction = %.3f", frac)
+	}
+}

@@ -1,0 +1,260 @@
+package data
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FlightsConfig sizes the flight on-time performance generator.
+type FlightsConfig struct {
+	Rows int
+	Seed uint64
+	// DivertedFraction is the share of diverted flights whose DIV_*
+	// columns are populated — these violate the mostly-null normal case
+	// and take the general path (≈2.6% in §6.1.2).
+	DivertedFraction float64
+	// CancelledFraction of flights carry a cancellation code.
+	CancelledFraction float64
+}
+
+// WithDefaults fills zero fields to the paper's observed rates.
+func (c FlightsConfig) WithDefaults() FlightsConfig {
+	if c.Rows <= 0 {
+		c.Rows = 10000
+	}
+	if c.DivertedFraction == 0 {
+		c.DivertedFraction = 0.02
+	}
+	if c.CancelledFraction == 0 {
+		c.CancelledFraction = 0.006
+	}
+	return c
+}
+
+// flightCarriers: code, name, founded, defunct (0 = active).
+var flightCarriers = []struct {
+	code    string
+	name    string
+	founded int
+	defunct int
+}{
+	{"AA", "American Airlines Inc.", 1934, 0},
+	{"DL", "Delta Air Lines Inc.", 1929, 0},
+	{"UA", "United Air Lines Inc.", 1931, 0},
+	{"WN", "Southwest Airlines Co.", 1971, 0},
+	{"B6", "JetBlue Airways LLC", 1999, 0},
+	{"AS", "Alaska Airlines Inc.", 1932, 0},
+	{"NK", "Spirit Air Lines", 1983, 0},
+	{"F9", "Frontier Airlines Inc.", 1994, 0},
+	{"VX", "Virgin America", 2004, 2018},
+	{"NW", "Northwest Airlines Inc.", 1926, 2010},
+	{"CO", "Continental Air Lines Inc.", 1934, 2012},
+	{"US", "US Airways Inc.", 1939, 2015},
+	{"TW", "Trans World Airways LLC", 1925, 2001},
+	{"PA", "Pan American World Airways", 1927, 1991},
+}
+
+// flightAirports: IATA, ICAO, name, city, country, lat, lon, altitude.
+var flightAirports = []struct {
+	iata, icao, name, city, country string
+	lat, lon                        float64
+	alt                             int
+}{
+	{"BOS", "KBOS", "GENERAL EDWARD LAWRENCE LOGAN INTL", "BOSTON", "USA", 42.3643, -71.0052, 20},
+	{"JFK", "KJFK", "JOHN F KENNEDY INTL", "NEW YORK", "USA", 40.6398, -73.7789, 13},
+	{"LAX", "KLAX", "LOS ANGELES INTL", "LOS ANGELES", "USA", 33.9425, -118.4081, 125},
+	{"ORD", "KORD", "CHICAGO OHARE INTL", "CHICAGO", "USA", 41.9786, -87.9048, 672},
+	{"ATL", "KATL", "HARTSFIELD JACKSON ATLANTA INTL", "ATLANTA", "USA", 33.6367, -84.4281, 1026},
+	{"SFO", "KSFO", "SAN FRANCISCO INTL", "SAN FRANCISCO", "USA", 37.6190, -122.3749, 13},
+	{"SEA", "KSEA", "SEATTLE TACOMA INTL", "SEATTLE", "USA", 47.4490, -122.3093, 433},
+	{"DEN", "KDEN", "DENVER INTL", "DENVER", "USA", 39.8617, -104.6731, 5431},
+	{"MIA", "KMIA", "MIAMI INTL", "MIAMI", "USA", 25.7932, -80.2906, 8},
+	{"DFW", "KDFW", "DALLAS FORT WORTH INTL", "DALLAS-FORT WORTH", "USA", 32.8968, -97.0380, 607},
+	{"PHX", "KPHX", "PHOENIX SKY HARBOR INTL", "PHOENIX", "USA", 33.4343, -112.0116, 1135},
+	{"LAS", "KLAS", "MC CARRAN INTL", "LAS VEGAS", "USA", 36.0801, -115.1522, 2181},
+	// A couple of airports the flight table never references, and one
+	// destination with no airport-table entry is exercised by XNA below.
+	{"ANC", "PANC", "TED STEVENS ANCHORAGE INTL", "ANCHORAGE", "USA", 61.1744, -149.9963, 152},
+}
+
+var flightCityNames = map[string]string{
+	"BOS": "Boston, MA", "JFK": "New York, NY", "LAX": "Los Angeles, CA",
+	"ORD": "Chicago, IL", "ATL": "Atlanta, GA", "SFO": "San Francisco, CA",
+	"SEA": "Seattle, WA", "DEN": "Denver, CO", "MIA": "Miami, FL",
+	"DFW": "Dallas/Fort Worth, TX", "PHX": "Phoenix, AZ", "LAS": "Las Vegas, NV",
+	"XNA": "Fayetteville, AR", // in flights but not in the airports table (left-join miss)
+}
+
+// FlightPerfColumns builds the 110-column header of the BTS on-time
+// performance files; the pipeline reads ~30, the rest exist so
+// projection pushdown has something real to prune (§6.3.1).
+func FlightPerfColumns() []string {
+	cols := []string{
+		"YEAR", "QUARTER", "MONTH", "DAY_OF_MONTH", "DAY_OF_WEEK", "FL_DATE",
+		"OP_UNIQUE_CARRIER", "OP_CARRIER_AIRLINE_ID", "OP_CARRIER", "TAIL_NUM",
+		"OP_CARRIER_FL_NUM", "ORIGIN_AIRPORT_ID", "ORIGIN_AIRPORT_SEQ_ID",
+		"ORIGIN_CITY_MARKET_ID", "ORIGIN", "ORIGIN_CITY_NAME", "ORIGIN_STATE_ABR",
+		"ORIGIN_STATE_FIPS", "ORIGIN_STATE_NM", "ORIGIN_WAC", "DEST_AIRPORT_ID",
+		"DEST_AIRPORT_SEQ_ID", "DEST_CITY_MARKET_ID", "DEST", "DEST_CITY_NAME",
+		"DEST_STATE_ABR", "DEST_STATE_FIPS", "DEST_STATE_NM", "DEST_WAC",
+		"CRS_DEP_TIME", "DEP_TIME", "DEP_DELAY", "DEP_DELAY_NEW", "DEP_DEL15",
+		"DEP_DELAY_GROUP", "DEP_TIME_BLK", "TAXI_OUT", "WHEELS_OFF", "WHEELS_ON",
+		"TAXI_IN", "CRS_ARR_TIME", "ARR_TIME", "ARR_DELAY", "ARR_DELAY_NEW",
+		"ARR_DEL15", "ARR_DELAY_GROUP", "ARR_TIME_BLK", "CANCELLED",
+		"CANCELLATION_CODE", "DIVERTED", "CRS_ELAPSED_TIME", "ACTUAL_ELAPSED_TIME",
+		"AIR_TIME", "FLIGHTS", "DISTANCE", "DISTANCE_GROUP", "CARRIER_DELAY",
+		"WEATHER_DELAY", "NAS_DELAY", "SECURITY_DELAY", "LATE_AIRCRAFT_DELAY",
+		"FIRST_DEP_TIME", "TOTAL_ADD_GTIME", "LONGEST_ADD_GTIME", "DIV_AIRPORT_LANDINGS",
+		"DIV_REACHED_DEST", "DIV_ACTUAL_ELAPSED_TIME", "DIV_ARR_DELAY", "DIV_DISTANCE",
+	}
+	for i := len(cols); i < 110; i++ {
+		cols = append(cols, fmt.Sprintf("RESERVED_%d", i))
+	}
+	return cols
+}
+
+// Flights renders the on-time performance CSV.
+func Flights(cfg FlightsConfig) []byte {
+	cfg = cfg.WithDefaults()
+	r := newRng(cfg.Seed ^ 0xF115)
+	cols := FlightPerfColumns()
+	idx := map[string]int{}
+	for i, c := range cols {
+		idx[c] = i
+	}
+	var sb strings.Builder
+	sb.Grow(cfg.Rows * 300)
+	sb.WriteString(strings.Join(cols, ","))
+	sb.WriteByte('\n')
+
+	iatas := make([]string, 0, len(flightCityNames))
+	for k := range flightCityNames {
+		iatas = append(iatas, k)
+	}
+	// Deterministic order for the seeded generator.
+	sortStrings(iatas)
+
+	row := make([]string, len(cols))
+	for range cfg.Rows {
+		for i := range row {
+			row[i] = ""
+		}
+		carrier := flightCarriers[r.Intn(len(flightCarriers))]
+		origin := iatas[r.Intn(len(iatas))]
+		dest := iatas[r.Intn(len(iatas))]
+		for dest == origin {
+			dest = iatas[r.Intn(len(iatas))]
+		}
+		year := r.rangeInt(2009, 2020)
+		elapsed := r.rangeInt(45, 400)
+		dep := r.rangeInt(0, 2360)
+		set := func(col, v string) { row[idx[col]] = v }
+		set("YEAR", fmt.Sprint(year))
+		set("QUARTER", fmt.Sprint(1+r.Intn(4)))
+		set("MONTH", fmt.Sprint(1+r.Intn(12)))
+		set("DAY_OF_MONTH", fmt.Sprint(1+r.Intn(28)))
+		set("DAY_OF_WEEK", fmt.Sprint(1+r.Intn(7)))
+		set("FL_DATE", fmt.Sprintf("%04d-%02d-%02d", year, 1+r.Intn(12), 1+r.Intn(28)))
+		set("OP_UNIQUE_CARRIER", carrier.code)
+		set("OP_CARRIER", carrier.code)
+		set("OP_CARRIER_AIRLINE_ID", fmt.Sprint(19000+r.Intn(999)))
+		set("TAIL_NUM", "N"+fmt.Sprint(100+r.Intn(900))+r.upperWord(2))
+		set("OP_CARRIER_FL_NUM", fmt.Sprint(1+r.Intn(9999)))
+		set("ORIGIN", origin)
+		set("ORIGIN_CITY_NAME", flightCityNames[origin])
+		set("DEST", dest)
+		set("DEST_CITY_NAME", flightCityNames[dest])
+		set("CRS_DEP_TIME", fmt.Sprint(dep))
+		set("CRS_ARR_TIME", fmt.Sprint((dep+elapsed)%2400))
+		set("CRS_ELAPSED_TIME", fmt.Sprintf("%d.0", elapsed))
+		set("DISTANCE", fmt.Sprintf("%d.0", r.rangeInt(100, 2800)))
+		set("FLIGHTS", "1.0")
+
+		cancelled := r.chance(cfg.CancelledFraction)
+		diverted := !cancelled && r.chance(cfg.DivertedFraction)
+		if cancelled {
+			set("CANCELLED", "1.0")
+			set("DIVERTED", "0.0")
+			set("CANCELLATION_CODE", r.pick("A", "B", "C", "D"))
+		} else {
+			set("CANCELLED", "0.0")
+			arrDelay := r.rangeInt(-20, 120)
+			set("ACTUAL_ELAPSED_TIME", fmt.Sprintf("%d.0", elapsed+arrDelay/2))
+			set("AIR_TIME", fmt.Sprintf("%d.0", elapsed-r.rangeInt(15, 40)))
+			set("ARR_DELAY", fmt.Sprintf("%d.0", arrDelay))
+			set("DEP_DELAY", fmt.Sprintf("%d.0", r.rangeInt(-10, 90)))
+			set("TAXI_IN", fmt.Sprintf("%d.0", r.rangeInt(2, 20)))
+			set("TAXI_OUT", fmt.Sprintf("%d.0", r.rangeInt(5, 35)))
+			if arrDelay > 15 && r.chance(0.7) {
+				// Delay-cause columns are populated only for late
+				// flights: sparse columns with occasional values.
+				set("CARRIER_DELAY", fmt.Sprintf("%d.0", r.rangeInt(0, arrDelay)))
+				set("WEATHER_DELAY", "0.0")
+				set("NAS_DELAY", fmt.Sprintf("%d.0", r.rangeInt(0, 30)))
+				set("SECURITY_DELAY", "0.0")
+				set("LATE_AIRCRAFT_DELAY", fmt.Sprintf("%d.0", r.rangeInt(0, 30)))
+			}
+			if diverted {
+				set("DIVERTED", "1.0")
+				set("DIV_AIRPORT_LANDINGS", "1")
+				set("DIV_REACHED_DEST", "1.0")
+				set("DIV_ACTUAL_ELAPSED_TIME", fmt.Sprintf("%d.0", elapsed+r.rangeInt(60, 240)))
+				set("DIV_ARR_DELAY", fmt.Sprintf("%d.0", r.rangeInt(60, 240)))
+				set("DIV_DISTANCE", "0.0")
+			} else {
+				set("DIVERTED", "0.0")
+			}
+		}
+		writeCSVRow(&sb, row)
+	}
+	return []byte(sb.String())
+}
+
+// Carriers renders the L_CARRIER_HISTORY side table.
+func Carriers() []byte {
+	var sb strings.Builder
+	sb.WriteString("Code,Description\n")
+	for _, c := range flightCarriers {
+		defunct := ""
+		if c.defunct > 0 {
+			defunct = fmt.Sprint(c.defunct)
+		}
+		writeCSVRow(&sb, []string{c.code, fmt.Sprintf("%s (%d - %s)", c.name, c.founded, defunct)})
+	}
+	return []byte(sb.String())
+}
+
+// Airports renders the colon-delimited GlobalAirportDatabase side table
+// (16 columns, no header).
+func Airports() []byte {
+	var sb strings.Builder
+	for _, a := range flightAirports {
+		latDir, lonDir := "N", "W"
+		cells := []string{
+			a.icao, a.iata, a.name, a.city, a.country,
+			fmt.Sprint(int(a.lat)), fmt.Sprint(int(a.lat*60) % 60), fmt.Sprint(int(a.lat*3600) % 60), latDir,
+			fmt.Sprint(int(-a.lon)), fmt.Sprint(int(-a.lon*60) % 60), fmt.Sprint(int(-a.lon*3600) % 60), lonDir,
+			fmt.Sprint(a.alt),
+			fmt.Sprintf("%.3f", a.lat), fmt.Sprintf("%.3f", a.lon),
+		}
+		sb.WriteString(strings.Join(cells, ":"))
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String())
+}
+
+// AirportColumns matches the paper's airport_cols list.
+var AirportColumns = []string{
+	"ICAOCode", "IATACode", "AirportName", "AirportCity", "Country",
+	"LatitudeDegrees", "LatitudeMinutes", "LatitudeSeconds", "LatitudeDirection",
+	"LongitudeDegrees", "LongitudeMinutes", "LongitudeSeconds",
+	"LongitudeDirection", "Altitude", "LatitudeDecimal", "LongitudeDecimal",
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

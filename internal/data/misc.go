@@ -1,0 +1,113 @@
+package data
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ThreeOneOneConfig sizes the 311 service-request generator.
+type ThreeOneOneConfig struct {
+	Rows int
+	Seed uint64
+	// MessyFraction of zip cells carry the pandas-cookbook messiness:
+	// ZIP+4 spellings, '00000' placeholders, 'NO CLUE', NaN-ish blanks.
+	MessyFraction float64
+}
+
+// ThreeOneOneColumns mirrors the subset of NYC 311 columns the cleaning
+// query touches.
+var ThreeOneOneColumns = []string{
+	"Unique Key", "Created Date", "Agency", "Complaint Type",
+	"Descriptor", "Incident Zip", "City", "Borough",
+}
+
+var nycZips = []string{
+	"10001", "10002", "10003", "10011", "10016", "10019", "10025",
+	"11201", "11215", "11217", "11375", "10451", "10301",
+}
+
+var nycComplaints = []string{
+	"Noise - Street/Sidewalk", "Illegal Parking", "HEAT/HOT WATER",
+	"Blocked Driveway", "Street Condition", "Water System", "Rodent",
+}
+
+// ThreeOneOne renders the 311 service-requests CSV.
+func ThreeOneOne(cfg ThreeOneOneConfig) []byte {
+	if cfg.Rows <= 0 {
+		cfg.Rows = 1000
+	}
+	if cfg.MessyFraction == 0 {
+		cfg.MessyFraction = 0.08
+	}
+	r := newRng(cfg.Seed ^ 0x311)
+	var sb strings.Builder
+	sb.Grow(cfg.Rows * 110)
+	sb.WriteString(strings.Join(ThreeOneOneColumns, ","))
+	sb.WriteByte('\n')
+	for i := range cfg.Rows {
+		zip := r.pick(nycZips...)
+		if r.chance(cfg.MessyFraction) {
+			switch r.Intn(5) {
+			case 0:
+				zip = zip + "-" + fmt.Sprintf("%04d", r.Intn(10000)) // ZIP+4
+			case 1:
+				zip = "00000" // placeholder
+			case 2:
+				zip = "NO CLUE"
+			case 3:
+				zip = "" // NaN
+			default:
+				zip = fmt.Sprintf("%d.0", 10000+r.Intn(90000)) // float-ified
+			}
+		}
+		writeCSVRow(&sb, []string{
+			fmt.Sprint(26000000 + i),
+			fmt.Sprintf("%02d/%02d/%d 0%d:%02d:%02d PM", 1+r.Intn(12), 1+r.Intn(28), r.rangeInt(2013, 2016), r.Intn(10), r.Intn(60), r.Intn(60)),
+			r.pick("NYPD", "HPD", "DOT", "DEP", "DSNY"),
+			r.pick(nycComplaints...),
+			"Loud Music/Party",
+			zip,
+			r.pick("NEW YORK", "BROOKLYN", "BRONX", "STATEN ISLAND", "QUEENS"),
+			r.pick("MANHATTAN", "BROOKLYN", "BRONX", "STATEN ISLAND", "QUEENS"),
+		})
+	}
+	return []byte(sb.String())
+}
+
+// TPCHConfig sizes the lineitem generator.
+type TPCHConfig struct {
+	Rows int
+	Seed uint64
+}
+
+// TPCHLineitemColumns is the 4-column projection Q6 needs (matching the
+// paper's preprocessed input: string date columns converted to ints).
+var TPCHLineitemColumns = []string{"l_quantity", "l_extendedprice", "l_discount", "l_shipdate"}
+
+// TPCHLineitem renders the lineitem CSV. Shipdates are days since
+// 1992-01-01 over a 7-year range; Q6's 1994 window is [731, 1096).
+func TPCHLineitem(cfg TPCHConfig) []byte {
+	if cfg.Rows <= 0 {
+		cfg.Rows = 10000
+	}
+	r := newRng(cfg.Seed ^ 0x79c)
+	var sb strings.Builder
+	sb.Grow(cfg.Rows * 32)
+	sb.WriteString(strings.Join(TPCHLineitemColumns, ","))
+	sb.WriteByte('\n')
+	for range cfg.Rows {
+		qty := 1 + r.Intn(50)
+		price := float64(90000+r.Intn(10000)) / 100.0 * float64(qty)
+		disc := float64(r.Intn(11)) / 100.0
+		ship := r.Intn(7 * 365)
+		fmt.Fprintf(&sb, "%d,%.2f,%.2f,%d\n", qty, price, disc, ship)
+	}
+	return []byte(sb.String())
+}
+
+// Q6DateLo and Q6DateHi bound the paper's Q6 shipdate window (the year
+// starting 731 days after 1992-01-01, i.e. 1994).
+const (
+	Q6DateLo = 731
+	Q6DateHi = 1096
+)

@@ -1,0 +1,123 @@
+package data
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WeblogConfig sizes the Apache log generator.
+type WeblogConfig struct {
+	Rows int
+	Seed uint64
+	// AnomalousFraction of lines are malformed (truncated requests,
+	// missing fields) — the rows that made SparkSQL "silently return
+	// incorrect results" in §7.
+	AnomalousFraction float64
+	// UserPathFraction of requests hit /~username paths (the
+	// anonymization UDF's targets).
+	UserPathFraction float64
+	// BadIPFraction of requests come from blacklisted IPs.
+	BadIPFraction float64
+	// BadIPCount is the size of the blacklist.
+	BadIPCount int
+}
+
+// WithDefaults fills zero fields.
+func (c WeblogConfig) WithDefaults() WeblogConfig {
+	if c.Rows <= 0 {
+		c.Rows = 10000
+	}
+	if c.AnomalousFraction == 0 {
+		c.AnomalousFraction = 0.0005
+	}
+	if c.UserPathFraction == 0 {
+		c.UserPathFraction = 0.25
+	}
+	if c.BadIPFraction == 0 {
+		c.BadIPFraction = 0.05
+	}
+	if c.BadIPCount <= 0 {
+		c.BadIPCount = 64
+	}
+	return c
+}
+
+var logMonths = []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+
+var logUsers = []string{"alice", "bob", "carol", "dmitri", "erin", "frank", "grace", "heidi"}
+
+var logPaths = []string{
+	"/index.html", "/courses/cs101/syllabus.pdf", "/about.html",
+	"/research/papers/tuplex.pdf", "/images/logo.png", "/admin/login.php",
+	"/cgi-bin/search.cgi", "/static/app.js",
+}
+
+// Weblogs renders Apache common-log-format lines plus the bad-IP
+// blacklist CSV.
+func Weblogs(cfg WeblogConfig) (logs, badIPs []byte) {
+	cfg = cfg.WithDefaults()
+	r := newRng(cfg.Seed ^ 0x10905)
+
+	bad := make([]string, cfg.BadIPCount)
+	badSet := map[string]bool{}
+	for i := range bad {
+		ip := r.ipv4()
+		for badSet[ip] {
+			ip = r.ipv4()
+		}
+		bad[i] = ip
+		badSet[ip] = true
+	}
+	var bb strings.Builder
+	bb.WriteString("BadIPs\n")
+	for _, ip := range bad {
+		bb.WriteString(ip)
+		bb.WriteByte('\n')
+	}
+
+	var sb strings.Builder
+	sb.Grow(cfg.Rows * 110)
+	for range cfg.Rows {
+		if r.chance(cfg.AnomalousFraction) {
+			switch r.Intn(3) {
+			case 0:
+				sb.WriteString("corrupted log fragment without structure\n")
+			case 1:
+				// Request field with no method/protocol — the case where
+				// regexp_extract returns '' but Python re returns None.
+				fmt.Fprintf(&sb, "%s - - [%s] \"-\" 400 0\n", r.ipv4(), logDate(r))
+			default:
+				fmt.Fprintf(&sb, "%s - -\n", r.ipv4())
+			}
+			continue
+		}
+		ip := r.ipv4()
+		if r.chance(cfg.BadIPFraction) {
+			ip = bad[r.Intn(len(bad))]
+		}
+		user := "-"
+		if r.chance(0.1) {
+			user = r.pick(logUsers...)
+		}
+		path := r.pick(logPaths...)
+		if r.chance(cfg.UserPathFraction) {
+			path = fmt.Sprintf("/~%s/%s", r.pick(logUsers...), r.pick("index.html", "pubs.html", "cv.pdf", "notes/ml.txt"))
+		}
+		method := r.pick("GET", "GET", "GET", "POST", "HEAD")
+		proto := r.pick("HTTP/1.0", "HTTP/1.1")
+		status := r.pick("200", "200", "200", "304", "404", "403", "500")
+		size := "-"
+		if status == "200" {
+			size = fmt.Sprint(r.rangeInt(64, 1<<20))
+		}
+		fmt.Fprintf(&sb, "%s - %s [%s] \"%s %s %s\" %s %s\n",
+			ip, user, logDate(r), method, path, proto, status, size)
+	}
+	return []byte(sb.String()), []byte(bb.String())
+}
+
+func logDate(r *rng) string {
+	return fmt.Sprintf("%02d/%s/%d:%02d:%02d:%02d -0400",
+		1+r.Intn(28), logMonths[r.Intn(12)], r.rangeInt(2008, 2020),
+		r.Intn(24), r.Intn(60), r.Intn(60))
+}

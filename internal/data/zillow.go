@@ -1,0 +1,117 @@
+package data
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ZillowConfig sizes the Zillow listings generator.
+type ZillowConfig struct {
+	Rows int
+	Seed uint64
+	// DirtyFraction is the share of rows violating the normal case
+	// (malformed facts strings, N/A prices). The paper cleaned its 10GB
+	// dataset; a small nonzero default exercises the exception paths.
+	DirtyFraction float64
+}
+
+// ZillowColumns is the input schema (10 columns, per Table 2).
+var ZillowColumns = []string{
+	"title", "address", "city", "state", "postal_code", "price",
+	"facts and features", "real estate provider", "url", "sales_date",
+}
+
+var zillowCities = []string{
+	"boston", "CAMBRIDGE", "Somerville", "newton", "BROOKLINE",
+	"quincy", "medford", "arlington", "WALTHAM", "malden",
+}
+
+var zillowStreets = []string{
+	"Main St", "Elm St", "Washington Ave", "Park Dr", "Beacon St",
+	"Harvard Ave", "Commonwealth Ave", "Centre St",
+}
+
+// Zillow renders the listings CSV (with header).
+func Zillow(cfg ZillowConfig) []byte {
+	if cfg.Rows <= 0 {
+		cfg.Rows = 1000
+	}
+	r := newRng(cfg.Seed ^ 0x21110)
+	var sb strings.Builder
+	sb.Grow(cfg.Rows * 220)
+	sb.WriteString(strings.Join(ZillowColumns, ","))
+	sb.WriteByte('\n')
+	for i := range cfg.Rows {
+		dirty := r.chance(cfg.DirtyFraction)
+		offer := r.pick("Sale", "Rent", "Sold", "Foreclosed", "Sale", "Sale", "Rent")
+		htype := r.pick("house", "condo", "apartment", "townhouse", "house", "house")
+		bd := r.rangeInt(1, 12) // some >=10 rows for the bedroom filter
+		ba := r.rangeInt(1, 5)
+		sqft := r.rangeInt(450, 5200)
+		pricePerSqft := r.rangeInt(120, 900)
+		price := sqft * pricePerSqft
+
+		title := fmt.Sprintf("%s For %s - %d bed", capWord(htype), offer, bd)
+		address := fmt.Sprintf("%d %s", r.rangeInt(1, 999), r.pick(zillowStreets...))
+		city := r.pick(zillowCities...)
+		state := "MA"
+		postal := fmt.Sprintf("%d", r.rangeInt(1801, 2790)) // leading zero lost, like the real data
+
+		var priceCell, facts string
+		switch strings.ToLower(offer) {
+		case "rent":
+			rent := r.rangeInt(900, 7000)
+			priceCell = fmt.Sprintf("$%s/mo", commaInt(rent))
+			facts = fmt.Sprintf("%d bds, %d ba , %s sqft", bd, ba, commaInt(sqft))
+		case "sold":
+			priceCell = fmt.Sprintf("$%s", commaInt(price))
+			facts = fmt.Sprintf("%d bds, %d ba , %s sqft Price/sqft: $%d , built %d",
+				bd, ba, commaInt(sqft), pricePerSqft, r.rangeInt(1890, 2015))
+		default:
+			priceCell = fmt.Sprintf("$%s", commaInt(price))
+			facts = fmt.Sprintf("%d bds, %d ba , %s sqft", bd, ba, commaInt(sqft))
+		}
+		if dirty {
+			switch r.Intn(3) {
+			case 0:
+				facts = "studio unit" // extractBd raises ValueError
+			case 1:
+				priceCell = "N/A" // extractPrice raises ValueError
+			default:
+				facts = fmt.Sprintf("%d bds", bd) // extractBa raises ValueError
+			}
+		}
+		url := fmt.Sprintf("https://www.zillow.com/homedetails/%d_zpid/", 10000000+i)
+		provider := r.pick("Coldwell Banker", "Redfin", "Keller Williams", "Compass")
+		date := fmt.Sprintf("%04d-%02d-%02d", r.rangeInt(2015, 2020), r.rangeInt(1, 13), r.rangeInt(1, 29))
+
+		writeCSVRow(&sb, []string{
+			title, address, city, state, postal, priceCell, facts, provider, url, date,
+		})
+	}
+	return []byte(sb.String())
+}
+
+func capWord(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+// writeCSVRow renders cells with minimal quoting.
+func writeCSVRow(sb *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			sb.WriteByte('"')
+			sb.WriteString(strings.ReplaceAll(c, `"`, `""`))
+			sb.WriteByte('"')
+		} else {
+			sb.WriteString(c)
+		}
+	}
+	sb.WriteByte('\n')
+}

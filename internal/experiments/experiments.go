@@ -1,0 +1,201 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) on synthetic data: for each experiment it runs every
+// compared system, times it, and prints rows in the paper's layout next
+// to the paper's published numbers so the shape (who wins, by what
+// factor) can be compared directly. cmd/tuplex-bench is the CLI over
+// this package and the repo's EXPERIMENTS.md is generated from it.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Scale sizes the generated datasets. Defaults target tens of seconds on
+// a laptop; the paper's inputs are 10-75 GB.
+type Scale struct {
+	ZillowRows  int
+	FlightRows  int
+	WeblogRows  int
+	Rows311     int
+	Q6Rows      int
+	Parallelism int
+	Repeats     int
+}
+
+// DefaultScale is the harness default.
+func DefaultScale() Scale {
+	p := runtime.NumCPU()
+	if p > 16 {
+		p = 16
+	}
+	return Scale{
+		ZillowRows:  200_000,
+		FlightRows:  100_000,
+		WeblogRows:  300_000,
+		Rows311:     400_000,
+		Q6Rows:      2_000_000,
+		Parallelism: p,
+		Repeats:     1,
+	}
+}
+
+// Small returns a fast scale for tests and -short runs.
+func (s Scale) Small() Scale {
+	s.ZillowRows = 20_000
+	s.FlightRows = 10_000
+	s.WeblogRows = 20_000
+	s.Rows311 = 30_000
+	s.Q6Rows = 200_000
+	return s
+}
+
+// Row is one measured system in an experiment.
+type Row struct {
+	System  string
+	Seconds float64
+	// PaperSeconds is the published number for the corresponding system
+	// ("-" rendered when absent).
+	PaperSeconds float64
+	Note         string
+}
+
+// Experiment is one table/figure reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Rows  []Row
+	Notes []string
+}
+
+// Speedup reports row i's time relative to the named reference system.
+func (e *Experiment) Speedup(ref, system string) float64 {
+	var rs, ss float64
+	for _, r := range e.Rows {
+		if r.System == ref {
+			rs = r.Seconds
+		}
+		if r.System == system {
+			ss = r.Seconds
+		}
+	}
+	if ss == 0 {
+		return 0
+	}
+	return rs / ss
+}
+
+// Find returns the row for a system.
+func (e *Experiment) Find(system string) (Row, bool) {
+	for _, r := range e.Rows {
+		if r.System == system {
+			return r, true
+		}
+	}
+	return Row{}, false
+}
+
+// Print renders the experiment as an aligned table.
+func (e *Experiment) Print(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s: %s ==\n", e.ID, e.Title)
+	width := 28
+	for _, r := range e.Rows {
+		if len(r.System) > width {
+			width = len(r.System)
+		}
+	}
+	fmt.Fprintf(w, "%-*s  %12s  %14s  %s\n", width, "system", "measured", "paper (§6)", "")
+	for _, r := range e.Rows {
+		paper := "-"
+		if r.PaperSeconds > 0 {
+			paper = fmt.Sprintf("%.1fs", r.PaperSeconds)
+		}
+		fmt.Fprintf(w, "%-*s  %11.3fs  %14s  %s\n", width, r.System, r.Seconds, paper, r.Note)
+	}
+	for _, n := range e.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// Markdown renders the experiment as a Markdown table (for
+// EXPERIMENTS.md).
+func (e *Experiment) Markdown(w io.Writer) {
+	fmt.Fprintf(w, "\n### %s — %s\n\n", e.ID, e.Title)
+	fmt.Fprintf(w, "| system | measured | paper |\n|---|---|---|\n")
+	for _, r := range e.Rows {
+		paper := "—"
+		if r.PaperSeconds > 0 {
+			paper = fmt.Sprintf("%.1f s", r.PaperSeconds)
+		}
+		note := ""
+		if r.Note != "" {
+			note = " (" + r.Note + ")"
+		}
+		fmt.Fprintf(w, "| %s | %.3f s%s | %s |\n", r.System, r.Seconds, note, paper)
+	}
+	for _, n := range e.Notes {
+		fmt.Fprintf(w, "\n> %s\n", n)
+	}
+}
+
+// timeIt measures fn (best of n repeats).
+func timeIt(repeats int, fn func() error) (float64, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	best := 0.0
+	for i := 0; i < repeats; i++ {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		d := time.Since(t0).Seconds()
+		if i == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// mbOf renders a byte count as MB.
+func mbOf(n int) string {
+	return fmt.Sprintf("%.1f MB", float64(n)/(1<<20))
+}
+
+func countLines(b []byte) int {
+	n := 0
+	for _, c := range b {
+		if c == '\n' {
+			n++
+		}
+	}
+	return n
+}
+
+// header renders a run banner.
+func header(w io.Writer, scale Scale) {
+	fmt.Fprintf(w, "tuplex-bench: %d-way parallelism, scales: zillow=%d flights=%d weblogs=%d 311=%d q6=%d\n",
+		scale.Parallelism, scale.ZillowRows, scale.FlightRows, scale.WeblogRows, scale.Rows311, scale.Q6Rows)
+	fmt.Fprintln(w, strings.Repeat("-", 78))
+}
+
+// All runs every experiment in order.
+func All(scale Scale, w io.Writer) ([]*Experiment, error) {
+	header(w, scale)
+	var out []*Experiment
+	runs := []func(Scale, io.Writer) (*Experiment, error){
+		Table2, Fig3Single, Fig3Parallel, Fig4, Fig5, Fig6, Fig7,
+		Fig9, Fig10, Fig11, Fig12,
+	}
+	for _, fn := range runs {
+		e, err := fn(scale, w)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

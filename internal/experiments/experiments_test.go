@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps the smoke tests fast.
+func tinyScale() Scale {
+	s := DefaultScale()
+	s.ZillowRows = 2000
+	s.FlightRows = 1500
+	s.WeblogRows = 2000
+	s.Rows311 = 3000
+	s.Q6Rows = 20000
+	s.Parallelism = 2
+	return s
+}
+
+// TestExperimentsSmoke runs every experiment at tiny scale: each must
+// complete, produce rows for every system, and never report a zero time
+// for a real run.
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments smoke test is slow")
+	}
+	scale := tinyScale()
+	runs := []struct {
+		name string
+		fn   func(Scale, io.Writer) (*Experiment, error)
+		min  int
+	}{
+		{"table2", Table2, 5},
+		{"fig3a", Fig3Single, 5},
+		{"fig3b", Fig3Parallel, 5},
+		{"fig4", Fig4, 6},
+		{"fig5", Fig5, 10},
+		{"fig6", Fig6, 9},
+		{"fig7", Fig7, 4},
+		{"fig9", Fig9, 7},
+		{"fig10", Fig10, 6},
+		{"fig11", Fig11, 8},
+		{"fig12", Fig12, 2},
+	}
+	for _, r := range runs {
+		t.Run(r.name, func(t *testing.T) {
+			var sb strings.Builder
+			e, err := r.fn(scale, &sb)
+			if err != nil {
+				t.Fatalf("%s: %v", r.name, err)
+			}
+			if len(e.Rows) < r.min {
+				t.Fatalf("%s: %d rows, want >= %d", r.name, len(e.Rows), r.min)
+			}
+			if !strings.Contains(sb.String(), e.ID) {
+				t.Fatalf("%s: printed output missing header", r.name)
+			}
+			// Markdown rendering must not panic and must contain a table.
+			var md strings.Builder
+			e.Markdown(&md)
+			if !strings.Contains(md.String(), "| system |") {
+				t.Fatalf("%s: markdown output malformed", r.name)
+			}
+		})
+	}
+}
+
+func TestSpeedupAndFind(t *testing.T) {
+	e := &Experiment{Rows: []Row{{System: "a", Seconds: 10}, {System: "b", Seconds: 2}}}
+	if got := e.Speedup("a", "b"); got != 5 {
+		t.Fatalf("speedup = %v", got)
+	}
+	if _, ok := e.Find("zz"); ok {
+		t.Fatal("found missing system")
+	}
+}

@@ -1,0 +1,241 @@
+// Package handopt contains hand-optimized native implementations of the
+// evaluation pipelines, written directly against raw bytes with no
+// interpreter, no boxing and no genericity. They play the role of the
+// paper's hand-optimized C++ baseline (§6.1: "comes within 22% of a
+// hand-optimized C++ baseline") and double as correctness oracles for
+// the Tuplex pipelines in tests.
+package handopt
+
+import (
+	"strconv"
+	"strings"
+
+	"github.com/gotuplex/tuplex/internal/csvio"
+)
+
+// ZillowRow is one output row of the hand-optimized Zillow pipeline.
+type ZillowRow struct {
+	URL, Zipcode, Address, City, State string
+	Bedrooms, Bathrooms, Sqft          int64
+	Offer, Type                        string
+	Price                              int64
+}
+
+// Zillow runs the Zillow pipeline natively over the CSV bytes. Rows that
+// would raise in Python are skipped (the cleaned-data assumption the
+// paper's C++ baseline makes).
+func Zillow(data []byte) []ZillowRow {
+	records := csvio.SplitRecords(data)
+	if len(records) == 0 {
+		return nil
+	}
+	header := csvio.SplitCells(records[0], ',', nil)
+	idx := map[string]int{}
+	for i, h := range header {
+		idx[h] = i
+	}
+	iTitle, iAddress, iCity, iState := idx["title"], idx["address"], idx["city"], idx["state"]
+	iPostal, iPrice, iFacts, iURL := idx["postal_code"], idx["price"], idx["facts and features"], idx["url"]
+
+	var out []ZillowRow
+	var cells []string
+	for _, rec := range records[1:] {
+		cells = csvio.SplitCells(rec, ',', cells)
+		if len(cells) != len(header) {
+			continue
+		}
+		facts := cells[iFacts]
+		bd, ok := extractCount(facts, " bd")
+		if !ok || bd >= 10 {
+			continue
+		}
+		title := strings.ToLower(cells[iTitle])
+		htype := "unknown"
+		if strings.Contains(title, "condo") || strings.Contains(title, "apartment") {
+			htype = "condo"
+		}
+		if strings.Contains(title, "house") {
+			htype = "house"
+		}
+		if htype != "house" {
+			continue
+		}
+		postal, err := strconv.ParseInt(strings.TrimSpace(cells[iPostal]), 10, 64)
+		if err != nil {
+			continue
+		}
+		city := cells[iCity]
+		if len(city) > 0 {
+			city = strings.ToUpper(city[:1]) + strings.ToLower(city[1:])
+		} else {
+			continue // x[0] raises IndexError in Python
+		}
+		ba, ok := extractCount(facts, " ba")
+		if !ok {
+			continue
+		}
+		sqft, ok := extractSqft(facts)
+		if !ok {
+			continue
+		}
+		offer := extractOffer(title)
+		price, ok := extractPrice(cells[iPrice], offer, facts, sqft)
+		if !ok {
+			continue
+		}
+		if !(100000 < price && float64(price) < 2e7) {
+			continue
+		}
+		out = append(out, ZillowRow{
+			URL:      cells[iURL],
+			Zipcode:  zeroPad5(postal),
+			Address:  cells[iAddress],
+			City:     city,
+			State:    cells[iState],
+			Bedrooms: bd, Bathrooms: ba, Sqft: sqft,
+			Offer: offer, Type: htype, Price: price,
+		})
+	}
+	return out
+}
+
+// ZillowCSV renders the native pipeline's output like tocsv.
+func ZillowCSV(data []byte) []byte {
+	rows := Zillow(data)
+	var sb strings.Builder
+	sb.Grow(len(rows) * 120)
+	sb.WriteString("url,zipcode,address,city,state,bedrooms,bathrooms,sqft,offer,type,price\n")
+	for i := range rows {
+		r := &rows[i]
+		sb.WriteString(r.URL)
+		sb.WriteByte(',')
+		sb.WriteString(r.Zipcode)
+		sb.WriteByte(',')
+		sb.WriteString(r.Address)
+		sb.WriteByte(',')
+		sb.WriteString(r.City)
+		sb.WriteByte(',')
+		sb.WriteString(r.State)
+		sb.WriteByte(',')
+		sb.WriteString(strconv.FormatInt(r.Bedrooms, 10))
+		sb.WriteByte(',')
+		sb.WriteString(strconv.FormatInt(r.Bathrooms, 10))
+		sb.WriteByte(',')
+		sb.WriteString(strconv.FormatInt(r.Sqft, 10))
+		sb.WriteByte(',')
+		sb.WriteString(r.Offer)
+		sb.WriteByte(',')
+		sb.WriteString(r.Type)
+		sb.WriteByte(',')
+		sb.WriteString(strconv.FormatInt(r.Price, 10))
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String())
+}
+
+// extractCount implements the extractBd/extractBa logic natively.
+func extractCount(facts, marker string) (int64, bool) {
+	maxIdx := strings.Index(facts, marker)
+	if maxIdx < 0 {
+		maxIdx = len(facts)
+	}
+	s := facts[:maxIdx]
+	splitIdx := strings.LastIndexByte(s, ',')
+	if splitIdx < 0 {
+		splitIdx = 0
+	} else {
+		splitIdx += 2
+	}
+	if splitIdx > len(s) {
+		return 0, false
+	}
+	return parsePyInt(s[splitIdx:])
+}
+
+func extractSqft(facts string) (int64, bool) {
+	maxIdx := strings.Index(facts, " sqft")
+	if maxIdx < 0 {
+		maxIdx = len(facts)
+	}
+	s := facts[:maxIdx]
+	splitIdx := strings.LastIndex(s, "ba ,")
+	if splitIdx < 0 {
+		splitIdx = 0
+	} else {
+		splitIdx += 5
+	}
+	if splitIdx > len(s) {
+		return 0, false
+	}
+	return parsePyInt(strings.ReplaceAll(s[splitIdx:], ",", ""))
+}
+
+func extractOffer(lowerTitle string) string {
+	switch {
+	case strings.Contains(lowerTitle, "sale"):
+		return "sale"
+	case strings.Contains(lowerTitle, "rent"):
+		return "rent"
+	case strings.Contains(lowerTitle, "sold"):
+		return "sold"
+	case strings.Contains(lowerTitle, "foreclose"):
+		return "foreclosed"
+	default:
+		return lowerTitle
+	}
+}
+
+func extractPrice(price, offer, facts string, sqft int64) (int64, bool) {
+	switch offer {
+	case "sold":
+		marker := "Price/sqft:"
+		i := strings.Index(facts, marker)
+		start := i + len(marker) + 1
+		if i < 0 || start > len(facts) {
+			return 0, false
+		}
+		s := facts[start:]
+		d := strings.IndexByte(s, '$')
+		e := strings.Index(s, ", ")
+		if d < 0 || e-1 < d+1 {
+			return 0, false
+		}
+		pps, ok := parsePyInt(s[d+1 : e-1])
+		if !ok {
+			return 0, false
+		}
+		return pps * sqft, true
+	case "rent":
+		maxIdx := strings.LastIndexByte(price, '/')
+		if maxIdx < 1 || len(price) < 1 {
+			return 0, false
+		}
+		return parsePyInt(strings.ReplaceAll(price[1:maxIdx], ",", ""))
+	default:
+		if len(price) < 1 {
+			return 0, false
+		}
+		return parsePyInt(strings.ReplaceAll(price[1:], ",", ""))
+	}
+}
+
+// parsePyInt parses like Python's int(str).
+func parsePyInt(s string) (int64, bool) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(t, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func zeroPad5(n int64) string {
+	s := strconv.FormatInt(n, 10)
+	for len(s) < 5 {
+		s = "0" + s
+	}
+	return s
+}

@@ -1,0 +1,89 @@
+package handopt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestZillowNativeBasics(t *testing.T) {
+	csv := strings.Join([]string{
+		"title,address,city,state,postal_code,price,facts and features,real estate provider,url,sales_date",
+		`House For Sale - 3 bed,1 Main St,boston,MA,2134,"$450,000","3 bds, 2 ba , 1,500 sqft",X,u1,2019-01-01`,
+		`Condo For Rent,2 Elm St,cambridge,MA,2139,"$2,000/mo","1 bds, 1 ba , 700 sqft",X,u2,2019-01-02`,
+		`House For Sold,3 Oak St,newton,MA,2460,"$1","2 bds, 1 ba , 1,000 sqft Price/sqft: $300 , built 1990",X,u3,2019-01-03`,
+		`House For Sale - big,4 Pine St,quincy,MA,2169,"$900,000","12 bds, 6 ba , 9,000 sqft",X,u4,2019-01-04`,
+	}, "\n") + "\n"
+	rows := Zillow([]byte(csv))
+	// Row 1: house for sale, 3bd, price 450000 -> kept.
+	// Row 2: condo -> dropped (type filter).
+	// Row 3: house sold, 300*1000 = 300000 -> kept.
+	// Row 4: 12 bedrooms -> dropped.
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Price != 450000 || rows[0].City != "Boston" || rows[0].Zipcode != "02134" {
+		t.Fatalf("row0 = %+v", rows[0])
+	}
+	if rows[1].Price != 300000 || rows[1].Offer != "sold" {
+		t.Fatalf("row1 = %+v", rows[1])
+	}
+	out := ZillowCSV([]byte(csv))
+	if !strings.HasPrefix(string(out), "url,zipcode,") || strings.Count(string(out), "\n") != 3 {
+		t.Fatalf("csv = %q", out)
+	}
+}
+
+func TestParseLogLineNative(t *testing.T) {
+	row, ok := parseLogLine(`1.2.3.4 - alice [10/Oct/2019:13:55:36 -0400] "GET /~bob/x.pdf HTTP/1.0" 200 2326`)
+	if !ok {
+		t.Fatal("parse failed")
+	}
+	if row.IP != "1.2.3.4" || row.Method != "GET" || row.Endpoint != "/~bob/x.pdf" ||
+		row.Protocol != "HTTP/1.0" || row.ResponseCode != 200 || row.ContentSize != 2326 {
+		t.Fatalf("row = %+v", row)
+	}
+	if _, ok := parseLogLine("garbage"); ok {
+		t.Fatal("garbage parsed")
+	}
+	// Dash content size maps to 0.
+	row, ok = parseLogLine(`1.2.3.4 - - [10/Oct/2019:13:55:36 -0400] "HEAD /x HTTP/1.1" 304 -`)
+	if !ok || row.ContentSize != 0 {
+		t.Fatalf("row = %+v ok=%v", row, ok)
+	}
+}
+
+func TestFixZipNative(t *testing.T) {
+	cases := map[string]string{
+		"02134":      "02134",
+		"02134-1234": "02134",
+		"10001.0":    "10001",
+		"00000":      "",
+		"NO CLUE":    "",
+		"":           "",
+		"123":        "",
+	}
+	for in, want := range cases {
+		got, ok := fixZip(in)
+		if want == "" {
+			if ok {
+				t.Errorf("fixZip(%q) accepted as %q", in, got)
+			}
+			continue
+		}
+		if !ok || got != want {
+			t.Errorf("fixZip(%q) = %q, %v; want %q", in, got, ok, want)
+		}
+	}
+}
+
+func TestQ6Native(t *testing.T) {
+	csv := "l_quantity,l_extendedprice,l_discount,l_shipdate\n" +
+		"10,100.00,0.06,800\n" + // qualifies: 6.0
+		"30,100.00,0.06,800\n" + // qty too high
+		"10,100.00,0.02,800\n" + // discount too low
+		"10,100.00,0.06,100\n" // out of window
+	got := Q6([]byte(csv), 731, 1096)
+	if got != 6.0 {
+		t.Fatalf("Q6 = %v", got)
+	}
+}

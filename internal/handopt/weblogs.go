@@ -1,0 +1,234 @@
+package handopt
+
+import (
+	"strconv"
+	"strings"
+
+	"github.com/gotuplex/tuplex/internal/csvio"
+	"github.com/gotuplex/tuplex/internal/pyre"
+)
+
+// WeblogRow is one parsed, retained log line.
+type WeblogRow struct {
+	IP, Date, Method, Endpoint, Protocol string
+	ResponseCode, ContentSize            int64
+}
+
+// Weblogs runs the log pipeline natively: parse with string ops, replace
+// /~user with a random tag, keep lines from blacklisted IPs.
+func Weblogs(logs, badIPs []byte, seed uint64) []WeblogRow {
+	bad := map[string]bool{}
+	recs := csvio.SplitRecords(badIPs)
+	for _, r := range recs[1:] {
+		bad[string(r)] = true
+	}
+	rng := pyre.NewPRNG(seed)
+	var out []WeblogRow
+	start := 0
+	for start <= len(logs) {
+		end := start
+		for end < len(logs) && logs[end] != '\n' {
+			end++
+		}
+		if end > start {
+			line := string(logs[start:end])
+			if row, ok := parseLogLine(line); ok && bad[row.IP] {
+				row.Endpoint = anonymize(row.Endpoint, rng)
+				out = append(out, row)
+			} else if !ok {
+				// Failed parse with empty ip: joins never match; drop.
+				_ = row
+			}
+		}
+		if end >= len(logs) {
+			break
+		}
+		start = end + 1
+	}
+	return out
+}
+
+const anonLetters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+func anonymize(endpoint string, rng *pyre.PRNG) string {
+	if !strings.HasPrefix(endpoint, "/~") {
+		return endpoint
+	}
+	i := 2
+	for i < len(endpoint) && endpoint[i] != '/' {
+		i++
+	}
+	var sb strings.Builder
+	sb.WriteString("/~")
+	for range 10 {
+		sb.WriteString(rng.Choice(anonLetters))
+	}
+	sb.WriteString(endpoint[i:])
+	return sb.String()
+}
+
+// parseLogLine mirrors ParseWithStrip.
+func parseLogLine(y string) (WeblogRow, bool) {
+	var row WeblogRow
+	next := func(sep string) (string, bool) {
+		i := strings.Index(y, sep)
+		if i < 0 {
+			return "", false
+		}
+		v := y[:i]
+		y = y[i+len(sep):]
+		return v, true
+	}
+	var ok bool
+	if row.IP, ok = next(" "); !ok {
+		return row, false
+	}
+	if _, ok = next(" "); !ok { // client_id
+		return row, false
+	}
+	if _, ok = next(" "); !ok { // user_id
+		return row, false
+	}
+	dateRaw, ok := next("]")
+	if !ok || len(dateRaw) < 1 {
+		return row, false
+	}
+	row.Date = dateRaw[1:]
+	if len(y) < 1 {
+		return row, false
+	}
+	y = y[1:] // space
+	q := strings.IndexByte(y, '"')
+	if q < 0 {
+		return row, false
+	}
+	y = y[q+1:]
+	sp := strings.IndexByte(y, ' ')
+	rq := strings.LastIndexByte(y, '"')
+	if sp < 0 || sp >= rq {
+		return row, false
+	}
+	row.Method = y[:sp]
+	y = y[sp+1:]
+	sp = strings.IndexByte(y, ' ')
+	if sp < 0 {
+		return row, false
+	}
+	row.Endpoint = y[:sp]
+	y = y[sp+1:]
+	rq = strings.LastIndexByte(y, '"')
+	if rq < 0 {
+		return row, false
+	}
+	proto := y[:rq]
+	if j := strings.LastIndexByte(proto, ' '); j >= 0 {
+		proto = proto[j+1:]
+	}
+	row.Protocol = proto
+	if rq+2 > len(y) {
+		return row, false
+	}
+	y = y[rq+2:]
+	sp = strings.IndexByte(y, ' ')
+	if sp < 0 {
+		return row, false
+	}
+	code, err := strconv.ParseInt(y[:sp], 10, 64)
+	if err != nil {
+		return row, false
+	}
+	row.ResponseCode = code
+	sizeStr := y[sp+1:]
+	if sizeStr == "-" {
+		row.ContentSize = 0
+	} else {
+		size, err := strconv.ParseInt(sizeStr, 10, 64)
+		if err != nil {
+			return row, false
+		}
+		row.ContentSize = size
+	}
+	return row, true
+}
+
+// ThreeOneOne computes the unique cleaned zip codes natively.
+func ThreeOneOne(data []byte) []string {
+	records := csvio.SplitRecords(data)
+	if len(records) == 0 {
+		return nil
+	}
+	header := csvio.SplitCells(records[0], ',', nil)
+	zipIdx := -1
+	for i, h := range header {
+		if h == "Incident Zip" {
+			zipIdx = i
+		}
+	}
+	if zipIdx < 0 {
+		return nil
+	}
+	seen := map[string]bool{}
+	var out []string
+	var cells []string
+	for _, rec := range records[1:] {
+		cells = csvio.SplitCells(rec, ',', cells)
+		if zipIdx >= len(cells) {
+			continue
+		}
+		z, ok := fixZip(cells[zipIdx])
+		if !ok {
+			continue
+		}
+		if !seen[z] {
+			seen[z] = true
+			out = append(out, z)
+		}
+	}
+	return out
+}
+
+func fixZip(s string) (string, bool) {
+	if s == "" {
+		return "", false
+	}
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.IndexByte(s, '-'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) != 5 || s == "00000" {
+		return "", false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return "", false
+		}
+	}
+	return s, true
+}
+
+// Q6 computes TPC-H Q6 natively over the generated lineitem CSV (ship
+// window [lo, hi), 0.05 <= discount <= 0.07, quantity < 24).
+func Q6(data []byte, lo, hi int64) float64 {
+	records := csvio.SplitRecords(data)
+	revenue := 0.0
+	var cells []string
+	for _, rec := range records[1:] {
+		cells = csvio.SplitCells(rec, ',', cells)
+		if len(cells) != 4 {
+			continue
+		}
+		qty, err1 := strconv.ParseInt(cells[0], 10, 64)
+		price, err2 := strconv.ParseFloat(cells[1], 64)
+		disc, err3 := strconv.ParseFloat(cells[2], 64)
+		ship, err4 := strconv.ParseInt(cells[3], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			continue
+		}
+		if ship >= lo && ship < hi && disc >= 0.05 && disc <= 0.07 && qty < 24 {
+			revenue += price * disc
+		}
+	}
+	return revenue
+}

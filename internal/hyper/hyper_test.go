@@ -1,0 +1,38 @@
+package hyper
+
+import (
+	"math"
+	"testing"
+
+	"github.com/gotuplex/tuplex/internal/data"
+	"github.com/gotuplex/tuplex/internal/handopt"
+)
+
+func TestQ6IndexedMatchesScanAndNative(t *testing.T) {
+	raw := data.TPCHLineitem(data.TPCHConfig{Rows: 8000, Seed: 5})
+	tab, err := Load(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.BuildIndex()
+	idx := tab.Q6Indexed(data.Q6DateLo, data.Q6DateHi)
+	scan := tab.Q6Scan(data.Q6DateLo, data.Q6DateHi)
+	want := handopt.Q6(raw, data.Q6DateLo, data.Q6DateHi)
+	if math.Abs(idx-scan) > 1e-9*math.Max(1, scan) {
+		t.Fatalf("indexed %.6f != scan %.6f", idx, scan)
+	}
+	if math.Abs(idx-want) > 1e-6*math.Max(1, want) {
+		t.Fatalf("indexed %.4f, native %.4f", idx, want)
+	}
+}
+
+func TestIndexSortedness(t *testing.T) {
+	raw := data.TPCHLineitem(data.TPCHConfig{Rows: 2000, Seed: 6})
+	tab, _ := Load(raw)
+	tab.BuildIndex()
+	for i := 1; i < len(tab.shipSorted); i++ {
+		if tab.shipSorted[i] < tab.shipSorted[i-1] {
+			t.Fatal("index not sorted")
+		}
+	}
+}

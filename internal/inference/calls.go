@@ -1,0 +1,324 @@
+package inference
+
+import (
+	"github.com/gotuplex/tuplex/internal/pyast"
+	"github.com/gotuplex/tuplex/internal/types"
+)
+
+// callType types builtin, module-function and method calls.
+func (t *typer) callType(x *pyast.Call, env scope) types.Type {
+	args := make([]types.Type, len(x.Args))
+	evalArgs := func() {
+		for i, a := range x.Args {
+			args[i] = t.expr(a, env)
+		}
+		for _, a := range x.KwArgs {
+			t.expr(a, env)
+		}
+	}
+
+	if attr, ok := x.Fn.(*pyast.Attr); ok {
+		if mod, ok := attr.X.(*pyast.Name); ok && isModule(mod.Ident) {
+			if _, shadowed := env[mod.Ident]; !shadowed {
+				evalArgs()
+				return t.moduleCallType(x, mod.Ident+"."+attr.Name, args)
+			}
+		}
+		recv := t.expr(attr.X, env)
+		evalArgs()
+		return t.methodType(x, recv, attr.Name, args)
+	}
+
+	name, ok := x.Fn.(*pyast.Name)
+	if !ok {
+		return t.fail(x, "", "calling a computed expression is not compilable")
+	}
+	if _, bound := env[name.Ident]; bound {
+		return t.fail(x, "", "calling a local variable is not compilable")
+	}
+	evalArgs()
+	switch name.Ident {
+	case "len":
+		if len(args) == 1 {
+			switch args[0].Unwrap().Kind() {
+			case types.KindStr, types.KindList, types.KindTuple, types.KindDict, types.KindRow:
+				return types.I64
+			}
+			return t.fail(x, "TypeError", "object of type %s has no len()", args[0])
+		}
+	case "int":
+		if len(args) == 1 {
+			switch args[0].Unwrap().Kind() {
+			case types.KindBool, types.KindI64, types.KindF64, types.KindStr:
+				return types.I64
+			}
+			return t.fail(x, "TypeError", "int() argument must be a string or a number, not %s", args[0])
+		}
+		if len(args) == 0 {
+			return types.I64
+		}
+	case "float":
+		if len(args) == 1 {
+			switch args[0].Unwrap().Kind() {
+			case types.KindBool, types.KindI64, types.KindF64, types.KindStr:
+				return types.F64
+			}
+			return t.fail(x, "TypeError", "float() argument must be a string or a number, not %s", args[0])
+		}
+		if len(args) == 0 {
+			return types.F64
+		}
+	case "str":
+		return types.Str
+	case "bool":
+		return types.Bool
+	case "abs":
+		if len(args) == 1 {
+			switch numKind(args[0]) {
+			case 1, 2:
+				return types.I64
+			case 3:
+				return types.F64
+			}
+			return t.fail(x, "TypeError", "bad operand type for abs(): %s", args[0])
+		}
+	case "min", "max":
+		if len(args) >= 2 {
+			allNum := true
+			for _, a := range args {
+				if numKind(a) == 0 {
+					allNum = false
+				}
+			}
+			if allNum {
+				u := types.I64
+				for _, a := range args {
+					if numKind(a) == 3 {
+						u = types.F64
+					}
+				}
+				return u
+			}
+			u := types.UnifyAll(args)
+			if u.Kind() != types.KindAny {
+				return u
+			}
+			return t.fail(x, "TypeError", "min/max over incompatible types")
+		}
+		if len(args) == 1 {
+			e := elementType(args[0].Unwrap())
+			if e.IsValid() {
+				return e
+			}
+			return t.fail(x, "TypeError", "%s is not iterable", args[0])
+		}
+	case "round":
+		if len(args) >= 1 && numKind(args[0]) > 0 {
+			if len(args) >= 2 || len(x.KwArgs) > 0 {
+				return types.F64
+			}
+			return types.I64
+		}
+		return t.fail(x, "TypeError", "round() argument must be numeric")
+	case "range":
+		for _, a := range args {
+			if k := numKind(a); k == 0 || k == 3 {
+				return t.fail(x, "TypeError", "range() arguments must be integers")
+			}
+		}
+		if len(args) >= 1 && len(args) <= 3 {
+			return types.List(types.I64)
+		}
+	case "ord":
+		if len(args) == 1 && args[0].Unwrap().Kind() == types.KindStr {
+			return types.I64
+		}
+	case "chr":
+		if len(args) == 1 && numKind(args[0]) > 0 {
+			return types.Str
+		}
+	case "sorted":
+		if len(args) == 1 {
+			if e := elementType(args[0].Unwrap()); e.IsValid() {
+				return types.List(e)
+			}
+		}
+	case "sum":
+		if len(args) >= 1 {
+			if e := elementType(args[0].Unwrap()); e.IsValid() && numKind(e) > 0 {
+				if numKind(e) == 3 {
+					return types.F64
+				}
+				return types.I64
+			}
+		}
+	case "re_search":
+		return t.moduleCallType(x, "re.search", args)
+	case "re_match":
+		return t.moduleCallType(x, "re.match", args)
+	case "re_sub":
+		return t.moduleCallType(x, "re.sub", args)
+	case "random_choice":
+		return t.moduleCallType(x, "random.choice", args)
+	case "string_capwords":
+		return t.moduleCallType(x, "string.capwords", args)
+	default:
+		return t.fail(x, "NameError", "name %q is not defined", name.Ident)
+	}
+	return t.fail(x, "TypeError", "bad arguments to %s()", name.Ident)
+}
+
+func isModule(n string) bool {
+	return n == "re" || n == "random" || n == "string"
+}
+
+func (t *typer) moduleCallType(x *pyast.Call, qual string, args []types.Type) types.Type {
+	strArg := func(i int) bool {
+		return i < len(args) && args[i].Unwrap().Kind() == types.KindStr
+	}
+	switch qual {
+	case "re.search", "re.match":
+		if len(args) == 2 && strArg(0) && strArg(1) {
+			// re.search returns a match or None.
+			return types.Option(types.Match)
+		}
+	case "re.sub":
+		if len(args) == 3 && strArg(0) && strArg(1) && strArg(2) {
+			return types.Str
+		}
+	case "random.choice":
+		if len(args) == 1 {
+			a := args[0].Unwrap()
+			if a.Kind() == types.KindStr {
+				return types.Str
+			}
+			if e := elementType(a); e.IsValid() {
+				return e
+			}
+		}
+	case "string.capwords":
+		if len(args) == 1 && strArg(0) {
+			return types.Str
+		}
+	default:
+		return t.fail(x, "AttributeError", "unknown module function %s", qual)
+	}
+	return t.fail(x, "TypeError", "bad arguments to %s", qual)
+}
+
+// methodType types a method call on recv.
+func (t *typer) methodType(x *pyast.Call, recv types.Type, name string, args []types.Type) types.Type {
+	ru := recv.Unwrap()
+	if recv.Kind() == types.KindNull {
+		return t.fail(x, "AttributeError", "'NoneType' object has no attribute %q", name)
+	}
+	strArg := func(i int) bool {
+		return i < len(args) && args[i].Unwrap().Kind() == types.KindStr
+	}
+	intArg := func(i int) bool {
+		k := numKind(args[i])
+		return k == 1 || k == 2
+	}
+	switch ru.Kind() {
+	case types.KindStr:
+		switch name {
+		case "find", "rfind", "index", "rindex":
+			if len(args) >= 1 && strArg(0) {
+				return types.I64
+			}
+		case "count":
+			if len(args) == 1 && strArg(0) {
+				return types.I64
+			}
+		case "lower", "upper", "capitalize", "title", "swapcase":
+			if len(args) == 0 {
+				return types.Str
+			}
+		case "strip", "lstrip", "rstrip":
+			if len(args) == 0 || strArg(0) {
+				return types.Str
+			}
+		case "replace":
+			if len(args) >= 2 && strArg(0) && strArg(1) {
+				return types.Str
+			}
+		case "split":
+			if len(args) == 0 || strArg(0) {
+				return types.List(types.Str)
+			}
+			if len(args) == 2 && strArg(0) && intArg(1) {
+				return types.List(types.Str)
+			}
+		case "join":
+			if len(args) == 1 {
+				a := args[0].Unwrap()
+				if (a.Kind() == types.KindList && a.Elem().Kind() == types.KindStr) ||
+					(a.Kind() == types.KindList && a.Elem().Kind() == types.KindAny) {
+					return types.Str
+				}
+				if a.Kind() == types.KindTuple {
+					return types.Str
+				}
+				return t.fail(x, "TypeError", "can only join an iterable of str")
+			}
+		case "startswith", "endswith", "isdigit", "isalpha", "isalnum",
+			"isspace", "islower", "isupper":
+			if name == "startswith" || name == "endswith" {
+				if len(args) == 1 && strArg(0) {
+					return types.Bool
+				}
+			} else if len(args) == 0 {
+				return types.Bool
+			}
+		case "format":
+			return types.Str
+		case "zfill", "ljust", "rjust":
+			if len(args) >= 1 && intArg(0) {
+				return types.Str
+			}
+		}
+		return t.fail(x, "AttributeError", "'str' object has no usable method %q here", name)
+	case types.KindList:
+		switch name {
+		case "append":
+			if len(args) == 1 {
+				return types.Null
+			}
+		case "extend", "reverse":
+			return types.Null
+		case "pop":
+			return ru.Elem()
+		case "count", "index":
+			return types.I64
+		}
+		return t.fail(x, "AttributeError", "'list' object has no usable method %q here", name)
+	case types.KindDict:
+		switch name {
+		case "get":
+			if len(args) >= 1 {
+				if len(args) == 2 {
+					u := types.Unify(ru.Elem(), args[1])
+					if u.Kind() != types.KindAny {
+						return u
+					}
+				}
+				return types.Option(ru.Elem())
+			}
+		case "keys":
+			return types.List(types.Str)
+		case "values":
+			return types.List(ru.Elem())
+		}
+		return t.fail(x, "AttributeError", "'dict' object has no usable method %q here", name)
+	case types.KindMatch:
+		switch name {
+		case "group":
+			return types.Str
+		case "groups":
+			return types.List(types.Str)
+		}
+		return t.fail(x, "AttributeError", "'re.Match' object has no attribute %q", name)
+	default:
+		return t.fail(x, "AttributeError", "%s object has no attribute %q", recv, name)
+	}
+}

@@ -1,0 +1,200 @@
+package inference
+
+import (
+	"testing"
+
+	"github.com/gotuplex/tuplex/internal/pyast"
+	"github.com/gotuplex/tuplex/internal/types"
+)
+
+func TestWhileLoopTyping(t *testing.T) {
+	src := `def f(n):
+    i = 0
+    while i * i < n:
+        i += 1
+    return i
+`
+	info := typeUDF(t, src, []types.Type{types.I64})
+	if !info.Compilable() || !types.Equal(info.ReturnType, types.I64) {
+		t.Fatalf("ret=%s failed=%v", info.ReturnType, info.Failed)
+	}
+}
+
+func TestTupleUnpackTyping(t *testing.T) {
+	src := `def f(x):
+    a, b = x, x * 2.5
+    return b
+`
+	info := typeUDF(t, src, []types.Type{types.I64})
+	if !types.Equal(info.ReturnType, types.F64) {
+		t.Fatalf("ret = %s", info.ReturnType)
+	}
+}
+
+func TestBadUnpackFails(t *testing.T) {
+	src := `def f(x):
+    a, b = x
+    return a
+`
+	info := typeUDF(t, src, []types.Type{types.I64})
+	if info.Compilable() {
+		t.Fatal("unpacking an int typed")
+	}
+}
+
+func TestUnaryOperators(t *testing.T) {
+	info := typeUDF(t, "lambda x: -x + +x + ~x", []types.Type{types.I64})
+	if !info.Compilable() || !types.Equal(info.ReturnType, types.I64) {
+		t.Fatalf("ret=%s failed=%v", info.ReturnType, info.Failed)
+	}
+	info = typeUDF(t, "lambda x: not x", []types.Type{types.Str})
+	if !types.Equal(info.ReturnType, types.Bool) {
+		t.Fatalf("ret = %s", info.ReturnType)
+	}
+	info = typeUDF(t, "lambda x: ~x", []types.Type{types.F64})
+	if info.Compilable() {
+		t.Fatal("~float typed")
+	}
+}
+
+func TestBitwiseTyping(t *testing.T) {
+	info := typeUDF(t, "lambda a, b: (a & b) | (a << 2)", []types.Type{types.I64, types.I64})
+	if !info.Compilable() || !types.Equal(info.ReturnType, types.I64) {
+		t.Fatalf("ret=%s failed=%v", info.ReturnType, info.Failed)
+	}
+}
+
+func TestStrRepeatTyping(t *testing.T) {
+	info := typeUDF(t, "lambda s, n: s * n + n * s", []types.Type{types.Str, types.I64})
+	if !info.Compilable() || !types.Equal(info.ReturnType, types.Str) {
+		t.Fatalf("ret=%s failed=%v", info.ReturnType, info.Failed)
+	}
+}
+
+func TestListConcatAndRepeatTyping(t *testing.T) {
+	info := typeUDF(t, "lambda s: s.split(',') + s.split(';')", []types.Type{types.Str})
+	if !types.Equal(info.ReturnType, types.List(types.Str)) {
+		t.Fatalf("ret = %s", info.ReturnType)
+	}
+	info = typeUDF(t, "lambda s: s.split(',') * 2", []types.Type{types.Str})
+	if !types.Equal(info.ReturnType, types.List(types.Str)) {
+		t.Fatalf("ret = %s", info.ReturnType)
+	}
+}
+
+func TestMinMaxSumSortedTyping(t *testing.T) {
+	info := typeUDF(t, "lambda l: max(l)", []types.Type{types.List(types.F64)})
+	if !types.Equal(info.ReturnType, types.F64) {
+		t.Fatalf("ret = %s", info.ReturnType)
+	}
+	info = typeUDF(t, "lambda l: sum(l)", []types.Type{types.List(types.I64)})
+	if !types.Equal(info.ReturnType, types.I64) {
+		t.Fatalf("ret = %s", info.ReturnType)
+	}
+	info = typeUDF(t, "lambda l: sorted(l)[0]", []types.Type{types.List(types.Str)})
+	if !types.Equal(info.ReturnType, types.Str) {
+		t.Fatalf("ret = %s", info.ReturnType)
+	}
+}
+
+func TestInOperatorTyping(t *testing.T) {
+	info := typeUDF(t, "lambda s: 'x' in s", []types.Type{types.Str})
+	if !info.Compilable() {
+		t.Fatalf("failed: %v", info.Failed)
+	}
+	info = typeUDF(t, "lambda s: 1 in s", []types.Type{types.Str})
+	if info.Compilable() {
+		t.Fatal("int in str typed")
+	}
+	info = typeUDF(t, "lambda s: 1 in (1, 2, 3)", []types.Type{types.I64})
+	if !info.Compilable() {
+		t.Fatalf("failed: %v", info.Failed)
+	}
+}
+
+func TestSliceOfTupleTyping(t *testing.T) {
+	info := typeUDF(t, "lambda t: t[0:2]", []types.Type{types.Tuple(types.I64, types.I64, types.I64)})
+	if !types.Equal(info.ReturnType, types.List(types.I64)) {
+		t.Fatalf("ret = %s", info.ReturnType)
+	}
+}
+
+func TestDictGetTyping(t *testing.T) {
+	info := typeUDF(t, "lambda d: d.get('k', 0)", []types.Type{types.Dict(types.I64)})
+	if !info.Compilable() || !types.Equal(info.ReturnType, types.I64) {
+		t.Fatalf("ret=%s failed=%v", info.ReturnType, info.Failed)
+	}
+}
+
+func TestOrdChrRoundRangeTyping(t *testing.T) {
+	info := typeUDF(t, "lambda c: chr(ord(c) + 1)", []types.Type{types.Str})
+	if !info.Compilable() || !types.Equal(info.ReturnType, types.Str) {
+		t.Fatalf("ret=%s failed=%v", info.ReturnType, info.Failed)
+	}
+	info = typeUDF(t, "lambda x: round(x)", []types.Type{types.F64})
+	if !types.Equal(info.ReturnType, types.I64) {
+		t.Fatalf("ret = %s", info.ReturnType)
+	}
+	info = typeUDF(t, "lambda x: round(x, 2)", []types.Type{types.F64})
+	if !types.Equal(info.ReturnType, types.F64) {
+		t.Fatalf("ret = %s", info.ReturnType)
+	}
+	info = typeUDF(t, "lambda n: range(n)[0]", []types.Type{types.I64})
+	if !types.Equal(info.ReturnType, types.I64) {
+		t.Fatalf("ret = %s", info.ReturnType)
+	}
+}
+
+func TestMatchGroupMethodTyping(t *testing.T) {
+	src := `def f(x):
+    m = re_search('(a+)', x)
+    if m:
+        return m.group(1)
+    return ''
+`
+	info := typeUDF(t, src, []types.Type{types.Str})
+	if !info.Compilable() || !types.Equal(info.ReturnType, types.Str) {
+		t.Fatalf("ret=%s failed=%v", info.ReturnType, info.Failed)
+	}
+}
+
+func TestConstIntIndexHelper(t *testing.T) {
+	e, err := pyast.ParseExprString("-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, ok := ConstIntIndex(e); !ok || i != -3 {
+		t.Fatalf("got %d, %v", i, ok)
+	}
+	e, _ = pyast.ParseExprString("x")
+	if _, ok := ConstIntIndex(e); ok {
+		t.Fatal("variable treated as constant")
+	}
+}
+
+func TestSubscriptAssignmentTyping(t *testing.T) {
+	src := `def f(n):
+    out = [0, 0]
+    out[0] = n
+    return out
+`
+	info := typeUDF(t, src, []types.Type{types.I64})
+	if !info.Compilable() {
+		t.Fatalf("failed: %v", info.Failed)
+	}
+}
+
+func TestBoolOpIncompatibleTypesFail(t *testing.T) {
+	info := typeUDF(t, "lambda x: x or [1]", []types.Type{types.Str})
+	if info.Compilable() {
+		t.Fatal("str or list typed")
+	}
+}
+
+func TestRowLenTyping(t *testing.T) {
+	sch := types.NewSchema([]types.Column{{Name: "a", Type: types.I64}})
+	info := typeUDF(t, "lambda x: len(x)", []types.Type{types.Row(sch)})
+	if !info.Compilable() || !types.Equal(info.ReturnType, types.I64) {
+		t.Fatalf("ret=%s failed=%v", info.ReturnType, info.Failed)
+	}
+}

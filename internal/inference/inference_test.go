@@ -1,0 +1,331 @@
+package inference
+
+import (
+	"testing"
+
+	"github.com/gotuplex/tuplex/internal/pyast"
+	"github.com/gotuplex/tuplex/internal/types"
+)
+
+func typeUDF(t *testing.T, src string, params []types.Type) *Info {
+	t.Helper()
+	fn, err := pyast.ParseUDF(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := TypeFunction(fn, params, nil, Options{})
+	if err != nil {
+		t.Fatalf("type: %v", err)
+	}
+	return info
+}
+
+func TestSimpleArithmeticTyping(t *testing.T) {
+	info := typeUDF(t, "lambda m: m * 1.609", []types.Type{types.I64})
+	if !info.Compilable() {
+		t.Fatalf("failed: %v", info.Failed)
+	}
+	if !types.Equal(info.ReturnType, types.F64) {
+		t.Fatalf("ret = %s", info.ReturnType)
+	}
+	info = typeUDF(t, "lambda m: m * 2", []types.Type{types.I64})
+	if !types.Equal(info.ReturnType, types.I64) {
+		t.Fatalf("ret = %s", info.ReturnType)
+	}
+}
+
+func TestTernaryOptionResult(t *testing.T) {
+	info := typeUDF(t, "lambda x: '{:02}'.format(x) if x else None", []types.Type{types.I64})
+	if !types.Equal(info.ReturnType, types.Option(types.Str)) {
+		t.Fatalf("ret = %s", info.ReturnType)
+	}
+}
+
+func TestNullConditionPruning(t *testing.T) {
+	// Column typed Null in the normal case: the then-branch is pruned and
+	// the whole expression types as the else arm (§4.7's flights
+	// example).
+	info := typeUDF(t, "lambda m: m * 1.609 if m else 0.0", []types.Type{types.Null})
+	if !info.Compilable() {
+		t.Fatalf("failed: %v", info.Failed)
+	}
+	if !types.Equal(info.ReturnType, types.F64) {
+		t.Fatalf("ret = %s", info.ReturnType)
+	}
+	if len(info.Dead) != 1 {
+		t.Fatalf("dead = %v", info.Dead)
+	}
+	for _, br := range info.Dead {
+		if br != DeadThen {
+			t.Fatalf("expected DeadThen, got %v", br)
+		}
+	}
+}
+
+func TestNullPruningDisabled(t *testing.T) {
+	fn, _ := pyast.ParseUDF("lambda m: m * 1.609 if m else 0.0")
+	info, err := TypeFunction(fn, []types.Type{types.Null}, nil, Options{DisableNullPruning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without pruning the then arm types against Null and fails, so the
+	// UDF is not fast-path compilable — exactly the §6.3.3 cost.
+	if info.Compilable() {
+		t.Fatal("expected typing failure without null pruning")
+	}
+}
+
+func TestDeadBranchInStatementIf(t *testing.T) {
+	src := `def f(row):
+    if row:
+        return 1.0
+    return 0.0
+`
+	info := typeUDF(t, src, []types.Type{types.Null})
+	if !info.Compilable() || len(info.Dead) != 1 {
+		t.Fatalf("failed=%v dead=%v", info.Failed, info.Dead)
+	}
+	if !types.Equal(info.ReturnType, types.F64) {
+		t.Fatalf("ret = %s", info.ReturnType)
+	}
+}
+
+func TestBranchJoinUnifies(t *testing.T) {
+	src := `def f(x):
+    if x > 0:
+        v = 1
+    else:
+        v = 2.5
+    return v
+`
+	info := typeUDF(t, src, []types.Type{types.I64})
+	if !info.Compilable() {
+		t.Fatalf("failed: %v", info.Failed)
+	}
+	if !types.Equal(info.ReturnType, types.F64) {
+		t.Fatalf("ret = %s", info.ReturnType)
+	}
+}
+
+func TestReturnTypeUnifiesAcrossReturns(t *testing.T) {
+	src := `def f(x):
+    if x > 0:
+        return 'pos'
+    return None
+`
+	info := typeUDF(t, src, []types.Type{types.I64})
+	if !types.Equal(info.ReturnType, types.Option(types.Str)) {
+		t.Fatalf("ret = %s", info.ReturnType)
+	}
+}
+
+func TestFallOffEndReturnsNone(t *testing.T) {
+	src := `def f(x):
+    y = x + 1
+`
+	info := typeUDF(t, src, []types.Type{types.I64})
+	if !types.Equal(info.ReturnType, types.Null) {
+		t.Fatalf("ret = %s", info.ReturnType)
+	}
+}
+
+func TestStringMethodChain(t *testing.T) {
+	info := typeUDF(t, "lambda s: s.replace(',', '').strip().lower()", []types.Type{types.Str})
+	if !info.Compilable() {
+		t.Fatalf("failed: %v", info.Failed)
+	}
+	if !types.Equal(info.ReturnType, types.Str) {
+		t.Fatalf("ret = %s", info.ReturnType)
+	}
+}
+
+func TestSplitAndIndexTyping(t *testing.T) {
+	info := typeUDF(t, "lambda s: s.split(' ')[0]", []types.Type{types.Str})
+	if !types.Equal(info.ReturnType, types.Str) {
+		t.Fatalf("ret = %s", info.ReturnType)
+	}
+	info = typeUDF(t, "lambda s: int(s.split(',')[1])", []types.Type{types.Str})
+	if !types.Equal(info.ReturnType, types.I64) {
+		t.Fatalf("ret = %s", info.ReturnType)
+	}
+}
+
+func TestTupleRowAccess(t *testing.T) {
+	row := types.Tuple(types.Str, types.I64, types.F64)
+	info := typeUDF(t, "lambda x: x[1] + 1", []types.Type{row})
+	if !info.Compilable() || !types.Equal(info.ReturnType, types.I64) {
+		t.Fatalf("ret = %s failed=%v", info.ReturnType, info.Failed)
+	}
+	// Negative constant index.
+	info = typeUDF(t, "lambda x: x[-1]", []types.Type{row})
+	if !types.Equal(info.ReturnType, types.F64) {
+		t.Fatalf("ret = %s", info.ReturnType)
+	}
+	// Out-of-range constant index is a static IndexError.
+	info = typeUDF(t, "lambda x: x[7]", []types.Type{row})
+	if info.Compilable() {
+		t.Fatal("expected IndexError failure")
+	}
+}
+
+func TestDictRowAccess(t *testing.T) {
+	info := typeUDF(t, "lambda x: x['price'] * 2", []types.Type{types.Dict(types.I64)})
+	if !info.Compilable() || !types.Equal(info.ReturnType, types.I64) {
+		t.Fatalf("ret = %s failed=%v", info.ReturnType, info.Failed)
+	}
+}
+
+func TestStaticTypeErrorMarksNode(t *testing.T) {
+	info := typeUDF(t, "lambda x: x + 1", []types.Type{types.Str})
+	if info.Compilable() {
+		t.Fatal("str + int should fail typing")
+	}
+	for _, f := range info.Failed {
+		if f.Raises != "TypeError" {
+			t.Fatalf("raises = %q", f.Raises)
+		}
+	}
+}
+
+func TestNoneMethodFails(t *testing.T) {
+	info := typeUDF(t, "lambda x: x.rfind(',')", []types.Type{types.Null})
+	if info.Compilable() {
+		t.Fatal("None.rfind should fail typing")
+	}
+}
+
+func TestOptionUnwrapInOps(t *testing.T) {
+	// Ops on Option types type against the element; the runtime check is
+	// codegen's job.
+	info := typeUDF(t, "lambda m: m * 1.609", []types.Type{types.Option(types.I64)})
+	if !info.Compilable() {
+		t.Fatalf("failed: %v", info.Failed)
+	}
+	if !types.Equal(info.ReturnType, types.F64) {
+		t.Fatalf("ret = %s", info.ReturnType)
+	}
+}
+
+func TestRegexTyping(t *testing.T) {
+	src := `def parse(x):
+    match = re_search('^(\S+) (\S+)', x)
+    if match:
+        return match[1]
+    return ''
+`
+	info := typeUDF(t, src, []types.Type{types.Str})
+	if !info.Compilable() {
+		t.Fatalf("failed: %v", info.Failed)
+	}
+	if !types.Equal(info.ReturnType, types.Str) {
+		t.Fatalf("ret = %s", info.ReturnType)
+	}
+}
+
+func TestReSubTyping(t *testing.T) {
+	info := typeUDF(t, "lambda x: re.sub('^/~[^/]+', '/~x', x)", []types.Type{types.Str})
+	if !info.Compilable() || !types.Equal(info.ReturnType, types.Str) {
+		t.Fatalf("ret=%s failed=%v", info.ReturnType, info.Failed)
+	}
+}
+
+func TestListCompTyping(t *testing.T) {
+	info := typeUDF(t, "lambda n: [i * 2 for i in range(n)]", []types.Type{types.I64})
+	if !types.Equal(info.ReturnType, types.List(types.I64)) {
+		t.Fatalf("ret = %s", info.ReturnType)
+	}
+	// With globals, the weblog randomize pattern types end to end.
+	fn, _ := pyast.ParseUDF("lambda x: ''.join([random_choice(LETTERS) for t in range(10)])")
+	info2, err := TypeFunction(fn, []types.Type{types.Str},
+		map[string]types.Type{"LETTERS": types.Str}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info2.Compilable() || !types.Equal(info2.ReturnType, types.Str) {
+		t.Fatalf("ret=%s failed=%v", info2.ReturnType, info2.Failed)
+	}
+}
+
+func TestDictLiteralTyping(t *testing.T) {
+	// Constant-keyed dict literals type as heterogeneous rows so map UDFs
+	// can emit mixed-type columns.
+	info := typeUDF(t, "lambda x: {'a': x, 'b': 'label'}", []types.Type{types.I64})
+	want := types.Row(types.NewSchema([]types.Column{
+		{Name: "a", Type: types.I64}, {Name: "b", Type: types.Str},
+	}))
+	if !types.Equal(info.ReturnType, want) {
+		t.Fatalf("ret = %s", info.ReturnType)
+	}
+}
+
+func TestLoopWidening(t *testing.T) {
+	src := `def f(n):
+    v = 0
+    for i in range(n):
+        v = v + 0.5
+    return v
+`
+	info := typeUDF(t, src, []types.Type{types.I64})
+	if !info.Compilable() {
+		t.Fatalf("failed: %v", info.Failed)
+	}
+	if !types.Equal(info.ReturnType, types.F64) {
+		t.Fatalf("ret = %s", info.ReturnType)
+	}
+}
+
+func TestUnboundNameFails(t *testing.T) {
+	info := typeUDF(t, "lambda x: nope + 1", []types.Type{types.I64})
+	if info.Compilable() {
+		t.Fatal("unbound name typed")
+	}
+}
+
+func TestChainedComparisonTyping(t *testing.T) {
+	info := typeUDF(t, "lambda x: 100000 < x <= 2e7", []types.Type{types.I64})
+	if !info.Compilable() || !types.Equal(info.ReturnType, types.Bool) {
+		t.Fatalf("ret=%s failed=%v", info.ReturnType, info.Failed)
+	}
+	info = typeUDF(t, "lambda x: 'a' < x", []types.Type{types.I64})
+	if info.Compilable() {
+		t.Fatal("str < int typed")
+	}
+}
+
+func TestPercentFormatTyping(t *testing.T) {
+	info := typeUDF(t, "lambda x: '%05d' % int(x)", []types.Type{types.Str})
+	if !info.Compilable() || !types.Equal(info.ReturnType, types.Str) {
+		t.Fatalf("ret=%s failed=%v", info.ReturnType, info.Failed)
+	}
+}
+
+func TestArityMismatchIsError(t *testing.T) {
+	fn, _ := pyast.ParseUDF("lambda a, b: a + b")
+	if _, err := TypeFunction(fn, []types.Type{types.I64}, nil, Options{}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestExtractBdTypesEndToEnd(t *testing.T) {
+	src := `def extractBd(x):
+    val = x['facts and features']
+    max_idx = val.find(' bd')
+    if max_idx < 0:
+        max_idx = len(val)
+    s = val[:max_idx]
+    split_idx = s.rfind(',')
+    if split_idx < 0:
+        split_idx = 0
+    else:
+        split_idx += 2
+    r = s[split_idx:]
+    return int(r)
+`
+	info := typeUDF(t, src, []types.Type{types.Dict(types.Str)})
+	if !info.Compilable() {
+		t.Fatalf("failed: %v", info.Failed)
+	}
+	if !types.Equal(info.ReturnType, types.I64) {
+		t.Fatalf("ret = %s", info.ReturnType)
+	}
+}

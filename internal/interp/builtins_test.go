@@ -1,0 +1,118 @@
+package interp
+
+import (
+	"testing"
+
+	"github.com/gotuplex/tuplex/internal/pyvalue"
+)
+
+func TestRangeVariants(t *testing.T) {
+	v := evalOK(t, "lambda n: range(n)", pyvalue.Int(3))
+	if l := v.(*pyvalue.List); len(l.Items) != 3 || !pyvalue.Equal(l.Items[2], pyvalue.Int(2)) {
+		t.Fatalf("range(3) = %s", pyvalue.Repr(v))
+	}
+	v = evalOK(t, "lambda n: range(2, n)", pyvalue.Int(5))
+	if l := v.(*pyvalue.List); len(l.Items) != 3 {
+		t.Fatalf("range(2,5) = %s", pyvalue.Repr(v))
+	}
+	v = evalOK(t, "lambda n: range(n, 0, -2)", pyvalue.Int(6))
+	if l := v.(*pyvalue.List); len(l.Items) != 3 || !pyvalue.Equal(l.Items[0], pyvalue.Int(6)) {
+		t.Fatalf("range(6,0,-2) = %s", pyvalue.Repr(v))
+	}
+	_, err := runUDF(t, "lambda n: range(0, 5, 0)", pyvalue.Int(1))
+	if pyvalue.KindOf(err) != pyvalue.ExcValueError {
+		t.Fatalf("zero step: %v", err)
+	}
+}
+
+func TestSortedBuiltin(t *testing.T) {
+	v := evalOK(t, "lambda x: sorted(x)",
+		&pyvalue.List{Items: []pyvalue.Value{pyvalue.Int(3), pyvalue.Int(1), pyvalue.Int(2)}})
+	l := v.(*pyvalue.List)
+	if !pyvalue.Equal(l.Items[0], pyvalue.Int(1)) || !pyvalue.Equal(l.Items[2], pyvalue.Int(3)) {
+		t.Fatalf("sorted = %s", pyvalue.Repr(v))
+	}
+	// Unorderable elements raise like Python.
+	_, err := runUDF(t, "lambda x: sorted(x)",
+		&pyvalue.List{Items: []pyvalue.Value{pyvalue.Int(1), pyvalue.Str("a")}})
+	if pyvalue.KindOf(err) != pyvalue.ExcTypeError {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSumBuiltin(t *testing.T) {
+	v := evalOK(t, "lambda x: sum(x)",
+		&pyvalue.List{Items: []pyvalue.Value{pyvalue.Int(1), pyvalue.Int(2), pyvalue.Float(0.5)}})
+	wantEq(t, v, pyvalue.Float(3.5))
+	v = evalOK(t, "lambda x: sum(x, 100)",
+		&pyvalue.List{Items: []pyvalue.Value{pyvalue.Int(1)}})
+	wantEq(t, v, pyvalue.Int(101))
+}
+
+func TestOrdChr(t *testing.T) {
+	wantEq(t, evalOK(t, "lambda c: ord(c)", pyvalue.Str("A")), pyvalue.Int(65))
+	wantEq(t, evalOK(t, "lambda n: chr(n)", pyvalue.Int(66)), pyvalue.Str("B"))
+	_, err := runUDF(t, "lambda c: ord(c)", pyvalue.Str("AB"))
+	if pyvalue.KindOf(err) != pyvalue.ExcTypeError {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBoolAndLenBuiltins(t *testing.T) {
+	wantEq(t, evalOK(t, "lambda x: bool(x)", pyvalue.Str("")), pyvalue.Bool(false))
+	wantEq(t, evalOK(t, "lambda x: bool(x)", pyvalue.Int(-1)), pyvalue.Bool(true))
+	wantEq(t, evalOK(t, "lambda x: len(x)",
+		&pyvalue.Tuple{Items: []pyvalue.Value{pyvalue.Int(1), pyvalue.Int(2)}}), pyvalue.Int(2))
+	_, err := runUDF(t, "lambda x: len(x)", pyvalue.Int(5))
+	if pyvalue.KindOf(err) != pyvalue.ExcTypeError {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDictGetAndMembership(t *testing.T) {
+	d := pyvalue.NewDict()
+	d.Set("k", pyvalue.Int(1))
+	wantEq(t, evalOK(t, "lambda x: x.get('k', 0) + x.get('missing', 10)", d), pyvalue.Int(11))
+	wantEq(t, evalOK(t, "lambda x: 'k' in x", d), pyvalue.Bool(true))
+	wantEq(t, evalOK(t, "lambda x: 'z' in x", d), pyvalue.Bool(false))
+}
+
+func TestListMutationInUDF(t *testing.T) {
+	src := `def f(n):
+    out = []
+    for i in range(n):
+        out.append(i * i)
+    return out
+`
+	v := evalOK(t, src, pyvalue.Int(4))
+	l := v.(*pyvalue.List)
+	if len(l.Items) != 4 || !pyvalue.Equal(l.Items[3], pyvalue.Int(9)) {
+		t.Fatalf("got %s", pyvalue.Repr(v))
+	}
+}
+
+func TestSubscriptAssignment(t *testing.T) {
+	src := `def f(n):
+    out = [0, 0, 0]
+    out[1] = n
+    out[-1] = n * 2
+    return out
+`
+	v := evalOK(t, src, pyvalue.Int(7))
+	l := v.(*pyvalue.List)
+	if !pyvalue.Equal(l.Items[1], pyvalue.Int(7)) || !pyvalue.Equal(l.Items[2], pyvalue.Int(14)) {
+		t.Fatalf("got %s", pyvalue.Repr(v))
+	}
+}
+
+func TestMathFloorModule(t *testing.T) {
+	wantEq(t, evalOK(t, "lambda x: math.floor(x)", pyvalue.Float(2.7)), pyvalue.Float(2))
+}
+
+func TestShadowedBuiltin(t *testing.T) {
+	src := `def f(x):
+    len = 10
+    return len + x
+`
+	wantEq(t, evalOK(t, src, pyvalue.Int(5)), pyvalue.Int(15))
+}

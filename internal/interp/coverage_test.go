@@ -1,0 +1,177 @@
+package interp
+
+import (
+	"testing"
+
+	"github.com/gotuplex/tuplex/internal/pyast"
+	"github.com/gotuplex/tuplex/internal/pyvalue"
+)
+
+func TestInterpBitwise(t *testing.T) {
+	wantEq(t, evalOK(t, "lambda a, b: a & b", pyvalue.Int(12), pyvalue.Int(10)), pyvalue.Int(8))
+	wantEq(t, evalOK(t, "lambda a, b: a | b", pyvalue.Int(12), pyvalue.Int(10)), pyvalue.Int(14))
+	wantEq(t, evalOK(t, "lambda a, b: a ^ b", pyvalue.Int(12), pyvalue.Int(10)), pyvalue.Int(6))
+	wantEq(t, evalOK(t, "lambda a: a << 2", pyvalue.Int(3)), pyvalue.Int(12))
+	wantEq(t, evalOK(t, "lambda a: a >> 1", pyvalue.Int(5)), pyvalue.Int(2))
+	wantEq(t, evalOK(t, "lambda a: ~a", pyvalue.Int(5)), pyvalue.Int(-6))
+	wantEq(t, evalOK(t, "lambda a: +a", pyvalue.Int(-5)), pyvalue.Int(-5))
+}
+
+func TestInterpTupleTargetForLoop(t *testing.T) {
+	src := `def f(x):
+    total = 0
+    for a, b in x:
+        total += a * b
+    return total
+`
+	pairs := &pyvalue.List{Items: []pyvalue.Value{
+		&pyvalue.Tuple{Items: []pyvalue.Value{pyvalue.Int(2), pyvalue.Int(3)}},
+		&pyvalue.Tuple{Items: []pyvalue.Value{pyvalue.Int(4), pyvalue.Int(5)}},
+	}}
+	wantEq(t, evalOK(t, src, pairs), pyvalue.Int(26))
+}
+
+func TestInterpIterateString(t *testing.T) {
+	src := `def f(s):
+    out = ''
+    for ch in s:
+        out = ch + out
+    return out
+`
+	wantEq(t, evalOK(t, src, pyvalue.Str("abc")), pyvalue.Str("cba"))
+}
+
+func TestInterpUnpackMismatchRaises(t *testing.T) {
+	src := `def f(x):
+    a, b, c = x
+    return a
+`
+	_, err := runUDF(t, src, &pyvalue.Tuple{Items: []pyvalue.Value{pyvalue.Int(1), pyvalue.Int(2)}})
+	if pyvalue.KindOf(err) != pyvalue.ExcValueError {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInterpListCompWithCondition(t *testing.T) {
+	v := evalOK(t, "lambda s: [c for c in s if c != '-']", pyvalue.Str("a-b-c"))
+	l := v.(*pyvalue.List)
+	if len(l.Items) != 3 {
+		t.Fatalf("got %s", pyvalue.Repr(v))
+	}
+}
+
+func TestInterpCompiledForLoopOverList(t *testing.T) {
+	src := `def f(x):
+    out = 0
+    for v in x:
+        if v > 2:
+            break
+        out += v
+    return out
+`
+	fn, _ := pyast.ParseUDF(src)
+	ip := New(nil)
+	compiled, err := ip.Compile(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arg := &pyvalue.List{Items: []pyvalue.Value{pyvalue.Int(1), pyvalue.Int(2), pyvalue.Int(5), pyvalue.Int(9)}}
+	v, err := compiled.Call(ip, []pyvalue.Value{arg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEq(t, v, pyvalue.Int(3))
+}
+
+func TestInterpCompiledWhile(t *testing.T) {
+	src := `def f(n):
+    i = 1
+    while i < n:
+        i = i * 2
+    return i
+`
+	fn, _ := pyast.ParseUDF(src)
+	ip := New(nil)
+	compiled, err := ip.Compile(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := compiled.Call(ip, []pyvalue.Value{pyvalue.Int(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEq(t, v, pyvalue.Int(128))
+}
+
+func TestInterpCompiledSubscriptAssign(t *testing.T) {
+	src := `def f(n):
+    out = [0, 0]
+    out[1] = n
+    return out[1]
+`
+	fn, _ := pyast.ParseUDF(src)
+	ip := New(nil)
+	compiled, err := ip.Compile(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := compiled.Call(ip, []pyvalue.Value{pyvalue.Int(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEq(t, v, pyvalue.Int(9))
+}
+
+func TestInterpReturnNoneImplicit(t *testing.T) {
+	src := `def f(x):
+    y = x + 1
+`
+	wantEq(t, evalOK(t, src, pyvalue.Int(1)), pyvalue.None{})
+	src2 := `def f(x):
+    return
+`
+	wantEq(t, evalOK(t, src2, pyvalue.Int(1)), pyvalue.None{})
+}
+
+func TestInterpArityError(t *testing.T) {
+	_, err := runUDF(t, "lambda a, b: a", pyvalue.Int(1))
+	if pyvalue.KindOf(err) != pyvalue.ExcTypeError {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTracedBailsOnUnsupported(t *testing.T) {
+	// A UDF the closure compiler rejects keeps running interpreted
+	// forever (the blackhole), still correct.
+	fn, _ := pyast.ParseUDF("lambda x: x + 1")
+	ip := New(nil)
+	tr := NewTraced(ip, fn, 1)
+	for i := range 5 {
+		v, err := tr.Call([]pyvalue.Value{pyvalue.Int(int64(i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantEq(t, v, pyvalue.Int(int64(i+1)))
+	}
+}
+
+func TestInterpChainedStringMethodsOnNone(t *testing.T) {
+	_, err := runUDF(t, "lambda x: x.strip().lower()", pyvalue.None{})
+	if pyvalue.KindOf(err) != pyvalue.ExcAttributeError {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInterpDictIteration(t *testing.T) {
+	d := pyvalue.NewDict()
+	d.Set("b", pyvalue.Int(1))
+	d.Set("a", pyvalue.Int(2))
+	src := `def f(d):
+    out = ''
+    for k in d:
+        out += k
+    return out
+`
+	// Iteration follows insertion order like Python 3.7+.
+	wantEq(t, evalOK(t, src, d), pyvalue.Str("ba"))
+}

@@ -1,0 +1,419 @@
+package interp
+
+import (
+	"testing"
+
+	"github.com/gotuplex/tuplex/internal/pyast"
+	"github.com/gotuplex/tuplex/internal/pyvalue"
+)
+
+// runUDF parses and tree-walks a UDF on args.
+func runUDF(t *testing.T, src string, args ...pyvalue.Value) (pyvalue.Value, error) {
+	t.Helper()
+	fn, err := pyast.ParseUDF(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return New(nil).Call(fn, args)
+}
+
+func evalOK(t *testing.T, src string, args ...pyvalue.Value) pyvalue.Value {
+	t.Helper()
+	v, err := runUDF(t, src, args...)
+	if err != nil {
+		t.Fatalf("run %q: %v", src, err)
+	}
+	return v
+}
+
+func wantEq(t *testing.T, got pyvalue.Value, want pyvalue.Value) {
+	t.Helper()
+	if !pyvalue.Equal(got, want) || got.Kind() != want.Kind() {
+		t.Fatalf("got %s (%s), want %s (%s)",
+			pyvalue.Repr(got), pyvalue.TypeName(got), pyvalue.Repr(want), pyvalue.TypeName(want))
+	}
+}
+
+func TestLambdaArithmetic(t *testing.T) {
+	wantEq(t, evalOK(t, "lambda m: m * 1.609", pyvalue.Float(100)), pyvalue.Float(160.9))
+	wantEq(t, evalOK(t, "lambda m: m * 1.609", pyvalue.Int(100)), pyvalue.Float(160.9))
+	wantEq(t, evalOK(t, "lambda a, b: a // b", pyvalue.Int(7), pyvalue.Int(2)), pyvalue.Int(3))
+}
+
+func TestTernaryNullGuard(t *testing.T) {
+	src := "lambda m: m * 1.609 if m else 0.0"
+	wantEq(t, evalOK(t, src, pyvalue.Float(2)), pyvalue.Float(3.218))
+	wantEq(t, evalOK(t, src, pyvalue.None{}), pyvalue.Float(0))
+	wantEq(t, evalOK(t, src, pyvalue.Int(0)), pyvalue.Float(0))
+	// Without the guard, None raises TypeError like Python.
+	_, err := runUDF(t, "lambda m: m * 1.609", pyvalue.None{})
+	if pyvalue.KindOf(err) != pyvalue.ExcTypeError {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestChainedComparison(t *testing.T) {
+	src := "lambda x: 100000 < x <= 2e7"
+	wantEq(t, evalOK(t, src, pyvalue.Int(500000)), pyvalue.Bool(true))
+	wantEq(t, evalOK(t, src, pyvalue.Int(100000)), pyvalue.Bool(false))
+	wantEq(t, evalOK(t, src, pyvalue.Float(2e7)), pyvalue.Bool(true))
+	wantEq(t, evalOK(t, src, pyvalue.Float(2.1e7)), pyvalue.Bool(false))
+}
+
+func TestShortCircuit(t *testing.T) {
+	// `x and x['a']` must not index when x is falsy.
+	src := "lambda x: x and x[0]"
+	wantEq(t, evalOK(t, src, pyvalue.Str("")), pyvalue.Str(""))
+	wantEq(t, evalOK(t, src, pyvalue.Str("ab")), pyvalue.Str("a"))
+	// `or` returns the first truthy operand itself.
+	wantEq(t, evalOK(t, "lambda x: x or 'default'", pyvalue.Str("")), pyvalue.Str("default"))
+	wantEq(t, evalOK(t, "lambda x: x or 'default'", pyvalue.Str("v")), pyvalue.Str("v"))
+}
+
+func TestZeroDivisionRaises(t *testing.T) {
+	_, err := runUDF(t, "lambda a, b: a / b", pyvalue.Int(1), pyvalue.Int(0))
+	if pyvalue.KindOf(err) != pyvalue.ExcZeroDivisionError {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDictRowAccess(t *testing.T) {
+	row := pyvalue.NewDict()
+	row.Set("price", pyvalue.Str("$1,500"))
+	v := evalOK(t, "lambda x: int(x['price'][1:].replace(',', ''))", row)
+	wantEq(t, v, pyvalue.Int(1500))
+	_, err := runUDF(t, "lambda x: x['missing']", row)
+	if pyvalue.KindOf(err) != pyvalue.ExcKeyError {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExtractBdUDF(t *testing.T) {
+	src := `def extractBd(x):
+    val = x['facts and features']
+    max_idx = val.find(' bd')
+    if max_idx < 0:
+        max_idx = len(val)
+    s = val[:max_idx]
+    split_idx = s.rfind(',')
+    if split_idx < 0:
+        split_idx = 0
+    else:
+        split_idx += 2
+    r = s[split_idx:]
+    return int(r)
+`
+	row := pyvalue.NewDict()
+	row.Set("facts and features", pyvalue.Str("3 bds, 2 ba , 1,560 sqft"))
+	wantEq(t, evalOK(t, src, row), pyvalue.Int(3))
+
+	// Malformed: no digit -> ValueError, like Python.
+	row2 := pyvalue.NewDict()
+	row2.Set("facts and features", pyvalue.Str("studio apartment"))
+	_, err := runUDF(t, src, row2)
+	if pyvalue.KindOf(err) != pyvalue.ExcValueError {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExtractPriceUDF(t *testing.T) {
+	src := `def extractPrice(x):
+    price = x['price']
+    p = 0
+    if x['offer'] == 'sold':
+        val = x['facts and features']
+        s = val[val.find('Price/sqft:') + len('Price/sqft:') + 1:]
+        r = s[s.find('$')+1:s.find(', ') - 1]
+        price_per_sqft = int(r)
+        p = price_per_sqft * x['sqft']
+    elif x['offer'] == 'rent':
+        max_idx = price.rfind('/')
+        p = int(price[1:max_idx].replace(',', ''))
+    else:
+        p = int(price[1:].replace(',', ''))
+    return p
+`
+	mk := func(price, offer, facts string, sqft int64) *pyvalue.Dict {
+		d := pyvalue.NewDict()
+		d.Set("price", pyvalue.Str(price))
+		d.Set("offer", pyvalue.Str(offer))
+		d.Set("facts and features", pyvalue.Str(facts))
+		d.Set("sqft", pyvalue.Int(sqft))
+		return d
+	}
+	wantEq(t, evalOK(t, src, mk("$1,250,000", "sale", "", 0)), pyvalue.Int(1250000))
+	wantEq(t, evalOK(t, src, mk("$2,500/mo", "rent", "", 0)), pyvalue.Int(2500))
+	// Zillow facts strings carry a space before the comma after the
+	// price-per-sqft figure; the UDF's `s.find(', ') - 1` depends on it.
+	wantEq(t, evalOK(t, src, mk("", "sold", "Price/sqft: $250 , built 1995", 1000)), pyvalue.Int(250000))
+}
+
+func TestFormatUDFs(t *testing.T) {
+	v := evalOK(t, "lambda x: '{:02}:{:02}'.format(int(x / 100), x % 100) if x else None", pyvalue.Int(545))
+	wantEq(t, v, pyvalue.Str("05:45"))
+	v = evalOK(t, "lambda x: '%05d' % int(x)", pyvalue.Str("2134"))
+	wantEq(t, v, pyvalue.Str("02134"))
+}
+
+func TestCapitalizeCityUDF(t *testing.T) {
+	v := evalOK(t, "lambda x: x[0].upper() + x[1:].lower()", pyvalue.Str("bOSTON"))
+	wantEq(t, v, pyvalue.Str("Boston"))
+	// Empty city raises IndexError in Python.
+	_, err := runUDF(t, "lambda x: x[0].upper() + x[1:].lower()", pyvalue.Str(""))
+	if pyvalue.KindOf(err) != pyvalue.ExcIndexError {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestForLoopAndListComp(t *testing.T) {
+	src := `def f(n):
+    total = 0
+    for i in range(n):
+        if i % 2 == 0:
+            continue
+        total += i
+    return total
+`
+	wantEq(t, evalOK(t, src, pyvalue.Int(10)), pyvalue.Int(25))
+	v := evalOK(t, "lambda n: [i * i for i in range(n) if i > 1]", pyvalue.Int(5))
+	l := v.(*pyvalue.List)
+	if len(l.Items) != 3 || !pyvalue.Equal(l.Items[2], pyvalue.Int(16)) {
+		t.Fatalf("listcomp = %s", pyvalue.Repr(v))
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	src := `def f(n):
+    i = 0
+    while i * i < n:
+        i += 1
+    return i
+`
+	wantEq(t, evalOK(t, src, pyvalue.Int(17)), pyvalue.Int(5))
+}
+
+func TestGlobalsAndRandomChoice(t *testing.T) {
+	fn, err := pyast.ParseUDF("lambda x: ''.join([random_choice(LETTERS) for t in range(10)])")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := New(map[string]pyvalue.Value{"LETTERS": pyvalue.Str("ABCDEFGHIJKLMNOPQRSTUVWXYZ")})
+	v, err := ip.Call(fn, []pyvalue.Value{pyvalue.Str("ignored")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(v.(pyvalue.Str))
+	if len(s) != 10 {
+		t.Fatalf("len = %d (%q)", len(s), s)
+	}
+	for i := range s {
+		if s[i] < 'A' || s[i] > 'Z' {
+			t.Fatalf("bad char in %q", s)
+		}
+	}
+}
+
+func TestRegexSearchUDF(t *testing.T) {
+	src := `def parse(logline):
+    match = re_search('^(\S+) (\S+)', logline)
+    if match:
+        return match[1]
+    return ''
+`
+	wantEq(t, evalOK(t, src, pyvalue.Str("1.2.3.4 - rest")), pyvalue.Str("1.2.3.4"))
+	wantEq(t, evalOK(t, src, pyvalue.Str("")), pyvalue.Str(""))
+}
+
+func TestRegexModuleAttrForm(t *testing.T) {
+	// re.sub(...) as an attribute call.
+	v := evalOK(t, "lambda x: re.sub('^/~[^/]+', '/~anon', x)", pyvalue.Str("/~alice/pubs"))
+	wantEq(t, v, pyvalue.Str("/~anon/pubs"))
+}
+
+func TestStringCapwords(t *testing.T) {
+	v := evalOK(t, "lambda x: string.capwords(x)", pyvalue.Str("LOGAN  INTL"))
+	wantEq(t, v, pyvalue.Str("Logan Intl"))
+	v = evalOK(t, "lambda x: string_capwords(x)", pyvalue.Str("a b"))
+	wantEq(t, v, pyvalue.Str("A B"))
+}
+
+func TestNoneAttributeRaises(t *testing.T) {
+	_, err := runUDF(t, "lambda x: x.rfind(',')", pyvalue.None{})
+	if pyvalue.KindOf(err) != pyvalue.ExcAttributeError {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTupleUnpackingAndReturn(t *testing.T) {
+	src := `def f(x):
+    a, b = x[0], x[1]
+    return b, a
+`
+	v := evalOK(t, src, &pyvalue.Tuple{Items: []pyvalue.Value{pyvalue.Int(1), pyvalue.Int(2)}})
+	tu := v.(*pyvalue.Tuple)
+	if !pyvalue.Equal(tu.Items[0], pyvalue.Int(2)) || !pyvalue.Equal(tu.Items[1], pyvalue.Int(1)) {
+		t.Fatalf("got %s", pyvalue.Repr(v))
+	}
+}
+
+func TestDictLiteralReturn(t *testing.T) {
+	v := evalOK(t, "lambda x: {'a': x + 1, 'b': 'y'}", pyvalue.Int(1))
+	d := v.(*pyvalue.Dict)
+	a, _ := d.Get("a")
+	wantEq(t, a, pyvalue.Int(2))
+}
+
+func TestUnboundNameRaises(t *testing.T) {
+	_, err := runUDF(t, "lambda x: undefined_name + 1", pyvalue.Int(1))
+	if pyvalue.KindOf(err) != pyvalue.ExcNameError {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAggregateCombinerUDF(t *testing.T) {
+	// Two-argument UDFs back .aggregate (§4.6).
+	v := evalOK(t, "lambda acc, r: acc + r", pyvalue.Int(10), pyvalue.Int(5))
+	wantEq(t, v, pyvalue.Int(15))
+}
+
+// ---- Compiled (transpiler-analog) mode ----
+
+var equivalenceUDFs = []struct {
+	src  string
+	args [][]pyvalue.Value
+}{
+	{"lambda m: m * 1.609 if m else 0.0",
+		[][]pyvalue.Value{{pyvalue.Float(2)}, {pyvalue.None{}}, {pyvalue.Int(3)}}},
+	{"lambda x: x[0].upper() + x[1:].lower()",
+		[][]pyvalue.Value{{pyvalue.Str("bOSTON")}, {pyvalue.Str("")}}},
+	{"lambda a, b: a // b",
+		[][]pyvalue.Value{{pyvalue.Int(7), pyvalue.Int(2)}, {pyvalue.Int(1), pyvalue.Int(0)}, {pyvalue.Int(-7), pyvalue.Int(2)}}},
+	{`def f(n):
+    total = 0
+    for i in range(n):
+        total += i * i
+    return total
+`, [][]pyvalue.Value{{pyvalue.Int(10)}, {pyvalue.Int(0)}}},
+	{"lambda x: 100000 < x <= 2e7",
+		[][]pyvalue.Value{{pyvalue.Int(150000)}, {pyvalue.Int(5)}, {pyvalue.Str("x")}}},
+	{"lambda s: s.split(' ')[1] if ' ' in s else s",
+		[][]pyvalue.Value{{pyvalue.Str("a b c")}, {pyvalue.Str("solo")}}},
+	{"lambda x: int(x)",
+		[][]pyvalue.Value{{pyvalue.Str("42")}, {pyvalue.Str("bad")}, {pyvalue.None{}}, {pyvalue.Float(9.7)}}},
+}
+
+// TestCompiledMatchesInterp is the transpiler-vs-interpreter equivalence
+// property: both modes must agree on results and exception kinds.
+func TestCompiledMatchesInterp(t *testing.T) {
+	for _, c := range equivalenceUDFs {
+		fn, err := pyast.ParseUDF(c.src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.src, err)
+		}
+		ip := New(nil)
+		compiled, err := ip.Compile(fn)
+		if err != nil {
+			t.Fatalf("compile %q: %v", c.src, err)
+		}
+		for _, args := range c.args {
+			want, werr := ip.Call(fn, args)
+			got, gerr := compiled.Call(ip, args)
+			if pyvalue.KindOf(werr) != pyvalue.KindOf(gerr) {
+				t.Errorf("%q %v: interp err %v, compiled err %v", c.src, args, werr, gerr)
+				continue
+			}
+			if werr == nil && (!pyvalue.Equal(want, got) || want.Kind() != got.Kind()) {
+				t.Errorf("%q %v: interp %s, compiled %s", c.src, args,
+					pyvalue.Repr(want), pyvalue.Repr(got))
+			}
+		}
+	}
+}
+
+func TestCompiledLocalScopingBeforeAssignment(t *testing.T) {
+	// Python treats names assigned anywhere in the function as locals.
+	src := `def f(x):
+    if x > 0:
+        y = 1
+    return y
+`
+	fn, _ := pyast.ParseUDF(src)
+	ip := New(nil)
+	compiled, err := ip.Compile(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := compiled.Call(ip, []pyvalue.Value{pyvalue.Int(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEq(t, v, pyvalue.Int(1))
+	_, err = compiled.Call(ip, []pyvalue.Value{pyvalue.Int(-5)})
+	if pyvalue.KindOf(err) != pyvalue.ExcNameError {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// ---- Traced (tracing-JIT-analog) mode ----
+
+func TestTracedWarmupAndGuards(t *testing.T) {
+	fn, _ := pyast.ParseUDF("lambda m: m * 2")
+	ip := New(nil)
+	tr := NewTraced(ip, fn, 5)
+	for i := range 10 {
+		v, err := tr.Call([]pyvalue.Value{pyvalue.Int(int64(i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantEq(t, v, pyvalue.Int(int64(2*i)))
+	}
+	if !tr.IsCompiled() {
+		t.Fatal("trace did not compile after warmup")
+	}
+	// Different argument kind hits the guard and deopts, still correct.
+	v, err := tr.Call([]pyvalue.Value{pyvalue.Float(1.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEq(t, v, pyvalue.Float(3))
+	if tr.Deopts != 1 {
+		t.Fatalf("deopts = %d", tr.Deopts)
+	}
+}
+
+func TestTracedMatchesInterp(t *testing.T) {
+	for _, c := range equivalenceUDFs {
+		fn, err := pyast.ParseUDF(c.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ip := New(nil)
+		tr := NewTraced(ip, fn, 2)
+		for round := range 3 { // crosses the warmup boundary
+			_ = round
+			for _, args := range c.args {
+				want, werr := ip.Call(fn, args)
+				got, gerr := tr.Call(args)
+				if pyvalue.KindOf(werr) != pyvalue.KindOf(gerr) {
+					t.Errorf("%q: err mismatch %v vs %v", c.src, werr, gerr)
+					continue
+				}
+				if werr == nil && !pyvalue.Equal(want, got) {
+					t.Errorf("%q: %s vs %s", c.src, pyvalue.Repr(want), pyvalue.Repr(got))
+				}
+			}
+		}
+	}
+}
+
+func TestIsNotNone(t *testing.T) {
+	wantEq(t, evalOK(t, "lambda x: x is None", pyvalue.None{}), pyvalue.Bool(true))
+	wantEq(t, evalOK(t, "lambda x: x is not None", pyvalue.None{}), pyvalue.Bool(false))
+	wantEq(t, evalOK(t, "lambda x: x is None", pyvalue.Int(0)), pyvalue.Bool(false))
+}
+
+func TestStrOfValues(t *testing.T) {
+	wantEq(t, evalOK(t, "lambda x: str(x)", pyvalue.Float(2.5)), pyvalue.Str("2.5"))
+	wantEq(t, evalOK(t, "lambda x: str(x)", pyvalue.None{}), pyvalue.Str("None"))
+	wantEq(t, evalOK(t, "lambda x: str(x)", pyvalue.Bool(true)), pyvalue.Str("True"))
+}

@@ -1,0 +1,92 @@
+package interp
+
+import (
+	"github.com/gotuplex/tuplex/internal/pyast"
+	"github.com/gotuplex/tuplex/internal/pyvalue"
+)
+
+// Traced is the tracing-JIT analog (PyPy in §6.2.1). A function runs in
+// the tree-walking interpreter for a warmup period while argument kinds
+// are recorded; once hot, it is compiled to boxed closures with per-call
+// type guards. A guard miss deoptimizes the call back to the interpreter
+// — the same stay-boxed, guard-checked structure that keeps tracing JITs
+// far from Tuplex's unboxed specialized code.
+type Traced struct {
+	fn       *pyast.Function
+	ip       *Interp
+	warmup   int
+	calls    int
+	compiled *Compiled
+	guards   []pyvalue.Kind
+	// Deopts counts guard misses, exported for experiment reporting.
+	Deopts int
+	// CExtBoundaryCost simulates cpyext-style conversion at a C-extension
+	// boundary: when > 0, each call deep-copies its arguments and result
+	// that many times (PyPy's documented slowdown with Pandas/NumPy-style
+	// extension modules).
+	CExtBoundaryCost int
+}
+
+// DefaultWarmup is the call count before trace compilation, mirroring
+// tracing-JIT hot-loop thresholds.
+const DefaultWarmup = 1000
+
+// NewTraced wraps fn for traced execution.
+func NewTraced(ip *Interp, fn *pyast.Function, warmup int) *Traced {
+	if warmup <= 0 {
+		warmup = DefaultWarmup
+	}
+	return &Traced{fn: fn, ip: ip, warmup: warmup}
+}
+
+// Call executes one invocation.
+func (t *Traced) Call(args []pyvalue.Value) (pyvalue.Value, error) {
+	if t.CExtBoundaryCost > 0 {
+		for range t.CExtBoundaryCost {
+			for i, a := range args {
+				args[i] = pyvalue.Copy(a)
+			}
+		}
+	}
+	t.calls++
+	if t.compiled == nil {
+		if t.calls >= t.warmup {
+			t.compileTrace(args)
+		}
+		return t.ip.Call(t.fn, args)
+	}
+	// Guard check: argument kinds must match the trace.
+	for i, a := range args {
+		if i >= len(t.guards) || a.Kind() != t.guards[i] {
+			t.Deopts++
+			return t.ip.Call(t.fn, args)
+		}
+	}
+	v, err := t.compiled.Call(t.ip, args)
+	if err != nil {
+		return nil, err
+	}
+	if t.CExtBoundaryCost > 0 {
+		for range t.CExtBoundaryCost {
+			v = pyvalue.Copy(v)
+		}
+	}
+	return v, nil
+}
+
+func (t *Traced) compileTrace(args []pyvalue.Value) {
+	c, err := t.ip.Compile(t.fn)
+	if err != nil {
+		// Trace bails: stay in the interpreter forever (PyPy's blackhole).
+		t.warmup = int(^uint(0) >> 1)
+		return
+	}
+	t.compiled = c
+	t.guards = make([]pyvalue.Kind, len(args))
+	for i, a := range args {
+		t.guards[i] = a.Kind()
+	}
+}
+
+// Compiled reports whether the trace is live (for tests).
+func (t *Traced) IsCompiled() bool { return t.compiled != nil }

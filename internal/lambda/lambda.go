@@ -1,0 +1,309 @@
+// Package lambda simulates Tuplex's experimental distributed backend
+// (§6.4): serverless function invocations over chunked objects in an
+// object store, compared against a continuously-running cluster of
+// executors. Both sides execute real pipelines on real bytes; only the
+// infrastructure latencies — container cold starts, request overhead,
+// object-store writes — are injected, because those are what the
+// experiment controls for ("compiled UDFs amortize the overheads
+// incurred by Lambdas").
+package lambda
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ObjectStore is an in-memory S3 stand-in with chunked objects.
+type ObjectStore struct {
+	mu      sync.RWMutex
+	objects map[string][]byte
+}
+
+// NewObjectStore returns an empty store.
+func NewObjectStore() *ObjectStore {
+	return &ObjectStore{objects: map[string][]byte{}}
+}
+
+// Put stores an object.
+func (s *ObjectStore) Put(key string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objects[key] = data
+}
+
+// Get fetches an object.
+func (s *ObjectStore) Get(key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.objects[key]
+	return v, ok
+}
+
+// List returns the sorted keys under a prefix.
+func (s *ObjectStore) List(prefix string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var keys []string
+	for k := range s.objects {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TotalSize sums object sizes under a prefix.
+func (s *ObjectStore) TotalSize(prefix string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for k, v := range s.objects {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			n += len(v)
+		}
+	}
+	return n
+}
+
+// ChunkCSV splits CSV bytes into roughly chunkSize pieces at record
+// boundaries, replicating the header into each chunk (how the paper
+// stores "data in 256 MB chunks in AWS S3").
+func ChunkCSV(data []byte, chunkSize int, hasHeader bool) [][]byte {
+	if chunkSize <= 0 {
+		chunkSize = 1 << 20
+	}
+	var header []byte
+	body := data
+	if hasHeader {
+		for i, b := range data {
+			if b == '\n' {
+				header = data[:i+1]
+				body = data[i+1:]
+				break
+			}
+		}
+	}
+	var chunks [][]byte
+	start := 0
+	for start < len(body) {
+		end := start + chunkSize
+		if end >= len(body) {
+			end = len(body)
+		} else {
+			for end < len(body) && body[end] != '\n' {
+				end++
+			}
+			if end < len(body) {
+				end++
+			}
+		}
+		chunk := make([]byte, 0, len(header)+(end-start))
+		chunk = append(chunk, header...)
+		chunk = append(chunk, body[start:end]...)
+		chunks = append(chunks, chunk)
+		start = end
+	}
+	return chunks
+}
+
+// UploadChunks writes chunks under prefix-%05d.
+func UploadChunks(store *ObjectStore, prefix string, chunks [][]byte) []string {
+	keys := make([]string, len(chunks))
+	for i, c := range chunks {
+		key := fmt.Sprintf("%s-%05d", prefix, i)
+		store.Put(key, c)
+		keys[i] = key
+	}
+	return keys
+}
+
+// Config sets the simulated infrastructure parameters.
+type Config struct {
+	// MaxConcurrency caps simultaneously running invocations (the
+	// paper's 64).
+	MaxConcurrency int
+	// ColdStart is container provisioning latency for a fresh
+	// invocation slot.
+	ColdStart time.Duration
+	// InvokeOverhead is the per-request cost (HTTP, queueing).
+	InvokeOverhead time.Duration
+	// PutOverheadPerMB is the object-store write latency per MiB.
+	PutOverheadPerMB time.Duration
+}
+
+// DefaultConfig approximates AWS Lambda characteristics, scaled for
+// laptop-sized chunks.
+func DefaultConfig() Config {
+	return Config{
+		MaxConcurrency:   64,
+		ColdStart:        60 * time.Millisecond,
+		InvokeOverhead:   5 * time.Millisecond,
+		PutOverheadPerMB: 2 * time.Millisecond,
+	}
+}
+
+// Stats summarizes one distributed run.
+type Stats struct {
+	Tasks      int
+	ColdStarts int
+	Wall       time.Duration
+	// ComputeTotal is summed task compute time (excludes injected
+	// latencies).
+	ComputeTotal time.Duration
+	OutputBytes  int
+}
+
+// Task is one chunk-processing function: it returns the output bytes to
+// store.
+type Task func(chunk []byte) ([]byte, error)
+
+// Backend is the serverless executor.
+type Backend struct {
+	cfg Config
+	// warm counts provisioned containers (never deprovisioned within a
+	// run).
+	mu   sync.Mutex
+	warm int
+}
+
+// NewBackend returns a backend.
+func NewBackend(cfg Config) *Backend {
+	if cfg.MaxConcurrency <= 0 {
+		cfg.MaxConcurrency = 64
+	}
+	return &Backend{cfg: cfg}
+}
+
+// acquireContainer reports whether the invocation got a warm container.
+func (b *Backend) acquireContainer() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.warm > 0 {
+		b.warm--
+		return true
+	}
+	return false
+}
+
+func (b *Backend) releaseContainer() {
+	b.mu.Lock()
+	b.warm++
+	b.mu.Unlock()
+}
+
+// Run maps fn over every object under inPrefix, writing results under
+// outPrefix, with Lambda semantics: per-invocation provisioning, bounded
+// concurrency, per-request overhead and store-write latency.
+func (b *Backend) Run(store *ObjectStore, inPrefix, outPrefix string, fn Task) (*Stats, error) {
+	keys := store.List(inPrefix)
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("lambda: no objects under %q", inPrefix)
+	}
+	stats := &Stats{Tasks: len(keys)}
+	sem := make(chan struct{}, b.cfg.MaxConcurrency)
+	errs := make([]error, len(keys))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i, key := range keys {
+		wg.Add(1)
+		go func(i int, key string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			warm := b.acquireContainer()
+			if !warm {
+				time.Sleep(b.cfg.ColdStart)
+				mu.Lock()
+				stats.ColdStarts++
+				mu.Unlock()
+			}
+			defer b.releaseContainer()
+			time.Sleep(b.cfg.InvokeOverhead)
+			chunk, _ := store.Get(key)
+			tC := time.Now()
+			out, err := fn(chunk)
+			compute := time.Since(tC)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			time.Sleep(time.Duration(float64(len(out)) / (1 << 20) * float64(b.cfg.PutOverheadPerMB)))
+			store.Put(fmt.Sprintf("%s-%05d", outPrefix, i), out)
+			mu.Lock()
+			stats.ComputeTotal += compute
+			stats.OutputBytes += len(out)
+			mu.Unlock()
+		}(i, key)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	stats.Wall = time.Since(t0)
+	return stats, nil
+}
+
+// Cluster simulates the comparison Spark cluster: a fixed executor pool
+// that is already provisioned (no cold starts; the paper notes "the
+// cluster runs continuously") and collects results at the driver rather
+// than writing to the store.
+type Cluster struct {
+	Executors int
+}
+
+// Run maps fn over the chunks with the fixed pool; outputs are collected
+// in order at the driver.
+func (c *Cluster) Run(store *ObjectStore, inPrefix string, fn Task) (*Stats, [][]byte, error) {
+	keys := store.List(inPrefix)
+	if len(keys) == 0 {
+		return nil, nil, fmt.Errorf("lambda: no objects under %q", inPrefix)
+	}
+	stats := &Stats{Tasks: len(keys)}
+	outs := make([][]byte, len(keys))
+	errs := make([]error, len(keys))
+	sem := make(chan struct{}, max(1, c.Executors))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i, key := range keys {
+		wg.Add(1)
+		go func(i int, key string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			chunk, _ := store.Get(key)
+			tC := time.Now()
+			out, err := fn(chunk)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			mu.Lock()
+			stats.ComputeTotal += time.Since(tC)
+			stats.OutputBytes += len(out)
+			mu.Unlock()
+			outs[i] = out
+		}(i, key)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	stats.Wall = time.Since(t0)
+	return stats, outs, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,106 @@
+package lambda
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	tuplex "github.com/gotuplex/tuplex"
+	"github.com/gotuplex/tuplex/internal/data"
+	"github.com/gotuplex/tuplex/internal/handopt"
+	"github.com/gotuplex/tuplex/internal/pipelines"
+)
+
+func TestChunkCSVPreservesRowsAndHeader(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("a,b\n")
+	for i := range 1000 {
+		fmt.Fprintf(&sb, "%d,x%d\n", i, i)
+	}
+	raw := []byte(sb.String())
+	chunks := ChunkCSV(raw, 2000, true)
+	if len(chunks) < 3 {
+		t.Fatalf("chunks = %d", len(chunks))
+	}
+	total := 0
+	for _, c := range chunks {
+		if !bytes.HasPrefix(c, []byte("a,b\n")) {
+			t.Fatal("chunk missing header")
+		}
+		total += bytes.Count(c, []byte("\n")) - 1
+	}
+	if total != 1000 {
+		t.Fatalf("rows across chunks = %d", total)
+	}
+}
+
+func TestBackendRunsAllChunksWithConcurrencyCap(t *testing.T) {
+	store := NewObjectStore()
+	raw := data.Zillow(data.ZillowConfig{Rows: 2000, Seed: 1})
+	UploadChunks(store, "in/zillow", ChunkCSV(raw, 20_000, true))
+	cfg := Config{MaxConcurrency: 4, ColdStart: time.Millisecond, InvokeOverhead: time.Microsecond}
+	b := NewBackend(cfg)
+	stats, err := b.Run(store, "in/zillow", "out/zillow", func(chunk []byte) ([]byte, error) {
+		return handopt.ZillowCSV(chunk), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Tasks < 2 {
+		t.Fatalf("tasks = %d", stats.Tasks)
+	}
+	if stats.ColdStarts == 0 || stats.ColdStarts > cfg.MaxConcurrency {
+		t.Fatalf("cold starts = %d (cap %d)", stats.ColdStarts, cfg.MaxConcurrency)
+	}
+	if got := len(store.List("out/zillow")); got != stats.Tasks {
+		t.Fatalf("outputs = %d, want %d", got, stats.Tasks)
+	}
+}
+
+func TestLambdaTuplexMatchesClusterBlackboxRowCounts(t *testing.T) {
+	store := NewObjectStore()
+	raw := data.Zillow(data.ZillowConfig{Rows: 3000, Seed: 9})
+	UploadChunks(store, "in/z", ChunkCSV(raw, 50_000, true))
+
+	tuplexTask := func(chunk []byte) ([]byte, error) {
+		c := tuplex.NewContext()
+		res, err := pipelines.Zillow(c.CSV("", tuplex.CSVData(chunk))).ToCSV("")
+		if err != nil {
+			return nil, err
+		}
+		return res.CSV, nil
+	}
+	b := NewBackend(Config{MaxConcurrency: 8, ColdStart: time.Millisecond})
+	lstats, err := b.Run(store, "in/z", "out/z", tuplexTask)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nativeRows := len(handopt.Zillow(raw))
+	lambdaRows := 0
+	for _, k := range store.List("out/z") {
+		out, _ := store.Get(k)
+		lambdaRows += bytes.Count(out, []byte("\n")) - 1 // minus header
+	}
+	if lambdaRows != nativeRows {
+		t.Fatalf("lambda rows = %d, native = %d", lambdaRows, nativeRows)
+	}
+	if lstats.ComputeTotal <= 0 {
+		t.Fatal("no compute recorded")
+	}
+
+	cl := &Cluster{Executors: 8}
+	_, outs, err := cl.Run(store, "in/z", tuplexTask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusterRows := 0
+	for _, out := range outs {
+		clusterRows += bytes.Count(out, []byte("\n")) - 1
+	}
+	if clusterRows != nativeRows {
+		t.Fatalf("cluster rows = %d, native = %d", clusterRows, nativeRows)
+	}
+}

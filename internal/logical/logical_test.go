@@ -1,0 +1,212 @@
+package logical
+
+import (
+	"sort"
+	"testing"
+)
+
+func udf(t *testing.T, src string) *UDFSpec {
+	t.Helper()
+	u, err := ParseUDF(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func chainOf(ops ...Op) *Node {
+	var cur *Node
+	for _, op := range ops {
+		cur = &Node{Op: op, Input: cur}
+	}
+	return cur
+}
+
+func opNames(n *Node) []string {
+	var out []string
+	for _, nd := range n.Chain() {
+		out = append(out, nd.Op.Name())
+	}
+	return out
+}
+
+func TestProjectionPushdownRecordsLiveColumns(t *testing.T) {
+	src := &CSVSource{Path: "x.csv", Header: true}
+	sink := chainOf(
+		src,
+		&WithColumnOp{Col: "sum", UDF: udf(t, "lambda x: x['a'] + x['b']")},
+		&SelectOp{Cols: []string{"sum", "c"}},
+	)
+	opt, err := Optimize(sink, AllOptimizations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = opt
+	got := append([]string{}, src.Projected()...)
+	sort.Strings(got)
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("projected = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("projected = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestProjectionDropsDeadColumnProducers(t *testing.T) {
+	src := &CSVSource{Path: "x.csv", Header: true}
+	sink := chainOf(
+		src,
+		&WithColumnOp{Col: "dead", UDF: udf(t, "lambda x: x['z'] * 2")},
+		&WithColumnOp{Col: "live", UDF: udf(t, "lambda x: x['a'] + 1")},
+		&SelectOp{Cols: []string{"live"}},
+	)
+	opt, err := Optimize(sink, AllOptimizations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := opNames(opt)
+	count := 0
+	for _, n := range names {
+		if n == "withColumn" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("dead withColumn not eliminated: %v", names)
+	}
+	// And 'z' must no longer be required at the source.
+	for _, c := range src.Projected() {
+		if c == "z" {
+			t.Fatalf("dead input column still projected: %v", src.Projected())
+		}
+	}
+}
+
+func TestProjectionKeepsEverythingWithoutSelect(t *testing.T) {
+	src := &CSVSource{Path: "x.csv", Header: true}
+	sink := chainOf(src, &FilterOp{UDF: udf(t, "lambda x: x['a'] > 0")})
+	if _, err := Optimize(sink, AllOptimizations()); err != nil {
+		t.Fatal(err)
+	}
+	if src.Projected() != nil {
+		t.Fatalf("no terminal select: all columns must stay live, got %v", src.Projected())
+	}
+}
+
+func TestWholeRowUDFBlocksPushdown(t *testing.T) {
+	src := &CSVSource{Path: "x.csv", Header: true}
+	sink := chainOf(
+		src,
+		&MapOp{UDF: udf(t, "lambda x: len(x)")}, // whole-row escape
+		&SelectOp{Cols: []string{"value"}},
+	)
+	if _, err := Optimize(sink, AllOptimizations()); err != nil {
+		t.Fatal(err)
+	}
+	if src.Projected() != nil {
+		t.Fatalf("whole-row UDF must pin all columns, got %v", src.Projected())
+	}
+}
+
+func TestFilterPushdownHoistsAboveUnrelatedProducer(t *testing.T) {
+	sink := chainOf(
+		&CSVSource{Path: "x.csv", Header: true},
+		&WithColumnOp{Col: "w", UDF: udf(t, "lambda x: x['a'] * 2")},
+		&FilterOp{UDF: udf(t, "lambda x: x['b'] > 0")}, // does not read w
+	)
+	opt, err := Optimize(sink, Options{FilterPushdown: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := opNames(opt)
+	if names[1] != "filter" || names[2] != "withColumn" {
+		t.Fatalf("filter not hoisted: %v", names)
+	}
+}
+
+func TestFilterNotHoistedPastItsProducer(t *testing.T) {
+	sink := chainOf(
+		&CSVSource{Path: "x.csv", Header: true},
+		&WithColumnOp{Col: "w", UDF: udf(t, "lambda x: x['a'] * 2")},
+		&FilterOp{UDF: udf(t, "lambda x: x['w'] > 0")}, // reads w
+	)
+	opt, err := Optimize(sink, Options{FilterPushdown: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := opNames(opt)
+	if names[1] != "withColumn" || names[2] != "filter" {
+		t.Fatalf("filter wrongly hoisted past its producer: %v", names)
+	}
+}
+
+func TestJoinReorderPushesMapColumnPastJoin(t *testing.T) {
+	build := chainOf(&CSVSource{Path: "bad.csv", Header: true})
+	sink := chainOf(
+		&CSVSource{Path: "logs.csv", Header: true},
+		&MapColumnOp{Col: "endpoint", UDF: udf(t, "lambda x: x")},
+		&JoinOp{Build: build, LeftKey: "ip", RightKey: "BadIPs"},
+	)
+	opt, err := Optimize(sink, Options{JoinReorder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := opNames(opt)
+	if names[1] != "join" || names[2] != "mapColumn" {
+		t.Fatalf("mapColumn not pushed past join: %v", names)
+	}
+}
+
+func TestJoinReorderKeepsKeyRewriter(t *testing.T) {
+	build := chainOf(&CSVSource{Path: "bad.csv", Header: true})
+	sink := chainOf(
+		&CSVSource{Path: "logs.csv", Header: true},
+		&MapColumnOp{Col: "ip", UDF: udf(t, "lambda x: x.strip()")}, // rewrites the join key
+		&JoinOp{Build: build, LeftKey: "ip", RightKey: "BadIPs"},
+	)
+	opt, err := Optimize(sink, Options{JoinReorder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := opNames(opt)
+	if names[1] != "mapColumn" || names[2] != "join" {
+		t.Fatalf("key-rewriting mapColumn wrongly moved: %v", names)
+	}
+}
+
+func TestResolveFollowsDeadOperatorOut(t *testing.T) {
+	src := &CSVSource{Path: "x.csv", Header: true}
+	sink := chainOf(
+		src,
+		&MapColumnOp{Col: "dead", UDF: udf(t, "lambda x: x * 2")},
+		&ResolveOp{UDF: udf(t, "lambda x: 0")},
+		&WithColumnOp{Col: "live", UDF: udf(t, "lambda x: x['a'] + 1")},
+		&SelectOp{Cols: []string{"live"}},
+	)
+	opt, err := Optimize(sink, AllOptimizations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range opNames(opt) {
+		if n == "resolve" || n == "mapColumn" {
+			t.Fatalf("dead op (or its resolver) survived: %v", opNames(opt))
+		}
+	}
+}
+
+func TestAnalyzedAccessDrivesUDFSpec(t *testing.T) {
+	u := udf(t, "lambda x: x['price'] * 2")
+	if u.Access.WholeRow || len(u.Access.ByName) != 1 || u.Access.ByName[0] != "price" {
+		t.Fatalf("access = %+v", u.Access)
+	}
+}
+
+func TestChainString(t *testing.T) {
+	sink := chainOf(&CSVSource{}, &FilterOp{UDF: udf(t, "lambda x: x")}, &SelectOp{Cols: []string{"a"}})
+	if got := sink.String(); got != "csv -> filter -> selectColumns" {
+		t.Fatalf("String = %q", got)
+	}
+}

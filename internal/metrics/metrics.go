@@ -1,0 +1,100 @@
+// Package metrics collects the execution statistics Tuplex reports:
+// per-path row counts, exception statistics, and phase timings. The
+// experiment harness prints these next to every benchmark so the §6
+// figures can show exception rates (e.g. the 2.6% general-case rows of
+// the flights pipeline).
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Counters tallies rows by the path that produced them. All fields are
+// updated atomically; executors share one Counters per run.
+type Counters struct {
+	// InputRows is the number of input records read.
+	InputRows atomic.Int64
+	// NormalRows completed entirely on the compiled normal-case path.
+	NormalRows atomic.Int64
+	// ClassifierRejects failed the row classifier / generated parser.
+	ClassifierRejects atomic.Int64
+	// NormalPathExceptions raised while running normal-case code.
+	NormalPathExceptions atomic.Int64
+	// GeneralResolved were recovered by the compiled general-case path.
+	GeneralResolved atomic.Int64
+	// FallbackResolved were recovered by the interpreter fallback path.
+	FallbackResolved atomic.Int64
+	// ResolverResolved were recovered by user-provided resolvers.
+	ResolverResolved atomic.Int64
+	// IgnoredRows were dropped by user-provided ignore() handlers.
+	IgnoredRows atomic.Int64
+	// FailedRows could not be processed by any path.
+	FailedRows atomic.Int64
+	// OutputRows reached the sink.
+	OutputRows atomic.Int64
+}
+
+// ExceptionRate reports the fraction of input rows that left the normal
+// path.
+func (c *Counters) ExceptionRate() float64 {
+	in := c.InputRows.Load()
+	if in == 0 {
+		return 0
+	}
+	return float64(c.ClassifierRejects.Load()+c.NormalPathExceptions.Load()) / float64(in)
+}
+
+// Timings records the phases of a run.
+type Timings struct {
+	Sample   time.Duration
+	Optimize time.Duration
+	Compile  time.Duration
+	Execute  time.Duration
+	Resolve  time.Duration
+	Total    time.Duration
+}
+
+// Metrics bundles counters and timings for one pipeline execution.
+type Metrics struct {
+	Counters Counters
+	Timings  Timings
+	// Stages is the number of generated stages.
+	Stages int
+}
+
+// String renders a compact single-run summary.
+func (m *Metrics) String() string {
+	var sb strings.Builder
+	c := &m.Counters
+	fmt.Fprintf(&sb, "rows: in=%d out=%d normal=%d", c.InputRows.Load(), c.OutputRows.Load(), c.NormalRows.Load())
+	if n := c.ClassifierRejects.Load(); n > 0 {
+		fmt.Fprintf(&sb, " classifier_rejects=%d", n)
+	}
+	if n := c.NormalPathExceptions.Load(); n > 0 {
+		fmt.Fprintf(&sb, " normal_exceptions=%d", n)
+	}
+	if n := c.GeneralResolved.Load(); n > 0 {
+		fmt.Fprintf(&sb, " general_resolved=%d", n)
+	}
+	if n := c.FallbackResolved.Load(); n > 0 {
+		fmt.Fprintf(&sb, " fallback_resolved=%d", n)
+	}
+	if n := c.ResolverResolved.Load(); n > 0 {
+		fmt.Fprintf(&sb, " resolver_resolved=%d", n)
+	}
+	if n := c.IgnoredRows.Load(); n > 0 {
+		fmt.Fprintf(&sb, " ignored=%d", n)
+	}
+	if n := c.FailedRows.Load(); n > 0 {
+		fmt.Fprintf(&sb, " failed=%d", n)
+	}
+	fmt.Fprintf(&sb, " | sample=%s compile=%s exec=%s resolve=%s total=%s",
+		round(m.Timings.Sample), round(m.Timings.Compile), round(m.Timings.Execute),
+		round(m.Timings.Resolve), round(m.Timings.Total))
+	return sb.String()
+}
+
+func round(d time.Duration) time.Duration { return d.Round(time.Microsecond * 10) }

@@ -1,0 +1,55 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestExceptionRate(t *testing.T) {
+	var c Counters
+	if c.ExceptionRate() != 0 {
+		t.Fatal("empty counters should report 0")
+	}
+	c.InputRows.Add(1000)
+	c.ClassifierRejects.Add(20)
+	c.NormalPathExceptions.Add(6)
+	if got := c.ExceptionRate(); got != 0.026 {
+		t.Fatalf("rate = %v", got)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range 1000 {
+				c.InputRows.Add(1)
+				c.NormalRows.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.InputRows.Load() != 8000 || c.NormalRows.Load() != 8000 {
+		t.Fatalf("in=%d normal=%d", c.InputRows.Load(), c.NormalRows.Load())
+	}
+}
+
+func TestStringOmitsZeroSections(t *testing.T) {
+	m := &Metrics{}
+	m.Counters.InputRows.Add(10)
+	m.Counters.NormalRows.Add(10)
+	m.Timings.Total = 5 * time.Millisecond
+	s := m.String()
+	if strings.Contains(s, "failed=") || strings.Contains(s, "resolver_resolved=") {
+		t.Fatalf("zero sections rendered: %q", s)
+	}
+	m.Counters.FailedRows.Add(2)
+	if !strings.Contains(m.String(), "failed=2") {
+		t.Fatalf("failed count missing: %q", m.String())
+	}
+}

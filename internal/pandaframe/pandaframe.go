@@ -1,0 +1,402 @@
+// Package pandaframe is the Pandas-analog baseline: an eager columnar
+// frame with a fast native CSV loader and vectorized native kernels for
+// numeric comparisons and row selection — but UDFs drop to the boxed
+// interpreter via a per-row apply() that materializes a dict per row,
+// exactly the cost profile §6.1.1 describes ("its performance suffers
+// when UDFs — for which Pandas has no efficient native operators —
+// require processing in Python").
+package pandaframe
+
+import (
+	"fmt"
+
+	"github.com/gotuplex/tuplex/internal/csvio"
+	"github.com/gotuplex/tuplex/internal/interp"
+	"github.com/gotuplex/tuplex/internal/pyast"
+	"github.com/gotuplex/tuplex/internal/pyvalue"
+)
+
+// ColKind is a column's storage layout.
+type ColKind uint8
+
+const (
+	// ColI64 stores int64 with a validity mask.
+	ColI64 ColKind = iota
+	// ColF64 stores float64 with a validity mask.
+	ColF64
+	// ColStr stores strings ("object" columns).
+	ColStr
+	// ColObj stores boxed values (mixed apply results).
+	ColObj
+)
+
+// Column is one typed column.
+type Column struct {
+	Kind  ColKind
+	Ints  []int64
+	F64s  []float64
+	Strs  []string
+	Objs  []pyvalue.Value
+	Valid []bool // nil means all valid
+}
+
+// Len reports the column length.
+func (c *Column) Len() int {
+	switch c.Kind {
+	case ColI64:
+		return len(c.Ints)
+	case ColF64:
+		return len(c.F64s)
+	case ColStr:
+		return len(c.Strs)
+	default:
+		return len(c.Objs)
+	}
+}
+
+// Get boxes one cell.
+func (c *Column) Get(i int) pyvalue.Value {
+	if c.Valid != nil && !c.Valid[i] {
+		return pyvalue.None{}
+	}
+	switch c.Kind {
+	case ColI64:
+		return pyvalue.Int(c.Ints[i])
+	case ColF64:
+		return pyvalue.Float(c.F64s[i])
+	case ColStr:
+		return pyvalue.Str(c.Strs[i])
+	default:
+		return c.Objs[i]
+	}
+}
+
+// Frame is an eager columnar table.
+type Frame struct {
+	Names []string
+	Cols  []*Column
+	NRows int
+}
+
+// Col returns the named column.
+func (f *Frame) Col(name string) (*Column, error) {
+	for i, n := range f.Names {
+		if n == name {
+			return f.Cols[i], nil
+		}
+	}
+	return nil, fmt.Errorf("pandaframe: no column %q", name)
+}
+
+// Engine carries UDF execution configuration.
+type Engine struct {
+	ip *interp.Interp
+	// Traced switches apply() to the PyPy-analog traced mode with the
+	// cpyext boundary cost (Fig. 6's Pandas+PyPy slowdown).
+	Traced   bool
+	CExtCost int
+	traced   map[string]*interp.Traced
+}
+
+// NewEngine returns a Pandas-analog engine.
+func NewEngine() *Engine {
+	return &Engine{ip: interp.New(nil), traced: map[string]*interp.Traced{}}
+}
+
+// FromCSV loads a typed columnar frame: per-column majority typing over
+// the whole file (Pandas' read_csv type inference), with mismatching
+// cells going to NaN/None — no exception machinery.
+func FromCSV(data []byte, header bool) (*Frame, error) {
+	records := csvio.SplitRecords(data)
+	if len(records) == 0 {
+		return nil, fmt.Errorf("pandaframe: empty CSV")
+	}
+	var names []string
+	if header {
+		names = csvio.SplitCells(records[0], ',', nil)
+		records = records[1:]
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("pandaframe: no data rows")
+	}
+	ncols := csvio.CountCells(records[0], ',')
+	if names == nil {
+		names = make([]string, ncols)
+		for i := range names {
+			names[i] = fmt.Sprintf("_%d", i)
+		}
+	}
+	// Pass 1: materialize cells (row-major scratch) and vote types.
+	cells := make([][]string, len(records))
+	intVotes := make([]int, ncols)
+	floatVotes := make([]int, ncols)
+	strVotes := make([]int, ncols)
+	for r, rec := range records {
+		cs := csvio.SplitCells(rec, ',', nil)
+		cells[r] = cs
+		for i := 0; i < ncols && i < len(cs); i++ {
+			cell := cs[i]
+			if cell == "" {
+				continue
+			}
+			if _, ok := csvio.ParseI64(cell); ok {
+				intVotes[i]++
+			} else if _, ok := csvio.ParseF64(cell); ok {
+				floatVotes[i]++
+			} else {
+				strVotes[i]++
+			}
+		}
+	}
+	f := &Frame{Names: names, NRows: len(records)}
+	for i := 0; i < ncols; i++ {
+		col := &Column{}
+		switch {
+		case strVotes[i] > 0:
+			col.Kind = ColStr
+			col.Strs = make([]string, len(records))
+		case floatVotes[i] > 0:
+			col.Kind = ColF64
+			col.F64s = make([]float64, len(records))
+			col.Valid = make([]bool, len(records))
+		case intVotes[i] > 0:
+			col.Kind = ColI64
+			col.Ints = make([]int64, len(records))
+			col.Valid = make([]bool, len(records))
+		default:
+			col.Kind = ColStr
+			col.Strs = make([]string, len(records))
+		}
+		for r := range records {
+			var cell string
+			if i < len(cells[r]) {
+				cell = cells[r][i]
+			}
+			switch col.Kind {
+			case ColStr:
+				col.Strs[r] = cell
+			case ColF64:
+				if v, ok := csvio.ParseF64(cell); ok {
+					col.F64s[r] = v
+					col.Valid[r] = true
+				}
+			case ColI64:
+				if v, ok := csvio.ParseI64(cell); ok {
+					col.Ints[r] = v
+					col.Valid[r] = true
+				} else if v, ok := csvio.ParseF64(cell); ok {
+					col.Ints[r] = int64(v)
+					col.Valid[r] = cell != ""
+				}
+			}
+		}
+		f.Cols = append(f.Cols, col)
+	}
+	return f, nil
+}
+
+// Apply runs a row UDF (axis=1) over the frame, returning the result
+// column. Each call builds a boxed dict row — the apply() tax.
+func (e *Engine) Apply(f *Frame, src string) (*Column, error) {
+	fn, err := pyast.ParseUDF(src)
+	if err != nil {
+		return nil, err
+	}
+	out := &Column{Kind: ColObj, Objs: make([]pyvalue.Value, f.NRows)}
+	var tr *interp.Traced
+	if e.Traced {
+		tr = e.traced[src]
+		if tr == nil {
+			tr = interp.NewTraced(e.ip, fn, 0)
+			tr.CExtBoundaryCost = e.CExtCost
+			e.traced[src] = tr
+		}
+	}
+	for r := 0; r < f.NRows; r++ {
+		d := pyvalue.NewDict()
+		for i, n := range f.Names {
+			d.Set(n, f.Cols[i].Get(r))
+		}
+		var v pyvalue.Value
+		if tr != nil {
+			v, err = tr.Call([]pyvalue.Value{d})
+		} else {
+			v, err = e.ip.Call(fn, []pyvalue.Value{d})
+		}
+		if err != nil {
+			// Pandas apply() propagates; our baselines run on clean data
+			// and treat errors as NaN to keep the comparison fair.
+			v = pyvalue.None{}
+		}
+		out.Objs[r] = v
+	}
+	return out, nil
+}
+
+// ApplyScalar runs a scalar UDF over one column (Series.apply).
+func (e *Engine) ApplyScalar(f *Frame, col, src string) (*Column, error) {
+	fn, err := pyast.ParseUDF(src)
+	if err != nil {
+		return nil, err
+	}
+	c, err := f.Col(col)
+	if err != nil {
+		return nil, err
+	}
+	out := &Column{Kind: ColObj, Objs: make([]pyvalue.Value, f.NRows)}
+	for r := 0; r < f.NRows; r++ {
+		v, err := e.ip.Call(fn, []pyvalue.Value{c.Get(r)})
+		if err != nil {
+			v = pyvalue.None{}
+		}
+		out.Objs[r] = v
+	}
+	return out, nil
+}
+
+// WithColumn returns a new frame with the column appended/replaced
+// (full-frame copy: the per-op materialization of eager execution).
+func (f *Frame) WithColumn(name string, col *Column) *Frame {
+	nf := &Frame{Names: append([]string{}, f.Names...), Cols: append([]*Column{}, f.Cols...), NRows: f.NRows}
+	for i, n := range nf.Names {
+		if n == name {
+			nf.Cols[i] = col
+			return nf
+		}
+	}
+	nf.Names = append(nf.Names, name)
+	nf.Cols = append(nf.Cols, col)
+	return nf
+}
+
+// MaskLTInt is the vectorized kernel col < bound (invalid -> false).
+func MaskLTInt(c *Column, bound int64) []bool {
+	mask := make([]bool, c.Len())
+	switch c.Kind {
+	case ColI64:
+		for i, v := range c.Ints {
+			mask[i] = v < bound && (c.Valid == nil || c.Valid[i])
+		}
+	case ColObj:
+		for i, v := range c.Objs {
+			if n, ok := v.(pyvalue.Int); ok {
+				mask[i] = int64(n) < bound
+			}
+		}
+	}
+	return mask
+}
+
+// MaskRangeNum keeps lo < col < hi.
+func MaskRangeNum(c *Column, lo, hi float64) []bool {
+	mask := make([]bool, c.Len())
+	switch c.Kind {
+	case ColI64:
+		for i, v := range c.Ints {
+			f := float64(v)
+			mask[i] = f > lo && f < hi && (c.Valid == nil || c.Valid[i])
+		}
+	case ColF64:
+		for i, v := range c.F64s {
+			mask[i] = v > lo && v < hi && (c.Valid == nil || c.Valid[i])
+		}
+	case ColObj:
+		for i, v := range c.Objs {
+			switch n := v.(type) {
+			case pyvalue.Int:
+				f := float64(n)
+				mask[i] = f > lo && f < hi
+			case pyvalue.Float:
+				mask[i] = float64(n) > lo && float64(n) < hi
+			}
+		}
+	}
+	return mask
+}
+
+// MaskEqStr keeps col == s.
+func MaskEqStr(c *Column, s string) []bool {
+	mask := make([]bool, c.Len())
+	switch c.Kind {
+	case ColStr:
+		for i, v := range c.Strs {
+			mask[i] = v == s
+		}
+	case ColObj:
+		for i, v := range c.Objs {
+			if sv, ok := v.(pyvalue.Str); ok {
+				mask[i] = string(sv) == s
+			}
+		}
+	}
+	return mask
+}
+
+// Gather materializes the masked subset of the frame (a full copy, as
+// eager engines do).
+func (f *Frame) Gather(mask []bool) *Frame {
+	n := 0
+	for _, m := range mask {
+		if m {
+			n++
+		}
+	}
+	nf := &Frame{Names: append([]string{}, f.Names...), NRows: n}
+	for _, c := range f.Cols {
+		nc := &Column{Kind: c.Kind}
+		if c.Valid != nil {
+			nc.Valid = make([]bool, 0, n)
+		}
+		switch c.Kind {
+		case ColI64:
+			nc.Ints = make([]int64, 0, n)
+			for i, m := range mask {
+				if m {
+					nc.Ints = append(nc.Ints, c.Ints[i])
+					if c.Valid != nil {
+						nc.Valid = append(nc.Valid, c.Valid[i])
+					}
+				}
+			}
+		case ColF64:
+			nc.F64s = make([]float64, 0, n)
+			for i, m := range mask {
+				if m {
+					nc.F64s = append(nc.F64s, c.F64s[i])
+					if c.Valid != nil {
+						nc.Valid = append(nc.Valid, c.Valid[i])
+					}
+				}
+			}
+		case ColStr:
+			nc.Strs = make([]string, 0, n)
+			for i, m := range mask {
+				if m {
+					nc.Strs = append(nc.Strs, c.Strs[i])
+				}
+			}
+		default:
+			nc.Objs = make([]pyvalue.Value, 0, n)
+			for i, m := range mask {
+				if m {
+					nc.Objs = append(nc.Objs, c.Objs[i])
+				}
+			}
+		}
+		nf.Cols = append(nf.Cols, nc)
+	}
+	return nf
+}
+
+// Select projects columns.
+func (f *Frame) Select(names ...string) (*Frame, error) {
+	nf := &Frame{Names: names, NRows: f.NRows}
+	for _, n := range names {
+		c, err := f.Col(n)
+		if err != nil {
+			return nil, err
+		}
+		nf.Cols = append(nf.Cols, c)
+	}
+	return nf, nil
+}

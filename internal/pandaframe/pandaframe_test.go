@@ -1,0 +1,75 @@
+package pandaframe
+
+import (
+	"testing"
+
+	"github.com/gotuplex/tuplex/internal/data"
+	"github.com/gotuplex/tuplex/internal/handopt"
+	"github.com/gotuplex/tuplex/internal/pyvalue"
+)
+
+func TestFromCSVTyping(t *testing.T) {
+	f, err := FromCSV([]byte("a,b,c\n1,1.5,x\n2,2.5,y\n"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := f.Col("a")
+	if a.Kind != ColI64 || a.Ints[1] != 2 {
+		t.Fatalf("a = %+v", a)
+	}
+	b, _ := f.Col("b")
+	if b.Kind != ColF64 || b.F64s[0] != 1.5 {
+		t.Fatalf("b = %+v", b)
+	}
+	c, _ := f.Col("c")
+	if c.Kind != ColStr || c.Strs[1] != "y" {
+		t.Fatalf("c = %+v", c)
+	}
+}
+
+func TestNullsBecomeNone(t *testing.T) {
+	f, err := FromCSV([]byte("a\n1\n\n3\n"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := f.Col("a")
+	if !pyvalue.Equal(a.Get(1), pyvalue.None{}) {
+		t.Fatalf("a[1] = %s", pyvalue.Repr(a.Get(1)))
+	}
+}
+
+func TestZillowMatchesNative(t *testing.T) {
+	raw := data.Zillow(data.ZillowConfig{Rows: 600, Seed: 5, DirtyFraction: 0})
+	e := NewEngine()
+	f, err := e.RunZillow(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := handopt.Zillow(raw)
+	if f.NRows != len(want) {
+		t.Fatalf("pandas %d rows, native %d", f.NRows, len(want))
+	}
+	price, _ := f.Col("price")
+	zip, _ := f.Col("zipcode")
+	for i, w := range want {
+		if int64(price.Get(i).(pyvalue.Int)) != w.Price {
+			t.Fatalf("row %d price = %v, want %d", i, price.Get(i), w.Price)
+		}
+		if string(zip.Get(i).(pyvalue.Str)) != w.Zipcode {
+			t.Fatalf("row %d zip = %v, want %s", i, zip.Get(i), w.Zipcode)
+		}
+	}
+}
+
+func TestVectorKernels(t *testing.T) {
+	c := &Column{Kind: ColI64, Ints: []int64{1, 5, 10, 15}}
+	m := MaskLTInt(c, 10)
+	if !m[0] || !m[1] || m[2] || m[3] {
+		t.Fatalf("mask = %v", m)
+	}
+	f := &Frame{Names: []string{"v"}, Cols: []*Column{c}, NRows: 4}
+	g := f.Gather(m)
+	if g.NRows != 2 || g.Cols[0].Ints[1] != 5 {
+		t.Fatalf("gather = %+v", g.Cols[0])
+	}
+}

@@ -1,0 +1,77 @@
+package pandaframe
+
+import (
+	"github.com/gotuplex/tuplex/internal/pipelines"
+	"github.com/gotuplex/tuplex/internal/pyvalue"
+)
+
+// RunZillow executes the Zillow pipeline Pandas-style: UDF columns via
+// apply(axis=1), filters via vectorized masks + gathers.
+func (e *Engine) RunZillow(raw []byte) (*Frame, error) {
+	f, err := FromCSV(raw, true)
+	if err != nil {
+		return nil, err
+	}
+	bd, err := e.Apply(f, pipelines.ZillowExtractBd)
+	if err != nil {
+		return nil, err
+	}
+	f = f.WithColumn("bedrooms", bd).Gather(MaskLTInt(bd, 10))
+	ty, err := e.Apply(f, pipelines.ZillowExtractType)
+	if err != nil {
+		return nil, err
+	}
+	f = f.WithColumn("type", ty)
+	tyCol, _ := f.Col("type")
+	f = f.Gather(MaskEqStr(tyCol, "house"))
+
+	zc, err := e.Apply(f, "lambda x: '%05d' % int(x['postal_code'])")
+	if err != nil {
+		return nil, err
+	}
+	f = f.WithColumn("zipcode", zc)
+	city, err := e.ApplyScalar(f, "city", "lambda x: x[0].upper() + x[1:].lower()")
+	if err != nil {
+		return nil, err
+	}
+	f = f.WithColumn("city", city)
+	for _, s := range []struct{ col, src string }{
+		{"bathrooms", pipelines.ZillowExtractBa},
+		{"sqft", pipelines.ZillowExtractSqft},
+		{"offer", pipelines.ZillowExtractOffer},
+	} {
+		c, err := e.Apply(f, s.src)
+		if err != nil {
+			return nil, err
+		}
+		f = f.WithColumn(s.col, c)
+	}
+	price, err := e.Apply(f, pipelines.ZillowExtractPrice)
+	if err != nil {
+		return nil, err
+	}
+	f = f.WithColumn("price", price)
+	pc, _ := f.Col("price")
+	f = f.Gather(MaskRangeNum(pc, 100000, 2e7))
+	return f.Select(pipelines.ZillowOutputColumns...)
+}
+
+// Run311Load loads the 311 CSV and returns the Incident Zip column as
+// boxed values — the Pandas loading step of the Weld end-to-end
+// comparison (§6.2.2: "Weld's benchmark code relies on Pandas to load
+// the data").
+func Run311Load(raw []byte) ([]pyvalue.Value, error) {
+	f, err := FromCSV(raw, true)
+	if err != nil {
+		return nil, err
+	}
+	c, err := f.Col("Incident Zip")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]pyvalue.Value, c.Len())
+	for i := range out {
+		out[i] = c.Get(i)
+	}
+	return out, nil
+}

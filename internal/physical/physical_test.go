@@ -1,0 +1,154 @@
+package physical
+
+import (
+	"testing"
+
+	"github.com/gotuplex/tuplex/internal/logical"
+)
+
+func udf(t *testing.T, src string) *logical.UDFSpec {
+	t.Helper()
+	u, err := logical.ParseUDF(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func chainOf(ops ...logical.Op) *logical.Node {
+	var cur *logical.Node
+	for _, op := range ops {
+		cur = &logical.Node{Op: op, Input: cur}
+	}
+	return cur
+}
+
+func TestFusionKeepsOneStage(t *testing.T) {
+	sink := chainOf(
+		&logical.CSVSource{},
+		&logical.MapColumnOp{Col: "a", UDF: udf(t, "lambda x: x")},
+		&logical.FilterOp{UDF: udf(t, "lambda x: x")},
+		&logical.WithColumnOp{Col: "b", UDF: udf(t, "lambda x: x['a']")},
+		&logical.SelectOp{Cols: []string{"b"}},
+	)
+	plan, err := Split(sink, Options{Fusion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumStages() != 1 {
+		t.Fatalf("stages = %d, want 1", plan.NumStages())
+	}
+	if plan.Stages[0].Terminal != TerminalSink {
+		t.Fatalf("terminal = %v", plan.Stages[0].Terminal)
+	}
+	if len(plan.Stages[0].Ops) != 4 {
+		t.Fatalf("ops = %d", len(plan.Stages[0].Ops))
+	}
+}
+
+func TestNoFusionSplitsPerUDF(t *testing.T) {
+	sink := chainOf(
+		&logical.CSVSource{},
+		&logical.MapColumnOp{Col: "a", UDF: udf(t, "lambda x: x")},
+		&logical.FilterOp{UDF: udf(t, "lambda x: x")},
+		&logical.SelectOp{Cols: []string{"a"}},
+	)
+	plan, err := Split(sink, Options{Fusion: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumStages() != 3 {
+		t.Fatalf("stages = %d, want 3 (per-UDF barriers)", plan.NumStages())
+	}
+	// Only the first stage owns the source.
+	if plan.Stages[0].Source == nil || plan.Stages[1].Source != nil {
+		t.Fatal("source placement wrong")
+	}
+}
+
+func TestAggregateTerminatesStage(t *testing.T) {
+	sink := chainOf(
+		&logical.CSVSource{},
+		&logical.FilterOp{UDF: udf(t, "lambda x: x")},
+		&logical.AggregateOp{Agg: udf(t, "lambda a, r: a"), Comb: udf(t, "lambda a, b: a")},
+	)
+	plan, err := Split(sink, Options{Fusion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumStages() != 1 {
+		t.Fatalf("stages = %d", plan.NumStages())
+	}
+	if plan.Stages[0].Terminal != TerminalAggregate {
+		t.Fatalf("terminal = %v", plan.Stages[0].Terminal)
+	}
+}
+
+func TestUniqueThenMoreOpsMakesTwoStages(t *testing.T) {
+	sink := chainOf(
+		&logical.CSVSource{},
+		&logical.UniqueOp{},
+		&logical.MapColumnOp{Col: "a", UDF: udf(t, "lambda x: x")},
+	)
+	plan, err := Split(sink, Options{Fusion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumStages() != 2 {
+		t.Fatalf("stages = %d, want 2", plan.NumStages())
+	}
+	if plan.Stages[0].Terminal != TerminalUnique || plan.Stages[1].Terminal != TerminalSink {
+		t.Fatalf("terminals = %v, %v", plan.Stages[0].Terminal, plan.Stages[1].Terminal)
+	}
+}
+
+func TestResolversStayWithTheirOperatorUnfused(t *testing.T) {
+	sink := chainOf(
+		&logical.CSVSource{},
+		&logical.MapColumnOp{Col: "a", UDF: udf(t, "lambda x: x")},
+		&logical.ResolveOp{UDF: udf(t, "lambda x: 0")},
+		&logical.FilterOp{UDF: udf(t, "lambda x: x")},
+	)
+	plan, err := Split(sink, Options{Fusion: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st0 := plan.Stages[0]
+	if len(st0.Ops) != 2 {
+		t.Fatalf("stage0 ops = %d, want mapColumn+resolve together", len(st0.Ops))
+	}
+	if _, ok := st0.Ops[1].(*logical.ResolveOp); !ok {
+		t.Fatalf("stage0 ops = %T, %T", st0.Ops[0], st0.Ops[1])
+	}
+}
+
+func TestJoinDoesNotSplitProbeStage(t *testing.T) {
+	build := chainOf(&logical.CSVSource{})
+	sink := chainOf(
+		&logical.CSVSource{},
+		&logical.MapColumnOp{Col: "a", UDF: udf(t, "lambda x: x")},
+		&logical.JoinOp{Build: build, LeftKey: "k", RightKey: "k"},
+		&logical.FilterOp{UDF: udf(t, "lambda x: x")},
+	)
+	plan, err := Split(sink, Options{Fusion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.5: the probe side of a join stays in one fused stage; only the
+	// build side (a separate plan) materializes.
+	if plan.NumStages() != 1 {
+		t.Fatalf("stages = %d, want 1", plan.NumStages())
+	}
+}
+
+func TestMidPlanSourceRejected(t *testing.T) {
+	bad := &logical.Node{
+		Op: &logical.CSVSource{},
+		Input: &logical.Node{
+			Op: &logical.CSVSource{},
+		},
+	}
+	if _, err := Split(bad, Options{Fusion: true}); err == nil {
+		t.Fatal("mid-plan source accepted")
+	}
+}

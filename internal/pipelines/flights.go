@@ -1,0 +1,170 @@
+package pipelines
+
+import (
+	"strings"
+
+	tuplex "github.com/gotuplex/tuplex"
+	"github.com/gotuplex/tuplex/internal/data"
+)
+
+// Flights UDF sources (Appendix A.2).
+const (
+	FlightsCleanCode = `def cleanCode(t):
+    if t["CancellationCode"] == 'A':
+        return 'carrier'
+    elif t["CancellationCode"] == 'B':
+        return 'weather'
+    elif t["CancellationCode"] == 'C':
+        return 'national air system'
+    elif t["CancellationCode"] == 'D':
+        return 'security'
+    else:
+        return None
+`
+	FlightsDiverted = `def divertedUDF(row):
+    diverted = row['Diverted']
+    ccode = row['CancellationCode']
+    if diverted:
+        return 'diverted'
+    else:
+        if ccode:
+            return ccode
+        else:
+            return 'None'
+`
+	FlightsFillInTimes = `def fillInTimesUDF(row):
+    ACTUAL_ELAPSED_TIME = row['ActualElapsedTime']
+    if row['DivReachedDest']:
+        if float(row['DivReachedDest']) > 0:
+            return float(row['DivActualElapsedTime'])
+        else:
+            return ACTUAL_ELAPSED_TIME
+    else:
+        return ACTUAL_ELAPSED_TIME
+`
+	FlightsExtractDefunctYear = `def extractDefunctYear(t):
+    x = t['Description']
+    desc = x[x.rfind('-') + 1:x.rfind(')')].strip()
+    return int(desc) if len(desc) > 0 else None
+`
+	FlightsFilterDefunct = `def filterDefunctFlights(row):
+    year = row['Year']
+    airlineYearDefunct = row['AirlineYearDefunct']
+
+    if airlineYearDefunct:
+        return int(year) < int(airlineYearDefunct)
+    else:
+        return True
+`
+)
+
+// FlightsNumericCols are cleaned with `int(x) if x else 0`.
+var FlightsNumericCols = []string{
+	"ActualElapsedTime", "AirTime", "ArrDelay",
+	"CarrierDelay", "CrsElapsedTime",
+	"DepDelay", "LateAircraftDelay", "NasDelay",
+	"SecurityDelay", "TaxiIn", "TaxiOut", "WeatherDelay",
+}
+
+// FlightsOutputColumns is the final projection of Appendix A.2.
+var FlightsOutputColumns = []string{
+	"CarrierName", "CarrierCode", "FlightNumber",
+	"Day", "Month", "Year", "DayOfWeek",
+	"OriginCity", "OriginState", "OriginAirportIATACode", "OriginLongitude", "OriginLatitude",
+	"OriginAltitude",
+	"DestCity", "DestState", "DestAirportIATACode", "DestLongitude", "DestLatitude", "DestAltitude",
+	"Distance",
+	"CancellationReason", "Cancelled", "Diverted", "CrsArrTime", "CrsDepTime",
+	"ActualElapsedTime", "AirTime", "ArrDelay",
+	"CarrierDelay", "CrsElapsedTime",
+	"DepDelay", "LateAircraftDelay", "NasDelay",
+	"SecurityDelay", "TaxiIn", "TaxiOut", "WeatherDelay",
+	"AirlineYearFounded", "AirlineYearDefunct",
+}
+
+// RenameBTSColumn converts BTS header spellings to the pipeline's
+// CamelCase names: "".join(w.capitalize() for w in c.split('_')).
+func RenameBTSColumn(c string) string {
+	parts := strings.Split(c, "_")
+	for i, p := range parts {
+		if p == "" {
+			continue
+		}
+		parts[i] = strings.ToUpper(p[:1]) + strings.ToLower(p[1:])
+	}
+	return strings.Join(parts, "")
+}
+
+// FlightsInputs bundles the three source datasets.
+type FlightsInputs struct {
+	Perf     *tuplex.DataSet
+	Carriers *tuplex.DataSet
+	Airports *tuplex.DataSet
+}
+
+// FlightsSources opens the generated datasets from memory.
+func FlightsSources(c *tuplex.Context, perf, carriers, airports []byte) FlightsInputs {
+	return FlightsInputs{
+		Perf:     c.CSV("", tuplex.CSVData(perf)),
+		Carriers: c.CSV("", tuplex.CSVData(carriers)),
+		Airports: c.CSV("", tuplex.CSVData(airports),
+			tuplex.CSVHeader(false),
+			tuplex.CSVDelimiter(':'),
+			tuplex.CSVColumns(data.AirportColumns...),
+			tuplex.CSVNullValues("", "N/a", "N/A")),
+	}
+}
+
+// Flights builds the Appendix A.2 pipeline (three joins, heavy column
+// renaming, sparse-null handling).
+func Flights(in FlightsInputs) *tuplex.DataSet {
+	df := in.Perf
+	for _, c := range data.FlightPerfColumns() {
+		df = df.RenameColumn(c, RenameBTSColumn(c))
+	}
+	df = df.
+		WithColumn("OriginCity", tuplex.UDF("lambda x: x['OriginCityName'][:x['OriginCityName'].rfind(',')].strip()")).
+		WithColumn("OriginState", tuplex.UDF("lambda x: x['OriginCityName'][x['OriginCityName'].rfind(',')+1:].strip()")).
+		WithColumn("DestCity", tuplex.UDF("lambda x: x['DestCityName'][:x['DestCityName'].rfind(',')].strip()")).
+		WithColumn("DestState", tuplex.UDF("lambda x: x['DestCityName'][x['DestCityName'].rfind(',')+1:].strip()")).
+		MapColumn("CrsArrTime", tuplex.UDF("lambda x: '{:02}:{:02}'.format(int(x / 100), x % 100) if x else None")).
+		MapColumn("CrsDepTime", tuplex.UDF("lambda x: '{:02}:{:02}'.format(int(x / 100), x % 100) if x else None")).
+		WithColumn("CancellationCode", tuplex.UDF(FlightsCleanCode)).
+		MapColumn("Diverted", tuplex.UDF("lambda x: True if x > 0 else False")).
+		MapColumn("Cancelled", tuplex.UDF("lambda x: True if x > 0 else False")).
+		WithColumn("CancellationReason", tuplex.UDF(FlightsDiverted)).
+		WithColumn("ActualElapsedTime", tuplex.UDF(FlightsFillInTimes))
+
+	carriers := in.Carriers.
+		WithColumn("AirlineName", tuplex.UDF("lambda x: x['Description'][:x['Description'].rfind('(')].strip()")).
+		WithColumn("AirlineYearFounded", tuplex.UDF("lambda x: int(x['Description'][x['Description'].rfind('(') + 1:x['Description'].rfind('-')])")).
+		WithColumn("AirlineYearDefunct", tuplex.UDF(FlightsExtractDefunctYear))
+
+	airports := in.Airports.
+		MapColumn("AirportName", tuplex.UDF("lambda x: string.capwords(x)")).
+		MapColumn("AirportCity", tuplex.UDF("lambda x: string.capwords(x)"))
+
+	all := df.Join(carriers, "OpUniqueCarrier", "Code").
+		LeftJoinPrefixed(airports, "Origin", "IATACode", "", "Origin").
+		LeftJoinPrefixed(airports, "Dest", "IATACode", "", "Dest").
+		MapColumn("Distance", tuplex.UDF("lambda x: x / 0.00062137119224")).
+		MapColumn("AirlineName", tuplex.UDF(`lambda s: s.replace('Inc.', '') \
+    .replace('LLC', '') \
+    .replace('Co.', '').strip()`)).
+		RenameColumn("OriginLongitudeDecimal", "OriginLongitude").
+		RenameColumn("OriginLatitudeDecimal", "OriginLatitude").
+		RenameColumn("DestLongitudeDecimal", "DestLongitude").
+		RenameColumn("DestLatitudeDecimal", "DestLatitude").
+		RenameColumn("OpUniqueCarrier", "CarrierCode").
+		RenameColumn("OpCarrierFlNum", "FlightNumber").
+		RenameColumn("DayOfMonth", "Day").
+		RenameColumn("AirlineName", "CarrierName").
+		RenameColumn("Origin", "OriginAirportIATACode").
+		RenameColumn("Dest", "DestAirportIATACode").
+		Filter(tuplex.UDF(FlightsFilterDefunct))
+
+	for _, c := range FlightsNumericCols {
+		all = all.MapColumn(c, tuplex.UDF("lambda x: int(x) if x else 0"))
+	}
+	return all.SelectColumns(FlightsOutputColumns...)
+}

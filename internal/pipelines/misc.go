@@ -1,0 +1,55 @@
+package pipelines
+
+import (
+	"fmt"
+
+	tuplex "github.com/gotuplex/tuplex"
+	"github.com/gotuplex/tuplex/internal/data"
+)
+
+// ThreeOneOneFixZip is the pandas-cookbook zip normalization: truncate
+// ZIP+4, strip float-ified spellings, reject placeholders.
+const ThreeOneOneFixZip = `def fix_zip_codes(zip):
+    if not zip:
+        return None
+    s = str(zip)
+    if s.find('.') >= 0:
+        s = s[:s.find('.')]
+    if s.find('-') >= 0:
+        s = s[:s.find('-')]
+    if len(s) != 5:
+        return None
+    if s == '00000':
+        return None
+    if not s.isdigit():
+        return None
+    return s
+`
+
+// ThreeOneOne builds the 311 cleaning query: normalize zips, drop
+// invalid ones, return the unique set (§6.1 "311 and TPC-H Q6").
+func ThreeOneOne(ds *tuplex.DataSet) *tuplex.DataSet {
+	return ds.
+		SelectColumns("Incident Zip").
+		MapColumn("Incident Zip", tuplex.UDF(ThreeOneOneFixZip)).
+		Filter(tuplex.UDF("lambda x: x is not None")).
+		Unique()
+}
+
+// Q6 runs TPC-H Q6 as a Tuplex aggregate: the revenue sum under the
+// shipdate/discount/quantity predicates.
+func Q6(ds *tuplex.DataSet) (float64, *tuplex.Result, error) {
+	agg := tuplex.UDF(fmt.Sprintf(
+		"lambda acc, r: acc + r['l_extendedprice'] * r['l_discount'] if (r['l_shipdate'] >= %d and r['l_shipdate'] < %d and 0.05 <= r['l_discount'] <= 0.07 and r['l_quantity'] < 24) else acc",
+		data.Q6DateLo, data.Q6DateHi))
+	comb := tuplex.UDF("lambda a, b: a + b")
+	v, res, err := ds.Aggregate(agg, comb, 0.0)
+	if err != nil {
+		return 0, res, err
+	}
+	f, ok := v.(float64)
+	if !ok {
+		return 0, res, fmt.Errorf("pipelines: Q6 result is %T, want float64", v)
+	}
+	return f, res, nil
+}

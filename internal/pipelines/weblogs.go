@@ -1,0 +1,221 @@
+package pipelines
+
+import (
+	tuplex "github.com/gotuplex/tuplex"
+)
+
+// WeblogLetters is the anonymization alphabet from Appendix A.3.
+const WeblogLetters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+// WeblogRandomize is the username-anonymization UDF.
+const WeblogRandomize = `def randomize_udf(x):
+    return re_sub('^/~[^/]+', '/~' + ''.join([random_choice(LETTERS) for t in range(10)]), x)
+`
+
+// WeblogParseStrip is the natural-Python line parser (A.3.1).
+const WeblogParseStrip = `def ParseWithStrip(x):
+    y = x
+
+    i = y.find(" ")
+    ip = y[:i]
+    y = y[i + 1:]
+
+    i = y.find(" ")
+    client_id = y[:i]
+    y = y[i + 1:]
+
+    i = y.find(" ")
+    user_id = y[:i]
+    y = y[i + 1:]
+
+    i = y.find("]")
+    date = y[:i][1:]
+    y = y[i + 2:]
+
+    y = y[y.find('"') + 1:]
+
+    method = ""
+    endpoint = ""
+    protocol = ""
+    failed = False
+    if y.find(" ") < y.rfind('"'):
+        i = y.find(" ")
+        method = y[:i]
+        y = y[i + 1:]
+
+        i = y.find(" ")
+        endpoint = y[:i]
+        y = y[i + 1:]
+
+        i = y.rfind('"')
+        protocol = y[:i]
+        protocol = protocol[protocol.rfind(" ") + 1:]
+        y = y[i + 2:]
+    else:
+        failed = True
+        i = y.rfind('"')
+        y = y[i + 2:]
+
+    i = y.find(" ")
+    response_code = y[:i]
+    content_size = y[i + 1:]
+
+    if not failed:
+        return {"ip": ip,
+                "client_id": client_id,
+                "user_id": user_id,
+                "date": date,
+                "method": method,
+                "endpoint": endpoint,
+                "protocol": protocol,
+                "response_code": int(response_code),
+                "content_size": 0 if content_size == '-' else int(content_size)}
+    else:
+        return {"ip": "",
+                "client_id": "",
+                "user_id": "",
+                "date": "",
+                "method": "",
+                "endpoint": "",
+                "protocol": "",
+                "response_code": -1,
+                "content_size": -1}
+`
+
+// WeblogParseRegex is the single-regex parser (A.3.3).
+const WeblogParseRegex = `def ParseWithRegex(logline):
+    match = re_search('^(\S+) (\S+) (\S+) \[([\w:/]+\s[+\-]\d{4})\] "(\S+) (\S+)\s*(\S*)\s*" (\d{3}) (\S+)', logline)
+    if(match):
+        return {"ip": match[1],
+                "client_id": match[2],
+                "user_id": match[3],
+                "date": match[4],
+                "method": match[5],
+                "endpoint": match[6],
+                "protocol": match[7],
+                "response_code": int(match[8]),
+                "content_size": 0 if match[9] == '-' else int(match[9])}
+    else:
+        return {"ip": '',
+                "client_id": '',
+                "user_id": '',
+                "date": '',
+                "method": '',
+                "endpoint": '',
+                "protocol": '',
+                "response_code": -1,
+                "content_size": -1}
+`
+
+// WeblogOutputColumns is the final projection.
+var WeblogOutputColumns = []string{
+	"ip", "date", "method", "endpoint", "protocol", "response_code", "content_size",
+}
+
+// WeblogVariant selects the line-splitting strategy of Fig. 5.
+type WeblogVariant int
+
+const (
+	// WeblogStrip uses natural Python string operations.
+	WeblogStrip WeblogVariant = iota
+	// WeblogSplit uses the per-field split() pipeline (A.3.2).
+	WeblogSplit
+	// WeblogRegex uses a single regular expression (A.3.3).
+	WeblogRegex
+	// WeblogPerColRegex extracts each field with its own regular
+	// expression (the only form PySparkSQL's regexp_extract supports —
+	// Fig. 5's "per-column regex" group).
+	WeblogPerColRegex
+)
+
+func (v WeblogVariant) String() string {
+	switch v {
+	case WeblogStrip:
+		return "strip"
+	case WeblogSplit:
+		return "split"
+	case WeblogPerColRegex:
+		return "per-column regex"
+	default:
+		return "single regex"
+	}
+}
+
+// perColField builds one per-column extraction UDF.
+func perColField(pattern string) tuplex.UDFDef {
+	return tuplex.UDF(`def extract(x):
+    m = re_search('` + pattern + `', x['logline'])
+    if m:
+        return m[1]
+    return ''
+`)
+}
+
+// weblogPerColRegex builds the per-column-regex parse.
+func weblogPerColRegex(logs *tuplex.DataSet) *tuplex.DataSet {
+	df := logs.Map(tuplex.UDF("lambda x: {'logline': x}"))
+	fields := []struct{ col, pattern string }{
+		{"ip", `^(\S+)`},
+		{"date", `\[([\w:/]+\s[+\-]\d{4})\]`},
+		{"method", `"(\S+) \S+\s*\S*\s*"`},
+		{"endpoint", `"\S+ (\S+)\s*\S*\s*"`},
+		{"protocol", `"\S+ \S+\s*(\S*)\s*"`},
+	}
+	for _, f := range fields {
+		df = df.WithColumn(f.col, perColField(f.pattern))
+	}
+	df = df.WithColumn("response_code", tuplex.UDF(`def extract(x):
+    m = re_search(' (\d{3}) ', x['logline'])
+    if m:
+        return int(m[1])
+    return -1
+`))
+	df = df.WithColumn("content_size", tuplex.UDF(`def extract(x):
+    m = re_search(' (\S+)$', x['logline'])
+    if m:
+        return 0 if m[1] == '-' else int(m[1])
+    return -1
+`))
+	return df
+}
+
+// Weblogs builds the Appendix A.3 pipeline over a text source of raw log
+// lines and the bad-IP CSV.
+func Weblogs(logs *tuplex.DataSet, badIPs *tuplex.DataSet, variant WeblogVariant) *tuplex.DataSet {
+	randomize := tuplex.UDF(WeblogRandomize).WithGlobal("LETTERS", WeblogLetters)
+	var df *tuplex.DataSet
+	switch variant {
+	case WeblogStrip:
+		df = logs.Map(tuplex.UDF(WeblogParseStrip)).
+			MapColumn("endpoint", randomize)
+	case WeblogPerColRegex:
+		df = weblogPerColRegex(logs).
+			Filter(tuplex.UDF("lambda x: len(x['ip']) > 0")).
+			MapColumn("endpoint", randomize)
+	case WeblogSplit:
+		df = logs.
+			Map(tuplex.UDF("lambda x: {'logline': x}")).
+			WithColumn("cols", tuplex.UDF("lambda x: x['logline'].split(' ')")).
+			WithColumn("ip", tuplex.UDF("lambda x: x['cols'][0].strip()")).
+			WithColumn("client_id", tuplex.UDF("lambda x: x['cols'][1].strip()")).
+			WithColumn("user_id", tuplex.UDF("lambda x: x['cols'][2].strip()")).
+			WithColumn("date", tuplex.UDF("lambda x: x['cols'][3] + \" \" + x['cols'][4]")).
+			MapColumn("date", tuplex.UDF("lambda x: x.strip()")).
+			MapColumn("date", tuplex.UDF("lambda x: x[1:-1]")).
+			WithColumn("method", tuplex.UDF("lambda x: x['cols'][5].strip()")).
+			MapColumn("method", tuplex.UDF("lambda x: x[1:]")).
+			WithColumn("endpoint", tuplex.UDF("lambda x: x['cols'][6].strip()")).
+			WithColumn("protocol", tuplex.UDF("lambda x: x['cols'][7].strip()")).
+			MapColumn("protocol", tuplex.UDF("lambda x: x[:-1]")).
+			WithColumn("response_code", tuplex.UDF("lambda x: int(x['cols'][8].strip())")).
+			WithColumn("content_size", tuplex.UDF("lambda x: x['cols'][9].strip()")).
+			MapColumn("content_size", tuplex.UDF("lambda x: 0 if x == '-' else int(x)")).
+			Filter(tuplex.UDF("lambda x: len(x['endpoint']) > 0")).
+			MapColumn("endpoint", randomize)
+	default:
+		df = logs.Map(tuplex.UDF(WeblogParseRegex)).
+			MapColumn("endpoint", randomize)
+	}
+	return df.Join(badIPs, "ip", "BadIPs").
+		SelectColumns(WeblogOutputColumns...)
+}

@@ -1,0 +1,116 @@
+// Package pipelines defines the paper's evaluation pipelines (Appendix
+// A) verbatim as Tuplex pipelines, shared by the examples, the
+// integration tests and the benchmark harness. The UDF bodies are the
+// paper's Python, unchanged.
+package pipelines
+
+import (
+	tuplex "github.com/gotuplex/tuplex"
+)
+
+// Zillow UDF sources (Appendix A.1).
+const (
+	ZillowExtractBd = `def extractBd(x):
+    val = x['facts and features']
+    max_idx = val.find(' bd')
+    if max_idx < 0:
+        max_idx = len(val)
+    s = val[:max_idx]
+    split_idx = s.rfind(',')
+    if split_idx < 0:
+        split_idx = 0
+    else:
+        split_idx += 2
+    r = s[split_idx:]
+    return int(r)
+`
+	ZillowExtractBa = `def extractBa(x):
+    val = x['facts and features']
+    max_idx = val.find(' ba')
+    if max_idx < 0:
+        max_idx = len(val)
+    s = val[:max_idx]
+    split_idx = s.rfind(',')
+    if split_idx < 0:
+        split_idx = 0
+    else:
+        split_idx += 2
+    r = s[split_idx:]
+    return int(r)
+`
+	ZillowExtractSqft = `def extractSqft(x):
+    val = x['facts and features']
+    max_idx = val.find(' sqft')
+    if max_idx < 0:
+        max_idx = len(val)
+    s = val[:max_idx]
+    split_idx = s.rfind('ba ,')
+    if split_idx < 0:
+        split_idx = 0
+    else:
+        split_idx += 5
+    r = s[split_idx:]
+    r = r.replace(',', '')
+    return int(r)
+`
+	ZillowExtractOffer = `def extractOffer(x):
+    offer = x['title'].lower()
+    if 'sale' in offer:
+        return 'sale'
+    if 'rent' in offer:
+        return 'rent'
+    if 'sold' in offer:
+        return 'sold'
+    if 'foreclose' in offer.lower():
+        return 'foreclosed'
+    return offer
+`
+	ZillowExtractType = `def extractType(x):
+    t = x['title'].lower()
+    type = 'unknown'
+    if 'condo' in t or 'apartment' in t:
+        type = 'condo'
+    if 'house' in t:
+        type = 'house'
+    return type
+`
+	ZillowExtractPrice = `def extractPrice(x):
+    price = x['price']
+    p = 0
+    if x['offer'] == 'sold':
+        val = x['facts and features']
+        s = val[val.find('Price/sqft:') + len('Price/sqft:') + 1:]
+        r = s[s.find('$')+1:s.find(', ') - 1]
+        price_per_sqft = int(r)
+        p = price_per_sqft * x['sqft']
+    elif x['offer'] == 'rent':
+        max_idx = price.rfind('/')
+        p = int(price[1:max_idx].replace(',', ''))
+    else:
+        p = int(price[1:].replace(',', ''))
+    return p
+`
+)
+
+// ZillowOutputColumns is the pipeline's final projection.
+var ZillowOutputColumns = []string{
+	"url", "zipcode", "address", "city", "state",
+	"bedrooms", "bathrooms", "sqft", "offer", "type", "price",
+}
+
+// Zillow builds the Appendix A.1 pipeline over the given CSV source.
+func Zillow(ds *tuplex.DataSet) *tuplex.DataSet {
+	return ds.
+		WithColumn("bedrooms", tuplex.UDF(ZillowExtractBd)).
+		Filter(tuplex.UDF("lambda x: x['bedrooms'] < 10")).
+		WithColumn("type", tuplex.UDF(ZillowExtractType)).
+		Filter(tuplex.UDF("lambda x: x['type'] == 'house'")).
+		WithColumn("zipcode", tuplex.UDF("lambda x: '%05d' % int(x['postal_code'])")).
+		MapColumn("city", tuplex.UDF("lambda x: x[0].upper() + x[1:].lower()")).
+		WithColumn("bathrooms", tuplex.UDF(ZillowExtractBa)).
+		WithColumn("sqft", tuplex.UDF(ZillowExtractSqft)).
+		WithColumn("offer", tuplex.UDF(ZillowExtractOffer)).
+		WithColumn("price", tuplex.UDF(ZillowExtractPrice)).
+		Filter(tuplex.UDF("lambda x: 100000 < x['price'] < 2e7")).
+		SelectColumns(ZillowOutputColumns...)
+}

@@ -1,0 +1,877 @@
+package pyast
+
+import (
+	"strconv"
+	"strings"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []Tok
+	pos  int
+}
+
+// ParseUDF parses UDF source code: either a single lambda expression or
+// one or more def statements (helper functions followed by the UDF; the
+// last def is the entry point, matching how the paper's pipelines pass a
+// named function). It returns the entry function in normalized form.
+func ParseUDF(src string) (*Function, error) {
+	stmts, err := ParseModule(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) == 0 {
+		return nil, errf(Pos{1, 1}, "empty UDF source")
+	}
+	// A single expression statement that is a lambda.
+	if es, ok := stmts[len(stmts)-1].(*ExprStmt); ok && len(stmts) == 1 {
+		if lam, ok := es.X.(*Lambda); ok {
+			return &Function{
+				Params: lam.Params,
+				Body:   []Stmt{&Return{stmtBase: stmtBase{P: lam.Pos()}, X: lam.Body}},
+				Source: src,
+			}, nil
+		}
+		return nil, errf(es.Pos(), "UDF must be a lambda or def, got a bare expression")
+	}
+	fd, ok := stmts[len(stmts)-1].(*FuncDef)
+	if !ok {
+		return nil, errf(stmts[len(stmts)-1].Pos(), "UDF must be a lambda or end with a def")
+	}
+	if len(stmts) > 1 {
+		return nil, errf(stmts[0].Pos(), "UDF source must contain exactly one top-level definition")
+	}
+	return &Function{Name: fd.Name, Params: fd.Params, Body: fd.Body, Source: src}, nil
+}
+
+// ParseModule parses a sequence of top-level statements.
+func ParseModule(src string) ([]Stmt, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmts []Stmt
+	for !p.at(TokEOF) {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, nil
+}
+
+// ParseExprString parses a single expression (used by tests and the
+// inference tracer).
+func ParseExprString(src string) (Expr, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExprOrTuple()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TokNewline, "")
+	if !p.at(TokEOF) {
+		return nil, errf(p.cur().Pos, "trailing tokens after expression: %s", p.cur())
+	}
+	return e, nil
+}
+
+func (p *parser) cur() Tok  { return p.toks[p.pos] }
+func (p *parser) next() Tok { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind TokKind) bool { return p.cur().Kind == kind }
+
+func (p *parser) atText(kind TokKind, text string) bool {
+	return p.cur().Kind == kind && p.cur().Text == text
+}
+
+func (p *parser) atOp(text string) bool { return p.atText(TokOp, text) }
+func (p *parser) atKw(text string) bool { return p.atText(TokKeyword, text) }
+
+// accept consumes the current token if it matches; text=="" matches any
+// text of the kind.
+func (p *parser) accept(kind TokKind, text string) bool {
+	if p.cur().Kind == kind && (text == "" || p.cur().Text == text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(text string) error {
+	if !p.accept(TokOp, text) {
+		return errf(p.cur().Pos, "expected %q, got %s", text, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) expectKw(text string) error {
+	if !p.accept(TokKeyword, text) {
+		return errf(p.cur().Pos, "expected %q, got %s", text, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) skipNewlines() {
+	for p.accept(TokNewline, "") {
+	}
+}
+
+// ---- statements ----
+
+func (p *parser) parseStmt() (Stmt, error) {
+	p.skipNewlines()
+	t := p.cur()
+	switch {
+	case t.Kind == TokKeyword:
+		switch t.Text {
+		case "def":
+			return p.parseDef()
+		case "if":
+			return p.parseIf()
+		case "for":
+			return p.parseFor()
+		case "while":
+			return p.parseWhile()
+		case "return":
+			p.next()
+			r := &Return{stmtBase: stmtBase{P: t.Pos}}
+			if !p.at(TokNewline) && !p.at(TokEOF) && !p.at(TokDedent) {
+				x, err := p.parseExprOrTuple()
+				if err != nil {
+					return nil, err
+				}
+				r.X = x
+			}
+			p.accept(TokNewline, "")
+			return r, nil
+		case "pass":
+			p.next()
+			p.accept(TokNewline, "")
+			return &Pass{stmtBase{P: t.Pos}}, nil
+		case "break":
+			p.next()
+			p.accept(TokNewline, "")
+			return &Break{stmtBase{P: t.Pos}}, nil
+		case "continue":
+			p.next()
+			p.accept(TokNewline, "")
+			return &Continue{stmtBase{P: t.Pos}}, nil
+		}
+	}
+	return p.parseSimpleStmt()
+}
+
+func (p *parser) parseSimpleStmt() (Stmt, error) {
+	pos := p.cur().Pos
+	lhs, err := p.parseExprOrTuple()
+	if err != nil {
+		return nil, err
+	}
+	// Augmented assignment.
+	for _, op := range []string{"+", "-", "*", "/", "//", "%", "**"} {
+		if p.accept(TokOp, op+"=") {
+			rhs, err := p.parseExprOrTuple()
+			if err != nil {
+				return nil, err
+			}
+			if err := checkAssignable(lhs); err != nil {
+				return nil, err
+			}
+			p.accept(TokNewline, "")
+			return &AugAssign{stmtBase: stmtBase{P: pos}, Target: lhs, Op: op, Value: rhs}, nil
+		}
+	}
+	if p.accept(TokOp, "=") {
+		rhs, err := p.parseExprOrTuple()
+		if err != nil {
+			return nil, err
+		}
+		// Chained assignment a = b = expr is not in the subset.
+		if p.atOp("=") {
+			return nil, errf(p.cur().Pos, "chained assignment is not supported")
+		}
+		if err := checkAssignable(lhs); err != nil {
+			return nil, err
+		}
+		p.accept(TokNewline, "")
+		return &Assign{stmtBase: stmtBase{P: pos}, Target: lhs, Value: rhs}, nil
+	}
+	p.accept(TokNewline, "")
+	return &ExprStmt{stmtBase: stmtBase{P: pos}, X: lhs}, nil
+}
+
+func checkAssignable(e Expr) error {
+	switch e := e.(type) {
+	case *Name, *Subscript:
+		return nil
+	case *TupleLit:
+		for _, el := range e.Elts {
+			if _, ok := el.(*Name); !ok {
+				return errf(el.Pos(), "cannot assign to this expression")
+			}
+		}
+		return nil
+	default:
+		return errf(e.Pos(), "cannot assign to this expression")
+	}
+}
+
+func (p *parser) parseDef() (Stmt, error) {
+	pos := p.cur().Pos
+	if err := p.expectKw("def"); err != nil {
+		return nil, err
+	}
+	if !p.at(TokName) {
+		return nil, errf(p.cur().Pos, "expected function name, got %s", p.cur())
+	}
+	name := p.next().Text
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var params []string
+	for !p.atOp(")") {
+		if !p.at(TokName) {
+			return nil, errf(p.cur().Pos, "expected parameter name, got %s", p.cur())
+		}
+		params = append(params, p.next().Text)
+		if !p.accept(TokOp, ",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDef{stmtBase: stmtBase{P: pos}, Name: name, Params: params, Body: body}, nil
+}
+
+// parseBlock parses `: NEWLINE INDENT stmts DEDENT` or `: simple_stmt`.
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if err := p.expectOp(":"); err != nil {
+		return nil, err
+	}
+	if !p.accept(TokNewline, "") {
+		// Inline suite: a single simple statement on the same line.
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return []Stmt{s}, nil
+	}
+	if !p.accept(TokIndent, "") {
+		return nil, errf(p.cur().Pos, "expected an indented block, got %s", p.cur())
+	}
+	var stmts []Stmt
+	for {
+		p.skipNewlines()
+		if p.accept(TokDedent, "") || p.at(TokEOF) {
+			break
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	if len(stmts) == 0 {
+		return nil, errf(p.cur().Pos, "empty block")
+	}
+	return stmts, nil
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	pos := p.cur().Pos
+	p.next() // if or elif
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	node := &If{stmtBase: stmtBase{P: pos}, Cond: cond, Then: then}
+	p.skipNewlines()
+	if p.atKw("elif") {
+		sub, err := p.parseIf()
+		if err != nil {
+			return nil, err
+		}
+		node.Else = []Stmt{sub}
+	} else if p.atKw("else") {
+		p.next()
+		els, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		node.Else = els
+	}
+	return node, nil
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	pos := p.cur().Pos
+	p.next()
+	target, err := p.parseForTarget()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("in"); err != nil {
+		return nil, err
+	}
+	iter, err := p.parseExprOrTuple()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &For{stmtBase: stmtBase{P: pos}, Var: target, Iter: iter, Body: body}, nil
+}
+
+// parseForTarget parses `name` or `name, name, ...` loop targets.
+func (p *parser) parseForTarget() (Expr, error) {
+	pos := p.cur().Pos
+	if !p.at(TokName) {
+		return nil, errf(pos, "expected loop variable, got %s", p.cur())
+	}
+	first := &Name{exprBase: exprBase{P: pos}, Ident: p.next().Text, Slot: -1}
+	if !p.atOp(",") {
+		return first, nil
+	}
+	elts := []Expr{first}
+	for p.accept(TokOp, ",") {
+		if !p.at(TokName) {
+			return nil, errf(p.cur().Pos, "expected loop variable, got %s", p.cur())
+		}
+		elts = append(elts, &Name{exprBase: exprBase{P: p.cur().Pos}, Ident: p.next().Text, Slot: -1})
+	}
+	return &TupleLit{exprBase: exprBase{P: pos}, Elts: elts}, nil
+}
+
+func (p *parser) parseWhile() (Stmt, error) {
+	pos := p.cur().Pos
+	p.next()
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &While{stmtBase: stmtBase{P: pos}, Cond: cond, Body: body}, nil
+}
+
+// ---- expressions ----
+
+// parseExprOrTuple parses expr (',' expr)* — a possibly parenthesis-free
+// tuple, as in `return a, b`.
+func (p *parser) parseExprOrTuple() (Expr, error) {
+	pos := p.cur().Pos
+	first, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atOp(",") {
+		return first, nil
+	}
+	elts := []Expr{first}
+	for p.accept(TokOp, ",") {
+		if p.at(TokNewline) || p.at(TokEOF) || p.atOp(")") || p.atOp("]") || p.atOp("}") || p.atOp("=") {
+			break
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		elts = append(elts, e)
+	}
+	return &TupleLit{exprBase: exprBase{P: pos}, Elts: elts}, nil
+}
+
+// parseExpr parses a single expression (ternary level).
+func (p *parser) parseExpr() (Expr, error) {
+	if p.atKw("lambda") {
+		return p.parseLambda()
+	}
+	then, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.atKw("if") {
+		pos := p.cur().Pos
+		p.next()
+		cond, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("else"); err != nil {
+			return nil, err
+		}
+		els, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &IfExpr{exprBase: exprBase{P: pos}, Cond: cond, Then: then, Else: els}, nil
+	}
+	return then, nil
+}
+
+func (p *parser) parseLambda() (Expr, error) {
+	pos := p.cur().Pos
+	p.next()
+	var params []string
+	for p.at(TokName) {
+		params = append(params, p.next().Text)
+		if !p.accept(TokOp, ",") {
+			break
+		}
+	}
+	if err := p.expectOp(":"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Lambda{exprBase: exprBase{P: pos}, Params: params, Body: body}, nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	x, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atKw("or") {
+		return x, nil
+	}
+	xs := []Expr{x}
+	pos := p.cur().Pos
+	for p.accept(TokKeyword, "or") {
+		y, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		xs = append(xs, y)
+	}
+	return &BoolOp{exprBase: exprBase{P: pos}, Op: "or", Xs: xs}, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	x, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atKw("and") {
+		return x, nil
+	}
+	xs := []Expr{x}
+	pos := p.cur().Pos
+	for p.accept(TokKeyword, "and") {
+		y, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		xs = append(xs, y)
+	}
+	return &BoolOp{exprBase: exprBase{P: pos}, Op: "and", Xs: xs}, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.atKw("not") {
+		pos := p.cur().Pos
+		p.next()
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryOp{exprBase: exprBase{P: pos}, Op: "not", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+var compareOps = map[string]bool{
+	"==": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true,
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	first, err := p.parseBitOr()
+	if err != nil {
+		return nil, err
+	}
+	var ops []string
+	var rest []Expr
+	pos := p.cur().Pos
+	for {
+		var op string
+		switch {
+		case p.cur().Kind == TokOp && compareOps[p.cur().Text]:
+			op = p.next().Text
+		case p.atKw("in"):
+			p.next()
+			op = "in"
+		case p.atKw("not"):
+			// "not in"
+			p.next()
+			if err := p.expectKw("in"); err != nil {
+				return nil, err
+			}
+			op = "not in"
+		case p.atKw("is"):
+			p.next()
+			if p.accept(TokKeyword, "not") {
+				op = "is not"
+			} else {
+				op = "is"
+			}
+		default:
+			if len(ops) == 0 {
+				return first, nil
+			}
+			return &Compare{exprBase: exprBase{P: pos}, First: first, Ops: ops, Rest: rest}, nil
+		}
+		y, err := p.parseBitOr()
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+		rest = append(rest, y)
+	}
+}
+
+func (p *parser) parseBitOr() (Expr, error) {
+	return p.parseBinOpLevel([]string{"|"}, func() (Expr, error) {
+		return p.parseBinOpLevel([]string{"^"}, func() (Expr, error) {
+			return p.parseBinOpLevel([]string{"&"}, func() (Expr, error) {
+				return p.parseBinOpLevel([]string{"<<", ">>"}, p.parseArith)
+			})
+		})
+	})
+}
+
+func (p *parser) parseArith() (Expr, error) {
+	return p.parseBinOpLevel([]string{"+", "-"}, func() (Expr, error) {
+		return p.parseBinOpLevel([]string{"*", "/", "//", "%"}, p.parseUnary)
+	})
+}
+
+func (p *parser) parseBinOpLevel(ops []string, sub func() (Expr, error)) (Expr, error) {
+	x, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := ""
+		for _, op := range ops {
+			if p.atOp(op) {
+				matched = op
+				break
+			}
+		}
+		if matched == "" {
+			return x, nil
+		}
+		pos := p.cur().Pos
+		p.next()
+		y, err := sub()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinOp{exprBase: exprBase{P: pos}, Op: matched, Left: x, Right: y}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.atOp("-") || p.atOp("+") || p.atOp("~") {
+		pos := p.cur().Pos
+		op := p.next().Text
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryOp{exprBase: exprBase{P: pos}, Op: op, X: x}, nil
+	}
+	return p.parsePower()
+}
+
+func (p *parser) parsePower() (Expr, error) {
+	x, err := p.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	if p.atOp("**") {
+		pos := p.cur().Pos
+		p.next()
+		// ** is right-associative and binds tighter than unary on the
+		// right: 2**-1 is valid.
+		y, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &BinOp{exprBase: exprBase{P: pos}, Op: "**", Left: x, Right: y}, nil
+	}
+	return x, nil
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.atOp("."):
+			pos := p.cur().Pos
+			p.next()
+			if !p.at(TokName) {
+				return nil, errf(p.cur().Pos, "expected attribute name, got %s", p.cur())
+			}
+			x = &Attr{exprBase: exprBase{P: pos}, X: x, Name: p.next().Text}
+		case p.atOp("("):
+			pos := p.cur().Pos
+			p.next()
+			call := &Call{exprBase: exprBase{P: pos}, Fn: x}
+			for !p.atOp(")") {
+				// Keyword argument?
+				if p.at(TokName) && p.toks[p.pos+1].Kind == TokOp && p.toks[p.pos+1].Text == "=" {
+					kw := p.next().Text
+					p.next() // '='
+					v, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.KwNames = append(call.KwNames, kw)
+					call.KwArgs = append(call.KwArgs, v)
+				} else {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+				}
+				if !p.accept(TokOp, ",") {
+					break
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			x = call
+		case p.atOp("["):
+			pos := p.cur().Pos
+			p.next()
+			sub, err := p.parseSubscriptInner(x, pos)
+			if err != nil {
+				return nil, err
+			}
+			x = sub
+		default:
+			return x, nil
+		}
+	}
+}
+
+// parseSubscriptInner parses the inside of x[...]: a plain index or a
+// slice lo:hi(:step) with any part omitted.
+func (p *parser) parseSubscriptInner(x Expr, pos Pos) (Expr, error) {
+	var lo, hi, step Expr
+	var err error
+	if !p.atOp(":") {
+		lo, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.atOp("]") {
+			p.next()
+			return &Subscript{exprBase: exprBase{P: pos}, X: x, Index: lo, RowIdx: -1}, nil
+		}
+	}
+	if err := p.expectOp(":"); err != nil {
+		return nil, err
+	}
+	if !p.atOp("]") && !p.atOp(":") {
+		hi, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(TokOp, ":") {
+		if !p.atOp("]") {
+			step, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.expectOp("]"); err != nil {
+		return nil, err
+	}
+	return &Slice{exprBase: exprBase{P: pos}, X: x, Lo: lo, Hi: hi, Step: step}, nil
+}
+
+func (p *parser) parseAtom() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokInt:
+		p.next()
+		text := strings.ReplaceAll(t.Text, "_", "")
+		var v int64
+		var err error
+		if strings.HasPrefix(text, "0x") || strings.HasPrefix(text, "0X") {
+			v, err = strconv.ParseInt(text[2:], 16, 64)
+		} else {
+			v, err = strconv.ParseInt(text, 10, 64)
+		}
+		if err != nil {
+			return nil, errf(t.Pos, "bad integer literal %q", t.Text)
+		}
+		return &NumLit{exprBase: exprBase{P: t.Pos}, I: v}, nil
+	case TokFloat:
+		p.next()
+		v, err := strconv.ParseFloat(strings.ReplaceAll(t.Text, "_", ""), 64)
+		if err != nil {
+			return nil, errf(t.Pos, "bad float literal %q", t.Text)
+		}
+		return &NumLit{exprBase: exprBase{P: t.Pos}, IsFloat: true, F: v}, nil
+	case TokString:
+		p.next()
+		s := t.Str
+		// Adjacent string literal concatenation: 'a' 'b' == 'ab'.
+		for p.at(TokString) {
+			s += p.next().Str
+		}
+		return &StrLit{exprBase: exprBase{P: t.Pos}, S: s}, nil
+	case TokName:
+		p.next()
+		return &Name{exprBase: exprBase{P: t.Pos}, Ident: t.Text, Slot: -1}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "None":
+			p.next()
+			return &NoneLit{exprBase{P: t.Pos}}, nil
+		case "True":
+			p.next()
+			return &BoolLit{exprBase: exprBase{P: t.Pos}, B: true}, nil
+		case "False":
+			p.next()
+			return &BoolLit{exprBase: exprBase{P: t.Pos}, B: false}, nil
+		case "lambda":
+			return p.parseLambda()
+		}
+	case TokOp:
+		switch t.Text {
+		case "(":
+			p.next()
+			if p.accept(TokOp, ")") {
+				return &TupleLit{exprBase: exprBase{P: t.Pos}}, nil
+			}
+			e, err := p.parseExprOrTuple()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		case "[":
+			return p.parseListOrComp()
+		case "{":
+			return p.parseDict()
+		}
+	}
+	return nil, errf(t.Pos, "unexpected token %s", t)
+}
+
+func (p *parser) parseListOrComp() (Expr, error) {
+	pos := p.cur().Pos
+	p.next() // '['
+	if p.accept(TokOp, "]") {
+		return &ListLit{exprBase: exprBase{P: pos}}, nil
+	}
+	first, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.atKw("for") {
+		p.next()
+		if !p.at(TokName) {
+			return nil, errf(p.cur().Pos, "expected comprehension variable, got %s", p.cur())
+		}
+		v := p.next().Text
+		if err := p.expectKw("in"); err != nil {
+			return nil, err
+		}
+		// Python's grammar uses or_test here (no bare ternary), so the
+		// comprehension's own `if` is not swallowed as a conditional
+		// expression.
+		iter, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		var cond Expr
+		if p.accept(TokKeyword, "if") {
+			cond, err = p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectOp("]"); err != nil {
+			return nil, err
+		}
+		return &ListComp{exprBase: exprBase{P: pos}, Elt: first, Var: v, Iter: iter, Cond: cond, VarSlot: -1}, nil
+	}
+	elts := []Expr{first}
+	for p.accept(TokOp, ",") {
+		if p.atOp("]") {
+			break
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		elts = append(elts, e)
+	}
+	if err := p.expectOp("]"); err != nil {
+		return nil, err
+	}
+	return &ListLit{exprBase: exprBase{P: pos}, Elts: elts}, nil
+}
+
+func (p *parser) parseDict() (Expr, error) {
+	pos := p.cur().Pos
+	p.next() // '{'
+	d := &DictLit{exprBase: exprBase{P: pos}}
+	for !p.atOp("}") {
+		k, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(":"); err != nil {
+			return nil, err
+		}
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Keys = append(d.Keys, k)
+		d.Vals = append(d.Vals, v)
+		if !p.accept(TokOp, ",") {
+			break
+		}
+	}
+	if err := p.expectOp("}"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,97 @@
+// Package pyast implements a lexer, parser and AST for the subset of
+// Python that Tuplex pipelines use in their UDFs (lambdas and small
+// multi-statement functions over rows: string wrangling, arithmetic,
+// control flow, comprehensions, regex and formatting calls).
+//
+// The subset is deliberately scoped to what the paper's pipelines
+// (Appendix A) and similar data-wrangling UDFs need; anything outside the
+// subset parses into an error that routes the UDF to the interpreter-only
+// fallback path.
+package pyast
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind uint8
+
+const (
+	TokEOF TokKind = iota
+	TokNewline
+	TokIndent
+	TokDedent
+	TokName
+	TokInt
+	TokFloat
+	TokString
+	TokOp      // operators and punctuation; Tok.Text holds the exact spelling
+	TokKeyword // Python keywords; Tok.Text holds the keyword
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokNewline:
+		return "NEWLINE"
+	case TokIndent:
+		return "INDENT"
+	case TokDedent:
+		return "DEDENT"
+	case TokName:
+		return "NAME"
+	case TokInt:
+		return "INT"
+	case TokFloat:
+		return "FLOAT"
+	case TokString:
+		return "STRING"
+	case TokOp:
+		return "OP"
+	case TokKeyword:
+		return "KEYWORD"
+	default:
+		return fmt.Sprintf("TokKind(%d)", uint8(k))
+	}
+}
+
+// Pos is a 1-based source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Tok is one lexical token.
+type Tok struct {
+	Kind TokKind
+	Text string // spelling: identifier, keyword, operator, or literal text
+	Str  string // decoded value for TokString
+	Pos  Pos
+}
+
+func (t Tok) String() string {
+	if t.Text != "" {
+		return fmt.Sprintf("%s(%q)@%s", t.Kind, t.Text, t.Pos)
+	}
+	return fmt.Sprintf("%s@%s", t.Kind, t.Pos)
+}
+
+var keywords = map[string]bool{
+	"False": true, "None": true, "True": true, "and": true, "def": true,
+	"elif": true, "else": true, "for": true, "if": true, "in": true,
+	"is": true, "lambda": true, "not": true, "or": true, "pass": true,
+	"return": true, "while": true, "break": true, "continue": true,
+}
+
+// Error is a lexing/parsing error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("python:%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,45 @@
+package pyre
+
+// PRNG is a small, fast, deterministic pseudo-random generator
+// (splitmix64). Tuplex tasks each own a PRNG seeded from the pipeline
+// seed and partition index so runs are reproducible regardless of
+// scheduling — the engine analog of the paper's `random.choice` support
+// in generated code.
+type PRNG struct {
+	state uint64
+}
+
+// NewPRNG returns a PRNG with the given seed.
+func NewPRNG(seed uint64) *PRNG { return &PRNG{state: seed} }
+
+// Next returns the next 64 random bits.
+func (p *PRNG) Next() uint64 {
+	p.state += 0x9e3779b97f4a7c15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n). n must be positive.
+func (p *PRNG) Intn(n int) int {
+	if n <= 0 {
+		panic("pyre: Intn with non-positive n")
+	}
+	return int(p.Next() % uint64(n))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (p *PRNG) Float64() float64 {
+	return float64(p.Next()>>11) / float64(1<<53)
+}
+
+// Choice returns a uniformly chosen byte of s as a one-character string
+// (random.choice over a string).
+func (p *PRNG) Choice(s string) string {
+	if len(s) == 0 {
+		return ""
+	}
+	i := p.Intn(len(s))
+	return s[i : i+1]
+}

@@ -1,0 +1,709 @@
+// Package pyre implements a small regular-expression engine with
+// Python-re semantics for the pattern subset that data-wrangling UDFs
+// use: anchors, character classes (including \d \w \s and negations),
+// greedy/lazy quantifiers, bounded repetition, alternation and capturing
+// groups.
+//
+// The engine mirrors the role PCRE2 plays in the paper's prototype:
+// patterns are compiled once when a UDF is compiled, and matching runs
+// without interpreter involvement. Patterns compile to a bytecode program
+// executed by a recursive backtracking VM. It operates on bytes, which is
+// exact for the ASCII log/CSV data the pipelines process.
+package pyre
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Regexp is a compiled pattern.
+type Regexp struct {
+	pattern string
+	prog    []inst
+	ngroups int // number of capturing groups, excluding group 0
+	// anchoredStart is set when the pattern begins with '^': search can
+	// skip the scan loop.
+	anchoredStart bool
+}
+
+type opcode uint8
+
+const (
+	opChar opcode = iota
+	opClass
+	opAny   // '.' — any byte except newline
+	opBegin // '^'
+	opEnd   // '$'
+	opSave
+	opSplit
+	opJump
+	opMatch
+)
+
+type inst struct {
+	op   opcode
+	c    byte
+	cls  *class
+	x, y int // split targets / jump target / save slot in x
+}
+
+// class is a 256-bit byte-set.
+type class struct {
+	bits [4]uint64
+	neg  bool
+}
+
+func (c *class) set(b byte) { c.bits[b>>6] |= 1 << (b & 63) }
+func (c *class) setRange(lo, hi byte) {
+	for b := int(lo); b <= int(hi); b++ {
+		c.set(byte(b))
+	}
+}
+
+func (c *class) matches(b byte) bool {
+	in := c.bits[b>>6]&(1<<(b&63)) != 0
+	return in != c.neg
+}
+
+// CompileError reports a bad pattern.
+type CompileError struct {
+	Pattern string
+	Pos     int
+	Msg     string
+}
+
+func (e *CompileError) Error() string {
+	return fmt.Sprintf("pyre: bad pattern %q at %d: %s", e.Pattern, e.Pos, e.Msg)
+}
+
+// Compile parses and compiles a pattern.
+func Compile(pattern string) (*Regexp, error) {
+	p := &parser{src: pattern}
+	node, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.src) {
+		return nil, &CompileError{pattern, p.pos, "unexpected )"}
+	}
+	c := &compiler{}
+	// Program: Save(0) body Save(1) Match.
+	c.emit(inst{op: opSave, x: 0})
+	c.compile(node)
+	c.emit(inst{op: opSave, x: 1})
+	c.emit(inst{op: opMatch})
+	re := &Regexp{pattern: pattern, prog: c.prog, ngroups: p.ngroups}
+	if n, ok := node.(*seqNode); ok && len(n.subs) > 0 {
+		if _, isBegin := n.subs[0].(*beginNode); isBegin {
+			re.anchoredStart = true
+		}
+	} else if _, isBegin := node.(*beginNode); isBegin {
+		re.anchoredStart = true
+	}
+	return re, nil
+}
+
+// MustCompile is Compile that panics on error (for package-level patterns
+// in tests and generators).
+func MustCompile(pattern string) *Regexp {
+	re, err := Compile(pattern)
+	if err != nil {
+		panic(err)
+	}
+	return re
+}
+
+// Pattern returns the source pattern.
+func (re *Regexp) Pattern() string { return re.pattern }
+
+// NumGroups returns the number of capturing groups (excluding group 0).
+func (re *Regexp) NumGroups() int { return re.ngroups }
+
+// Search finds the leftmost match like Python's re.search. It returns
+// nil when there is no match; otherwise saves[2i],saves[2i+1] bound group
+// i (-1 for groups that did not participate).
+func (re *Regexp) Search(s string) []int {
+	n := 2 * (re.ngroups + 1)
+	saves := make([]int, n)
+	limit := len(s)
+	if re.anchoredStart {
+		limit = 0
+	}
+	for start := 0; start <= limit; start++ {
+		for i := range saves {
+			saves[i] = -1
+		}
+		m := &machine{re: re, input: s, saves: saves}
+		if m.run(0, start) {
+			return saves
+		}
+	}
+	return nil
+}
+
+// MatchPrefix reports whether the pattern matches at position 0 (like
+// re.match).
+func (re *Regexp) MatchPrefix(s string) []int {
+	n := 2 * (re.ngroups + 1)
+	saves := make([]int, n)
+	for i := range saves {
+		saves[i] = -1
+	}
+	m := &machine{re: re, input: s, saves: saves}
+	if m.run(0, 0) {
+		return saves
+	}
+	return nil
+}
+
+// Sub replaces all non-overlapping matches with repl, like re.sub with a
+// literal replacement (backreferences like \1 in repl are expanded).
+func (re *Regexp) Sub(repl, s string) string {
+	var sb strings.Builder
+	pos := 0
+	for pos <= len(s) {
+		var saves []int
+		found := -1
+		limit := len(s)
+		if re.anchoredStart {
+			limit = 0
+			if pos > 0 {
+				break
+			}
+		}
+		for start := pos; start <= limit; start++ {
+			n := 2 * (re.ngroups + 1)
+			sv := make([]int, n)
+			for i := range sv {
+				sv[i] = -1
+			}
+			m := &machine{re: re, input: s, saves: sv}
+			if m.run(0, start) {
+				saves, found = sv, start
+				break
+			}
+		}
+		if found < 0 {
+			break
+		}
+		sb.WriteString(s[pos:found])
+		sb.WriteString(re.expand(repl, s, saves))
+		end := saves[1]
+		if end == found {
+			// Empty match: copy one byte and move on to avoid looping.
+			if found < len(s) {
+				sb.WriteByte(s[found])
+			}
+			pos = found + 1
+		} else {
+			pos = end
+		}
+	}
+	if pos < len(s) {
+		sb.WriteString(s[pos:])
+	}
+	return sb.String()
+}
+
+// expand substitutes \1..\9 group backreferences in repl.
+func (re *Regexp) expand(repl, s string, saves []int) string {
+	if !strings.ContainsRune(repl, '\\') {
+		return repl
+	}
+	var sb strings.Builder
+	for i := 0; i < len(repl); i++ {
+		c := repl[i]
+		if c == '\\' && i+1 < len(repl) {
+			n := repl[i+1]
+			if n >= '1' && n <= '9' {
+				g := int(n - '0')
+				if 2*g+1 < len(saves) && saves[2*g] >= 0 {
+					sb.WriteString(s[saves[2*g]:saves[2*g+1]])
+				}
+				i++
+				continue
+			}
+			if n == '\\' {
+				sb.WriteByte('\\')
+				i++
+				continue
+			}
+		}
+		sb.WriteByte(c)
+	}
+	return sb.String()
+}
+
+// machine executes the program with recursive backtracking.
+type machine struct {
+	re    *Regexp
+	input string
+	saves []int
+	steps int
+}
+
+// maxSteps bounds pathological backtracking; the patterns the pipelines
+// use are linear in practice.
+const maxSteps = 1 << 22
+
+func (m *machine) run(pc, sp int) bool {
+	prog := m.re.prog
+	for {
+		m.steps++
+		if m.steps > maxSteps {
+			return false
+		}
+		in := prog[pc]
+		switch in.op {
+		case opChar:
+			if sp >= len(m.input) || m.input[sp] != in.c {
+				return false
+			}
+			pc++
+			sp++
+		case opClass:
+			if sp >= len(m.input) || !in.cls.matches(m.input[sp]) {
+				return false
+			}
+			pc++
+			sp++
+		case opAny:
+			if sp >= len(m.input) || m.input[sp] == '\n' {
+				return false
+			}
+			pc++
+			sp++
+		case opBegin:
+			if sp != 0 {
+				return false
+			}
+			pc++
+		case opEnd:
+			if sp != len(m.input) && !(sp == len(m.input)-1 && m.input[sp] == '\n') {
+				return false
+			}
+			pc++
+		case opSave:
+			old := m.saves[in.x]
+			m.saves[in.x] = sp
+			if m.run(pc+1, sp) {
+				return true
+			}
+			m.saves[in.x] = old
+			return false
+		case opSplit:
+			if m.run(in.x, sp) {
+				return true
+			}
+			pc = in.y
+		case opJump:
+			pc = in.x
+		case opMatch:
+			return true
+		}
+	}
+}
+
+// ---- pattern AST ----
+
+type node interface{}
+
+type charNode struct{ c byte }
+type classNode struct{ cls *class }
+type anyNode struct{}
+type beginNode struct{}
+type endNode struct{}
+type seqNode struct{ subs []node }
+type altNode struct{ subs []node }
+type groupNode struct {
+	idx int // 0 for non-capturing
+	sub node
+}
+type repeatNode struct {
+	sub      node
+	min, max int // max<0 means unbounded
+	lazy     bool
+}
+
+type parser struct {
+	src     string
+	pos     int
+	ngroups int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &CompileError{p.src, p.pos, fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) parseAlt() (node, error) {
+	first, err := p.parseSeq()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek() != '|' {
+		return first, nil
+	}
+	alt := &altNode{subs: []node{first}}
+	for p.peek() == '|' {
+		p.pos++
+		sub, err := p.parseSeq()
+		if err != nil {
+			return nil, err
+		}
+		alt.subs = append(alt.subs, sub)
+	}
+	return alt, nil
+}
+
+func (p *parser) parseSeq() (node, error) {
+	seq := &seqNode{}
+	for p.pos < len(p.src) {
+		c := p.peek()
+		if c == '|' || c == ')' {
+			break
+		}
+		atom, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		atom, err = p.parseQuantifier(atom)
+		if err != nil {
+			return nil, err
+		}
+		seq.subs = append(seq.subs, atom)
+	}
+	if len(seq.subs) == 1 {
+		return seq.subs[0], nil
+	}
+	return seq, nil
+}
+
+func (p *parser) parseQuantifier(atom node) (node, error) {
+	switch p.peek() {
+	case '*':
+		p.pos++
+		return &repeatNode{sub: atom, min: 0, max: -1, lazy: p.acceptLazy()}, nil
+	case '+':
+		p.pos++
+		return &repeatNode{sub: atom, min: 1, max: -1, lazy: p.acceptLazy()}, nil
+	case '?':
+		p.pos++
+		return &repeatNode{sub: atom, min: 0, max: 1, lazy: p.acceptLazy()}, nil
+	case '{':
+		// Bounded repetition {m}, {m,}, {m,n}. A '{' that does not parse
+		// as a quantifier is a literal (Python allows this).
+		save := p.pos
+		p.pos++
+		body := ""
+		for p.pos < len(p.src) && p.src[p.pos] != '}' {
+			body += string(p.src[p.pos])
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			p.pos = save
+			return atom, nil
+		}
+		p.pos++ // '}'
+		min, max, ok := parseBounds(body)
+		if !ok {
+			p.pos = save
+			return atom, nil
+		}
+		return &repeatNode{sub: atom, min: min, max: max, lazy: p.acceptLazy()}, nil
+	}
+	return atom, nil
+}
+
+func (p *parser) acceptLazy() bool {
+	if p.peek() == '?' {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func parseBounds(body string) (min, max int, ok bool) {
+	parts := strings.SplitN(body, ",", 2)
+	m, err := strconv.Atoi(parts[0])
+	if err != nil || m < 0 {
+		return 0, 0, false
+	}
+	if len(parts) == 1 {
+		return m, m, true
+	}
+	if parts[1] == "" {
+		return m, -1, true
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil || n < m {
+		return 0, 0, false
+	}
+	return m, n, true
+}
+
+func (p *parser) parseAtom() (node, error) {
+	c := p.peek()
+	switch c {
+	case '^':
+		p.pos++
+		return &beginNode{}, nil
+	case '$':
+		p.pos++
+		return &endNode{}, nil
+	case '.':
+		p.pos++
+		return &anyNode{}, nil
+	case '(':
+		p.pos++
+		idx := 0
+		if strings.HasPrefix(p.src[p.pos:], "?:") {
+			p.pos += 2
+		} else if p.peek() == '?' {
+			return nil, p.errf("unsupported group flag")
+		} else {
+			p.ngroups++
+			idx = p.ngroups
+		}
+		sub, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, p.errf("missing )")
+		}
+		p.pos++
+		return &groupNode{idx: idx, sub: sub}, nil
+	case '[':
+		return p.parseClass()
+	case '\\':
+		return p.parseEscape()
+	case '*', '+', '?':
+		return nil, p.errf("nothing to repeat")
+	case 0:
+		return nil, p.errf("unexpected end of pattern")
+	default:
+		p.pos++
+		return &charNode{c: c}, nil
+	}
+}
+
+func (p *parser) parseEscape() (node, error) {
+	p.pos++ // backslash
+	if p.pos >= len(p.src) {
+		return nil, p.errf("trailing backslash")
+	}
+	c := p.src[p.pos]
+	p.pos++
+	if cls := predefClass(c); cls != nil {
+		return &classNode{cls: cls}, nil
+	}
+	switch c {
+	case 'n':
+		return &charNode{c: '\n'}, nil
+	case 't':
+		return &charNode{c: '\t'}, nil
+	case 'r':
+		return &charNode{c: '\r'}, nil
+	case 'b':
+		return nil, p.errf(`\b word boundaries are not supported`)
+	default:
+		// Escaped metacharacter or ordinary char: literal.
+		return &charNode{c: c}, nil
+	}
+}
+
+// predefClass returns the class for \d \D \w \W \s \S, or nil.
+func predefClass(c byte) *class {
+	cls := &class{}
+	switch c {
+	case 'd', 'D':
+		cls.setRange('0', '9')
+	case 'w', 'W':
+		cls.setRange('0', '9')
+		cls.setRange('a', 'z')
+		cls.setRange('A', 'Z')
+		cls.set('_')
+	case 's', 'S':
+		for _, b := range []byte{' ', '\t', '\n', '\r', '\v', '\f'} {
+			cls.set(b)
+		}
+	default:
+		return nil
+	}
+	if c == 'D' || c == 'W' || c == 'S' {
+		cls.neg = true
+	}
+	return cls
+}
+
+func (p *parser) parseClass() (node, error) {
+	p.pos++ // '['
+	cls := &class{}
+	if p.peek() == '^' {
+		cls.neg = true
+		p.pos++
+	}
+	first := true
+	for {
+		c := p.peek()
+		if c == 0 {
+			return nil, p.errf("unterminated character class")
+		}
+		if c == ']' && !first {
+			p.pos++
+			return &classNode{cls: cls}, nil
+		}
+		first = false
+		if c == '\\' {
+			p.pos++
+			e := p.peek()
+			if e == 0 {
+				return nil, p.errf("trailing backslash in class")
+			}
+			p.pos++
+			if pc := predefClass(e); pc != nil {
+				if pc.neg {
+					// Merge a negated predef into a positive class by
+					// enumerating (rare; supported for completeness).
+					for b := 0; b < 256; b++ {
+						if pc.matches(byte(b)) {
+							cls.set(byte(b))
+						}
+					}
+				} else {
+					for i := range cls.bits {
+						cls.bits[i] |= pc.bits[i]
+					}
+				}
+				continue
+			}
+			switch e {
+			case 'n':
+				c = '\n'
+			case 't':
+				c = '\t'
+			case 'r':
+				c = '\r'
+			default:
+				c = e
+			}
+		} else {
+			p.pos++
+		}
+		// Range?
+		if p.peek() == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] != ']' {
+			p.pos++ // '-'
+			hi := p.peek()
+			if hi == '\\' {
+				p.pos++
+				hi = p.peek()
+			}
+			p.pos++
+			if hi < c {
+				return nil, p.errf("bad character range")
+			}
+			cls.setRange(c, hi)
+			continue
+		}
+		cls.set(c)
+	}
+}
+
+// ---- compiler ----
+
+type compiler struct{ prog []inst }
+
+func (c *compiler) emit(in inst) int {
+	c.prog = append(c.prog, in)
+	return len(c.prog) - 1
+}
+
+func (c *compiler) compile(n node) {
+	switch n := n.(type) {
+	case *charNode:
+		c.emit(inst{op: opChar, c: n.c})
+	case *classNode:
+		c.emit(inst{op: opClass, cls: n.cls})
+	case *anyNode:
+		c.emit(inst{op: opAny})
+	case *beginNode:
+		c.emit(inst{op: opBegin})
+	case *endNode:
+		c.emit(inst{op: opEnd})
+	case *seqNode:
+		for _, s := range n.subs {
+			c.compile(s)
+		}
+	case *altNode:
+		// split L1, L2; L1: a; jmp END; L2: b; ... END:
+		var jumps []int
+		for i, s := range n.subs {
+			if i == len(n.subs)-1 {
+				c.compile(s)
+				break
+			}
+			sp := c.emit(inst{op: opSplit})
+			c.prog[sp].x = len(c.prog)
+			c.compile(s)
+			jumps = append(jumps, c.emit(inst{op: opJump}))
+			c.prog[sp].y = len(c.prog)
+		}
+		end := len(c.prog)
+		for _, j := range jumps {
+			c.prog[j].x = end
+		}
+	case *groupNode:
+		if n.idx == 0 {
+			c.compile(n.sub)
+			return
+		}
+		c.emit(inst{op: opSave, x: 2 * n.idx})
+		c.compile(n.sub)
+		c.emit(inst{op: opSave, x: 2*n.idx + 1})
+	case *repeatNode:
+		c.compileRepeat(n)
+	}
+}
+
+func (c *compiler) compileRepeat(n *repeatNode) {
+	// Mandatory prefix.
+	for range n.min {
+		c.compile(n.sub)
+	}
+	switch {
+	case n.max < 0:
+		// star: L1: split L2, L3 ; L2: sub; jmp L1; L3:
+		l1 := c.emit(inst{op: opSplit})
+		c.prog[l1].x = len(c.prog)
+		c.compile(n.sub)
+		c.emit(inst{op: opJump, x: l1})
+		c.prog[l1].y = len(c.prog)
+		if n.lazy {
+			c.prog[l1].x, c.prog[l1].y = c.prog[l1].y, c.prog[l1].x
+		}
+	default:
+		// Up to (max-min) optional copies.
+		var splits []int
+		for range n.max - n.min {
+			sp := c.emit(inst{op: opSplit})
+			c.prog[sp].x = len(c.prog)
+			c.compile(n.sub)
+			splits = append(splits, sp)
+		}
+		end := len(c.prog)
+		for _, sp := range splits {
+			c.prog[sp].y = end
+			if n.lazy {
+				c.prog[sp].x, c.prog[sp].y = c.prog[sp].y, c.prog[sp].x
+			}
+		}
+	}
+}

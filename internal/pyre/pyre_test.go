@@ -1,0 +1,301 @@
+package pyre
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSearchBasics(t *testing.T) {
+	re := MustCompile(`ab+c`)
+	if m := re.Search("xxabbbcyy"); m == nil || m[0] != 2 || m[1] != 7 {
+		t.Fatalf("match = %v", m)
+	}
+	if m := re.Search("ac"); m != nil {
+		t.Fatalf("unexpected match %v", m)
+	}
+}
+
+func TestAnchors(t *testing.T) {
+	re := MustCompile(`^ab`)
+	if re.Search("xab") != nil {
+		t.Fatal("^ should anchor")
+	}
+	if re.Search("abx") == nil {
+		t.Fatal("^ab should match prefix")
+	}
+	re = MustCompile(`ab$`)
+	if re.Search("abx") != nil {
+		t.Fatal("$ should anchor")
+	}
+	if re.Search("xab") == nil {
+		t.Fatal("ab$ should match suffix")
+	}
+}
+
+func TestClasses(t *testing.T) {
+	re := MustCompile(`[a-c]+`)
+	if m := re.Search("zzabcaz"); m == nil || m[0] != 2 || m[1] != 6 {
+		t.Fatalf("match = %v", m)
+	}
+	re = MustCompile(`[^/]+`)
+	if m := re.Search("/~alice/x"); m == nil || m[0] != 1 || m[1] != 7 {
+		t.Fatalf("negated class = %v", m)
+	}
+	re = MustCompile(`\d{3}`)
+	if re.Search("ab12c") != nil {
+		t.Fatal("\\d{3} should need 3 digits")
+	}
+	if re.Search("ab123c") == nil {
+		t.Fatal("\\d{3} should match")
+	}
+}
+
+func TestPredefinedClassesInsideClass(t *testing.T) {
+	re := MustCompile(`[\w:/]+`)
+	if m := re.Search(" ab:/cd "); m == nil || m[1]-m[0] != 6 {
+		t.Fatalf("match = %v", m)
+	}
+}
+
+func TestGroups(t *testing.T) {
+	re := MustCompile(`(\S+) (\S+)`)
+	m := re.Search("hello world rest")
+	if m == nil {
+		t.Fatal("no match")
+	}
+	if got := "hello"; "hello world rest"[m[2]:m[3]] != got {
+		t.Fatalf("group1 = %q", "hello world rest"[m[2]:m[3]])
+	}
+	if got := "world"; "hello world rest"[m[4]:m[5]] != got {
+		t.Fatalf("group2 = %q", "hello world rest"[m[4]:m[5]])
+	}
+	if re.NumGroups() != 2 {
+		t.Fatalf("ngroups = %d", re.NumGroups())
+	}
+}
+
+func TestAlternation(t *testing.T) {
+	re := MustCompile(`cat|dog|bird`)
+	for _, s := range []string{"a cat", "the dog", "birds"} {
+		if re.Search(s) == nil {
+			t.Errorf("no match in %q", s)
+		}
+	}
+	if re.Search("cow") != nil {
+		t.Error("matched cow")
+	}
+}
+
+func TestOptionalAndStar(t *testing.T) {
+	re := MustCompile(`colou?r`)
+	if re.Search("color") == nil || re.Search("colour") == nil {
+		t.Fatal("optional failed")
+	}
+	re = MustCompile(`a*b`)
+	if m := re.Search("aaab"); m == nil || m[0] != 0 {
+		t.Fatalf("star = %v", m)
+	}
+	if re.Search("b") == nil {
+		t.Fatal("a*b should match bare b")
+	}
+}
+
+func TestGreedyVsLazy(t *testing.T) {
+	s := `"abc" and "def"`
+	if m := MustCompile(`".*"`).Search(s); m == nil || s[m[0]:m[1]] != `"abc" and "def"` {
+		t.Fatalf("greedy = %v", m)
+	}
+	if m := MustCompile(`".*?"`).Search(s); m == nil || s[m[0]:m[1]] != `"abc"` {
+		t.Fatalf("lazy = %v", m)
+	}
+}
+
+func TestApacheLogPattern(t *testing.T) {
+	// The weblog pipeline's single-regex pattern, verbatim.
+	pat := `^(\S+) (\S+) (\S+) \[([\w:/]+\s[+\-]\d{4})\] "(\S+) (\S+)\s*(\S*)\s*" (\d{3}) (\S+)`
+	re := MustCompile(pat)
+	line := `192.168.1.1 - frank [10/Oct/2000:13:55:36 -0700] "GET /apache_pb.gif HTTP/1.0" 200 2326`
+	m := re.Search(line)
+	if m == nil {
+		t.Fatal("no match on valid log line")
+	}
+	group := func(i int) string {
+		if m[2*i] < 0 {
+			return ""
+		}
+		return line[m[2*i]:m[2*i+1]]
+	}
+	if group(1) != "192.168.1.1" {
+		t.Errorf("ip = %q", group(1))
+	}
+	if group(4) != "10/Oct/2000:13:55:36 -0700" {
+		t.Errorf("date = %q", group(4))
+	}
+	if group(5) != "GET" || group(6) != "/apache_pb.gif" || group(7) != "HTTP/1.0" {
+		t.Errorf("request = %q %q %q", group(5), group(6), group(7))
+	}
+	if group(8) != "200" || group(9) != "2326" {
+		t.Errorf("status = %q size = %q", group(8), group(9))
+	}
+	// A malformed line must not match.
+	if re.Search("not a log line") != nil {
+		t.Error("matched garbage")
+	}
+}
+
+func TestSubBasic(t *testing.T) {
+	re := MustCompile(`^/~[^/]+`)
+	got := re.Sub("/~XXXX", "/~alice/papers/x.pdf")
+	if got != "/~XXXX/papers/x.pdf" {
+		t.Fatalf("sub = %q", got)
+	}
+	// Anchored pattern must only substitute at the start.
+	got = re.Sub("/~XXXX", "/pub/~alice")
+	if got != "/pub/~alice" {
+		t.Fatalf("sub = %q", got)
+	}
+}
+
+func TestSubAll(t *testing.T) {
+	re := MustCompile(`\d+`)
+	if got := re.Sub("N", "a1b22c333"); got != "aNbNcN" {
+		t.Fatalf("sub = %q", got)
+	}
+}
+
+func TestSubBackreference(t *testing.T) {
+	re := MustCompile(`(\w+)@(\w+)`)
+	if got := re.Sub(`\2.\1`, "user@host"); got != "host.user" {
+		t.Fatalf("sub = %q", got)
+	}
+}
+
+func TestSubEmptyMatch(t *testing.T) {
+	re := MustCompile(`x*`)
+	// Must terminate and behave like Python: re.sub('x*', '-', 'abc') ==
+	// '-a-b-c-'.
+	if got := re.Sub("-", "abc"); got != "-a-b-c-" {
+		t.Fatalf("sub = %q", got)
+	}
+}
+
+func TestBoundedRepetition(t *testing.T) {
+	re := MustCompile(`a{2,3}`)
+	if re.Search("a") != nil {
+		t.Fatal("a{2,3} matched single a")
+	}
+	if m := re.Search("aaaa"); m == nil || m[1]-m[0] != 3 {
+		t.Fatalf("greedy bound = %v", m)
+	}
+	re = MustCompile(`a{2,}`)
+	if m := re.Search("aaaa"); m == nil || m[1]-m[0] != 4 {
+		t.Fatalf("open bound = %v", m)
+	}
+}
+
+func TestLiteralBrace(t *testing.T) {
+	re := MustCompile(`a{x}`)
+	if re.Search("a{x}") == nil {
+		t.Fatal("literal brace failed")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	for _, pat := range []string{"(", "[", "a(b", "*a", `a\`, "(?P<n>x)"} {
+		if _, err := Compile(pat); err == nil {
+			t.Errorf("Compile(%q) succeeded", pat)
+		}
+	}
+}
+
+func TestAgainstGoRegexpOracle(t *testing.T) {
+	// Property test: for random ASCII inputs, our engine agrees with
+	// Go's regexp on a set of shared-semantics patterns.
+	pats := []string{
+		`a+b`, `[a-z]+\d*`, `(\w+) (\w+)`, `^x.*y$`, `a|bc|def`,
+		`[^ ]+`, `f(o?)(x+)`,
+	}
+	alphabet := []byte("abxyz 019f")
+	for _, pat := range pats {
+		mine := MustCompile(pat)
+		theirs := regexp.MustCompile(pat)
+		f := func(raw []byte) bool {
+			var sb strings.Builder
+			for _, b := range raw {
+				sb.WriteByte(alphabet[int(b)%len(alphabet)])
+			}
+			s := sb.String()
+			m := mine.Search(s)
+			loc := theirs.FindStringIndex(s)
+			if (m == nil) != (loc == nil) {
+				t.Logf("pat=%q s=%q mine=%v theirs=%v", pat, s, m, loc)
+				return false
+			}
+			if m != nil && (m[0] != loc[0] || m[1] != loc[1]) {
+				t.Logf("pat=%q s=%q mine=%v theirs=%v", pat, s, m[:2], loc)
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("pattern %q disagrees with oracle: %v", pat, err)
+		}
+	}
+}
+
+func TestPRNGDeterminism(t *testing.T) {
+	a, b := NewPRNG(42), NewPRNG(42)
+	for range 100 {
+		if a.Next() != b.Next() {
+			t.Fatal("PRNG not deterministic")
+		}
+	}
+	c := NewPRNG(43)
+	if a.Next() == c.Next() {
+		t.Fatal("different seeds produced same stream (suspicious)")
+	}
+}
+
+func TestPRNGChoice(t *testing.T) {
+	p := NewPRNG(1)
+	letters := "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	seen := map[string]bool{}
+	for range 1000 {
+		ch := p.Choice(letters)
+		if len(ch) != 1 || !strings.Contains(letters, ch) {
+			t.Fatalf("bad choice %q", ch)
+		}
+		seen[ch] = true
+	}
+	if len(seen) < 20 {
+		t.Fatalf("poor coverage: %d distinct letters", len(seen))
+	}
+}
+
+func BenchmarkRegexEngines(b *testing.B) {
+	// Paper §6.1.3 prose: the PCRE2 engine Tuplex uses is much faster than
+	// java.util.regex. This microbenchmark compares our compiled engine
+	// against Go's stdlib RE2 on the weblog pattern as the repo's analog.
+	pat := `^(\S+) (\S+) (\S+) \[([\w:/]+\s[+\-]\d{4})\] "(\S+) (\S+)\s*(\S*)\s*" (\d{3}) (\S+)`
+	line := `192.168.1.1 - frank [10/Oct/2000:13:55:36 -0700] "GET /apache_pb.gif HTTP/1.0" 200 2326`
+	b.Run("pyre", func(b *testing.B) {
+		re := MustCompile(pat)
+		b.ResetTimer()
+		for range b.N {
+			if re.Search(line) == nil {
+				b.Fatal("no match")
+			}
+		}
+	})
+	b.Run("stdlib", func(b *testing.B) {
+		re := regexp.MustCompile(pat)
+		b.ResetTimer()
+		for range b.N {
+			if re.FindStringSubmatchIndex(line) == nil {
+				b.Fatal("no match")
+			}
+		}
+	})
+}

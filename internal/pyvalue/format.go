@@ -1,0 +1,370 @@
+package pyvalue
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// PercentFormat implements Python's old-style `fmt % arg` string
+// formatting for the conversions data-wrangling code uses
+// (%d %i %f %e %g %s %r %x %X %o %% with flags, width and precision).
+func PercentFormat(format string, arg Value) (Value, error) {
+	var args []Value
+	if t, ok := arg.(*Tuple); ok {
+		args = t.Items
+	} else {
+		args = []Value{arg}
+	}
+	var sb strings.Builder
+	ai := 0
+	nextArg := func() (Value, error) {
+		if ai >= len(args) {
+			return nil, Raise(ExcTypeError, "not enough arguments for format string")
+		}
+		v := args[ai]
+		ai++
+		return v, nil
+	}
+	i := 0
+	for i < len(format) {
+		c := format[i]
+		if c != '%' {
+			sb.WriteByte(c)
+			i++
+			continue
+		}
+		i++
+		if i >= len(format) {
+			return nil, Raise(ExcValueError, "incomplete format")
+		}
+		if format[i] == '%' {
+			sb.WriteByte('%')
+			i++
+			continue
+		}
+		// Parse %[flags][width][.precision]conversion.
+		spec := "%"
+		for i < len(format) && strings.IndexByte("-+ 0#", format[i]) >= 0 {
+			spec += string(format[i])
+			i++
+		}
+		for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+			spec += string(format[i])
+			i++
+		}
+		if i < len(format) && format[i] == '.' {
+			spec += "."
+			i++
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				spec += string(format[i])
+				i++
+			}
+		}
+		if i >= len(format) {
+			return nil, Raise(ExcValueError, "incomplete format")
+		}
+		conv := format[i]
+		i++
+		v, err := nextArg()
+		if err != nil {
+			return nil, err
+		}
+		switch conv {
+		case 'd', 'i':
+			n, ok := percentInt(v)
+			if !ok {
+				return nil, Raise(ExcTypeError, "%%d format: a number is required, not %s", TypeName(v))
+			}
+			fmt.Fprintf(&sb, spec+"d", n)
+		case 'f', 'F', 'e', 'E', 'g', 'G':
+			f, ok := asFloat(v)
+			if !ok {
+				return nil, Raise(ExcTypeError, "must be real number, not %s", TypeName(v))
+			}
+			fmt.Fprintf(&sb, spec+string(conv), f)
+		case 'x', 'X', 'o':
+			n, ok := percentInt(v)
+			if !ok {
+				return nil, Raise(ExcTypeError, "%%%c format: an integer is required, not %s", conv, TypeName(v))
+			}
+			fmt.Fprintf(&sb, spec+string(conv), n)
+		case 's':
+			fmt.Fprintf(&sb, spec+"s", ToStr(v))
+		case 'r':
+			fmt.Fprintf(&sb, spec+"s", Repr(v))
+		default:
+			return nil, Raise(ExcValueError, "unsupported format character %q", string(conv))
+		}
+	}
+	if ai < len(args) {
+		return nil, Raise(ExcTypeError, "not all arguments converted during string formatting")
+	}
+	return Str(sb.String()), nil
+}
+
+func percentInt(v Value) (int64, bool) {
+	if n, ok := asInt(v); ok {
+		return n, true
+	}
+	if f, ok := v.(Float); ok {
+		return int64(f), true
+	}
+	return 0, false
+}
+
+// StrFormat implements str.format() for auto-numbered and positional
+// fields with the format-spec subset [[fill]align][sign][0][width]
+// [,][.precision][type] (types d f F e E g G s x X %).
+func StrFormat(format string, args []Value) (Value, error) {
+	var sb strings.Builder
+	auto := 0
+	usedAuto, usedManual := false, false
+	i := 0
+	for i < len(format) {
+		c := format[i]
+		switch c {
+		case '{':
+			if i+1 < len(format) && format[i+1] == '{' {
+				sb.WriteByte('{')
+				i += 2
+				continue
+			}
+			end := strings.IndexByte(format[i:], '}')
+			if end < 0 {
+				return nil, Raise(ExcValueError, "single '{' encountered in format string")
+			}
+			field := format[i+1 : i+end]
+			i += end + 1
+			name, spec := field, ""
+			if j := strings.IndexByte(field, ':'); j >= 0 {
+				name, spec = field[:j], field[j+1:]
+			}
+			var v Value
+			if name == "" {
+				usedAuto = true
+				if usedManual {
+					return nil, Raise(ExcValueError, "cannot switch from manual field specification to automatic field numbering")
+				}
+				if auto >= len(args) {
+					return nil, Raise(ExcIndexError, "Replacement index %d out of range for positional args tuple", auto)
+				}
+				v = args[auto]
+				auto++
+			} else {
+				idx, err := strconv.Atoi(name)
+				if err != nil {
+					return nil, Raise(ExcValueError, "unsupported format field name %q", name)
+				}
+				usedManual = true
+				if usedAuto {
+					return nil, Raise(ExcValueError, "cannot switch from automatic field numbering to manual field specification")
+				}
+				if idx < 0 || idx >= len(args) {
+					return nil, Raise(ExcIndexError, "Replacement index %d out of range for positional args tuple", idx)
+				}
+				v = args[idx]
+			}
+			out, err := FormatSpec(v, spec)
+			if err != nil {
+				return nil, err
+			}
+			sb.WriteString(out)
+		case '}':
+			if i+1 < len(format) && format[i+1] == '}' {
+				sb.WriteByte('}')
+				i += 2
+				continue
+			}
+			return nil, Raise(ExcValueError, "Single '}' encountered in format string")
+		default:
+			sb.WriteByte(c)
+			i++
+		}
+	}
+	return Str(sb.String()), nil
+}
+
+// FormatSpec applies a Python format-spec to a value.
+func FormatSpec(v Value, spec string) (string, error) {
+	if spec == "" {
+		return ToStr(v), nil
+	}
+	fill, align := byte(' '), byte(0)
+	sign := byte(0)
+	zero := false
+	width, prec := -1, -1
+	comma := false
+	verb := byte(0)
+
+	s := spec
+	// [[fill]align]
+	if len(s) >= 2 && (s[1] == '<' || s[1] == '>' || s[1] == '^') {
+		fill, align = s[0], s[1]
+		s = s[2:]
+	} else if len(s) >= 1 && (s[0] == '<' || s[0] == '>' || s[0] == '^') {
+		align = s[0]
+		s = s[1:]
+	}
+	if len(s) >= 1 && (s[0] == '+' || s[0] == '-' || s[0] == ' ') {
+		sign = s[0]
+		s = s[1:]
+	}
+	if len(s) >= 1 && s[0] == '0' {
+		zero = true
+		s = s[1:]
+	}
+	j := 0
+	for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+		j++
+	}
+	if j > 0 {
+		width, _ = strconv.Atoi(s[:j])
+		s = s[j:]
+	}
+	if len(s) >= 1 && s[0] == ',' {
+		comma = true
+		s = s[1:]
+	}
+	if len(s) >= 1 && s[0] == '.' {
+		s = s[1:]
+		j = 0
+		for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+			j++
+		}
+		if j == 0 {
+			return "", Raise(ExcValueError, "Format specifier missing precision")
+		}
+		prec, _ = strconv.Atoi(s[:j])
+		s = s[j:]
+	}
+	if len(s) == 1 {
+		verb = s[0]
+		s = ""
+	}
+	if s != "" {
+		return "", Raise(ExcValueError, "Invalid format specifier %q", spec)
+	}
+
+	var body string
+	switch verb {
+	case 0:
+		// No explicit type: int-like values format as d, floats as g-ish
+		// via repr, strings as-is.
+		switch v.(type) {
+		case Bool, Int:
+			n, _ := asInt(v)
+			body = strconv.FormatInt(n, 10)
+		case Float:
+			body = FloatRepr(float64(v.(Float)))
+		case Str:
+			body = string(v.(Str))
+		default:
+			body = ToStr(v)
+		}
+	case 'd':
+		n, ok := asInt(v)
+		if !ok {
+			return "", Raise(ExcValueError, "Unknown format code 'd' for object of type %q", TypeName(v))
+		}
+		body = strconv.FormatInt(n, 10)
+	case 'f', 'F', 'e', 'E', 'g', 'G':
+		f, ok := asFloat(v)
+		if !ok {
+			return "", Raise(ExcValueError, "Unknown format code %q for object of type %q", string(verb), TypeName(v))
+		}
+		p := prec
+		if p < 0 {
+			if verb == 'g' || verb == 'G' {
+				p = -1
+			} else {
+				p = 6
+			}
+		}
+		body = strconv.FormatFloat(f, verb, p, 64)
+	case 'x', 'X':
+		n, ok := asInt(v)
+		if !ok {
+			return "", Raise(ExcValueError, "Unknown format code %q for object of type %q", string(verb), TypeName(v))
+		}
+		body = strconv.FormatInt(n, 16)
+		if verb == 'X' {
+			body = strings.ToUpper(body)
+		}
+	case 's':
+		body = ToStr(v)
+		if prec >= 0 && prec < len(body) {
+			body = body[:prec]
+		}
+	case '%':
+		f, ok := asFloat(v)
+		if !ok {
+			return "", Raise(ExcValueError, "Unknown format code '%%' for object of type %q", TypeName(v))
+		}
+		p := prec
+		if p < 0 {
+			p = 6
+		}
+		body = strconv.FormatFloat(f*100, 'f', p, 64) + "%"
+	default:
+		return "", Raise(ExcValueError, "Unknown format code %q", string(verb))
+	}
+
+	// Apply sign for numeric verbs.
+	numeric := verb == 0 && IsNumeric(v) || strings.IndexByte("dfFeEgGxX%", verb) >= 0 && verb != 0
+	if numeric && sign == '+' && !strings.HasPrefix(body, "-") {
+		body = "+" + body
+	}
+	if numeric && sign == ' ' && !strings.HasPrefix(body, "-") {
+		body = " " + body
+	}
+	if comma {
+		body = addThousands(body)
+	}
+	// Width padding.
+	if width > 0 && len(body) < width {
+		pad := width - len(body)
+		switch {
+		case align == '<':
+			body += strings.Repeat(string(fill), pad)
+		case align == '^':
+			l := pad / 2
+			body = strings.Repeat(string(fill), l) + body + strings.Repeat(string(fill), pad-l)
+		case align == '>':
+			body = strings.Repeat(string(fill), pad) + body
+		case zero && numeric:
+			// Zero-pad after the sign.
+			if len(body) > 0 && (body[0] == '-' || body[0] == '+') {
+				body = body[:1] + strings.Repeat("0", pad) + body[1:]
+			} else {
+				body = strings.Repeat("0", pad) + body
+			}
+		case numeric:
+			body = strings.Repeat(" ", pad) + body
+		default:
+			body += strings.Repeat(" ", pad)
+		}
+	}
+	return body, nil
+}
+
+func addThousands(body string) string {
+	// Find the integer part boundaries.
+	start := 0
+	if len(body) > 0 && (body[0] == '-' || body[0] == '+') {
+		start = 1
+	}
+	end := len(body)
+	if i := strings.IndexByte(body, '.'); i >= 0 {
+		end = i
+	}
+	intPart := body[start:end]
+	var sb strings.Builder
+	for i, c := range intPart {
+		if i > 0 && (len(intPart)-i)%3 == 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteRune(c)
+	}
+	return body[:start] + sb.String() + body[end:]
+}

@@ -1,0 +1,108 @@
+package pyvalue
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentFormatAgainstGoOracle(t *testing.T) {
+	// For plain %d and %x the semantics coincide with Go's fmt.
+	f := func(n int64) bool {
+		got, err := PercentFormat("%d|%05d|%x", &Tuple{Items: []Value{Int(n), Int(n), Int(n)}})
+		if err != nil {
+			return false
+		}
+		want := fmt.Sprintf("%d|%05d|%x", n, n, n)
+		return string(got.(Str)) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentFormatFloats(t *testing.T) {
+	cases := []struct {
+		format string
+		arg    Value
+		want   string
+	}{
+		{"%f", Float(1.5), "1.500000"},
+		{"%.2f", Float(1.609), "1.61"},
+		{"%10.1f", Float(3.25), "       3.2"}, // banker-free printf rounding
+		{"%e", Float(12345.678), "1.234568e+04"},
+		{"%g", Float(0.0001), "0.0001"},
+		{"%-6d|", Int(42), "42    |"},
+		{"%+d", Int(42), "+42"},
+	}
+	for _, c := range cases {
+		got, err := PercentFormat(c.format, c.arg)
+		if err != nil {
+			t.Errorf("%q: %v", c.format, err)
+			continue
+		}
+		if string(got.(Str)) != c.want {
+			t.Errorf("%q %% %s = %q, want %q", c.format, Repr(c.arg), got, c.want)
+		}
+	}
+}
+
+func TestStrFormatSpecGrid(t *testing.T) {
+	cases := []struct {
+		spec string
+		arg  Value
+		want string
+	}{
+		{"{:02}", Int(7), "07"},
+		{"{:5}", Int(7), "    7"},
+		{"{:<5}|", Str("ab"), "ab   |"},
+		{"{:^6}|", Str("ab"), "  ab  |"},
+		{"{:>6}", Str("ab"), "    ab"},
+		{"{:*>5}", Str("ab"), "***ab"},
+		{"{:,}", Int(1234567), "1,234,567"},
+		{"{:.3f}", Float(2.0 / 3), "0.667"},
+		{"{:d}", Bool(true), "1"},
+		{"{:x}", Int(255), "ff"},
+		{"{:.2s}", Str("abcdef"), "ab"},
+		{"{:+d}", Int(5), "+5"},
+		{"{:06.2f}", Float(3.14159), "003.14"},
+	}
+	for _, c := range cases {
+		got, err := StrFormat(c.spec+"", []Value{c.arg})
+		if err != nil {
+			t.Errorf("%q: %v", c.spec, err)
+			continue
+		}
+		if string(got.(Str)) != c.want {
+			t.Errorf("%q.format(%s) = %q, want %q", c.spec, Repr(c.arg), got, c.want)
+		}
+	}
+}
+
+func TestStrFormatErrors(t *testing.T) {
+	if _, err := StrFormat("{", nil); err == nil {
+		t.Error("unbalanced { accepted")
+	}
+	if _, err := StrFormat("}", nil); err == nil {
+		t.Error("single } accepted")
+	}
+	if _, err := StrFormat("{}{0}", []Value{Int(1)}); err == nil {
+		t.Error("auto/manual mix accepted")
+	}
+	if _, err := StrFormat("{}", nil); err == nil {
+		t.Error("missing argument accepted")
+	}
+	if _, err := StrFormat("{:d}", []Value{Str("x")}); err == nil {
+		t.Error("d verb on str accepted")
+	}
+}
+
+func TestStrFormatBraceEscapes(t *testing.T) {
+	got, err := StrFormat("{{{}}}", []Value{Int(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.(Str)) != "{5}" {
+		t.Fatalf("got %q", got)
+	}
+}

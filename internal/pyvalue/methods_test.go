@@ -1,0 +1,220 @@
+package pyvalue
+
+import "testing"
+
+func callM(t *testing.T, obj Value, name string, args ...Value) Value {
+	t.Helper()
+	v, err := CallMethod(obj, name, args)
+	if err != nil {
+		t.Fatalf("%s.%s: %v", Repr(obj), name, err)
+	}
+	return v
+}
+
+func TestStrFindRfind(t *testing.T) {
+	s := Str("3 bds, 2 ba , 1,560 sqft")
+	if v := callM(t, s, "find", Str(" bd")); !Equal(v, Int(1)) {
+		t.Fatalf("find = %s", Repr(v))
+	}
+	if v := callM(t, s, "find", Str("zz")); !Equal(v, Int(-1)) {
+		t.Fatalf("find missing = %s", Repr(v))
+	}
+	if v := callM(t, s, "rfind", Str(",")); !Equal(v, Int(15)) {
+		t.Fatalf("rfind = %s", Repr(v))
+	}
+	if _, err := CallMethod(s, "index", []Value{Str("zz")}); KindOf(err) != ExcValueError {
+		t.Fatalf("index missing: %v", err)
+	}
+}
+
+func TestStrCaseAndTrim(t *testing.T) {
+	if v := callM(t, Str("  Boston  "), "strip"); !Equal(v, Str("Boston")) {
+		t.Fatalf("strip = %s", Repr(v))
+	}
+	if v := callM(t, Str("xxabcxx"), "strip", Str("x")); !Equal(v, Str("abc")) {
+		t.Fatalf("strip chars = %s", Repr(v))
+	}
+	if v := callM(t, Str("BoSTon"), "lower"); !Equal(v, Str("boston")) {
+		t.Fatal("lower")
+	}
+	if v := callM(t, Str("bos"), "upper"); !Equal(v, Str("BOS")) {
+		t.Fatal("upper")
+	}
+	if v := callM(t, Str("hELLO wORLD"), "capitalize"); !Equal(v, Str("Hello world")) {
+		t.Fatalf("capitalize = %s", Repr(v))
+	}
+	if v := callM(t, Str("hello world"), "title"); !Equal(v, Str("Hello World")) {
+		t.Fatalf("title = %s", Repr(v))
+	}
+}
+
+func TestStrSplitJoin(t *testing.T) {
+	v := callM(t, Str("a,b,,c"), "split", Str(","))
+	l := v.(*List)
+	if len(l.Items) != 4 || !Equal(l.Items[2], Str("")) {
+		t.Fatalf("split = %s", Repr(v))
+	}
+	// Whitespace split collapses runs and trims.
+	v = callM(t, Str("  a  b\tc "), "split")
+	l = v.(*List)
+	if len(l.Items) != 3 || !Equal(l.Items[0], Str("a")) {
+		t.Fatalf("ws split = %s", Repr(v))
+	}
+	v = callM(t, Str("-"), "join", &List{Items: []Value{Str("a"), Str("b")}})
+	if !Equal(v, Str("a-b")) {
+		t.Fatalf("join = %s", Repr(v))
+	}
+	if _, err := CallMethod(Str("-"), "join", []Value{&List{Items: []Value{Int(1)}}}); KindOf(err) != ExcTypeError {
+		t.Fatalf("join non-str: %v", err)
+	}
+}
+
+func TestStrSplitMaxsplit(t *testing.T) {
+	v := callM(t, Str("a b c d"), "split", Str(" "), Int(2))
+	l := v.(*List)
+	if len(l.Items) != 3 || !Equal(l.Items[2], Str("c d")) {
+		t.Fatalf("maxsplit = %s", Repr(v))
+	}
+}
+
+func TestStrReplaceStartsEnds(t *testing.T) {
+	if v := callM(t, Str("1,560"), "replace", Str(","), Str("")); !Equal(v, Str("1560")) {
+		t.Fatal("replace")
+	}
+	if v := callM(t, Str("/~alice/x"), "startswith", Str("/~")); !Equal(v, Bool(true)) {
+		t.Fatal("startswith")
+	}
+	if v := callM(t, Str("file.csv"), "endswith", Str(".csv")); !Equal(v, Bool(true)) {
+		t.Fatal("endswith")
+	}
+}
+
+func TestStrFormatMethod(t *testing.T) {
+	v := callM(t, Str("{:02}:{:02}"), "format", Int(7), Int(5))
+	if !Equal(v, Str("07:05")) {
+		t.Fatalf("format = %s", Repr(v))
+	}
+	v = callM(t, Str("{}-{}"), "format", Str("a"), Int(1))
+	if !Equal(v, Str("a-1")) {
+		t.Fatalf("format = %s", Repr(v))
+	}
+	v = callM(t, Str("{1}{0}"), "format", Str("a"), Str("b"))
+	if !Equal(v, Str("ba")) {
+		t.Fatalf("format = %s", Repr(v))
+	}
+	v = callM(t, Str("{:.2f}"), "format", Float(1.609))
+	if !Equal(v, Str("1.61")) {
+		t.Fatalf("format = %s", Repr(v))
+	}
+	v = callM(t, Str("{:>5}"), "format", Str("ab"))
+	if !Equal(v, Str("   ab")) {
+		t.Fatalf("format = %s", Repr(v))
+	}
+}
+
+func TestPercentFormat(t *testing.T) {
+	v, err := PercentFormat("%05d", Int(42))
+	wantVal(t, v, err, Str("00042"))
+	v, err = PercentFormat("%s=%d", &Tuple{Items: []Value{Str("x"), Int(3)}})
+	wantVal(t, v, err, Str("x=3"))
+	v, err = PercentFormat("%.2f", Float(1.609))
+	wantVal(t, v, err, Str("1.61"))
+	v, err = PercentFormat("100%%", &Tuple{})
+	wantVal(t, v, err, Str("100%"))
+	_, err = PercentFormat("%d", Str("a"))
+	wantExc(t, err, ExcTypeError)
+	_, err = PercentFormat("%d %d", Int(1))
+	wantExc(t, err, ExcTypeError)
+}
+
+func TestZfillCount(t *testing.T) {
+	if v := callM(t, Str("42"), "zfill", Int(5)); !Equal(v, Str("00042")) {
+		t.Fatal("zfill")
+	}
+	if v := callM(t, Str("-42"), "zfill", Int(5)); !Equal(v, Str("-0042")) {
+		t.Fatal("zfill sign")
+	}
+	if v := callM(t, Str("aabaa"), "count", Str("aa")); !Equal(v, Int(2)) {
+		t.Fatal("count")
+	}
+}
+
+func TestIsDigitAlpha(t *testing.T) {
+	if v := callM(t, Str("123"), "isdigit"); !Equal(v, Bool(true)) {
+		t.Fatal("isdigit")
+	}
+	if v := callM(t, Str("12a"), "isdigit"); !Equal(v, Bool(false)) {
+		t.Fatal("isdigit mixed")
+	}
+	if v := callM(t, Str(""), "isdigit"); !Equal(v, Bool(false)) {
+		t.Fatal("isdigit empty")
+	}
+	if v := callM(t, Str("abc"), "isalpha"); !Equal(v, Bool(true)) {
+		t.Fatal("isalpha")
+	}
+}
+
+func TestListMethods(t *testing.T) {
+	l := &List{}
+	callM(t, l, "append", Int(1))
+	callM(t, l, "append", Str("x"))
+	if len(l.Items) != 2 {
+		t.Fatalf("append failed: %s", Repr(l))
+	}
+	callM(t, l, "extend", &List{Items: []Value{Int(3), Int(4)}})
+	if len(l.Items) != 4 {
+		t.Fatal("extend failed")
+	}
+	v := callM(t, l, "pop")
+	if !Equal(v, Int(4)) || len(l.Items) != 3 {
+		t.Fatal("pop failed")
+	}
+	if v := callM(t, l, "index", Str("x")); !Equal(v, Int(1)) {
+		t.Fatal("index failed")
+	}
+}
+
+func TestDictMethods(t *testing.T) {
+	d := NewDict()
+	d.Set("a", Int(1))
+	if v := callM(t, d, "get", Str("a")); !Equal(v, Int(1)) {
+		t.Fatal("get")
+	}
+	if v := callM(t, d, "get", Str("zz")); !Equal(v, None{}) {
+		t.Fatal("get default None")
+	}
+	if v := callM(t, d, "get", Str("zz"), Int(7)); !Equal(v, Int(7)) {
+		t.Fatal("get default")
+	}
+	keys := callM(t, d, "keys").(*List)
+	if len(keys.Items) != 1 || !Equal(keys.Items[0], Str("a")) {
+		t.Fatal("keys")
+	}
+}
+
+func TestNoneAttributeError(t *testing.T) {
+	// The flights pipeline relies on None.find raising AttributeError on
+	// the normal path for sparse columns.
+	_, err := CallMethod(None{}, "find", []Value{Str("x")})
+	wantExc(t, err, ExcAttributeError)
+}
+
+func TestCapwords(t *testing.T) {
+	if got := Capwords("  LOGAN  intl   airport "); got != "Logan Intl Airport" {
+		t.Fatalf("Capwords = %q", got)
+	}
+}
+
+func TestMatchMethods(t *testing.T) {
+	m := &Match{Groups: []string{"full", "g1"}, Present: []bool{true, true}}
+	if v := callM(t, m, "group", Int(1)); !Equal(v, Str("g1")) {
+		t.Fatal("group(1)")
+	}
+	if v := callM(t, m, "group"); !Equal(v, Str("full")) {
+		t.Fatal("group()")
+	}
+	gs := callM(t, m, "groups").(*Tuple)
+	if len(gs.Items) != 1 {
+		t.Fatal("groups()")
+	}
+}

@@ -1,0 +1,132 @@
+package rows
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/gotuplex/tuplex/internal/pyvalue"
+	"github.com/gotuplex/tuplex/internal/types"
+)
+
+// arbValue builds a deterministic boxed value from seed bits.
+func arbValue(seed uint64, depth int) pyvalue.Value {
+	switch seed % 8 {
+	case 0:
+		return pyvalue.None{}
+	case 1:
+		return pyvalue.Bool(seed&16 != 0)
+	case 2:
+		return pyvalue.Int(int64(seed >> 3))
+	case 3:
+		return pyvalue.Float(float64(seed>>3) / 7)
+	case 4, 5:
+		return pyvalue.Str(string(rune('a' + seed%26)))
+	default:
+		if depth <= 0 {
+			return pyvalue.Int(int64(seed))
+		}
+		items := []pyvalue.Value{arbValue(seed>>3, depth-1), arbValue(seed>>7, depth-1)}
+		if seed%2 == 0 {
+			return &pyvalue.List{Items: items}
+		}
+		return &pyvalue.Tuple{Items: items}
+	}
+}
+
+func TestSlotValueRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		v := arbValue(seed, 3)
+		got := FromValue(v).Value()
+		return pyvalue.Equal(v, got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlotTruthMatchesBoxed(t *testing.T) {
+	f := func(seed uint64) bool {
+		v := arbValue(seed, 2)
+		return FromValue(v).Truth() == pyvalue.Truth(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlotEqualMatchesBoxed(t *testing.T) {
+	f := func(s1, s2 uint64) bool {
+		a, b := arbValue(s1, 2), arbValue(s2, 2)
+		return Equal(FromValue(a), FromValue(b)) == pyvalue.Equal(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatches(t *testing.T) {
+	cases := []struct {
+		s    Slot
+		t    types.Type
+		want bool
+	}{
+		{I64(5), types.I64, true},
+		{I64(5), types.F64, false},
+		{Null(), types.Option(types.I64), true},
+		{I64(5), types.Option(types.I64), true},
+		{Str("x"), types.Option(types.I64), false},
+		{Null(), types.Null, true},
+		{Str(""), types.Null, false},
+		{Bool(true), types.Bool, true},
+		{List([]Slot{I64(1)}), types.List(types.I64), true},
+		{List([]Slot{Str("a")}), types.List(types.I64), false},
+		{Tuple([]Slot{I64(1), Str("a")}), types.Tuple(types.I64, types.Str), true},
+		{Tuple([]Slot{I64(1)}), types.Tuple(types.I64, types.Str), false},
+		{I64(5), types.Any, true},
+	}
+	for _, c := range cases {
+		if got := Matches(c.s, c.t); got != c.want {
+			t.Errorf("Matches(%v, %s) = %v, want %v", c.s, c.t, got, c.want)
+		}
+	}
+}
+
+func TestRenderString(t *testing.T) {
+	cases := []struct {
+		s    Slot
+		want string
+	}{
+		{Null(), ""},
+		{Bool(true), "True"},
+		{I64(-5), "-5"},
+		{F64(2.5), "2.5"},
+		{F64(2e7), "20000000.0"},
+		{Str("plain"), "plain"},
+	}
+	for _, c := range cases {
+		if got := c.s.RenderString(); got != c.want {
+			t.Errorf("RenderString(%v) = %q, want %q", c.s, got, c.want)
+		}
+	}
+}
+
+func TestDictAndTupleRow(t *testing.T) {
+	row := Row{I64(1), Str("x")}
+	d := DictRow([]string{"a", "b"}, row)
+	if v, _ := d.Get("b"); !pyvalue.Equal(v, pyvalue.Str("x")) {
+		t.Fatalf("DictRow = %s", pyvalue.Repr(d))
+	}
+	tu := TupleRow(row)
+	if len(tu.Items) != 2 || !pyvalue.Equal(tu.Items[0], pyvalue.Int(1)) {
+		t.Fatalf("TupleRow = %s", pyvalue.Repr(tu))
+	}
+}
+
+func TestCopyRowIndependent(t *testing.T) {
+	r := Row{I64(1), Str("x")}
+	cp := CopyRow(r)
+	cp[0] = I64(99)
+	if r[0].I != 1 {
+		t.Fatal("CopyRow aliased the source")
+	}
+}

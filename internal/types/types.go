@@ -1,0 +1,462 @@
+// Package types implements Tuplex's static type lattice.
+//
+// Tuplex types rows and UDF expressions with a small lattice derived from
+// the sampled input data (§4.2 of the paper): primitive scalars, option
+// types for nullable data, and structured tuple/list/dict types. The
+// lattice bottoms out at Any, which forces general-case or fallback-path
+// execution.
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind enumerates the basic shapes in the lattice.
+type Kind uint8
+
+const (
+	// KindInvalid is the zero Kind; it never appears in a valid Type.
+	KindInvalid Kind = iota
+	// KindNull is the type of Python's None.
+	KindNull
+	// KindBool is a Python bool.
+	KindBool
+	// KindI64 is a Python int (modelled as 64-bit; the paper's prototype
+	// does the same).
+	KindI64
+	// KindF64 is a Python float.
+	KindF64
+	// KindStr is a Python str.
+	KindStr
+	// KindOption wraps an element type that may also be None.
+	KindOption
+	// KindTuple is a fixed-arity heterogeneous tuple.
+	KindTuple
+	// KindList is a homogeneous list.
+	KindList
+	// KindDict is a string-keyed dictionary with homogeneous values
+	// (sufficient for the JSON-ish dictionaries the pipelines touch).
+	KindDict
+	// KindFunc is a UDF or builtin function value.
+	KindFunc
+	// KindMatch is a regex match object (re.search result, always
+	// wrapped in Option by re.search itself).
+	KindMatch
+	// KindIter is an iterator produced by range() and friends.
+	KindIter
+	// KindRow is a heterogeneous named-column row (the type of a UDF's
+	// row parameter). Rows subscript by constant column name or
+	// position.
+	KindRow
+	// KindAny is the lattice bottom: a value only the interpreter can
+	// process.
+	KindAny
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindI64:
+		return "i64"
+	case KindF64:
+		return "f64"
+	case KindStr:
+		return "str"
+	case KindOption:
+		return "option"
+	case KindTuple:
+		return "tuple"
+	case KindList:
+		return "list"
+	case KindDict:
+		return "dict"
+	case KindFunc:
+		return "func"
+	case KindMatch:
+		return "match"
+	case KindIter:
+		return "iter"
+	case KindRow:
+		return "row"
+	case KindAny:
+		return "any"
+	default:
+		return fmt.Sprintf("invalid(%d)", uint8(k))
+	}
+}
+
+// Type is an immutable type descriptor. Construct via the factory
+// functions; compare with Equal.
+type Type struct {
+	kind Kind
+	elem *Type   // Option/List/Iter element, Dict value
+	elts []Type  // Tuple elements
+	sch  *Schema // Row columns
+}
+
+// Row returns the row type over schema s.
+func Row(s *Schema) Type { return Type{kind: KindRow, sch: s} }
+
+// Schema returns a row type's schema. It panics for non-row types.
+func (t Type) Schema() *Schema {
+	if t.kind != KindRow {
+		panic("types: Schema on " + t.String())
+	}
+	return t.sch
+}
+
+// Pre-built singletons for the scalar types.
+var (
+	Null = Type{kind: KindNull}
+	Bool = Type{kind: KindBool}
+	I64  = Type{kind: KindI64}
+	F64  = Type{kind: KindF64}
+	Str  = Type{kind: KindStr}
+	Any  = Type{kind: KindAny}
+	Func = Type{kind: KindFunc}
+	// Match is the type of a successful regex match object.
+	Match = Type{kind: KindMatch}
+)
+
+// Option returns the option type over t. Option(Option(t)) collapses to
+// Option(t) and Option(Null) collapses to Null, mirroring Python's None.
+func Option(t Type) Type {
+	if t.kind == KindOption || t.kind == KindNull {
+		return t
+	}
+	if t.kind == KindAny {
+		return Any
+	}
+	e := t
+	return Type{kind: KindOption, elem: &e}
+}
+
+// List returns the homogeneous list type over t.
+func List(t Type) Type {
+	e := t
+	return Type{kind: KindList, elem: &e}
+}
+
+// Iter returns an iterator type over t.
+func Iter(t Type) Type {
+	e := t
+	return Type{kind: KindIter, elem: &e}
+}
+
+// Tuple returns the tuple type with the given element types.
+func Tuple(elts ...Type) Type {
+	return Type{kind: KindTuple, elts: elts}
+}
+
+// Dict returns a string-keyed dict type with value type v.
+func Dict(v Type) Type {
+	e := v
+	return Type{kind: KindDict, elem: &e}
+}
+
+// Kind reports the type's kind.
+func (t Type) Kind() Kind { return t.kind }
+
+// IsValid reports whether t was properly constructed.
+func (t Type) IsValid() bool { return t.kind != KindInvalid }
+
+// IsOption reports whether t is an option type (or Null, which behaves as
+// an "always None" option).
+func (t Type) IsOption() bool { return t.kind == KindOption }
+
+// IsNumeric reports whether t is bool, i64 or f64 (Python's numeric tower
+// treats bool as int).
+func (t Type) IsNumeric() bool {
+	return t.kind == KindBool || t.kind == KindI64 || t.kind == KindF64
+}
+
+// Elem returns the element type of an Option, List, Iter or Dict. It
+// panics for other kinds.
+func (t Type) Elem() Type {
+	if t.elem == nil {
+		panic("types: Elem on " + t.String())
+	}
+	return *t.elem
+}
+
+// Elts returns the element types of a tuple. The returned slice must not
+// be mutated.
+func (t Type) Elts() []Type {
+	if t.kind != KindTuple {
+		panic("types: Elts on " + t.String())
+	}
+	return t.elts
+}
+
+// Unwrap strips one Option layer if present; for Null it returns Null.
+func (t Type) Unwrap() Type {
+	if t.kind == KindOption {
+		return *t.elem
+	}
+	return t
+}
+
+// Equal reports structural equality.
+func Equal(a, b Type) bool {
+	if a.kind != b.kind {
+		return false
+	}
+	switch a.kind {
+	case KindOption, KindList, KindDict, KindIter:
+		return Equal(*a.elem, *b.elem)
+	case KindRow:
+		if a.sch.Len() != b.sch.Len() {
+			return false
+		}
+		for i := 0; i < a.sch.Len(); i++ {
+			ca, cb := a.sch.Col(i), b.sch.Col(i)
+			if ca.Name != cb.Name || !Equal(ca.Type, cb.Type) {
+				return false
+			}
+		}
+		return true
+	case KindTuple:
+		if len(a.elts) != len(b.elts) {
+			return false
+		}
+		for i := range a.elts {
+			if !Equal(a.elts[i], b.elts[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// String renders the type like the paper renders them (i64, f64, str,
+// Option[str], (i64,f64), List[str], Dict[str]).
+func (t Type) String() string {
+	switch t.kind {
+	case KindRow:
+		return "Row" + t.sch.String()
+	case KindOption:
+		return "Option[" + t.elem.String() + "]"
+	case KindList:
+		return "List[" + t.elem.String() + "]"
+	case KindIter:
+		return "Iter[" + t.elem.String() + "]"
+	case KindDict:
+		return "Dict[" + t.elem.String() + "]"
+	case KindTuple:
+		parts := make([]string, len(t.elts))
+		for i, e := range t.elts {
+			parts[i] = e.String()
+		}
+		return "(" + strings.Join(parts, ",") + ")"
+	default:
+		return t.kind.String()
+	}
+}
+
+// Unify returns the least upper bound of a and b in the lattice. Numeric
+// types widen (bool < i64 < f64); Null unifies with T to Option(T);
+// mismatched structures unify to Any.
+func Unify(a, b Type) Type {
+	if !a.IsValid() {
+		return b
+	}
+	if !b.IsValid() {
+		return a
+	}
+	if Equal(a, b) {
+		return a
+	}
+	if a.kind == KindAny || b.kind == KindAny {
+		return Any
+	}
+	// None against anything yields an option.
+	if a.kind == KindNull {
+		return Option(b)
+	}
+	if b.kind == KindNull {
+		return Option(a)
+	}
+	// Option distributes over unification of the element types.
+	if a.kind == KindOption || b.kind == KindOption {
+		u := Unify(a.Unwrap(), b.Unwrap())
+		if u.kind == KindAny {
+			return Any
+		}
+		return Option(u)
+	}
+	// Numeric widening.
+	if a.IsNumeric() && b.IsNumeric() {
+		if a.kind == KindF64 || b.kind == KindF64 {
+			return F64
+		}
+		return I64
+	}
+	if a.kind == b.kind {
+		switch a.kind {
+		case KindRow:
+			if a.sch.Len() != b.sch.Len() {
+				return Any
+			}
+			cols := make([]Column, a.sch.Len())
+			for i := range cols {
+				ca, cb := a.sch.Col(i), b.sch.Col(i)
+				if ca.Name != cb.Name {
+					return Any
+				}
+				u := Unify(ca.Type, cb.Type)
+				if u.kind == KindAny {
+					return Any
+				}
+				cols[i] = Column{Name: ca.Name, Type: u}
+			}
+			return Row(NewSchema(cols))
+		case KindList, KindDict, KindIter:
+			u := Unify(*a.elem, *b.elem)
+			if u.kind == KindAny {
+				return Any
+			}
+			switch a.kind {
+			case KindList:
+				return List(u)
+			case KindDict:
+				return Dict(u)
+			default:
+				return Iter(u)
+			}
+		case KindTuple:
+			if len(a.elts) == len(b.elts) {
+				elts := make([]Type, len(a.elts))
+				for i := range elts {
+					elts[i] = Unify(a.elts[i], b.elts[i])
+					if elts[i].kind == KindAny {
+						return Any
+					}
+				}
+				return Tuple(elts...)
+			}
+		}
+	}
+	return Any
+}
+
+// UnifyAll folds Unify over ts; it returns an invalid Type for an empty
+// slice.
+func UnifyAll(ts []Type) Type {
+	var u Type
+	for _, t := range ts {
+		u = Unify(u, t)
+	}
+	return u
+}
+
+// Column describes one named, typed column of a row schema.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered row schema. Schemas are immutable once built.
+type Schema struct {
+	cols  []Column
+	index map[string]int
+}
+
+// NewSchema builds a schema from columns. Duplicate names keep the first
+// occurrence in the index (later duplicates are only reachable by
+// position), mirroring how the paper's prototype handles join prefixes.
+func NewSchema(cols []Column) *Schema {
+	s := &Schema{cols: append([]Column(nil), cols...), index: make(map[string]int, len(cols))}
+	for i, c := range s.cols {
+		if _, dup := s.index[c.Name]; !dup {
+			s.index[c.Name] = i
+		}
+	}
+	return s
+}
+
+// Len reports the number of columns.
+func (s *Schema) Len() int { return len(s.cols) }
+
+// Col returns the i-th column.
+func (s *Schema) Col(i int) Column { return s.cols[i] }
+
+// Columns returns a copy of the column slice.
+func (s *Schema) Columns() []Column { return append([]Column(nil), s.cols...) }
+
+// Names returns the ordered column names.
+func (s *Schema) Names() []string {
+	names := make([]string, len(s.cols))
+	for i, c := range s.cols {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Lookup returns the position of the named column.
+func (s *Schema) Lookup(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// Types returns the ordered column types.
+func (s *Schema) Types() []Type {
+	ts := make([]Type, len(s.cols))
+	for i, c := range s.cols {
+		ts[i] = c.Type
+	}
+	return ts
+}
+
+// WithColumn returns a new schema with the named column appended, or with
+// its type replaced if it already exists.
+func (s *Schema) WithColumn(name string, t Type) *Schema {
+	cols := s.Columns()
+	if i, ok := s.index[name]; ok {
+		cols[i].Type = t
+		return NewSchema(cols)
+	}
+	return NewSchema(append(cols, Column{Name: name, Type: t}))
+}
+
+// Select returns a new schema with only the named columns, in the given
+// order, and the positions of those columns in s. It returns an error
+// naming the first missing column.
+func (s *Schema) Select(names []string) (*Schema, []int, error) {
+	cols := make([]Column, len(names))
+	idx := make([]int, len(names))
+	for i, n := range names {
+		j, ok := s.index[n]
+		if !ok {
+			return nil, nil, fmt.Errorf("schema has no column %q (have %v)", n, s.Names())
+		}
+		cols[i] = s.cols[j]
+		idx[i] = j
+	}
+	return NewSchema(cols), idx, nil
+}
+
+// Rename returns a new schema with column old renamed to new.
+func (s *Schema) Rename(old, new string) (*Schema, error) {
+	i, ok := s.index[old]
+	if !ok {
+		return nil, fmt.Errorf("schema has no column %q (have %v)", old, s.Names())
+	}
+	cols := s.Columns()
+	cols[i].Name = new
+	return NewSchema(cols), nil
+}
+
+// String renders the schema as name:type pairs.
+func (s *Schema) String() string {
+	parts := make([]string, len(s.cols))
+	for i, c := range s.cols {
+		parts[i] = c.Name + ":" + c.Type.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}

@@ -1,0 +1,154 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// arbitrary returns a deterministic type derived from seed bits, for
+// property tests.
+func arbitrary(seed uint64, depth int) Type {
+	scalars := []Type{Null, Bool, I64, F64, Str}
+	if depth <= 0 {
+		return scalars[seed%uint64(len(scalars))]
+	}
+	switch seed % 8 {
+	case 0, 1, 2, 3:
+		return scalars[(seed>>3)%uint64(len(scalars))]
+	case 4:
+		return Option(arbitrary(seed>>3, depth-1))
+	case 5:
+		return List(arbitrary(seed>>3, depth-1))
+	case 6:
+		return Tuple(arbitrary(seed>>3, depth-1), arbitrary(seed>>7, depth-1))
+	default:
+		return Dict(arbitrary(seed>>3, depth-1))
+	}
+}
+
+func TestUnifyIdempotent(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := arbitrary(seed, 3)
+		return Equal(Unify(a, a), a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnifyCommutative(t *testing.T) {
+	f := func(s1, s2 uint64) bool {
+		a, b := arbitrary(s1, 3), arbitrary(s2, 3)
+		return Equal(Unify(a, b), Unify(b, a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnifyUpperBound(t *testing.T) {
+	// Unify(a, b) unified again with either operand is a fixpoint.
+	f := func(s1, s2 uint64) bool {
+		a, b := arbitrary(s1, 2), arbitrary(s2, 2)
+		u := Unify(a, b)
+		return Equal(Unify(u, a), u) && Equal(Unify(u, b), u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnifySpecificCases(t *testing.T) {
+	cases := []struct{ a, b, want Type }{
+		{I64, F64, F64},
+		{Bool, I64, I64},
+		{Bool, Bool, Bool},
+		{Null, Str, Option(Str)},
+		{Option(I64), F64, Option(F64)},
+		{Null, Null, Null},
+		{Str, I64, Any},
+		{List(I64), List(F64), List(F64)},
+		{List(I64), List(Str), Any},
+		{Tuple(I64, Str), Tuple(F64, Str), Tuple(F64, Str)},
+		{Tuple(I64), Tuple(I64, I64), Any},
+		{Option(Str), Null, Option(Str)},
+		{Any, I64, Any},
+	}
+	for _, c := range cases {
+		if got := Unify(c.a, c.b); !Equal(got, c.want) {
+			t.Errorf("Unify(%s, %s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOptionCollapses(t *testing.T) {
+	if !Equal(Option(Option(I64)), Option(I64)) {
+		t.Error("Option(Option(T)) must collapse")
+	}
+	if !Equal(Option(Null), Null) {
+		t.Error("Option(Null) must collapse to Null")
+	}
+	if !Equal(Option(Any), Any) {
+		t.Error("Option(Any) must collapse to Any")
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	cases := map[string]Type{
+		"i64":               I64,
+		"Option[str]":       Option(Str),
+		"List[f64]":         List(F64),
+		"(i64,Option[str])": Tuple(I64, Option(Str)),
+		"Dict[str]":         Dict(Str),
+	}
+	for want, ty := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestSchemaOps(t *testing.T) {
+	s := NewSchema([]Column{{"a", I64}, {"b", Str}, {"c", F64}})
+	if s.Len() != 3 {
+		t.Fatal("len")
+	}
+	if i, ok := s.Lookup("b"); !ok || i != 1 {
+		t.Fatalf("lookup b = %d, %v", i, ok)
+	}
+	sel, idx, err := s.Select([]string{"c", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Col(0).Name != "c" || idx[0] != 2 || idx[1] != 0 {
+		t.Fatalf("select = %v %v", sel.Names(), idx)
+	}
+	if _, _, err := s.Select([]string{"zz"}); err == nil {
+		t.Fatal("select missing column succeeded")
+	}
+	r, err := s.Rename("a", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Lookup("x"); !ok {
+		t.Fatal("rename failed")
+	}
+	if _, ok := s.Lookup("x"); ok {
+		t.Fatal("rename mutated the original schema")
+	}
+	w := s.WithColumn("b", Option(Str))
+	if c := w.Col(1); !Equal(c.Type, Option(Str)) {
+		t.Fatal("WithColumn replace failed")
+	}
+	w2 := s.WithColumn("d", Bool)
+	if w2.Len() != 4 {
+		t.Fatal("WithColumn append failed")
+	}
+}
+
+func TestSchemaDuplicateNames(t *testing.T) {
+	s := NewSchema([]Column{{"a", I64}, {"a", Str}})
+	if i, _ := s.Lookup("a"); i != 0 {
+		t.Fatal("first duplicate must win")
+	}
+}

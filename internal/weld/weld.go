@@ -1,0 +1,132 @@
+// Package weld is the Weld-analog baseline of §6.2.2: fused, vectorized
+// kernels over columnar arrays. Compute is as fast as tight Go loops over
+// []float64/[]int64 get — but data must first be materialized into the
+// columnar layout (via the Pandas-analog loader), which is exactly the
+// end-to-end trade-off Figs. 9 and 10 measure against Tuplex's
+// parser-inlined aggregation.
+package weld
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/gotuplex/tuplex/internal/csvio"
+	"github.com/gotuplex/tuplex/internal/pandaframe"
+	"github.com/gotuplex/tuplex/internal/pyvalue"
+)
+
+// Q6Columns is the columnar lineitem layout.
+type Q6Columns struct {
+	Quantity      []int64
+	ExtendedPrice []float64
+	Discount      []float64
+	ShipDate      []int64
+}
+
+// LoadQ6 materializes the lineitem CSV into columns (the "preload the Q6
+// data into its columnar in-memory format" step of §6.2.2).
+func LoadQ6(raw []byte) (*Q6Columns, error) {
+	records := csvio.SplitRecords(raw)
+	if len(records) < 2 {
+		return nil, fmt.Errorf("weld: empty lineitem input")
+	}
+	records = records[1:]
+	c := &Q6Columns{
+		Quantity:      make([]int64, 0, len(records)),
+		ExtendedPrice: make([]float64, 0, len(records)),
+		Discount:      make([]float64, 0, len(records)),
+		ShipDate:      make([]int64, 0, len(records)),
+	}
+	var cells []string
+	for _, rec := range records {
+		cells = csvio.SplitCells(rec, ',', cells)
+		if len(cells) != 4 {
+			continue
+		}
+		q, ok1 := csvio.ParseI64(cells[0])
+		p, ok2 := csvio.ParseF64(cells[1])
+		d, ok3 := csvio.ParseF64(cells[2])
+		s, ok4 := csvio.ParseI64(cells[3])
+		if !ok1 || !ok2 || !ok3 || !ok4 {
+			continue
+		}
+		c.Quantity = append(c.Quantity, q)
+		c.ExtendedPrice = append(c.ExtendedPrice, p)
+		c.Discount = append(c.Discount, d)
+		c.ShipDate = append(c.ShipDate, s)
+	}
+	return c, nil
+}
+
+// Q6 is the fused vectorized kernel: one pass, no branches beyond the
+// predicate, no allocation.
+func Q6(c *Q6Columns, dateLo, dateHi int64) float64 {
+	revenue := 0.0
+	qty, price, disc, ship := c.Quantity, c.ExtendedPrice, c.Discount, c.ShipDate
+	n := len(qty)
+	if len(price) < n || len(disc) < n || len(ship) < n {
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		if ship[i] >= dateLo && ship[i] < dateHi &&
+			disc[i] >= 0.05 && disc[i] <= 0.07 && qty[i] < 24 {
+			revenue += price[i] * disc[i]
+		}
+	}
+	return revenue
+}
+
+// Clean311 is the fused cleaning kernel over a boxed zip column (as
+// loaded by the Pandas analog): normalize, validate, build the unique
+// set in one pass.
+func Clean311(zips []pyvalue.Value) []string {
+	seen := make(map[string]struct{}, 64)
+	var out []string
+	for _, v := range zips {
+		var s string
+		switch v := v.(type) {
+		case pyvalue.Str:
+			s = string(v)
+		case pyvalue.Int:
+			s = fmt.Sprintf("%d", int64(v))
+		case pyvalue.Float:
+			s = fmt.Sprintf("%d", int64(v))
+		default:
+			continue
+		}
+		if i := strings.IndexByte(s, '.'); i >= 0 {
+			s = s[:i]
+		}
+		if i := strings.IndexByte(s, '-'); i >= 0 {
+			s = s[:i]
+		}
+		if len(s) != 5 || s == "00000" {
+			continue
+		}
+		ok := true
+		for i := 0; i < 5; i++ {
+			if s[i] < '0' || s[i] > '9' {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if _, dup := seen[s]; !dup {
+			seen[s] = struct{}{}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Run311EndToEnd is the full Weld-style run: Pandas-analog load, then
+// the fused kernel.
+func Run311EndToEnd(raw []byte) ([]string, error) {
+	zips, err := pandaframe.Run311Load(raw)
+	if err != nil {
+		return nil, err
+	}
+	return Clean311(zips), nil
+}

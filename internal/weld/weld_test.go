@@ -1,0 +1,43 @@
+package weld
+
+import (
+	"math"
+	"testing"
+
+	"github.com/gotuplex/tuplex/internal/data"
+	"github.com/gotuplex/tuplex/internal/handopt"
+)
+
+func TestQ6KernelMatchesNative(t *testing.T) {
+	raw := data.TPCHLineitem(data.TPCHConfig{Rows: 8000, Seed: 3})
+	cols, err := LoadQ6(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Q6(cols, data.Q6DateLo, data.Q6DateHi)
+	want := handopt.Q6(raw, data.Q6DateLo, data.Q6DateHi)
+	if math.Abs(got-want) > 1e-6*math.Max(1, want) {
+		t.Fatalf("got %.4f want %.4f", got, want)
+	}
+}
+
+func TestClean311MatchesNative(t *testing.T) {
+	raw := data.ThreeOneOne(data.ThreeOneOneConfig{Rows: 3000, Seed: 8})
+	got, err := Run311EndToEnd(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := handopt.ThreeOneOne(raw)
+	gotSet := map[string]bool{}
+	for _, z := range got {
+		gotSet[z] = true
+	}
+	if len(gotSet) != len(want) {
+		t.Fatalf("got %d zips (%v), want %d (%v)", len(gotSet), got, len(want), want)
+	}
+	for _, z := range want {
+		if !gotSet[z] {
+			t.Fatalf("missing %s", z)
+		}
+	}
+}

@@ -1,0 +1,532 @@
+// Package tuplex is a Go implementation of Tuplex, the data analytics
+// framework that compiles natural Python UDFs into specialized native
+// code with dual-mode execution (Spiegelberg et al., SIGMOD 2021).
+//
+// Pipelines mirror the paper's LINQ-style API:
+//
+//	c := tuplex.NewContext()
+//	carriers := c.CSV("carriers.csv", tuplex.CSVHeader(true))
+//	res, err := c.CSV("flights.csv", tuplex.CSVHeader(true)).
+//		Join(carriers, "code", "code").
+//		MapColumn("distance", tuplex.UDF("lambda m: m * 1.609")).
+//		Resolve(tuplex.TypeError, tuplex.UDF("lambda m: 0.0")).
+//		ToCSV("output.csv")
+//
+// UDFs are Python source strings (lambdas or single defs) with no type
+// annotations. The engine samples the input to establish the normal
+// case, compiles a specialized fast path plus a row classifier, and
+// retries non-conforming rows on the compiled general-case path, the
+// interpreter fallback and user resolvers — pipelines complete even on
+// dirty data, with unresolved rows reported instead of raised.
+package tuplex
+
+import (
+	"fmt"
+
+	"github.com/gotuplex/tuplex/internal/codegen"
+	"github.com/gotuplex/tuplex/internal/core"
+	"github.com/gotuplex/tuplex/internal/logical"
+	"github.com/gotuplex/tuplex/internal/metrics"
+	"github.com/gotuplex/tuplex/internal/pyvalue"
+	"github.com/gotuplex/tuplex/internal/sample"
+)
+
+// ExcKind identifies a Python exception class for Resolve/Ignore.
+type ExcKind = pyvalue.ExcKind
+
+// Exception kinds usable with Resolve and Ignore.
+const (
+	TypeError         = pyvalue.ExcTypeError
+	ValueError        = pyvalue.ExcValueError
+	ZeroDivisionError = pyvalue.ExcZeroDivisionError
+	IndexError        = pyvalue.ExcIndexError
+	KeyError          = pyvalue.ExcKeyError
+	AttributeError    = pyvalue.ExcAttributeError
+)
+
+// UDFDef is a Python UDF definition: source plus optional globals.
+type UDFDef struct {
+	source  string
+	globals map[string]any
+}
+
+// UDF wraps Python source (a lambda or a def) as a pipeline UDF.
+func UDF(source string) UDFDef { return UDFDef{source: source} }
+
+// WithGlobal binds a module-level constant visible to the UDF (e.g. an
+// alphabet string used with random.choice).
+func (u UDFDef) WithGlobal(name string, value any) UDFDef {
+	g := map[string]any{}
+	for k, v := range u.globals {
+		g[k] = v
+	}
+	g[name] = value
+	return UDFDef{source: u.source, globals: g}
+}
+
+// Option configures a Context.
+type Option func(*core.Options)
+
+// WithExecutors sets the executor thread count.
+func WithExecutors(n int) Option {
+	return func(o *core.Options) { o.Executors = n }
+}
+
+// WithSampleSize sets how many input rows the sampler inspects.
+func WithSampleSize(n int) Option {
+	return func(o *core.Options) { o.Sample.Size = n }
+}
+
+// WithNullThreshold sets the δ threshold of §4.2's option-type policy.
+func WithNullThreshold(delta float64) Option {
+	return func(o *core.Options) { o.Sample.Delta = delta }
+}
+
+// WithoutNullOptimization disables normal-case null specialization
+// (§6.3.3 ablation).
+func WithoutNullOptimization() Option {
+	return func(o *core.Options) { o.Sample.DisableNullOpt = true }
+}
+
+// WithoutLogicalOptimizations disables filter/projection pushdown and
+// join reordering.
+func WithoutLogicalOptimizations() Option {
+	return func(o *core.Options) { o.Logical = logical.Options{} }
+}
+
+// WithLogicalOptimizations sets the planner rewrites individually.
+func WithLogicalOptimizations(projection, filter, joinReorder bool) Option {
+	return func(o *core.Options) {
+		o.Logical = logical.Options{
+			ProjectionPushdown: projection,
+			FilterPushdown:     filter,
+			JoinReorder:        joinReorder,
+		}
+	}
+}
+
+// WithoutStageFusion makes every UDF operator an optimization barrier
+// (§6.3.2 ablation).
+func WithoutStageFusion() Option {
+	return func(o *core.Options) { o.Fusion = false }
+}
+
+// WithoutCompilerOptimizations generates generic (boxed-dispatch) code
+// on the fast path — the "LLVM optimizers disabled" arm of Fig. 11.
+func WithoutCompilerOptimizations() Option {
+	return func(o *core.Options) { o.Codegen = codegen.Options{Specialize: false} }
+}
+
+// WithSeed seeds random.choice.
+func WithSeed(seed uint64) Option {
+	return func(o *core.Options) { o.Seed = seed }
+}
+
+// WithPartitionRows caps rows per partition task.
+func WithPartitionRows(n int) Option {
+	return func(o *core.Options) { o.PartitionRows = n }
+}
+
+// Context owns configuration and is the entry point for pipelines,
+// mirroring tuplex.Context() in the paper.
+type Context struct {
+	opts core.Options
+}
+
+// NewContext returns a Context with the given options applied over
+// defaults.
+func NewContext(opts ...Option) *Context {
+	o := core.DefaultOptions()
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return &Context{opts: o}
+}
+
+// CSVOption configures a CSV source.
+type CSVOption func(*logical.CSVSource)
+
+// CSVHeader declares whether the file's first row is a header (default
+// true).
+func CSVHeader(has bool) CSVOption {
+	return func(s *logical.CSVSource) { s.Header = has }
+}
+
+// CSVDelimiter sets the field delimiter.
+func CSVDelimiter(d byte) CSVOption {
+	return func(s *logical.CSVSource) { s.Delim = d }
+}
+
+// CSVColumns names the columns (implies no reliance on a header row).
+func CSVColumns(names ...string) CSVOption {
+	return func(s *logical.CSVSource) { s.Columns = names }
+}
+
+// CSVNullValues sets the cell spellings treated as NULL.
+func CSVNullValues(values ...string) CSVOption {
+	return func(s *logical.CSVSource) { s.NullValues = values }
+}
+
+// CSVData supplies the content directly instead of reading a path.
+func CSVData(data []byte) CSVOption {
+	return func(s *logical.CSVSource) { s.Data = data }
+}
+
+// CSV opens a CSV dataset.
+func (c *Context) CSV(path string, opts ...CSVOption) *DataSet {
+	src := &logical.CSVSource{Path: path, Header: true, Delim: ','}
+	for _, fn := range opts {
+		fn(src)
+	}
+	return &DataSet{ctx: c, node: &logical.Node{Op: src}}
+}
+
+// TextOption configures a text source.
+type TextOption func(*logical.TextSource)
+
+// TextData supplies content directly.
+func TextData(data []byte) TextOption {
+	return func(s *logical.TextSource) { s.Data = data }
+}
+
+// TextColumn names the single text column (default "value").
+func TextColumn(name string) TextOption {
+	return func(s *logical.TextSource) { s.Column = name }
+}
+
+// Text opens newline-delimited text as single-column rows.
+func (c *Context) Text(path string, opts ...TextOption) *DataSet {
+	src := &logical.TextSource{Path: path}
+	for _, fn := range opts {
+		fn(src)
+	}
+	return &DataSet{ctx: c, node: &logical.Node{Op: src}}
+}
+
+// Parallelize wraps in-memory rows. Each row is a slice of Go values
+// (nil, bool, int/int64, float64, string, nested []any, map[string]any).
+func (c *Context) Parallelize(data [][]any, columns []string) *DataSet {
+	boxed := make([][]pyvalue.Value, len(data))
+	for i, r := range data {
+		row := make([]pyvalue.Value, len(r))
+		for j, v := range r {
+			row[j] = boxValue(v)
+		}
+		boxed[i] = row
+	}
+	src := &logical.ParallelizeSource{Rows: boxed, Names: columns}
+	return &DataSet{ctx: c, node: &logical.Node{Op: src}}
+}
+
+func boxValue(v any) pyvalue.Value {
+	switch v := v.(type) {
+	case nil:
+		return pyvalue.None{}
+	case bool:
+		return pyvalue.Bool(v)
+	case int:
+		return pyvalue.Int(int64(v))
+	case int64:
+		return pyvalue.Int(v)
+	case float64:
+		return pyvalue.Float(v)
+	case string:
+		return pyvalue.Str(v)
+	case []any:
+		items := make([]pyvalue.Value, len(v))
+		for i, it := range v {
+			items[i] = boxValue(it)
+		}
+		return &pyvalue.List{Items: items}
+	case map[string]any:
+		d := pyvalue.NewDict()
+		for k, it := range v {
+			d.Set(k, boxValue(it))
+		}
+		return d
+	case pyvalue.Value:
+		return v
+	default:
+		return pyvalue.Str(fmt.Sprint(v))
+	}
+}
+
+// DataSet is a lazily-built pipeline, mirroring the paper's dataset
+// handle. Operators return new DataSets; nothing executes until an
+// action (Collect / ToCSV / Aggregate).
+type DataSet struct {
+	ctx  *Context
+	node *logical.Node
+	err  error
+}
+
+func (d *DataSet) chain(op logical.Op) *DataSet {
+	if d.err != nil {
+		return d
+	}
+	return &DataSet{ctx: d.ctx, node: &logical.Node{Op: op, Input: d.node}}
+}
+
+func (d *DataSet) udf(u UDFDef) (*logical.UDFSpec, error) {
+	globals := map[string]pyvalue.Value{}
+	for k, v := range u.globals {
+		globals[k] = boxValue(v)
+	}
+	if len(globals) == 0 {
+		globals = nil
+	}
+	return logical.ParseUDF(u.source, globals)
+}
+
+func (d *DataSet) fail(err error) *DataSet {
+	return &DataSet{ctx: d.ctx, node: d.node, err: err}
+}
+
+// Map replaces each row with the UDF's result; dict results become named
+// columns.
+func (d *DataSet) Map(u UDFDef) *DataSet {
+	spec, err := d.udf(u)
+	if err != nil {
+		return d.fail(err)
+	}
+	return d.chain(&logical.MapOp{UDF: spec})
+}
+
+// Filter keeps rows for which the UDF returns a truthy value.
+func (d *DataSet) Filter(u UDFDef) *DataSet {
+	spec, err := d.udf(u)
+	if err != nil {
+		return d.fail(err)
+	}
+	return d.chain(&logical.FilterOp{UDF: spec})
+}
+
+// WithColumn adds (or replaces) a column computed from the whole row.
+func (d *DataSet) WithColumn(col string, u UDFDef) *DataSet {
+	spec, err := d.udf(u)
+	if err != nil {
+		return d.fail(err)
+	}
+	return d.chain(&logical.WithColumnOp{Col: col, UDF: spec})
+}
+
+// MapColumn rewrites one column; the UDF receives the column value.
+func (d *DataSet) MapColumn(col string, u UDFDef) *DataSet {
+	spec, err := d.udf(u)
+	if err != nil {
+		return d.fail(err)
+	}
+	return d.chain(&logical.MapColumnOp{Col: col, UDF: spec})
+}
+
+// RenameColumn renames a column.
+func (d *DataSet) RenameColumn(old, new string) *DataSet {
+	return d.chain(&logical.RenameOp{Old: old, New: new})
+}
+
+// SelectColumns projects to the named columns, in order.
+func (d *DataSet) SelectColumns(cols ...string) *DataSet {
+	return d.chain(&logical.SelectOp{Cols: cols})
+}
+
+// Resolve attaches an exception resolver to the preceding operator; the
+// resolver UDF receives the same input the failing UDF received.
+func (d *DataSet) Resolve(exc ExcKind, u UDFDef) *DataSet {
+	spec, err := d.udf(u)
+	if err != nil {
+		return d.fail(err)
+	}
+	return d.chain(&logical.ResolveOp{Exc: exc, UDF: spec})
+}
+
+// Ignore drops rows that raised the given exception in the preceding
+// operator.
+func (d *DataSet) Ignore(exc ExcKind) *DataSet {
+	return d.chain(&logical.IgnoreOp{Exc: exc})
+}
+
+// Join inner-joins with other (the build side) on leftKey == rightKey.
+func (d *DataSet) Join(other *DataSet, leftKey, rightKey string) *DataSet {
+	return d.joinWith(other, leftKey, rightKey, false, "", "")
+}
+
+// LeftJoin left-outer-joins with other; unmatched rows pad the build
+// side's columns with None.
+func (d *DataSet) LeftJoin(other *DataSet, leftKey, rightKey string) *DataSet {
+	return d.joinWith(other, leftKey, rightKey, true, "", "")
+}
+
+// LeftJoinPrefixed left-joins and prefixes each side's column names
+// (mirrors the paper's prefixes=(None, 'Origin') keyword).
+func (d *DataSet) LeftJoinPrefixed(other *DataSet, leftKey, rightKey, leftPrefix, rightPrefix string) *DataSet {
+	return d.joinWith(other, leftKey, rightKey, true, leftPrefix, rightPrefix)
+}
+
+func (d *DataSet) joinWith(other *DataSet, leftKey, rightKey string, left bool, lp, rp string) *DataSet {
+	if other.err != nil {
+		return d.fail(other.err)
+	}
+	return d.chain(&logical.JoinOp{
+		Build:       other.node,
+		LeftKey:     leftKey,
+		RightKey:    rightKey,
+		Left:        left,
+		LeftPrefix:  lp,
+		RightPrefix: rp,
+	})
+}
+
+// Unique deduplicates rows.
+func (d *DataSet) Unique() *DataSet {
+	return d.chain(&logical.UniqueOp{})
+}
+
+// Cache materializes rows at this point (a stage boundary).
+func (d *DataSet) Cache() *DataSet {
+	return d.chain(&logical.CacheOp{})
+}
+
+// Err reports any deferred pipeline-construction error (UDF parse
+// failures surface here and from the terminal action).
+func (d *DataSet) Err() error { return d.err }
+
+// Row is one boxed result row.
+type Row []any
+
+// Result is a completed pipeline run.
+type Result struct {
+	// Columns are the output column names.
+	Columns []string
+	// Rows holds collected rows (Collect only).
+	Rows []Row
+	// CSV holds rendered output (ToCSV only).
+	CSV []byte
+	// Failed reports rows no path could process.
+	Failed []FailedRow
+	// Metrics exposes path statistics and timings.
+	Metrics *metrics.Metrics
+	// Warnings carries advisory messages.
+	Warnings []string
+}
+
+// FailedRow re-exports the engine's failed-row report.
+type FailedRow = core.FailedRow
+
+// Collect executes the pipeline and returns all rows.
+func (d *DataSet) Collect() (*Result, error) {
+	return d.run(core.SinkCollect, "")
+}
+
+// Take executes the pipeline and returns at most n rows (a debugging
+// convenience; the whole pipeline still runs).
+func (d *DataSet) Take(n int) (*Result, error) {
+	res, err := d.run(core.SinkCollect, "")
+	if err != nil {
+		return nil, err
+	}
+	if n >= 0 && len(res.Rows) > n {
+		res.Rows = res.Rows[:n]
+	}
+	return res, nil
+}
+
+// ToCSV executes the pipeline and writes CSV to path ("" keeps the bytes
+// in the Result only).
+func (d *DataSet) ToCSV(path string) (*Result, error) {
+	return d.run(core.SinkCSV, path)
+}
+
+// Aggregate folds all rows: agg is `lambda acc, row: ...`, comb merges
+// two partial accumulators, initial is the starting value. Returns the
+// final accumulator.
+func (d *DataSet) Aggregate(agg, comb UDFDef, initial any) (any, *Result, error) {
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	aggSpec, err := d.udf(agg)
+	if err != nil {
+		return nil, nil, err
+	}
+	combSpec, err := d.udf(comb)
+	if err != nil {
+		return nil, nil, err
+	}
+	ds := d.chain(&logical.AggregateOp{Agg: aggSpec, Comb: combSpec, Initial: boxValue(initial)})
+	res, err := ds.run(core.SinkCollect, "")
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
+		return nil, res, fmt.Errorf("tuplex: aggregate produced unexpected shape")
+	}
+	return res.Rows[0][0], res, nil
+}
+
+func (d *DataSet) run(kind core.SinkKind, path string) (*Result, error) {
+	if d.err != nil {
+		return nil, d.err
+	}
+	cr, err := core.Execute(d.node, kind, path, d.ctx.opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		CSV:      cr.CSV,
+		Failed:   cr.Failed,
+		Metrics:  cr.Metrics,
+		Warnings: cr.Warnings,
+	}
+	if cr.Schema != nil {
+		res.Columns = cr.Schema.Names()
+	}
+	if cr.Rows != nil {
+		res.Rows = make([]Row, len(cr.Rows))
+		for i, r := range cr.Rows {
+			row := make(Row, len(r))
+			for j, v := range r {
+				row[j] = unboxValue(v)
+			}
+			res.Rows[i] = row
+		}
+	}
+	return res, nil
+}
+
+func unboxValue(v pyvalue.Value) any {
+	switch v := v.(type) {
+	case pyvalue.None:
+		return nil
+	case pyvalue.Bool:
+		return bool(v)
+	case pyvalue.Int:
+		return int64(v)
+	case pyvalue.Float:
+		return float64(v)
+	case pyvalue.Str:
+		return string(v)
+	case *pyvalue.List:
+		out := make([]any, len(v.Items))
+		for i, it := range v.Items {
+			out[i] = unboxValue(it)
+		}
+		return out
+	case *pyvalue.Tuple:
+		out := make([]any, len(v.Items))
+		for i, it := range v.Items {
+			out[i] = unboxValue(it)
+		}
+		return out
+	case *pyvalue.Dict:
+		out := map[string]any{}
+		for _, k := range v.Keys() {
+			val, _ := v.Get(k)
+			out[k] = unboxValue(val)
+		}
+		return out
+	default:
+		return pyvalue.ToStr(v)
+	}
+}
+
+// SampleConfig re-exports the sampler configuration for advanced tuning.
+type SampleConfig = sample.Config
