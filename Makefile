@@ -1,0 +1,26 @@
+# Tier-1 gate: build + tests. `make check` adds vet and the race
+# detector (the streamed ingest producer/consumer path must stay
+# race-clean); run it before sending a PR.
+
+GO ?= go
+
+.PHONY: all build test vet race check bench-ingest
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet test race
+
+bench-ingest:
+	$(GO) test -bench BenchmarkIngest -run '^$$' .

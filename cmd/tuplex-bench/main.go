@@ -7,7 +7,7 @@
 //
 //	tuplex-bench [flags] <experiment>
 //
-// Experiments: table2 fig3 fig4 fig5 fig6 fig7 fig9 fig10 fig11 fig12 all
+// Experiments: table2 fig3 fig4 fig5 fig6 fig7 fig9 fig10 fig11 fig12 ingest all
 //
 // Flags:
 //
@@ -82,6 +82,7 @@ func main() {
 		"fig10":  experiments.Fig10,
 		"fig11":  experiments.Fig11,
 		"fig12":  experiments.Fig12,
+		"ingest": experiments.Ingest,
 	}
 
 	if which == "all" {
@@ -106,7 +107,7 @@ func main() {
 	}
 	fn, ok := table[which]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "tuplex-bench: unknown experiment %q (have table2 fig3..fig12 all)\n", which)
+		fmt.Fprintf(os.Stderr, "tuplex-bench: unknown experiment %q (have table2 fig3..fig12 ingest all)\n", which)
 		os.Exit(2)
 	}
 	if _, err := fn(scale, os.Stdout); err != nil {

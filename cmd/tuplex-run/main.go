@@ -44,23 +44,24 @@ func main() {
 	}
 	c := tuplex.NewContext(opts...)
 
-	load := func(gen func() []byte) []byte {
+	// On-disk inputs open by path so the engine's streamed chunked
+	// ingest runs; generated data stays in memory.
+	csvSource := func(gen func() []byte) *tuplex.DataSet {
 		if *input != "" {
-			b, err := os.ReadFile(*input)
-			fatalIf(err)
-			return b
+			return c.CSV(*input)
 		}
-		return gen()
+		return c.CSV("", tuplex.CSVData(gen()))
 	}
 
 	var ds *tuplex.DataSet
 	var aggregate bool
 	switch *pipeline {
 	case "zillow":
-		raw := load(func() []byte { return data.Zillow(data.ZillowConfig{Rows: *rows, Seed: 42, DirtyFraction: 0.005}) })
-		ds = pipelines.Zillow(c.CSV("", tuplex.CSVData(raw)))
+		ds = pipelines.Zillow(csvSource(func() []byte {
+			return data.Zillow(data.ZillowConfig{Rows: *rows, Seed: 42, DirtyFraction: 0.005})
+		}))
 	case "flights":
-		raw := load(func() []byte { return data.Flights(data.FlightsConfig{Rows: *rows, Seed: 42}) })
+		perf := csvSource(func() []byte { return data.Flights(data.FlightsConfig{Rows: *rows, Seed: 42}) })
 		carriers, airports := data.Carriers(), data.Airports()
 		if *input != "" {
 			dir := filepath.Dir(*input)
@@ -71,13 +72,17 @@ func main() {
 				airports = b
 			}
 		}
-		ds = pipelines.Flights(pipelines.FlightsSources(c, raw, carriers, airports))
+		in := pipelines.FlightsSources(c, nil, carriers, airports)
+		in.Perf = perf
+		ds = pipelines.Flights(in)
 	case "weblogs":
-		logs := load(func() []byte {
-			l, bad := data.Weblogs(data.WeblogConfig{Rows: *rows, Seed: 42})
-			_ = bad
-			return l
-		})
+		var logs *tuplex.DataSet
+		if *input != "" {
+			logs = c.Text(*input)
+		} else {
+			l, _ := data.Weblogs(data.WeblogConfig{Rows: *rows, Seed: 42})
+			logs = c.Text("", tuplex.TextData(l))
+		}
 		_, bad := data.Weblogs(data.WeblogConfig{Rows: 1, Seed: 42})
 		if *input != "" {
 			if b, err := os.ReadFile(filepath.Join(filepath.Dir(*input), "bad_ips.csv")); err == nil {
@@ -93,15 +98,17 @@ func main() {
 		case "percol":
 			v = pipelines.WeblogPerColRegex
 		}
-		ds = pipelines.Weblogs(c.Text("", tuplex.TextData(logs)), c.CSV("", tuplex.CSVData(bad)), v)
+		ds = pipelines.Weblogs(logs, c.CSV("", tuplex.CSVData(bad)), v)
 	case "311":
-		raw := load(func() []byte { return data.ThreeOneOne(data.ThreeOneOneConfig{Rows: *rows, Seed: 42}) })
-		ds = pipelines.ThreeOneOne(c.CSV("", tuplex.CSVData(raw)))
+		ds = pipelines.ThreeOneOne(csvSource(func() []byte {
+			return data.ThreeOneOne(data.ThreeOneOneConfig{Rows: *rows, Seed: 42})
+		}))
 	case "q6":
-		raw := load(func() []byte { return data.TPCHLineitem(data.TPCHConfig{Rows: *rows, Seed: 42}) })
 		aggregate = true
 		t0 := time.Now()
-		revenue, res, err := pipelines.Q6(c.CSV("", tuplex.CSVData(raw)))
+		revenue, res, err := pipelines.Q6(csvSource(func() []byte {
+			return data.TPCHLineitem(data.TPCHConfig{Rows: *rows, Seed: 42})
+		}))
 		fatalIf(err)
 		fmt.Printf("Q6 revenue: %.2f (in %v)\n", revenue, time.Since(t0))
 		fmt.Println("metrics:", res.Metrics)

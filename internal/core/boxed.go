@@ -380,8 +380,9 @@ func (eng *engine) resolveExceptions(cs *compiledStage, out *mat) error {
 	pool := out.exceptional
 	out.exceptional = nil
 	// Input-materialization exceptions from the previous stage also run
-	// through this stage's boxed program.
-	if cs.boxedInput != nil && cs.records == nil && cs.inputRows == nil {
+	// through this stage's boxed program. Source stages (materialized
+	// records or streamed chunks) have no previous stage.
+	if cs.boxedInput != nil && cs.records == nil && cs.stream == nil && cs.inputRows == nil {
 		pool = append(pool, cs.boxedInput.exceptional...)
 	}
 	// Unique terminal: merge task sets before deduplicating exceptions

@@ -17,9 +17,11 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/gotuplex/tuplex/internal/codegen"
+	"github.com/gotuplex/tuplex/internal/csvio"
 	"github.com/gotuplex/tuplex/internal/logical"
 	"github.com/gotuplex/tuplex/internal/metrics"
 	"github.com/gotuplex/tuplex/internal/physical"
@@ -46,6 +48,13 @@ type Options struct {
 	Codegen codegen.Options
 	// Seed seeds per-task PRNGs (random.choice reproducibility).
 	Seed uint64
+	// Streaming enables chunked pipelined ingest for file-backed sources
+	// (§4.4): disk I/O, record splitting, parsing and UDF execution
+	// overlap instead of materializing the whole input up front.
+	Streaming bool
+	// ChunkSize is the streamed ingest chunk size in bytes (0 uses
+	// csvio.DefaultChunkSize).
+	ChunkSize int
 }
 
 // DefaultOptions returns the fully-optimized single-threaded setup.
@@ -57,6 +66,8 @@ func DefaultOptions() Options {
 		Fusion:        true,
 		Codegen:       codegen.DefaultOptions(),
 		Seed:          0x745,
+		Streaming:     true,
+		ChunkSize:     csvio.DefaultChunkSize,
 	}
 }
 
@@ -66,6 +77,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PartitionRows <= 0 {
 		o.PartitionRows = 1 << 16
+	}
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = csvio.DefaultChunkSize
 	}
 	return o
 }
@@ -199,11 +213,20 @@ func (eng *engine) runStage(st *physical.Stage, input *mat) (*mat, error) {
 	eng.res.Metrics.Timings.Sample += cs.sampleTime
 
 	tExec := time.Now()
+	bytes0 := eng.res.Metrics.Ingest.BytesRead.Load()
+	rows0 := eng.res.Metrics.Counters.InputRows.Load()
 	out, err := eng.executeStage(cs)
 	if err != nil {
 		return nil, err
 	}
-	eng.res.Metrics.Timings.Execute += time.Since(tExec)
+	dExec := time.Since(tExec)
+	eng.res.Metrics.Timings.Execute += dExec
+	eng.res.Metrics.Stage = append(eng.res.Metrics.Stage, metrics.StageIngest{
+		Stage:    len(eng.res.Metrics.Stage),
+		Bytes:    eng.res.Metrics.Ingest.BytesRead.Load() - bytes0,
+		Records:  eng.res.Metrics.Counters.InputRows.Load() - rows0,
+		Duration: dExec,
+	})
 
 	// Post-facto exception resolution (§4.3): general path, then
 	// fallback, then user resolvers along the way.
@@ -217,6 +240,9 @@ func (eng *engine) runStage(st *physical.Stage, input *mat) (*mat, error) {
 
 // executeStage drives the partitions through the compiled normal path.
 func (eng *engine) executeStage(cs *compiledStage) (*mat, error) {
+	if cs.stream != nil {
+		return eng.executeStreamed(cs)
+	}
 	nparts := cs.numPartitions()
 	out := &mat{
 		schema:     cs.outSchema,
@@ -244,15 +270,23 @@ func (eng *engine) executeStage(cs *compiledStage) (*mat, error) {
 	}
 	close(partCh)
 	errs := make([]error, workers)
+	// stop flags the first worker error so the remaining workers drain
+	// partCh without running doomed partitions (fail fast on large
+	// inputs).
+	var stop atomic.Bool
 	for w := range workers {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for p := range partCh {
+				if stop.Load() {
+					continue
+				}
 				ts := cs.newTask(eng, p)
 				tasks[p] = ts
 				if err := cs.runPartition(ts, p); err != nil {
 					errs[w] = err
+					stop.Store(true)
 					return
 				}
 				out.parts[p] = ts.outRows
@@ -303,24 +337,26 @@ func (eng *engine) finish(out *mat, kind SinkKind, csvPath string, res *Result) 
 		res.Rows = merged
 		return nil
 	case SinkCSV:
-		// Rows were rendered inside the partition tasks; stitch buffers,
-		// splicing exception-path rows into position where needed.
-		w := newCSVWriterFor(out.schema)
+		// Rows were rendered inside the partition tasks; stitch buffers
+		// per partition in parallel (splicing exception-path rows into
+		// position where needed), then concatenate in partition order.
 		exByPart := map[int][]exRow{}
 		for _, ex := range out.exceptional {
 			exByPart[ex.part] = append(exByPart[ex.part], ex)
 		}
-		n := int64(0)
-		for p := range out.csvParts {
+		stitched := make([][]byte, len(out.csvParts))
+		counts := make([]int64, len(out.csvParts))
+		eng.parallelFor(len(out.csvParts), func(p int) {
 			buf, ends := out.csvParts[p], out.csvEnds[p]
 			keysP := out.keys[p]
 			exs := exByPart[p]
 			if len(exs) == 0 {
-				w.WriteRaw(buf)
-				n += int64(len(ends))
-				continue
+				stitched[p] = buf
+				counts[p] = int64(len(ends))
+				return
 			}
 			sortExRows(exs)
+			pw := csvio.NewWriter(',')
 			i, j := 0, 0
 			for i < len(ends) || j < len(exs) {
 				if j >= len(exs) || (i < len(ends) && keysP[i] <= exs[j].key) {
@@ -328,14 +364,21 @@ func (eng *engine) finish(out *mat, kind SinkKind, csvPath string, res *Result) 
 					if i > 0 {
 						start = ends[i-1]
 					}
-					w.WriteRaw(buf[start:ends[i]])
+					pw.WriteRaw(buf[start:ends[i]])
 					i++
 				} else {
-					w.WriteValues(exs[j].vals)
+					pw.WriteValues(exs[j].vals)
 					j++
 				}
-				n++
+				counts[p]++
 			}
+			stitched[p] = pw.Bytes()
+		})
+		w := newCSVWriterFor(out.schema)
+		n := int64(0)
+		for p := range stitched {
+			w.WriteRaw(stitched[p])
+			n += counts[p]
 		}
 		eng.res.Metrics.Counters.OutputRows.Add(n)
 		res.CSV = w.Bytes()
@@ -349,30 +392,73 @@ func (eng *engine) finish(out *mat, kind SinkKind, csvPath string, res *Result) 
 }
 
 // mergeOrdered merges normal and exception-resolved rows back into input
-// order (§4.3 "Merge Rows") and boxes them.
+// order (§4.3 "Merge Rows") and boxes them. Partitions merge
+// independently in parallel; the final concatenation follows partition
+// order, which is input order.
 func (eng *engine) mergeOrdered(out *mat) [][]pyvalue.Value {
 	// Group resolved exceptional rows per partition.
 	exByPart := map[int][]exRow{}
 	for _, ex := range out.exceptional {
 		exByPart[ex.part] = append(exByPart[ex.part], ex)
 	}
-	var merged [][]pyvalue.Value
-	for p := range out.parts {
+	perPart := make([][][]pyvalue.Value, len(out.parts))
+	eng.parallelFor(len(out.parts), func(p int) {
 		exs := exByPart[p]
 		sortExRows(exs)
 		rowsP, keysP := out.parts[p], out.keys[p]
+		m := make([][]pyvalue.Value, 0, len(rowsP)+len(exs))
 		i, j := 0, 0
 		for i < len(rowsP) || j < len(exs) {
 			if j >= len(exs) || (i < len(rowsP) && keysP[i] <= exs[j].key) {
-				merged = append(merged, rows.RowToValues(rowsP[i]))
+				m = append(m, rows.RowToValues(rowsP[i]))
 				i++
 			} else {
-				merged = append(merged, exs[j].vals)
+				m = append(m, exs[j].vals)
 				j++
 			}
 		}
+		perPart[p] = m
+	})
+	total := 0
+	for _, m := range perPart {
+		total += len(m)
+	}
+	merged := make([][]pyvalue.Value, 0, total)
+	for _, m := range perPart {
+		merged = append(merged, m...)
 	}
 	return merged
+}
+
+// parallelFor runs fn over [0, n) across the engine's executor threads.
+// fn must only touch index-disjoint state.
+func (eng *engine) parallelFor(n int, fn func(i int)) {
+	workers := eng.opts.Executors
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range n {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func sortExRows(exs []exRow) {

@@ -45,7 +45,8 @@ type compiledStage struct {
 	termOp   logical.Op
 
 	// Source-side state.
-	records    [][]byte // raw records for CSV/text sources
+	records    [][]byte      // raw records for materialized CSV/text sources
+	stream     *streamSource // chunked ingest for file-backed sources
 	parse      *csvio.ParseSpec
 	isText     bool
 	nFields    int               // projected parser field count (source stages)
@@ -138,39 +139,61 @@ func (cs *compiledStage) newTask(eng *engine, part int) *task {
 	return ts
 }
 
-// runPartition feeds the partition's rows through the normal path.
-// Counters accumulate locally and flush once per partition — atomics per
-// row would dominate tight loops.
+// runRecords feeds raw source records through the normal path with
+// order keys baseKey+i. Counters accumulate locally and flush once per
+// call — atomics per row would dominate tight loops. copyRaw detaches
+// pooled exception rows from the record storage (required when records
+// alias a reusable chunk buffer).
+func (cs *compiledStage) runRecords(ts *task, p int, recs [][]byte, baseKey uint64, copyRaw bool) error {
+	var input, rejects, normalExc, normal int64
+	for i, rec := range recs {
+		key := baseKey + uint64(i)
+		input++
+		var row rows.Row
+		var ec ECode
+		if cs.isText {
+			row = ts.rowBuf[:1]
+			row[0] = rows.Str(string(rec))
+		} else {
+			row = ts.rowBuf[:cs.nFields]
+			ec = cs.parse.ParseLine(rec, row)
+		}
+		if ec != 0 {
+			rejects++
+			ts.pool = append(ts.pool, exRow{part: p, key: key, raw: rec, ec: ec})
+			continue
+		}
+		if ec = cs.entry(ts, key, row); ec != 0 {
+			normalExc++
+			ts.pool = append(ts.pool, exRow{part: p, key: key, raw: rec, ec: ec})
+			continue
+		}
+		normal++
+	}
+	c := &ts.eng.res.Metrics.Counters
+	c.InputRows.Add(input)
+	c.ClassifierRejects.Add(rejects)
+	c.NormalPathExceptions.Add(normalExc)
+	c.NormalRows.Add(normal)
+	if copyRaw {
+		for i := range ts.pool {
+			if ts.pool[i].raw != nil {
+				ts.pool[i].raw = append([]byte(nil), ts.pool[i].raw...)
+			}
+		}
+	}
+	return nil
+}
+
+// runPartition feeds a materialized partition's rows through the normal
+// path.
 func (cs *compiledStage) runPartition(ts *task, p int) error {
 	r := cs.partRanges[p]
+	if cs.records != nil {
+		return cs.runRecords(ts, p, cs.records[r[0]:r[1]], uint64(r[0]), false)
+	}
 	var input, rejects, normalExc, normal int64
 	switch {
-	case cs.records != nil:
-		for i := r[0]; i < r[1]; i++ {
-			rec := cs.records[i]
-			key := uint64(i)
-			input++
-			var row rows.Row
-			var ec ECode
-			if cs.isText {
-				row = ts.rowBuf[:1]
-				row[0] = rows.Str(string(rec))
-			} else {
-				row = ts.rowBuf[:cs.nFields]
-				ec = cs.parse.ParseLine(rec, row)
-			}
-			if ec != 0 {
-				rejects++
-				ts.pool = append(ts.pool, exRow{part: p, key: key, raw: rec, ec: ec})
-				continue
-			}
-			if ec = cs.entry(ts, key, row); ec != 0 {
-				normalExc++
-				ts.pool = append(ts.pool, exRow{part: p, key: key, raw: rec, ec: ec})
-				continue
-			}
-			normal++
-		}
 	case cs.inputRows != nil:
 		for i := r[0]; i < r[1]; i++ {
 			key := uint64(i)
@@ -616,48 +639,74 @@ func (eng *engine) prepareSource(cs *compiledStage, st *physical.Stage, input *m
 		}
 		var records [][]byte
 		var names []string
-		addData := func(data []byte) {
-			recs := csvio.SplitRecords(data)
-			if src.Header && len(recs) > 0 {
-				// Each file carries its own header; the first one names
-				// the columns, the rest are dropped.
-				if names == nil && src.Columns == nil {
-					names = csvio.SplitCells(recs[0], delim, nil)
-				}
-				recs = recs[1:]
+		if src.Data == nil && eng.opts.Streaming {
+			// Chunked, pipelined ingest for file-backed sources: only the
+			// sampling prefix is read here; the rest streams at execute
+			// time, overlapping disk I/O with record splitting, parsing
+			// and UDF execution.
+			t0 := time.Now()
+			ss, err := eng.openStreamSource(src.Path, delim, src.Header, csvio.ChunkCSV)
+			if err != nil {
+				return err
 			}
-			records = append(records, recs...)
-		}
-		if src.Data != nil {
-			addData(src.Data)
+			records = ss.prefixRecords()
+			if len(records) == 0 {
+				ss.close()
+				return fmt.Errorf("core: empty CSV input %s", src.Path)
+			}
+			names = ss.headerNames
+			cs.stream = ss
+			cs.sampleTime = time.Since(t0)
 		} else {
-			// The paper's pipelines open multi-file inputs as
-			// ','.join(paths); accept the same spelling.
-			for _, path := range strings.Split(src.Path, ",") {
-				data, err := os.ReadFile(strings.TrimSpace(path))
-				if err != nil {
-					return fmt.Errorf("core: reading %s: %w", path, err)
+			data := src.Data
+			addData := func(data []byte) {
+				recs := csvio.SplitRecords(data)
+				if src.Header && len(recs) > 0 {
+					// Each file carries its own header; the first one names
+					// the columns, the rest are dropped.
+					if names == nil && src.Columns == nil {
+						names = csvio.SplitCells(recs[0], delim, nil)
+					}
+					recs = recs[1:]
 				}
-				addData(data)
+				records = append(records, recs...)
 			}
-		}
-		if len(records) == 0 {
-			return fmt.Errorf("core: empty CSV input %s", src.Path)
+			if data != nil {
+				addData(data)
+			} else {
+				// The paper's pipelines open multi-file inputs as
+				// ','.join(paths); accept the same spelling.
+				for _, path := range strings.Split(src.Path, ",") {
+					data, err := os.ReadFile(strings.TrimSpace(path))
+					if err != nil {
+						return fmt.Errorf("core: reading %s: %w", path, err)
+					}
+					eng.res.Metrics.Ingest.BytesRead.Add(int64(len(data)))
+					addData(data)
+				}
+			}
+			if len(records) == 0 {
+				return fmt.Errorf("core: empty CSV input %s", src.Path)
+			}
+			cs.records = records
+			cs.partRanges = splitRange(len(records), eng.partSize(len(records)))
 		}
 		if src.Columns != nil {
 			names = src.Columns
 		}
 		t0 := time.Now()
 		plan, err := sample.Sample(records, delim, names, eng.mkSampleCfg(src.NullValues))
-		cs.sampleTime = time.Since(t0)
+		cs.sampleTime += time.Since(t0)
 		if err != nil {
+			if cs.stream != nil {
+				cs.stream.close()
+			}
 			return err
 		}
 		if plan.AllExceptions {
 			eng.res.Warnings = append(eng.res.Warnings,
 				"sample produced only exceptions; revise the pipeline or increase the sample size")
 		}
-		cs.records = records
 		cs.nullValues = plan.Config.NullValues
 		// Projection pushdown into the generated parser.
 		proj := src.Projected()
@@ -665,27 +714,35 @@ func (eng *engine) prepareSource(cs *compiledStage, st *physical.Stage, input *m
 		cs.parse = csvio.NewParseSpec(delim, plan.NumCols, fields, plan.Config.NullValues)
 		cs.nFields = len(fields)
 		cs.inSchema = schema
-		cs.partRanges = splitRange(len(records), eng.partSize(len(records)))
 		cs.boxedInput = &mat{schema: plan.GeneralSchema}
 	case *logical.TextSource:
-		data := src.Data
-		if data == nil {
-			var err error
-			data, err = os.ReadFile(src.Path)
-			if err != nil {
-				return fmt.Errorf("core: reading %s: %w", src.Path, err)
-			}
-		}
-		lines := splitPlainLines(data)
 		colName := src.Column
 		if colName == "" {
 			colName = "value"
 		}
-		cs.records = lines
 		cs.isText = true
 		cs.nullValues = csvio.DefaultNullValues
 		cs.inSchema = types.NewSchema([]types.Column{{Name: colName, Type: types.Str}})
-		cs.partRanges = splitRange(len(lines), eng.partSize(len(lines)))
+		if src.Data == nil && eng.opts.Streaming {
+			ss, err := eng.openStreamSource(src.Path, 0, false, csvio.ChunkText)
+			if err != nil {
+				return err
+			}
+			cs.stream = ss
+		} else {
+			data := src.Data
+			if data == nil {
+				var err error
+				data, err = os.ReadFile(src.Path)
+				if err != nil {
+					return fmt.Errorf("core: reading %s: %w", src.Path, err)
+				}
+				eng.res.Metrics.Ingest.BytesRead.Add(int64(len(data)))
+			}
+			lines := splitPlainLines(data)
+			cs.records = lines
+			cs.partRanges = splitRange(len(lines), eng.partSize(len(lines)))
+		}
 	case *logical.ParallelizeSource:
 		t0 := time.Now()
 		plan, err := sample.SampleValues(src.Rows, src.Names, eng.mkSampleCfg(nil))

@@ -15,6 +15,8 @@
 package interp
 
 import (
+	"sync/atomic"
+
 	"github.com/gotuplex/tuplex/internal/pyast"
 	"github.com/gotuplex/tuplex/internal/pyre"
 	"github.com/gotuplex/tuplex/internal/pyvalue"
@@ -141,10 +143,10 @@ func (e *env) exec(s pyast.Stmt) (ctl, pyvalue.Value, error) {
 			return ctlNext, nil, err
 		}
 		if pyvalue.Truth(cond) {
-			s.ThenTaken++
+			atomic.AddInt64(&s.ThenTaken, 1)
 			return e.execStmts(s.Then)
 		}
-		s.ElseTaken++
+		atomic.AddInt64(&s.ElseTaken, 1)
 		if s.Else != nil {
 			return e.execStmts(s.Else)
 		}

@@ -47,6 +47,45 @@ func (c *Counters) ExceptionRate() float64 {
 	return float64(c.ClassifierRejects.Load()+c.NormalPathExceptions.Load()) / float64(in)
 }
 
+// Ingest tallies the streaming ingest path (§4.4): raw bytes consumed
+// from disk and records produced by the chunk boundary scan. Shared by
+// the producer and all executors; updated atomically.
+type Ingest struct {
+	// BytesRead is the raw input bytes consumed (all source files).
+	BytesRead atomic.Int64
+	// RecordsSplit is the number of records the boundary scan produced.
+	RecordsSplit atomic.Int64
+}
+
+// StageIngest is one stage's throughput figures.
+type StageIngest struct {
+	// Stage is the stage index within the run.
+	Stage int
+	// Bytes read from disk during this stage (0 for non-source stages).
+	Bytes int64
+	// Records consumed as stage input.
+	Records int64
+	// Duration is the stage's execute-phase wall clock.
+	Duration time.Duration
+}
+
+// RowsPerSec reports stage-input rows per second.
+func (s StageIngest) RowsPerSec() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(s.Records) / s.Duration.Seconds()
+}
+
+// MBPerSec reports raw ingest throughput in MB/s (0 when the stage read
+// no bytes).
+func (s StageIngest) MBPerSec() float64 {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return float64(s.Bytes) / 1e6 / s.Duration.Seconds()
+}
+
 // Timings records the phases of a run.
 type Timings struct {
 	Sample   time.Duration
@@ -61,6 +100,9 @@ type Timings struct {
 type Metrics struct {
 	Counters Counters
 	Timings  Timings
+	Ingest   Ingest
+	// Stage holds per-stage throughput figures in execution order.
+	Stage []StageIngest
 	// Stages is the number of generated stages.
 	Stages int
 }
@@ -94,6 +136,18 @@ func (m *Metrics) String() string {
 	fmt.Fprintf(&sb, " | sample=%s compile=%s exec=%s resolve=%s total=%s",
 		round(m.Timings.Sample), round(m.Timings.Compile), round(m.Timings.Execute),
 		round(m.Timings.Resolve), round(m.Timings.Total))
+	if b := m.Ingest.BytesRead.Load(); b > 0 {
+		fmt.Fprintf(&sb, " | ingest: %.1f MB, %d records", float64(b)/1e6, m.Ingest.RecordsSplit.Load())
+	}
+	for _, s := range m.Stage {
+		if s.Records == 0 && s.Bytes == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, " | stage%d: %.0f rows/s", s.Stage, s.RowsPerSec())
+		if s.Bytes > 0 {
+			fmt.Fprintf(&sb, " %.1f MB/s", s.MBPerSec())
+		}
+	}
 	return sb.String()
 }
 

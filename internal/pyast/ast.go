@@ -217,8 +217,9 @@ type If struct {
 	Then []Stmt
 	Else []Stmt // may be nil
 	// ThenTaken/ElseTaken count sample-trace visits (§4.2 branch
-	// statistics, used for pruning decisions).
-	ThenTaken, ElseTaken int
+	// statistics, used for pruning decisions). Updated atomically: one
+	// parsed AST may run on several executor threads at once.
+	ThenTaken, ElseTaken int64
 }
 
 // For is `for var in iter: body` (single target or tuple target).

@@ -127,6 +127,20 @@ func WithPartitionRows(n int) Option {
 	return func(o *core.Options) { o.PartitionRows = n }
 }
 
+// WithStreamingIngest toggles chunked pipelined ingest for file-backed
+// sources (default on). When off, sources are fully materialized and
+// record-split before execution starts.
+func WithStreamingIngest(on bool) Option {
+	return func(o *core.Options) { o.Streaming = on }
+}
+
+// WithChunkSize sets the streamed ingest chunk size in bytes (default
+// ~16 MiB). Each chunk becomes one partition task, so smaller chunks
+// expose more parallelism at the cost of per-task overhead.
+func WithChunkSize(n int) Option {
+	return func(o *core.Options) { o.ChunkSize = n }
+}
+
 // Context owns configuration and is the entry point for pipelines,
 // mirroring tuplex.Context() in the paper.
 type Context struct {
