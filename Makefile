@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench-ingest
+.PHONY: all build test vet race check bench-ingest bench-smoke
 
 all: build test
 
@@ -24,3 +24,8 @@ check: build vet test race
 
 bench-ingest:
 	$(GO) test -bench BenchmarkIngest -run '^$$' .
+
+# One iteration of every benchmark — catches bitrot in bench code
+# without the timing cost of a real run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

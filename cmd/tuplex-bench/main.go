@@ -7,7 +7,7 @@
 //
 //	tuplex-bench [flags] <experiment>
 //
-// Experiments: table2 fig3 fig4 fig5 fig6 fig7 fig9 fig10 fig11 fig12 ingest all
+// Experiments: table2 fig3 fig4 fig5 fig6 fig7 fig9 fig10 fig11 fig12 ingest join all
 //
 // Flags:
 //
@@ -83,6 +83,7 @@ func main() {
 		"fig11":  experiments.Fig11,
 		"fig12":  experiments.Fig12,
 		"ingest": experiments.Ingest,
+		"join":   experiments.Join,
 	}
 
 	if which == "all" {
@@ -107,7 +108,7 @@ func main() {
 	}
 	fn, ok := table[which]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "tuplex-bench: unknown experiment %q (have table2 fig3..fig12 ingest all)\n", which)
+		fmt.Fprintf(os.Stderr, "tuplex-bench: unknown experiment %q (have table2 fig3..fig12 ingest join all)\n", which)
 		os.Exit(2)
 	}
 	if _, err := fn(scale, os.Stdout); err != nil {

@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 
 	"github.com/gotuplex/tuplex/internal/csvio"
@@ -313,20 +312,20 @@ func (op *boxedOp) apply(mode pathMode, row []pyvalue.Value) ([][]pyvalue.Value,
 	}
 }
 
-// applyJoin probes both the normal and general build maps (§4.5's
-// pairwise NC/EC coverage for exception-side probe rows).
+// applyJoin probes both the sharded normal table and the general build
+// map (§4.5's pairwise NC/EC coverage for exception-side probe rows).
 func (op *boxedOp) applyJoin(row []pyvalue.Value) ([][]pyvalue.Value, bool, error) {
 	if op.keyIdx >= len(row) {
 		return nil, false, pyvalue.Raise(pyvalue.ExcKeyError, "row too short for join key")
 	}
 	bt := op.join
 	var out [][]pyvalue.Value
-	if k, ok := joinKeyBoxed(row[op.keyIdx]); ok {
-		for _, m := range bt.normal[k] {
+	if key, ok := rows.AppendJoinKeyValue(nil, row[op.keyIdx]); ok {
+		for _, m := range bt.lookup(rows.Hash64(key), key) {
 			joined := append(append([]pyvalue.Value{}, row...), rows.RowToValues(m)...)
 			out = append(out, joined)
 		}
-		for _, m := range bt.general[k] {
+		for _, m := range bt.general[string(key)] {
 			joined := append(append([]pyvalue.Value{}, row...), m...)
 			out = append(out, joined)
 		}
@@ -385,9 +384,9 @@ func (eng *engine) resolveExceptions(cs *compiledStage, out *mat) error {
 	if cs.boxedInput != nil && cs.records == nil && cs.stream == nil && cs.inputRows == nil {
 		pool = append(pool, cs.boxedInput.exceptional...)
 	}
-	// Unique terminal: merge task sets before deduplicating exceptions
-	// against them.
-	var uniqSeen map[string]bool
+	// Unique terminal: merge task sets (shard-parallel) before
+	// deduplicating exceptions against them.
+	var uniqSeen *uniqIndex
 	if cs.terminal == physical.TerminalUnique {
 		uniqSeen = eng.mergeUnique(cs, out)
 	}
@@ -522,9 +521,7 @@ func (eng *engine) resolveExceptions(cs *compiledStage, out *mat) error {
 			}
 		case physical.TerminalUnique:
 			for _, r := range outRows {
-				k := uniqueKeyBoxed(r)
-				if !uniqSeen[k] {
-					uniqSeen[k] = true
+				if uniqSeen.addRow(rows.RowFromValues(r)) {
 					out.exceptional = append(out.exceptional, exRow{part: ex.part, key: ex.key * joinScale, vals: r})
 				}
 			}
@@ -572,6 +569,13 @@ func aggRowArg(cs *compiledStage, r []pyvalue.Value) pyvalue.Value {
 
 // combinePartials folds per-task accumulators (and the boxed exception
 // partial) with the combiner UDF (§4.6 "merging of partial aggregates").
+// With multiple executors and enough partials, the fold runs as a
+// parallel binary tree: each round pairs adjacent partials and combines
+// the pairs concurrently (each pair on a private interpreter clone), so
+// streamed runs with hundreds of chunk partials reduce in O(log n)
+// rounds instead of a serial chain. The tree keeps the left-to-right
+// pairing, so for the associative combiners §4.6 requires the result
+// matches the serial fold.
 func (eng *engine) combinePartials(cs *compiledStage, boxedAgg pyvalue.Value, boxedRows int) (pyvalue.Value, error) {
 	var partials []pyvalue.Value
 	for _, ts := range cs.tasks {
@@ -585,11 +589,41 @@ func (eng *engine) combinePartials(cs *compiledStage, boxedAgg pyvalue.Value, bo
 	if len(partials) == 0 {
 		return cs.aggInit, nil
 	}
+	if len(partials) > 1 && cs.combUDF == nil {
+		return nil, fmt.Errorf("core: aggregate over multiple partitions requires a combiner UDF")
+	}
+	if eng.opts.Executors > 1 && len(partials) >= 4 {
+		for len(partials) > 1 {
+			pairs := len(partials) / 2
+			next := make([]pyvalue.Value, (len(partials)+1)/2)
+			errs := make([]error, pairs)
+			eng.parallelFor(pairs, func(i int) {
+				cu, err := eng.compileBoxedUDF(cs.combUDF.spec)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				v, err := cu.call(pathFallback, []pyvalue.Value{partials[2*i], partials[2*i+1]})
+				if err != nil {
+					errs[i] = fmt.Errorf("core: combiner failed: %w", err)
+					return
+				}
+				next[i] = v
+			})
+			for _, err := range errs {
+				if err != nil {
+					return nil, err
+				}
+			}
+			if len(partials)%2 == 1 {
+				next[pairs] = partials[len(partials)-1]
+			}
+			partials = next
+		}
+		return partials[0], nil
+	}
 	acc := partials[0]
 	for _, p := range partials[1:] {
-		if cs.combUDF == nil {
-			return nil, fmt.Errorf("core: aggregate over multiple partitions requires a combiner UDF")
-		}
 		v, err := cs.combUDF.call(pathFallback, []pyvalue.Value{acc, p})
 		if err != nil {
 			return nil, fmt.Errorf("core: combiner failed: %w", err)
@@ -597,43 +631,6 @@ func (eng *engine) combinePartials(cs *compiledStage, boxedAgg pyvalue.Value, bo
 		acc = v
 	}
 	return acc, nil
-}
-
-// mergeUnique folds per-task unique sets into the output mat and returns
-// the seen-key set for exception deduplication.
-func (eng *engine) mergeUnique(cs *compiledStage, out *mat) map[string]bool {
-	type entry struct {
-		row rows.Row
-		key uint64
-	}
-	merged := map[string]entry{}
-	for _, ts := range cs.tasks {
-		if ts == nil {
-			continue
-		}
-		for k, r := range ts.uniq {
-			key := ts.uniqKeys[k]
-			if e, ok := merged[k]; !ok || key < e.key {
-				merged[k] = entry{row: r, key: key}
-			}
-		}
-	}
-	entries := make([]entry, 0, len(merged))
-	seen := make(map[string]bool, len(merged))
-	for k, e := range merged {
-		entries = append(entries, e)
-		seen[k] = true
-	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
-	rowsOut := make([]rows.Row, len(entries))
-	keysOut := make([]uint64, len(entries))
-	for i, e := range entries {
-		rowsOut[i] = e.row
-		keysOut[i] = e.key
-	}
-	out.parts = [][]rows.Row{rowsOut}
-	out.keys = [][]uint64{keysOut}
-	return seen
 }
 
 func renderInput(ex exRow, vals []pyvalue.Value) string {

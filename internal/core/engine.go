@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -215,16 +216,21 @@ func (eng *engine) runStage(st *physical.Stage, input *mat) (*mat, error) {
 	tExec := time.Now()
 	bytes0 := eng.res.Metrics.Ingest.BytesRead.Load()
 	rows0 := eng.res.Metrics.Counters.InputRows.Load()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	mallocs0 := ms.Mallocs
 	out, err := eng.executeStage(cs)
 	if err != nil {
 		return nil, err
 	}
 	dExec := time.Since(tExec)
+	runtime.ReadMemStats(&ms)
 	eng.res.Metrics.Timings.Execute += dExec
 	eng.res.Metrics.Stage = append(eng.res.Metrics.Stage, metrics.StageIngest{
 		Stage:    len(eng.res.Metrics.Stage),
 		Bytes:    eng.res.Metrics.Ingest.BytesRead.Load() - bytes0,
 		Records:  eng.res.Metrics.Counters.InputRows.Load() - rows0,
+		Allocs:   int64(ms.Mallocs - mallocs0),
 		Duration: dExec,
 	})
 

@@ -1,8 +1,8 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
-	"strconv"
 
 	"github.com/gotuplex/tuplex/internal/logical"
 	"github.com/gotuplex/tuplex/internal/pyvalue"
@@ -15,20 +15,121 @@ import (
 // exception-path rows. A probe key that hits the exception map sends the
 // probe row to the exception path so all four NC/EC join pairs are
 // covered without slowing the fast path.
+//
+// The normal side is a sharded hash table over the canonical 64-bit key
+// hash (internal/rows): shard = hash & shardMask, and within a shard a
+// map from hash to the (rare) list of entries sharing it, each holding
+// the encoded key bytes for exact equality. Probing costs one scratch-
+// buffer key encoding, one map lookup and one bytes.Equal — no per-row
+// heap allocation. Shards exist so the build can run in parallel across
+// the build side's partitions and so future grouped/shuffled operators
+// can reuse the layout.
 type buildTable struct {
-	schema   *types.Schema // build-side columns in output order (key excluded)
-	keyName  string
-	normal   map[string][]rows.Row
+	schema  *types.Schema // build-side columns in output order (key excluded)
+	keyName string
+	shards  []buildShard
+	// shardMask is len(shards)-1 (shard count is a power of two).
+	shardMask uint64
+	// general holds exception-path build rows, keyed by the same encoded
+	// key bytes (as string, for map use); probe keys hitting it divert to
+	// the exception path. Rare by construction, so a boxed map is fine.
 	general  map[string][][]pyvalue.Value
 	genCount int
 	// addedCols is the number of columns the build side contributes.
 	addedCols int
+	// buildRows counts normal-path rows hashed into the shards.
+	buildRows int
+}
+
+// buildEntry is one distinct join key within a shard.
+type buildEntry struct {
+	key  []byte
+	rows []rows.Row
+}
+
+// buildShard is one hash shard: a map from 64-bit key hash to the
+// entries sharing that hash (almost always exactly one).
+type buildShard struct {
+	m    map[uint64][]buildEntry
+	rows int
+}
+
+// insert appends row under (h, key), keeping insertion order per key.
+// key must stay valid for the table's lifetime (arena- or heap-backed).
+func (sh *buildShard) insert(h uint64, key []byte, row rows.Row) {
+	ents := sh.m[h]
+	for i := range ents {
+		if bytes.Equal(ents[i].key, key) {
+			ents[i].rows = append(ents[i].rows, row)
+			sh.rows++
+			return
+		}
+	}
+	sh.m[h] = append(ents, buildEntry{key: key, rows: []rows.Row{row}})
+	sh.rows++
+}
+
+// lookup returns the build rows matching (h, key), or nil.
+func (bt *buildTable) lookup(h uint64, key []byte) []rows.Row {
+	for _, e := range bt.shards[h&bt.shardMask].m[h] {
+		if bytes.Equal(e.key, key) {
+			return e.rows
+		}
+	}
+	return nil
+}
+
+// insert routes one row to its shard (serial use only — the parallel
+// build path writes shards directly).
+func (bt *buildTable) insert(h uint64, key []byte, row rows.Row) {
+	bt.shards[h&bt.shardMask].insert(h, key, row)
+	bt.buildRows++
+}
+
+// maxShardRows reports the largest shard's row count (balance metric).
+func (bt *buildTable) maxShardRows() int {
+	max := 0
+	for i := range bt.shards {
+		if bt.shards[i].rows > max {
+			max = bt.shards[i].rows
+		}
+	}
+	return max
+}
+
+// shardCount picks a power-of-two shard count: enough to spread the
+// parallel build and merge across the executors without fragmenting
+// small tables.
+func shardCount(executors int) int {
+	n := 1
+	for n < 4*executors {
+		n <<= 1
+	}
+	if n < 8 {
+		n = 8
+	}
+	if n > 256 {
+		n = 256
+	}
+	return n
+}
+
+// pendingBuildRow is one hashed build row awaiting its shard merge.
+type pendingBuildRow struct {
+	h uint64
+	// off/end delimit the encoded key in the partition's key arena.
+	off, end int32
+	row      rows.Row
 }
 
 // buildJoinTable executes the build-side plan and hashes it. Per §4.5,
 // Tuplex "executes all code paths for the build side of the join and
 // resolves its exception rows before executing any code path of the
-// other side".
+// other side". The normal-case rows are hashed in two parallel phases
+// over the existing partitions: each partition encodes its keys into a
+// private arena and buckets rows by shard, then each shard merges its
+// buckets in partition order (so duplicate-key match order stays the
+// input order, exactly as the old single-map build produced).
 func (eng *engine) buildJoinTable(op *logical.JoinOp) (*buildTable, error) {
 	buildMat, err := eng.runChain(op.Build)
 	if err != nil {
@@ -59,31 +160,81 @@ func (eng *engine) buildJoinTable(op *logical.JoinOp) (*buildTable, error) {
 		outCols = append(outCols, types.Column{Name: op.RightPrefix + c.Name, Type: t})
 		colMap = append(colMap, i)
 	}
+	nshards := shardCount(eng.opts.Executors)
 	bt := &buildTable{
 		schema:    types.NewSchema(outCols),
 		keyName:   op.RightKey,
-		normal:    make(map[string][]rows.Row),
+		shards:    make([]buildShard, nshards),
+		shardMask: uint64(nshards - 1),
 		general:   make(map[string][][]pyvalue.Value),
 		addedCols: len(outCols),
 	}
-	for p := range buildMat.parts {
-		for _, r := range buildMat.parts[p] {
-			k, ok := joinKeySlot(r[keyIdx])
+
+	// Phase 1 — partition-parallel: encode keys, hash, project, bucket by
+	// shard. Projected rows are sub-slices of one per-partition slot slab
+	// and keys are slices of one per-partition arena: O(1) allocations per
+	// partition instead of per row.
+	nparts := len(buildMat.parts)
+	pend := make([][][]pendingBuildRow, nparts)
+	arenas := make([][]byte, nparts)
+	eng.parallelFor(nparts, func(p int) {
+		part := buildMat.parts[p]
+		byShard := make([][]pendingBuildRow, nshards)
+		arena := make([]byte, 0, len(part)*12)
+		slab := make([]rows.Slot, 0, len(part)*len(colMap))
+		var buf []byte
+		for _, r := range part {
+			buf, ok = rows.AppendJoinKey(buf[:0], r[keyIdx])
 			if !ok {
 				continue // null keys never match
 			}
-			proj := make(rows.Row, len(colMap))
-			for j, i := range colMap {
-				proj[j] = r[i]
+			h := rows.Hash64(buf)
+			off := len(arena)
+			arena = append(arena, buf...)
+			start := len(slab)
+			for _, i := range colMap {
+				slab = append(slab, r[i])
 			}
-			bt.normal[k] = append(bt.normal[k], proj)
+			proj := slab[start:len(slab):len(slab)]
+			s := h & bt.shardMask
+			byShard[s] = append(byShard[s], pendingBuildRow{h: h, off: int32(off), end: int32(len(arena)), row: proj})
+		}
+		pend[p] = byShard
+		arenas[p] = arena
+	})
+
+	// Phase 2 — shard-parallel merge in partition order.
+	eng.parallelFor(nshards, func(s int) {
+		sh := &bt.shards[s]
+		n := 0
+		for p := range pend {
+			n += len(pend[p][s])
+		}
+		if n == 0 {
+			return
+		}
+		sh.m = make(map[uint64][]buildEntry, n)
+		for p := range pend {
+			for _, e := range pend[p][s] {
+				sh.insert(e.h, arenas[p][e.off:e.end], e.row)
+			}
+		}
+	})
+	for s := range bt.shards {
+		bt.buildRows += bt.shards[s].rows
+		if bt.shards[s].m == nil {
+			bt.shards[s].m = map[uint64][]buildEntry{}
 		}
 	}
+
+	// Exception-path build rows (rare): conforming ones join the fast
+	// table serially, the rest stay boxed in the general map.
+	var buf []byte
 	for _, ex := range buildMat.exceptional {
 		if len(ex.vals) != sch.Len() {
 			continue
 		}
-		k, ok := joinKeyBoxed(ex.vals[keyIdx])
+		buf, ok = rows.AppendJoinKeyValue(buf[:0], ex.vals[keyIdx])
 		if !ok {
 			continue
 		}
@@ -93,15 +244,24 @@ func (eng *engine) buildJoinTable(op *logical.JoinOp) (*buildTable, error) {
 			for j, i := range colMap {
 				proj[j] = slots[i]
 			}
-			bt.normal[k] = append(bt.normal[k], proj)
+			bt.insert(rows.Hash64(buf), append([]byte(nil), buf...), proj)
 			continue
 		}
 		proj := make([]pyvalue.Value, len(colMap))
 		for j, i := range colMap {
 			proj[j] = ex.vals[i]
 		}
-		bt.general[k] = append(bt.general[k], proj)
+		bt.general[string(buf)] = append(bt.general[string(buf)], proj)
 		bt.genCount++
+	}
+
+	jm := &eng.res.Metrics.Join
+	jm.BuildTables.Add(1)
+	jm.BuildRows.Add(int64(bt.buildRows))
+	jm.GeneralRows.Add(int64(bt.genCount))
+	jm.Shards.Store(int64(nshards))
+	if m := int64(bt.maxShardRows()); m > jm.MaxShardRows.Load() {
+		jm.MaxShardRows.Store(m)
 	}
 	return bt, nil
 }
@@ -115,34 +275,4 @@ func joinOutputSchema(probe *types.Schema, op *logical.JoinOp, bt *buildTable) *
 	}
 	cols = append(cols, bt.schema.Columns()...)
 	return types.NewSchema(cols)
-}
-
-// joinKeySlot normalizes a slot into a hash key. Numerics normalize so
-// 1, 1.0 and True join (Python equality); None yields no key.
-func joinKeySlot(s rows.Slot) (string, bool) {
-	switch s.Tag {
-	case types.KindStr:
-		return "s:" + s.S, true
-	case types.KindI64:
-		return "i:" + strconv.FormatInt(s.I, 10), true
-	case types.KindBool:
-		if s.B {
-			return "i:1", true
-		}
-		return "i:0", true
-	case types.KindF64:
-		if s.F == float64(int64(s.F)) {
-			return "i:" + strconv.FormatInt(int64(s.F), 10), true
-		}
-		return "f:" + strconv.FormatFloat(s.F, 'g', -1, 64), true
-	case types.KindNull:
-		return "", false
-	default:
-		return "", false
-	}
-}
-
-// joinKeyBoxed normalizes a boxed value identically to joinKeySlot.
-func joinKeyBoxed(v pyvalue.Value) (string, bool) {
-	return joinKeySlot(rows.FromValue(v))
 }

@@ -98,6 +98,9 @@ type task struct {
 	frames  []*codegen.Frame
 	scratch [][]rows.Slot
 	rowBuf  []rows.Slot
+	// keyBuf is the reusable scratch buffer for hash-key encodings (join
+	// probes, unique terminal) — the hot paths never allocate per row.
+	keyBuf []byte
 
 	outRows []rows.Row
 	outKeys []uint64
@@ -110,8 +113,11 @@ type task struct {
 	aggSlot rows.Slot
 	hasAgg  bool
 
-	uniq     map[string]rows.Row
-	uniqKeys map[string]uint64
+	uniq *uniqSet
+
+	// probe counters accumulate locally and flush with the other
+	// per-task counters (atomics per probe would dominate tight loops).
+	probeHits, probeMisses int64
 }
 
 func (cs *compiledStage) numPartitions() int { return len(cs.partRanges) }
@@ -125,9 +131,9 @@ func (cs *compiledStage) newTask(eng *engine, part int) *task {
 	}
 	ts.scratch = make([][]rows.Slot, cs.nUDFs+4)
 	ts.rowBuf = make([]rows.Slot, 0, cs.maxCols)
+	ts.keyBuf = make([]byte, 0, 64)
 	if cs.terminal == physical.TerminalUnique {
-		ts.uniq = map[string]rows.Row{}
-		ts.uniqKeys = map[string]uint64{}
+		ts.uniq = newUniqSet()
 	}
 	if cs.terminal == physical.TerminalAggregate {
 		ts.aggSlot = coerceSlot(rows.FromValue(cs.aggInit), cs.aggSlotType)
@@ -175,6 +181,7 @@ func (cs *compiledStage) runRecords(ts *task, p int, recs [][]byte, baseKey uint
 	c.ClassifierRejects.Add(rejects)
 	c.NormalPathExceptions.Add(normalExc)
 	c.NormalRows.Add(normal)
+	ts.flushProbeCounters()
 	if copyRaw {
 		for i := range ts.pool {
 			if ts.pool[i].raw != nil {
@@ -231,7 +238,20 @@ func (cs *compiledStage) runPartition(ts *task, p int) error {
 	c.ClassifierRejects.Add(rejects)
 	c.NormalPathExceptions.Add(normalExc)
 	c.NormalRows.Add(normal)
+	ts.flushProbeCounters()
 	return nil
+}
+
+// flushProbeCounters drains the task-local join probe tallies into the
+// shared metrics.
+func (ts *task) flushProbeCounters() {
+	if ts.probeHits == 0 && ts.probeMisses == 0 {
+		return
+	}
+	jm := &ts.eng.res.Metrics.Join
+	jm.ProbeHits.Add(ts.probeHits)
+	jm.ProbeMisses.Add(ts.probeMisses)
+	ts.probeHits, ts.probeMisses = 0, 0
 }
 
 // unboxConforming converts a boxed row to slots when it matches the
@@ -462,17 +482,24 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 			cs.boxed = append(cs.boxed, &boxedOp{kind: bOpJoin, join: bt, keyIdx: keyIdx, leftOuter: left, inSchema: schema, outSchema: outSchema})
 			nops = append(nops, compiledOp{make: func(next nstep) nstep {
 				return func(ts *task, key uint64, row rows.Row) ECode {
-					k, ok := joinKeySlot(row[keyIdx])
+					// Probe: encode the key into the task scratch buffer,
+					// hash, and look up the shard — no allocation. (The
+					// string(buf) map index below does not allocate; Go
+					// optimizes byte-slice map probes, and the general map
+					// is only consulted when exception build rows exist.)
+					buf, ok := rows.AppendJoinKey(ts.keyBuf[:0], row[keyIdx])
+					ts.keyBuf = buf
 					var matches []rows.Row
 					if ok {
-						if bt.genCount > 0 && len(bt.general[k]) > 0 {
+						if bt.genCount > 0 && len(bt.general[string(buf)]) > 0 {
 							// Normal×exception join pairs run on the
 							// exception path (§4.5 pairwise joins).
 							return pyvalue.ExcUnsupported
 						}
-						matches = bt.normal[k]
+						matches = bt.lookup(rows.Hash64(buf), buf)
 					}
 					if len(matches) == 0 {
+						ts.probeMisses++
 						if !left {
 							return 0
 						}
@@ -483,6 +510,7 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 						}
 						return next(ts, key*256, out)
 					}
+					ts.probeHits++
 					for i, m := range matches {
 						sub := uint64(i)
 						if sub > 255 {

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"strings"
 
 	"github.com/gotuplex/tuplex/internal/codegen"
 	"github.com/gotuplex/tuplex/internal/csvio"
@@ -37,12 +36,13 @@ func (cs *compiledStage) makeTerminal() (nstep, error) {
 			return 0
 		}, nil
 	case physical.TerminalUnique:
+		// Per-task open set over encoded row keys: duplicate rows (the
+		// common case) cost one hash lookup and no allocation; the sets
+		// merge shard-parallel at finish (mergeUnique).
 		return func(ts *task, key uint64, row rows.Row) ECode {
-			k := uniqueKey(row)
-			if _, seen := ts.uniq[k]; !seen {
-				ts.uniq[k] = rows.CopyRow(row)
-				ts.uniqKeys[k] = key
-			}
+			buf := rows.AppendRowKey(ts.keyBuf[:0], row)
+			ts.keyBuf = buf
+			ts.uniq.insert(rows.Hash64(buf), buf, row, key)
 			return 0
 		}, nil
 	case physical.TerminalAggregate:
@@ -67,23 +67,6 @@ func (cs *compiledStage) makeTerminal() (nstep, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown terminal %d", cs.terminal)
 	}
-}
-
-// uniqueKey renders a row into a deduplication key.
-func uniqueKey(row rows.Row) string {
-	var sb strings.Builder
-	for i, s := range row {
-		if i > 0 {
-			sb.WriteByte(0)
-		}
-		sb.WriteByte(byte(s.Tag))
-		s.Render(&sb)
-	}
-	return sb.String()
-}
-
-func uniqueKeyBoxed(vals []pyvalue.Value) string {
-	return uniqueKey(rows.RowFromValues(vals))
 }
 
 // compileAggregate compiles the aggregate UDF against the accumulator

@@ -188,7 +188,7 @@ func All(scale Scale, w io.Writer) ([]*Experiment, error) {
 	var out []*Experiment
 	runs := []func(Scale, io.Writer) (*Experiment, error){
 		Table2, Fig3Single, Fig3Parallel, Fig4, Fig5, Fig6, Fig7,
-		Fig9, Fig10, Fig11, Fig12, Ingest,
+		Fig9, Fig10, Fig11, Fig12, Ingest, Join,
 	}
 	for _, fn := range runs {
 		e, err := fn(scale, w)

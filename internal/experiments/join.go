@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	tuplex "github.com/gotuplex/tuplex"
+	"github.com/gotuplex/tuplex/internal/metrics"
+)
+
+// Join measures the sharded hash-join kernels (§4.5): an inner join of a
+// probe table against a smaller build table, plus a Unique() pass over
+// the probe keys, at one executor and at full parallelism. Notes report
+// build/probe throughput and shard balance from Result.Metrics.Join.
+func Join(scale Scale, w io.Writer) (*Experiment, error) {
+	e := &Experiment{ID: "Join", Title: "Sharded hash join build/probe and unique"}
+
+	probeRows := scale.FlightRows * 4
+	buildRows := scale.FlightRows / 2
+	if buildRows < 1 {
+		buildRows = 1
+	}
+	rng := rand.New(rand.NewSource(7))
+	build := make([][]any, buildRows)
+	for i := range build {
+		build[i] = []any{int64(i), fmt.Sprintf("carrier-%d", i%97)}
+	}
+	probe := make([][]any, probeRows)
+	for i := range probe {
+		// ~80% of probe keys hit the build side.
+		k := int64(rng.Intn(buildRows * 5 / 4))
+		probe[i] = []any{k, float64(i) * 0.5}
+	}
+
+	runJoin := func(system string, executors int) error {
+		var m *metrics.Metrics
+		secs, err := timeIt(scale.Repeats, func() error {
+			c := tuplex.NewContext(tuplex.WithExecutors(executors))
+			lhs := c.Parallelize(probe, []string{"code", "delay"})
+			rhs := c.Parallelize(build, []string{"code", "carrier"})
+			res, err := lhs.Join(rhs, "code", "code").Collect()
+			if err == nil {
+				m = res.Metrics
+			}
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", system, err)
+		}
+		note := ""
+		if m != nil {
+			j := &m.Join
+			note = fmt.Sprintf("%.0f probe rows/s, hit rate %.0f%%, %d shards, balance %.2f",
+				float64(j.ProbeHits.Load()+j.ProbeMisses.Load())/secs,
+				j.HitRate()*100, j.Shards.Load(), j.ShardBalance())
+		}
+		e.Rows = append(e.Rows, Row{System: system, Seconds: secs, Note: note})
+		return nil
+	}
+
+	runUnique := func(system string, executors int) error {
+		var nout int
+		secs, err := timeIt(scale.Repeats, func() error {
+			c := tuplex.NewContext(tuplex.WithExecutors(executors))
+			res, err := c.Parallelize(probe, []string{"code", "delay"}).
+				SelectColumns("code").Unique().Collect()
+			if err == nil {
+				nout = len(res.Rows)
+			}
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", system, err)
+		}
+		e.Rows = append(e.Rows, Row{System: system, Seconds: secs,
+			Note: fmt.Sprintf("%.0f rows/s, %d distinct", float64(probeRows)/secs, nout)})
+		return nil
+	}
+
+	p := scale.Parallelism
+	if err := runJoin("join, 1 executor", 1); err != nil {
+		return nil, err
+	}
+	if err := runJoin(fmt.Sprintf("join, %d executors", p), p); err != nil {
+		return nil, err
+	}
+	if err := runUnique("unique, 1 executor", 1); err != nil {
+		return nil, err
+	}
+	if err := runUnique(fmt.Sprintf("unique, %d executors", p), p); err != nil {
+		return nil, err
+	}
+	e.Notes = append(e.Notes,
+		fmt.Sprintf("build %d rows, probe %d rows; join speedup %.2fx, unique speedup %.2fx at %d executors",
+			buildRows, probeRows,
+			e.Speedup("join, 1 executor", fmt.Sprintf("join, %d executors", p)),
+			e.Speedup("unique, 1 executor", fmt.Sprintf("unique, %d executors", p)), p))
+	e.Print(w)
+	return e, nil
+}

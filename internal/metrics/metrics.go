@@ -57,6 +57,45 @@ type Ingest struct {
 	RecordsSplit atomic.Int64
 }
 
+// Join tallies the sharded hash-join kernels (§4.5). Build-side fields
+// accumulate over every build table of the run; probe fields accumulate
+// over every probed row (flushed per task, not per row).
+type Join struct {
+	// BuildTables is the number of join build tables constructed.
+	BuildTables atomic.Int64
+	// BuildRows is the number of normal-path rows hashed into shards.
+	BuildRows atomic.Int64
+	// GeneralRows is the number of exception-path build rows kept boxed.
+	GeneralRows atomic.Int64
+	// ProbeHits / ProbeMisses count probe rows that found / did not find
+	// a build match.
+	ProbeHits   atomic.Int64
+	ProbeMisses atomic.Int64
+	// Shards is the per-table shard count (all tables in a run share it).
+	Shards atomic.Int64
+	// MaxShardRows is the largest shard's row count over all tables.
+	MaxShardRows atomic.Int64
+}
+
+// ShardBalance reports the largest shard's load relative to a perfectly
+// even spread (1.0 = balanced; 0 when no rows were hashed).
+func (j *Join) ShardBalance() float64 {
+	rows, shards := j.BuildRows.Load(), j.Shards.Load()
+	if rows == 0 || shards == 0 {
+		return 0
+	}
+	return float64(j.MaxShardRows.Load()) / (float64(rows) / float64(shards))
+}
+
+// HitRate reports the fraction of probed rows that matched.
+func (j *Join) HitRate() float64 {
+	n := j.ProbeHits.Load() + j.ProbeMisses.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(j.ProbeHits.Load()) / float64(n)
+}
+
 // StageIngest is one stage's throughput figures.
 type StageIngest struct {
 	// Stage is the stage index within the run.
@@ -65,6 +104,10 @@ type StageIngest struct {
 	Bytes int64
 	// Records consumed as stage input.
 	Records int64
+	// Allocs is the number of heap allocations during the stage's
+	// execute phase (runtime mallocs delta — the hash kernels keep this
+	// near-constant per probe/unique row).
+	Allocs int64
 	// Duration is the stage's execute-phase wall clock.
 	Duration time.Duration
 }
@@ -101,6 +144,8 @@ type Metrics struct {
 	Counters Counters
 	Timings  Timings
 	Ingest   Ingest
+	// Join tallies hash-join build and probe activity.
+	Join Join
 	// Stage holds per-stage throughput figures in execution order.
 	Stage []StageIngest
 	// Stages is the number of generated stages.
@@ -138,6 +183,13 @@ func (m *Metrics) String() string {
 		round(m.Timings.Resolve), round(m.Timings.Total))
 	if b := m.Ingest.BytesRead.Load(); b > 0 {
 		fmt.Fprintf(&sb, " | ingest: %.1f MB, %d records", float64(b)/1e6, m.Ingest.RecordsSplit.Load())
+	}
+	if j := &m.Join; j.BuildTables.Load() > 0 {
+		fmt.Fprintf(&sb, " | join: build=%d probe_hits=%d probe_misses=%d shards=%d balance=%.2f",
+			j.BuildRows.Load(), j.ProbeHits.Load(), j.ProbeMisses.Load(), j.Shards.Load(), j.ShardBalance())
+		if n := j.GeneralRows.Load(); n > 0 {
+			fmt.Fprintf(&sb, " general=%d", n)
+		}
 	}
 	for _, s := range m.Stage {
 		if s.Records == 0 && s.Bytes == 0 {

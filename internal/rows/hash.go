@@ -1,0 +1,159 @@
+package rows
+
+import (
+	"encoding/binary"
+	"math"
+
+	"github.com/gotuplex/tuplex/internal/pyvalue"
+	"github.com/gotuplex/tuplex/internal/types"
+)
+
+// Canonical key encodings for the hash kernels (join build/probe, unique
+// terminal). Both encoders append into a caller-owned scratch buffer so
+// the per-row hot path performs no heap allocation: the caller keeps one
+// buffer per task and reuses its capacity across rows. Equality of the
+// encoded bytes is exactly key equality, so hash tables store the bytes
+// once and probe with a hash lookup plus one bytes comparison.
+
+// Key-encoding tag bytes. They are distinct from each other and never
+// ambiguous within one encoding because every variable-length payload is
+// length-prefixed (AppendRowKey) or spans the rest of the buffer
+// (AppendJoinKey, single-slot).
+const (
+	keyInt   = 'i' // 8-byte little-endian two's-complement int64
+	keyFloat = 'f' // 8-byte little-endian IEEE-754 bits
+	keyStr   = 's' // raw bytes (join key) / length-prefixed (row key)
+	keyNull  = 'n'
+	keyBool  = 'b'
+	keySeq   = 'q' // list/tuple: count prefix then elements
+	keyObj   = 'o' // boxed escape hatch: length-prefixed str() rendering
+)
+
+// int64-exact range guard: float64 values in [-2^63, 2^63) convert to
+// int64 without overflow. 2^63 itself is exactly representable as a
+// float64 but not as an int64, so the upper bound is exclusive; out-of-
+// range conversions are implementation-defined in Go (they saturate
+// differently across architectures), which previously collapsed distinct
+// float keys onto the saturated int64.
+const (
+	minExactI64F = -9223372036854775808.0 // -2^63
+	maxExactI64F = 9223372036854775808.0  // 2^63 (exclusive)
+)
+
+// normalizeNumeric reports whether s is a numeric slot whose value is an
+// in-range integer, and that integer. Python equality makes 1, 1.0 and
+// True the same join key, so all three normalize to the int64 form.
+func normalizeNumeric(s Slot) (int64, bool) {
+	switch s.Tag {
+	case types.KindBool:
+		if s.B {
+			return 1, true
+		}
+		return 0, true
+	case types.KindI64:
+		return s.I, true
+	case types.KindF64:
+		if s.F >= minExactI64F && s.F < maxExactI64F && s.F == float64(int64(s.F)) {
+			return int64(s.F), true
+		}
+	}
+	return 0, false
+}
+
+// AppendJoinKey appends the canonical join-key encoding of s to buf and
+// returns the extended buffer. ok is false for None (null keys never
+// match) and for slot kinds that cannot be join keys.
+func AppendJoinKey(buf []byte, s Slot) (_ []byte, ok bool) {
+	if n, isInt := normalizeNumeric(s); isInt {
+		buf = append(buf, keyInt)
+		return binary.LittleEndian.AppendUint64(buf, uint64(n)), true
+	}
+	switch s.Tag {
+	case types.KindStr:
+		buf = append(buf, keyStr)
+		return append(buf, s.S...), true
+	case types.KindF64:
+		// Non-integral or out-of-int64-range floats key on their bits.
+		// (-0.0 and NaN never reach here un-normalized in a surprising
+		// way: -0.0 normalizes to integer 0 above, and NaN keys equal
+		// other identical-bit NaNs, matching the previous formatting-
+		// based behavior.)
+		buf = append(buf, keyFloat)
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.F)), true
+	default:
+		return buf, false
+	}
+}
+
+// AppendJoinKeyValue is AppendJoinKey over a boxed value.
+func AppendJoinKeyValue(buf []byte, v pyvalue.Value) ([]byte, bool) {
+	return AppendJoinKey(buf, FromValue(v))
+}
+
+// AppendRowKey appends a deduplication key for a whole row. Every
+// variable-length payload carries a uvarint length prefix, so a string
+// cell containing tag or separator bytes can never collide with a
+// different cell split (the previous 0-byte-joined rendering could).
+// Unlike join keys, row keys do not normalize numerics: unique()
+// deduplicates rows, and the engine has always kept 1, 1.0 and True
+// distinct there (the slot tag is part of the key).
+func AppendRowKey(buf []byte, row Row) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(row)))
+	for _, s := range row {
+		buf = appendSlotKey(buf, s)
+	}
+	return buf
+}
+
+func appendSlotKey(buf []byte, s Slot) []byte {
+	switch s.Tag {
+	case types.KindNull:
+		return append(buf, keyNull)
+	case types.KindBool:
+		b := byte(0)
+		if s.B {
+			b = 1
+		}
+		return append(buf, keyBool, b)
+	case types.KindI64:
+		buf = append(buf, keyInt)
+		return binary.LittleEndian.AppendUint64(buf, uint64(s.I))
+	case types.KindF64:
+		buf = append(buf, keyFloat)
+		return binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.F))
+	case types.KindStr:
+		buf = append(buf, keyStr)
+		buf = binary.AppendUvarint(buf, uint64(len(s.S)))
+		return append(buf, s.S...)
+	case types.KindList, types.KindTuple:
+		buf = append(buf, keySeq, byte(s.Tag))
+		buf = binary.AppendUvarint(buf, uint64(len(s.Seq)))
+		for _, e := range s.Seq {
+			buf = appendSlotKey(buf, e)
+		}
+		return buf
+	default:
+		// Dicts/match objects/opaque values: key on the str() rendering
+		// (rare; these only reach terminals through the boxed paths).
+		r := pyvalue.ToStr(s.Value())
+		buf = append(buf, keyObj)
+		buf = binary.AppendUvarint(buf, uint64(len(r)))
+		return append(buf, r...)
+	}
+}
+
+// Hash64 is the canonical 64-bit key hash: FNV-1a with a murmur3
+// finalizer so the low bits (used for shard selection) avalanche.
+func Hash64(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

@@ -1,0 +1,171 @@
+package rows
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/gotuplex/tuplex/internal/types"
+)
+
+func joinKey(t *testing.T, s Slot) []byte {
+	t.Helper()
+	buf, ok := AppendJoinKey(nil, s)
+	if !ok {
+		t.Fatalf("AppendJoinKey(%v) not ok", s)
+	}
+	return buf
+}
+
+func TestJoinKeyNumericNormalization(t *testing.T) {
+	// 1, 1.0 and True are the same Python join key.
+	one := joinKey(t, I64(1))
+	if !bytes.Equal(one, joinKey(t, F64(1.0))) {
+		t.Fatal("1 and 1.0 should share a join key")
+	}
+	if !bytes.Equal(one, joinKey(t, Bool(true))) {
+		t.Fatal("1 and True should share a join key")
+	}
+	if !bytes.Equal(joinKey(t, I64(0)), joinKey(t, F64(-0.0))) {
+		t.Fatal("0 and -0.0 should share a join key")
+	}
+	if bytes.Equal(one, joinKey(t, Str("1"))) {
+		t.Fatal("int 1 and str '1' must not share a join key")
+	}
+	if bytes.Equal(joinKey(t, F64(1.5)), joinKey(t, I64(1))) {
+		t.Fatal("1.5 must not normalize to 1")
+	}
+}
+
+// Regression (float normalization overflow): floats beyond the exact
+// int64 range must not be collapsed onto a saturated int64 — the
+// out-of-range float→int64 conversion is implementation-defined, and on
+// saturating platforms 2^63 used to alias MaxInt64.
+func TestJoinKeyFloatOverflowGuard(t *testing.T) {
+	two63 := math.Ldexp(1, 63) // 2^63, exactly representable as float64
+	if bytes.Equal(joinKey(t, F64(two63)), joinKey(t, I64(math.MaxInt64))) {
+		t.Fatal("float 2^63 collapsed onto int64 max")
+	}
+	if bytes.Equal(joinKey(t, F64(-math.Ldexp(1, 64))), joinKey(t, I64(math.MinInt64))) {
+		t.Fatal("float -2^64 collapsed onto int64 min")
+	}
+	if bytes.Equal(joinKey(t, F64(1e19)), joinKey(t, F64(2e19))) {
+		t.Fatal("distinct out-of-range floats share a key")
+	}
+	// Boundary values that are exactly representable both ways still
+	// normalize: -2^63 is a valid int64.
+	if !bytes.Equal(joinKey(t, F64(-two63)), joinKey(t, I64(math.MinInt64))) {
+		t.Fatal("float -2^63 should normalize to int64 min")
+	}
+	// Large but in-range integral floats normalize to their int64 value.
+	if !bytes.Equal(joinKey(t, F64(math.Ldexp(1, 62))), joinKey(t, I64(1<<62))) {
+		t.Fatal("float 2^62 should normalize to int64 2^62")
+	}
+}
+
+func TestJoinKeyNullAndUnsupported(t *testing.T) {
+	if _, ok := AppendJoinKey(nil, Null()); ok {
+		t.Fatal("None must not produce a join key")
+	}
+	if _, ok := AppendJoinKey(nil, List([]Slot{I64(1)})); ok {
+		t.Fatal("lists must not produce a join key")
+	}
+}
+
+// Regression (uniqueKey framing collision): under the old 0-byte/tag-byte
+// concatenation, a string cell containing "\x00"+tag collided with a
+// different split of the same bytes across two cells. Length prefixes
+// make the encoding injective.
+func TestRowKeyFramingCollision(t *testing.T) {
+	tag := string([]byte{byte(types.KindStr)})
+	a := Row{Str("x\x00" + tag + "y"), Str("z")}
+	b := Row{Str("x"), Str("y\x00" + tag + "z")}
+	if bytes.Equal(AppendRowKey(nil, a), AppendRowKey(nil, b)) {
+		t.Fatal("distinct rows share a row key (framing collision)")
+	}
+}
+
+func TestRowKeyMatchesSlotEquality(t *testing.T) {
+	// Rows of identical slots produce identical keys; tag differences
+	// (1 vs 1.0 vs True vs "1") keep rows distinct, matching the unique
+	// terminal's historical semantics.
+	same := func(r Row) bool {
+		return bytes.Equal(AppendRowKey(nil, r), AppendRowKey(nil, CopyRow(r)))
+	}
+	if !same(Row{I64(1), Str("a"), Null(), F64(2.5), List([]Slot{I64(1), Str("x")})}) {
+		t.Fatal("identical rows must share a key")
+	}
+	distinct := []Row{
+		{I64(1)}, {F64(1.0)}, {Bool(true)}, {Str("1")}, {Null()},
+		{Tuple([]Slot{I64(1)})}, {List([]Slot{I64(1)})},
+	}
+	for i := range distinct {
+		for j := range distinct {
+			if i == j {
+				continue
+			}
+			if bytes.Equal(AppendRowKey(nil, distinct[i]), AppendRowKey(nil, distinct[j])) {
+				t.Fatalf("rows %d and %d share a key", i, j)
+			}
+		}
+	}
+}
+
+func TestRowKeyInjectiveOverArbRows(t *testing.T) {
+	// Property: equal boxed rows ⇒ equal keys, and (for the generator's
+	// value space) different renderings ⇒ different keys.
+	f := func(s1, s2 uint64) bool {
+		r1 := Row{FromValue(arbValue(s1, 2)), FromValue(arbValue(s2, 2))}
+		r2 := Row{FromValue(arbValue(s1, 2)), FromValue(arbValue(s2, 2))}
+		return bytes.Equal(AppendRowKey(nil, r1), AppendRowKey(nil, r2))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHash64(t *testing.T) {
+	if Hash64([]byte("a")) == Hash64([]byte("b")) {
+		t.Fatal("trivial collision")
+	}
+	if Hash64(nil) != Hash64([]byte{}) {
+		t.Fatal("empty hash not stable")
+	}
+	// Shard selection uses the low bits: check they spread over a tiny
+	// keyspace instead of clumping (FNV without a finalizer fails this).
+	const shards = 8
+	var hit [shards]bool
+	for i := range 64 {
+		var buf [1]byte
+		buf[0] = byte(i)
+		hit[Hash64(buf[:])&(shards-1)] = true
+	}
+	for s, ok := range hit {
+		if !ok {
+			t.Fatalf("no key landed in shard %d", s)
+		}
+	}
+}
+
+func BenchmarkAppendJoinKey(b *testing.B) {
+	s := Str("some-moderately-long-join-key")
+	var buf []byte
+	b.ReportAllocs()
+	for range b.N {
+		buf = buf[:0]
+		buf, _ = AppendJoinKey(buf, s)
+		_ = Hash64(buf)
+	}
+}
+
+func BenchmarkAppendRowKey(b *testing.B) {
+	r := Row{I64(42), Str("cambridge"), F64(1.5), Null()}
+	var buf []byte
+	b.ReportAllocs()
+	for range b.N {
+		buf = buf[:0]
+		buf = AppendRowKey(buf, r)
+		_ = Hash64(buf)
+	}
+}
