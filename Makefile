@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench-ingest bench-smoke
+.PHONY: all build test vet race check bench-ingest bench-smoke trace-demo
 
 all: build test
 
@@ -29,3 +29,8 @@ bench-ingest:
 # without the timing cost of a real run.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Run the Zillow example with full tracing: prints the span tree, the
+# per-operator row-routing ledger and sampled exception rows.
+trace-demo:
+	$(GO) run ./examples/zillow -rows 20000 -trace

@@ -16,6 +16,8 @@
 //	-parallel N    parallelism for the multi-threaded experiments
 //	-repeats N     timing repeats (best-of)
 //	-markdown F    also write Markdown tables to file F (with `all`)
+//	-trace DIR     trace the Tuplex runs (row-routing ledger); print each
+//	               trace tree and write DIR/<id>.trace.json per experiment
 package main
 
 import (
@@ -34,6 +36,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "parallelism (default: min(16, NumCPU))")
 	repeats := flag.Int("repeats", 1, "timing repeats (best-of)")
 	markdown := flag.String("markdown", "", "write Markdown tables to this file (with 'all')")
+	traceDir := flag.String("trace", "", "trace Tuplex runs and write <dir>/<id>.trace.json")
 	flag.Parse()
 
 	scale := experiments.DefaultScale()
@@ -52,6 +55,13 @@ func main() {
 	}
 	if *repeats > 1 {
 		scale.Repeats = *repeats
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "tuplex-bench:", err)
+			os.Exit(1)
+		}
+		scale.TraceDir = *traceDir
 	}
 
 	which := "all"

@@ -56,8 +56,8 @@ func TestCacheCreatesStageBoundary(t *testing.T) {
 		MapColumn("v", UDF("lambda m: m * 2")).
 		Cache().
 		MapColumn("v", UDF("lambda m: m + 1")))
-	if res.Metrics.Stages < 2 {
-		t.Fatalf("stages = %d, want >= 2", res.Metrics.Stages)
+	if res.Metrics.NumStages < 2 {
+		t.Fatalf("stages = %d, want >= 2", res.Metrics.NumStages)
 	}
 	if res.Rows[2][0] != int64(7) {
 		t.Fatalf("rows = %v", res.Rows)

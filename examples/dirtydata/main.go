@@ -39,16 +39,16 @@ func main() {
 	for _, r := range res.Rows {
 		fmt.Printf("  %v\n", r[0])
 	}
-	cnt := &res.Metrics.Counters
+	cnt := res.Metrics.Rows
 	fmt.Println()
 	fmt.Println("dual-mode execution report:")
-	fmt.Printf("  input rows:                 %d\n", cnt.InputRows.Load())
-	fmt.Printf("  fast path (compiled):       %d\n", cnt.NormalRows.Load())
-	fmt.Printf("  classifier rejects:         %d (cells outside the sampled normal case)\n", cnt.ClassifierRejects.Load())
-	fmt.Printf("  fast-path exceptions:       %d (raised while running compiled code)\n", cnt.NormalPathExceptions.Load())
-	fmt.Printf("  recovered on general path:  %d\n", cnt.GeneralResolved.Load())
-	fmt.Printf("  recovered by interpreter:   %d\n", cnt.FallbackResolved.Load())
-	fmt.Printf("  failed (reported):          %d\n", cnt.FailedRows.Load())
+	fmt.Printf("  input rows:                 %d\n", cnt.Input)
+	fmt.Printf("  fast path (compiled):       %d\n", cnt.Normal)
+	fmt.Printf("  classifier rejects:         %d (cells outside the sampled normal case)\n", cnt.ClassifierRejects)
+	fmt.Printf("  fast-path exceptions:       %d (raised while running compiled code)\n", cnt.NormalPathExceptions)
+	fmt.Printf("  recovered on general path:  %d\n", cnt.GeneralResolved)
+	fmt.Printf("  recovered by interpreter:   %d\n", cnt.FallbackResolved)
+	fmt.Printf("  failed (reported):          %d\n", cnt.Failed)
 	fmt.Printf("  exception rate:             %.2f%%\n", cnt.ExceptionRate()*100)
 	fmt.Println()
 	fmt.Println("the pipeline completed despite the dirty rows — nothing raised (§7).")

@@ -4,7 +4,7 @@
 //
 // Run with:
 //
-//	go run ./examples/zillow [-rows N] [-executors N] [-out file.csv]
+//	go run ./examples/zillow [-rows N] [-executors N] [-out file.csv] [-trace]
 package main
 
 import (
@@ -23,13 +23,18 @@ func main() {
 	executors := flag.Int("executors", 4, "executor threads")
 	out := flag.String("out", "", "write output CSV to this path")
 	dirty := flag.Float64("dirty", 0.005, "fraction of malformed rows")
+	traced := flag.Bool("trace", false, "print the run's trace tree (row-routing ledger + exception samples)")
 	flag.Parse()
 
 	fmt.Printf("generating %d listings (%.1f%% dirty)...\n", *rows, *dirty*100)
 	raw := data.Zillow(data.ZillowConfig{Rows: *rows, Seed: 42, DirtyFraction: *dirty})
 	fmt.Printf("input: %.1f MB\n", float64(len(raw))/(1<<20))
 
-	c := tuplex.NewContext(tuplex.WithExecutors(*executors))
+	opts := []tuplex.Option{tuplex.WithExecutors(*executors)}
+	if *traced {
+		opts = append(opts, tuplex.WithTracing(tuplex.TraceSamples))
+	}
+	c := tuplex.NewContext(opts...)
 	t0 := time.Now()
 	res, err := pipelines.Zillow(c.CSV("", tuplex.CSVData(raw))).ToCSV(*out)
 	if err != nil {
@@ -37,6 +42,10 @@ func main() {
 	}
 	fmt.Printf("pipeline done in %v\n", time.Since(t0))
 	fmt.Println("metrics:", res.Metrics)
+	if *traced {
+		fmt.Println()
+		fmt.Print(res.Trace)
+	}
 	fmt.Printf("output: %.1f MB, %d failed rows\n", float64(len(res.CSV))/(1<<20), len(res.Failed))
 	for i, f := range res.Failed {
 		if i >= 3 {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/gotuplex/tuplex/internal/csvio"
 	"github.com/gotuplex/tuplex/internal/interp"
@@ -11,6 +12,7 @@ import (
 	"github.com/gotuplex/tuplex/internal/physical"
 	"github.com/gotuplex/tuplex/internal/pyvalue"
 	"github.com/gotuplex/tuplex/internal/rows"
+	"github.com/gotuplex/tuplex/internal/trace"
 	"github.com/gotuplex/tuplex/internal/types"
 )
 
@@ -92,6 +94,17 @@ type boxedOp struct {
 	// accessCols caches the row positions of the UDF's accessed columns
 	// (lazily resolved; -1 for columns missing from the schema).
 	accessCols []int
+	// stats counts rows entering this op on the exception paths (nil
+	// below trace.LevelRows); the pointer is shared across
+	// cloneBoxedProgram copies, hence atomics.
+	stats *boxedOpStats
+}
+
+// boxedOpStats is the routing ledger's exception-path side for one
+// operator. Atomics are fine here: exception rows are rare by
+// construction, so contention never touches the fast path.
+type boxedOpStats struct {
+	generalIn, fallbackIn atomic.Int64
 }
 
 // applyHandlers wraps a UDF invocation with the operator's ignore and
@@ -166,6 +179,13 @@ func (cs *compiledStage) runBoxedRow(prog []*boxedOp, mode pathMode, vals []pyva
 	for _, op := range prog {
 		if len(cur) == 0 {
 			return nil, resolved, errDropped
+		}
+		if op.stats != nil {
+			if mode == pathGeneral {
+				op.stats.generalIn.Add(int64(len(cur)))
+			} else {
+				op.stats.fallbackIn.Add(int64(len(cur)))
+			}
 		}
 		var next [][]pyvalue.Value
 		for _, row := range cur {
@@ -382,7 +402,36 @@ func (eng *engine) resolveExceptions(cs *compiledStage, out *mat) error {
 	// through this stage's boxed program. Source stages (materialized
 	// records or streamed chunks) have no previous stage.
 	if cs.boxedInput != nil && cs.records == nil && cs.stream == nil && cs.inputRows == nil {
+		n := len(pool)
 		pool = append(pool, cs.boxedInput.exceptional...)
+		// Carried-over rows raised in a previous stage; their op indexes
+		// don't map to this stage's ledger, so they attribute to the
+		// source entry.
+		for i := n; i < len(pool); i++ {
+			pool[i].op = 0
+		}
+	}
+	cs.poolSize = len(pool)
+	// rt is this stage's routing ledger (nil below LevelRows); outcome
+	// increments below mirror the Metrics counter sites exactly so the
+	// ledger totals reconcile with the run counters.
+	rt := cs.routing
+	addSample := func(ex *exRow, vals []pyvalue.Value, outcome string) {
+		// ec == 0 marks a row carried over from a previous stage's
+		// exception path, not a new exception — don't sample it.
+		if !cs.traceSamples || ex.ec == 0 || len(cs.samples) >= trace.MaxExcSamples {
+			return
+		}
+		in := renderInput(*ex, vals)
+		if len(in) > trace.MaxSampleInput {
+			in = in[:trace.MaxSampleInput]
+		}
+		cs.samples = append(cs.samples, trace.ExcSample{
+			Op:      cs.opNames[ex.op],
+			Exc:     ex.ec.String(),
+			Input:   in,
+			Outcome: outcome,
+		})
 	}
 	// Unique terminal: merge task sets (shard-parallel) before
 	// deduplicating exceptions against them.
@@ -481,10 +530,18 @@ func (eng *engine) resolveExceptions(cs *compiledStage, out *mat) error {
 		}
 		if errors.Is(err, errDropped) {
 			c.IgnoredRows.Add(1)
+			if rt != nil {
+				rt[ex.op].Ignored++
+			}
+			addSample(&ex, vals, "ignored")
 			continue
 		}
 		if err != nil {
 			c.FailedRows.Add(1)
+			if rt != nil {
+				rt[ex.op].Failed++
+			}
+			addSample(&ex, vals, "failed")
 			eng.res.Failed = append(eng.res.Failed, FailedRow{
 				Exc:   pyvalue.KindOf(err),
 				Msg:   err.Error(),
@@ -495,10 +552,22 @@ func (eng *engine) resolveExceptions(cs *compiledStage, out *mat) error {
 		switch {
 		case resolved:
 			c.ResolverResolved.Add(1)
+			if rt != nil {
+				rt[ex.op].ResolverResolved++
+			}
+			addSample(&ex, vals, "resolver")
 		case mode == pathGeneral:
 			c.GeneralResolved.Add(1)
+			if rt != nil {
+				rt[ex.op].GeneralResolved++
+			}
+			addSample(&ex, vals, "general")
 		default:
 			c.FallbackResolved.Add(1)
+			if rt != nil {
+				rt[ex.op].FallbackResolved++
+			}
+			addSample(&ex, vals, "fallback")
 		}
 		// Terminal application.
 		switch cs.terminal {
@@ -512,6 +581,9 @@ func (eng *engine) resolveExceptions(cs *compiledStage, out *mat) error {
 				v, aerr := cs.aggUDF.boxed.call(pathFallback, []pyvalue.Value{acc, arg})
 				if aerr != nil {
 					c.FailedRows.Add(1)
+					if rt != nil {
+						rt[cs.termRouteIdx].Failed++
+					}
 					eng.res.Failed = append(eng.res.Failed, FailedRow{
 						Exc: pyvalue.KindOf(aerr), Msg: aerr.Error(), Input: renderInput(ex, vals)})
 					continue

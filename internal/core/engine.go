@@ -15,8 +15,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +32,7 @@ import (
 	"github.com/gotuplex/tuplex/internal/pyvalue"
 	"github.com/gotuplex/tuplex/internal/rows"
 	"github.com/gotuplex/tuplex/internal/sample"
+	"github.com/gotuplex/tuplex/internal/trace"
 	"github.com/gotuplex/tuplex/internal/types"
 )
 
@@ -56,6 +60,11 @@ type Options struct {
 	// ChunkSize is the streamed ingest chunk size in bytes (0 uses
 	// csvio.DefaultChunkSize).
 	ChunkSize int
+	// Trace selects the run's observability level (internal/trace). The
+	// default, trace.LevelSpans, records the span tree and per-task
+	// timings with zero per-row overhead; trace.LevelOff disables the
+	// tracer entirely.
+	Trace trace.Level
 }
 
 // DefaultOptions returns the fully-optimized single-threaded setup.
@@ -69,6 +78,7 @@ func DefaultOptions() Options {
 		Seed:          0x745,
 		Streaming:     true,
 		ChunkSize:     csvio.DefaultChunkSize,
+		Trace:         trace.LevelSpans,
 	}
 }
 
@@ -110,6 +120,9 @@ type Result struct {
 	CSV     []byte
 	Failed  []FailedRow
 	Metrics *metrics.Metrics
+	// Trace is the run's observability trace (nil when Options.Trace is
+	// trace.LevelOff).
+	Trace *trace.Trace
 	// Warnings carries advisory messages (e.g. the §7 all-exceptions
 	// sample warning).
 	Warnings []string
@@ -120,28 +133,42 @@ func Execute(sinkNode *logical.Node, kind SinkKind, csvPath string, opts Options
 	opts = opts.withDefaults()
 	res := &Result{Metrics: &metrics.Metrics{}}
 	t0 := time.Now()
+	eng := &engine{opts: opts, res: res, sink: kind, tr: trace.New(opts.Trace)}
 
 	tOpt := time.Now()
 	plan := sinkNode
 	var err error
-	if opts.Logical != (logical.Options{}) {
+	optimized := opts.Logical != (logical.Options{})
+	if optimized {
 		plan, err = logical.Optimize(sinkNode, opts.Logical)
 		if err != nil {
 			return nil, err
 		}
 	}
 	res.Metrics.Timings.Optimize = time.Since(tOpt)
+	eng.tr.Child("plan", res.Metrics.Timings.Optimize, trace.Bool("optimized", optimized))
 
-	eng := &engine{opts: opts, res: res, sink: kind}
 	out, err := eng.runChain(plan)
 	if err != nil {
 		return nil, err
 	}
+	tSink := time.Now()
 	if err := eng.finish(out, kind, csvPath, res); err != nil {
 		return nil, err
 	}
+	eng.tr.Child("sink", time.Since(tSink),
+		trace.Str("kind", sinkName(kind)),
+		trace.Int("output_rows", res.Metrics.Counters.OutputRows.Load()))
 	res.Metrics.Timings.Total = time.Since(t0)
+	res.Trace = eng.tr.Finish()
 	return res, nil
+}
+
+func sinkName(kind SinkKind) string {
+	if kind == SinkCSV {
+		return "csv"
+	}
+	return "collect"
 }
 
 // engine carries run-wide state.
@@ -151,6 +178,11 @@ type engine struct {
 	// sink is the requested output form; the final stage's terminal
 	// renders CSV directly when it is SinkCSV.
 	sink SinkKind
+	// tr is the run tracer (nil when tracing is off); curStage is the
+	// span routing/samples attach to, stageSeq a run-wide stage counter.
+	tr       *trace.Tracer
+	curStage *trace.Span
+	stageSeq int
 }
 
 // exRow is one pooled exception row awaiting slow-path processing.
@@ -162,6 +194,9 @@ type exRow struct {
 	vals []pyvalue.Value
 	raw  []byte
 	ec   pyvalue.ExcKind
+	// op is the routing-ledger index of the operator the row raised at
+	// (0 = source/parse; rows carried over from a previous stage keep 0).
+	op int32
 }
 
 // mat is a materialized row set between stages.
@@ -205,14 +240,29 @@ func (eng *engine) runChain(sinkNode *logical.Node) (*mat, error) {
 
 // runStage compiles and executes one stage over its input.
 func (eng *engine) runStage(st *physical.Stage, input *mat) (*mat, error) {
+	stageIdx := eng.stageSeq
+	eng.stageSeq++
+	ssp := eng.tr.Begin("stage",
+		trace.Int("index", int64(stageIdx)),
+		trace.Int("ops", int64(len(st.Ops))))
+	prevStage := eng.curStage
+	eng.curStage = ssp
+	defer func() { eng.curStage = prevStage }()
+
 	tCompile := time.Now()
 	cs, err := eng.compileStage(st, input)
 	if err != nil {
 		return nil, err
 	}
-	eng.res.Metrics.Timings.Compile += time.Since(tCompile) - cs.sampleTime
+	dCompile := time.Since(tCompile) - cs.sampleTime
+	eng.res.Metrics.Timings.Compile += dCompile
 	eng.res.Metrics.Timings.Sample += cs.sampleTime
+	if cs.sampleTime > 0 {
+		eng.tr.Child("sample", cs.sampleTime)
+	}
+	eng.tr.Child("compile", dCompile, trace.Int("udfs", int64(cs.nUDFs)))
 
+	esp := eng.tr.Begin("execute")
 	tExec := time.Now()
 	bytes0 := eng.res.Metrics.Ingest.BytesRead.Load()
 	rows0 := eng.res.Metrics.Counters.InputRows.Load()
@@ -233,6 +283,10 @@ func (eng *engine) runStage(st *physical.Stage, input *mat) (*mat, error) {
 		Allocs:   int64(ms.Mallocs - mallocs0),
 		Duration: dExec,
 	})
+	if esp != nil {
+		esp.Tasks = eng.taskTimings(cs.tasks)
+	}
+	eng.tr.End(esp)
 
 	// Post-facto exception resolution (§4.3): general path, then
 	// fallback, then user resolvers along the way.
@@ -240,8 +294,38 @@ func (eng *engine) runStage(st *physical.Stage, input *mat) (*mat, error) {
 	if err := eng.resolveExceptions(cs, out); err != nil {
 		return nil, err
 	}
-	eng.res.Metrics.Timings.Resolve += time.Since(tRes)
+	dRes := time.Since(tRes)
+	eng.res.Metrics.Timings.Resolve += dRes
+	eng.tr.Child("resolve", dRes, trace.Int("pool", int64(cs.poolSize)))
+	if eng.tr.Rows() {
+		ssp.Routing = cs.mergedRouting()
+	}
+	if eng.tr.Samples() {
+		ssp.Samples = cs.samples
+	}
+	eng.tr.End(ssp)
 	return out, nil
+}
+
+// taskTimings converts the stage's finished tasks into span timings.
+func (eng *engine) taskTimings(tasks []*task) []trace.TaskTiming {
+	if eng.tr == nil {
+		return nil
+	}
+	out := make([]trace.TaskTiming, 0, len(tasks))
+	for _, ts := range tasks {
+		if ts == nil {
+			continue
+		}
+		out = append(out, trace.TaskTiming{
+			Part:    ts.part,
+			Worker:  ts.worker,
+			Rows:    ts.inRows,
+			StartNS: eng.tr.OffsetNS(ts.start),
+			DurNS:   ts.dur.Nanoseconds(),
+		})
+	}
+	return out
 }
 
 // executeStage drives the partitions through the compiled normal path.
@@ -284,24 +368,43 @@ func (eng *engine) executeStage(cs *compiledStage) (*mat, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for p := range partCh {
-				if stop.Load() {
-					continue
-				}
-				ts := cs.newTask(eng, p)
-				tasks[p] = ts
-				if err := cs.runPartition(ts, p); err != nil {
-					errs[w] = err
-					stop.Store(true)
-					return
-				}
-				out.parts[p] = ts.outRows
-				out.keys[p] = ts.outKeys
-				if ts.csvW != nil {
-					out.csvParts[p] = ts.csvW.Bytes()
-					out.csvEnds[p] = ts.lineEnds
+			body := func(context.Context) {
+				for p := range partCh {
+					if stop.Load() {
+						continue
+					}
+					ts := cs.newTask(eng, p)
+					ts.worker = w
+					tasks[p] = ts
+					if eng.tr != nil {
+						ts.start = time.Now()
+					}
+					if err := cs.runPartition(ts, p); err != nil {
+						errs[w] = err
+						stop.Store(true)
+						return
+					}
+					if eng.tr != nil {
+						ts.dur = time.Since(ts.start)
+					}
+					out.parts[p] = ts.outRows
+					out.keys[p] = ts.outKeys
+					if ts.csvW != nil {
+						out.csvParts[p] = ts.csvW.Bytes()
+						out.csvEnds[p] = ts.lineEnds
+					}
 				}
 			}
+			if eng.tr != nil {
+				// pprof labels make executor goroutines attributable in CPU
+				// profiles (tuplex=executor, stage=N, worker=W).
+				pprof.Do(context.Background(), pprof.Labels(
+					"tuplex", "executor",
+					"stage", strconv.Itoa(eng.stageSeq-1),
+					"worker", strconv.Itoa(w)), body)
+				return
+			}
+			body(context.Background())
 		}(w)
 	}
 	wg.Wait()

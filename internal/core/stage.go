@@ -16,6 +16,7 @@ import (
 	"github.com/gotuplex/tuplex/internal/pyvalue"
 	"github.com/gotuplex/tuplex/internal/rows"
 	"github.com/gotuplex/tuplex/internal/sample"
+	"github.com/gotuplex/tuplex/internal/trace"
 	"github.com/gotuplex/tuplex/internal/types"
 )
 
@@ -76,6 +77,21 @@ type compiledStage struct {
 
 	sampleTime time.Duration
 	tasks      []*task
+
+	// Tracing state. opNames names the routing-ledger entries: index 0
+	// is the source/parse pseudo-op, 1..len(ops) follow the stage's
+	// operators and the last entry is the terminal. routing accumulates
+	// the serial resolve-phase outcomes (plus merged per-task counters),
+	// samples the bounded exception-row sample.
+	opNames      []string
+	routing      []trace.OpRouting
+	samples      []trace.ExcSample
+	traceRows    bool
+	traceSamples bool
+	termRouteIdx int32
+	// poolSize is the stage's exception-pool size (set by
+	// resolveExceptions, reported on the resolve span).
+	poolSize int
 }
 
 // stageUDF bundles one operator's three compiled forms.
@@ -118,6 +134,21 @@ type task struct {
 	// probe counters accumulate locally and flush with the other
 	// per-task counters (atomics per probe would dominate tight loops).
 	probeHits, probeMisses int64
+
+	// Tracing scratch. worker/start/dur/inRows feed the execute span's
+	// task timings (filled only when the tracer is on). route/routeExc
+	// are the task's routing-ledger counters, indexed like cs.opNames
+	// (nil below trace.LevelRows — the default path carries none of
+	// this). excOp is the ledger index of the operator that raised the
+	// current row's normal-path exception; every raise site stores it,
+	// so it is valid exactly when the entry chain returns nonzero.
+	worker int
+	start  time.Time
+	dur    time.Duration
+	inRows int64
+	route    []int64
+	routeExc []int64
+	excOp    int32
 }
 
 func (cs *compiledStage) numPartitions() int { return len(cs.partRanges) }
@@ -142,7 +173,48 @@ func (cs *compiledStage) newTask(eng *engine, part int) *task {
 	if cs.sinkCSV {
 		ts.csvW = csvio.NewWriter(',')
 	}
+	if cs.traceRows {
+		ts.route = make([]int64, len(cs.opNames))
+		ts.routeExc = make([]int64, len(cs.opNames))
+	}
 	return ts
+}
+
+// routeWrap counts rows entering the wrapped step into the task's
+// routing ledger. Wrappers are composed into the chain only at
+// trace.LevelRows and above, so the default normal path is exactly the
+// uninstrumented one.
+func routeWrap(next nstep, ridx int32) nstep {
+	return func(ts *task, key uint64, row rows.Row) ECode {
+		ts.route[ridx]++
+		return next(ts, key, row)
+	}
+}
+
+// mergedRouting folds the per-task ledger counters and the boxed-path
+// atomics into the stage ledger. Called serially after workers join.
+func (cs *compiledStage) mergedRouting() []trace.OpRouting {
+	if cs.routing == nil {
+		return nil
+	}
+	out := cs.routing
+	for _, ts := range cs.tasks {
+		if ts == nil || ts.route == nil {
+			continue
+		}
+		for i := range out {
+			out[i].NormalIn += ts.route[i]
+			out[i].NormalExc += ts.routeExc[i]
+		}
+	}
+	for oi, bop := range cs.boxed {
+		if bop.stats == nil {
+			continue
+		}
+		out[oi+1].GeneralIn += bop.stats.generalIn.Load()
+		out[oi+1].FallbackIn += bop.stats.fallbackIn.Load()
+	}
+	return out
 }
 
 // runRecords feeds raw source records through the normal path with
@@ -171,7 +243,10 @@ func (cs *compiledStage) runRecords(ts *task, p int, recs [][]byte, baseKey uint
 		}
 		if ec = cs.entry(ts, key, row); ec != 0 {
 			normalExc++
-			ts.pool = append(ts.pool, exRow{part: p, key: key, raw: rec, ec: ec})
+			ts.pool = append(ts.pool, exRow{part: p, key: key, raw: rec, ec: ec, op: ts.excOp})
+			if ts.routeExc != nil {
+				ts.routeExc[ts.excOp]++
+			}
 			continue
 		}
 		normal++
@@ -181,6 +256,11 @@ func (cs *compiledStage) runRecords(ts *task, p int, recs [][]byte, baseKey uint
 	c.ClassifierRejects.Add(rejects)
 	c.NormalPathExceptions.Add(normalExc)
 	c.NormalRows.Add(normal)
+	ts.inRows += input
+	if ts.route != nil {
+		ts.route[0] += input
+		ts.routeExc[0] += rejects
+	}
 	ts.flushProbeCounters()
 	if copyRaw {
 		for i := range ts.pool {
@@ -214,7 +294,10 @@ func (cs *compiledStage) runPartition(ts *task, p int) error {
 			}
 			if ec := cs.entry(ts, key, row); ec != 0 {
 				normalExc++
-				ts.pool = append(ts.pool, exRow{part: p, key: key, vals: boxed, ec: ec})
+				ts.pool = append(ts.pool, exRow{part: p, key: key, vals: boxed, ec: ec, op: ts.excOp})
+				if ts.routeExc != nil {
+					ts.routeExc[ts.excOp]++
+				}
 				continue
 			}
 			normal++
@@ -227,7 +310,10 @@ func (cs *compiledStage) runPartition(ts *task, p int) error {
 			row := append(ts.rowBuf[:0], rowsP[i]...)
 			if ec := cs.entry(ts, keysP[i], row); ec != 0 {
 				normalExc++
-				ts.pool = append(ts.pool, exRow{part: p, key: keysP[i], vals: rows.RowToValues(rowsP[i]), ec: ec})
+				ts.pool = append(ts.pool, exRow{part: p, key: keysP[i], vals: rows.RowToValues(rowsP[i]), ec: ec, op: ts.excOp})
+				if ts.routeExc != nil {
+					ts.routeExc[ts.excOp]++
+				}
 				continue
 			}
 			normal++
@@ -238,6 +324,11 @@ func (cs *compiledStage) runPartition(ts *task, p int) error {
 	c.ClassifierRejects.Add(rejects)
 	c.NormalPathExceptions.Add(normalExc)
 	c.NormalRows.Add(normal)
+	ts.inRows += input
+	if ts.route != nil {
+		ts.route[0] += input
+		ts.routeExc[0] += rejects
+	}
 	ts.flushProbeCounters()
 	return nil
 }
@@ -279,9 +370,29 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 		return nil, err
 	}
 
+	// Routing-ledger layout (one entry per operator plus the source and
+	// terminal pseudo-entries); counters are only allocated at LevelRows.
+	cs.traceRows = eng.tr.Rows()
+	cs.traceSamples = eng.tr.Samples()
+	cs.opNames = make([]string, 0, len(st.Ops)+2)
+	cs.opNames = append(cs.opNames, "source")
+	for _, op := range st.Ops {
+		cs.opNames = append(cs.opNames, opName(op))
+	}
+	cs.opNames = append(cs.opNames, terminalName(st.Terminal, cs.sinkCSV))
+	cs.termRouteIdx = int32(len(st.Ops) + 1)
+	if cs.traceRows {
+		cs.routing = make([]trace.OpRouting, len(cs.opNames))
+		for i, n := range cs.opNames {
+			cs.routing[i].Op = n
+		}
+	}
+
 	// Walk ops: compute schemas, compile UDFs, build step compilers.
 	type compiledOp struct {
 		make func(next nstep) nstep
+		// ridx is the op's routing-ledger index.
+		ridx int32
 	}
 	var nops []compiledOp
 	schema := cs.inSchema
@@ -289,7 +400,8 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 	frameIdx := 0
 	var lastHandlers *opHandlers
 
-	for _, op := range st.Ops {
+	for oi, op := range st.Ops {
+		ridx := int32(oi + 1)
 		switch op := op.(type) {
 		case *logical.MapOp:
 			scalar, paramT := paramStyle(op.UDF, schema)
@@ -307,22 +419,25 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 			inIdx := 0 // scalar single-column index
 			nCols := outSchema.Len()
 			scratchIdx := su.frameIdx
-			nops = append(nops, compiledOp{make: func(next nstep) nstep {
+			nops = append(nops, compiledOp{ridx: ridx, make: func(next nstep) nstep {
 				return func(ts *task, key uint64, row rows.Row) ECode {
 					v, ec := callNormalUDF(ts, su, row, inIdx, scalar)
 					if ec != 0 {
+						ts.excOp = ridx
 						return ec
 					}
 					out := ts.opScratch(scratchIdx, cs.maxCols)
 					switch {
 					case len(v.Seq) > 0 && (v.Tag == types.KindDict || v.Tag == types.KindTuple):
 						if len(v.Seq) != nCols {
+							ts.excOp = ridx
 							return pyvalue.ExcUnsupported
 						}
 						out = append(out, v.Seq...)
 					case nCols == 1:
 						out = append(out, v)
 					default:
+						ts.excOp = ridx
 						return pyvalue.ExcUnsupported
 					}
 					return next(ts, key, out)
@@ -344,10 +459,11 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 			h := &opHandlers{}
 			cs.boxed = append(cs.boxed, &boxedOp{kind: bOpFilter, udf: su.boxed, handlers: h, inSchema: schema, scalar: scalar})
 			lastHandlers = h
-			nops = append(nops, compiledOp{make: func(next nstep) nstep {
+			nops = append(nops, compiledOp{ridx: ridx, make: func(next nstep) nstep {
 				return func(ts *task, key uint64, row rows.Row) ECode {
 					v, ec := callNormalUDF(ts, su, row, 0, scalar)
 					if ec != 0 {
+						ts.excOp = ridx
 						return ec
 					}
 					if !v.Truth() {
@@ -373,10 +489,11 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 			h := &opHandlers{}
 			cs.boxed = append(cs.boxed, &boxedOp{kind: bOpWithColumn, udf: su.boxed, handlers: h, inSchema: schema, col: op.Col, colIdx: replaceIdx, scalar: scalar})
 			lastHandlers = h
-			nops = append(nops, compiledOp{make: func(next nstep) nstep {
+			nops = append(nops, compiledOp{ridx: ridx, make: func(next nstep) nstep {
 				return func(ts *task, key uint64, row rows.Row) ECode {
 					v, ec := callNormalUDF(ts, su, row, 0, scalar)
 					if ec != 0 {
+						ts.excOp = ridx
 						return ec
 					}
 					if replaceIdx >= 0 {
@@ -407,10 +524,11 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 			h := &opHandlers{}
 			cs.boxed = append(cs.boxed, &boxedOp{kind: bOpMapColumn, udf: su.boxed, handlers: h, inSchema: schema, col: op.Col, colIdx: idx, scalar: true})
 			lastHandlers = h
-			nops = append(nops, compiledOp{make: func(next nstep) nstep {
+			nops = append(nops, compiledOp{ridx: ridx, make: func(next nstep) nstep {
 				return func(ts *task, key uint64, row rows.Row) ECode {
 					v, ec := callNormalUDF(ts, su, row, idx, true)
 					if ec != 0 {
+						ts.excOp = ridx
 						return ec
 					}
 					row[idx] = v
@@ -437,7 +555,7 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 			selScratch := frameIdx
 			frameIdx++
 			cs.boxed = append(cs.boxed, &boxedOp{kind: bOpSelect, sel: sel})
-			nops = append(nops, compiledOp{make: func(next nstep) nstep {
+			nops = append(nops, compiledOp{ridx: ridx, make: func(next nstep) nstep {
 				return func(ts *task, key uint64, row rows.Row) ECode {
 					out := ts.opScratch(selScratch, len(sel))
 					for _, i := range sel {
@@ -466,10 +584,17 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 			cs.boxed = append(cs.boxed, &boxedOp{kind: bOpNoop})
 
 		case *logical.JoinOp:
+			// The build side runs its whole chain here (§4.5), so its
+			// stage spans nest under a join-build span.
+			jsp := eng.tr.Begin("join-build", trace.Str("key", op.RightKey))
 			bt, err := eng.buildJoinTable(op)
 			if err != nil {
 				return nil, err
 			}
+			jsp.Add(trace.Int("build_rows", int64(bt.buildRows)),
+				trace.Int("general_rows", int64(bt.genCount)),
+				trace.Int("shards", int64(len(bt.shards))))
+			eng.tr.End(jsp)
 			keyIdx, ok := schema.Lookup(op.LeftKey)
 			if !ok {
 				return nil, fmt.Errorf("core: join: no column %q in %s", op.LeftKey, schema)
@@ -480,7 +605,7 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 			scratchIdx := frameIdx
 			frameIdx++ // reserve a scratch slot (no frame needed)
 			cs.boxed = append(cs.boxed, &boxedOp{kind: bOpJoin, join: bt, keyIdx: keyIdx, leftOuter: left, inSchema: schema, outSchema: outSchema})
-			nops = append(nops, compiledOp{make: func(next nstep) nstep {
+			nops = append(nops, compiledOp{ridx: ridx, make: func(next nstep) nstep {
 				return func(ts *task, key uint64, row rows.Row) ECode {
 					// Probe: encode the key into the task scratch buffer,
 					// hash, and look up the shard — no allocation. (The
@@ -494,6 +619,7 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 						if bt.genCount > 0 && len(bt.general[string(buf)]) > 0 {
 							// Normal×exception join pairs run on the
 							// exception path (§4.5 pairwise joins).
+							ts.excOp = ridx
 							return pyvalue.ExcUnsupported
 						}
 						matches = bt.lookup(rows.Hash64(buf), buf)
@@ -550,13 +676,66 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 	if err != nil {
 		return nil, err
 	}
-	// Compose the chain back to front.
+	// Compose the chain back to front; at LevelRows every step (and the
+	// terminal) is preceded by its ledger counter.
 	entry := term
+	if cs.traceRows {
+		entry = routeWrap(entry, cs.termRouteIdx)
+	}
 	for i := len(nops) - 1; i >= 0; i-- {
 		entry = nops[i].make(entry)
+		if cs.traceRows {
+			entry = routeWrap(entry, nops[i].ridx)
+		}
 	}
 	cs.entry = entry
+	if cs.traceRows {
+		for _, bop := range cs.boxed {
+			bop.stats = &boxedOpStats{}
+		}
+	}
 	return cs, nil
+}
+
+// opName names an operator for the routing ledger and trace output.
+func opName(op logical.Op) string {
+	switch op := op.(type) {
+	case *logical.MapOp:
+		return "map"
+	case *logical.FilterOp:
+		return "filter"
+	case *logical.WithColumnOp:
+		return "withColumn(" + op.Col + ")"
+	case *logical.MapColumnOp:
+		return "mapColumn(" + op.Col + ")"
+	case *logical.RenameOp:
+		return "rename"
+	case *logical.SelectOp:
+		return "select"
+	case *logical.ResolveOp:
+		return "resolve"
+	case *logical.IgnoreOp:
+		return "ignore"
+	case *logical.JoinOp:
+		return "join(" + op.LeftKey + ")"
+	default:
+		return fmt.Sprintf("%T", op)
+	}
+}
+
+// terminalName names the stage terminal for the routing ledger.
+func terminalName(k physical.TerminalKind, sinkCSV bool) string {
+	switch k {
+	case physical.TerminalUnique:
+		return "unique"
+	case physical.TerminalAggregate:
+		return "aggregate"
+	default:
+		if sinkCSV {
+			return "csv"
+		}
+		return "collect"
+	}
 }
 
 // opScratch returns a reusable slot buffer for op i.

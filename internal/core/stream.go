@@ -1,12 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/gotuplex/tuplex/internal/csvio"
 	"github.com/gotuplex/tuplex/internal/physical"
@@ -261,42 +265,59 @@ func (eng *engine) executeStreamed(cs *compiledStage) (*mat, error) {
 	recordsSplit := int64(0)
 
 	var wg sync.WaitGroup
-	for range workers {
+	for w := range workers {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for t := range taskCh {
-				if stop.Load() {
+			body := func(context.Context) {
+				for t := range taskCh {
+					if stop.Load() {
+						t.chunk.Release()
+						continue
+					}
+					recs := t.recs
+					if recs == nil {
+						if cs.isText {
+							recs = splitPlainLines(t.chunk.Data)
+						} else {
+							recs = csvio.SplitRecords(t.chunk.Data)
+						}
+					}
+					ts := cs.newTask(eng, t.part)
+					ts.worker = w
+					if eng.tr != nil {
+						ts.start = time.Now()
+					}
+					err := cs.runRecords(ts, t.part, recs, uint64(t.part)<<streamKeyShift, true)
+					if eng.tr != nil {
+						ts.dur = time.Since(ts.start)
+					}
 					t.chunk.Release()
-					continue
-				}
-				recs := t.recs
-				if recs == nil {
-					if cs.isText {
-						recs = splitPlainLines(t.chunk.Data)
+					mu.Lock()
+					if err != nil {
+						if workErr == nil {
+							workErr = err
+						}
+						stop.Store(true)
 					} else {
-						recs = csvio.SplitRecords(t.chunk.Data)
+						for t.part >= len(tasks) {
+							tasks = append(tasks, nil)
+						}
+						tasks[t.part] = ts
+						recordsSplit += int64(len(recs))
 					}
+					mu.Unlock()
 				}
-				ts := cs.newTask(eng, t.part)
-				err := cs.runRecords(ts, t.part, recs, uint64(t.part)<<streamKeyShift, true)
-				t.chunk.Release()
-				mu.Lock()
-				if err != nil {
-					if workErr == nil {
-						workErr = err
-					}
-					stop.Store(true)
-				} else {
-					for t.part >= len(tasks) {
-						tasks = append(tasks, nil)
-					}
-					tasks[t.part] = ts
-					recordsSplit += int64(len(recs))
-				}
-				mu.Unlock()
 			}
-		}()
+			if eng.tr != nil {
+				pprof.Do(context.Background(), pprof.Labels(
+					"tuplex", "executor",
+					"stage", strconv.Itoa(eng.stageSeq-1),
+					"worker", strconv.Itoa(w)), body)
+				return
+			}
+			body(context.Background())
+		}(w)
 	}
 	wg.Wait()
 	if prodErr != nil {

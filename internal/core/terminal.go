@@ -48,8 +48,10 @@ func (cs *compiledStage) makeTerminal() (nstep, error) {
 	case physical.TerminalAggregate:
 		su := cs.aggUDF
 		scalar := cs.aggScalar
+		ridx := cs.termRouteIdx
 		return func(ts *task, key uint64, row rows.Row) ECode {
 			if su == nil || su.compiled == nil {
+				ts.excOp = ridx
 				return pyvalue.ExcUnsupported
 			}
 			fr := ts.frames[su.frameIdx]
@@ -59,6 +61,7 @@ func (cs *compiledStage) makeTerminal() (nstep, error) {
 			}
 			v, ec := su.compiled.Call(fr, []rows.Slot{ts.aggSlot, arg})
 			if ec != 0 {
+				ts.excOp = ridx
 				return ec
 			}
 			ts.aggSlot = v

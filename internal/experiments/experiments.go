@@ -24,6 +24,11 @@ type Scale struct {
 	Q6Rows      int
 	Parallelism int
 	Repeats     int
+	// TraceDir, when non-empty, enables run tracing (TraceRows) for the
+	// experiments that capture a Result and writes each run's trace as
+	// <TraceDir>/<id>.trace.json, printing the trace tree alongside the
+	// timing table.
+	TraceDir string
 }
 
 // DefaultScale is the harness default.

@@ -171,17 +171,21 @@ func Fig4(scale Scale, w io.Writer) (*Experiment, error) {
 		}
 		e.Rows = append(e.Rows, Row{System: "PySparkSQL (" + sc.label + ")", Seconds: secs, PaperSeconds: sc.paper["PySparkSQL"]})
 		var exRate float64
+		var last *tuplex.Result
+		topts := append([]tuplex.Option{tuplex.WithExecutors(p)}, scale.traceOpts()...)
 		secs, err = timeIt(scale.Repeats, func() error {
-			c := tuplex.NewContext(tuplex.WithExecutors(p))
+			c := tuplex.NewContext(topts...)
 			res, err := pipelines.Flights(pipelines.FlightsSources(c, perf, carriers, airports)).Collect()
 			if err == nil {
-				exRate = res.Metrics.Counters.ExceptionRate()
+				exRate = res.Metrics.Rows.ExceptionRate()
+				last = res
 			}
 			return err
 		})
 		if err != nil {
 			return nil, fmt.Errorf("tuplex flights: %w", err)
 		}
+		saveTrace(scale, "flights-"+sc.label, last, w)
 		e.Rows = append(e.Rows, Row{System: "Tuplex (" + sc.label + ")", Seconds: secs,
 			PaperSeconds: sc.paper["Tuplex"],
 			Note:         fmt.Sprintf("%.1f%% rows off normal path (paper 2.6%%)", exRate*100)})

@@ -8,7 +8,6 @@ import (
 
 	tuplex "github.com/gotuplex/tuplex"
 	"github.com/gotuplex/tuplex/internal/data"
-	"github.com/gotuplex/tuplex/internal/metrics"
 	"github.com/gotuplex/tuplex/internal/pipelines"
 )
 
@@ -32,12 +31,15 @@ func Ingest(scale Scale, w io.Writer) (*Experiment, error) {
 	}
 
 	run := func(system string, opts ...tuplex.Option) error {
-		var m *metrics.Metrics
+		var m *tuplex.Metrics
+		var last *tuplex.Result
+		opts = append(opts, scale.traceOpts()...)
 		secs, err := timeIt(scale.Repeats, func() error {
 			c := tuplex.NewContext(opts...)
 			res, err := pipelines.Zillow(c.CSV(path)).ToCSV("")
 			if err == nil {
 				m = res.Metrics
+				last = res
 			}
 			return err
 		})
@@ -45,11 +47,12 @@ func Ingest(scale Scale, w io.Writer) (*Experiment, error) {
 			return fmt.Errorf("%s: %w", system, err)
 		}
 		note := ""
-		if m != nil && len(m.Stage) > 0 {
-			s := m.Stage[0]
+		if m != nil && len(m.Stages) > 0 {
+			s := m.Stages[0]
 			note = fmt.Sprintf("%.0f rows/s, %.1f MB/s", s.RowsPerSec(), s.MBPerSec())
 		}
 		e.Rows = append(e.Rows, Row{System: system, Seconds: secs, Note: note})
+		saveTrace(scale, "ingest-"+system, last, w)
 		return nil
 	}
 

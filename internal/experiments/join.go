@@ -6,7 +6,6 @@ import (
 	"math/rand"
 
 	tuplex "github.com/gotuplex/tuplex"
-	"github.com/gotuplex/tuplex/internal/metrics"
 )
 
 // Join measures the sharded hash-join kernels (§4.5): an inner join of a
@@ -34,26 +33,30 @@ func Join(scale Scale, w io.Writer) (*Experiment, error) {
 	}
 
 	runJoin := func(system string, executors int) error {
-		var m *metrics.Metrics
+		var m *tuplex.Metrics
+		var last *tuplex.Result
+		opts := append([]tuplex.Option{tuplex.WithExecutors(executors)}, scale.traceOpts()...)
 		secs, err := timeIt(scale.Repeats, func() error {
-			c := tuplex.NewContext(tuplex.WithExecutors(executors))
+			c := tuplex.NewContext(opts...)
 			lhs := c.Parallelize(probe, []string{"code", "delay"})
 			rhs := c.Parallelize(build, []string{"code", "carrier"})
 			res, err := lhs.Join(rhs, "code", "code").Collect()
 			if err == nil {
 				m = res.Metrics
+				last = res
 			}
 			return err
 		})
 		if err != nil {
 			return fmt.Errorf("%s: %w", system, err)
 		}
+		saveTrace(scale, "join-"+system, last, w)
 		note := ""
 		if m != nil {
-			j := &m.Join
+			j := m.Join
 			note = fmt.Sprintf("%.0f probe rows/s, hit rate %.0f%%, %d shards, balance %.2f",
-				float64(j.ProbeHits.Load()+j.ProbeMisses.Load())/secs,
-				j.HitRate()*100, j.Shards.Load(), j.ShardBalance())
+				float64(j.ProbeHits+j.ProbeMisses)/secs,
+				j.HitRate()*100, j.Shards, j.ShardBalance())
 		}
 		e.Rows = append(e.Rows, Row{System: system, Seconds: secs, Note: note})
 		return nil

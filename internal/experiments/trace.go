@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	tuplex "github.com/gotuplex/tuplex"
+)
+
+// traceOpts returns the extra context options implied by Scale.TraceDir:
+// when tracing is requested, runs record the row-routing ledger so the
+// saved traces explain where every row went.
+func (s Scale) traceOpts() []tuplex.Option {
+	if s.TraceDir == "" {
+		return nil
+	}
+	return []tuplex.Option{tuplex.WithTracing(tuplex.TraceRows)}
+}
+
+// saveTrace prints a run's trace tree and writes it as JSON under
+// Scale.TraceDir. No-op when tracing is off or the run kept no trace.
+func saveTrace(s Scale, id string, res *tuplex.Result, w io.Writer) {
+	if s.TraceDir == "" || res == nil || res.Trace == nil {
+		return
+	}
+	fmt.Fprintf(w, "\n-- trace: %s --\n%s", id, res.Trace)
+	b, err := json.MarshalIndent(res.Trace, "", "  ")
+	if err != nil {
+		return
+	}
+	path := filepath.Join(s.TraceDir, traceFileName(id))
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		fmt.Fprintf(w, "  trace write failed: %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "wrote %s\n", path)
+}
+
+// traceFileName turns a system/experiment label into a filename.
+func traceFileName(id string) string {
+	r := strings.NewReplacer(" ", "-", ",", "", "/", "-", "(", "", ")", "")
+	return r.Replace(id) + ".trace.json"
+}

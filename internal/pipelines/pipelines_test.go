@@ -31,8 +31,8 @@ func TestZillowMatchesHandOptimized(t *testing.T) {
 		}
 	}
 	// Dirty rows must appear in statistics, not as crashes.
-	cnt := &res.Metrics.Counters
-	if cnt.ClassifierRejects.Load()+cnt.NormalPathExceptions.Load() == 0 {
+	cnt := res.Metrics.Rows
+	if cnt.ClassifierRejects+cnt.NormalPathExceptions == 0 {
 		t.Fatal("expected some exception rows from the dirty fraction")
 	}
 	t.Logf("zillow metrics: %s", res.Metrics)
@@ -113,11 +113,11 @@ func TestFlightsPipelineRuns(t *testing.T) {
 	t.Logf("flights: %d rows, metrics: %s", len(res.Rows), res.Metrics)
 	// The diverted/cancelled generator knobs must produce general-case
 	// rows, like §6.1.2's 2.6%.
-	cnt := &res.Metrics.Counters
-	if cnt.ClassifierRejects.Load() == 0 {
+	cnt := res.Metrics.Rows
+	if cnt.ClassifierRejects == 0 {
 		t.Fatal("expected diverted rows to leave the normal path")
 	}
-	if cnt.FailedRows.Load() > 0 {
+	if cnt.Failed > 0 {
 		t.Fatalf("failed rows: %v", res.Failed[:min(3, len(res.Failed))])
 	}
 }

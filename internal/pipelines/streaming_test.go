@@ -233,19 +233,19 @@ func TestStreamingIngestMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := res.Metrics
-	if got := m.Ingest.BytesRead.Load(); got != int64(len(raw)) {
+	if got := m.Ingest.BytesRead; got != int64(len(raw)) {
 		t.Fatalf("BytesRead = %d, want %d", got, len(raw))
 	}
-	if m.Ingest.RecordsSplit.Load() == 0 {
+	if m.Ingest.RecordsSplit == 0 {
 		t.Fatal("RecordsSplit not counted")
 	}
-	if len(m.Stage) == 0 {
+	if len(m.Stages) == 0 {
 		t.Fatal("no per-stage ingest figures")
 	}
-	if m.Stage[0].Bytes != int64(len(raw)) || m.Stage[0].Records == 0 {
-		t.Fatalf("stage0 ingest = %+v", m.Stage[0])
+	if m.Stages[0].Bytes != int64(len(raw)) || m.Stages[0].Records == 0 {
+		t.Fatalf("stage0 ingest = %+v", m.Stages[0])
 	}
-	if m.Stage[0].RowsPerSec() <= 0 || m.Stage[0].MBPerSec() <= 0 {
-		t.Fatalf("stage0 throughput = %+v", m.Stage[0])
+	if m.Stages[0].RowsPerSec() <= 0 || m.Stages[0].MBPerSec() <= 0 {
+		t.Fatalf("stage0 throughput = %+v", m.Stages[0])
 	}
 }

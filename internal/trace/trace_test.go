@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Level() != LevelOff || tr.Rows() || tr.Samples() {
+		t.Fatalf("nil tracer level gates wrong")
+	}
+	sp := tr.Begin("x")
+	sp.Add(Str("k", "v")) // nil span
+	tr.Child("y", time.Millisecond)
+	tr.End(sp)
+	if tr.Finish() != nil {
+		t.Fatalf("nil tracer Finish must be nil")
+	}
+	if tr.OffsetNS(time.Now()) != 0 {
+		t.Fatalf("nil tracer OffsetNS must be 0")
+	}
+}
+
+func TestOffLevelYieldsNilTracer(t *testing.T) {
+	if New(LevelOff) != nil {
+		t.Fatalf("LevelOff must give a nil tracer")
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := New(LevelSamples)
+	if !tr.Rows() || !tr.Samples() {
+		t.Fatalf("level gates wrong")
+	}
+	a := tr.Begin("a")
+	tr.Child("a1", time.Microsecond, Int("n", 3))
+	b := tr.Begin("b", Str("x", "y"))
+	tr.End(b)
+	tr.Child("a2", 0)
+	tr.End(a)
+	c := tr.Begin("c")
+	tr.End(c)
+	got := tr.Finish()
+	if got.Level != LevelSamples {
+		t.Fatalf("level = %v", got.Level)
+	}
+	root := got.Root
+	if root.Name != "run" || len(root.Children) != 2 {
+		t.Fatalf("root = %q with %d children", root.Name, len(root.Children))
+	}
+	wantA := []string{"a1", "b", "a2"}
+	if len(root.Children[0].Children) != len(wantA) {
+		t.Fatalf("a children = %d", len(root.Children[0].Children))
+	}
+	for i, w := range wantA {
+		if root.Children[0].Children[i].Name != w {
+			t.Fatalf("a child %d = %q, want %q", i, root.Children[0].Children[i].Name, w)
+		}
+	}
+	if root.Children[1].Name != "c" {
+		t.Fatalf("second top child = %q", root.Children[1].Name)
+	}
+	if root.DurNS <= 0 {
+		t.Fatalf("root duration not recorded")
+	}
+}
+
+func TestUnbalancedEndIsTolerated(t *testing.T) {
+	tr := New(LevelSpans)
+	a := tr.Begin("a")
+	b := tr.Begin("b")
+	tr.End(a) // ends a, implicitly dropping b from the stack
+	_ = b
+	c := tr.Begin("c")
+	tr.End(c)
+	got := tr.Finish()
+	if len(got.Root.Children) != 2 {
+		t.Fatalf("top-level spans = %d, want 2 (a, c)", len(got.Root.Children))
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := New(LevelRows)
+	s := tr.Begin("stage", Int("index", 0))
+	s.Tasks = []TaskTiming{{Part: 0, Worker: 1, Rows: 42, StartNS: 10, DurNS: 20}}
+	s.Routing = []OpRouting{{Op: "source", NormalIn: 42, NormalExc: 2}, {Op: "map", GeneralResolved: 2}}
+	s.Samples = []ExcSample{{Op: "map", Exc: "TypeError", Input: "x", Outcome: "general"}}
+	tr.End(s)
+	trace := tr.Finish()
+
+	b, err := json.Marshal(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*trace, back) {
+		t.Fatalf("round trip mismatch:\n  want %+v\n  got  %+v", *trace, back)
+	}
+}
+
+func TestOpRoutingZero(t *testing.T) {
+	if !(OpRouting{Op: "map"}).Zero() {
+		t.Fatalf("empty entry should be Zero")
+	}
+	if (OpRouting{Op: "map", Failed: 1}).Zero() {
+		t.Fatalf("entry with counts should not be Zero")
+	}
+}

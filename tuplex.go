@@ -26,23 +26,24 @@ import (
 	"github.com/gotuplex/tuplex/internal/codegen"
 	"github.com/gotuplex/tuplex/internal/core"
 	"github.com/gotuplex/tuplex/internal/logical"
-	"github.com/gotuplex/tuplex/internal/metrics"
 	"github.com/gotuplex/tuplex/internal/pyvalue"
-	"github.com/gotuplex/tuplex/internal/sample"
 )
 
 // ExcKind identifies a Python exception class for Resolve/Ignore.
-type ExcKind = pyvalue.ExcKind
+type ExcKind uint8
 
 // Exception kinds usable with Resolve and Ignore.
 const (
-	TypeError         = pyvalue.ExcTypeError
-	ValueError        = pyvalue.ExcValueError
-	ZeroDivisionError = pyvalue.ExcZeroDivisionError
-	IndexError        = pyvalue.ExcIndexError
-	KeyError          = pyvalue.ExcKeyError
-	AttributeError    = pyvalue.ExcAttributeError
+	TypeError         = ExcKind(pyvalue.ExcTypeError)
+	ValueError        = ExcKind(pyvalue.ExcValueError)
+	ZeroDivisionError = ExcKind(pyvalue.ExcZeroDivisionError)
+	IndexError        = ExcKind(pyvalue.ExcIndexError)
+	KeyError          = ExcKind(pyvalue.ExcKeyError)
+	AttributeError    = ExcKind(pyvalue.ExcAttributeError)
 )
+
+// String names the exception class ("TypeError", ...).
+func (k ExcKind) String() string { return pyvalue.ExcKind(k).String() }
 
 // UDFDef is a Python UDF definition: source plus optional globals.
 type UDFDef struct {
@@ -64,81 +65,102 @@ func (u UDFDef) WithGlobal(name string, value any) UDFDef {
 	return UDFDef{source: u.source, globals: g}
 }
 
-// Option configures a Context.
-type Option func(*core.Options)
+// Option configures a Context. Options are opaque values built by the
+// With* constructors; external modules never need to name any engine
+// type.
+type Option struct {
+	apply func(*core.Options)
+}
 
 // WithExecutors sets the executor thread count.
 func WithExecutors(n int) Option {
-	return func(o *core.Options) { o.Executors = n }
+	return Option{apply: func(o *core.Options) { o.Executors = n }}
 }
 
 // WithSampleSize sets how many input rows the sampler inspects.
 func WithSampleSize(n int) Option {
-	return func(o *core.Options) { o.Sample.Size = n }
+	return Option{apply: func(o *core.Options) { o.Sample.Size = n }}
 }
 
 // WithNullThreshold sets the δ threshold of §4.2's option-type policy.
 func WithNullThreshold(delta float64) Option {
-	return func(o *core.Options) { o.Sample.Delta = delta }
+	return Option{apply: func(o *core.Options) { o.Sample.Delta = delta }}
 }
 
-// WithoutNullOptimization disables normal-case null specialization
-// (§6.3.3 ablation).
-func WithoutNullOptimization() Option {
-	return func(o *core.Options) { o.Sample.DisableNullOpt = true }
+// WithNullOptimization toggles normal-case null specialization (§6.3.3
+// ablation when false; default on).
+func WithNullOptimization(on bool) Option {
+	return Option{apply: func(o *core.Options) { o.Sample.DisableNullOpt = !on }}
 }
+
+// WithoutNullOptimization disables normal-case null specialization.
+//
+// Deprecated: use WithNullOptimization(false).
+func WithoutNullOptimization() Option { return WithNullOptimization(false) }
 
 // WithoutLogicalOptimizations disables filter/projection pushdown and
 // join reordering.
 func WithoutLogicalOptimizations() Option {
-	return func(o *core.Options) { o.Logical = logical.Options{} }
+	return Option{apply: func(o *core.Options) { o.Logical = logical.Options{} }}
 }
 
 // WithLogicalOptimizations sets the planner rewrites individually.
 func WithLogicalOptimizations(projection, filter, joinReorder bool) Option {
-	return func(o *core.Options) {
+	return Option{apply: func(o *core.Options) {
 		o.Logical = logical.Options{
 			ProjectionPushdown: projection,
 			FilterPushdown:     filter,
 			JoinReorder:        joinReorder,
 		}
-	}
+	}}
 }
 
-// WithoutStageFusion makes every UDF operator an optimization barrier
-// (§6.3.2 ablation).
-func WithoutStageFusion() Option {
-	return func(o *core.Options) { o.Fusion = false }
+// WithStageFusion toggles maximal stages (§6.3.2 ablation when false;
+// default on: every UDF operator fuses into its stage).
+func WithStageFusion(on bool) Option {
+	return Option{apply: func(o *core.Options) { o.Fusion = on }}
+}
+
+// WithoutStageFusion makes every UDF operator an optimization barrier.
+//
+// Deprecated: use WithStageFusion(false).
+func WithoutStageFusion() Option { return WithStageFusion(false) }
+
+// WithCompilerOptimizations toggles specialized fast-path code
+// generation. When false, the fast path uses generic boxed dispatch —
+// the "LLVM optimizers disabled" arm of Fig. 11. Default on.
+func WithCompilerOptimizations(on bool) Option {
+	return Option{apply: func(o *core.Options) { o.Codegen = codegen.Options{Specialize: on} }}
 }
 
 // WithoutCompilerOptimizations generates generic (boxed-dispatch) code
-// on the fast path — the "LLVM optimizers disabled" arm of Fig. 11.
-func WithoutCompilerOptimizations() Option {
-	return func(o *core.Options) { o.Codegen = codegen.Options{Specialize: false} }
-}
+// on the fast path.
+//
+// Deprecated: use WithCompilerOptimizations(false).
+func WithoutCompilerOptimizations() Option { return WithCompilerOptimizations(false) }
 
 // WithSeed seeds random.choice.
 func WithSeed(seed uint64) Option {
-	return func(o *core.Options) { o.Seed = seed }
+	return Option{apply: func(o *core.Options) { o.Seed = seed }}
 }
 
 // WithPartitionRows caps rows per partition task.
 func WithPartitionRows(n int) Option {
-	return func(o *core.Options) { o.PartitionRows = n }
+	return Option{apply: func(o *core.Options) { o.PartitionRows = n }}
 }
 
 // WithStreamingIngest toggles chunked pipelined ingest for file-backed
 // sources (default on). When off, sources are fully materialized and
 // record-split before execution starts.
 func WithStreamingIngest(on bool) Option {
-	return func(o *core.Options) { o.Streaming = on }
+	return Option{apply: func(o *core.Options) { o.Streaming = on }}
 }
 
 // WithChunkSize sets the streamed ingest chunk size in bytes (default
 // ~16 MiB). Each chunk becomes one partition task, so smaller chunks
 // expose more parallelism at the cost of per-task overhead.
 func WithChunkSize(n int) Option {
-	return func(o *core.Options) { o.ChunkSize = n }
+	return Option{apply: func(o *core.Options) { o.ChunkSize = n }}
 }
 
 // Context owns configuration and is the entry point for pipelines,
@@ -151,117 +173,166 @@ type Context struct {
 // defaults.
 func NewContext(opts ...Option) *Context {
 	o := core.DefaultOptions()
-	for _, fn := range opts {
-		fn(&o)
+	for _, opt := range opts {
+		if opt.apply != nil {
+			opt.apply(&o)
+		}
 	}
 	return &Context{opts: o}
 }
 
-// CSVOption configures a CSV source.
-type CSVOption func(*logical.CSVSource)
+// CSVOption configures a CSV source. Like Option, it is an opaque value
+// built by the CSV* constructors.
+type CSVOption struct {
+	apply func(*logical.CSVSource)
+}
 
 // CSVHeader declares whether the file's first row is a header (default
 // true).
 func CSVHeader(has bool) CSVOption {
-	return func(s *logical.CSVSource) { s.Header = has }
+	return CSVOption{apply: func(s *logical.CSVSource) { s.Header = has }}
 }
 
 // CSVDelimiter sets the field delimiter.
 func CSVDelimiter(d byte) CSVOption {
-	return func(s *logical.CSVSource) { s.Delim = d }
+	return CSVOption{apply: func(s *logical.CSVSource) { s.Delim = d }}
 }
 
 // CSVColumns names the columns (implies no reliance on a header row).
 func CSVColumns(names ...string) CSVOption {
-	return func(s *logical.CSVSource) { s.Columns = names }
+	return CSVOption{apply: func(s *logical.CSVSource) { s.Columns = names }}
 }
 
 // CSVNullValues sets the cell spellings treated as NULL.
 func CSVNullValues(values ...string) CSVOption {
-	return func(s *logical.CSVSource) { s.NullValues = values }
+	return CSVOption{apply: func(s *logical.CSVSource) { s.NullValues = values }}
 }
 
 // CSVData supplies the content directly instead of reading a path.
 func CSVData(data []byte) CSVOption {
-	return func(s *logical.CSVSource) { s.Data = data }
+	return CSVOption{apply: func(s *logical.CSVSource) { s.Data = data }}
 }
 
 // CSV opens a CSV dataset.
 func (c *Context) CSV(path string, opts ...CSVOption) *DataSet {
 	src := &logical.CSVSource{Path: path, Header: true, Delim: ','}
-	for _, fn := range opts {
-		fn(src)
+	for _, opt := range opts {
+		if opt.apply != nil {
+			opt.apply(src)
+		}
 	}
 	return &DataSet{ctx: c, node: &logical.Node{Op: src}}
 }
 
-// TextOption configures a text source.
-type TextOption func(*logical.TextSource)
+// TextOption configures a text source. Like Option, it is an opaque
+// value built by the Text* constructors.
+type TextOption struct {
+	apply func(*logical.TextSource)
+}
 
 // TextData supplies content directly.
 func TextData(data []byte) TextOption {
-	return func(s *logical.TextSource) { s.Data = data }
+	return TextOption{apply: func(s *logical.TextSource) { s.Data = data }}
 }
 
 // TextColumn names the single text column (default "value").
 func TextColumn(name string) TextOption {
-	return func(s *logical.TextSource) { s.Column = name }
+	return TextOption{apply: func(s *logical.TextSource) { s.Column = name }}
 }
 
 // Text opens newline-delimited text as single-column rows.
 func (c *Context) Text(path string, opts ...TextOption) *DataSet {
 	src := &logical.TextSource{Path: path}
-	for _, fn := range opts {
-		fn(src)
+	for _, opt := range opts {
+		if opt.apply != nil {
+			opt.apply(src)
+		}
 	}
 	return &DataSet{ctx: c, node: &logical.Node{Op: src}}
 }
 
+// maxParallelizeWarnings caps the per-call unsupported-type warnings so
+// a large dirty input doesn't flood Result.Warnings.
+const maxParallelizeWarnings = 5
+
 // Parallelize wraps in-memory rows. Each row is a slice of Go values
 // (nil, bool, int/int64, float64, string, nested []any, map[string]any).
+// Values of any other Go type are converted with fmt.Sprint and reported
+// in Result.Warnings, naming the offending row and column.
 func (c *Context) Parallelize(data [][]any, columns []string) *DataSet {
+	var warns []string
+	skipped := 0
 	boxed := make([][]pyvalue.Value, len(data))
 	for i, r := range data {
 		row := make([]pyvalue.Value, len(r))
 		for j, v := range r {
-			row[j] = boxValue(v)
+			bv, ok := boxValueChecked(v)
+			if !ok {
+				if len(warns) < maxParallelizeWarnings {
+					col := fmt.Sprintf("%d", j)
+					if j < len(columns) {
+						col = fmt.Sprintf("%q", columns[j])
+					}
+					warns = append(warns, fmt.Sprintf(
+						"parallelize: row %d, column %s: unsupported Go type %T converted with fmt.Sprint", i, col, v))
+				} else {
+					skipped++
+				}
+			}
+			row[j] = bv
 		}
 		boxed[i] = row
 	}
+	if skipped > 0 {
+		warns = append(warns, fmt.Sprintf("parallelize: %d more unsupported-type conversions", skipped))
+	}
 	src := &logical.ParallelizeSource{Rows: boxed, Names: columns}
-	return &DataSet{ctx: c, node: &logical.Node{Op: src}}
+	return &DataSet{ctx: c, node: &logical.Node{Op: src}, warns: warns}
 }
 
 func boxValue(v any) pyvalue.Value {
+	bv, _ := boxValueChecked(v)
+	return bv
+}
+
+// boxValueChecked boxes a Go value; ok is false when v (or any nested
+// element) has no Python mapping and was stringified with fmt.Sprint.
+func boxValueChecked(v any) (_ pyvalue.Value, ok bool) {
 	switch v := v.(type) {
 	case nil:
-		return pyvalue.None{}
+		return pyvalue.None{}, true
 	case bool:
-		return pyvalue.Bool(v)
+		return pyvalue.Bool(v), true
 	case int:
-		return pyvalue.Int(int64(v))
+		return pyvalue.Int(int64(v)), true
 	case int64:
-		return pyvalue.Int(v)
+		return pyvalue.Int(v), true
 	case float64:
-		return pyvalue.Float(v)
+		return pyvalue.Float(v), true
 	case string:
-		return pyvalue.Str(v)
+		return pyvalue.Str(v), true
 	case []any:
+		ok = true
 		items := make([]pyvalue.Value, len(v))
 		for i, it := range v {
-			items[i] = boxValue(it)
+			bv, bok := boxValueChecked(it)
+			items[i] = bv
+			ok = ok && bok
 		}
-		return &pyvalue.List{Items: items}
+		return &pyvalue.List{Items: items}, ok
 	case map[string]any:
+		ok = true
 		d := pyvalue.NewDict()
 		for k, it := range v {
-			d.Set(k, boxValue(it))
+			bv, bok := boxValueChecked(it)
+			d.Set(k, bv)
+			ok = ok && bok
 		}
-		return d
+		return d, ok
 	case pyvalue.Value:
-		return v
+		return v, true
 	default:
-		return pyvalue.Str(fmt.Sprint(v))
+		return pyvalue.Str(fmt.Sprint(v)), false
 	}
 }
 
@@ -272,13 +343,17 @@ type DataSet struct {
 	ctx  *Context
 	node *logical.Node
 	err  error
+	// warns carries advisory messages gathered while building the
+	// pipeline (e.g. Parallelize type conversions); they surface on
+	// Result.Warnings.
+	warns []string
 }
 
 func (d *DataSet) chain(op logical.Op) *DataSet {
 	if d.err != nil {
 		return d
 	}
-	return &DataSet{ctx: d.ctx, node: &logical.Node{Op: op, Input: d.node}}
+	return &DataSet{ctx: d.ctx, node: &logical.Node{Op: op, Input: d.node}, warns: d.warns}
 }
 
 func (d *DataSet) udf(u UDFDef) (*logical.UDFSpec, error) {
@@ -293,7 +368,7 @@ func (d *DataSet) udf(u UDFDef) (*logical.UDFSpec, error) {
 }
 
 func (d *DataSet) fail(err error) *DataSet {
-	return &DataSet{ctx: d.ctx, node: d.node, err: err}
+	return &DataSet{ctx: d.ctx, node: d.node, err: err, warns: d.warns}
 }
 
 // Map replaces each row with the UDF's result; dict results become named
@@ -350,13 +425,13 @@ func (d *DataSet) Resolve(exc ExcKind, u UDFDef) *DataSet {
 	if err != nil {
 		return d.fail(err)
 	}
-	return d.chain(&logical.ResolveOp{Exc: exc, UDF: spec})
+	return d.chain(&logical.ResolveOp{Exc: pyvalue.ExcKind(exc), UDF: spec})
 }
 
 // Ignore drops rows that raised the given exception in the preceding
 // operator.
 func (d *DataSet) Ignore(exc ExcKind) *DataSet {
-	return d.chain(&logical.IgnoreOp{Exc: exc})
+	return d.chain(&logical.IgnoreOp{Exc: pyvalue.ExcKind(exc)})
 }
 
 // Join inner-joins with other (the build side) on leftKey == rightKey.
@@ -379,6 +454,9 @@ func (d *DataSet) LeftJoinPrefixed(other *DataSet, leftKey, rightKey, leftPrefix
 func (d *DataSet) joinWith(other *DataSet, leftKey, rightKey string, left bool, lp, rp string) *DataSet {
 	if other.err != nil {
 		return d.fail(other.err)
+	}
+	if len(other.warns) > 0 {
+		d = &DataSet{ctx: d.ctx, node: d.node, warns: append(append([]string{}, d.warns...), other.warns...)}
 	}
 	return d.chain(&logical.JoinOp{
 		Build:       other.node,
@@ -418,21 +496,35 @@ type Result struct {
 	// Failed reports rows no path could process.
 	Failed []FailedRow
 	// Metrics exposes path statistics and timings.
-	Metrics *metrics.Metrics
+	Metrics *Metrics
+	// Trace is the run's observability record: span tree, task timings
+	// and — at TraceRows and above — the row-routing ledger. Nil when the
+	// run used WithTracing(TraceOff).
+	Trace *Trace
 	// Warnings carries advisory messages.
 	Warnings []string
 }
 
-// FailedRow re-exports the engine's failed-row report.
-type FailedRow = core.FailedRow
+// FailedRow describes an input row no execution path could process.
+// Failed rows are reported here rather than raised (§3).
+type FailedRow struct {
+	// Exc is the Python exception class the row raised.
+	Exc ExcKind `json:"exc"`
+	// Msg is the exception message.
+	Msg string `json:"msg"`
+	// Input is the rendered input row.
+	Input string `json:"input"`
+}
 
 // Collect executes the pipeline and returns all rows.
 func (d *DataSet) Collect() (*Result, error) {
 	return d.run(core.SinkCollect, "")
 }
 
-// Take executes the pipeline and returns at most n rows (a debugging
-// convenience; the whole pipeline still runs).
+// Take executes the pipeline and returns at most n rows. It is a
+// debugging convenience, not an optimization: the whole pipeline still
+// runs over the full input, then the collected rows are truncated.
+// Take(-1) (any negative n) returns all rows, exactly like Collect.
 func (d *DataSet) Take(n int) (*Result, error) {
 	res, err := d.run(core.SinkCollect, "")
 	if err != nil {
@@ -486,9 +578,15 @@ func (d *DataSet) run(kind core.SinkKind, path string) (*Result, error) {
 	}
 	res := &Result{
 		CSV:      cr.CSV,
-		Failed:   cr.Failed,
-		Metrics:  cr.Metrics,
-		Warnings: cr.Warnings,
+		Metrics:  newMetrics(cr.Metrics),
+		Trace:    newTrace(cr.Trace),
+		Warnings: append(append([]string{}, d.warns...), cr.Warnings...),
+	}
+	if len(res.Warnings) == 0 {
+		res.Warnings = nil
+	}
+	for _, f := range cr.Failed {
+		res.Failed = append(res.Failed, FailedRow{Exc: ExcKind(f.Exc), Msg: f.Msg, Input: f.Input})
 	}
 	if cr.Schema != nil {
 		res.Columns = cr.Schema.Names()
@@ -541,6 +639,3 @@ func unboxValue(v pyvalue.Value) any {
 		return pyvalue.ToStr(v)
 	}
 }
-
-// SampleConfig re-exports the sampler configuration for advanced tuning.
-type SampleConfig = sample.Config

@@ -26,8 +26,8 @@ func TestQuickstartMapColumn(t *testing.T) {
 	if got := res.Rows[0][1]; got != 160.9 {
 		t.Fatalf("row0 distance = %v", got)
 	}
-	if res.Metrics.Counters.NormalRows.Load() != 3 {
-		t.Fatalf("normal rows = %d (all rows should take the fast path)", res.Metrics.Counters.NormalRows.Load())
+	if res.Metrics.Rows.Normal != 3 {
+		t.Fatalf("normal rows = %d (all rows should take the fast path)", res.Metrics.Rows.Normal)
 	}
 }
 
@@ -73,8 +73,7 @@ func TestDirtyRowsGoToExceptionPathAndResolve(t *testing.T) {
 	if res.Rows[1][1] != 0.0 {
 		t.Fatalf("row1 = %v", res.Rows[1])
 	}
-	c1 := &res.Metrics.Counters
-	if c1.ResolverResolved.Load() == 0 {
+	if res.Metrics.Rows.ResolverResolved == 0 {
 		t.Fatal("expected resolver activity")
 	}
 }
@@ -110,8 +109,8 @@ func TestIgnoreDropsRows(t *testing.T) {
 	if len(res.Rows) != 3 || len(res.Failed) != 0 {
 		t.Fatalf("rows=%v failed=%v", res.Rows, res.Failed)
 	}
-	if res.Metrics.Counters.IgnoredRows.Load() != 1 {
-		t.Fatalf("ignored = %d", res.Metrics.Counters.IgnoredRows.Load())
+	if res.Metrics.Rows.Ignored != 1 {
+		t.Fatalf("ignored = %d", res.Metrics.Rows.Ignored)
 	}
 }
 
@@ -334,9 +333,9 @@ func TestNullHeavyColumnPrunesBranch(t *testing.T) {
 	if res.Rows[0][2] != 0.0 {
 		t.Fatalf("row0 = %v", res.Rows[0])
 	}
-	if res.Metrics.Counters.NormalRows.Load() != 50 {
+	if res.Metrics.Rows.Normal != 50 {
 		t.Fatalf("normal = %d; null branch should stay on fast path",
-			res.Metrics.Counters.NormalRows.Load())
+			res.Metrics.Rows.Normal)
 	}
 }
 
@@ -361,9 +360,9 @@ func TestOptionColumnMixedNulls(t *testing.T) {
 	if res.Rows[0][1] != int64(-1) || res.Rows[1][1] != int64(-1) || res.Rows[2][1] != int64(4) {
 		t.Fatalf("rows = %v", res.Rows[:3])
 	}
-	if res.Metrics.Counters.NormalRows.Load() != 40 {
+	if res.Metrics.Rows.Normal != 40 {
 		t.Fatalf("normal = %d; option checks should keep rows on fast path",
-			res.Metrics.Counters.NormalRows.Load())
+			res.Metrics.Rows.Normal)
 	}
 }
 
@@ -447,7 +446,7 @@ func TestProjectionPushdownParsesOnlyNeededColumns(t *testing.T) {
 	if len(res.Rows) != 30 {
 		t.Fatalf("rows = %d", len(res.Rows))
 	}
-	if res.Metrics.Counters.ClassifierRejects.Load() != 0 {
+	if res.Metrics.Rows.ClassifierRejects != 0 {
 		t.Fatal("dirty cell in an unread column caused a classifier reject; projection pushdown broken")
 	}
 	// Without projection pushdown, the dirty row must take the slow path.
@@ -458,9 +457,9 @@ func TestProjectionPushdownParsesOnlyNeededColumns(t *testing.T) {
 	if len(res2.Rows) != 30 {
 		t.Fatalf("rows = %d", len(res2.Rows))
 	}
-	if res2.Metrics.Counters.ClassifierRejects.Load() != 1 {
+	if res2.Metrics.Rows.ClassifierRejects != 1 {
 		t.Fatalf("expected 1 classifier reject without pushdown, got %d",
-			res2.Metrics.Counters.ClassifierRejects.Load())
+			res2.Metrics.Rows.ClassifierRejects)
 	}
 }
 
@@ -478,9 +477,9 @@ func TestStageFusionAblationSameResults(t *testing.T) {
 	if fmt.Sprint(fused.Rows) != fmt.Sprint(unfused.Rows) {
 		t.Fatalf("fusion changed results: %v vs %v", fused.Rows, unfused.Rows)
 	}
-	if unfused.Metrics.Stages <= fused.Metrics.Stages {
+	if unfused.Metrics.NumStages <= fused.Metrics.NumStages {
 		t.Fatalf("expected more stages without fusion: %d vs %d",
-			unfused.Metrics.Stages, fused.Metrics.Stages)
+			unfused.Metrics.NumStages, fused.Metrics.NumStages)
 	}
 }
 
