@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race check bench-ingest bench-smoke trace-demo
+.PHONY: all build test vet tuplex-vet race check bench-ingest bench-smoke trace-demo
 
 all: build test
 
@@ -17,10 +17,15 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Repo-specific analyzers (internal/lint): exported-API internal-type
+# leaks and trace-span Begin/End mispairings.
+tuplex-vet:
+	$(GO) run ./cmd/tuplex-vet
+
 race:
 	$(GO) test -race ./...
 
-check: build vet test race
+check: build vet tuplex-vet test race
 
 bench-ingest:
 	$(GO) test -bench BenchmarkIngest -run '^$$' .

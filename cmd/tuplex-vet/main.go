@@ -1,0 +1,51 @@
+// tuplex-vet runs the repo's custom stdlib-only analyzers (see
+// internal/lint) over the module's packages: exported-API internal-type
+// leaks and trace-span Begin/End mispairings. It prints vet-style
+// diagnostics and exits nonzero when any are found.
+//
+// Usage:
+//
+//	tuplex-vet [package dirs...]   (default: every package under .)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/gotuplex/tuplex/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tuplex-vet [package dirs...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	dirs := flag.Args()
+	if len(dirs) == 0 {
+		var err error
+		dirs, err = lint.PackageDirs(".")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tuplex-vet: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	bad := false
+	for _, dir := range dirs {
+		diags, err := lint.RunDir(dir, lint.All())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tuplex-vet: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -150,3 +150,88 @@ func unboxOracleRow(r []pyvalue.Value) []any {
 	}
 	return out
 }
+
+// TestOptimizedVsUnoptimizedDifferential pins the soundness contract of
+// the dataflow-driven compiler optimizations: with
+// WithCompilerOptimizations toggled, every pipeline must produce
+// byte-identical outputs and identical failed/ignored accounting. The
+// UDFs are chosen to trip each mechanism — sample-derived dead
+// branches, constant conditions, constant-column folding, and division
+// by a column that is only *mostly* non-zero (so a seeded non-zero
+// range must be guarded, not trusted).
+func TestOptimizedVsUnoptimizedDifferential(t *testing.T) {
+	var csv strings.Builder
+	csv.WriteString("i,j,flag,tag\n")
+	rng := pyre.NewPRNG(0xabcdef)
+	for n := range 400 {
+		j := rng.Intn(9) // 0..8, zeros appear
+		if n < 250 {
+			j = 1 + rng.Intn(8) // the sampled prefix sees no zero
+		}
+		fmt.Fprintf(&csv, "%d,%d,%d,const\n", rng.Intn(100), j, rng.Intn(10))
+	}
+	data := []byte(csv.String())
+
+	type pipe struct {
+		name  string
+		build func(c *tuplex.Context) *tuplex.DataSet
+	}
+	pipes := []pipe{
+		{"dead-branch", func(c *tuplex.Context) *tuplex.DataSet {
+			// flag is sampled in [0,9]: the then-arm is dead under the
+			// seeded interval and prunable (with a range guard).
+			return c.CSV("", tuplex.CSVData(data)).
+				WithColumn("v", tuplex.UDF("lambda x: x['i'] * 1000 if x['flag'] > 100 else x['i'] + 1"))
+		}},
+		{"constant-condition", func(c *tuplex.Context) *tuplex.DataSet {
+			// tag is constant across the sample: the comparison folds.
+			return c.CSV("", tuplex.CSVData(data)).
+				WithColumn("v", tuplex.UDF("lambda x: 1 if x['tag'] == 'const' else 0"))
+		}},
+		{"div-possibly-zero", func(c *tuplex.Context) *tuplex.DataSet {
+			// The sampled prefix sees only non-zero j, so the optimizer
+			// elides the zero check under a guard; later zero rows must
+			// bounce to the general path and then hit the resolver.
+			return c.CSV("", tuplex.CSVData(data)).
+				WithColumn("v", tuplex.UDF("lambda x: x['i'] // x['j']")).
+				Resolve(tuplex.ZeroDivisionError, tuplex.UDF("lambda x: -1"))
+		}},
+		{"div-ignored", func(c *tuplex.Context) *tuplex.DataSet {
+			return c.CSV("", tuplex.CSVData(data)).
+				WithColumn("v", tuplex.UDF("lambda x: x['i'] % x['j']")).
+				Ignore(tuplex.ZeroDivisionError)
+		}},
+		{"always-raises-branch", func(c *tuplex.Context) *tuplex.DataSet {
+			return c.CSV("", tuplex.CSVData(data)).
+				WithColumn("v", tuplex.UDF("lambda x: x['i'] // 0 if x['flag'] > 100 else x['i']"))
+		}},
+	}
+
+	for _, p := range pipes {
+		run := func(opt bool) *tuplex.Result {
+			c := tuplex.NewContext(tuplex.WithCompilerOptimizations(opt), tuplex.WithSampleSize(100))
+			res, err := p.build(c).Collect()
+			if err != nil {
+				t.Fatalf("%s (opt=%v): %v", p.name, opt, err)
+			}
+			return res
+		}
+		on, off := run(true), run(false)
+		if len(on.Rows) != len(off.Rows) {
+			t.Fatalf("%s: optimized %d rows, unoptimized %d", p.name, len(on.Rows), len(off.Rows))
+		}
+		for i := range on.Rows {
+			if fmt.Sprint(on.Rows[i]) != fmt.Sprint(off.Rows[i]) {
+				t.Fatalf("%s row %d: optimized %v, unoptimized %v", p.name, i, on.Rows[i], off.Rows[i])
+			}
+		}
+		cOn, cOff := on.Metrics.Rows, off.Metrics.Rows
+		if cOn.Failed != cOff.Failed || cOn.Ignored != cOff.Ignored || cOn.Output != cOff.Output {
+			t.Fatalf("%s: accounting differs: opt failed=%d ignored=%d output=%d, unopt failed=%d ignored=%d output=%d",
+				p.name, cOn.Failed, cOn.Ignored, cOn.Output, cOff.Failed, cOff.Ignored, cOff.Output)
+		}
+		if len(on.Failed) != len(off.Failed) {
+			t.Fatalf("%s: failed rows differ: %d vs %d", p.name, len(on.Failed), len(off.Failed))
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/gotuplex/tuplex/internal/dataflow"
 	"github.com/gotuplex/tuplex/internal/inference"
 	"github.com/gotuplex/tuplex/internal/pyast"
 	"github.com/gotuplex/tuplex/internal/pyre"
@@ -68,10 +69,36 @@ type Options struct {
 	// operators box through pyvalue (Fig. 11's "without LLVM optimizers"
 	// arm).
 	Specialize bool
+	// Flow, when non-nil, supplies dataflow facts for dead-branch
+	// pruning, constant folding and check elision. Facts resting on
+	// sampled value statistics are consumed through queries that mark
+	// their columns load-bearing; Compile turns those into runtime
+	// guards in the UDF prologue, so a row violating a sampled
+	// constraint exits to the general path instead of observing a
+	// mis-specialized result.
+	Flow *dataflow.Result
 }
 
 // DefaultOptions is fully optimized generation.
 func DefaultOptions() Options { return Options{Specialize: true} }
+
+// OptStats counts the optimization decisions made while compiling one
+// UDF; surfaced per-UDF through the trace "analyze" span.
+type OptStats struct {
+	// BranchesPruned counts If/IfExpr arms dropped via dataflow facts
+	// (beyond what inference's own static pruning found).
+	BranchesPruned int
+	// ConstsFolded counts non-literal expressions compiled to constants.
+	ConstsFolded int
+	// ChecksElided counts runtime checks skipped: zero-divisor tests,
+	// negative-exponent tests and Option null checks.
+	ChecksElided int
+	// RaiseExits counts expressions compiled directly into exception
+	// exits because they provably always raise.
+	RaiseExits int
+}
+
+type guardFn func(args []rows.Slot) bool
 
 // UDF is a compiled normal-case UDF.
 type UDF struct {
@@ -84,6 +111,14 @@ type UDF struct {
 	// reads raise NameError). Slots proven assigned-before-use are
 	// skipped — the analog of LLVM promoting locals to registers.
 	clearSlots []int
+	// guards are the compiled runtime preconditions for sample-seeded
+	// facts this UDF's code consumed; Guards describes them.
+	guards []guardFn
+	// Guards lists the sampled-constraint preconditions compiled into
+	// the prologue.
+	Guards []dataflow.Guard
+	// Opt reports the optimization decisions made during compilation.
+	Opt OptStats
 }
 
 // NumSlots reports the frame size this UDF requires.
@@ -95,6 +130,14 @@ func (u *UDF) ReturnType() types.Type { return u.Info.ReturnType }
 // Call runs the UDF on args using (and resizing) fr. Args are typically
 // row slots wrapped per parameter; see rows.Tuple for row parameters.
 func (u *UDF) Call(fr *Frame, args []rows.Slot) (rows.Slot, ECode) {
+	for _, g := range u.guards {
+		if !g(args) {
+			// A sampled constraint the specialization rests on does not
+			// hold for this row: bail to the general path before any
+			// specialized code runs.
+			return rows.Slot{}, pyvalue.ExcUnsupported
+		}
+	}
 	if cap(fr.Slots) < u.nslots {
 		fr.Slots = make([]rows.Slot, u.nslots)
 		fr.Slots = fr.Slots[:u.nslots]
@@ -128,6 +171,7 @@ type compiler struct {
 	opts    Options
 	slots   map[string]int
 	globals map[string]rows.Slot
+	stats   OptStats
 }
 
 // Compile builds the fast-path closures for a typed UDF. globals supplies
@@ -169,7 +213,94 @@ func Compile(info *inference.Info, globals map[string]pyvalue.Value, opts Option
 	u.body = body
 	u.nslots = len(c.slots)
 	u.clearSlots = c.slotsToClear(info.Fn)
+	u.Opt = c.stats
+	if opts.Flow != nil {
+		// All fact queries have been made; compile the guards they
+		// obligate. Column indices refer to the row parameter's columns
+		// (or, for a single scalar parameter, to the argument itself).
+		rowMode := len(u.params) == 1 && info.ParamTypes[0].Kind() == types.KindRow
+		u.Guards = opts.Flow.RequiredGuards()
+		for _, g := range u.Guards {
+			u.guards = append(u.guards, compileGuard(g, rowMode))
+		}
+	}
 	return u, nil
+}
+
+// compileGuard builds the runtime precondition check for one guard.
+func compileGuard(g dataflow.Guard, rowMode bool) guardFn {
+	col := g.Col
+	slot := func(args []rows.Slot) (rows.Slot, bool) {
+		if rowMode {
+			if len(args) != 1 || col >= len(args[0].Seq) {
+				return rows.Slot{}, false
+			}
+			return args[0].Seq[col], true
+		}
+		if col >= len(args) {
+			return rows.Slot{}, false
+		}
+		return args[col], true
+	}
+	if g.Const != nil {
+		want := rows.FromValue(g.Const)
+		return func(args []rows.Slot) bool {
+			s, ok := slot(args)
+			if !ok || s.Tag != want.Tag {
+				return false
+			}
+			return s.Tag == types.KindNull || rows.Equal(s, want)
+		}
+	}
+	lo, hi := g.Lo, g.Hi
+	return func(args []rows.Slot) bool {
+		s, ok := slot(args)
+		return ok && s.Tag == types.KindI64 && s.I >= lo && s.I <= hi
+	}
+}
+
+// flowDead reports a fact-derived dead arm for an If/IfExpr node.
+func (c *compiler) flowDead(n pyast.Node) inference.Branch {
+	if c.opts.Flow == nil {
+		return inference.DeadNone
+	}
+	return c.opts.Flow.DeadBranch(n)
+}
+
+func (c *compiler) flowNonZero(x pyast.Expr) bool {
+	return c.opts.Flow != nil && x != nil && c.opts.Flow.NonZero(x)
+}
+
+func (c *compiler) flowNonNegative(x pyast.Expr) bool {
+	return c.opts.Flow != nil && x != nil && c.opts.Flow.NonNegative(x)
+}
+
+func (c *compiler) flowNonNull(x pyast.Expr) bool {
+	return c.opts.Flow != nil && x != nil && c.opts.Flow.NonNull(x)
+}
+
+// flowFold compiles x straight to a constant or an exception exit when
+// the dataflow facts decide it. Literals are skipped (already free).
+func (c *compiler) flowFold(x pyast.Expr) (exprFn, bool) {
+	if c.opts.Flow == nil {
+		return nil, false
+	}
+	if k, ok := c.opts.Flow.AlwaysRaises(x); ok {
+		c.stats.RaiseExits++
+		ec := k
+		return func(fr *Frame) (rows.Slot, ECode) { return rows.Slot{}, ec }, true
+	}
+	switch x.(type) {
+	case *pyast.NumLit, *pyast.StrLit, *pyast.BoolLit, *pyast.NoneLit:
+		return nil, false
+	}
+	v, ok := c.opts.Flow.Constant(x)
+	if !ok {
+		return nil, false
+	}
+	s := rows.FromValue(v)
+	c.stats.ConstsFolded++
+	return func(fr *Frame) (rows.Slot, ECode) { return s, 0 }, true
 }
 
 // slotsToClear computes which non-parameter slots could be observed
@@ -332,7 +463,7 @@ func (c *compiler) stmt(s pyast.Stmt) (stmtFn, error) {
 		rt = s.Value.Type()
 		// Result type of target op= value matches what inference stored
 		// on the target after the statement; recompute from operands.
-		comb, err := c.binOp(s.Op, cur, rhs, lt, rt, resultTypeOf(s.Op, lt, rt))
+		comb, err := c.binOp(s.Op, cur, rhs, s.Target, s.Value, lt, rt, resultTypeOf(s.Op, lt, rt))
 		if err != nil {
 			return nil, err
 		}
@@ -408,7 +539,14 @@ const maxLoopIters = 10_000_000
 
 func (c *compiler) ifStmt(s *pyast.If) (stmtFn, error) {
 	// Statically pruned branches compile only the live arm (§4.7).
-	switch c.info.Dead[s] {
+	dead := c.info.Dead[s]
+	if dead == inference.DeadNone {
+		if d := c.flowDead(s); d != inference.DeadNone {
+			dead = d
+			c.stats.BranchesPruned++
+		}
+	}
+	switch dead {
 	case inference.DeadThen:
 		if s.Else == nil {
 			return func(fr *Frame) (ctl, rows.Slot, ECode) { return ctlNext, rows.Slot{}, 0 }, nil

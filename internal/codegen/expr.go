@@ -16,6 +16,9 @@ func (c *compiler) expr(x pyast.Expr) (exprFn, error) {
 	if exit := c.failedExit(x); exit != nil {
 		return exit, nil
 	}
+	if fn, ok := c.flowFold(x); ok {
+		return fn, nil
+	}
 	switch x := x.(type) {
 	case *pyast.NumLit:
 		if x.IsFloat {
@@ -55,7 +58,7 @@ func (c *compiler) expr(x pyast.Expr) (exprFn, error) {
 		if err != nil {
 			return nil, err
 		}
-		return c.binOp(x.Op, l, r, x.Left.Type(), x.Right.Type(), x.Type())
+		return c.binOp(x.Op, l, r, x.Left, x.Right, x.Left.Type(), x.Right.Type(), x.Type())
 	case *pyast.UnaryOp:
 		return c.unaryOp(x)
 	case *pyast.Compare:
@@ -63,7 +66,14 @@ func (c *compiler) expr(x pyast.Expr) (exprFn, error) {
 	case *pyast.BoolOp:
 		return c.boolOp(x)
 	case *pyast.IfExpr:
-		switch c.info.Dead[x] {
+		dead := c.info.Dead[x]
+		if dead == inference.DeadNone {
+			if d := c.flowDead(x); d != inference.DeadNone {
+				dead = d
+				c.stats.BranchesPruned++
+			}
+		}
+		switch dead {
 		case inference.DeadThen:
 			return c.expr(x.Else)
 		case inference.DeadElse:
@@ -216,6 +226,12 @@ func (c *compiler) truthExpr(x pyast.Expr) (func(fr *Frame) (bool, ECode), error
 		return nil, err
 	}
 	t := x.Type()
+	if t.IsOption() && c.flowNonNull(x) {
+		// Null-check elision: the Option value is proven non-null here,
+		// so truthiness dispatches on the unwrapped kind directly.
+		t = t.Unwrap()
+		c.stats.ChecksElided++
+	}
 	if c.opts.Specialize {
 		// Monomorphic truthiness for the common scalar cases.
 		switch t.Kind() {

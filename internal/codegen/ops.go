@@ -152,10 +152,22 @@ func asStr(e exprFn, t types.Type, onNull ECode) func(fr *Frame) (string, ECode)
 	}
 }
 
-// binOp compiles a typed binary operator.
-func (c *compiler) binOp(op string, l, r exprFn, lt, rt, resT types.Type) (exprFn, error) {
+// binOp compiles a typed binary operator. lx/rx are the operand AST
+// nodes when available (nil otherwise); they let dataflow facts elide
+// runtime checks the values provably cannot trip.
+func (c *compiler) binOp(op string, l, r exprFn, lx, rx pyast.Expr, lt, rt, resT types.Type) (exprFn, error) {
 	if !c.opts.Specialize {
 		return boxedBinOp(op, l, r), nil
+	}
+	// Null-check elision: an Option operand proven non-null on this path
+	// compiles with the unwrapped type's direct accessor.
+	if lt.IsOption() && c.flowNonNull(lx) {
+		lt = lt.Unwrap()
+		c.stats.ChecksElided++
+	}
+	if rt.IsOption() && c.flowNonNull(rx) {
+		rt = rt.Unwrap()
+		c.stats.ChecksElided++
 	}
 	lu, ru := lt.Unwrap(), rt.Unwrap()
 	numeric := lu.IsNumeric() && ru.IsNumeric()
@@ -203,6 +215,20 @@ func (c *compiler) binOp(op string, l, r exprFn, lt, rt, resT types.Type) (exprF
 					return rows.I64(a * b), 0
 				}, nil
 			case "//":
+				if c.flowNonZero(rx) {
+					c.stats.ChecksElided++
+					return func(fr *Frame) (rows.Slot, ECode) {
+						a, ec := li(fr)
+						if ec != 0 {
+							return rows.Slot{}, ec
+						}
+						b, ec := ri(fr)
+						if ec != 0 {
+							return rows.Slot{}, ec
+						}
+						return rows.I64(pyvalue.FloorDivInt(a, b)), 0
+					}, nil
+				}
 				return func(fr *Frame) (rows.Slot, ECode) {
 					a, ec := li(fr)
 					if ec != 0 {
@@ -218,6 +244,20 @@ func (c *compiler) binOp(op string, l, r exprFn, lt, rt, resT types.Type) (exprF
 					return rows.I64(pyvalue.FloorDivInt(a, b)), 0
 				}, nil
 			case "%":
+				if c.flowNonZero(rx) {
+					c.stats.ChecksElided++
+					return func(fr *Frame) (rows.Slot, ECode) {
+						a, ec := li(fr)
+						if ec != 0 {
+							return rows.Slot{}, ec
+						}
+						b, ec := ri(fr)
+						if ec != 0 {
+							return rows.Slot{}, ec
+						}
+						return rows.I64(pyvalue.FloorModInt(a, b)), 0
+					}, nil
+				}
 				return func(fr *Frame) (rows.Slot, ECode) {
 					a, ec := li(fr)
 					if ec != 0 {
@@ -233,6 +273,20 @@ func (c *compiler) binOp(op string, l, r exprFn, lt, rt, resT types.Type) (exprF
 					return rows.I64(pyvalue.FloorModInt(a, b)), 0
 				}, nil
 			case "**":
+				if c.flowNonNegative(rx) {
+					c.stats.ChecksElided++
+					return func(fr *Frame) (rows.Slot, ECode) {
+						a, ec := li(fr)
+						if ec != 0 {
+							return rows.Slot{}, ec
+						}
+						b, ec := ri(fr)
+						if ec != 0 {
+							return rows.Slot{}, ec
+						}
+						return rows.I64(pyvalue.IPow(a, b)), 0
+					}, nil
+				}
 				return func(fr *Frame) (rows.Slot, ECode) {
 					a, ec := li(fr)
 					if ec != 0 {
@@ -291,6 +345,10 @@ func (c *compiler) binOp(op string, l, r exprFn, lt, rt, resT types.Type) (exprF
 					return rows.F64(a * b), 0
 				}, nil
 			case "//":
+				checkZero := !c.flowNonZero(rx)
+				if !checkZero {
+					c.stats.ChecksElided++
+				}
 				return func(fr *Frame) (rows.Slot, ECode) {
 					a, ec := lf(fr)
 					if ec != 0 {
@@ -300,12 +358,16 @@ func (c *compiler) binOp(op string, l, r exprFn, lt, rt, resT types.Type) (exprF
 					if ec != 0 {
 						return rows.Slot{}, ec
 					}
-					if b == 0 {
+					if checkZero && b == 0 {
 						return rows.Slot{}, pyvalue.ExcZeroDivisionError
 					}
 					return rows.F64(math.Floor(a / b)), 0
 				}, nil
 			case "%":
+				checkZero := !c.flowNonZero(rx)
+				if !checkZero {
+					c.stats.ChecksElided++
+				}
 				return func(fr *Frame) (rows.Slot, ECode) {
 					a, ec := lf(fr)
 					if ec != 0 {
@@ -315,7 +377,7 @@ func (c *compiler) binOp(op string, l, r exprFn, lt, rt, resT types.Type) (exprF
 					if ec != 0 {
 						return rows.Slot{}, ec
 					}
-					if b == 0 {
+					if checkZero && b == 0 {
 						return rows.Slot{}, pyvalue.ExcZeroDivisionError
 					}
 					return rows.F64(pyvalue.FloorModFloat(a, b)), 0
@@ -394,6 +456,10 @@ func (c *compiler) binOp(op string, l, r exprFn, lt, rt, resT types.Type) (exprF
 		return boxedBinOp(op, l, r), nil
 	case "/":
 		lf, rf := asF64(l, lt), asF64(r, rt)
+		checkZero := !c.flowNonZero(rx)
+		if !checkZero {
+			c.stats.ChecksElided++
+		}
 		return func(fr *Frame) (rows.Slot, ECode) {
 			a, ec := lf(fr)
 			if ec != 0 {
@@ -403,7 +469,7 @@ func (c *compiler) binOp(op string, l, r exprFn, lt, rt, resT types.Type) (exprF
 			if ec != 0 {
 				return rows.Slot{}, ec
 			}
-			if b == 0 {
+			if checkZero && b == 0 {
 				return rows.Slot{}, pyvalue.ExcZeroDivisionError
 			}
 			return rows.F64(a / b), 0

@@ -9,6 +9,7 @@ import (
 
 	"github.com/gotuplex/tuplex/internal/codegen"
 	"github.com/gotuplex/tuplex/internal/csvio"
+	"github.com/gotuplex/tuplex/internal/dataflow"
 	"github.com/gotuplex/tuplex/internal/inference"
 	"github.com/gotuplex/tuplex/internal/logical"
 	"github.com/gotuplex/tuplex/internal/physical"
@@ -58,6 +59,10 @@ type compiledStage struct {
 	inSchema   *types.Schema
 	outSchema  *types.Schema
 	nullValues []string
+	// srcFacts seeds the dataflow analysis for the first UDF: per-column
+	// type facts plus sampled value statistics (constants, int ranges)
+	// for sources that sample values. Nil means type facts only.
+	srcFacts []dataflow.ColFact
 
 	entry   nstep // head of the compiled normal path
 	maxCols int
@@ -99,6 +104,9 @@ type stageUDF struct {
 	spec     *logical.UDFSpec
 	compiled *codegen.UDF // normal path; nil if not fast-path compilable
 	boxed    *boxedUDF
+	// flow carries the dataflow analysis for the typed normal-case form
+	// (nil when typing failed); consulted for dead-resolver warnings.
+	flow *dataflow.Result
 	// scalarParam reports that the UDF receives the bare column value
 	// (single-column rows / mapColumn).
 	scalarParam bool
@@ -399,16 +407,27 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 	cs.maxCols = schema.Len()
 	frameIdx := 0
 	var lastHandlers *opHandlers
+	// lastUDF tracks the UDF a following resolve() attaches to, for the
+	// dead-resolver lint.
+	var lastUDF *stageUDF
+	// colFacts tracks the per-column dataflow seeds alongside schema.
+	// Ops that change columns rebuild it (cloning first: earlier UDFs'
+	// analysis results hold references to prior versions).
+	colFacts := cs.srcFacts
+	if colFacts == nil {
+		colFacts = typeColFacts(schema)
+	}
 
 	for oi, op := range st.Ops {
 		ridx := int32(oi + 1)
 		switch op := op.(type) {
 		case *logical.MapOp:
 			scalar, paramT := paramStyle(op.UDF, schema)
-			su, err := eng.compileUDF(op.UDF, []types.Type{paramT}, scalar)
+			su, err := eng.compileUDF(op.UDF, []types.Type{paramT}, scalar, colFacts, opName(op))
 			if err != nil {
 				return nil, err
 			}
+			lastUDF = su
 			su.frameIdx = frameIdx
 			frameIdx++
 			outSchema := mapOutputSchema(su)
@@ -444,16 +463,18 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 				}
 			}})
 			schema = outSchema
+			colFacts = typeColFacts(outSchema)
 			if schema.Len() > cs.maxCols {
 				cs.maxCols = schema.Len() + 8
 			}
 
 		case *logical.FilterOp:
 			scalar, paramT := paramStyle(op.UDF, schema)
-			su, err := eng.compileUDF(op.UDF, []types.Type{paramT}, scalar)
+			su, err := eng.compileUDF(op.UDF, []types.Type{paramT}, scalar, colFacts, opName(op))
 			if err != nil {
 				return nil, err
 			}
+			lastUDF = su
 			su.frameIdx = frameIdx
 			frameIdx++
 			h := &opHandlers{}
@@ -475,10 +496,11 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 
 		case *logical.WithColumnOp:
 			scalar, paramT := paramStyle(op.UDF, schema)
-			su, err := eng.compileUDF(op.UDF, []types.Type{paramT}, scalar)
+			su, err := eng.compileUDF(op.UDF, []types.Type{paramT}, scalar, colFacts, opName(op))
 			if err != nil {
 				return nil, err
 			}
+			lastUDF = su
 			su.frameIdx = frameIdx
 			frameIdx++
 			retT := su.returnType()
@@ -505,6 +527,13 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 				}
 			}})
 			schema = schema.WithColumn(op.Col, retT)
+			nf := append([]dataflow.ColFact(nil), colFacts...)
+			if replaceIdx >= 0 && replaceIdx < len(nf) {
+				nf[replaceIdx] = dataflow.ColFact{Type: retT}
+			} else {
+				nf = append(nf, dataflow.ColFact{Type: retT})
+			}
+			colFacts = nf
 			if schema.Len() > cs.maxCols {
 				cs.maxCols = schema.Len() + 8
 			}
@@ -515,10 +544,12 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 				return nil, fmt.Errorf("core: mapColumn: no column %q in %s", op.Col, schema)
 			}
 			colT := schema.Col(idx).Type
-			su, err := eng.compileUDF(op.UDF, []types.Type{colT}, true)
+			su, err := eng.compileUDF(op.UDF, []types.Type{colT}, true,
+				[]dataflow.ColFact{colFacts[idx]}, opName(op))
 			if err != nil {
 				return nil, err
 			}
+			lastUDF = su
 			su.frameIdx = frameIdx
 			frameIdx++
 			h := &opHandlers{}
@@ -536,6 +567,9 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 				}
 			}})
 			schema = schema.WithColumn(op.Col, su.returnType())
+			nf := append([]dataflow.ColFact(nil), colFacts...)
+			nf[idx] = dataflow.ColFact{Type: su.returnType()}
+			colFacts = nf
 
 		case *logical.RenameOp:
 			ns, err := schema.Rename(op.Old, op.New)
@@ -550,6 +584,15 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 			if err != nil {
 				return nil, err
 			}
+			nf := make([]dataflow.ColFact, len(idx))
+			for i, j := range idx {
+				if j < len(colFacts) {
+					nf[i] = colFacts[j]
+				} else {
+					nf[i] = dataflow.ColFact{Type: ns.Col(i).Type}
+				}
+			}
+			colFacts = nf
 			schema = ns
 			sel := append([]int(nil), idx...)
 			selScratch := frameIdx
@@ -575,6 +618,16 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 			}
 			lastHandlers.resolvers = append(lastHandlers.resolvers, resolverSpec{exc: op.Exc, udf: bu})
 			cs.boxed = append(cs.boxed, &boxedOp{kind: bOpNoop})
+			// Dead-resolver lint: the compiled normal-case path provably
+			// never raises this kind. The resolver still applies on the
+			// general path (non-conforming rows run full Python
+			// semantics), so this is a warning, not an error.
+			if lastUDF != nil && lastUDF.compiled != nil && lastUDF.flow != nil &&
+				!lastUDF.flow.MayRaise(op.Exc) {
+				eng.res.Warnings = append(eng.res.Warnings, fmt.Sprintf(
+					"resolve(%s): the compiled normal-case path of the preceding UDF cannot raise %s; the resolver only applies to general-path rows",
+					op.Exc, op.Exc))
+			}
 
 		case *logical.IgnoreOp:
 			if lastHandlers == nil {
@@ -652,6 +705,11 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 					return 0
 				}
 			}})
+			nf := append([]dataflow.ColFact(nil), colFacts...)
+			for i := schema.Len(); i < outSchema.Len(); i++ {
+				nf = append(nf, dataflow.ColFact{Type: outSchema.Col(i).Type})
+			}
+			colFacts = nf
 			schema = outSchema
 			if schema.Len() > cs.maxCols {
 				cs.maxCols = schema.Len() + 8
@@ -787,8 +845,14 @@ func paramStyle(spec *logical.UDFSpec, schema *types.Schema) (scalar bool, param
 	return false, types.Row(schema)
 }
 
-// compileUDF builds the three execution forms for one UDF.
-func (eng *engine) compileUDF(spec *logical.UDFSpec, paramTypes []types.Type, scalar bool) (*stageUDF, error) {
+// compileUDF builds the three execution forms for one UDF and runs the
+// static dataflow analysis over the typed normal-case form: its lints
+// surface as result warnings, and when compiler optimizations are on
+// its facts drive dead-branch pruning, constant folding and check
+// elision in codegen (guarded where they rest on sampled values).
+// colFacts seeds the analysis for the UDF's input columns; label names
+// the operator in warnings and trace output.
+func (eng *engine) compileUDF(spec *logical.UDFSpec, paramTypes []types.Type, scalar bool, colFacts []dataflow.ColFact, label string) (*stageUDF, error) {
 	su := &stageUDF{spec: spec, scalarParam: scalar}
 	bu, err := eng.compileBoxedUDF(spec)
 	if err != nil {
@@ -799,18 +863,74 @@ func (eng *engine) compileUDF(spec *logical.UDFSpec, paramTypes []types.Type, sc
 	for k, v := range spec.Globals {
 		globalTypes[k] = typeOfBoxed(v)
 	}
-	info, err := inference.TypeFunction(spec.Fn, paramTypes, globalTypes, inference.Options{})
+	infOpts := inference.Options{DisableNullPruning: eng.opts.Sample.DisableNullOpt}
+	info, err := inference.TypeFunction(spec.Fn, paramTypes, globalTypes, infOpts)
 	if err != nil {
 		// Structural mismatch (e.g. wrong arity): the UDF can still run
 		// boxed; the fast path is simply absent.
 		return su, nil
 	}
-	u, err := codegen.Compile(info, spec.Globals, eng.opts.Codegen)
+	flow := dataflow.Analyze(info, dataflow.Options{
+		Columns:   colFacts,
+		NullFacts: !eng.opts.Sample.DisableNullOpt,
+		Globals:   spec.Globals,
+	})
+	su.flow = flow
+	eng.reportLints(label, flow.Lints())
+	cgOpts := eng.opts.Codegen
+	if cgOpts.Specialize {
+		cgOpts.Flow = flow
+	}
+	u, err := codegen.Compile(info, spec.Globals, cgOpts)
 	if err != nil {
+		eng.traceAnalyze(label, flow, nil)
 		return su, nil
 	}
 	su.compiled = u
+	eng.traceAnalyze(label, flow, u)
 	return su, nil
+}
+
+// maxLintWarnings bounds how many lint diagnostics one UDF contributes
+// to Result.Warnings.
+const maxLintWarnings = 8
+
+// reportLints surfaces UDF lints as user-facing result warnings.
+func (eng *engine) reportLints(label string, lints []dataflow.Lint) {
+	n := len(lints)
+	if n > maxLintWarnings {
+		n = maxLintWarnings
+	}
+	for _, l := range lints[:n] {
+		eng.res.Warnings = append(eng.res.Warnings, fmt.Sprintf("%s: UDF %s", label, l))
+	}
+	if len(lints) > n {
+		eng.res.Warnings = append(eng.res.Warnings, fmt.Sprintf(
+			"%s: %d more UDF lints suppressed", label, len(lints)-n))
+	}
+}
+
+// traceAnalyze records the per-UDF analysis facts on an "analyze" span
+// (child of the enclosing stage span). u is nil when codegen bailed.
+func (eng *engine) traceAnalyze(label string, flow *dataflow.Result, u *codegen.UDF) {
+	attrs := []trace.Attr{trace.Str("op", label)}
+	if raise := flow.CanRaise(); len(raise) > 0 {
+		names := make([]string, len(raise))
+		for i, k := range raise {
+			names[i] = k.String()
+		}
+		attrs = append(attrs, trace.Str("can_raise", strings.Join(names, ",")))
+	}
+	attrs = append(attrs, trace.Int("lints", int64(len(flow.Lints()))))
+	if u != nil {
+		attrs = append(attrs,
+			trace.Int("branches_pruned", int64(u.Opt.BranchesPruned)),
+			trace.Int("consts_folded", int64(u.Opt.ConstsFolded)),
+			trace.Int("checks_elided", int64(u.Opt.ChecksElided)),
+			trace.Int("raise_exits", int64(u.Opt.RaiseExits)),
+			trace.Int("guards", int64(len(u.Guards))))
+	}
+	eng.tr.Child("analyze", 0, attrs...)
 }
 
 // mapOutputSchema derives the schema a MapOp produces.
@@ -917,10 +1037,11 @@ func (eng *engine) prepareSource(cs *compiledStage, st *physical.Stage, input *m
 		cs.nullValues = plan.Config.NullValues
 		// Projection pushdown into the generated parser.
 		proj := src.Projected()
-		fields, schema := projectedFields(plan, proj)
+		fields, schema, idxs := projectedFields(plan, proj)
 		cs.parse = csvio.NewParseSpec(delim, plan.NumCols, fields, plan.Config.NullValues)
 		cs.nFields = len(fields)
 		cs.inSchema = schema
+		cs.srcFacts = seedColFacts(schema, plan.Stats, idxs)
 		cs.boxedInput = &mat{schema: plan.GeneralSchema}
 	case *logical.TextSource:
 		colName := src.Column
@@ -960,6 +1081,7 @@ func (eng *engine) prepareSource(cs *compiledStage, st *physical.Stage, input *m
 		cs.inputRows = src.Rows
 		cs.nullValues = csvio.DefaultNullValues
 		cs.inSchema = plan.Schema
+		cs.srcFacts = seedColFacts(plan.Schema, plan.Stats, nil)
 		cs.partRanges = splitRange(len(src.Rows), eng.partSize(len(src.Rows)))
 	case nil:
 		if input == nil {
@@ -989,9 +1111,48 @@ func (eng *engine) mkSampleCfg(nullValues []string) sample.Config {
 	return cfg
 }
 
-// projectedFields maps the pushed projection to parser fields and the
-// stage input schema (source column order).
-func projectedFields(plan *sample.CasePlan, proj []string) ([]csvio.FieldSpec, *types.Schema) {
+// typeColFacts seeds type-only dataflow facts for a schema (no value
+// statistics, hence no guard obligations).
+func typeColFacts(schema *types.Schema) []dataflow.ColFact {
+	facts := make([]dataflow.ColFact, schema.Len())
+	for i := range facts {
+		facts[i].Type = schema.Col(i).Type
+	}
+	return facts
+}
+
+// seedColFacts derives the dataflow seeds for a stage input schema from
+// the sampled per-column statistics. idxs maps schema positions to
+// stats positions (nil for identity). Value-statistic facts describe
+// the sample only; any specialization resting on them is guarded.
+func seedColFacts(schema *types.Schema, stats []sample.ColumnStats, idxs []int) []dataflow.ColFact {
+	facts := typeColFacts(schema)
+	for i := range facts {
+		si := i
+		if idxs != nil {
+			if i >= len(idxs) {
+				continue
+			}
+			si = idxs[i]
+		}
+		if si < 0 || si >= len(stats) {
+			continue
+		}
+		st := &stats[si]
+		if c, ok := st.ConstValue(); ok {
+			facts[i].Const = c
+		}
+		if lo, hi, ok := st.IntRange(); ok {
+			facts[i].Lo, facts[i].Hi, facts[i].HasRange = lo, hi, true
+		}
+	}
+	return facts
+}
+
+// projectedFields maps the pushed projection to parser fields, the
+// stage input schema (source column order), and the source column index
+// of each projected field.
+func projectedFields(plan *sample.CasePlan, proj []string) ([]csvio.FieldSpec, *types.Schema, []int) {
 	full := plan.Schema
 	var idxs []int
 	if proj == nil {
@@ -1020,7 +1181,7 @@ func projectedFields(plan *sample.CasePlan, proj []string) ([]csvio.FieldSpec, *
 		fields[i] = csvio.FieldSpec{Col: idx, Type: full.Col(idx).Type}
 		cols[i] = full.Col(idx)
 	}
-	return fields, types.NewSchema(cols)
+	return fields, types.NewSchema(cols), idxs
 }
 
 func (eng *engine) partSize(n int) int {

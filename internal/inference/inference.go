@@ -55,6 +55,8 @@ type Failure struct {
 	// Raises is the exception this node is statically known to raise
 	// ("TypeError" etc.), or "" for a plain unsupported construct.
 	Raises string
+	// Pos is the source position of the offending node.
+	Pos pyast.Pos
 }
 
 // Compilable reports whether the whole function typed cleanly (no failed
@@ -126,7 +128,12 @@ func fnName(fn *pyast.Function) string {
 // expressions keep typing (their failure is implied).
 func (t *typer) fail(n pyast.Node, raises, format string, args ...any) types.Type {
 	if _, dup := t.info.Failed[n]; !dup {
-		t.info.Failed[n] = Failure{Reason: fmt.Sprintf(format, args...), Raises: raises}
+		pos := n.Pos()
+		t.info.Failed[n] = Failure{
+			Reason: fmt.Sprintf("%s: ", pos) + fmt.Sprintf(format, args...),
+			Raises: raises,
+			Pos:    pos,
+		}
 	}
 	if e, ok := n.(pyast.Expr); ok {
 		e.SetType(types.Any)

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// APIInternal forbids internal/* types in the exported API of
+// importable packages: a signature or exported field naming an internal
+// type hands callers a value they cannot themselves name, freezing the
+// internal package into the public contract.
+var APIInternal = &Analyzer{
+	Name: "apiinternal",
+	Doc:  "exported API signatures must not name internal/* types",
+	Run:  runAPIInternal,
+}
+
+func runAPIInternal(p *Pass) {
+	if p.Internal {
+		return
+	}
+	for _, f := range p.Files {
+		// Map import names (alias or path base) to internal import paths.
+		internalPkgs := map[string]string{}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if !strings.Contains(path, "/internal/") && !strings.HasSuffix(path, "/internal") {
+				continue
+			}
+			name := path[strings.LastIndex(path, "/")+1:]
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			internalPkgs[name] = path
+		}
+		if len(internalPkgs) == 0 {
+			continue
+		}
+		check := func(what string, t ast.Expr) {
+			if t == nil {
+				return
+			}
+			ast.Inspect(t, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if path, hit := internalPkgs[id.Name]; hit {
+					p.Reportf(sel.Pos(), "%s names internal type %s.%s (%s)",
+						what, id.Name, sel.Sel.Name, path)
+				}
+				return false
+			})
+		}
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				if !decl.Name.IsExported() || unexportedRecv(decl) {
+					continue
+				}
+				what := "exported func " + decl.Name.Name
+				if decl.Type.Params != nil {
+					for _, fl := range decl.Type.Params.List {
+						check(what, fl.Type)
+					}
+				}
+				if decl.Type.Results != nil {
+					for _, fl := range decl.Type.Results.List {
+						check(what, fl.Type)
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range decl.Specs {
+					switch spec := spec.(type) {
+					case *ast.TypeSpec:
+						if !spec.Name.IsExported() {
+							continue
+						}
+						checkTypeSpec(p, spec, check)
+					case *ast.ValueSpec:
+						for _, name := range spec.Names {
+							if name.IsExported() {
+								check("exported var/const "+name.Name, spec.Type)
+								break
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkTypeSpec checks an exported type's externally visible parts:
+// exported struct fields, interface method signatures, and the
+// underlying type of aliases and simple named types.
+func checkTypeSpec(p *Pass, spec *ast.TypeSpec, check func(string, ast.Expr)) {
+	what := "exported type " + spec.Name.Name
+	switch t := spec.Type.(type) {
+	case *ast.StructType:
+		for _, fl := range t.Fields.List {
+			exported := len(fl.Names) == 0 // embedded
+			for _, n := range fl.Names {
+				if n.IsExported() {
+					exported = true
+				}
+			}
+			if exported {
+				check(what+" field", fl.Type)
+			}
+		}
+	case *ast.InterfaceType:
+		for _, m := range t.Methods.List {
+			check(what+" method", m.Type)
+		}
+	default:
+		check(what, spec.Type)
+	}
+}
+
+// unexportedRecv reports whether decl is a method on an unexported
+// receiver type (not part of the importable API).
+func unexportedRecv(decl *ast.FuncDecl) bool {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return false
+	}
+	t := decl.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return !tt.IsExported()
+		default:
+			return false
+		}
+	}
+}

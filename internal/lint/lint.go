@@ -1,0 +1,152 @@
+// Package lint is a minimal, stdlib-only analogue of the go/analysis
+// vet framework, carrying the repo's custom analyzers. cmd/tuplex-vet
+// drives it over the module's packages as part of `make check`.
+//
+// The framework is deliberately syntactic: analyzers see one parsed
+// package at a time (go/ast, no type information), which keeps the tool
+// dependency-free and fast while still catching the two defect classes
+// it exists for — internal types leaking into the exported API, and
+// trace spans that are started but never finished.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a parsed package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Pass)
+}
+
+// Pass hands an analyzer one package's worth of parsed files.
+type Pass struct {
+	Fset *token.FileSet
+	// Files are the package's parsed non-test sources.
+	Files []*ast.File
+	// Dir is the package directory relative to the module root.
+	Dir string
+	// Internal marks packages under internal/ (or package main), whose
+	// API is not importable by external modules.
+	Internal bool
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records one diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Msg:      fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, formatted like a vet report.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Msg      string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Msg)
+}
+
+// All returns the repo's analyzer set.
+func All() []*Analyzer {
+	return []*Analyzer{APIInternal, SpanPair}
+}
+
+// RunDir parses the package in dir and applies the analyzers. Test
+// files are skipped: the checks guard the shipped API and runtime
+// spans, and fixtures inside tests would trip them spuriously.
+func RunDir(dir string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	return runFiles(fset, files, dir, analyzers), nil
+}
+
+// runFiles applies the analyzers to already-parsed files (the test
+// entry point; RunDir feeds it from disk).
+func runFiles(fset *token.FileSet, files []*ast.File, dir string, analyzers []*Analyzer) []Diagnostic {
+	internal := files[0].Name.Name == "main" ||
+		strings.Contains(filepath.ToSlash(dir)+"/", "/internal/") ||
+		strings.HasPrefix(filepath.ToSlash(dir), "internal/")
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		p := &Pass{Fset: fset, Files: files, Dir: dir, Internal: internal, analyzer: a, diags: &diags}
+		a.Run(p)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		di, dj := diags[i], diags[j]
+		if di.Pos.Filename != dj.Pos.Filename {
+			return di.Pos.Filename < dj.Pos.Filename
+		}
+		if di.Pos.Line != dj.Pos.Line {
+			return di.Pos.Line < dj.Pos.Line
+		}
+		return di.Analyzer < dj.Analyzer
+	})
+	return diags
+}
+
+// PackageDirs walks root for Go package directories, skipping hidden
+// directories and testdata.
+func PackageDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") && !strings.HasSuffix(d.Name(), "_test.go") {
+			dir := filepath.Dir(path)
+			if !seen[dir] {
+				seen[dir] = true
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// analyze parses src as a single file of a package in dir and runs the
+// given analyzers.
+func analyze(t *testing.T, dir, src string, analyzers ...*Analyzer) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runFiles(fset, []*ast.File{f}, dir, analyzers)
+}
+
+func wantDiag(t *testing.T, diags []Diagnostic, analyzer, frag string) {
+	t.Helper()
+	for _, d := range diags {
+		if d.Analyzer == analyzer && strings.Contains(d.Msg, frag) {
+			return
+		}
+	}
+	t.Fatalf("no %s diagnostic containing %q in %v", analyzer, frag, diags)
+}
+
+func TestAPIInternalFlagsSeededViolations(t *testing.T) {
+	src := `package tuplex
+
+import (
+	"github.com/gotuplex/tuplex/internal/core"
+	"github.com/gotuplex/tuplex/internal/trace"
+)
+
+// Exported signatures naming internal types must be flagged.
+func Leaky() *core.Engine { return nil }
+
+func LeakyParam(o core.Options) {}
+
+type Exposed struct {
+	Tr *trace.Tracer
+}
+
+type LeakyIface interface {
+	Span() *trace.Span
+}
+
+var LeakyVar *core.Engine
+`
+	diags := analyze(t, ".", src, APIInternal)
+	wantDiag(t, diags, "apiinternal", "core.Engine")
+	wantDiag(t, diags, "apiinternal", "core.Options")
+	wantDiag(t, diags, "apiinternal", "trace.Tracer")
+	wantDiag(t, diags, "apiinternal", "trace.Span")
+	if len(diags) != 5 {
+		t.Fatalf("diagnostics = %d, want 5: %v", len(diags), diags)
+	}
+}
+
+func TestAPIInternalAllowsCleanAPI(t *testing.T) {
+	src := `package tuplex
+
+import (
+	"github.com/gotuplex/tuplex/internal/core"
+)
+
+// Internal types may appear in unexported positions.
+type Result struct {
+	Rows []int
+	eng  *core.Engine
+}
+
+func (r *Result) Count() int { return len(r.Rows) }
+
+func newEngine() *core.Engine { return nil }
+
+type hidden struct{ e *core.Engine }
+
+func (h *hidden) Engine() *core.Engine { return h.e }
+`
+	if diags := analyze(t, ".", src, APIInternal); len(diags) != 0 {
+		t.Fatalf("clean API flagged: %v", diags)
+	}
+}
+
+func TestAPIInternalSkipsInternalPackages(t *testing.T) {
+	src := `package core
+
+import "github.com/gotuplex/tuplex/internal/trace"
+
+func NewTracer() *trace.Tracer { return nil }
+`
+	if diags := analyze(t, "internal/core", src, APIInternal); len(diags) != 0 {
+		t.Fatalf("internal package flagged: %v", diags)
+	}
+}
+
+func TestSpanPairFlagsUnfinishedSpan(t *testing.T) {
+	src := `package core
+
+func leak(tr *Tracer) {
+	sp := tr.Begin("stage")
+	sp.Add()
+}
+`
+	diags := analyze(t, "internal/core", src, SpanPair)
+	wantDiag(t, diags, "spanpair", "never finished")
+}
+
+func TestSpanPairFlagsDiscardedBegin(t *testing.T) {
+	src := `package core
+
+func leak(tr *Tracer) {
+	tr.Begin("stage")
+	_ = tr.Begin("other")
+}
+`
+	diags := analyze(t, "internal/core", src, SpanPair)
+	if len(diags) != 2 {
+		t.Fatalf("diagnostics = %v, want 2 discarded-span reports", diags)
+	}
+	wantDiag(t, diags, "spanpair", "discarded")
+}
+
+func TestSpanPairAllowsPairedAndEscapingSpans(t *testing.T) {
+	src := `package core
+
+func paired(tr *Tracer) {
+	sp := tr.Begin("stage")
+	defer tr.End(sp)
+	other := tr.Begin("execute")
+	if bad() {
+		return // early return without End is allowed; an End site exists
+	}
+	tr.End(other)
+}
+
+func escapes(tr *Tracer) *Span {
+	sp := tr.Begin("stage")
+	return sp
+}
+
+func handsOff(tr *Tracer) {
+	sp := tr.Begin("stage")
+	finishLater(sp)
+}
+
+func stored(tr *Tracer, s *state) {
+	s.span = tr.Begin("stage")
+}
+
+func captured(tr *Tracer) func() {
+	sp := tr.Begin("stage")
+	return func() { tr.End(sp) }
+}
+`
+	if diags := analyze(t, "internal/core", src, SpanPair); len(diags) != 0 {
+		t.Fatalf("paired/escaping spans flagged: %v", diags)
+	}
+}
+
+func TestRunDirOnThisPackageIsClean(t *testing.T) {
+	diags, err := RunDir(".", All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("internal/lint fails its own analyzers: %v", diags)
+	}
+}

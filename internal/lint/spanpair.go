@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// SpanPair flags trace-span begin/end mispairings: a span started with
+// Begin must be finished by an End call in the same function, unless
+// the span value escapes (returned, stored, or passed on) — then the
+// pairing obligation moves with it. A Begin whose result is discarded
+// can never be finished and is always a leak.
+//
+// The check is syntactic and per-function: it does not prove End runs
+// on every path (early error returns legitimately abandon spans), only
+// that a matching End site exists at all.
+var SpanPair = &Analyzer{
+	Name: "spanpair",
+	Doc:  "trace spans started with Begin must be finished with End or escape",
+	Run:  runSpanPair,
+}
+
+func runSpanPair(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkSpanBody(p, body)
+			}
+			return true
+		})
+	}
+}
+
+// beginVar tracks one `x := tr.Begin(...)` binding.
+type beginVar struct {
+	obj     *ast.Object
+	pos     token.Pos
+	ended   bool
+	escaped bool
+}
+
+func checkSpanBody(p *Pass, body *ast.BlockStmt) {
+	var begun []*beginVar
+	find := func(obj *ast.Object) *beginVar {
+		for _, b := range begun {
+			if b.obj == obj {
+				return b
+			}
+		}
+		return nil
+	}
+
+	// Pass 1: collect Begin bindings and discarded Begin results.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // nested functions get their own check
+		case *ast.ExprStmt:
+			if isSpanCall(n.X, "Begin") {
+				p.Reportf(n.Pos(), "span started with Begin is discarded; it can never be finished with End")
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 || !isSpanCall(n.Rhs[0], "Begin") {
+				return true
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				if !ok {
+					return true // stored into a field/map: escapes
+				}
+				p.Reportf(n.Pos(), "span started with Begin is discarded; it can never be finished with End")
+				return true
+			}
+			if id.Obj != nil {
+				begun = append(begun, &beginVar{obj: id.Obj, pos: n.Pos()})
+			}
+		}
+		return true
+	})
+	if len(begun) == 0 {
+		return
+	}
+
+	// Pass 2: find End calls and escapes for the collected bindings.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure capturing the span may finish it; treat capture
+			// as an escape rather than chasing the closure body.
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && id.Obj != nil {
+					if b := find(id.Obj); b != nil {
+						b.escaped = true
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+				for _, arg := range n.Args {
+					if id, ok := arg.(*ast.Ident); ok && id.Obj != nil {
+						if b := find(id.Obj); b != nil {
+							b.ended = true
+						}
+					}
+				}
+				return true
+			}
+			// Passed to any other call: the obligation moves with it.
+			// (A selector receiver like sp.Add(...) is not an escape.)
+			for _, arg := range n.Args {
+				if id, ok := arg.(*ast.Ident); ok && id.Obj != nil {
+					if b := find(id.Obj); b != nil {
+						b.escaped = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if id, ok := r.(*ast.Ident); ok && id.Obj != nil {
+					if b := find(id.Obj); b != nil {
+						b.escaped = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// Re-assigned elsewhere (struct field, other variable): the
+			// new name carries the obligation.
+			for _, r := range n.Rhs {
+				if id, ok := r.(*ast.Ident); ok && id.Obj != nil {
+					if b := find(id.Obj); b != nil {
+						b.escaped = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	for _, b := range begun {
+		if !b.ended && !b.escaped {
+			p.Reportf(b.pos, "span started with Begin is never finished: no End call in this function and the span does not escape")
+		}
+	}
+}
+
+// isSpanCall reports whether e is a method call named method (e.g.
+// tr.Begin(...)).
+func isSpanCall(e ast.Expr, method string) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == method
+}

@@ -210,3 +210,37 @@ func TestChainString(t *testing.T) {
 		t.Fatalf("String = %q", got)
 	}
 }
+
+// Re-assigned or aliased row parameters defeat per-column attribution;
+// AnalyzeColumns must fall back to reads-all so projection pushdown
+// keeps every source column such a UDF might still read.
+func TestShadowedRowParamBlocksPushdown(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"reassigned", "def f(x):\n    x = 1\n    return x"},
+		{"tuple-reassigned", "def f(x):\n    x, y = 1, 2\n    return y"},
+		{"aug-assigned", "def f(x):\n    x += 1\n    return x"},
+		{"loop-var", "def f(x):\n    for x in [1, 2]:\n        pass\n    return 1"},
+		{"tuple-loop-var", "def f(x):\n    for k, x in [(1, 2)]:\n        pass\n    return 1"},
+		{"alias", "def f(x):\n    y = x\n    return y['a']"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u := udf(t, tc.src)
+			if !u.Access.WholeRow {
+				t.Fatalf("access = %+v, want WholeRow", u.Access)
+			}
+			src := &CSVSource{Path: "x.csv", Header: true}
+			sink := chainOf(
+				src,
+				&FilterOp{UDF: u},
+				&SelectOp{Cols: []string{"a"}},
+			)
+			if _, err := Optimize(sink, AllOptimizations()); err != nil {
+				t.Fatal(err)
+			}
+			if src.Projected() != nil {
+				t.Fatalf("shadowed/aliased row param must pin all columns, got %v", src.Projected())
+			}
+		})
+	}
+}

@@ -1,0 +1,123 @@
+package pipelines
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	tuplex "github.com/gotuplex/tuplex"
+	"github.com/gotuplex/tuplex/internal/data"
+)
+
+// The compiler optimizations (dead-branch pruning, constant folding,
+// check elision — all driven by internal/dataflow) specialize the
+// compiled normal path on sampled facts, with runtime guards bouncing
+// non-conforming rows to the general path. They must therefore be
+// invisible end to end: identical output rows, identical failed and
+// ignored row counts, on every evaluation pipeline.
+
+// optDiffRun executes one pipeline with compiler optimizations toggled
+// and asserts byte-identical outputs and identical exception accounting.
+func optDiffRun(t *testing.T, name string, run func(opt bool) *tuplex.Result) {
+	t.Helper()
+	on := run(true)
+	off := run(false)
+	if len(on.Rows) != len(off.Rows) {
+		t.Fatalf("%s: optimized %d rows, unoptimized %d", name, len(on.Rows), len(off.Rows))
+	}
+	for i := range on.Rows {
+		if fmt.Sprint(on.Rows[i]) != fmt.Sprint(off.Rows[i]) {
+			t.Fatalf("%s: row %d differs:\n  optimized   %v\n  unoptimized %v",
+				name, i, on.Rows[i], off.Rows[i])
+		}
+	}
+	if string(on.CSV) != string(off.CSV) {
+		t.Fatalf("%s: CSV output differs", name)
+	}
+	cOn, cOff := on.Metrics.Rows, off.Metrics.Rows
+	if cOn.Failed != cOff.Failed || cOn.Ignored != cOff.Ignored || cOn.Output != cOff.Output {
+		t.Fatalf("%s: exception accounting differs:\n  optimized   failed=%d ignored=%d output=%d\n  unoptimized failed=%d ignored=%d output=%d",
+			name, cOn.Failed, cOn.Ignored, cOn.Output, cOff.Failed, cOff.Ignored, cOff.Output)
+	}
+	if len(on.Failed) != len(off.Failed) {
+		t.Fatalf("%s: failed-row lists differ: %d vs %d", name, len(on.Failed), len(off.Failed))
+	}
+}
+
+func ctxOpt(opt bool, extra ...tuplex.Option) *tuplex.Context {
+	opts := append([]tuplex.Option{tuplex.WithCompilerOptimizations(opt)}, extra...)
+	return tuplex.NewContext(opts...)
+}
+
+func TestOptDiffZillow(t *testing.T) {
+	raw := data.Zillow(data.ZillowConfig{Rows: 2000, Seed: 123, DirtyFraction: 0.03})
+	optDiffRun(t, "zillow", func(opt bool) *tuplex.Result {
+		res, err := Zillow(ctxOpt(opt).CSV("", tuplex.CSVData(raw))).Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	})
+}
+
+func TestOptDiffFlights(t *testing.T) {
+	perf := data.Flights(data.FlightsConfig{Rows: 3000, Seed: 321})
+	optDiffRun(t, "flights", func(opt bool) *tuplex.Result {
+		in := FlightsSources(ctxOpt(opt), perf, data.Carriers(), data.Airports())
+		res, err := Flights(in).Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	})
+}
+
+func TestOptDiffWeblogs(t *testing.T) {
+	logs, bad := data.Weblogs(data.WeblogConfig{Rows: 2500, Seed: 77})
+	for _, variant := range []WeblogVariant{WeblogStrip, WeblogSplit, WeblogRegex} {
+		optDiffRun(t, "weblogs/"+variant.String(), func(opt bool) *tuplex.Result {
+			// A fixed seed pins the endpoint randomization so both runs
+			// compute the same rows.
+			c := ctxOpt(opt, tuplex.WithSeed(4242))
+			res, err := Weblogs(
+				c.Text("", tuplex.TextData(logs)),
+				c.CSV("", tuplex.CSVData(bad)),
+				variant).Collect()
+			if err != nil {
+				t.Fatalf("%v: %v", variant, err)
+			}
+			return res
+		})
+	}
+}
+
+func TestOptDiffThreeOneOne(t *testing.T) {
+	raw := data.ThreeOneOne(data.ThreeOneOneConfig{Rows: 4000, Seed: 55})
+	optDiffRun(t, "311", func(opt bool) *tuplex.Result {
+		res, err := ThreeOneOne(ctxOpt(opt).CSV("", tuplex.CSVData(raw))).Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	})
+}
+
+func TestOptDiffQ6(t *testing.T) {
+	raw := data.TPCHLineitem(data.TPCHConfig{Rows: 8000, Seed: 99})
+	var revenue [2]float64
+	optDiffRun(t, "q6", func(opt bool) *tuplex.Result {
+		v, res, err := Q6(ctxOpt(opt).CSV("", tuplex.CSVData(raw)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt {
+			revenue[0] = v
+		} else {
+			revenue[1] = v
+		}
+		return res
+	})
+	if math.Abs(revenue[0]-revenue[1]) > 1e-9*math.Max(1, math.Abs(revenue[1])) {
+		t.Fatalf("q6 revenue differs: optimized %.6f, unoptimized %.6f", revenue[0], revenue[1])
+	}
+}

@@ -52,17 +52,39 @@ func AnalyzeColumns(fn *Function) *ColumnAccess {
 	byName := map[string]bool{}
 	byIndex := map[int]bool{}
 
-	// shadowed tracks whether the parameter has been reassigned; after
-	// that, attribution is unsound and we bail to WholeRow.
+	// shadowed tracks whether the parameter has been rebound (plain,
+	// tuple or augmented assignment, loop variable, comprehension or
+	// nested-function parameter, nested def name); after that,
+	// attribution is unsound and we bail to WholeRow. Aliasing
+	// (`y = x`) is handled below: the bare-Name walk treats any
+	// non-subscript use of the parameter — including the right-hand
+	// side of an alias assignment — as reading every column.
 	shadowed := false
+	bindsParam := func(t Expr) bool {
+		switch t := t.(type) {
+		case *Name:
+			return t.Ident == param
+		case *TupleLit:
+			for _, e := range t.Elts {
+				if nm, ok := e.(*Name); ok && nm.Ident == param {
+					return true
+				}
+			}
+		}
+		return false
+	}
 	InspectStmts(fn.Body, func(n Node) bool {
 		switch n := n.(type) {
 		case *Assign:
-			if nm, ok := n.Target.(*Name); ok && nm.Ident == param {
+			if bindsParam(n.Target) {
+				shadowed = true
+			}
+		case *AugAssign:
+			if bindsParam(n.Target) {
 				shadowed = true
 			}
 		case *For:
-			if nm, ok := n.Var.(*Name); ok && nm.Ident == param {
+			if bindsParam(n.Var) {
 				shadowed = true
 			}
 		case *ListComp:
@@ -70,6 +92,15 @@ func AnalyzeColumns(fn *Function) *ColumnAccess {
 				shadowed = true
 			}
 		case *Lambda:
+			for _, p := range n.Params {
+				if p == param {
+					shadowed = true
+				}
+			}
+		case *FuncDef:
+			if n.Name == param {
+				shadowed = true
+			}
 			for _, p := range n.Params {
 				if p == param {
 					shadowed = true

@@ -13,6 +13,7 @@ package sample
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/gotuplex/tuplex/internal/csvio"
 	"github.com/gotuplex/tuplex/internal/pyvalue"
@@ -111,16 +112,112 @@ func containsAny(s, chars string) bool {
 	return false
 }
 
-// ColumnStats accumulates the per-column histogram.
+// ColumnStats accumulates the per-column histogram plus lightweight
+// value statistics (constant cells, integer value range) that seed the
+// dataflow lattice in internal/dataflow. The value statistics describe
+// the sample only — consumers that specialize on them must guard at
+// runtime (rows violating a sampled constraint take the general path).
 type ColumnStats struct {
 	Counts [cellKinds]int
 	Total  int
+
+	constVal    pyvalue.Value
+	constBroken bool
+	intLo       int64
+	intHi       int64
+	intSeen     bool
 }
 
-// Add records one cell observation.
+// Add records one cell observation by kind only (no value statistics;
+// the cell counts as varying for constancy purposes).
 func (cs *ColumnStats) Add(k CellKind) {
 	cs.Counts[k]++
 	cs.Total++
+	if k != CellNull {
+		cs.constVal, cs.constBroken = nil, true
+	}
+}
+
+// AddValue records one cell observation together with its parsed value
+// (nil for null cells), feeding the constancy and integer-range
+// statistics.
+func (cs *ColumnStats) AddValue(k CellKind, v pyvalue.Value) {
+	cs.Counts[k]++
+	cs.Total++
+	if k == CellNull || v == nil {
+		return
+	}
+	if !cs.constBroken {
+		if cs.constVal == nil {
+			cs.constVal = v
+		} else if !sameScalar(cs.constVal, v) {
+			cs.constVal, cs.constBroken = nil, true
+		}
+	}
+	switch v := v.(type) {
+	case pyvalue.Int:
+		cs.widenIntRange(int64(v))
+	case pyvalue.Bool:
+		// 0/1 cells sniff as bool but materialize as I64 when the
+		// column's normal-case type is integer; they must widen the
+		// range or a seeded guard would wrongly exclude them.
+		if v {
+			cs.widenIntRange(1)
+		} else {
+			cs.widenIntRange(0)
+		}
+	}
+}
+
+func (cs *ColumnStats) widenIntRange(n int64) {
+	if !cs.intSeen {
+		cs.intLo, cs.intHi, cs.intSeen = n, n, true
+		return
+	}
+	if n < cs.intLo {
+		cs.intLo = n
+	}
+	if n > cs.intHi {
+		cs.intHi = n
+	}
+}
+
+// ConstValue reports the single value every non-null sampled cell held,
+// if the column was constant across the sample (strict same-kind
+// equality: Int(1) and Float(1.0) do not fold together, so the value's
+// kind matches what the normal-case parser will materialize).
+func (cs *ColumnStats) ConstValue() (pyvalue.Value, bool) {
+	if cs.constBroken || cs.constVal == nil {
+		return nil, false
+	}
+	return cs.constVal, true
+}
+
+// IntRange reports the [lo, hi] range of integer-valued sampled cells.
+// ok is false when the column held no integer cells.
+func (cs *ColumnStats) IntRange() (lo, hi int64, ok bool) {
+	return cs.intLo, cs.intHi, cs.intSeen
+}
+
+// sameScalar is strict same-kind scalar equality (unlike pyvalue.Equal,
+// which implements Python's cross-kind numeric ==). Non-scalar values
+// never compare equal — constancy tracking only covers scalars.
+func sameScalar(a, b pyvalue.Value) bool {
+	switch a := a.(type) {
+	case pyvalue.Bool:
+		bb, ok := b.(pyvalue.Bool)
+		return ok && a == bb
+	case pyvalue.Int:
+		bb, ok := b.(pyvalue.Int)
+		return ok && a == bb
+	case pyvalue.Float:
+		bb, ok := b.(pyvalue.Float)
+		return ok && a == bb
+	case pyvalue.Str:
+		bb, ok := b.(pyvalue.Str)
+		return ok && a == bb
+	}
+	return false
 }
 
 // NullFraction reports the fraction of null cells.
@@ -218,6 +315,10 @@ type CasePlan struct {
 	// normal case (§7: Tuplex warns the user to revise the pipeline or
 	// enlarge the sample).
 	AllExceptions bool
+	// Stats holds the per-column histograms and value statistics the
+	// plan was derived from, indexed like Schema. internal/dataflow
+	// seeds its lattice from these.
+	Stats []ColumnStats
 	// Config echoes the effective configuration.
 	Config Config
 }
@@ -262,7 +363,8 @@ func Sample(records [][]byte, delim byte, header []string, cfg Config) (*CasePla
 			// Re-detect quoting cheaply: SplitCells already unquoted, so
 			// sniff on the unquoted text (quoted numeric cells are rare
 			// and widen to str only via the histogram).
-			stats[i].Add(SniffCell(c, false, cfg.NullValues))
+			k := SniffCell(c, false, cfg.NullValues)
+			stats[i].AddValue(k, cellValue(c, k))
 		}
 	}
 	if conforming == 0 {
@@ -289,8 +391,34 @@ func Sample(records [][]byte, delim byte, header []string, cfg Config) (*CasePla
 		Schema:        types.NewSchema(cols),
 		GeneralSchema: types.NewSchema(gcols),
 		SampleRows:    n,
+		Stats:         stats,
 		Config:        cfg,
 	}, nil
+}
+
+// cellValue parses one CSV cell into the boxed value the normal-case
+// parser would materialize for the sniffed kind (nil for nulls).
+func cellValue(cell string, k CellKind) pyvalue.Value {
+	switch k {
+	case CellNull:
+		return nil
+	case CellBool:
+		switch cell {
+		case "true", "True", "TRUE", "1":
+			return pyvalue.Bool(true)
+		}
+		return pyvalue.Bool(false)
+	case CellI64:
+		n, _ := csvio.ParseI64(cell)
+		return pyvalue.Int(n)
+	case CellF64:
+		f, _ := csvio.ParseF64(cell)
+		return pyvalue.Float(f)
+	default:
+		// The cell string aliases the caller's record buffer; clone
+		// before retaining it in the stats.
+		return pyvalue.Str(strings.Clone(cell))
+	}
 }
 
 // SampleValues derives a CasePlan from in-memory boxed rows (for
@@ -323,15 +451,15 @@ func SampleValues(rowsIn [][]pyvalue.Value, names []string, cfg Config) (*CasePl
 		for i, v := range r {
 			switch v.(type) {
 			case pyvalue.None:
-				stats[i].Add(CellNull)
+				stats[i].AddValue(CellNull, nil)
 			case pyvalue.Bool:
-				stats[i].Add(CellBool)
+				stats[i].AddValue(CellBool, v)
 			case pyvalue.Int:
-				stats[i].Add(CellI64)
+				stats[i].AddValue(CellI64, v)
 			case pyvalue.Float:
-				stats[i].Add(CellF64)
+				stats[i].AddValue(CellF64, v)
 			case pyvalue.Str:
-				stats[i].Add(CellStr)
+				stats[i].AddValue(CellStr, v)
 			default:
 				stats[i].Add(CellStr)
 				colTypes[i] = append(colTypes[i], typeOfValue(v))
@@ -361,6 +489,7 @@ func SampleValues(rowsIn [][]pyvalue.Value, names []string, cfg Config) (*CasePl
 		Schema:        types.NewSchema(cols),
 		GeneralSchema: types.NewSchema(gcols),
 		SampleRows:    n,
+		Stats:         stats,
 		Config:        cfg,
 	}, nil
 }

@@ -2,6 +2,7 @@ package tuplex
 
 import (
 	"encoding/json"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -128,6 +129,77 @@ func TestTraceShape(t *testing.T) {
 	}
 	if n := len(findSpans(tr.Root, "sink")); n != 1 {
 		t.Fatalf("sink spans = %d", n)
+	}
+}
+
+// attr returns the value of the named attribute, or "" if absent.
+func attr(s *Span, key string) string {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Val
+		}
+	}
+	return ""
+}
+
+func TestTraceAnalyzeSpan(t *testing.T) {
+	// j is constant 5 across the whole input, so under compiler
+	// optimizations the dataflow pass folds the divisor, elides the
+	// zero check and installs one guard on the sampled fact.
+	csv := "i,j\n"
+	for n := range 50 {
+		csv += fmt.Sprintf("%d,5\n", n)
+	}
+	c := NewContext(WithTracing(TraceSpans))
+	res, err := c.CSV("", CSVData([]byte(csv))).
+		WithColumn("v", UDF("lambda x: x['i'] // x['j']")).
+		Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := findSpans(res.Trace.Root, "analyze")
+	if len(spans) != 1 {
+		t.Fatalf("analyze spans = %d, want 1", len(spans))
+	}
+	a := spans[0]
+	if got := attr(a, "op"); got != "withColumn(v)" {
+		t.Fatalf("op attr = %q", got)
+	}
+	if got := attr(a, "can_raise"); !strings.Contains(got, "ZeroDivisionError") {
+		t.Fatalf("can_raise attr = %q, want ZeroDivisionError", got)
+	}
+	if got := attr(a, "consts_folded"); got != "1" {
+		t.Fatalf("consts_folded attr = %q", got)
+	}
+	if got := attr(a, "checks_elided"); got != "1" {
+		t.Fatalf("checks_elided attr = %q", got)
+	}
+	if got := attr(a, "guards"); got != "1" {
+		t.Fatalf("guards attr = %q", got)
+	}
+	if got := attr(a, "lints"); got != "0" {
+		t.Fatalf("lints attr = %q", got)
+	}
+
+	// With compiler optimizations off the analyze span still records
+	// the inferred exception sites, but no specialization happens.
+	c = NewContext(WithTracing(TraceSpans), WithCompilerOptimizations(false))
+	res, err = c.CSV("", CSVData([]byte(csv))).
+		WithColumn("v", UDF("lambda x: x['i'] // x['j']")).
+		Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans = findSpans(res.Trace.Root, "analyze")
+	if len(spans) != 1 {
+		t.Fatalf("unoptimized analyze spans = %d, want 1", len(spans))
+	}
+	a = spans[0]
+	if got := attr(a, "can_raise"); !strings.Contains(got, "ZeroDivisionError") {
+		t.Fatalf("unoptimized can_raise attr = %q", got)
+	}
+	if got := attr(a, "guards"); got != "" && got != "0" {
+		t.Fatalf("unoptimized guards attr = %q, want none", got)
 	}
 }
 
