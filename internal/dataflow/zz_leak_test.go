@@ -1,0 +1,33 @@
+package dataflow
+
+import (
+	"testing"
+
+	"github.com/gotuplex/tuplex/internal/pyast"
+	"github.com/gotuplex/tuplex/internal/types"
+)
+
+// A refinement made inside a loop body must not survive to post-loop
+// code: the loop may run zero times (or exit via break/return).
+func TestLoopRefinementLeak(t *testing.T) {
+	s := sch(
+		types.Column{Name: "a", Type: types.I64},
+		types.Column{Name: "b", Type: types.List(types.I64)},
+	)
+	src := "def f(x):\n    for v in x['b']:\n        if x['a'] > 5:\n            return 1\n    return 2 if x['a'] > 5 else 3"
+	res, info := analyzeUDF(t, src, s, Options{NullFacts: true})
+	// the post-loop IfExpr
+	var ife pyast.Expr
+	pyast.InspectStmts(info.Fn.Body, func(n pyast.Node) bool {
+		if e, ok := n.(*pyast.IfExpr); ok {
+			ife = e
+		}
+		return true
+	})
+	if ife == nil {
+		t.Skip("no IfExpr (parse shape differs)")
+	}
+	if arm := res.DeadBranch(ife); arm != 0 {
+		t.Fatalf("post-loop IfExpr wrongly pruned: arm=%v (zero-iteration loop leaves x['a'] unconstrained)", arm)
+	}
+}
