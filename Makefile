@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet tuplex-vet race check bench-ingest bench-smoke trace-demo
+.PHONY: all build test vet tuplex-vet race check bench-ingest bench-smoke bench-json telemetry-smoke trace-demo
 
 all: build test
 
@@ -34,6 +34,18 @@ bench-ingest:
 # without the timing cost of a real run.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# End-to-end check of the introspection server: tuplex-bench with
+# -listen, scrape /metrics and /debug/tuplex/runz, fail on non-200 or
+# empty/malformed responses.
+telemetry-smoke:
+	sh scripts/telemetry_smoke.sh
+
+# Machine-readable benchmark snapshot (ingest, join, flights, compiler
+# optimizations) written to BENCH_5.json; commit the refreshed file
+# when performance-relevant code changes.
+bench-json:
+	$(GO) run ./cmd/tuplex-bench -out BENCH_5.json bench-json
 
 # Run the Zillow example with full tracing: prints the span tree, the
 # per-operator row-routing ledger and sampled exception rows.

@@ -7,7 +7,7 @@
 //
 //	tuplex-bench [flags] <experiment>
 //
-// Experiments: table2 fig3 fig4 fig5 fig6 fig7 fig9 fig10 fig11 fig12 ingest join all
+// Experiments: table2 fig3 fig4 fig5 fig6 fig7 fig9 fig10 fig11 fig12 ingest join bench-json all
 //
 // Flags:
 //
@@ -18,6 +18,10 @@
 //	-markdown F    also write Markdown tables to file F (with `all`)
 //	-trace DIR     trace the Tuplex runs (row-routing ledger); print each
 //	               trace tree and write DIR/<id>.trace.json per experiment
+//	-listen ADDR   serve /metrics, /debug/tuplex/runz and pprof while the
+//	               experiments run (runs are monitored automatically)
+//	-progress      live TTY progress line (stage, rows, rate, exc%, ETA)
+//	-out F         output path for the bench-json experiment (default BENCH_5.json)
 package main
 
 import (
@@ -27,7 +31,9 @@ import (
 	"os"
 	"strings"
 
+	tuplex "github.com/gotuplex/tuplex"
 	"github.com/gotuplex/tuplex/internal/experiments"
+	"github.com/gotuplex/tuplex/internal/telemetry"
 )
 
 func main() {
@@ -37,7 +43,26 @@ func main() {
 	repeats := flag.Int("repeats", 1, "timing repeats (best-of)")
 	markdown := flag.String("markdown", "", "write Markdown tables to this file (with 'all')")
 	traceDir := flag.String("trace", "", "trace Tuplex runs and write <dir>/<id>.trace.json")
+	listen := flag.String("listen", "", "introspection server address (e.g. :9090)")
+	progress := flag.Bool("progress", false, "live TTY progress line for the running experiment")
+	benchOut := flag.String("out", "BENCH_5.json", "output path for bench-json")
 	flag.Parse()
+
+	if *listen != "" {
+		srv, err := tuplex.Serve(*listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tuplex-bench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "tuplex-bench: serving /metrics, /debug/tuplex/runz, /debug/pprof on %s\n", srv.Addr())
+	}
+	if *progress {
+		release := telemetry.EnableProcess()
+		defer release()
+		stop := telemetry.StartProgress(os.Stderr, telemetry.Default, 0)
+		defer stop()
+	}
 
 	scale := experiments.DefaultScale()
 	if *small {
@@ -67,6 +92,14 @@ func main() {
 	which := "all"
 	if flag.NArg() > 0 {
 		which = strings.ToLower(flag.Arg(0))
+	}
+
+	if which == "bench-json" {
+		if err := experiments.BenchJSON(*benchOut, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "tuplex-bench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	type expFn = func(experiments.Scale, io.Writer) (*experiments.Experiment, error)
@@ -118,7 +151,7 @@ func main() {
 	}
 	fn, ok := table[which]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "tuplex-bench: unknown experiment %q (have table2 fig3..fig12 ingest join all)\n", which)
+		fmt.Fprintf(os.Stderr, "tuplex-bench: unknown experiment %q (have table2 fig3..fig12 ingest join bench-json all)\n", which)
 		os.Exit(2)
 	}
 	if _, err := fn(scale, os.Stdout); err != nil {

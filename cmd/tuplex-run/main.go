@@ -22,6 +22,7 @@ import (
 	tuplex "github.com/gotuplex/tuplex"
 	"github.com/gotuplex/tuplex/internal/data"
 	"github.com/gotuplex/tuplex/internal/pipelines"
+	"github.com/gotuplex/tuplex/internal/telemetry"
 )
 
 func main() {
@@ -32,7 +33,25 @@ func main() {
 	executors := flag.Int("executors", 4, "executor threads")
 	variant := flag.String("variant", "strip", "weblogs parse variant: strip|split|regex|percol")
 	noOpt := flag.Bool("no-opt", false, "disable all optimizations (for comparison)")
+	listen := flag.String("listen", "", "introspection server address (e.g. :9090)")
+	progress := flag.Bool("progress", false, "live TTY progress line while the run executes")
 	flag.Parse()
+
+	if *listen != "" {
+		srv, err := tuplex.Serve(*listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tuplex-run:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "tuplex-run: serving /metrics, /debug/tuplex/runz, /debug/pprof on %s\n", srv.Addr())
+	}
+	if *progress {
+		release := telemetry.EnableProcess()
+		defer release()
+		stop := telemetry.StartProgress(os.Stderr, telemetry.Default, 0)
+		defer stop()
+	}
 
 	opts := []tuplex.Option{tuplex.WithExecutors(*executors)}
 	if *noOpt {

@@ -1,7 +1,8 @@
 // tuplex-vet runs the repo's custom stdlib-only analyzers (see
 // internal/lint) over the module's packages: exported-API internal-type
-// leaks and trace-span Begin/End mispairings. It prints vet-style
-// diagnostics and exits nonzero when any are found.
+// leaks, trace-span Begin/End mispairings, and atomic-bearing types
+// passed by value. It prints vet-style diagnostics and exits nonzero
+// when any are found.
 //
 // Usage:
 //
@@ -33,19 +34,17 @@ func main() {
 		}
 	}
 
-	bad := false
-	for _, dir := range dirs {
-		diags, err := lint.RunDir(dir, lint.All())
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "tuplex-vet: %s: %v\n", dir, err)
-			os.Exit(2)
-		}
-		for _, d := range diags {
-			fmt.Println(d)
-			bad = true
-		}
+	// All dirs run together so the fact prepass (atomic-bearing types)
+	// sees every package before any is checked.
+	diags, err := lint.RunDirs(dirs, lint.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tuplex-vet: %v\n", err)
+		os.Exit(2)
 	}
-	if bad {
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
 		os.Exit(1)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/gotuplex/tuplex/internal/csvio"
 	"github.com/gotuplex/tuplex/internal/interp"
@@ -473,6 +474,18 @@ func (eng *engine) resolveExceptions(cs *compiledStage, out *mat) error {
 		return vals
 	}
 
+	// runResolve wraps runBoxedRow with per-row resolve-latency
+	// recording; with telemetry off it is the bare call.
+	runResolve := cs.runBoxedRow
+	if eng.mon != nil {
+		runResolve = func(prog []*boxedOp, mode pathMode, vals []pyvalue.Value) ([][]pyvalue.Value, bool, error) {
+			t := time.Now()
+			outRows, resolved, err := cs.runBoxedRow(prog, mode, vals)
+			eng.mon.RecordResolve(time.Since(t))
+			return outRows, resolved, err
+		}
+	}
+
 	// Phase 1 — the compiled general path, fanned across executors for
 	// large pools.
 	type exOutcome struct {
@@ -502,7 +515,7 @@ func (eng *engine) resolveExceptions(cs *compiledStage, out *mat) error {
 				prog := cs.cloneBoxedProgram()
 				for i := lo; i < hi; i++ {
 					vals := genVals(&pool[i])
-					outRows, resolved, err := cs.runBoxedRow(prog, pathGeneral, vals)
+					outRows, resolved, err := runResolve(prog, pathGeneral, vals)
 					outcomes[i] = exOutcome{vals: vals, outRows: outRows, resolved: resolved, err: err, mode: pathGeneral}
 				}
 			}(lo, hi)
@@ -511,7 +524,7 @@ func (eng *engine) resolveExceptions(cs *compiledStage, out *mat) error {
 	} else {
 		for i := range pool {
 			vals := genVals(&pool[i])
-			outRows, resolved, err := cs.runBoxedRow(cs.boxed, pathGeneral, vals)
+			outRows, resolved, err := runResolve(cs.boxed, pathGeneral, vals)
 			outcomes[i] = exOutcome{vals: vals, outRows: outRows, resolved: resolved, err: err, mode: pathGeneral}
 		}
 	}
@@ -526,7 +539,7 @@ func (eng *engine) resolveExceptions(cs *compiledStage, out *mat) error {
 		outRows, resolved, err := oc.outRows, oc.resolved, oc.err
 		if err != nil && !errors.Is(err, errDropped) {
 			mode = pathFallback
-			outRows, resolved, err = cs.runBoxedRow(cs.boxed, mode, vals)
+			outRows, resolved, err = runResolve(cs.boxed, mode, vals)
 		}
 		if errors.Is(err, errDropped) {
 			c.IgnoredRows.Add(1)

@@ -32,6 +32,7 @@ import (
 	"github.com/gotuplex/tuplex/internal/pyvalue"
 	"github.com/gotuplex/tuplex/internal/rows"
 	"github.com/gotuplex/tuplex/internal/sample"
+	"github.com/gotuplex/tuplex/internal/telemetry"
 	"github.com/gotuplex/tuplex/internal/trace"
 	"github.com/gotuplex/tuplex/internal/types"
 )
@@ -65,6 +66,10 @@ type Options struct {
 	// timings with zero per-row overhead; trace.LevelOff disables the
 	// tracer entirely.
 	Trace trace.Level
+	// Telemetry configures live monitoring (internal/telemetry). Off by
+	// default; also forced on while an introspection server is active in
+	// the process (telemetry.AutoEnabled).
+	Telemetry telemetry.Config
 }
 
 // DefaultOptions returns the fully-optimized single-threaded setup.
@@ -134,6 +139,18 @@ func Execute(sinkNode *logical.Node, kind SinkKind, csvPath string, opts Options
 	res := &Result{Metrics: &metrics.Metrics{}}
 	t0 := time.Now()
 	eng := &engine{opts: opts, res: res, sink: kind, tr: trace.New(opts.Trace)}
+	// Live monitoring: only when opted in (or an introspection server is
+	// up) does a RunMonitor exist — with mon nil every hook below is a
+	// nil-receiver no-op and the execution path is the unmonitored one.
+	if opts.Telemetry.Enabled || telemetry.AutoEnabled() {
+		eng.mon = telemetry.NewRunMonitor(opts.Telemetry, res.Metrics, opts.Executors)
+		telemetry.Default.Register(eng.mon)
+		eng.mon.Start()
+		defer func() {
+			eng.mon.Stop()
+			telemetry.Default.Unregister(eng.mon)
+		}()
+	}
 
 	tOpt := time.Now()
 	plan := sinkNode
@@ -160,6 +177,8 @@ func Execute(sinkNode *logical.Node, kind SinkKind, csvPath string, opts Options
 		trace.Str("kind", sinkName(kind)),
 		trace.Int("output_rows", res.Metrics.Counters.OutputRows.Load()))
 	res.Metrics.Timings.Total = time.Since(t0)
+	res.Warnings = append(res.Warnings, eng.warns.flush()...)
+	res.Metrics.Latency = eng.mon.Latency()
 	res.Trace = eng.tr.Finish()
 	return res, nil
 }
@@ -183,6 +202,12 @@ type engine struct {
 	tr       *trace.Tracer
 	curStage *trace.Span
 	stageSeq int
+	// mon is the live-monitoring hook (nil when telemetry is off; all
+	// its methods are nil-safe).
+	mon *telemetry.RunMonitor
+	// warns collects advisory messages with per-source caps; Execute
+	// flushes it into Result.Warnings.
+	warns warnings
 }
 
 // exRow is one pooled exception row awaiting slow-path processing.
@@ -227,6 +252,7 @@ func (eng *engine) runChain(sinkNode *logical.Node) (*mat, error) {
 		return nil, err
 	}
 	eng.res.Metrics.Stages += pplan.NumStages()
+	eng.mon.SetStages(eng.res.Metrics.Stages)
 	var cur *mat
 	for si := range pplan.Stages {
 		st := &pplan.Stages[si]
@@ -242,6 +268,7 @@ func (eng *engine) runChain(sinkNode *logical.Node) (*mat, error) {
 func (eng *engine) runStage(st *physical.Stage, input *mat) (*mat, error) {
 	stageIdx := eng.stageSeq
 	eng.stageSeq++
+	eng.mon.SetStage(stageIdx)
 	ssp := eng.tr.Begin("stage",
 		trace.Int("index", int64(stageIdx)),
 		trace.Int("ops", int64(len(st.Ops))))
@@ -376,16 +403,20 @@ func (eng *engine) executeStage(cs *compiledStage) (*mat, error) {
 					ts := cs.newTask(eng, p)
 					ts.worker = w
 					tasks[p] = ts
-					if eng.tr != nil {
+					timed := eng.tr != nil || eng.mon != nil
+					if timed {
 						ts.start = time.Now()
 					}
-					if err := cs.runPartition(ts, p); err != nil {
+					eng.mon.TaskStart()
+					err := cs.runPartition(ts, p)
+					if timed {
+						ts.dur = time.Since(ts.start)
+					}
+					eng.mon.TaskDone(ts.dur)
+					if err != nil {
 						errs[w] = err
 						stop.Store(true)
 						return
-					}
-					if eng.tr != nil {
-						ts.dur = time.Since(ts.start)
 					}
 					out.parts[p] = ts.outRows
 					out.keys[p] = ts.outKeys

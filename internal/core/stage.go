@@ -624,9 +624,9 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 			// semantics), so this is a warning, not an error.
 			if lastUDF != nil && lastUDF.compiled != nil && lastUDF.flow != nil &&
 				!lastUDF.flow.MayRaise(op.Exc) {
-				eng.res.Warnings = append(eng.res.Warnings, fmt.Sprintf(
+				eng.warns.add(warnLint,
 					"resolve(%s): the compiled normal-case path of the preceding UDF cannot raise %s; the resolver only applies to general-path rows",
-					op.Exc, op.Exc))
+					op.Exc, op.Exc)
 			}
 
 		case *logical.IgnoreOp:
@@ -902,11 +902,10 @@ func (eng *engine) reportLints(label string, lints []dataflow.Lint) {
 		n = maxLintWarnings
 	}
 	for _, l := range lints[:n] {
-		eng.res.Warnings = append(eng.res.Warnings, fmt.Sprintf("%s: UDF %s", label, l))
+		eng.warns.add(warnLint, "%s: UDF %s", label, l)
 	}
 	if len(lints) > n {
-		eng.res.Warnings = append(eng.res.Warnings, fmt.Sprintf(
-			"%s: %d more UDF lints suppressed", label, len(lints)-n))
+		eng.warns.add(warnLint, "%s: %d more UDF lints suppressed", label, len(lints)-n)
 	}
 }
 
@@ -1031,7 +1030,7 @@ func (eng *engine) prepareSource(cs *compiledStage, st *physical.Stage, input *m
 			return err
 		}
 		if plan.AllExceptions {
-			eng.res.Warnings = append(eng.res.Warnings,
+			eng.warns.add(warnAdvice,
 				"sample produced only exceptions; revise the pipeline or increase the sample size")
 		}
 		cs.nullValues = plan.Config.NullValues

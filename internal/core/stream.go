@@ -78,6 +78,15 @@ func (eng *engine) openStreamSource(pathSpec string, delim byte, header bool, mo
 	for i := range paths {
 		paths[i] = strings.TrimSpace(paths[i])
 	}
+	if eng.mon != nil {
+		// Known input size gives the progress view an ETA; the stat is
+		// skipped entirely on unmonitored runs.
+		for _, p := range paths {
+			if fi, err := os.Stat(p); err == nil {
+				eng.mon.AddTotalBytes(fi.Size())
+			}
+		}
+	}
 	size := eng.opts.ChunkSize
 	if size <= 0 {
 		size = csvio.DefaultChunkSize
@@ -254,6 +263,9 @@ func (eng *engine) executeStreamed(cs *compiledStage) (*mat, error) {
 			if c == nil {
 				return
 			}
+			// Publish in-flight bytes so the sampler sees ingest progress
+			// before the stage folds it into the shared counter below.
+			eng.mon.StoreStreamBytes(ss.prod.bytesRead())
 			taskCh <- chunkTask{part: part, chunk: c}
 			part++
 		}
@@ -285,13 +297,16 @@ func (eng *engine) executeStreamed(cs *compiledStage) (*mat, error) {
 					}
 					ts := cs.newTask(eng, t.part)
 					ts.worker = w
-					if eng.tr != nil {
+					timed := eng.tr != nil || eng.mon != nil
+					if timed {
 						ts.start = time.Now()
 					}
+					eng.mon.TaskStart()
 					err := cs.runRecords(ts, t.part, recs, uint64(t.part)<<streamKeyShift, true)
-					if eng.tr != nil {
+					if timed {
 						ts.dur = time.Since(ts.start)
 					}
+					eng.mon.TaskDone(ts.dur)
 					t.chunk.Release()
 					mu.Lock()
 					if err != nil {
@@ -326,6 +341,10 @@ func (eng *engine) executeStreamed(cs *compiledStage) (*mat, error) {
 	if workErr != nil {
 		return nil, workErr
 	}
+	// Reset the in-flight counter before folding the stage's bytes into
+	// the shared ingest counter: a sampler tick between the two lines
+	// undercounts briefly instead of double-counting.
+	eng.mon.StoreStreamBytes(0)
 	eng.res.Metrics.Ingest.BytesRead.Add(ss.prod.bytesRead())
 	eng.res.Metrics.Ingest.RecordsSplit.Add(recordsSplit)
 

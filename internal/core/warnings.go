@@ -1,0 +1,62 @@
+package core
+
+import "fmt"
+
+// warnSource classifies Result warnings by origin so each source gets
+// its own cap: a UDF with dozens of lints cannot starve engine advice
+// out of Result.Warnings, and vice versa. (Parallelize unsupported-type
+// warnings are capped separately at the API layer, before the run
+// starts, with their own truncation summary.)
+type warnSource int
+
+const (
+	// warnAdvice is engine advice: sampler and planner observations
+	// about the run as a whole (e.g. the §7 all-exceptions sample).
+	warnAdvice warnSource = iota
+	// warnLint is per-UDF static-analysis output: dataflow lints and
+	// dead-resolver findings.
+	warnLint
+	numWarnSources
+)
+
+// warnCaps bounds each source independently. Lints get the larger
+// budget: there is one advice message per condition but potentially
+// several lints per UDF (already capped per UDF by maxLintWarnings).
+var warnCaps = [numWarnSources]int{
+	warnAdvice: 16,
+	warnLint:   24,
+}
+
+var warnLabels = [numWarnSources]string{
+	warnAdvice: "engine advice warning(s)",
+	warnLint:   "UDF lint warning(s)",
+}
+
+// warnings accumulates capped per-source messages during a run. The
+// zero value is ready to use. Not safe for concurrent use: every
+// warning site runs on the planning/driver goroutine.
+type warnings struct {
+	msgs    [numWarnSources][]string
+	dropped [numWarnSources]int
+}
+
+func (w *warnings) add(src warnSource, format string, args ...any) {
+	if len(w.msgs[src]) >= warnCaps[src] {
+		w.dropped[src]++
+		return
+	}
+	w.msgs[src] = append(w.msgs[src], fmt.Sprintf(format, args...))
+}
+
+// flush renders the collected warnings in source order, closing each
+// overflowed source with its own truncation summary line.
+func (w *warnings) flush() []string {
+	var out []string
+	for src := warnSource(0); src < numWarnSources; src++ {
+		out = append(out, w.msgs[src]...)
+		if d := w.dropped[src]; d > 0 {
+			out = append(out, fmt.Sprintf("%d more %s suppressed", d, warnLabels[src]))
+		}
+	}
+	return out
+}

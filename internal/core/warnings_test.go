@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestWarningsPerSourceCaps(t *testing.T) {
+	var w warnings
+	// Flood the lint source well past its cap, then add advice: the
+	// advice must still surface in full, with each overflowed source
+	// closed by its own truncation summary.
+	lintTotal := warnCaps[warnLint] + 10
+	for i := 0; i < lintTotal; i++ {
+		w.add(warnLint, "lint %d", i)
+	}
+	adviceTotal := warnCaps[warnAdvice] + 3
+	for i := 0; i < adviceTotal; i++ {
+		w.add(warnAdvice, "advice %d", i)
+	}
+
+	out := w.flush()
+	var lints, advice, summaries int
+	for _, msg := range out {
+		switch {
+		case strings.HasPrefix(msg, "lint "):
+			lints++
+		case strings.HasPrefix(msg, "advice "):
+			advice++
+		case strings.Contains(msg, "suppressed"):
+			summaries++
+		default:
+			t.Fatalf("unexpected warning %q", msg)
+		}
+	}
+	if lints != warnCaps[warnLint] {
+		t.Fatalf("lint warnings = %d, want cap %d", lints, warnCaps[warnLint])
+	}
+	if advice != warnCaps[warnAdvice] {
+		t.Fatalf("advice warnings = %d, want cap %d", advice, warnCaps[warnAdvice])
+	}
+	if summaries != 2 {
+		t.Fatalf("truncation summaries = %d, want one per overflowed source: %v", summaries, out)
+	}
+	wantLintSummary := fmt.Sprintf("%d more %s suppressed", lintTotal-warnCaps[warnLint], warnLabels[warnLint])
+	wantAdviceSummary := fmt.Sprintf("%d more %s suppressed", adviceTotal-warnCaps[warnAdvice], warnLabels[warnAdvice])
+	joined := strings.Join(out, "\n")
+	if !strings.Contains(joined, wantLintSummary) {
+		t.Fatalf("missing lint summary %q in %v", wantLintSummary, out)
+	}
+	if !strings.Contains(joined, wantAdviceSummary) {
+		t.Fatalf("missing advice summary %q in %v", wantAdviceSummary, out)
+	}
+	// Advice renders before lints and each source's summary directly
+	// follows its own block.
+	if !strings.HasPrefix(out[0], "advice ") {
+		t.Fatalf("out[0] = %q, want advice first", out[0])
+	}
+	if out[warnCaps[warnAdvice]] != wantAdviceSummary {
+		t.Fatalf("out[%d] = %q, want advice summary", warnCaps[warnAdvice], out[warnCaps[warnAdvice]])
+	}
+	if out[len(out)-1] != wantLintSummary {
+		t.Fatalf("last = %q, want lint summary", out[len(out)-1])
+	}
+}
+
+func TestWarningsNoSummaryUnderCap(t *testing.T) {
+	var w warnings
+	w.add(warnAdvice, "only advice")
+	w.add(warnLint, "only lint")
+	out := w.flush()
+	if len(out) != 2 {
+		t.Fatalf("warnings = %v, want exactly the two added", out)
+	}
+	for _, msg := range out {
+		if strings.Contains(msg, "suppressed") {
+			t.Fatalf("unexpected truncation summary %q", msg)
+		}
+	}
+	if out[0] != "only advice" || out[1] != "only lint" {
+		t.Fatalf("order = %v, want advice before lint", out)
+	}
+}
+
+func TestWarningsEmptyFlush(t *testing.T) {
+	var w warnings
+	if out := w.flush(); len(out) != 0 {
+		t.Fatalf("empty collector flushed %v", out)
+	}
+}

@@ -213,8 +213,11 @@ func (a *analyzer) stmt(s pyast.Stmt, ev *env) bool {
 			_, varWasBound = ev.vars[n.Ident]
 		}
 		a.killAssigned(s.Body, ev, s.Var)
-		a.stmts(s.Body, ev)
-		a.killAssigned(s.Body, ev, s.Var)
+		// The body runs zero or more times and the loop exits at the
+		// header, so no refinement made inside it is sound afterwards:
+		// analyze the body on a scratch env (lints, raise collection)
+		// and keep the killed pre-state.
+		a.stmts(s.Body, ev.clone())
 		// After a zero-iteration loop the loop variable stays unset.
 		if n, ok := s.Var.(*pyast.Name); ok && !varWasBound {
 			ev.maybeUnset[n.Ident] = true
@@ -224,8 +227,8 @@ func (a *analyzer) stmt(s pyast.Stmt, ev *env) bool {
 		a.addRaise(pyvalue.ExcUnsupported) // loop-iteration cap
 		a.killAssigned(s.Body, ev, nil)
 		a.condRaises(s.Cond, ev)
-		a.stmts(s.Body, ev)
-		a.killAssigned(s.Body, ev, nil)
+		// As with For: body refinements must not leak past the loop.
+		a.stmts(s.Body, ev.clone())
 		return false
 	case *pyast.Break, *pyast.Continue:
 		return true

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	tuplex "github.com/gotuplex/tuplex"
+	"github.com/gotuplex/tuplex/internal/data"
+	"github.com/gotuplex/tuplex/internal/pipelines"
+)
+
+// Perf-trajectory harness (`make bench-json`): runs the repo's
+// throughput-critical benchmarks via testing.Benchmark and writes the
+// results as a fixed-schema JSON array, so each PR can commit a
+// BENCH_<n>.json snapshot and future PRs can diff against the committed
+// baseline instead of re-deriving "was this always that slow?" from
+// scratch. The benchmark bodies mirror BenchmarkIngest / BenchmarkJoin
+// / BenchmarkFig4Flights (tuplex arm) / BenchmarkCompilerOptimizations
+// in the root _test files; keep them in sync when those change.
+
+// BenchEntry is one benchmark's result in the trajectory file. The
+// schema is fixed: future PRs append files with the same fields.
+type BenchEntry struct {
+	Name string `json:"name"`
+	// NsPerOp is wall time per benchmark iteration.
+	NsPerOp int64 `json:"ns_per_op"`
+	// MBPerSec is input throughput (0 when the benchmark has no byte
+	// figure).
+	MBPerSec float64 `json:"mb_per_sec"`
+	// AllocsPerOp is heap allocations per iteration.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// RowsPerSec is input rows per second (0 when rows are not the
+	// benchmark's unit).
+	RowsPerSec float64 `json:"rows_per_sec"`
+}
+
+// benchEntry converts a testing.BenchmarkResult, deriving rows/sec from
+// the per-iteration input row count.
+func benchEntry(name string, rows int64, r testing.BenchmarkResult) BenchEntry {
+	e := BenchEntry{
+		Name:        name,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if r.Bytes > 0 && r.T > 0 {
+		e.MBPerSec = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+	}
+	if rows > 0 && r.NsPerOp() > 0 {
+		e.RowsPerSec = float64(rows) / (float64(r.NsPerOp()) / 1e9)
+	}
+	return e
+}
+
+// BenchJSON runs the trajectory benchmarks and writes the JSON array to
+// path (progress notes go to w).
+func BenchJSON(path string, w io.Writer) error {
+	var entries []BenchEntry
+	add := func(name string, rows int64, fn func(b *testing.B)) {
+		fmt.Fprintf(w, "bench %-28s", name)
+		r := testing.Benchmark(fn)
+		e := benchEntry(name, rows, r)
+		fmt.Fprintf(w, " %12d ns/op", e.NsPerOp)
+		if e.MBPerSec > 0 {
+			fmt.Fprintf(w, " %8.1f MB/s", e.MBPerSec)
+		}
+		fmt.Fprintln(w)
+		entries = append(entries, e)
+	}
+
+	// Ingest: the Zillow pipeline over an on-disk CSV in small chunks,
+	// materialized vs streamed (mirrors BenchmarkIngest).
+	const ingestRows = 100_000
+	raw := data.Zillow(data.ZillowConfig{Rows: ingestRows, Seed: 2})
+	dir, err := os.MkdirTemp("", "tuplex-benchjson")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	zpath := filepath.Join(dir, "zillow.csv")
+	if err := os.WriteFile(zpath, raw, 0o644); err != nil {
+		return err
+	}
+	const chunk = 256 << 10
+	ingest := func(opts ...tuplex.Option) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.SetBytes(int64(len(raw)))
+			b.ReportAllocs()
+			for range b.N {
+				c := tuplex.NewContext(opts...)
+				res, err := pipelines.Zillow(c.CSV(zpath)).ToCSV("")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.CSV) == 0 {
+					b.Fatal("empty output")
+				}
+			}
+		}
+	}
+	add("ingest/materialized", ingestRows,
+		ingest(tuplex.WithExecutors(4), tuplex.WithStreamingIngest(false)))
+	add("ingest/streamed", ingestRows,
+		ingest(tuplex.WithExecutors(4), tuplex.WithChunkSize(chunk)))
+
+	// Join: Parallelize build/probe sides through the sharded hash join
+	// (mirrors BenchmarkJoin).
+	const buildN, probeN = 2_000, 20_000
+	build := make([][]any, buildN)
+	for i := range build {
+		build[i] = []any{int64(i), fmt.Sprintf("name-%d", i)}
+	}
+	probe := make([][]any, probeN)
+	for i := range probe {
+		probe[i] = []any{int64(i % (buildN * 5 / 4)), float64(i)}
+	}
+	add("join/sharded", probeN, func(b *testing.B) {
+		b.ReportAllocs()
+		for range b.N {
+			c := tuplex.NewContext()
+			lhs := c.Parallelize(probe, []string{"k", "v"})
+			rhs := c.Parallelize(build, []string{"k", "name"})
+			res, err := lhs.Join(rhs, "k", "k").Collect()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) == 0 {
+				b.Fatal("no join output")
+			}
+		}
+	})
+
+	// Flights: the two-join pipeline (mirrors BenchmarkFig4Flights's
+	// tuplex arm).
+	const flightRows = 10_000
+	flights := data.Flights(data.FlightsConfig{Rows: flightRows, Seed: 3})
+	carriers, airports := data.Carriers(), data.Airports()
+	add("flights/tuplex", flightRows, func(b *testing.B) {
+		b.ReportAllocs()
+		for range b.N {
+			c := tuplex.NewContext(tuplex.WithExecutors(4))
+			res, err := pipelines.Flights(pipelines.FlightsSources(c, flights, carriers, airports)).Collect()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) == 0 {
+				b.Fatal("no rows")
+			}
+		}
+	})
+
+	// Compiler optimizations: prunable-branch UDF, optimized vs not
+	// (mirrors BenchmarkCompilerOptimizations).
+	const optRows = 50_000
+	var sb []byte
+	sb = append(sb, "i,j,flag,tag\n"...)
+	for n := range optRows {
+		sb = fmt.Appendf(sb, "%d,%d,%d,steady\n", n, n%97+1, n%10)
+	}
+	udf := tuplex.UDF(
+		"lambda x: x['i'] * x['i'] + x['j'] if x['flag'] > 100 else " +
+			"(x['i'] + x['j'] if x['tag'] == 'never-this-value' else x['i'] - x['j'])")
+	opt := func(on bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for range b.N {
+				c := tuplex.NewContext(
+					tuplex.WithExecutors(1), tuplex.WithCompilerOptimizations(on))
+				res, err := c.CSV("", tuplex.CSVData(sb)).WithColumn("v", udf).Collect()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) != optRows {
+					b.Fatalf("rows = %d, want %d", len(res.Rows), optRows)
+				}
+			}
+		}
+	}
+	add("compileropt/optimized", optRows, opt(true))
+	add("compileropt/unoptimized", optRows, opt(false))
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(entries); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "wrote", path)
+	return nil
+}

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// AtomicCopy flags functions and methods that pass or return a
+// sync/atomic value — or a struct (transitively) containing one — by
+// value. Copying an atomic silently forks its state: the copy's
+// increments are invisible to everyone holding the original, exactly
+// the class of bug a shared-counter design (metrics.Counters, the
+// telemetry monitor) cannot afford. go vet's copylocks catches many of
+// these via the noCopy field inside the atomic types, but not structs
+// that merely embed them behind another level, and not our own
+// atomic-bearing named types referenced cross-package.
+//
+// The framework is syntactic, so cross-package knowledge ("does
+// metrics.Counters contain atomics?") comes from a fact prepass over
+// all package dirs (CollectFacts / RunDirs).
+var AtomicCopy = &Analyzer{
+	Name: "atomiccopy",
+	Doc:  "atomic-bearing types must be passed and returned by pointer",
+	Run:  runAtomicCopy,
+}
+
+// Facts carries cross-package information collected before the
+// per-package passes (the stand-in for type information).
+type Facts struct {
+	// atomicStructs maps "pkg.TypeName" to true for named struct types
+	// that transitively contain sync/atomic fields.
+	atomicStructs map[string]bool
+}
+
+// NewFacts returns an empty fact set.
+func NewFacts() *Facts { return &Facts{atomicStructs: map[string]bool{}} }
+
+// atomicImportName returns the file-local name of the sync/atomic
+// import ("" when the file does not import it).
+func atomicImportName(f *ast.File) string {
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || path != "sync/atomic" {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		return "atomic"
+	}
+	return ""
+}
+
+// typeContainsAtomic reports whether a value of type t embeds
+// sync/atomic state when copied. pkg qualifies bare identifiers,
+// atomicName is the file's sync/atomic import name.
+func typeContainsAtomic(t ast.Expr, pkg, atomicName string, facts *Facts) bool {
+	switch t := t.(type) {
+	case *ast.Ident:
+		return facts.atomicStructs[pkg+"."+t.Name]
+	case *ast.SelectorExpr:
+		id, ok := t.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if atomicName != "" && id.Name == atomicName {
+			return true
+		}
+		return facts.atomicStructs[id.Name+"."+t.Sel.Name]
+	case *ast.IndexExpr: // generic instantiation, e.g. atomic.Pointer[T]
+		return typeContainsAtomic(t.X, pkg, atomicName, facts)
+	case *ast.IndexListExpr:
+		return typeContainsAtomic(t.X, pkg, atomicName, facts)
+	case *ast.ArrayType:
+		// Fixed-size arrays copy their elements; slices share them.
+		if t.Len == nil {
+			return false
+		}
+		return typeContainsAtomic(t.Elt, pkg, atomicName, facts)
+	case *ast.StructType:
+		for _, fl := range t.Fields.List {
+			if typeContainsAtomic(fl.Type, pkg, atomicName, facts) {
+				return true
+			}
+		}
+		return false
+	default:
+		// Pointers, maps, chans, funcs, interfaces: no copy hazard.
+		return false
+	}
+}
+
+// collectFacts scans one package's files for atomic-bearing named
+// struct types, reporting whether the fact set grew (the caller
+// iterates dirs to a fixpoint so nesting across files and packages
+// resolves regardless of scan order).
+func collectFacts(files []*ast.File, facts *Facts) (changed bool) {
+	for _, f := range files {
+		pkg := f.Name.Name
+		atomicName := atomicImportName(f)
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				key := pkg + "." + ts.Name.Name
+				if facts.atomicStructs[key] {
+					continue
+				}
+				if typeContainsAtomic(ts.Type, pkg, atomicName, facts) {
+					facts.atomicStructs[key] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+func runAtomicCopy(p *Pass) {
+	facts := p.Facts
+	if facts == nil {
+		// No prepass (single-package invocation): collect facts from
+		// this package alone.
+		facts = NewFacts()
+		for collectFacts(p.Files, facts) {
+		}
+	}
+	for _, f := range p.Files {
+		pkg := f.Name.Name
+		atomicName := atomicImportName(f)
+		hazardous := func(t ast.Expr) bool {
+			return typeContainsAtomic(t, pkg, atomicName, facts)
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Recv != nil {
+				for _, fl := range fd.Recv.List {
+					if hazardous(fl.Type) {
+						p.Reportf(fl.Type.Pos(),
+							"method %s copies atomic-bearing receiver type %s; use a pointer receiver",
+							fd.Name.Name, types.ExprString(fl.Type))
+					}
+				}
+			}
+			if fd.Type.Params != nil {
+				for _, fl := range fd.Type.Params.List {
+					if hazardous(fl.Type) {
+						p.Reportf(fl.Type.Pos(),
+							"func %s passes atomic-bearing type %s by value; pass a pointer",
+							fd.Name.Name, types.ExprString(fl.Type))
+					}
+				}
+			}
+			if fd.Type.Results != nil {
+				for _, fl := range fd.Type.Results.List {
+					if hazardous(fl.Type) {
+						p.Reportf(fl.Type.Pos(),
+							"func %s returns atomic-bearing type %s by value; return a pointer",
+							fd.Name.Name, types.ExprString(fl.Type))
+					}
+				}
+			}
+		}
+	}
+}

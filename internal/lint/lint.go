@@ -38,6 +38,9 @@ type Pass struct {
 	// Internal marks packages under internal/ (or package main), whose
 	// API is not importable by external modules.
 	Internal bool
+	// Facts carries cross-package information from the RunDirs prepass
+	// (nil when the package is analyzed in isolation).
+	Facts *Facts
 
 	analyzer *Analyzer
 	diags    *[]Diagnostic
@@ -65,14 +68,14 @@ func (d Diagnostic) String() string {
 
 // All returns the repo's analyzer set.
 func All() []*Analyzer {
-	return []*Analyzer{APIInternal, SpanPair}
+	return []*Analyzer{APIInternal, SpanPair, AtomicCopy}
 }
 
-// RunDir parses the package in dir and applies the analyzers. Test
-// files are skipped: the checks guard the shipped API and runtime
-// spans, and fixtures inside tests would trip them spuriously.
-func RunDir(dir string, analyzers []*Analyzer) ([]Diagnostic, error) {
-	fset := token.NewFileSet()
+// parseDir parses the package's non-test sources in dir (nil files when
+// the directory holds no Go package). Test files are skipped: the
+// checks guard the shipped API and runtime behaviour, and fixtures
+// inside tests would trip them spuriously.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -89,21 +92,65 @@ func RunDir(dir string, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		files = append(files, f)
 	}
-	if len(files) == 0 {
-		return nil, nil
+	return files, nil
+}
+
+// RunDir parses the package in dir and applies the analyzers with no
+// cross-package facts (fact-dependent analyzers fall back to
+// package-local collection).
+func RunDir(dir string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil || len(files) == 0 {
+		return nil, err
 	}
-	return runFiles(fset, files, dir, analyzers), nil
+	return runFiles(fset, files, dir, analyzers, nil), nil
+}
+
+// RunDirs analyzes a set of package dirs with a shared fact prepass:
+// every package is parsed first, facts (atomic-bearing named types) are
+// collected to a fixpoint across all of them, then the analyzers run
+// per package with the facts attached.
+func RunDirs(dirs []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	parsed := make([][]*ast.File, 0, len(dirs))
+	kept := make([]string, 0, len(dirs))
+	for _, dir := range dirs {
+		files, err := parseDir(fset, dir)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", dir, err)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		parsed = append(parsed, files)
+		kept = append(kept, dir)
+	}
+	facts := NewFacts()
+	for changed := true; changed; {
+		changed = false
+		for _, files := range parsed {
+			if collectFacts(files, facts) {
+				changed = true
+			}
+		}
+	}
+	var diags []Diagnostic
+	for i, files := range parsed {
+		diags = append(diags, runFiles(fset, files, kept[i], analyzers, facts)...)
+	}
+	return diags, nil
 }
 
 // runFiles applies the analyzers to already-parsed files (the test
-// entry point; RunDir feeds it from disk).
-func runFiles(fset *token.FileSet, files []*ast.File, dir string, analyzers []*Analyzer) []Diagnostic {
+// entry point; RunDir/RunDirs feed it from disk).
+func runFiles(fset *token.FileSet, files []*ast.File, dir string, analyzers []*Analyzer, facts *Facts) []Diagnostic {
 	internal := files[0].Name.Name == "main" ||
 		strings.Contains(filepath.ToSlash(dir)+"/", "/internal/") ||
 		strings.HasPrefix(filepath.ToSlash(dir), "internal/")
 	var diags []Diagnostic
 	for _, a := range analyzers {
-		p := &Pass{Fset: fset, Files: files, Dir: dir, Internal: internal, analyzer: a, diags: &diags}
+		p := &Pass{Fset: fset, Files: files, Dir: dir, Internal: internal, Facts: facts, analyzer: a, diags: &diags}
 		a.Run(p)
 	}
 	sort.Slice(diags, func(i, j int) bool {

@@ -17,7 +17,7 @@ func analyze(t *testing.T, dir, src string, analyzers ...*Analyzer) []Diagnostic
 	if err != nil {
 		t.Fatal(err)
 	}
-	return runFiles(fset, []*ast.File{f}, dir, analyzers)
+	return runFiles(fset, []*ast.File{f}, dir, analyzers, nil)
 }
 
 func wantDiag(t *testing.T, diags []Diagnostic, analyzer, frag string) {
@@ -172,5 +172,91 @@ func TestRunDirOnThisPackageIsClean(t *testing.T) {
 	}
 	if len(diags) != 0 {
 		t.Fatalf("internal/lint fails its own analyzers: %v", diags)
+	}
+}
+
+func TestAtomicCopyFlagsSeededViolations(t *testing.T) {
+	src := `package metrics
+
+import "sync/atomic"
+
+type Counters struct {
+	InputRows atomic.Int64
+}
+
+// Wrapper nests the atomic one level down; the fact fixpoint must
+// still mark it.
+type Wrapper struct {
+	C Counters
+}
+
+type Plain struct {
+	N int64
+}
+
+func SnapshotBad(c Counters) {}
+
+func ReturnBad() Counters { return Counters{} }
+
+func (c Counters) RateBad() float64 { return 0 }
+
+func WrapBad(w Wrapper) {}
+
+func RawBad(v atomic.Int64) {}
+
+func SnapshotGood(c *Counters) {}
+
+func PlainGood(p Plain) {}
+`
+	diags := analyze(t, "internal/metrics", src, AtomicCopy)
+	wantDiag(t, diags, "atomiccopy", "func SnapshotBad passes atomic-bearing type Counters")
+	wantDiag(t, diags, "atomiccopy", "func ReturnBad returns atomic-bearing type Counters")
+	wantDiag(t, diags, "atomiccopy", "method RateBad copies atomic-bearing receiver type Counters")
+	wantDiag(t, diags, "atomiccopy", "func WrapBad passes atomic-bearing type Wrapper")
+	wantDiag(t, diags, "atomiccopy", "func RawBad passes atomic-bearing type atomic.Int64")
+	if len(diags) != 5 {
+		t.Fatalf("diagnostics = %d, want 5: %v", len(diags), diags)
+	}
+}
+
+func TestAtomicCopyCrossPackageFacts(t *testing.T) {
+	fset := token.NewFileSet()
+	parse := func(name, src string) *ast.File {
+		t.Helper()
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	// The defining package is scanned for facts only; the using package
+	// references the type qualified and must be flagged.
+	metricsFile := parse("metrics.go", `package metrics
+
+import "sync/atomic"
+
+type Counters struct {
+	N atomic.Int64
+}
+`)
+	coreFile := parse("core.go", `package core
+
+import "example.com/tuplex/internal/metrics"
+
+func Bad(c metrics.Counters) {}
+
+func Good(c *metrics.Counters) {}
+`)
+	facts := NewFacts()
+	for changed := true; changed; {
+		changed = collectFacts([]*ast.File{metricsFile}, facts)
+		if collectFacts([]*ast.File{coreFile}, facts) {
+			changed = true
+		}
+	}
+	diags := runFiles(fset, []*ast.File{coreFile}, "internal/core", []*Analyzer{AtomicCopy}, facts)
+	wantDiag(t, diags, "atomiccopy", "metrics.Counters")
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %d, want 1: %v", len(diags), diags)
 	}
 }

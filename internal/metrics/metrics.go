@@ -139,6 +139,29 @@ type Timings struct {
 	Total    time.Duration
 }
 
+// LatencySummary reports quantiles of one latency distribution,
+// extracted from a telemetry histogram at run end.
+type LatencySummary struct {
+	// Count is the number of recorded observations.
+	Count int64
+	// P50 / P90 / P99 are quantiles (upper bucket bound, ≤6.25%
+	// relative error); Max is the largest observation's bucket bound.
+	P50 time.Duration
+	P90 time.Duration
+	P99 time.Duration
+	Max time.Duration
+}
+
+// Latency bundles the run's latency distributions (zero when telemetry
+// was off).
+type Latency struct {
+	// Chunk is per-task processing wall time (one partition or one
+	// streamed chunk per observation).
+	Chunk LatencySummary
+	// Resolve is per-exception-row resolve wall time.
+	Resolve LatencySummary
+}
+
 // Metrics bundles counters and timings for one pipeline execution.
 type Metrics struct {
 	Counters Counters
@@ -150,6 +173,9 @@ type Metrics struct {
 	Stage []StageIngest
 	// Stages is the number of generated stages.
 	Stages int
+	// Latency holds telemetry latency quantiles (zero when telemetry
+	// was off for the run).
+	Latency Latency
 }
 
 // String renders a compact single-run summary.

@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a zero-allocation log-linear latency histogram (the
+// HDR-histogram bucket layout): values below 2^subBits land in exact
+// unit-width buckets; above that, every power-of-two octave is split
+// into 2^subBits linear sub-buckets, bounding the relative quantile
+// error at 1/2^subBits (6.25%). The bucket array is pre-sized at
+// construction and recording is a single atomic increment — no
+// allocation, no locks — so executors can record per-chunk and
+// per-exception-resolve latencies without perturbing the engine's
+// zero-allocation contract.
+type Histogram struct {
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// subBits sets the sub-bucket resolution: 16 linear sub-buckets per
+// power-of-two octave.
+const subBits = 4
+
+// histMaxValue is the largest representable value (~73 minutes in
+// nanoseconds); larger values clamp into the final bucket.
+const histMaxValue = int64(1) << 42
+
+// numBuckets covers [0, histMaxValue] at subBits resolution.
+var numBuckets = bucketIndex(histMaxValue) + 1
+
+// NewHistogram returns a histogram sized for nanosecond latencies up to
+// ~73 minutes.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]atomic.Int64, numBuckets)}
+}
+
+// bucketIndex maps a value to its bucket. Values in [0, 2^subBits) map
+// exactly (index == value); above that, index = octave*16 + sub where
+// the octave is the value's power-of-two range and sub the next four
+// significant bits.
+func bucketIndex(v int64) int {
+	if v < 1<<subBits {
+		return int(v)
+	}
+	msb := 63 - bits.LeadingZeros64(uint64(v))
+	octave := msb - subBits // 0 for v in [16,32)
+	sub := int(uint64(v)>>uint(octave)) & (1<<subBits - 1)
+	return (octave+1)<<subBits + sub
+}
+
+// bucketLow returns the inclusive lower bound of bucket idx.
+func bucketLow(idx int) int64 {
+	if idx < 1<<subBits {
+		return int64(idx)
+	}
+	octave := idx>>subBits - 1
+	sub := idx & (1<<subBits - 1)
+	return int64(1<<subBits|sub) << uint(octave)
+}
+
+// bucketHigh returns the inclusive upper bound of bucket idx.
+func bucketHigh(idx int) int64 {
+	if idx < 1<<subBits {
+		return int64(idx)
+	}
+	octave := idx>>subBits - 1
+	return bucketLow(idx) + int64(1)<<uint(octave) - 1
+}
+
+// Record adds one observation (nanoseconds). Negative values count as
+// zero; values beyond the histogram range clamp into the last bucket.
+func (h *Histogram) Record(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	clamped := v
+	if clamped > histMaxValue {
+		clamped = histMaxValue
+	}
+	h.counts[bucketIndex(clamped)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// RecordDuration adds one observation from a time.Duration.
+func (h *Histogram) RecordDuration(d time.Duration) { h.Record(d.Nanoseconds()) }
+
+// Count reports the number of recorded observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the sum of all recorded observations (nanoseconds).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Quantile returns the value at quantile q in [0,1] (the upper bound of
+// the bucket holding the rank, HDR convention), or 0 when empty.
+// Concurrent recording skews the result by at most the in-flight
+// observations — fine for monitoring reads.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return bucketHigh(i)
+		}
+	}
+	return bucketHigh(len(h.counts) - 1)
+}
+
+// Max returns the upper bound of the highest non-empty bucket (0 when
+// empty).
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	for i := len(h.counts) - 1; i >= 0; i-- {
+		if h.counts[i].Load() > 0 {
+			return bucketHigh(i)
+		}
+	}
+	return 0
+}
+
+// WritePrometheus renders the histogram in Prometheus text exposition
+// format as a cumulative-bucket histogram metric named name (unit:
+// seconds), with labels (a pre-rendered `k="v",...` fragment, may be
+// empty). Only non-empty buckets are emitted, plus the mandatory +Inf
+// bucket and _sum/_count series.
+func (h *Histogram) WritePrometheus(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum int64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		cum += n
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d\n",
+			name, labels, sep, float64(bucketHigh(i))/1e9, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, h.count.Load())
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, labels, float64(h.sum.Load())/1e9)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.count.Load())
+}

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// StartProgress renders a live single-line progress view of the
+// registry's runs to w (a TTY: the line is redrawn in place with \r)
+// at the given interval (0 = DefaultInterval). The returned stop
+// function halts the renderer and clears the line; it is safe to call
+// once. Driven entirely by the sampler's ring — the renderer never
+// touches engine state.
+func StartProgress(w io.Writer, reg *Registry, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		width := 0
+		for {
+			select {
+			case <-quit:
+				if width > 0 {
+					fmt.Fprintf(w, "\r%s\r", strings.Repeat(" ", width))
+				}
+				return
+			case <-t.C:
+				line := renderProgress(reg)
+				if line == "" && width == 0 {
+					continue
+				}
+				pad := width - len(line)
+				if pad < 0 {
+					pad = 0
+				}
+				fmt.Fprintf(w, "\r%s%s", line, strings.Repeat(" ", pad))
+				width = len(line)
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-done
+	}
+}
+
+// renderProgress formats one status line over the registry's live runs
+// ("" when idle).
+func renderProgress(reg *Registry) string {
+	live := reg.Live()
+	if len(live) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(live))
+	for _, m := range live {
+		parts = append(parts, renderRun(m))
+	}
+	return strings.Join(parts, "  |  ")
+}
+
+func renderRun(m *RunMonitor) string {
+	s, _ := m.LastSample()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s stage %d/%d", m.Label(), m.Stage()+1, m.Stages())
+	fmt.Fprintf(&sb, "  %s rows", humanCount(s.InputRows))
+	fmt.Fprintf(&sb, "  %s rows/s", humanCount(int64(s.RowsPerSec)))
+	if s.BytesPerSec > 0 {
+		fmt.Fprintf(&sb, "  %.1f MB/s", s.BytesPerSec/1e6)
+	}
+	if s.InputRows > 0 {
+		exc := s.GeneralRows + s.FallbackRows + s.FailedRows
+		fmt.Fprintf(&sb, "  exc %.2f%%", 100*float64(exc)/float64(s.InputRows))
+	}
+	fmt.Fprintf(&sb, "  busy %d/%d", s.BusyExecutors, s.Executors)
+	if eta, ok := etaFor(m, s); ok {
+		fmt.Fprintf(&sb, "  eta %s", eta.Round(time.Second))
+	}
+	return sb.String()
+}
+
+// etaFor estimates time to completion from known input size and current
+// byte throughput (false when either is unknown).
+func etaFor(m *RunMonitor, s Sample) (time.Duration, bool) {
+	total := m.TotalBytes()
+	if total <= 0 || s.BytesPerSec <= 0 || s.BytesRead >= total {
+		return 0, false
+	}
+	secs := float64(total-s.BytesRead) / s.BytesPerSec
+	return time.Duration(secs * float64(time.Second)), true
+}
+
+// humanCount renders a count with k/M suffixes for the progress line.
+func humanCount(n int64) string {
+	switch {
+	case n >= 10_000_000:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 10_000:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

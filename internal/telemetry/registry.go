@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+)
+
+// maxRecentRuns bounds the finished runs the registry retains for
+// /debug/tuplex/runz.
+const maxRecentRuns = 16
+
+// Registry tracks a process's live and recently-finished runs so the
+// introspection server can report on them. The zero value is unusable;
+// use Default (one per process) or NewRegistry in tests.
+type Registry struct {
+	mu     sync.Mutex
+	nextID int64
+	live   map[int64]*RunMonitor
+	recent []*RunMonitor // oldest first, capped at maxRecentRuns
+}
+
+// Default is the process-wide registry the engine and the introspection
+// server share.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry (tests use private ones to stay
+// independent of process state).
+func NewRegistry() *Registry {
+	return &Registry{live: make(map[int64]*RunMonitor)}
+}
+
+// Register assigns the monitor a process-unique id and adds it to the
+// live set. Nil-safe.
+func (r *Registry) Register(m *RunMonitor) {
+	if r == nil || m == nil {
+		return
+	}
+	r.mu.Lock()
+	r.nextID++
+	m.id = r.nextID
+	r.live[m.id] = m
+	r.mu.Unlock()
+}
+
+// Unregister moves a finished monitor from the live set to the recent
+// list. Nil-safe.
+func (r *Registry) Unregister(m *RunMonitor) {
+	if r == nil || m == nil {
+		return
+	}
+	r.mu.Lock()
+	if _, ok := r.live[m.id]; ok {
+		delete(r.live, m.id)
+		r.recent = append(r.recent, m)
+		if len(r.recent) > maxRecentRuns {
+			r.recent = r.recent[len(r.recent)-maxRecentRuns:]
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Live returns the live monitors ordered by run id.
+func (r *Registry) Live() []*RunMonitor {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]*RunMonitor, 0, len(r.live))
+	for _, m := range r.live {
+		out = append(out, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// Recent returns the retained finished monitors, oldest first.
+func (r *Registry) Recent() []*RunMonitor {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := append([]*RunMonitor(nil), r.recent...)
+	r.mu.Unlock()
+	return out
+}

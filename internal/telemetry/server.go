@@ -1,0 +1,251 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Server is a live introspection HTTP server over a run registry:
+// /metrics (Prometheus text exposition), /debug/tuplex/runz (JSON live
+// + recent runs with stage progress) and the stdlib pprof handlers
+// under /debug/pprof/. While at least one Server is open, every run in
+// the process is monitored (AutoEnabled), so attaching a scraper to a
+// long-lived service needs no per-run opt-in.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// Serve starts an introspection server on addr (e.g. ":9090" or
+// "127.0.0.1:0") over the process registry. The caller must Close it.
+func Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: NewMux(Default)},
+		done: make(chan struct{}),
+	}
+	autoEnable.Add(1)
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr reports the server's listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the process-wide auto-enable.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	autoEnable.Add(-1)
+	return err
+}
+
+// NewMux builds the introspection handler over a registry (exported so
+// tests can drive it with httptest and private registries).
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writePrometheus(w, reg)
+	})
+	mux.HandleFunc("/debug/tuplex/runz", func(w http.ResponseWriter, r *http.Request) {
+		maxSamples := 0
+		if v := r.URL.Query().Get("samples"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
+				maxSamples = n
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(runzReport(reg, maxSamples))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// RunReport is one run's entry in /debug/tuplex/runz.
+type RunReport struct {
+	ID    int64  `json:"id"`
+	Label string `json:"label"`
+	Live  bool   `json:"live"`
+	// Stage / Stages give stage progress (Stage is the index currently
+	// executing).
+	Stage  int   `json:"stage"`
+	Stages int   `json:"stages"`
+	DurNS  int64 `json:"dur_ns"`
+
+	InputRows    int64 `json:"input_rows"`
+	OutputRows   int64 `json:"output_rows"`
+	NormalRows   int64 `json:"normal_rows"`
+	GeneralRows  int64 `json:"general_rows"`
+	FallbackRows int64 `json:"fallback_rows"`
+	FailedRows   int64 `json:"failed_rows"`
+	BytesRead    int64 `json:"bytes_read"`
+	TotalBytes   int64 `json:"total_bytes,omitempty"`
+
+	RowsPerSec    float64 `json:"rows_per_sec"`
+	BytesPerSec   float64 `json:"bytes_per_sec"`
+	BusyExecutors int     `json:"busy_executors"`
+	Executors     int     `json:"executors"`
+	HeapBytes     uint64  `json:"heap_bytes"`
+
+	ChunkP50NS   int64 `json:"chunk_p50_ns"`
+	ChunkP99NS   int64 `json:"chunk_p99_ns"`
+	ResolveP50NS int64 `json:"resolve_p50_ns"`
+	ResolveP99NS int64 `json:"resolve_p99_ns"`
+
+	// Samples is the time-series tail (?samples=N, newest last).
+	Samples []Sample `json:"samples,omitempty"`
+}
+
+// RunzReport is the /debug/tuplex/runz payload.
+type RunzReport struct {
+	Live   []RunReport `json:"live"`
+	Recent []RunReport `json:"recent"`
+}
+
+func runzReport(reg *Registry, maxSamples int) RunzReport {
+	var rep RunzReport
+	for _, m := range reg.Live() {
+		rep.Live = append(rep.Live, runReport(m, true, maxSamples))
+	}
+	for _, m := range reg.Recent() {
+		rep.Recent = append(rep.Recent, runReport(m, false, maxSamples))
+	}
+	return rep
+}
+
+func runReport(m *RunMonitor, live bool, maxSamples int) RunReport {
+	r := RunReport{
+		ID:           m.ID(),
+		Label:        m.Label(),
+		Live:         live,
+		Stage:        m.Stage(),
+		Stages:       m.Stages(),
+		DurNS:        m.DurNS(),
+		TotalBytes:   m.TotalBytes(),
+		Executors:    m.executors,
+		ChunkP50NS:   m.ChunkLatency.Quantile(0.50),
+		ChunkP99NS:   m.ChunkLatency.Quantile(0.99),
+		ResolveP50NS: m.ResolveLatency.Quantile(0.50),
+		ResolveP99NS: m.ResolveLatency.Quantile(0.99),
+	}
+	// Counter reads go through the last sample so live and finished
+	// runs report from the same source the sampler wrote.
+	if s, ok := m.LastSample(); ok {
+		r.InputRows, r.OutputRows = s.InputRows, s.OutputRows
+		r.NormalRows, r.GeneralRows = s.NormalRows, s.GeneralRows
+		r.FallbackRows, r.FailedRows = s.FallbackRows, s.FailedRows
+		r.BytesRead = s.BytesRead
+		r.RowsPerSec, r.BytesPerSec = s.RowsPerSec, s.BytesPerSec
+		r.BusyExecutors = s.BusyExecutors
+		r.HeapBytes = s.HeapBytes
+	}
+	if maxSamples > 0 {
+		r.Samples = m.Samples(maxSamples)
+	}
+	return r
+}
+
+// promEscape escapes a label value for the Prometheus text format.
+func promEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func runLabels(m *RunMonitor) string {
+	return fmt.Sprintf(`run="%d",label="%s"`, m.ID(), promEscape(m.Label()))
+}
+
+// writePrometheus renders the registry in Prometheus text exposition
+// format (hand-rolled: the repo takes no dependencies).
+func writePrometheus(w http.ResponseWriter, reg *Registry) {
+	live, recent := reg.Live(), reg.Recent()
+	fmt.Fprintf(w, "# HELP tuplex_runs_live Number of runs currently executing.\n")
+	fmt.Fprintf(w, "# TYPE tuplex_runs_live gauge\n")
+	fmt.Fprintf(w, "tuplex_runs_live %d\n", len(live))
+	fmt.Fprintf(w, "# HELP tuplex_runs_recent Number of retained finished runs.\n")
+	fmt.Fprintf(w, "# TYPE tuplex_runs_recent gauge\n")
+	fmt.Fprintf(w, "tuplex_runs_recent %d\n", len(recent))
+
+	all := append(append([]*RunMonitor(nil), live...), recent...)
+	if len(all) == 0 {
+		return
+	}
+
+	counter := func(name, help string, get func(Sample) int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, m := range all {
+			s, _ := m.LastSample()
+			fmt.Fprintf(w, "%s{%s} %d\n", name, runLabels(m), get(s))
+		}
+	}
+	counter("tuplex_input_rows_total", "Input rows read.", func(s Sample) int64 { return s.InputRows })
+	counter("tuplex_output_rows_total", "Rows that reached the sink.", func(s Sample) int64 { return s.OutputRows })
+	counter("tuplex_bytes_read_total", "Raw input bytes consumed.", func(s Sample) int64 { return s.BytesRead })
+
+	fmt.Fprintf(w, "# HELP tuplex_path_rows_total Rows by processing path.\n# TYPE tuplex_path_rows_total counter\n")
+	for _, m := range all {
+		s, _ := m.LastSample()
+		lbl := runLabels(m)
+		fmt.Fprintf(w, "tuplex_path_rows_total{%s,path=\"normal\"} %d\n", lbl, s.NormalRows)
+		fmt.Fprintf(w, "tuplex_path_rows_total{%s,path=\"general\"} %d\n", lbl, s.GeneralRows)
+		fmt.Fprintf(w, "tuplex_path_rows_total{%s,path=\"fallback\"} %d\n", lbl, s.FallbackRows)
+		fmt.Fprintf(w, "tuplex_path_rows_total{%s,path=\"failed\"} %d\n", lbl, s.FailedRows)
+	}
+
+	gauge := func(name, help string, get func(*RunMonitor, Sample) float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, m := range all {
+			s, _ := m.LastSample()
+			fmt.Fprintf(w, "%s{%s} %g\n", name, runLabels(m), get(m, s))
+		}
+	}
+	gauge("tuplex_rows_per_sec", "Input throughput at the last sample.",
+		func(_ *RunMonitor, s Sample) float64 { return s.RowsPerSec })
+	gauge("tuplex_bytes_per_sec", "Byte throughput at the last sample.",
+		func(_ *RunMonitor, s Sample) float64 { return s.BytesPerSec })
+	gauge("tuplex_busy_executors", "Executors running a task at the last sample.",
+		func(_ *RunMonitor, s Sample) float64 { return float64(s.BusyExecutors) })
+	gauge("tuplex_executors", "Configured executor-pool size.",
+		func(m *RunMonitor, _ Sample) float64 { return float64(m.executors) })
+	gauge("tuplex_heap_bytes", "Heap bytes in use at the last sample.",
+		func(_ *RunMonitor, s Sample) float64 { return float64(s.HeapBytes) })
+	gauge("tuplex_stage", "Stage index currently executing.",
+		func(m *RunMonitor, _ Sample) float64 { return float64(m.Stage()) })
+	gauge("tuplex_stages", "Planned stage count.",
+		func(m *RunMonitor, _ Sample) float64 { return float64(m.Stages()) })
+	gauge("tuplex_run_duration_seconds", "Run wall clock so far (frozen at finish).",
+		func(m *RunMonitor, _ Sample) float64 { return time.Duration(m.DurNS()).Seconds() })
+
+	fmt.Fprintf(w, "# HELP tuplex_chunk_latency_seconds Per-task (partition/chunk) processing latency.\n")
+	fmt.Fprintf(w, "# TYPE tuplex_chunk_latency_seconds histogram\n")
+	for _, m := range all {
+		m.ChunkLatency.WritePrometheus(w, "tuplex_chunk_latency_seconds", runLabels(m))
+	}
+	fmt.Fprintf(w, "# HELP tuplex_resolve_latency_seconds Per-exception-row resolve latency.\n")
+	fmt.Fprintf(w, "# TYPE tuplex_resolve_latency_seconds histogram\n")
+	for _, m := range all {
+		m.ResolveLatency.WritePrometheus(w, "tuplex_resolve_latency_seconds", runLabels(m))
+	}
+}

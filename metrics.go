@@ -27,6 +27,9 @@ type Metrics struct {
 	Stages []StageMetrics `json:"stages,omitempty"`
 	// NumStages is the number of generated stages.
 	NumStages int `json:"num_stages"`
+	// Latency holds telemetry latency quantiles (all zero unless the run
+	// used WithTelemetry or an introspection server was active).
+	Latency LatencyMetrics `json:"latency"`
 }
 
 // RowCounts tallies rows by execution path.
@@ -117,6 +120,28 @@ func (j JoinMetrics) HitRate() float64 {
 	return float64(j.ProbeHits) / float64(n)
 }
 
+// LatencyMetrics bundles the run's latency distributions, recorded by
+// the telemetry histograms (see WithTelemetry).
+type LatencyMetrics struct {
+	// Chunk is per-task processing wall time: one partition or one
+	// streamed chunk per observation.
+	Chunk LatencySummary `json:"chunk"`
+	// Resolve is per-exception-row resolve wall time.
+	Resolve LatencySummary `json:"resolve"`
+}
+
+// LatencySummary reports quantiles of one latency distribution.
+// Quantiles are bucket upper bounds with at most 6.25% relative error;
+// durations marshal as integer nanoseconds.
+type LatencySummary struct {
+	// Count is the number of recorded observations.
+	Count int64         `json:"count"`
+	P50   time.Duration `json:"p50_ns"`
+	P90   time.Duration `json:"p90_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
 // StageMetrics is one stage's throughput figures.
 type StageMetrics struct {
 	// Stage is the stage index within the run.
@@ -192,6 +217,10 @@ func newMetrics(m *metrics.Metrics) *Metrics {
 			MaxShardRows: m.Join.MaxShardRows.Load(),
 		},
 		NumStages: m.Stages,
+		Latency: LatencyMetrics{
+			Chunk:   newLatencySummary(m.Latency.Chunk),
+			Resolve: newLatencySummary(m.Latency.Resolve),
+		},
 	}
 	for _, s := range m.Stage {
 		out.Stages = append(out.Stages, StageMetrics{
@@ -200,6 +229,10 @@ func newMetrics(m *metrics.Metrics) *Metrics {
 		})
 	}
 	return out
+}
+
+func newLatencySummary(s metrics.LatencySummary) LatencySummary {
+	return LatencySummary{Count: s.Count, P50: s.P50, P90: s.P90, P99: s.P99, Max: s.Max}
 }
 
 // String renders a compact single-run summary.

@@ -1,0 +1,75 @@
+#!/bin/sh
+# telemetry_smoke.sh — CI smoke test for the live-introspection server.
+#
+# Starts tuplex-bench with -listen while a small experiment runs, then
+# scrapes /metrics and /debug/tuplex/runz. Fails on any non-200 status
+# or empty body, and requires /metrics to look like Prometheus text
+# exposition and /runz to be JSON with a run in it.
+set -eu
+
+PORT="${PORT:-9815}"
+ADDR="127.0.0.1:$PORT"
+TMP="$(mktemp -d)"
+trap 'kill "$BENCH_PID" 2>/dev/null || true; wait "$BENCH_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/tuplex-bench" ./cmd/tuplex-bench
+
+"$TMP/tuplex-bench" -listen "$ADDR" -small ingest >"$TMP/bench.out" 2>&1 &
+BENCH_PID=$!
+
+# fetch URL OUT — 200-or-fail with retries while the server comes up.
+fetch() {
+    url="$1"; out="$2"
+    for i in $(seq 1 50); do
+        if ! kill -0 "$BENCH_PID" 2>/dev/null; then
+            echo "telemetry-smoke: tuplex-bench exited before $url was scraped" >&2
+            cat "$TMP/bench.out" >&2
+            exit 1
+        fi
+        status="$(curl -s -o "$out" -w '%{http_code}' "http://$ADDR$url" || true)"
+        if [ "$status" = "200" ] && [ -s "$out" ]; then
+            return 0
+        fi
+        sleep 0.2
+    done
+    echo "telemetry-smoke: $url never returned 200 with a body (last status: ${status:-none})" >&2
+    exit 1
+}
+
+fetch /metrics "$TMP/metrics.txt"
+fetch /debug/tuplex/runz "$TMP/runz.json"
+
+grep -q '^tuplex_runs_live ' "$TMP/metrics.txt" || {
+    echo "telemetry-smoke: /metrics is not Prometheus text exposition:" >&2
+    head "$TMP/metrics.txt" >&2
+    exit 1
+}
+
+# The scrape raced a live run; either list may hold it by now, but the
+# payload must be JSON mentioning runs at all.
+grep -q '"live"' "$TMP/runz.json" || {
+    echo "telemetry-smoke: /debug/tuplex/runz payload malformed:" >&2
+    head "$TMP/runz.json" >&2
+    exit 1
+}
+
+# Keep scraping until a run shows up in /metrics (the experiment loops
+# several runs, so one is bound to register).
+for i in $(seq 1 100); do
+    if grep -q '^tuplex_input_rows_total{' "$TMP/metrics.txt"; then
+        break
+    fi
+    sleep 0.2
+    fetch /metrics "$TMP/metrics.txt"
+done
+grep -q '^tuplex_input_rows_total{' "$TMP/metrics.txt" || {
+    echo "telemetry-smoke: no run ever appeared in /metrics" >&2
+    exit 1
+}
+
+wait "$BENCH_PID" || {
+    echo "telemetry-smoke: tuplex-bench failed:" >&2
+    cat "$TMP/bench.out" >&2
+    exit 1
+}
+echo "telemetry-smoke: ok (/metrics and /debug/tuplex/runz served a monitored run)"

@@ -1,0 +1,77 @@
+package tuplex
+
+import (
+	"time"
+
+	"github.com/gotuplex/tuplex/internal/core"
+	"github.com/gotuplex/tuplex/internal/telemetry"
+)
+
+// WithTelemetry enables live monitoring for a run: a background sampler
+// snapshots throughput, per-path routing counters, executor utilization
+// and memory pressure at a fixed interval (default 100ms) into a
+// bounded ring, and zero-allocation histograms record per-chunk and
+// per-exception-resolve latencies, summarized in Metrics.Latency. With
+// telemetry off (the default) the execution path carries no
+// instrumentation at all; runs are also monitored automatically while
+// an introspection server (Serve) is active in the process.
+func WithTelemetry(opts ...TelemetryOption) Option {
+	return Option{apply: func(o *core.Options) {
+		o.Telemetry.Enabled = true
+		for _, t := range opts {
+			t.apply(&o.Telemetry)
+		}
+	}}
+}
+
+// TelemetryOption configures WithTelemetry.
+type TelemetryOption struct {
+	apply func(*telemetry.Config)
+}
+
+// TelemetryInterval sets the sampling period (default 100ms). Shorter
+// intervals give finer time series at slightly higher overhead.
+func TelemetryInterval(d time.Duration) TelemetryOption {
+	return TelemetryOption{apply: func(c *telemetry.Config) { c.Interval = d }}
+}
+
+// TelemetryRingSize sets how many samples the run retains (default 600
+// — one minute of history at the default interval).
+func TelemetryRingSize(n int) TelemetryOption {
+	return TelemetryOption{apply: func(c *telemetry.Config) { c.RingSize = n }}
+}
+
+// TelemetryLabel names the run in /metrics, /debug/tuplex/runz and the
+// progress view.
+func TelemetryLabel(label string) TelemetryOption {
+	return TelemetryOption{apply: func(c *telemetry.Config) { c.Label = label }}
+}
+
+// Server is a live introspection HTTP server (see Serve).
+type Server struct {
+	s *telemetry.Server
+}
+
+// Serve starts an introspection HTTP server on addr (e.g. ":9090", or
+// "127.0.0.1:0" for an ephemeral port) exposing:
+//
+//   - /metrics            Prometheus text exposition of all runs
+//   - /debug/tuplex/runz  JSON list of live + recent runs with stage
+//     progress (add ?samples=N for the time-series tail)
+//   - /debug/pprof/       the standard pprof handlers
+//
+// While a server is open, every run in the process is monitored (no
+// per-run WithTelemetry needed). Close the returned Server to stop.
+func Serve(addr string) (*Server, error) {
+	s, err := telemetry.Serve(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{s: s}, nil
+}
+
+// Addr reports the server's listen address (useful with ":0").
+func (s *Server) Addr() string { return s.s.Addr() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.s.Close() }

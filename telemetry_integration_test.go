@@ -1,0 +1,237 @@
+// Telemetry integration tests: the sampler against real streamed-ingest
+// runs (this file is the `go test -race` gate for the monitor's shared
+// state), determinism of the monitored run, and the introspection
+// server observing a run mid-flight.
+package tuplex_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	tuplex "github.com/gotuplex/tuplex"
+	"github.com/gotuplex/tuplex/internal/data"
+	"github.com/gotuplex/tuplex/internal/pipelines"
+	"github.com/gotuplex/tuplex/internal/telemetry"
+)
+
+// writeZillow materializes a generated zillow CSV on disk so the
+// streamed chunked ingest path runs.
+func writeZillow(t *testing.T, rows int) string {
+	t.Helper()
+	raw := data.Zillow(data.ZillowConfig{Rows: rows, Seed: 7, DirtyFraction: 0.01})
+	path := filepath.Join(t.TempDir(), "zillow.csv")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestTelemetrySampledStreamedIngest races the 1ms sampler against a
+// multi-executor streamed run (the -race build is the actual assertion)
+// and checks the run left a latency record behind.
+func TestTelemetrySampledStreamedIngest(t *testing.T) {
+	path := writeZillow(t, 20_000)
+	c := tuplex.NewContext(
+		tuplex.WithExecutors(4),
+		tuplex.WithChunkSize(64<<10),
+		tuplex.WithTelemetry(
+			tuplex.TelemetryInterval(time.Millisecond),
+			tuplex.TelemetryRingSize(128),
+			tuplex.TelemetryLabel("race-gate"),
+		),
+	)
+	res, err := pipelines.Zillow(c.CSV(path)).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no output rows")
+	}
+	lat := res.Metrics.Latency
+	if lat.Chunk.Count == 0 {
+		t.Fatal("monitored run recorded no chunk latencies")
+	}
+	if lat.Chunk.P50 <= 0 || lat.Chunk.P99 < lat.Chunk.P50 || lat.Chunk.Max < lat.Chunk.P99 {
+		t.Fatalf("chunk latency quantiles not ordered: %+v", lat.Chunk)
+	}
+	if lat.Resolve.Count == 0 {
+		t.Fatal("dirty input must leave resolve-latency observations")
+	}
+}
+
+// TestTelemetryDeterminism verifies monitoring is observation only: the
+// same pipeline with telemetry off and on (at an aggressive 1ms
+// interval) produces identical output and identical row accounting.
+func TestTelemetryDeterminism(t *testing.T) {
+	path := writeZillow(t, 10_000)
+	run := func(opts ...tuplex.Option) *tuplex.Result {
+		t.Helper()
+		opts = append([]tuplex.Option{
+			tuplex.WithExecutors(4),
+			tuplex.WithChunkSize(64 << 10),
+		}, opts...)
+		res, err := pipelines.Zillow(tuplex.NewContext(opts...).CSV(path)).ToCSV("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	off := run()
+	on := run(tuplex.WithTelemetry(tuplex.TelemetryInterval(time.Millisecond)))
+
+	if string(off.CSV) != string(on.CSV) {
+		t.Fatalf("output differs with telemetry on: %d vs %d bytes", len(off.CSV), len(on.CSV))
+	}
+	if !reflect.DeepEqual(off.Metrics.Rows, on.Metrics.Rows) {
+		t.Fatalf("row accounting differs:\noff: %+v\non:  %+v", off.Metrics.Rows, on.Metrics.Rows)
+	}
+	if off.Metrics.Ingest.RecordsSplit != on.Metrics.Ingest.RecordsSplit ||
+		off.Metrics.Ingest.BytesRead != on.Metrics.Ingest.BytesRead {
+		t.Fatalf("ingest accounting differs:\noff: %+v\non:  %+v", off.Metrics.Ingest, on.Metrics.Ingest)
+	}
+	if !reflect.DeepEqual(off.Warnings, on.Warnings) {
+		t.Fatalf("warnings differ:\noff: %v\non:  %v", off.Warnings, on.Warnings)
+	}
+	// Only the monitored run carries latency data; the off run's
+	// summary must stay zero (no hidden instrumentation).
+	if off.Metrics.Latency.Chunk.Count != 0 {
+		t.Fatalf("telemetry-off run recorded latencies: %+v", off.Metrics.Latency)
+	}
+	if on.Metrics.Latency.Chunk.Count == 0 {
+		t.Fatal("telemetry-on run recorded no latencies")
+	}
+}
+
+// TestRunzReportsMidFlightStreamedIngest drives the introspection
+// handler with httptest while a streamed-ingest run executes and checks
+// /debug/tuplex/runz reports its live progress. The run size doubles on
+// retry in case the machine finishes a small run between polls.
+func TestRunzReportsMidFlightStreamedIngest(t *testing.T) {
+	srv := httptest.NewServer(telemetry.NewMux(telemetry.Default))
+	defer srv.Close()
+
+	rows := 50_000
+	for attempt := 0; ; attempt++ {
+		label := fmt.Sprintf("midflight-%d", attempt)
+		path := writeZillow(t, rows)
+		done := make(chan error, 1)
+		go func() {
+			c := tuplex.NewContext(
+				tuplex.WithExecutors(2),
+				tuplex.WithChunkSize(32<<10),
+				tuplex.WithTelemetry(
+					tuplex.TelemetryInterval(time.Millisecond),
+					tuplex.TelemetryLabel(label),
+				),
+			)
+			_, err := pipelines.Zillow(c.CSV(path)).Collect()
+			done <- err
+		}()
+
+		caught := pollRunz(t, srv.URL, label, done)
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+		if caught {
+			return
+		}
+		if attempt >= 3 {
+			t.Fatal("never observed the run mid-flight in /debug/tuplex/runz")
+		}
+		rows *= 2
+	}
+}
+
+// BenchmarkIngestTelemetry is BenchmarkIngest's streamed multi-executor
+// case with the monitor attached at the default 100ms interval —
+// compare against BenchmarkIngest/streamed to measure telemetry-on
+// overhead (acceptance: ≤3%).
+func BenchmarkIngestTelemetry(b *testing.B) {
+	raw := data.Zillow(data.ZillowConfig{Rows: 100_000, Seed: 2})
+	path := filepath.Join(b.TempDir(), "zillow.csv")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	opts := []tuplex.Option{
+		tuplex.WithExecutors(4),
+		tuplex.WithChunkSize(256 << 10),
+		tuplex.WithTelemetry(),
+	}
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for range b.N {
+		c := tuplex.NewContext(opts...)
+		res, err := pipelines.Zillow(c.CSV(path)).ToCSV("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.CSV) == 0 {
+			b.Fatal("empty output")
+		}
+	}
+}
+
+// pollRunz polls /debug/tuplex/runz until it sees the labeled run live
+// with progress, the run finishes, or a deadline passes. It validates
+// the live report when caught.
+func pollRunz(t *testing.T, base, label string, done chan error) bool {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case err := <-done:
+			done <- err // re-queue for the caller
+			return false
+		default:
+		}
+		resp, err := http.Get(base + "/debug/tuplex/runz?samples=4")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("runz status = %d", resp.StatusCode)
+		}
+		var rep telemetry.RunzReport
+		err = json.NewDecoder(resp.Body).Decode(&rep)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rep.Live {
+			if r.Label != label || r.InputRows == 0 {
+				continue
+			}
+			// Caught mid-flight: the report must carry streamed-ingest
+			// progress, not just counters.
+			if !r.Live {
+				t.Fatalf("live list entry not marked live: %+v", r)
+			}
+			if r.BytesRead == 0 {
+				t.Fatalf("mid-flight report missing byte progress: %+v", r)
+			}
+			if r.TotalBytes == 0 {
+				t.Fatalf("on-disk input must report total_bytes for ETA: %+v", r)
+			}
+			if r.Executors != 2 {
+				t.Fatalf("executors = %d, want 2", r.Executors)
+			}
+			if r.DurNS <= 0 {
+				t.Fatalf("live run DurNS = %d", r.DurNS)
+			}
+			if len(r.Samples) == 0 {
+				t.Fatalf("mid-flight report carries no samples: %+v", r)
+			}
+			return true
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	t.Fatal("timed out waiting for the run to finish or appear")
+	return false
+}
