@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet tuplex-vet race check bench-ingest bench-smoke bench-json telemetry-smoke trace-demo
+.PHONY: all build test vet tuplex-vet race check bench-ingest bench-smoke bench-json bench-compare telemetry-smoke trace-demo
 
 all: build test
 
@@ -31,9 +31,11 @@ bench-ingest:
 	$(GO) test -bench BenchmarkIngest -run '^$$' .
 
 # One iteration of every benchmark — catches bitrot in bench code
-# without the timing cost of a real run.
+# without the timing cost of a real run — plus the streamed-vs-
+# materialized ingest assertion (streamed must not be slower).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	TUPLEX_BENCH_ASSERT=1 $(GO) test -run TestStreamedAtLeastMaterialized -v .
 
 # End-to-end check of the introspection server: tuplex-bench with
 # -listen, scrape /metrics and /debug/tuplex/runz, fail on non-200 or
@@ -42,10 +44,15 @@ telemetry-smoke:
 	sh scripts/telemetry_smoke.sh
 
 # Machine-readable benchmark snapshot (ingest, join, flights, compiler
-# optimizations) written to BENCH_5.json; commit the refreshed file
+# optimizations) written to BENCH_6.json; commit the refreshed file
 # when performance-relevant code changes.
 bench-json:
-	$(GO) run ./cmd/tuplex-bench -out BENCH_5.json bench-json
+	$(GO) run ./cmd/tuplex-bench -out BENCH_6.json bench-json
+
+# Regression gate: rerun bench-json and compare against the committed
+# BENCH_6.json; fails on >25% throughput drop or >2x allocs growth.
+bench-compare:
+	sh scripts/bench_compare.sh
 
 # Run the Zillow example with full tracing: prints the span tree, the
 # per-operator row-routing ledger and sampled exception rows.

@@ -1,0 +1,74 @@
+// TestStreamedAtLeastMaterialized is the bench-smoke assertion for the
+// streamed-ingest regression fixed by the columnar data plane: with
+// vectorized parsing, chunked streamed ingest must not be slower than
+// materializing the whole file first. It times both modes interleaved
+// and compares medians, with a small grace band so scheduler noise on
+// shared CI runners cannot flap the build. Gated behind
+// TUPLEX_BENCH_ASSERT=1 (set by `make bench-smoke`) because a timing
+// assertion has no place in the regular unit-test run.
+package tuplex_test
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	tuplex "github.com/gotuplex/tuplex"
+	"github.com/gotuplex/tuplex/internal/data"
+	"github.com/gotuplex/tuplex/internal/pipelines"
+)
+
+func TestStreamedAtLeastMaterialized(t *testing.T) {
+	if os.Getenv("TUPLEX_BENCH_ASSERT") == "" {
+		t.Skip("timing assertion; set TUPLEX_BENCH_ASSERT=1 (make bench-smoke) to run")
+	}
+	raw := data.Zillow(data.ZillowConfig{Rows: 60_000, Seed: 2})
+	path := filepath.Join(t.TempDir(), "zillow.csv")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run := func(opts ...tuplex.Option) time.Duration {
+		t0 := time.Now()
+		c := tuplex.NewContext(opts...)
+		res, err := pipelines.Zillow(c.CSV(path)).ToCSV("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.CSV) == 0 {
+			t.Fatal("empty output")
+		}
+		return time.Since(t0)
+	}
+	mat := func() time.Duration {
+		return run(tuplex.WithExecutors(1), tuplex.WithStreamingIngest(false))
+	}
+	str := func() time.Duration {
+		return run(tuplex.WithExecutors(1), tuplex.WithChunkSize(256<<10))
+	}
+
+	// Warm both paths once (page cache, pools, JIT-ish lazy init), then
+	// interleave timed rounds so drift hits both modes equally.
+	mat()
+	str()
+	const rounds = 5
+	var mats, strs []time.Duration
+	for range rounds {
+		mats = append(mats, mat())
+		strs = append(strs, str())
+	}
+	median := func(ds []time.Duration) time.Duration {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return ds[len(ds)/2]
+	}
+	m, s := median(mats), median(strs)
+	t.Logf("median materialized %v, streamed %v", m, s)
+	// Streamed must be at least as fast, within a 10%% noise band: a
+	// genuine regression (the seed's streamed path was ~2x slower) blows
+	// far past this, while run-to-run jitter on 1-2 vCPU runners stays
+	// inside it.
+	if float64(s) > float64(m)*1.10 {
+		t.Fatalf("streamed ingest slower than materialized: median %v vs %v (>10%% over)", s, m)
+	}
+}

@@ -187,7 +187,7 @@ func (c *compiler) builtinCall(x *pyast.Call, name string) (exprFn, error) {
 		a := args[0]
 		switch argT(0).Unwrap().Kind() {
 		case types.KindStr:
-			s := asStr(a, argT(0), pyvalue.ExcTypeError)
+			s := c.strOpFB(x.Args[0], argT(0), a, pyvalue.ExcTypeError)
 			return func(fr *Frame) (rows.Slot, ECode) {
 				v, ec := s(fr)
 				if ec != 0 {
@@ -220,7 +220,7 @@ func (c *compiler) builtinCall(x *pyast.Call, name string) (exprFn, error) {
 		a := args[0]
 		switch argT(0).Unwrap().Kind() {
 		case types.KindStr:
-			s := asStr(a, argT(0), pyvalue.ExcTypeError)
+			s := c.strOpFB(x.Args[0], argT(0), a, pyvalue.ExcTypeError)
 			return func(fr *Frame) (rows.Slot, ECode) {
 				v, ec := s(fr)
 				if ec != 0 {
@@ -447,7 +447,9 @@ func truncToward0(f float64) float64 {
 }
 
 // parseIntPython parses like Python's int(str): surrounding whitespace
-// allowed, sign, decimal digits.
+// allowed, sign, decimal digits. Hand-rolled rather than
+// strconv.ParseInt so the (common, data-driven) failure case costs no
+// error allocation — bad cells are normal traffic on the fast path.
 func parseIntPython(s string) (int64, ECode) {
 	t := strings.TrimSpace(s)
 	if t == "" {
@@ -455,12 +457,42 @@ func parseIntPython(s string) (int64, ECode) {
 	}
 	if strings.ContainsRune(t, '_') {
 		t = strings.ReplaceAll(t, "_", "")
+		if t == "" {
+			return 0, pyvalue.ExcValueError
+		}
 	}
-	n, err := strconv.ParseInt(t, 10, 64)
-	if err != nil {
+	neg := false
+	i := 0
+	if t[0] == '+' || t[0] == '-' {
+		neg = t[0] == '-'
+		i++
+	}
+	if i >= len(t) {
 		return 0, pyvalue.ExcValueError
 	}
-	return n, 0
+	var n uint64
+	for ; i < len(t); i++ {
+		c := t[i]
+		if c < '0' || c > '9' {
+			return 0, pyvalue.ExcValueError
+		}
+		// Overflow reports ValueError like the strconv-based parse did
+		// (the engine has no bigint normal path).
+		if n > (1<<63)/10 {
+			return 0, pyvalue.ExcValueError
+		}
+		n = n*10 + uint64(c-'0')
+		if n > 1<<63 {
+			return 0, pyvalue.ExcValueError
+		}
+	}
+	if neg {
+		return -int64(n), 0
+	}
+	if n == 1<<63 {
+		return 0, pyvalue.ExcValueError
+	}
+	return int64(n), 0
 }
 
 func parseFloatPython(s string) (float64, ECode) {

@@ -30,6 +30,7 @@ import (
 	"github.com/gotuplex/tuplex/internal/pyre"
 	"github.com/gotuplex/tuplex/internal/pyvalue"
 	"github.com/gotuplex/tuplex/internal/rows"
+	"github.com/gotuplex/tuplex/internal/strarena"
 	"github.com/gotuplex/tuplex/internal/types"
 )
 
@@ -44,6 +45,17 @@ type Frame struct {
 	Slots []rows.Slot
 	// Rand powers random.choice on the fast path.
 	Rand *pyre.PRNG
+	// argBuf backs Call1/Call2 so per-row calls never allocate an args
+	// slice; Call copies the slots out before returning.
+	argBuf [2]rows.Slot
+	// Scratch is reusable byte scratch for string-building operations
+	// (case folding, replace, percent formatting). Leaf-use only: a
+	// closure may use it strictly between — never across — nested
+	// closure calls, so contents never survive past one operation.
+	Scratch []byte
+	// Arena interns result strings of hot string operations so each
+	// produced string does not cost its own heap allocation.
+	Arena strarena.Arena
 }
 
 // NewFrame returns a frame with capacity for n slots.
@@ -163,6 +175,20 @@ func (u *UDF) Call(fr *Frame, args []rows.Slot) (rows.Slot, ECode) {
 		}
 	}
 	return rows.Null(), 0
+}
+
+// Call1 invokes a one-parameter UDF without allocating the args slice
+// (the hot-path form used by per-row and batch kernels).
+func (u *UDF) Call1(fr *Frame, arg rows.Slot) (rows.Slot, ECode) {
+	fr.argBuf[0] = arg
+	return u.Call(fr, fr.argBuf[:1])
+}
+
+// Call2 invokes a two-parameter UDF (aggregate step) without allocating
+// the args slice.
+func (u *UDF) Call2(fr *Frame, a, b rows.Slot) (rows.Slot, ECode) {
+	fr.argBuf[0], fr.argBuf[1] = a, b
+	return u.Call(fr, fr.argBuf[:2])
 }
 
 // compiler carries compilation state.
@@ -442,6 +468,13 @@ func (c *compiler) stmt(s pyast.Stmt) (stmtFn, error) {
 			return ctlNext, rows.Slot{}, ec
 		}, nil
 	case *pyast.Assign:
+		if name, ok := s.Target.(*pyast.Name); ok {
+			if st, err := c.assignNat(name, s.Value); err != nil {
+				return nil, err
+			} else if st != nil {
+				return st, nil
+			}
+		}
 		v, err := c.expr(s.Value)
 		if err != nil {
 			return nil, err

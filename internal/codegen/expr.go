@@ -221,6 +221,26 @@ func (c *compiler) exprs(xs []pyast.Expr) ([]exprFn, error) {
 
 // truthExpr compiles an expression into a Python-truthiness test.
 func (c *compiler) truthExpr(x pyast.Expr) (func(fr *Frame) (bool, ECode), error) {
+	if c.opts.Specialize && !c.nativeBail(x) {
+		// Comparisons and scalar name tests — the bulk of filter and
+		// branch conditions — produce the bool directly, no Slot.
+		if cmp, ok := x.(*pyast.Compare); ok {
+			if f, err := c.compareBool(cmp); err != nil {
+				return nil, err
+			} else if f != nil {
+				return f, nil
+			}
+		}
+		if nm, ok := x.(*pyast.Name); ok {
+			if idx, ok := c.slots[nm.Ident]; ok {
+				if t := nm.Type(); !t.IsOption() {
+					if f := truthSlotFn(idx, t.Kind()); f != nil {
+						return f, nil
+					}
+				}
+			}
+		}
+	}
 	e, err := c.expr(x)
 	if err != nil {
 		return nil, err
@@ -412,8 +432,21 @@ func (c *compiler) boolOp(x *pyast.BoolOp) (exprFn, error) {
 }
 
 func (c *compiler) subscript(x *pyast.Subscript) (exprFn, error) {
-	// Row column access resolved by inference: a direct slice load.
+	// Row column access resolved by inference: a direct slice load. When
+	// the row is a named frame slot the element is read through a
+	// pointer, skipping the copy of the whole row Slot.
 	if x.RowIdx >= 0 {
+		if c.opts.Specialize {
+			if el := c.rowElemAt(x); el != nil {
+				return func(fr *Frame) (rows.Slot, ECode) {
+					p, ec := el(fr)
+					if ec != 0 {
+						return rows.Slot{}, ec
+					}
+					return *p, 0
+				}, nil
+			}
+		}
 		base, err := c.expr(x.X)
 		if err != nil {
 			return nil, err

@@ -176,7 +176,7 @@ func (c *compiler) binOp(op string, l, r exprFn, lx, rx pyast.Expr, lt, rt, resT
 	switch op {
 	case "+", "-", "*", "//", "%", "**":
 		if numeric && intResult {
-			li, ri := asI64(l, lt), asI64(r, rt)
+			li, ri := c.i64OpFB(lx, lt, l), c.i64OpFB(rx, rt, r)
 			switch op {
 			case "+":
 				return func(fr *Frame) (rows.Slot, ECode) {
@@ -306,7 +306,7 @@ func (c *compiler) binOp(op string, l, r exprFn, lx, rx pyast.Expr, lt, rt, resT
 			}
 		}
 		if numeric {
-			lf, rf := asF64(l, lt), asF64(r, rt)
+			lf, rf := c.f64OpFB(lx, lt, l), c.f64OpFB(rx, rt, r)
 			switch op {
 			case "+":
 				return func(fr *Frame) (rows.Slot, ECode) {
@@ -398,7 +398,7 @@ func (c *compiler) binOp(op string, l, r exprFn, lx, rx pyast.Expr, lt, rt, resT
 		}
 		// String cases.
 		if op == "+" && lu.Kind() == types.KindStr && ru.Kind() == types.KindStr {
-			ls, rs := asStr(l, lt, pyvalue.ExcTypeError), asStr(r, rt, pyvalue.ExcTypeError)
+			ls, rs := c.strOpFB(lx, lt, l, pyvalue.ExcTypeError), c.strOpFB(rx, rt, r, pyvalue.ExcTypeError)
 			return func(fr *Frame) (rows.Slot, ECode) {
 				a, ec := ls(fr)
 				if ec != 0 {
@@ -408,11 +408,17 @@ func (c *compiler) binOp(op string, l, r exprFn, lx, rx pyast.Expr, lt, rt, resT
 				if ec != 0 {
 					return rows.Slot{}, ec
 				}
-				return rows.Str(a + b), 0
+				if a == "" {
+					return rows.Str(b), 0
+				}
+				if b == "" {
+					return rows.Str(a), 0
+				}
+				return rows.Str(fr.Arena.Concat(a, b)), 0
 			}, nil
 		}
 		if op == "*" && lu.Kind() == types.KindStr && ru.IsNumeric() {
-			ls, ri := asStr(l, lt, pyvalue.ExcTypeError), asI64(r, rt)
+			ls, ri := c.strOpFB(lx, lt, l, pyvalue.ExcTypeError), c.i64OpFB(rx, rt, r)
 			return func(fr *Frame) (rows.Slot, ECode) {
 				a, ec := ls(fr)
 				if ec != 0 {
@@ -429,11 +435,10 @@ func (c *compiler) binOp(op string, l, r exprFn, lx, rx pyast.Expr, lt, rt, resT
 			}, nil
 		}
 		if op == "%" && lu.Kind() == types.KindStr {
-			// printf-style formatting: delegate to the shared formatter
-			// with a boxed right operand (formatting is not hot-loop
-			// arithmetic; semantics win over nanoseconds here, as in the
-			// paper's runtime library calls from generated code).
-			ls := asStr(l, lt, pyvalue.ExcTypeError)
+			// printf-style formatting: the shared formatter appends into
+			// the frame's scratch buffer and the result is arena-interned,
+			// so a hot-loop format pays only the operand boxing.
+			ls := c.strOpFB(lx, lt, l, pyvalue.ExcTypeError)
 			return func(fr *Frame) (rows.Slot, ECode) {
 				a, ec := ls(fr)
 				if ec != 0 {
@@ -443,11 +448,12 @@ func (c *compiler) binOp(op string, l, r exprFn, lx, rx pyast.Expr, lt, rt, resT
 				if ec != 0 {
 					return rows.Slot{}, ec
 				}
-				v, err := pyvalue.PercentFormat(a, b.Value())
+				out, err := pyvalue.AppendPercentFormat(fr.Scratch[:0], a, b.Value())
 				if err != nil {
 					return rows.Slot{}, pyvalue.KindOf(err)
 				}
-				return rows.FromValue(v), 0
+				fr.Scratch = out[:0]
+				return rows.Str(fr.Arena.Intern(out)), 0
 			}, nil
 		}
 		if op == "+" && lu.Kind() == types.KindList && ru.Kind() == types.KindList {
@@ -455,7 +461,7 @@ func (c *compiler) binOp(op string, l, r exprFn, lx, rx pyast.Expr, lt, rt, resT
 		}
 		return boxedBinOp(op, l, r), nil
 	case "/":
-		lf, rf := asF64(l, lt), asF64(r, rt)
+		lf, rf := c.f64OpFB(lx, lt, l), c.f64OpFB(rx, rt, r)
 		checkZero := !c.flowNonZero(rx)
 		if !checkZero {
 			c.stats.ChecksElided++
@@ -475,7 +481,7 @@ func (c *compiler) binOp(op string, l, r exprFn, lx, rx pyast.Expr, lt, rt, resT
 			return rows.F64(a / b), 0
 		}, nil
 	case "&", "|", "^", "<<", ">>":
-		li, ri := asI64(l, lt), asI64(r, rt)
+		li, ri := c.i64OpFB(lx, lt, l), c.i64OpFB(rx, rt, r)
 		o := op
 		return func(fr *Frame) (rows.Slot, ECode) {
 			a, ec := li(fr)
@@ -506,6 +512,17 @@ func (c *compiler) binOp(op string, l, r exprFn, lx, rx pyast.Expr, lt, rt, resT
 
 // compare compiles a (possibly chained) comparison.
 func (c *compiler) compare(x *pyast.Compare) (exprFn, error) {
+	if f, err := c.compareBool(x); err != nil {
+		return nil, err
+	} else if f != nil {
+		return func(fr *Frame) (rows.Slot, ECode) {
+			ok, ec := f(fr)
+			if ec != 0 {
+				return rows.Slot{}, ec
+			}
+			return rows.Bool(ok), 0
+		}, nil
+	}
 	operands := append([]pyast.Expr{x.First}, x.Rest...)
 	fns := make([]exprFn, len(operands))
 	for i, e := range operands {

@@ -18,16 +18,16 @@ func (c *compiler) strMethodCall(x *pyast.Call, attr *pyast.Attr) (exprFn, error
 	if err != nil {
 		return nil, err
 	}
-	recv := asStr(recvE, attr.X.Type(), pyvalue.ExcAttributeError)
+	recv := c.strOpFB(attr.X, attr.X.Type(), recvE, pyvalue.ExcAttributeError)
 	args, err := c.exprs(x.Args)
 	if err != nil {
 		return nil, err
 	}
-	strArg := func(i int) func(fr *Frame) (string, ECode) {
-		return asStr(args[i], x.Args[i].Type(), pyvalue.ExcTypeError)
+	strArg := func(i int) strFn {
+		return c.strOpFB(x.Args[i], x.Args[i].Type(), args[i], pyvalue.ExcTypeError)
 	}
-	intArg := func(i int) func(fr *Frame) (int64, ECode) {
-		return asI64(args[i], x.Args[i].Type())
+	intArg := func(i int) i64Fn {
+		return c.i64OpFB(x.Args[i], x.Args[i].Type(), args[i])
 	}
 
 	if !c.opts.Specialize {
@@ -80,57 +80,21 @@ func (c *compiler) strMethodCall(x *pyast.Call, attr *pyast.Attr) (exprFn, error
 			return rows.I64(int64(i)), 0
 		}, nil
 	case "lower":
-		return strUnary(recv, strings.ToLower), nil
+		return wrapStr(strCaseFoldS(recv, false)), nil
 	case "upper":
-		return strUnary(recv, strings.ToUpper), nil
+		return wrapStr(strCaseFoldS(recv, true)), nil
 	case "capitalize":
 		return strUnary(recv, pyvalue.Capitalize), nil
 	case "title":
 		return strUnary(recv, pyvalue.TitleCase), nil
 	case "strip", "lstrip", "rstrip":
-		name := attr.Name
-		var cut func(fr *Frame) (string, ECode)
+		var cut strFn
 		if len(args) >= 1 {
 			cut = strArg(0)
 		}
-		return func(fr *Frame) (rows.Slot, ECode) {
-			s, ec := recv(fr)
-			if ec != 0 {
-				return rows.Slot{}, ec
-			}
-			cutset := " \t\n\r\v\f"
-			if cut != nil {
-				cutset, ec = cut(fr)
-				if ec != 0 {
-					return rows.Slot{}, ec
-				}
-			}
-			switch name {
-			case "strip":
-				return rows.Str(strings.Trim(s, cutset)), 0
-			case "lstrip":
-				return rows.Str(strings.TrimLeft(s, cutset)), 0
-			default:
-				return rows.Str(strings.TrimRight(s, cutset)), 0
-			}
-		}, nil
+		return wrapStr(strStripS(recv, cut, attr.Name)), nil
 	case "replace":
-		oldA, newA := strArg(0), strArg(1)
-		return func(fr *Frame) (rows.Slot, ECode) {
-			s, ec := recv(fr)
-			if ec != 0 {
-				return rows.Slot{}, ec
-			}
-			o, ec := oldA(fr)
-			if ec != 0 {
-				return rows.Slot{}, ec
-			}
-			n, ec := newA(fr)
-			if ec != 0 {
-				return rows.Slot{}, ec
-			}
-			return rows.Str(strings.ReplaceAll(s, o, n)), 0
-		}, nil
+		return wrapStr(strReplaceS(recv, strArg(0), strArg(1))), nil
 	case "split":
 		if len(args) == 0 {
 			return func(fr *Frame) (rows.Slot, ECode) {
@@ -292,12 +256,127 @@ func (c *compiler) strMethodCall(x *pyast.Call, attr *pyast.Attr) (exprFn, error
 	}
 }
 
-func strUnary(recv func(fr *Frame) (string, ECode), f func(string) string) exprFn {
-	return func(fr *Frame) (rows.Slot, ECode) {
+func strUnary(recv strFn, f func(string) string) exprFn {
+	return wrapStr(strUnaryS(recv, f))
+}
+
+func strUnaryS(recv strFn, f func(string) string) strFn {
+	return func(fr *Frame) (string, ECode) {
 		s, ec := recv(fr)
 		if ec != 0 {
-			return rows.Slot{}, ec
+			return "", ec
 		}
-		return rows.Str(f(s)), 0
+		return f(s), 0
+	}
+}
+
+// strCaseFoldS is lower()/upper() with an ASCII fast path: unchanged
+// input is returned as-is (no allocation), changed ASCII input is
+// folded into frame scratch and arena-interned, and any non-ASCII byte
+// falls back to the stdlib's full Unicode case mapping.
+func strCaseFoldS(recv strFn, upper bool) strFn {
+	return func(fr *Frame) (string, ECode) {
+		s, ec := recv(fr)
+		if ec != 0 {
+			return "", ec
+		}
+		changed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c >= 0x80 {
+				if upper {
+					return strings.ToUpper(s), 0
+				}
+				return strings.ToLower(s), 0
+			}
+			if upper {
+				changed = changed || (c >= 'a' && c <= 'z')
+			} else {
+				changed = changed || (c >= 'A' && c <= 'Z')
+			}
+		}
+		if !changed {
+			return s, 0
+		}
+		buf := fr.Scratch[:0]
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if upper {
+				if c >= 'a' && c <= 'z' {
+					c -= 'a' - 'A'
+				}
+			} else if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			buf = append(buf, c)
+		}
+		fr.Scratch = buf[:0]
+		return fr.Arena.Intern(buf), 0
+	}
+}
+
+// strReplaceS is str.replace with no-match and empty-needle handled
+// without rebuilding, and rebuilt results arena-interned.
+func strReplaceS(recv, oldA, newA strFn) strFn {
+	return func(fr *Frame) (string, ECode) {
+		s, ec := recv(fr)
+		if ec != 0 {
+			return "", ec
+		}
+		o, ec := oldA(fr)
+		if ec != 0 {
+			return "", ec
+		}
+		n, ec := newA(fr)
+		if ec != 0 {
+			return "", ec
+		}
+		if o == "" || !strings.Contains(s, o) {
+			// Python's ''.replace('', n) interleaves n between
+			// characters; rare enough to leave to the stdlib. No match
+			// returns the receiver unchanged: zero cost.
+			if o == "" {
+				return strings.ReplaceAll(s, o, n), 0
+			}
+			return s, 0
+		}
+		buf := fr.Scratch[:0]
+		for {
+			i := strings.Index(s, o)
+			if i < 0 {
+				buf = append(buf, s...)
+				break
+			}
+			buf = append(buf, s[:i]...)
+			buf = append(buf, n...)
+			s = s[i+len(o):]
+		}
+		fr.Scratch = buf[:0]
+		return fr.Arena.Intern(buf), 0
+	}
+}
+
+// strStripS is strip/lstrip/rstrip; cut nil means whitespace.
+func strStripS(recv, cut strFn, name string) strFn {
+	return func(fr *Frame) (string, ECode) {
+		s, ec := recv(fr)
+		if ec != 0 {
+			return "", ec
+		}
+		cutset := " \t\n\r\v\f"
+		if cut != nil {
+			cutset, ec = cut(fr)
+			if ec != 0 {
+				return "", ec
+			}
+		}
+		switch name {
+		case "strip":
+			return strings.Trim(s, cutset), 0
+		case "lstrip":
+			return strings.TrimLeft(s, cutset), 0
+		default:
+			return strings.TrimRight(s, cutset), 0
+		}
 	}
 }

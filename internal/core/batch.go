@@ -1,0 +1,412 @@
+package core
+
+// Columnar batch execution (the normal-case data plane over column
+// vectors). CSV source stages compile the maximal prefix of
+// map/filter/withColumn/mapColumn/select operators into batch kernels:
+// the generated parser appends cells directly onto typed column vectors
+// (internal/colvec), each kernel loops over the batch's selection vector
+// calling the compiled scalar UDF with only the columns it reads, and
+// filters shrink the selection instead of copying columns. Operators the
+// kernels cannot batch (joins, uncompiled UDF suffixes) and the
+// unique/aggregate terminals run through the composed row-at-a-time
+// chain via a batch→row bridge, and exception rows bounce to the pooled
+// boxed path exactly like the row path — output bytes and row accounting
+// are identical by construction (enforced by the columnar differential
+// suite).
+
+import (
+	"github.com/gotuplex/tuplex/internal/colvec"
+	"github.com/gotuplex/tuplex/internal/pyvalue"
+	"github.com/gotuplex/tuplex/internal/rows"
+	"github.com/gotuplex/tuplex/internal/types"
+)
+
+// batchMaxRows bounds one batch so vector memory stays chunk-sized even
+// for materialized partitions.
+const batchMaxRows = 4096
+
+// bkKind enumerates batch kernel kinds.
+type bkKind uint8
+
+const (
+	bkMap bkKind = iota
+	bkFilter
+	bkWithColumn
+	bkMapColumn
+	bkSelect
+)
+
+// batchKernel is one operator compiled for batch execution.
+type batchKernel struct {
+	kind bkKind
+	su   *stageUDF
+	ridx int32
+	// scalar marks UDFs receiving a bare column value; colIdx is that
+	// column (also the mapColumn target and the withColumn replace index,
+	// -1 = append).
+	scalar bool
+	colIdx int
+	// inCols is the schema width entering the op; argCols lists the
+	// columns a whole-row UDF actually reads (accessed columns plus guard
+	// columns; nil = fill every column).
+	inCols  int
+	argCols []int
+	// outTypes types the derived output vectors (map: one per output
+	// column; withColumn/mapColumn: one).
+	outTypes []types.Type
+	// perm is the select permutation.
+	perm []int
+}
+
+// batchProg is a stage's batch plan.
+type batchProg struct {
+	kernels []*batchKernel
+	// suffix is the composed row-at-a-time chain for the operators after
+	// the kernel prefix plus the terminal; nil when the terminal itself is
+	// batch-executable (CSV sink / materialize) and every operator
+	// compiled to a kernel.
+	suffix nstep
+}
+
+// batchState is the per-task reusable batch memory: parse target
+// vectors, per-kernel derived vectors, selection double-buffer, order
+// keys and raw records of the current batch.
+type batchState struct {
+	src     []*colvec.Vec
+	derived [][]*colvec.Vec
+	cols    []*colvec.Vec
+	cols2   []*colvec.Vec
+	sel     []int32
+	sel2    []int32
+	keys    []uint64
+	raws    [][]byte
+	argBuf  []rows.Slot
+}
+
+func newBatchState(cs *compiledStage) *batchState {
+	bst := &batchState{src: cs.parse.NewVecsFor()}
+	bst.derived = make([][]*colvec.Vec, len(cs.batch.kernels))
+	for ki, k := range cs.batch.kernels {
+		if len(k.outTypes) == 0 {
+			continue
+		}
+		vecs := make([]*colvec.Vec, len(k.outTypes))
+		for j, t := range k.outTypes {
+			vecs[j] = colvec.NewVec(t)
+		}
+		bst.derived[ki] = vecs
+	}
+	bst.argBuf = make([]rows.Slot, cs.maxCols)
+	return bst
+}
+
+// runRecordsColumnar is runRecords on the batch plan: identical order
+// keys, pool entries, counters and routing ledger arithmetic, with the
+// per-row parse/step/render work replaced by per-batch vector loops.
+func (cs *compiledStage) runRecordsColumnar(ts *task, p int, recs [][]byte, baseKey uint64, copyRaw bool) error {
+	if ts.bst == nil {
+		if got, ok := cs.bstPool.Get().(*batchState); ok {
+			ts.bst = got
+		} else {
+			ts.bst = newBatchState(cs)
+		}
+	}
+	bst := ts.bst
+	bp := cs.batch
+	var input, rejects, normalExc int64
+
+	for start := 0; start < len(recs); start += batchMaxRows {
+		end := start + batchMaxRows
+		if end > len(recs) {
+			end = len(recs)
+		}
+		sub := recs[start:end]
+		input += int64(len(sub))
+
+		// Parse straight into the source vectors; rejected records pool
+		// with their raw bytes, exactly like the row path.
+		for _, v := range bst.src {
+			v.Reset()
+		}
+		bst.keys = bst.keys[:0]
+		bst.raws = bst.raws[:0]
+		for i, rec := range sub {
+			key := baseKey + uint64(start+i)
+			if ec := cs.parse.ParseLineVecs(rec, bst.src); ec != 0 {
+				rejects++
+				ts.pool = append(ts.pool, exRow{part: p, key: key, raw: rec, ec: ec})
+				continue
+			}
+			bst.keys = append(bst.keys, key)
+			bst.raws = append(bst.raws, rec)
+		}
+		n := len(bst.keys)
+		bst.sel = bst.sel[:0]
+		for i := 0; i < n; i++ {
+			bst.sel = append(bst.sel, int32(i))
+		}
+		bst.cols = append(bst.cols[:0], bst.src...)
+
+		// Kernel prefix: per-batch ledger arithmetic replaces the row
+		// path's per-row routeWrap counters.
+		for ki, k := range bp.kernels {
+			if ts.route != nil {
+				ts.route[k.ridx] += int64(len(bst.sel))
+			}
+			normalExc += k.run(ts, bst, n, p, bst.derived[ki])
+		}
+
+		// Terminal: batch render/gather, or bridge into the composed
+		// row-at-a-time suffix (joins, uncompiled ops, unique/aggregate).
+		if bp.suffix == nil {
+			if ts.route != nil {
+				ts.route[cs.termRouteIdx] += int64(len(bst.sel))
+			}
+			if cs.sinkCSV {
+				cs.renderBatchCSV(ts, bst)
+			} else {
+				cs.gatherBatch(ts, bst, n)
+			}
+		} else {
+			for _, r := range bst.sel {
+				row := ts.rowBuf[:len(bst.cols)]
+				for c, v := range bst.cols {
+					row[c] = v.Slot(int(r))
+				}
+				if ec := bp.suffix(ts, bst.keys[r], row); ec != 0 {
+					normalExc++
+					ts.pool = append(ts.pool, exRow{part: p, key: bst.keys[r], raw: bst.raws[r], ec: ec, op: ts.excOp})
+					if ts.routeExc != nil {
+						ts.routeExc[ts.excOp]++
+					}
+				}
+			}
+		}
+	}
+
+	normal := input - rejects - normalExc
+	c := &ts.eng.res.Metrics.Counters
+	c.InputRows.Add(input)
+	c.ClassifierRejects.Add(rejects)
+	c.NormalPathExceptions.Add(normalExc)
+	c.NormalRows.Add(normal)
+	ts.inRows += input
+	if ts.route != nil {
+		ts.route[0] += input
+		ts.routeExc[0] += rejects
+	}
+	ts.flushProbeCounters()
+	if copyRaw {
+		for i := range ts.pool {
+			if ts.pool[i].raw != nil {
+				ts.pool[i].raw = append([]byte(nil), ts.pool[i].raw...)
+			}
+		}
+	}
+	// Return the batch memory to the stage pool: nothing in it escapes
+	// the call (strings are sealed copies, pooled raw records point at
+	// stable input memory or were detached above, output rows have fresh
+	// backing).
+	ts.bst = nil
+	cs.bstPool.Put(bst)
+	return nil
+}
+
+// run executes one kernel over the batch's live rows, updating
+// bst.cols/bst.sel in place and pooling per-row exceptions. Returns the
+// exception count.
+//tuplex:kernel
+func (k *batchKernel) run(ts *task, bst *batchState, n, part int, derived []*colvec.Vec) int64 {
+	if k.kind == bkSelect {
+		out := bst.cols2[:0]
+		for _, i := range k.perm {
+			out = append(out, bst.cols[i])
+		}
+		bst.cols, bst.cols2 = out, bst.cols
+		return 0
+	}
+
+	var excs int64
+	for _, v := range derived {
+		v.Reset()
+		v.Grow(n)
+	}
+	newSel := bst.sel2[:0]
+	for _, r := range bst.sel {
+		arg := k.gatherArg(bst, int(r))
+		v, ec := callKernelUDF(ts, k.su, arg)
+		if ec != 0 {
+			ts.pool = append(ts.pool, exRow{part: part, key: bst.keys[r], raw: bst.raws[r], ec: ec, op: k.ridx})
+			if ts.routeExc != nil {
+				ts.routeExc[k.ridx]++
+			}
+			excs++
+			continue
+		}
+		switch k.kind {
+		case bkFilter:
+			if !v.Truth() {
+				continue
+			}
+		case bkMap:
+			switch {
+			case len(v.Seq) > 0 && (v.Tag == types.KindDict || v.Tag == types.KindTuple):
+				if len(v.Seq) != len(derived) {
+					ts.pool = append(ts.pool, exRow{part: part, key: bst.keys[r], raw: bst.raws[r], ec: pyvalue.ExcUnsupported, op: k.ridx})
+					if ts.routeExc != nil {
+						ts.routeExc[k.ridx]++
+					}
+					excs++
+					continue
+				}
+				for j := range derived {
+					derived[j].Set(int(r), v.Seq[j])
+				}
+			case len(derived) == 1:
+				derived[0].Set(int(r), v)
+			default:
+				ts.pool = append(ts.pool, exRow{part: part, key: bst.keys[r], raw: bst.raws[r], ec: pyvalue.ExcUnsupported, op: k.ridx})
+				if ts.routeExc != nil {
+					ts.routeExc[k.ridx]++
+				}
+				excs++
+				continue
+			}
+		case bkWithColumn, bkMapColumn:
+			derived[0].Set(int(r), v)
+		}
+		newSel = append(newSel, r)
+	}
+	bst.sel, bst.sel2 = newSel, bst.sel
+
+	switch k.kind {
+	case bkMap:
+		bst.cols = append(bst.cols[:0], derived...)
+	case bkMapColumn:
+		bst.cols[k.colIdx] = derived[0]
+	case bkWithColumn:
+		if k.colIdx >= 0 {
+			bst.cols[k.colIdx] = derived[0]
+		} else {
+			bst.cols = append(bst.cols, derived[0])
+		}
+	}
+	return excs
+}
+
+// gatherArg assembles the UDF argument for batch row r: the bare column
+// for scalar UDFs, else the row tuple with only the accessed (and
+// guarded) columns filled — unread positions keep stale slots that the
+// compiled body never loads.
+//tuplex:kernel
+func (k *batchKernel) gatherArg(bst *batchState, r int) rows.Slot {
+	if k.scalar {
+		return bst.cols[k.colIdx].Slot(r)
+	}
+	row := bst.argBuf[:k.inCols]
+	if k.argCols == nil {
+		for c, v := range bst.cols[:k.inCols] {
+			row[c] = v.Slot(r)
+		}
+	} else {
+		for _, c := range k.argCols {
+			row[c] = bst.cols[c].Slot(r)
+		}
+	}
+	return rows.Tuple(row)
+}
+
+// callKernelUDF is callNormalUDF with the argument already gathered.
+func callKernelUDF(ts *task, su *stageUDF, arg rows.Slot) (rows.Slot, ECode) {
+	if su.compiled == nil {
+		return rows.Slot{}, pyvalue.ExcUnsupported
+	}
+	return su.compiled.Call1(ts.frames[su.frameIdx], arg)
+}
+
+// renderBatchCSV renders the live rows straight from the vectors into
+// the task's CSV writer — no row materialization, no per-cell strings.
+//tuplex:kernel
+func (cs *compiledStage) renderBatchCSV(ts *task, bst *batchState) {
+	w := ts.csvW
+	for _, r := range bst.sel {
+		ri := int(r)
+		for c, v := range bst.cols {
+			if c > 0 {
+				w.Delim()
+			}
+			if v.IsNull(ri) {
+				continue
+			}
+			switch v.Kind {
+			case types.KindBool:
+				w.CellBool(v.B[ri])
+			case types.KindI64:
+				w.CellI64(v.I[ri])
+			case types.KindF64:
+				w.CellF64(v.F[ri])
+			case types.KindStr:
+				w.CellStrBytes(v.RawStr(ri))
+			case types.KindNull:
+			default:
+				w.CellSlot(v.Slots[ri])
+			}
+		}
+		w.EndRecord()
+		ts.lineEnds = append(ts.lineEnds, w.Len())
+		ts.outKeys = append(ts.outKeys, bst.keys[r])
+	}
+}
+
+// gatherBatch materializes the live rows (collect/materialize terminal)
+// with one bulk backing allocation per batch.
+func (cs *compiledStage) gatherBatch(ts *task, bst *batchState, n int) {
+	b := colvec.Batch{Cols: bst.cols, N: n}
+	got := b.GatherRows(bst.sel)
+	ts.outRows = append(ts.outRows, got...)
+	for _, r := range bst.sel {
+		ts.outKeys = append(ts.outKeys, bst.keys[r])
+	}
+}
+
+// kernelArgCols resolves the column set a whole-row UDF reads at this
+// schema point: accessed columns from the static analysis plus the
+// columns its compiled guards test. nil means the analysis could not
+// attribute reads (or a name failed to resolve) and the kernel must fill
+// every column.
+func kernelArgCols(su *stageUDF, schema *types.Schema) []int {
+	acc := su.spec.Access
+	if acc == nil || acc.WholeRow {
+		return nil
+	}
+	seen := make(map[int]bool)
+	var out []int
+	add := func(i int) {
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	for _, nm := range acc.ByName {
+		i, ok := schema.Lookup(nm)
+		if !ok {
+			return nil
+		}
+		add(i)
+	}
+	for _, i := range acc.ByIndex {
+		if i < 0 || i >= schema.Len() {
+			return nil
+		}
+		add(i)
+	}
+	if su.compiled != nil {
+		for _, g := range su.compiled.Guards {
+			if g.Col < 0 || g.Col >= schema.Len() {
+				return nil
+			}
+			add(g.Col)
+		}
+	}
+	return out
+}

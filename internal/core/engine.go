@@ -17,6 +17,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -58,6 +59,12 @@ type Options struct {
 	// (§4.4): disk I/O, record splitting, parsing and UDF execution
 	// overlap instead of materializing the whole input up front.
 	Streaming bool
+	// Columnar enables batch execution over column vectors for CSV
+	// sources: the generated parser fills typed column vectors directly
+	// and map/filter/withColumn/select run as batch kernels with
+	// selection vectors (the row-at-a-time path remains for exception
+	// rows, later operators and non-CSV sources).
+	Columnar bool
 	// ChunkSize is the streamed ingest chunk size in bytes (0 uses
 	// csvio.DefaultChunkSize).
 	ChunkSize int
@@ -82,6 +89,7 @@ func DefaultOptions() Options {
 		Codegen:       codegen.DefaultOptions(),
 		Seed:          0x745,
 		Streaming:     true,
+		Columnar:      true,
 		ChunkSize:     csvio.DefaultChunkSize,
 		Trace:         trace.LevelSpans,
 	}
@@ -421,7 +429,7 @@ func (eng *engine) executeStage(cs *compiledStage) (*mat, error) {
 					out.parts[p] = ts.outRows
 					out.keys[p] = ts.outKeys
 					if ts.csvW != nil {
-						out.csvParts[p] = ts.csvW.Bytes()
+						out.csvParts[p] = ts.csvW.Take()
 						out.csvEnds[p] = ts.lineEnds
 					}
 				}
@@ -496,7 +504,8 @@ func (eng *engine) finish(out *mat, kind SinkKind, csvPath string, res *Result) 
 				return
 			}
 			sortExRows(exs)
-			pw := csvio.NewWriter(',')
+			pw := csvio.NewWriterBuf(',', getCSVBuf())
+			pw.Grow(len(buf) + len(exs)*64)
 			i, j := 0, 0
 			for i < len(ends) || j < len(exs) {
 				if j >= len(exs) || (i < len(ends) && keysP[i] <= exs[j].key) {
@@ -512,18 +521,27 @@ func (eng *engine) finish(out *mat, kind SinkKind, csvPath string, res *Result) 
 				}
 				counts[p]++
 			}
-			stitched[p] = pw.Bytes()
+			stitched[p] = pw.Take()
+			putCSVBuf(buf) // task buffer fully copied into pw
 		})
 		w := newCSVWriterFor(out.schema)
+		tot := 0
+		for p := range stitched {
+			tot += len(stitched[p])
+		}
+		w.Grow(tot)
 		n := int64(0)
 		for p := range stitched {
 			w.WriteRaw(stitched[p])
 			n += counts[p]
+			putCSVBuf(stitched[p]) // copied into w; recycle for future tasks
 		}
 		eng.res.Metrics.Counters.OutputRows.Add(n)
-		res.CSV = w.Bytes()
+		res.CSV = w.Take()
 		if csvPath != "" {
-			return w.WriteFile(csvPath)
+			if err := os.WriteFile(csvPath, res.CSV, 0o644); err != nil {
+				return fmt.Errorf("core: writing %s: %w", csvPath, err)
+			}
 		}
 		return nil
 	default:

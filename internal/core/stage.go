@@ -5,6 +5,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/gotuplex/tuplex/internal/codegen"
@@ -23,6 +24,27 @@ import (
 
 // ECode aliases the return-code exception representation.
 type ECode = codegen.ECode
+
+// csvBufPool recycles task CSV output buffers across tasks and runs. A
+// steady-state buffer is already output-sized, so sink rendering avoids
+// both doubling-growth copies and the runtime's large-allocation
+// zeroing, which otherwise dominate the sink path's profile.
+var csvBufPool sync.Pool // holds *[]byte
+
+func getCSVBuf() []byte {
+	if p, _ := csvBufPool.Get().(*[]byte); p != nil {
+		return (*p)[:0]
+	}
+	return nil
+}
+
+func putCSVBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	csvBufPool.Put(&b)
+}
 
 // nstep is one compiled normal-path step (push model: each step calls
 // the next; a nonzero return code aborts the row, which the driver then
@@ -64,7 +86,10 @@ type compiledStage struct {
 	// for sources that sample values. Nil means type facts only.
 	srcFacts []dataflow.ColFact
 
-	entry   nstep // head of the compiled normal path
+	entry nstep // head of the compiled normal path
+	// batch is the stage's columnar plan (CSV sources with Columnar on);
+	// runRecords dispatches to it instead of the per-row entry chain.
+	batch   *batchProg
 	maxCols int
 	nUDFs   int
 	// sinkCSV marks a final stage that renders CSV inside the tasks.
@@ -97,6 +122,12 @@ type compiledStage struct {
 	// poolSize is the stage's exception-pool size (set by
 	// resolveExceptions, reported on the resolve span).
 	poolSize int
+
+	// bstPool recycles batch memory (parse vectors, derived vectors,
+	// selection buffers) across the stage's tasks: string-vector byte
+	// buffers reach steady capacity after a few chunks instead of
+	// regrowing per task.
+	bstPool sync.Pool
 }
 
 // stageUDF bundles one operator's three compiled forms.
@@ -133,6 +164,9 @@ type task struct {
 	// streaming CSV sink state
 	csvW     *csvio.Writer
 	lineEnds []int
+
+	// bst is the lazily-created columnar batch memory (batch stages only).
+	bst *batchState
 
 	aggSlot rows.Slot
 	hasAgg  bool
@@ -179,7 +213,7 @@ func (cs *compiledStage) newTask(eng *engine, part int) *task {
 		ts.hasAgg = true
 	}
 	if cs.sinkCSV {
-		ts.csvW = csvio.NewWriter(',')
+		ts.csvW = csvio.NewWriterBuf(',', getCSVBuf())
 	}
 	if cs.traceRows {
 		ts.route = make([]int64, len(cs.opNames))
@@ -231,6 +265,9 @@ func (cs *compiledStage) mergedRouting() []trace.OpRouting {
 // pooled exception rows from the record storage (required when records
 // alias a reusable chunk buffer).
 func (cs *compiledStage) runRecords(ts *task, p int, recs [][]byte, baseKey uint64, copyRaw bool) error {
+	if cs.batch != nil {
+		return cs.runRecordsColumnar(ts, p, recs, baseKey, copyRaw)
+	}
 	var input, rejects, normalExc, normal int64
 	for i, rec := range recs {
 		key := baseKey + uint64(i)
@@ -401,6 +438,9 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 		make func(next nstep) nstep
 		// ridx is the op's routing-ledger index.
 		ridx int32
+		// batch is the op's columnar kernel (nil = not batch-compilable;
+		// the kernel prefix ends at the first nil).
+		batch *batchKernel
 	}
 	var nops []compiledOp
 	schema := cs.inSchema
@@ -438,7 +478,13 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 			inIdx := 0 // scalar single-column index
 			nCols := outSchema.Len()
 			scratchIdx := su.frameIdx
-			nops = append(nops, compiledOp{ridx: ridx, make: func(next nstep) nstep {
+			outTs := make([]types.Type, outSchema.Len())
+			for i := range outTs {
+				outTs[i] = outSchema.Col(i).Type
+			}
+			bk := &batchKernel{kind: bkMap, su: su, ridx: ridx, scalar: scalar, colIdx: inIdx,
+				inCols: schema.Len(), argCols: kernelArgCols(su, schema), outTypes: outTs}
+			nops = append(nops, compiledOp{ridx: ridx, batch: bk, make: func(next nstep) nstep {
 				return func(ts *task, key uint64, row rows.Row) ECode {
 					v, ec := callNormalUDF(ts, su, row, inIdx, scalar)
 					if ec != 0 {
@@ -480,7 +526,9 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 			h := &opHandlers{}
 			cs.boxed = append(cs.boxed, &boxedOp{kind: bOpFilter, udf: su.boxed, handlers: h, inSchema: schema, scalar: scalar})
 			lastHandlers = h
-			nops = append(nops, compiledOp{ridx: ridx, make: func(next nstep) nstep {
+			fbk := &batchKernel{kind: bkFilter, su: su, ridx: ridx, scalar: scalar,
+				inCols: schema.Len(), argCols: kernelArgCols(su, schema)}
+			nops = append(nops, compiledOp{ridx: ridx, batch: fbk, make: func(next nstep) nstep {
 				return func(ts *task, key uint64, row rows.Row) ECode {
 					v, ec := callNormalUDF(ts, su, row, 0, scalar)
 					if ec != 0 {
@@ -511,7 +559,9 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 			h := &opHandlers{}
 			cs.boxed = append(cs.boxed, &boxedOp{kind: bOpWithColumn, udf: su.boxed, handlers: h, inSchema: schema, col: op.Col, colIdx: replaceIdx, scalar: scalar})
 			lastHandlers = h
-			nops = append(nops, compiledOp{ridx: ridx, make: func(next nstep) nstep {
+			wbk := &batchKernel{kind: bkWithColumn, su: su, ridx: ridx, scalar: scalar, colIdx: replaceIdx,
+				inCols: schema.Len(), argCols: kernelArgCols(su, schema), outTypes: []types.Type{retT}}
+			nops = append(nops, compiledOp{ridx: ridx, batch: wbk, make: func(next nstep) nstep {
 				return func(ts *task, key uint64, row rows.Row) ECode {
 					v, ec := callNormalUDF(ts, su, row, 0, scalar)
 					if ec != 0 {
@@ -555,7 +605,9 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 			h := &opHandlers{}
 			cs.boxed = append(cs.boxed, &boxedOp{kind: bOpMapColumn, udf: su.boxed, handlers: h, inSchema: schema, col: op.Col, colIdx: idx, scalar: true})
 			lastHandlers = h
-			nops = append(nops, compiledOp{ridx: ridx, make: func(next nstep) nstep {
+			mbk := &batchKernel{kind: bkMapColumn, su: su, ridx: ridx, scalar: true, colIdx: idx,
+				inCols: schema.Len(), outTypes: []types.Type{su.returnType()}}
+			nops = append(nops, compiledOp{ridx: ridx, batch: mbk, make: func(next nstep) nstep {
 				return func(ts *task, key uint64, row rows.Row) ECode {
 					v, ec := callNormalUDF(ts, su, row, idx, true)
 					if ec != 0 {
@@ -598,7 +650,8 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 			selScratch := frameIdx
 			frameIdx++
 			cs.boxed = append(cs.boxed, &boxedOp{kind: bOpSelect, sel: sel})
-			nops = append(nops, compiledOp{ridx: ridx, make: func(next nstep) nstep {
+			sbk := &batchKernel{kind: bkSelect, ridx: ridx, perm: sel}
+			nops = append(nops, compiledOp{ridx: ridx, batch: sbk, make: func(next nstep) nstep {
 				return func(ts *task, key uint64, row rows.Row) ECode {
 					out := ts.opScratch(selScratch, len(sel))
 					for _, i := range sel {
@@ -735,18 +788,43 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 		return nil, err
 	}
 	// Compose the chain back to front; at LevelRows every step (and the
-	// terminal) is preceded by its ledger counter.
-	entry := term
-	if cs.traceRows {
-		entry = routeWrap(entry, cs.termRouteIdx)
-	}
-	for i := len(nops) - 1; i >= 0; i-- {
-		entry = nops[i].make(entry)
+	// terminal) is preceded by its ledger counter. compose(from) builds
+	// the chain starting at op index from — compose(0) is the full row
+	// path, later starts serve as the batch plan's row-at-a-time suffix.
+	compose := func(from int) nstep {
+		entry := term
 		if cs.traceRows {
-			entry = routeWrap(entry, nops[i].ridx)
+			entry = routeWrap(entry, cs.termRouteIdx)
 		}
+		for i := len(nops) - 1; i >= from; i-- {
+			entry = nops[i].make(entry)
+			if cs.traceRows {
+				entry = routeWrap(entry, nops[i].ridx)
+			}
+		}
+		return entry
 	}
-	cs.entry = entry
+	cs.entry = compose(0)
+
+	// Columnar batch plan: CSV sources compile the maximal prefix of
+	// batchable ops into kernels; anything after (plus non-batchable
+	// terminals) runs through the composed suffix via the row bridge.
+	if eng.opts.Columnar && cs.parse != nil && !cs.isText {
+		prefix := 0
+		for prefix < len(nops) && nops[prefix].batch != nil {
+			prefix++
+		}
+		kernels := make([]*batchKernel, prefix)
+		for i := range kernels {
+			kernels[i] = nops[i].batch
+		}
+		bp := &batchProg{kernels: kernels}
+		batchTerm := cs.terminal == physical.TerminalSink || cs.terminal == physical.TerminalMaterialize
+		if prefix < len(nops) || !batchTerm {
+			bp.suffix = compose(prefix)
+		}
+		cs.batch = bp
+	}
 	if cs.traceRows {
 		for _, bop := range cs.boxed {
 			bop.stats = &boxedOpStats{}
@@ -820,7 +898,7 @@ func callNormalUDF(ts *task, su *stageUDF, row rows.Row, colIdx int, scalar bool
 	} else {
 		arg = rows.Tuple(row)
 	}
-	return su.compiled.Call(fr, []rows.Slot{arg})
+	return su.compiled.Call1(fr, arg)
 }
 
 func (su *stageUDF) returnType() types.Type {

@@ -243,6 +243,11 @@ func (eng *engine) executeStreamed(cs *compiledStage) (*mat, error) {
 
 	go func() {
 		defer close(taskCh)
+		// The sampling prefix was already read off disk; publish those
+		// bytes before queueing so a sampler never observes processed
+		// rows with zero ingest progress (the batch kernels finish the
+		// first chunks faster than the producer reads the next one).
+		eng.mon.StoreStreamBytes(ss.prod.bytesRead())
 		part := 0
 		for _, pc := range ss.prefix {
 			if stop.Load() {
@@ -368,7 +373,7 @@ func (eng *engine) executeStreamed(cs *compiledStage) (*mat, error) {
 		out.parts[p] = ts.outRows
 		out.keys[p] = ts.outKeys
 		if ts.csvW != nil {
-			out.csvParts[p] = ts.csvW.Bytes()
+			out.csvParts[p] = ts.csvW.Take()
 			out.csvEnds[p] = ts.lineEnds
 		}
 		out.exceptional = append(out.exceptional, ts.pool...)

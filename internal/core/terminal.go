@@ -59,7 +59,7 @@ func (cs *compiledStage) makeTerminal() (nstep, error) {
 			if scalar {
 				arg = row[0]
 			}
-			v, ec := su.compiled.Call(fr, []rows.Slot{ts.aggSlot, arg})
+			v, ec := su.compiled.Call2(fr, ts.aggSlot, arg)
 			if ec != 0 {
 				ts.excOp = ridx
 				return ec

@@ -1,0 +1,121 @@
+package csvio
+
+import (
+	"math"
+	"testing"
+
+	"github.com/gotuplex/tuplex/internal/pyvalue"
+	"github.com/gotuplex/tuplex/internal/rows"
+	"github.com/gotuplex/tuplex/internal/types"
+)
+
+// specAndLines builds a projected spec over mixed types plus a pile of
+// tricky records: quoted cells, escaped quotes, nulls, bad parses, wrong
+// column counts, trailing garbage after quotes.
+func equivSpec() *ParseSpec {
+	return NewParseSpec(',', 5, []FieldSpec{
+		{Col: 0, Type: types.I64},
+		{Col: 1, Type: types.Str},
+		{Col: 3, Type: types.Option(types.F64)},
+		{Col: 4, Type: types.Option(types.Str)},
+	}, nil)
+}
+
+var equivLines = []string{
+	`1,hello,skip,2.5,world`,
+	`-7,"quoted, cell",x,,`,
+	`3,"esc""aped",x,4.25,ok`,
+	`4,plain,x,1e3,"multi` + "\n" + `line"`,
+	`5,s,x,notafloat,y`,    // bad float → reject
+	`6,s,x,1.5`,            // wrong column count → reject
+	`7,s,x,1.5,a,extra`,    // wrong column count → reject
+	`notanint,s,x,1.5,a`,   // bad int → reject
+	`8,"q"garbage,x,0.5,t`, // trailing garbage after quote
+	`9,,x,,`,
+}
+
+func TestParseLineVecsEquivalence(t *testing.T) {
+	spec := equivSpec()
+	vecs := spec.NewVecsFor()
+	var accepted []rows.Row
+	for _, ln := range equivLines {
+		row := make(rows.Row, len(spec.Fields))
+		ecRow := spec.ParseLine([]byte(ln), row)
+		n0 := vecs[0].Len()
+		ecVec := spec.ParseLineVecs([]byte(ln), vecs)
+		if ecRow != ecVec {
+			t.Fatalf("line %q: row ec=%v vec ec=%v", ln, ecRow, ecVec)
+		}
+		if ecRow != 0 {
+			for _, v := range vecs {
+				if v.Len() != n0 {
+					t.Fatalf("line %q: rejected record left vector rows (len %d, want %d)", ln, v.Len(), n0)
+				}
+			}
+			continue
+		}
+		accepted = append(accepted, row)
+	}
+	if vecs[0].Len() != len(accepted) {
+		t.Fatalf("vec rows %d, accepted rows %d", vecs[0].Len(), len(accepted))
+	}
+	for i, want := range accepted {
+		for c := range spec.Fields {
+			got := vecs[c].Slot(i)
+			if !rows.Equal(got, want[c]) {
+				t.Fatalf("row %d col %d: vec %+v, row %+v", i, c, got, want[c])
+			}
+			if got.Tag != want[c].Tag {
+				t.Fatalf("row %d col %d: tag %v vs %v", i, c, got.Tag, want[c].Tag)
+			}
+		}
+	}
+}
+
+func TestWriterCellAPIEquivalence(t *testing.T) {
+	rws := []rows.Row{
+		{rows.I64(42), rows.Str("plain"), rows.F64(2.5), rows.Bool(true), rows.Null()},
+		{rows.I64(-1), rows.Str("with,comma"), rows.F64(1e300), rows.Bool(false), rows.Str(`has "quotes"`)},
+		{rows.I64(0), rows.Str("line\nbreak"), rows.F64(math.Inf(-1)), rows.Bool(true), rows.Str("")},
+		{rows.I64(7), rows.Str("\rcr"), rows.F64(1234567.0), rows.Bool(false), rows.Str("end")},
+	}
+	rowW := NewWriter(',')
+	cellW := NewWriter(',')
+	for _, r := range rws {
+		rowW.WriteRow(r)
+		for i, s := range r {
+			if i > 0 {
+				cellW.Delim()
+			}
+			switch s.Tag {
+			case types.KindNull:
+				cellW.CellNull()
+			case types.KindBool:
+				cellW.CellBool(s.B)
+			case types.KindI64:
+				cellW.CellI64(s.I)
+			case types.KindF64:
+				cellW.CellF64(s.F)
+			case types.KindStr:
+				cellW.CellStrBytes([]byte(s.S))
+			}
+			_ = i
+		}
+		cellW.EndRecord()
+	}
+	if string(rowW.Bytes()) != string(cellW.Bytes()) {
+		t.Fatalf("cell API output differs:\nrow:  %q\ncell: %q", rowW.Bytes(), cellW.Bytes())
+	}
+}
+
+func TestAppendFloatReprMatchesFloatRepr(t *testing.T) {
+	cases := []float64{0, 1, -1, 2.5, -4.25, 0.1, 123456.789, 1e15, 1e16, 1e-4, 1e-5,
+		math.Inf(1), math.Inf(-1), math.NaN(), 3.141592653589793, -0.00012345, 9e18}
+	for _, f := range cases {
+		want := pyvalue.FloatRepr(f)
+		got := string(pyvalue.AppendFloatRepr(nil, f))
+		if got != want {
+			t.Fatalf("AppendFloatRepr(%v) = %q, FloatRepr = %q", f, got, want)
+		}
+	}
+}

@@ -14,6 +14,7 @@
 package csvio
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"strconv"
@@ -28,11 +29,15 @@ import (
 // the pipelines' conventions (the flights pipeline passes custom ones).
 var DefaultNullValues = []string{""}
 
+var recordSep = []byte{'\n'}
+
 // SplitRecords splits raw CSV bytes into physical lines, respecting
 // quoted fields that span cell boundaries (quoted newlines are kept
 // within one record). The returned slices alias data.
 func SplitRecords(data []byte) [][]byte {
-	var out [][]byte
+	// Presize from the newline count (vectorized scan): quoted newlines
+	// overestimate slightly, which only wastes a few spare slots.
+	out := make([][]byte, 0, bytes.Count(data, recordSep)+1)
 	start := 0
 	inQuote := false
 	for i := 0; i < len(data); i++ {
@@ -599,72 +604,186 @@ func SniffValue(cell string, nullValues []string) pyvalue.Value {
 
 // ---- Writer ----
 
-// Writer writes rows as CSV with minimal quoting.
+// Writer writes rows as CSV with minimal quoting. Internally it is a
+// plain byte buffer with per-cell append methods, so the columnar render
+// path emits cells without materializing intermediate strings; the
+// row-level methods below are built on the same cells.
 type Writer struct {
-	sb    strings.Builder
-	delim byte
+	buf     []byte
+	scratch []byte // requote staging, reused
+	delim   byte
 }
 
 // NewWriter returns a Writer using the given delimiter.
 func NewWriter(delim byte) *Writer { return &Writer{delim: delim} }
 
+// NewWriterBuf returns a writer rendering into buf's storage (length is
+// reset), for callers that recycle output buffers across tasks: a
+// steady-state pooled buffer is already output-sized, so the writer
+// never pays doubling growth or large-allocation zeroing.
+func NewWriterBuf(delim byte, buf []byte) *Writer {
+	return &Writer{delim: delim, buf: buf[:0]}
+}
+
 // WriteHeader writes the column-name row.
 func (w *Writer) WriteHeader(names []string) {
 	for i, n := range names {
 		if i > 0 {
-			w.sb.WriteByte(w.delim)
+			w.buf = append(w.buf, w.delim)
 		}
-		w.writeCell(n)
+		w.CellString(n)
 	}
-	w.sb.WriteByte('\n')
+	w.buf = append(w.buf, '\n')
 }
 
 // WriteRow renders one row.
 func (w *Writer) WriteRow(r rows.Row) {
 	for i, s := range r {
 		if i > 0 {
-			w.sb.WriteByte(w.delim)
+			w.buf = append(w.buf, w.delim)
 		}
-		w.writeCell(s.RenderString())
+		w.CellSlot(s)
 	}
-	w.sb.WriteByte('\n')
+	w.buf = append(w.buf, '\n')
 }
 
 // WriteValues renders one boxed row (exception-path results).
 func (w *Writer) WriteValues(vs []pyvalue.Value) {
 	for i, v := range vs {
 		if i > 0 {
-			w.sb.WriteByte(w.delim)
+			w.buf = append(w.buf, w.delim)
 		}
 		if _, isNone := v.(pyvalue.None); isNone {
 			continue
 		}
-		w.writeCell(pyvalue.ToStr(v))
+		w.CellString(pyvalue.ToStr(v))
 	}
-	w.sb.WriteByte('\n')
+	w.buf = append(w.buf, '\n')
 }
 
-func (w *Writer) writeCell(s string) {
-	if strings.ContainsAny(s, string([]byte{w.delim, '"', '\n', '\r'})) {
-		w.sb.WriteByte('"')
-		w.sb.WriteString(strings.ReplaceAll(s, `"`, `""`))
-		w.sb.WriteByte('"')
+// ---- Per-cell append API (columnar render path) ----
+//
+// A record is emitted as Cell*([delim] Cell*)... EndRecord. Every Cell
+// method finishes with the minimal-quoting check, so output is
+// byte-identical with the row-level writers.
+
+// Delim emits the column separator.
+func (w *Writer) Delim() { w.buf = append(w.buf, w.delim) }
+
+// EndRecord terminates the current record.
+func (w *Writer) EndRecord() { w.buf = append(w.buf, '\n') }
+
+// CellNull emits an empty cell (None renders as nothing).
+func (w *Writer) CellNull() {}
+
+// CellBool emits a bool cell.
+func (w *Writer) CellBool(b bool) {
+	if b {
+		w.buf = append(w.buf, "True"...)
+	} else {
+		w.buf = append(w.buf, "False"...)
+	}
+}
+
+// CellI64 emits an integer cell.
+func (w *Writer) CellI64(v int64) {
+	start := len(w.buf)
+	w.buf = strconv.AppendInt(w.buf, v, 10)
+	w.finishCell(start)
+}
+
+// CellF64 emits a float cell with Python repr spelling.
+func (w *Writer) CellF64(f float64) {
+	start := len(w.buf)
+	w.buf = pyvalue.AppendFloatRepr(w.buf, f)
+	w.finishCell(start)
+}
+
+// CellStrBytes emits a string cell from raw bytes.
+func (w *Writer) CellStrBytes(b []byte) {
+	start := len(w.buf)
+	w.buf = append(w.buf, b...)
+	w.finishCell(start)
+}
+
+// CellString emits a string cell.
+func (w *Writer) CellString(s string) {
+	start := len(w.buf)
+	w.buf = append(w.buf, s...)
+	w.finishCell(start)
+}
+
+// CellSlot emits an arbitrary slot cell.
+func (w *Writer) CellSlot(s rows.Slot) {
+	start := len(w.buf)
+	w.buf = s.AppendRender(w.buf)
+	w.finishCell(start)
+}
+
+// finishCell applies minimal quoting to the cell rendered at buf[start:]:
+// if the body contains the delimiter, a quote or a line break, it is
+// rewritten in place as a quoted cell with doubled quotes.
+func (w *Writer) finishCell(start int) {
+	needs := false
+	for i := start; i < len(w.buf); i++ {
+		c := w.buf[i]
+		if c == w.delim || c == '"' || c == '\n' || c == '\r' {
+			needs = true
+			break
+		}
+	}
+	if !needs {
 		return
 	}
-	w.sb.WriteString(s)
+	w.scratch = append(w.scratch[:0], w.buf[start:]...)
+	w.buf = append(w.buf[:start], '"')
+	for _, c := range w.scratch {
+		if c == '"' {
+			w.buf = append(w.buf, '"', '"')
+			continue
+		}
+		w.buf = append(w.buf, c)
+	}
+	w.buf = append(w.buf, '"')
 }
 
 // WriteRaw appends pre-rendered CSV bytes.
-func (w *Writer) WriteRaw(b []byte) { w.sb.Write(b) }
+func (w *Writer) WriteRaw(b []byte) { w.buf = append(w.buf, b...) }
 
-// Bytes returns the accumulated output.
-func (w *Writer) Bytes() []byte { return []byte(w.sb.String()) }
+// Bytes returns a copy of the accumulated output (the writer may be
+// reset and reused by pooled tasks after the caller keeps the bytes).
+func (w *Writer) Bytes() []byte {
+	out := make([]byte, len(w.buf))
+	copy(out, w.buf)
+	return out
+}
+
+// Take transfers ownership of the accumulated output without copying
+// and leaves the writer empty. Use when the writer is done for good
+// (per-task sink buffers the engine keeps whole).
+func (w *Writer) Take() []byte {
+	out := w.buf
+	w.buf = nil
+	return out
+}
+
+// Grow ensures capacity for n more bytes, so callers that know the
+// output size (stitching pre-rendered partitions) avoid doubling
+// copies.
+func (w *Writer) Grow(n int) {
+	if cap(w.buf)-len(w.buf) >= n {
+		return
+	}
+	buf := make([]byte, len(w.buf), len(w.buf)+n)
+	copy(buf, w.buf)
+	w.buf = buf
+}
 
 // Len returns the accumulated output size.
-func (w *Writer) Len() int { return w.sb.Len() }
+func (w *Writer) Len() int { return len(w.buf) }
 
-// Reset clears the writer.
-func (w *Writer) Reset() { w.sb.Reset() }
+// Reset clears the writer, keeping capacity.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
 
 // WriteFile flushes the accumulated output to path.
 func (w *Writer) WriteFile(path string) error {

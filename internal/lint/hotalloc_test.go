@@ -1,0 +1,78 @@
+package lint
+
+import "testing"
+
+func TestHotAllocFlagsSeededViolations(t *testing.T) {
+	src := `package core
+
+//tuplex:kernel
+func badKernel(rows [][]byte, sel []int32) [][]string {
+	var out [][]string
+	for _, r := range sel {
+		cells := make([]string, 4) // per-row make: flagged
+		_ = cells
+		tmp := append([]string(nil), string(rows[r])) // append to fresh slice: flagged
+		out = append(out, tmp)                        // self-append: allowed
+	}
+	for i := 0; i < len(rows); i++ {
+		sink(append(sel, int32(i))) // append result passed on: flagged
+	}
+	return out
+}
+
+func sink(v []int32) {}
+`
+	diags := analyze(t, "internal/core", src, HotAlloc)
+	wantDiag(t, diags, "hotalloc", "make inside kernel loop")
+	wantDiag(t, diags, "hotalloc", "append to a different slice")
+	wantDiag(t, diags, "hotalloc", "append result not stored back")
+	if len(diags) != 3 {
+		t.Fatalf("diagnostics = %d, want 3: %v", len(diags), diags)
+	}
+}
+
+func TestHotAllocAllowsAmortizedAndHoisted(t *testing.T) {
+	src := `package core
+
+type vec struct{ b []byte }
+
+//tuplex:kernel
+func goodKernel(v *vec, rows [][]byte, sel []int32) []int {
+	out := make([]int, 0, len(sel)) // per-batch make outside the loop
+	for _, r := range sel {
+		v.b = append(v.b, rows[r]...) // self-append through a field
+		out = append(out, int(r))     // self-append local
+	}
+	return out
+}
+
+// Unmarked functions are never checked, whatever they allocate.
+func notAKernel(sel []int32) {
+	for range sel {
+		_ = make([]byte, 64)
+	}
+}
+`
+	diags := analyze(t, "internal/core", src, HotAlloc)
+	if len(diags) != 0 {
+		t.Fatalf("diagnostics = %v, want none", diags)
+	}
+}
+
+func TestHotAllocSkipsNestedClosures(t *testing.T) {
+	src := `package core
+
+//tuplex:kernel
+func kernelWithSetupClosure(sel []int32) {
+	build := func(n int) []byte { return make([]byte, n) }
+	for _, r := range sel {
+		_ = r
+	}
+	_ = build(4)
+}
+`
+	diags := analyze(t, "internal/core", src, HotAlloc)
+	if len(diags) != 0 {
+		t.Fatalf("diagnostics = %v, want none", diags)
+	}
+}

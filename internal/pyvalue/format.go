@@ -10,27 +10,31 @@ import (
 // formatting for the conversions data-wrangling code uses
 // (%d %i %f %e %g %s %r %x %X %o %% with flags, width and precision).
 func PercentFormat(format string, arg Value) (Value, error) {
+	out, err := AppendPercentFormat(nil, format, arg)
+	if err != nil {
+		return nil, err
+	}
+	return Str(out), nil
+}
+
+// AppendPercentFormat is PercentFormat appending into dst, so hot UDF
+// loops can reuse a scratch buffer and pay only for the result string.
+// Common directives format via strconv with manual flag handling; the
+// rarely-used combinations (`#`, integer precision, zero-padded
+// strings, %F) keep the fmt-based rendering for byte-identical output.
+func AppendPercentFormat(dst []byte, format string, arg Value) ([]byte, error) {
 	var args []Value
 	if t, ok := arg.(*Tuple); ok {
 		args = t.Items
 	} else {
 		args = []Value{arg}
 	}
-	var sb strings.Builder
 	ai := 0
-	nextArg := func() (Value, error) {
-		if ai >= len(args) {
-			return nil, Raise(ExcTypeError, "not enough arguments for format string")
-		}
-		v := args[ai]
-		ai++
-		return v, nil
-	}
 	i := 0
 	for i < len(format) {
 		c := format[i]
 		if c != '%' {
-			sb.WriteByte(c)
+			dst = append(dst, c)
 			i++
 			continue
 		}
@@ -39,25 +43,41 @@ func PercentFormat(format string, arg Value) (Value, error) {
 			return nil, Raise(ExcValueError, "incomplete format")
 		}
 		if format[i] == '%' {
-			sb.WriteByte('%')
+			dst = append(dst, '%')
 			i++
 			continue
 		}
 		// Parse %[flags][width][.precision]conversion.
-		spec := "%"
-		for i < len(format) && strings.IndexByte("-+ 0#", format[i]) >= 0 {
-			spec += string(format[i])
+		var minus, plus, space, zero, alt bool
+	flags:
+		for i < len(format) {
+			switch format[i] {
+			case '-':
+				minus = true
+			case '+':
+				plus = true
+			case ' ':
+				space = true
+			case '0':
+				zero = true
+			case '#':
+				alt = true
+			default:
+				break flags
+			}
 			i++
 		}
+		width := 0
 		for i < len(format) && format[i] >= '0' && format[i] <= '9' {
-			spec += string(format[i])
+			width = width*10 + int(format[i]-'0')
 			i++
 		}
+		prec := -1
 		if i < len(format) && format[i] == '.' {
-			spec += "."
 			i++
+			prec = 0
 			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
-				spec += string(format[i])
+				prec = prec*10 + int(format[i]-'0')
 				i++
 			}
 		}
@@ -66,33 +86,114 @@ func PercentFormat(format string, arg Value) (Value, error) {
 		}
 		conv := format[i]
 		i++
-		v, err := nextArg()
-		if err != nil {
-			return nil, err
+		if ai >= len(args) {
+			return nil, Raise(ExcTypeError, "not enough arguments for format string")
 		}
+		v := args[ai]
+		ai++
+
+		slow := func(val any) {
+			spec := make([]byte, 0, 12)
+			spec = append(spec, '%')
+			if minus {
+				spec = append(spec, '-')
+			}
+			if plus {
+				spec = append(spec, '+')
+			}
+			if space {
+				spec = append(spec, ' ')
+			}
+			if zero {
+				spec = append(spec, '0')
+			}
+			if alt {
+				spec = append(spec, '#')
+			}
+			if width > 0 {
+				spec = strconv.AppendInt(spec, int64(width), 10)
+			}
+			if prec >= 0 {
+				spec = append(spec, '.')
+				spec = strconv.AppendInt(spec, int64(prec), 10)
+			}
+			verb := conv
+			if conv == 'i' {
+				verb = 'd'
+			}
+			if conv == 's' || conv == 'r' {
+				verb = 's'
+			}
+			spec = append(spec, verb)
+			dst = fmt.Appendf(dst, string(spec), val)
+		}
+
+		var tmp [40]byte
 		switch conv {
 		case 'd', 'i':
 			n, ok := percentInt(v)
 			if !ok {
 				return nil, Raise(ExcTypeError, "%%d format: a number is required, not %s", TypeName(v))
 			}
-			fmt.Fprintf(&sb, spec+"d", n)
+			if prec >= 0 {
+				slow(n)
+				break
+			}
+			body := strconv.AppendInt(tmp[:0], n, 10)
+			dst = appendPadded(dst, numSign(body, plus, space), body, width, minus, zero)
 		case 'f', 'F', 'e', 'E', 'g', 'G':
 			f, ok := asFloat(v)
 			if !ok {
 				return nil, Raise(ExcTypeError, "must be real number, not %s", TypeName(v))
 			}
-			fmt.Fprintf(&sb, spec+string(conv), f)
+			if conv == 'F' {
+				slow(f)
+				break
+			}
+			p := prec
+			if p < 0 && conv != 'g' && conv != 'G' {
+				p = 6
+			}
+			body := strconv.AppendFloat(tmp[:0], f, conv, p, 64)
+			dst = appendPadded(dst, numSign(body, plus, space), body, width, minus, zero)
 		case 'x', 'X', 'o':
 			n, ok := percentInt(v)
 			if !ok {
 				return nil, Raise(ExcTypeError, "%%%c format: an integer is required, not %s", conv, TypeName(v))
 			}
-			fmt.Fprintf(&sb, spec+string(conv), n)
-		case 's':
-			fmt.Fprintf(&sb, spec+"s", ToStr(v))
-		case 'r':
-			fmt.Fprintf(&sb, spec+"s", Repr(v))
+			if alt || prec >= 0 {
+				slow(n)
+				break
+			}
+			base := 8
+			if conv == 'x' || conv == 'X' {
+				base = 16
+			}
+			body := strconv.AppendInt(tmp[:0], n, base)
+			if conv == 'X' {
+				for j := range body {
+					if body[j] >= 'a' && body[j] <= 'f' {
+						body[j] -= 'a' - 'A'
+					}
+				}
+			}
+			dst = appendPadded(dst, numSign(body, plus, space), body, width, minus, zero)
+		case 's', 'r':
+			var body string
+			if conv == 's' {
+				body = ToStr(v)
+			} else {
+				body = Repr(v)
+			}
+			if prec >= 0 && prec < len(body) {
+				body = body[:prec]
+			}
+			if zero {
+				// fmt zero-pads strings; keep that rendering.
+				slow(body)
+				break
+			}
+			dst = appendPaddedStr(dst, body, width, minus)
 		default:
 			return nil, Raise(ExcValueError, "unsupported format character %q", string(conv))
 		}
@@ -100,7 +201,84 @@ func PercentFormat(format string, arg Value) (Value, error) {
 	if ai < len(args) {
 		return nil, Raise(ExcTypeError, "not all arguments converted during string formatting")
 	}
-	return Str(sb.String()), nil
+	return dst, nil
+}
+
+// numSign picks the explicit sign byte the '+'/' ' flags add to a
+// non-negative strconv-rendered number (0 = none; the body already
+// carries any '-').
+func numSign(body []byte, plus, space bool) byte {
+	if len(body) > 0 && body[0] == '-' {
+		return 0
+	}
+	if plus {
+		return '+'
+	}
+	if space {
+		return ' '
+	}
+	return 0
+}
+
+// appendPadded writes a numeric body honoring the sign byte, width,
+// '-' and '0'.
+func appendPadded(dst []byte, sign byte, body []byte, width int, minus, zero bool) []byte {
+	n := len(body)
+	if sign != 0 {
+		n++
+	}
+	pad := width - n
+	if pad <= 0 {
+		if sign != 0 {
+			dst = append(dst, sign)
+		}
+		return append(dst, body...)
+	}
+	if minus {
+		if sign != 0 {
+			dst = append(dst, sign)
+		}
+		dst = append(dst, body...)
+		return appendByteN(dst, ' ', pad)
+	}
+	if zero {
+		j := 0
+		switch {
+		case sign != 0:
+			dst = append(dst, sign)
+		case len(body) > 0 && body[0] == '-':
+			dst = append(dst, '-')
+			j = 1
+		}
+		dst = appendByteN(dst, '0', pad)
+		return append(dst, body[j:]...)
+	}
+	dst = appendByteN(dst, ' ', pad)
+	if sign != 0 {
+		dst = append(dst, sign)
+	}
+	return append(dst, body...)
+}
+
+// appendPaddedStr is appendPadded for string bodies (no zero flag).
+func appendPaddedStr(dst []byte, body string, width int, minus bool) []byte {
+	pad := width - len(body)
+	if pad <= 0 {
+		return append(dst, body...)
+	}
+	if minus {
+		dst = append(dst, body...)
+		return appendByteN(dst, ' ', pad)
+	}
+	dst = appendByteN(dst, ' ', pad)
+	return append(dst, body...)
+}
+
+func appendByteN(dst []byte, c byte, n int) []byte {
+	for range n {
+		dst = append(dst, c)
+	}
+	return dst
 }
 
 func percentInt(v Value) (int64, bool) {

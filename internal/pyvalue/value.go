@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -380,6 +381,31 @@ func FloatRepr(f float64) string {
 		}
 	}
 	return s
+}
+
+// AppendFloatRepr appends FloatRepr(f) to dst without allocating on the
+// common spellings (integral floats and positional shortest-repr); the
+// exponent-notation spellings fall back to FloatRepr. The two must stay
+// byte-identical — the columnar CSV renderer uses this while the boxed
+// paths use FloatRepr, and the differential suites compare their output.
+func AppendFloatRepr(dst []byte, f float64) []byte {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return append(dst, FloatRepr(f)...)
+	}
+	abs := math.Abs(f)
+	if f == math.Trunc(f) && abs < 1e16 {
+		return strconv.AppendFloat(dst, f, 'f', 1, 64)
+	}
+	start := len(dst)
+	dst = strconv.AppendFloat(dst, f, 'g', -1, 64)
+	for i := start; i < len(dst); i++ {
+		if dst[i] == 'e' || dst[i] == 'E' {
+			// Exponent spelling: FloatRepr applies extra normalization
+			// (forced positional, exponent casing) — defer to it.
+			return append(dst[:start], FloatRepr(f)...)
+		}
+	}
+	return dst
 }
 
 func normalizeExp(s string) string {

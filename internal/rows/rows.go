@@ -250,6 +250,29 @@ func (s Slot) RenderString() string {
 	return sb.String()
 }
 
+// AppendRender appends the CSV cell body of the slot to dst — the
+// allocation-free analog of Render used by the byte-based CSV writer.
+// Must stay byte-identical with Render.
+func (s Slot) AppendRender(dst []byte) []byte {
+	switch s.Tag {
+	case types.KindNull:
+		return dst
+	case types.KindBool:
+		if s.B {
+			return append(dst, "True"...)
+		}
+		return append(dst, "False"...)
+	case types.KindI64:
+		return strconv.AppendInt(dst, s.I, 10)
+	case types.KindF64:
+		return pyvalue.AppendFloatRepr(dst, s.F)
+	case types.KindStr:
+		return append(dst, s.S...)
+	default:
+		return append(dst, pyvalue.ToStr(s.Value())...)
+	}
+}
+
 // Row is one data row on the compiled path.
 type Row = []Slot
 

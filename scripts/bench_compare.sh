@@ -1,0 +1,69 @@
+#!/bin/sh
+# bench_compare.sh — regression gate over the committed benchmark
+# snapshot.
+#
+# Snapshots the committed BENCH_6.json baseline, reruns `make
+# bench-json` (which overwrites BENCH_6.json in place), and compares
+# the fresh numbers against the baseline. Fails when any benchmark
+# regresses by more than 25% in mb_per_sec or rows_per_sec, or grows
+# allocs_per_op beyond 2x. Improvements print a note; commit the
+# refreshed BENCH_6.json when they are real.
+#
+# Usage: sh scripts/bench_compare.sh [baseline.json]
+set -eu
+
+BASE_FILE=${1:-BENCH_6.json}
+if [ ! -f "$BASE_FILE" ]; then
+    echo "bench_compare: baseline $BASE_FILE not found" >&2
+    exit 2
+fi
+
+TMPDIR_CMP=$(mktemp -d)
+trap 'rm -rf "$TMPDIR_CMP"' EXIT
+cp "$BASE_FILE" "$TMPDIR_CMP/baseline.json"
+
+make bench-json
+
+python3 - "$TMPDIR_CMP/baseline.json" "$BASE_FILE" <<'EOF'
+import json, sys
+
+base_path, new_path = sys.argv[1], sys.argv[2]
+base = {e["name"]: e for e in json.load(open(base_path))}
+new = {e["name"]: e for e in json.load(open(new_path))}
+
+MAX_RATE_DROP = 0.25   # mb_per_sec / rows_per_sec may drop at most 25%
+MAX_ALLOC_GROWTH = 2.0 # allocs_per_op may at most double
+
+failures = []
+for name, b in sorted(base.items()):
+    n = new.get(name)
+    if n is None:
+        failures.append(f"{name}: missing from fresh run")
+        continue
+    for key in ("mb_per_sec", "rows_per_sec"):
+        old, cur = b.get(key, 0), n.get(key, 0)
+        if old > 0:
+            ratio = cur / old
+            tag = f"{name} {key}: {old:.2f} -> {cur:.2f} ({ratio:.2f}x)"
+            if ratio < 1 - MAX_RATE_DROP:
+                failures.append("REGRESSION " + tag)
+            else:
+                print(("improved  " if ratio > 1 else "ok        ") + tag)
+    old_a, cur_a = b.get("allocs_per_op", 0), n.get("allocs_per_op", 0)
+    if old_a > 0:
+        ratio = cur_a / old_a
+        tag = f"{name} allocs_per_op: {old_a} -> {cur_a} ({ratio:.2f}x)"
+        if ratio > MAX_ALLOC_GROWTH:
+            failures.append("REGRESSION " + tag)
+        else:
+            print("ok        " + tag)
+for name in sorted(set(new) - set(base)):
+    print(f"new       {name} (no baseline yet)")
+
+if failures:
+    print()
+    for f in failures:
+        print(f, file=sys.stderr)
+    sys.exit(1)
+print("\nbench_compare: no regressions beyond thresholds")
+EOF
