@@ -44,13 +44,15 @@ telemetry-smoke:
 	sh scripts/telemetry_smoke.sh
 
 # Machine-readable benchmark snapshot (ingest, join, flights, compiler
-# optimizations) written to BENCH_6.json; commit the refreshed file
+# optimizations) written to BENCH_7.json; commit the refreshed file
 # when performance-relevant code changes.
 bench-json:
-	$(GO) run ./cmd/tuplex-bench -out BENCH_6.json bench-json
+	$(GO) run ./cmd/tuplex-bench -out BENCH_7.json bench-json
 
 # Regression gate: rerun bench-json and compare against the committed
-# BENCH_6.json; fails on >25% throughput drop or >2x allocs growth.
+# BENCH_7.json; fails on >25% throughput drop or >2x allocs growth,
+# with a hard guard on join/sharded allocs/op (the columnar-barrier
+# win this snapshot pins down).
 bench-compare:
 	sh scripts/bench_compare.sh
 

@@ -279,6 +279,62 @@ func (v *Vec) AppendStr(s string) {
 // AppendUnit appends a cell to a no-payload (all-null kind) vector.
 func (v *Vec) AppendUnit() { v.n++ }
 
+// AppendSlot appends an arbitrary slot cell, dispatching on the vector
+// kind (the slot-source ingest and join-gather paths; the engine only
+// routes type-conforming slots here, everything else goes through the
+// escape column).
+func (v *Vec) AppendSlot(s rows.Slot) {
+	if s.Tag == types.KindNull {
+		v.AppendNull()
+		return
+	}
+	switch v.Kind {
+	case types.KindBool:
+		v.AppendBool(s.B)
+	case types.KindI64:
+		v.AppendI64(s.I)
+	case types.KindF64:
+		v.AppendF64(s.F)
+	case types.KindStr:
+		v.AppendStr(s.S)
+	case types.KindNull:
+		v.AppendUnit()
+	default:
+		v.Slots = append(v.Slots, s)
+		v.n++
+	}
+}
+
+// AppendFrom appends cell i of src — the vector-to-vector gather used by
+// the join kernel. Same-kind cells copy typed payloads directly (string
+// bytes move buffer-to-buffer without materializing a Go string); a kind
+// mismatch falls back to the slot path.
+func (v *Vec) AppendFrom(src *Vec, i int) {
+	if src.IsNull(i) {
+		v.AppendNull()
+		return
+	}
+	if v.Kind == src.Kind {
+		switch v.Kind {
+		case types.KindBool:
+			v.AppendBool(src.B[i])
+		case types.KindI64:
+			v.AppendI64(src.I[i])
+		case types.KindF64:
+			v.AppendF64(src.F[i])
+		case types.KindStr:
+			v.AppendStrBytes(src.RawStr(i))
+		case types.KindNull:
+			v.AppendUnit()
+		default:
+			v.Slots = append(v.Slots, src.Slots[i])
+			v.n++
+		}
+		return
+	}
+	v.AppendSlot(src.Slot(i))
+}
+
 // ---- Dense absolute writes (derived kernel outputs) ----
 
 // SetNull marks row i null.
@@ -313,6 +369,28 @@ func (v *Vec) SetSlot(i int, s rows.Slot) { v.Slots[i] = s }
 // IsNull reports whether row i is null.
 func (v *Vec) IsNull(i int) bool {
 	return v.Kind == types.KindNull || (v.Nullable && v.Nulls.Get(i))
+}
+
+// AllValid reports that no row of the vector is null, scanning the
+// bitmap a word at a time. Batch kernels consult it once per batch to
+// dispatch to inner-loop variants with the per-cell null check elided.
+func (v *Vec) AllValid() bool {
+	if v.Kind == types.KindNull {
+		return false
+	}
+	if !v.Nullable {
+		return true
+	}
+	words := (v.n + 63) >> 6
+	if words > len(v.Nulls) {
+		words = len(v.Nulls)
+	}
+	for _, w := range v.Nulls[:words] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Seal refreshes the immutable string view of the bytes buffer. The

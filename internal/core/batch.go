@@ -1,21 +1,28 @@
 package core
 
 // Columnar batch execution (the normal-case data plane over column
-// vectors). CSV source stages compile the maximal prefix of
-// map/filter/withColumn/mapColumn/select operators into batch kernels:
-// the generated parser appends cells directly onto typed column vectors
-// (internal/colvec), each kernel loops over the batch's selection vector
-// calling the compiled scalar UDF with only the columns it reads, and
-// filters shrink the selection instead of copying columns. Operators the
-// kernels cannot batch (joins, uncompiled UDF suffixes) and the
-// unique/aggregate terminals run through the composed row-at-a-time
-// chain via a batch→row bridge, and exception rows bounce to the pooled
-// boxed path exactly like the row path — output bytes and row accounting
-// are identical by construction (enforced by the columnar differential
-// suite).
+// vectors). CSV and Parallelize source stages compile the maximal
+// prefix of map/filter/withColumn/mapColumn/select/join operators into
+// batch kernels: the generated parser (or the slot-row ingest) appends
+// cells directly onto typed column vectors (internal/colvec), adjacent
+// per-row kernels fuse into one pass over the shared selection vector,
+// joins probe the sharded build table and emit gathered column vectors,
+// and filters shrink the selection instead of copying columns. Operators
+// the kernels cannot batch (uncompiled UDF suffixes) run through the
+// composed row-at-a-time chain via a batch→row bridge at the stage
+// barrier, and exception rows bounce to the pooled boxed path exactly
+// like the row path — output bytes and row accounting are identical by
+// construction (enforced by the columnar differential suites).
+//
+// Join fan-out replicates the row path's depth-first abort semantics:
+// the first failure downstream of a join pools the SOURCE row once
+// (unscaled key — resolve replays the whole boxed program from source
+// values) and invalidates the same source's not-yet-processed output
+// rows, while already-emitted earlier matches stay.
 
 import (
 	"github.com/gotuplex/tuplex/internal/colvec"
+	"github.com/gotuplex/tuplex/internal/physical"
 	"github.com/gotuplex/tuplex/internal/pyvalue"
 	"github.com/gotuplex/tuplex/internal/rows"
 	"github.com/gotuplex/tuplex/internal/types"
@@ -34,6 +41,7 @@ const (
 	bkWithColumn
 	bkMapColumn
 	bkSelect
+	bkJoin
 )
 
 // batchKernel is one operator compiled for batch execution.
@@ -41,9 +49,12 @@ type batchKernel struct {
 	kind bkKind
 	su   *stageUDF
 	ridx int32
+	// ki is the kernel's index in the stage plan (set by fuseKernels);
+	// it addresses the kernel's derived vectors in batchState.
+	ki int
 	// scalar marks UDFs receiving a bare column value; colIdx is that
-	// column (also the mapColumn target and the withColumn replace index,
-	// -1 = append).
+	// column (also the mapColumn target, the withColumn replace index
+	// with -1 = append, and the join probe-key column).
 	scalar bool
 	colIdx int
 	// inCols is the schema width entering the op; argCols lists the
@@ -52,25 +63,62 @@ type batchKernel struct {
 	inCols  int
 	argCols []int
 	// outTypes types the derived output vectors (map: one per output
-	// column; withColumn/mapColumn: one).
+	// column; withColumn/mapColumn: one; join: the full output schema).
 	outTypes []types.Type
 	// perm is the select permutation.
 	perm []int
+	// join state (bkJoin): the materialized build table and the
+	// left-outer flag.
+	join      *buildTable
+	leftOuter bool
 }
 
 // batchProg is a stage's batch plan.
 type batchProg struct {
 	kernels []*batchKernel
+	// groups partitions the kernel prefix into fused passes: runs of
+	// adjacent map/filter/withColumn/mapColumn kernels execute in one
+	// scan over the selection vector; select and join kernels form
+	// singleton groups (they change the column layout / index space).
+	groups [][]*batchKernel
 	// suffix is the composed row-at-a-time chain for the operators after
 	// the kernel prefix plus the terminal; nil when the terminal itself is
-	// batch-executable (CSV sink / materialize) and every operator
-	// compiled to a kernel.
+	// batch-executable and every operator compiled to a kernel.
 	suffix nstep
+	// barrierIdx is the routing-ledger index of the first suffix op (the
+	// stage barrier rows bounce at); the terminal index when the whole
+	// operator chain compiled to kernels.
+	barrierIdx int32
 }
 
-// batchState is the per-task reusable batch memory: parse target
+// fuseKernels partitions the kernel prefix into fused passes and stamps
+// each kernel's plan index.
+func fuseKernels(kernels []*batchKernel) [][]*batchKernel {
+	var groups [][]*batchKernel
+	var cur []*batchKernel
+	for i, k := range kernels {
+		k.ki = i
+		switch k.kind {
+		case bkSelect, bkJoin:
+			if len(cur) > 0 {
+				groups = append(groups, cur)
+				cur = nil
+			}
+			groups = append(groups, []*batchKernel{k})
+		default:
+			cur = append(cur, k)
+		}
+	}
+	if len(cur) > 0 {
+		groups = append(groups, cur)
+	}
+	return groups
+}
+
+// batchState is the per-task reusable batch memory: ingest target
 // vectors, per-kernel derived vectors, selection double-buffer, order
-// keys and raw records of the current batch.
+// keys and source rows of the current batch, plus the join index-space
+// remapping state.
 type batchState struct {
 	src     []*colvec.Vec
 	derived [][]*colvec.Vec
@@ -78,13 +126,51 @@ type batchState struct {
 	cols2   []*colvec.Vec
 	sel     []int32
 	sel2    []int32
+	// keys / raws / srcRows are indexed by SOURCE batch position: the
+	// per-record order keys, raw records (parse ingest) and slot rows
+	// (slot ingest) of the rows that survived classification.
 	keys    []uint64
 	raws    [][]byte
+	srcRows []rows.Row
 	argBuf  []rows.Slot
+
+	// n is the current index-space size: the source row count until a
+	// join remaps the batch to its fan-out output space.
+	n int
+
+	// srcIdx maps current index → source index (nil = identity, before
+	// any join); outKeys carries the join-scaled order keys (nil =
+	// bst.keys, unscaled). The *2 twins are the swap spares.
+	srcIdx, srcIdx2   []int32
+	outKeys, outKeys2 []uint64
+
+	// dropped marks current-index rows invalidated by a same-source
+	// failure earlier in the pass; pooledSrc marks source rows already
+	// pooled (one pool entry per source row, like the row path's abort).
+	dropped, pooledSrc    colvec.Bitmap
+	anyDropped, anyPooled bool
+
+	// Fused-pass scratch: per-kernel input column views (arena-backed),
+	// the set of vectors writable within the current group, the per-
+	// kernel argument accessors, and the CSV renderer's per-column
+	// no-null flags.
+	views     [][]*colvec.Vec
+	viewArena []*colvec.Vec
+	writeSet  []*colvec.Vec
+	argFns    []func(int32) rows.Slot
+	noNull    []bool
 }
 
 func newBatchState(cs *compiledStage) *batchState {
-	bst := &batchState{src: cs.parse.NewVecsFor()}
+	bst := &batchState{}
+	if cs.parse != nil {
+		bst.src = cs.parse.NewVecsFor()
+	} else {
+		bst.src = make([]*colvec.Vec, cs.inSchema.Len())
+		for i := range bst.src {
+			bst.src[i] = colvec.NewVec(cs.inSchema.Col(i).Type)
+		}
+	}
 	bst.derived = make([][]*colvec.Vec, len(cs.batch.kernels))
 	for ki, k := range cs.batch.kernels {
 		if len(k.outTypes) == 0 {
@@ -100,10 +186,8 @@ func newBatchState(cs *compiledStage) *batchState {
 	return bst
 }
 
-// runRecordsColumnar is runRecords on the batch plan: identical order
-// keys, pool entries, counters and routing ledger arithmetic, with the
-// per-row parse/step/render work replaced by per-batch vector loops.
-func (cs *compiledStage) runRecordsColumnar(ts *task, p int, recs [][]byte, baseKey uint64, copyRaw bool) error {
+// getBatchState takes a batch-state from the stage pool (or builds one).
+func (cs *compiledStage) getBatchState(ts *task) *batchState {
 	if ts.bst == nil {
 		if got, ok := cs.bstPool.Get().(*batchState); ok {
 			ts.bst = got
@@ -111,8 +195,99 @@ func (cs *compiledStage) runRecordsColumnar(ts *task, p int, recs [][]byte, base
 			ts.bst = newBatchState(cs)
 		}
 	}
+	return ts.bst
+}
+
+// putBatchState returns the batch memory to the stage pool: nothing in
+// it escapes the task (strings are sealed views under the donated-buffer
+// protocol, pooled raw records point at stable input memory or were
+// detached, output rows have fresh backing).
+func (cs *compiledStage) putBatchState(ts *task) {
 	bst := ts.bst
-	bp := cs.batch
+	ts.bst = nil
+	cs.bstPool.Put(bst)
+}
+
+// beginBatch resets the per-batch state: ingest vectors, index-space
+// remaps (back to identity) and failure bitmaps.
+func (bst *batchState) beginBatch() {
+	for _, v := range bst.src {
+		v.Reset()
+	}
+	bst.keys = bst.keys[:0]
+	bst.srcIdx2 = bst.srcIdx[:0]
+	bst.srcIdx = nil
+	bst.outKeys2 = bst.outKeys[:0]
+	bst.outKeys = nil
+	bst.dropped.Reset()
+	bst.pooledSrc.Reset()
+	bst.anyDropped, bst.anyPooled = false, false
+}
+
+// srcOf maps a current-index row to its source batch position.
+func (bst *batchState) srcOf(r int32) int32 {
+	if bst.srcIdx == nil {
+		return r
+	}
+	return bst.srcIdx[r]
+}
+
+// keyOf is the row's order key in the current index space (join-scaled
+// after a join kernel, the source key before).
+func (bst *batchState) keyOf(r int32) uint64 {
+	if bst.outKeys == nil {
+		return bst.keys[r]
+	}
+	return bst.outKeys[r]
+}
+
+// sourceEx builds the pool entry for source row sr: raw record bytes on
+// the parse path, boxed source values on the slot path. The key is the
+// SOURCE order key — resolve replays the whole boxed program from source
+// values and rescales per join.
+func (bst *batchState) sourceEx(p int, sr int32, ec ECode, op int32) exRow {
+	ex := exRow{part: p, key: bst.keys[sr], ec: ec, op: op}
+	if bst.raws != nil {
+		ex.raw = bst.raws[sr]
+	} else {
+		ex.vals = rows.RowToValues(bst.srcRows[sr])
+	}
+	return ex
+}
+
+// failBatchRow handles a normal-path failure at current-index row r:
+// pool the source row once and invalidate the same source's later
+// output rows (the row path aborts the whole source row depth-first at
+// its first failure; earlier emitted matches stay). Returns 1 iff a new
+// pool entry was made, mirroring the row path's one exception per
+// source row.
+func (cs *compiledStage) failBatchRow(ts *task, bst *batchState, p int, r int32, ec ECode, op int32) int64 {
+	sr := bst.srcOf(r)
+	if bst.srcIdx != nil {
+		// Join fan-out keeps a source's output rows consecutive, so the
+		// forward scan covers exactly the not-yet-processed siblings.
+		for nr := int(r) + 1; nr < bst.n && bst.srcIdx[nr] == sr; nr++ {
+			bst.dropped.Set(nr)
+			bst.anyDropped = true
+		}
+	}
+	if bst.anyPooled && bst.pooledSrc.Get(int(sr)) {
+		return 0
+	}
+	bst.pooledSrc.Set(int(sr))
+	bst.anyPooled = true
+	ts.pool = append(ts.pool, bst.sourceEx(p, sr, ec, op))
+	if ts.routeExc != nil {
+		ts.routeExc[op]++
+	}
+	return 1
+}
+
+// runRecordsColumnar is runRecords on the batch plan: identical order
+// keys, pool entries, counters and routing ledger arithmetic, with the
+// per-row parse/step/render work replaced by per-batch vector loops.
+func (cs *compiledStage) runRecordsColumnar(ts *task, p int, recs [][]byte, baseKey uint64, copyRaw bool) error {
+	bst := cs.getBatchState(ts)
 	var input, rejects, normalExc int64
 
 	for start := 0; start < len(recs); start += batchMaxRows {
@@ -125,10 +300,8 @@ func (cs *compiledStage) runRecordsColumnar(ts *task, p int, recs [][]byte, base
 
 		// Parse straight into the source vectors; rejected records pool
 		// with their raw bytes, exactly like the row path.
-		for _, v := range bst.src {
-			v.Reset()
-		}
-		bst.keys = bst.keys[:0]
+		bst.beginBatch()
+		bst.srcRows = nil
 		bst.raws = bst.raws[:0]
 		for i, rec := range sub {
 			key := baseKey + uint64(start+i)
@@ -140,48 +313,7 @@ func (cs *compiledStage) runRecordsColumnar(ts *task, p int, recs [][]byte, base
 			bst.keys = append(bst.keys, key)
 			bst.raws = append(bst.raws, rec)
 		}
-		n := len(bst.keys)
-		bst.sel = bst.sel[:0]
-		for i := 0; i < n; i++ {
-			bst.sel = append(bst.sel, int32(i))
-		}
-		bst.cols = append(bst.cols[:0], bst.src...)
-
-		// Kernel prefix: per-batch ledger arithmetic replaces the row
-		// path's per-row routeWrap counters.
-		for ki, k := range bp.kernels {
-			if ts.route != nil {
-				ts.route[k.ridx] += int64(len(bst.sel))
-			}
-			normalExc += k.run(ts, bst, n, p, bst.derived[ki])
-		}
-
-		// Terminal: batch render/gather, or bridge into the composed
-		// row-at-a-time suffix (joins, uncompiled ops, unique/aggregate).
-		if bp.suffix == nil {
-			if ts.route != nil {
-				ts.route[cs.termRouteIdx] += int64(len(bst.sel))
-			}
-			if cs.sinkCSV {
-				cs.renderBatchCSV(ts, bst)
-			} else {
-				cs.gatherBatch(ts, bst, n)
-			}
-		} else {
-			for _, r := range bst.sel {
-				row := ts.rowBuf[:len(bst.cols)]
-				for c, v := range bst.cols {
-					row[c] = v.Slot(int(r))
-				}
-				if ec := bp.suffix(ts, bst.keys[r], row); ec != 0 {
-					normalExc++
-					ts.pool = append(ts.pool, exRow{part: p, key: bst.keys[r], raw: bst.raws[r], ec: ec, op: ts.excOp})
-					if ts.routeExc != nil {
-						ts.routeExc[ts.excOp]++
-					}
-				}
-			}
-		}
+		normalExc += cs.runBatchBody(ts, bst, p)
 	}
 
 	normal := input - rejects - normalExc
@@ -196,6 +328,7 @@ func (cs *compiledStage) runRecordsColumnar(ts *task, p int, recs [][]byte, base
 		ts.routeExc[0] += rejects
 	}
 	ts.flushProbeCounters()
+	ts.flushBatchCounters()
 	if copyRaw {
 		for i := range ts.pool {
 			if ts.pool[i].raw != nil {
@@ -203,114 +336,399 @@ func (cs *compiledStage) runRecordsColumnar(ts *task, p int, recs [][]byte, base
 			}
 		}
 	}
-	// Return the batch memory to the stage pool: nothing in it escapes
-	// the call (strings are sealed copies, pooled raw records point at
-	// stable input memory or were detached above, output rows have fresh
-	// backing).
-	ts.bst = nil
-	cs.bstPool.Put(bst)
+	cs.putBatchState(ts)
 	return nil
 }
 
-// run executes one kernel over the batch's live rows, updating
-// bst.cols/bst.sel in place and pooling per-row exceptions. Returns the
-// exception count.
-//tuplex:kernel
-func (k *batchKernel) run(ts *task, bst *batchState, n, part int, derived []*colvec.Vec) int64 {
-	if k.kind == bkSelect {
-		out := bst.cols2[:0]
-		for _, i := range k.perm {
-			out = append(out, bst.cols[i])
+// runSlotsColumnar is the batch plan over a slot-native Parallelize
+// source: conforming rows ingest straight into the source vectors (no
+// boxing); non-conforming rows pool boxed like the row path.
+func (cs *compiledStage) runSlotsColumnar(ts *task, p int) error {
+	bst := cs.getBatchState(ts)
+	rg := cs.partRanges[p]
+	var input, rejects, normalExc int64
+
+	for start := rg[0]; start < rg[1]; start += batchMaxRows {
+		end := start + batchMaxRows
+		if end > rg[1] {
+			end = rg[1]
 		}
-		bst.cols, bst.cols2 = out, bst.cols
-		return 0
+		input += int64(end - start)
+
+		bst.beginBatch()
+		bst.raws = nil
+		bst.srcRows = bst.srcRows[:0]
+		for i := start; i < end; i++ {
+			src := cs.inputSlots[i]
+			if !rowConforms(src, cs.inSchema) {
+				rejects++
+				ts.pool = append(ts.pool, exRow{part: p, key: uint64(i), vals: rows.RowToValues(src), ec: pyvalue.ExcBadParse})
+				continue
+			}
+			for c, v := range bst.src {
+				v.AppendSlot(src[c])
+			}
+			bst.keys = append(bst.keys, uint64(i))
+			bst.srcRows = append(bst.srcRows, src)
+		}
+		normalExc += cs.runBatchBody(ts, bst, p)
+	}
+
+	normal := input - rejects - normalExc
+	c := &ts.eng.res.Metrics.Counters
+	c.InputRows.Add(input)
+	c.ClassifierRejects.Add(rejects)
+	c.NormalPathExceptions.Add(normalExc)
+	c.NormalRows.Add(normal)
+	ts.inRows += input
+	if ts.route != nil {
+		ts.route[0] += input
+		ts.routeExc[0] += rejects
+	}
+	ts.flushProbeCounters()
+	ts.flushBatchCounters()
+	cs.putBatchState(ts)
+	return nil
+}
+
+// runBatchBody executes the kernel groups and the terminal (or the
+// row-bridge suffix) over one ingested batch. Returns the normal-path
+// exception count (one per failed source row).
+func (cs *compiledStage) runBatchBody(ts *task, bst *batchState, p int) int64 {
+	bp := cs.batch
+	n := len(bst.keys)
+	bst.n = n
+	bst.sel = bst.sel[:0]
+	for i := 0; i < n; i++ {
+		bst.sel = append(bst.sel, int32(i))
+	}
+	bst.cols = append(bst.cols[:0], bst.src...)
+
+	var normalExc int64
+	for _, g := range bp.groups {
+		switch g[0].kind {
+		case bkJoin:
+			normalExc += cs.runJoinKernel(ts, bst, g[0], p)
+		case bkSelect:
+			k := g[0]
+			if ts.route != nil {
+				ts.route[k.ridx] += int64(len(bst.sel))
+			}
+			out := bst.cols2[:0]
+			for _, i := range k.perm {
+				out = append(out, bst.cols[i])
+			}
+			bst.cols, bst.cols2 = out, bst.cols
+		default:
+			normalExc += cs.runGroup(ts, bst, g, p)
+		}
+	}
+	ts.columnarRows += int64(len(bst.sel))
+
+	if bp.suffix == nil {
+		switch {
+		case cs.sinkCSV:
+			if ts.route != nil {
+				ts.route[cs.termRouteIdx] += int64(len(bst.sel))
+			}
+			cs.renderBatchCSV(ts, bst)
+		case cs.terminal == physical.TerminalUnique:
+			if ts.route != nil {
+				ts.route[cs.termRouteIdx] += int64(len(bst.sel))
+			}
+			cs.uniqueBatch(ts, bst)
+		case cs.terminal == physical.TerminalAggregate:
+			normalExc += cs.aggregateBatch(ts, bst, p)
+		default:
+			if ts.route != nil {
+				ts.route[cs.termRouteIdx] += int64(len(bst.sel))
+			}
+			cs.gatherBatch(ts, bst)
+		}
+	} else {
+		// The stage barrier: bounce the surviving rows to the composed
+		// row-at-a-time suffix (its routeWrap counters take over).
+		for _, r := range bst.sel {
+			if bst.anyDropped && bst.dropped.Get(int(r)) {
+				continue
+			}
+			ts.bounced++
+			row := ts.rowBuf[:len(bst.cols)]
+			for c, v := range bst.cols {
+				row[c] = v.Slot(int(r))
+			}
+			if ec := bp.suffix(ts, bst.keyOf(r), row); ec != 0 {
+				normalExc += cs.failBatchRow(ts, bst, p, r, ec, ts.excOp)
+			}
+		}
+	}
+	return normalExc
+}
+
+// layoutAfter simulates kernel k's column-layout transformation over an
+// input view (layout is row-independent, so each fused pass computes
+// every kernel's input view once per batch).
+func layoutAfter(bst *batchState, k *batchKernel, in []*colvec.Vec) []*colvec.Vec {
+	d := bst.derived[k.ki]
+	switch k.kind {
+	case bkFilter:
+		return in
+	case bkMap:
+		return d
+	case bkMapColumn:
+		out := bst.carve(len(in))
+		copy(out, in)
+		out[k.colIdx] = d[0]
+		return out
+	case bkWithColumn:
+		if k.colIdx >= 0 {
+			out := bst.carve(len(in))
+			copy(out, in)
+			out[k.colIdx] = d[0]
+			return out
+		}
+		out := bst.carve(len(in) + 1)
+		copy(out, in)
+		out[len(in)] = d[0]
+		return out
+	}
+	return in
+}
+
+// carve takes an n-slot view from the arena (capped so later carves
+// never stomp it; a reallocation strands already-filled views safely).
+func (bst *batchState) carve(n int) []*colvec.Vec {
+	start := len(bst.viewArena)
+	if cap(bst.viewArena)-start < n {
+		bst.viewArena = append(bst.viewArena, make([]*colvec.Vec, n)...)
+	} else {
+		bst.viewArena = bst.viewArena[:start+n]
+	}
+	return bst.viewArena[start : start+n : start+n]
+}
+
+// argAccessor builds kernel k's per-row argument reader against its
+// input view. Scalar kernels over a column the batch proves all-valid —
+// and that no kernel in the current fused group writes — dispatch to a
+// null-check-elided variant reading a re-sliced typed array (bounds
+// checks hoisted to the [:n] re-slice).
+func (cs *compiledStage) argAccessor(ts *task, bst *batchState, k *batchKernel, view []*colvec.Vec, n int) func(int32) rows.Slot {
+	if !k.scalar {
+		return func(r int32) rows.Slot { return gatherArgView(k, view, bst, int(r)) }
+	}
+	v := view[k.colIdx]
+	writable := false
+	for _, w := range bst.writeSet {
+		if w == v {
+			writable = true
+			break
+		}
+	}
+	if !writable && v.AllValid() {
+		switch v.Kind {
+		case types.KindI64:
+			ts.nullElided++
+			vals := v.I[:n]
+			return func(r int32) rows.Slot { return rows.I64(vals[r]) }
+		case types.KindF64:
+			ts.nullElided++
+			vals := v.F[:n]
+			return func(r int32) rows.Slot { return rows.F64(vals[r]) }
+		case types.KindBool:
+			ts.nullElided++
+			vals := v.B[:n]
+			return func(r int32) rows.Slot { return rows.Bool(vals[r]) }
+		case types.KindStr:
+			ts.nullElided++
+			return func(r int32) rows.Slot { return rows.Str(v.Str(int(r))) }
+		}
+	}
+	ts.nullChecked++
+	return func(r int32) rows.Slot { return v.Slot(int(r)) }
+}
+
+// runGroup executes one fused pass: every kernel in the group runs over
+// each live row in a single scan of the selection vector, with per-row
+// filter short-circuits and the shared drop/pool failure protocol.
+//tuplex:kernel
+func (cs *compiledStage) runGroup(ts *task, bst *batchState, group []*batchKernel, p int) int64 {
+	n := bst.n
+	// Static per-batch setup: input views, derived vectors grown to the
+	// index space, argument accessors.
+	bst.viewArena = bst.viewArena[:0]
+	bst.views = bst.views[:0]
+	cur := bst.cols
+	for _, k := range group {
+		bst.views = append(bst.views, cur)
+		for _, v := range bst.derived[k.ki] {
+			v.Reset()
+			v.Grow(n)
+		}
+		cur = layoutAfter(bst, k, cur)
+	}
+	final := cur
+	bst.writeSet = bst.writeSet[:0]
+	for _, k := range group {
+		bst.writeSet = append(bst.writeSet, bst.derived[k.ki]...)
+	}
+	bst.argFns = bst.argFns[:0]
+	for gi, k := range group {
+		bst.argFns = append(bst.argFns, cs.argAccessor(ts, bst, k, bst.views[gi], n))
 	}
 
 	var excs int64
-	for _, v := range derived {
-		v.Reset()
-		v.Grow(n)
-	}
 	newSel := bst.sel2[:0]
+rowLoop:
 	for _, r := range bst.sel {
-		arg := k.gatherArg(bst, int(r))
-		v, ec := callKernelUDF(ts, k.su, arg)
-		if ec != 0 {
-			ts.pool = append(ts.pool, exRow{part: part, key: bst.keys[r], raw: bst.raws[r], ec: ec, op: k.ridx})
-			if ts.routeExc != nil {
-				ts.routeExc[k.ridx]++
-			}
-			excs++
+		if bst.anyDropped && bst.dropped.Get(int(r)) {
 			continue
 		}
-		switch k.kind {
-		case bkFilter:
-			if !v.Truth() {
-				continue
+		for gi, k := range group {
+			if ts.route != nil {
+				ts.route[k.ridx]++
 			}
-		case bkMap:
-			switch {
-			case len(v.Seq) > 0 && (v.Tag == types.KindDict || v.Tag == types.KindTuple):
-				if len(v.Seq) != len(derived) {
-					ts.pool = append(ts.pool, exRow{part: part, key: bst.keys[r], raw: bst.raws[r], ec: pyvalue.ExcUnsupported, op: k.ridx})
-					if ts.routeExc != nil {
-						ts.routeExc[k.ridx]++
+			v, ec := callKernelUDF(ts, k.su, bst.argFns[gi](r))
+			if ec != 0 {
+				excs += cs.failBatchRow(ts, bst, p, r, ec, k.ridx)
+				continue rowLoop
+			}
+			derived := bst.derived[k.ki]
+			switch k.kind {
+			case bkFilter:
+				if !v.Truth() {
+					continue rowLoop
+				}
+			case bkMap:
+				switch {
+				case len(v.Seq) > 0 && (v.Tag == types.KindDict || v.Tag == types.KindTuple):
+					if len(v.Seq) != len(derived) {
+						excs += cs.failBatchRow(ts, bst, p, r, pyvalue.ExcUnsupported, k.ridx)
+						continue rowLoop
 					}
-					excs++
-					continue
+					for j := range derived {
+						derived[j].Set(int(r), v.Seq[j])
+					}
+				case len(derived) == 1:
+					derived[0].Set(int(r), v)
+				default:
+					excs += cs.failBatchRow(ts, bst, p, r, pyvalue.ExcUnsupported, k.ridx)
+					continue rowLoop
 				}
-				for j := range derived {
-					derived[j].Set(int(r), v.Seq[j])
-				}
-			case len(derived) == 1:
+			case bkWithColumn, bkMapColumn:
 				derived[0].Set(int(r), v)
-			default:
-				ts.pool = append(ts.pool, exRow{part: part, key: bst.keys[r], raw: bst.raws[r], ec: pyvalue.ExcUnsupported, op: k.ridx})
-				if ts.routeExc != nil {
-					ts.routeExc[k.ridx]++
-				}
-				excs++
-				continue
 			}
-		case bkWithColumn, bkMapColumn:
-			derived[0].Set(int(r), v)
 		}
 		newSel = append(newSel, r)
 	}
 	bst.sel, bst.sel2 = newSel, bst.sel
-
-	switch k.kind {
-	case bkMap:
-		bst.cols = append(bst.cols[:0], derived...)
-	case bkMapColumn:
-		bst.cols[k.colIdx] = derived[0]
-	case bkWithColumn:
-		if k.colIdx >= 0 {
-			bst.cols[k.colIdx] = derived[0]
-		} else {
-			bst.cols = append(bst.cols, derived[0])
-		}
-	}
+	bst.cols = append(bst.cols[:0], final...)
+	ts.fusedPasses++
 	return excs
 }
 
-// gatherArg assembles the UDF argument for batch row r: the bare column
-// for scalar UDFs, else the row tuple with only the accessed (and
+// runJoinKernel probes the sharded build table for each live row and
+// emits the join output as gathered column vectors, remapping the
+// batch's index space to the fan-out output (srcIdx tracks each output
+// row's source; outKeys carries the key*256+sub order keys the row path
+// produces).
+//tuplex:kernel
+func (cs *compiledStage) runJoinKernel(ts *task, bst *batchState, k *batchKernel, p int) int64 {
+	bt := k.join
+	derived := bst.derived[k.ki]
+	for _, v := range derived {
+		v.Reset()
+	}
+	keyVec := bst.cols[k.colIdx]
+	nIn := k.inCols
+	var excs int64
+	newSel := bst.sel2[:0]
+	newKeys := bst.outKeys2[:0]
+	newSrc := bst.srcIdx2[:0]
+	m := 0
+	for _, r := range bst.sel {
+		if bst.anyDropped && bst.dropped.Get(int(r)) {
+			continue
+		}
+		if ts.route != nil {
+			ts.route[k.ridx]++
+		}
+		key := bst.keyOf(r)
+		sr := bst.srcOf(r)
+		buf, ok := rows.AppendJoinKey(ts.keyBuf[:0], keyVec.Slot(int(r)))
+		ts.keyBuf = buf
+		var matches []buildRef
+		if ok {
+			if bt.genCount > 0 && len(bt.general[string(buf)]) > 0 {
+				// Normal×exception join pairs run on the exception path
+				// (§4.5 pairwise joins).
+				excs += cs.failBatchRow(ts, bst, p, r, pyvalue.ExcUnsupported, k.ridx)
+				continue
+			}
+			matches = bt.lookup(rows.Hash64(buf), buf)
+		}
+		if len(matches) == 0 {
+			ts.probeMisses++
+			if !k.leftOuter {
+				continue
+			}
+			for c := 0; c < nIn; c++ {
+				derived[c].AppendFrom(bst.cols[c], int(r))
+			}
+			for c := nIn; c < len(derived); c++ {
+				derived[c].AppendNull()
+			}
+			newSel = append(newSel, int32(m))
+			newKeys = append(newKeys, key*256)
+			newSrc = append(newSrc, sr)
+			m++
+			continue
+		}
+		ts.probeHits++
+		for i, ref := range matches {
+			sub := uint64(i)
+			if sub > 255 {
+				sub = 255
+			}
+			for c := 0; c < nIn; c++ {
+				derived[c].AppendFrom(bst.cols[c], int(r))
+			}
+			bvecs := bt.bparts[ref>>32]
+			bi := int(int32(ref))
+			for c, bv := range bvecs {
+				derived[nIn+c].AppendFrom(bv, bi)
+			}
+			newSel = append(newSel, int32(m))
+			newKeys = append(newKeys, key*256+sub)
+			newSrc = append(newSrc, sr)
+			m++
+		}
+	}
+	bst.sel, bst.sel2 = newSel, bst.sel
+	bst.outKeys, bst.outKeys2 = newKeys, bst.outKeys[:0]
+	bst.srcIdx, bst.srcIdx2 = newSrc, bst.srcIdx[:0]
+	bst.cols = append(bst.cols[:0], derived...)
+	bst.n = m
+	// New index space: drop marks from the input space don't carry over
+	// (the surviving rows were re-emitted above).
+	bst.dropped.Reset()
+	bst.anyDropped = false
+	return excs
+}
+
+// gatherArgView assembles a whole-row UDF argument for batch row r from
+// the kernel's input view: the row tuple with only the accessed (and
 // guarded) columns filled — unread positions keep stale slots that the
 // compiled body never loads.
 //tuplex:kernel
-func (k *batchKernel) gatherArg(bst *batchState, r int) rows.Slot {
-	if k.scalar {
-		return bst.cols[k.colIdx].Slot(r)
-	}
+func gatherArgView(k *batchKernel, view []*colvec.Vec, bst *batchState, r int) rows.Slot {
 	row := bst.argBuf[:k.inCols]
 	if k.argCols == nil {
-		for c, v := range bst.cols[:k.inCols] {
+		for c, v := range view[:k.inCols] {
 			row[c] = v.Slot(r)
 		}
 	} else {
 		for _, c := range k.argCols {
-			row[c] = bst.cols[c].Slot(r)
+			row[c] = view[c].Slot(r)
 		}
 	}
 	return rows.Tuple(row)
@@ -326,16 +744,28 @@ func callKernelUDF(ts *task, su *stageUDF, arg rows.Slot) (rows.Slot, ECode) {
 
 // renderBatchCSV renders the live rows straight from the vectors into
 // the task's CSV writer — no row materialization, no per-cell strings.
+// Columns the batch proves all-valid skip the per-cell null check.
 //tuplex:kernel
 func (cs *compiledStage) renderBatchCSV(ts *task, bst *batchState) {
 	w := ts.csvW
+	noNull := bst.noNull[:0]
+	for _, v := range bst.cols {
+		nv := v.AllValid()
+		if nv {
+			ts.nullElided++
+		} else {
+			ts.nullChecked++
+		}
+		noNull = append(noNull, nv)
+	}
+	bst.noNull = noNull
 	for _, r := range bst.sel {
 		ri := int(r)
 		for c, v := range bst.cols {
 			if c > 0 {
 				w.Delim()
 			}
-			if v.IsNull(ri) {
+			if !noNull[c] && v.IsNull(ri) {
 				continue
 			}
 			switch v.Kind {
@@ -354,18 +784,72 @@ func (cs *compiledStage) renderBatchCSV(ts *task, bst *batchState) {
 		}
 		w.EndRecord()
 		ts.lineEnds = append(ts.lineEnds, w.Len())
-		ts.outKeys = append(ts.outKeys, bst.keys[r])
+		ts.outKeys = append(ts.outKeys, bst.keyOf(r))
 	}
+}
+
+// uniqueBatch feeds the live rows into the task's open distinct set (the
+// columnar unique terminal — same encoded row keys and insertion order
+// as the row path's terminal step).
+//tuplex:kernel
+func (cs *compiledStage) uniqueBatch(ts *task, bst *batchState) {
+	for _, r := range bst.sel {
+		row := ts.rowBuf[:len(bst.cols)]
+		for c, v := range bst.cols {
+			row[c] = v.Slot(int(r))
+		}
+		buf := rows.AppendRowKey(ts.keyBuf[:0], row)
+		ts.keyBuf = buf
+		ts.uniq.insert(rows.Hash64(buf), buf, row, bst.keyOf(r))
+	}
+}
+
+// aggregateBatch folds the live rows into the task's accumulator slot
+// (the columnar aggregate terminal); failures pool the source row like
+// every other batch step.
+//tuplex:kernel
+func (cs *compiledStage) aggregateBatch(ts *task, bst *batchState, p int) int64 {
+	su := cs.aggUDF
+	var excs int64
+	for _, r := range bst.sel {
+		if bst.anyDropped && bst.dropped.Get(int(r)) {
+			continue
+		}
+		if ts.route != nil {
+			ts.route[cs.termRouteIdx]++
+		}
+		if su == nil || su.compiled == nil {
+			excs += cs.failBatchRow(ts, bst, p, r, pyvalue.ExcUnsupported, cs.termRouteIdx)
+			continue
+		}
+		var arg rows.Slot
+		if cs.aggScalar {
+			arg = bst.cols[0].Slot(int(r))
+		} else {
+			row := ts.rowBuf[:len(bst.cols)]
+			for c, v := range bst.cols {
+				row[c] = v.Slot(int(r))
+			}
+			arg = rows.Tuple(row)
+		}
+		v, ec := su.compiled.Call2(ts.frames[su.frameIdx], ts.aggSlot, arg)
+		if ec != 0 {
+			excs += cs.failBatchRow(ts, bst, p, r, ec, cs.termRouteIdx)
+			continue
+		}
+		ts.aggSlot = v
+	}
+	return excs
 }
 
 // gatherBatch materializes the live rows (collect/materialize terminal)
 // with one bulk backing allocation per batch.
-func (cs *compiledStage) gatherBatch(ts *task, bst *batchState, n int) {
-	b := colvec.Batch{Cols: bst.cols, N: n}
+func (cs *compiledStage) gatherBatch(ts *task, bst *batchState) {
+	b := colvec.Batch{Cols: bst.cols, N: bst.n}
 	got := b.GatherRows(bst.sel)
 	ts.outRows = append(ts.outRows, got...)
 	for _, r := range bst.sel {
-		ts.outKeys = append(ts.outKeys, bst.keys[r])
+		ts.outKeys = append(ts.outKeys, bst.keyOf(r))
 	}
 }
 

@@ -342,8 +342,8 @@ func (op *boxedOp) applyJoin(row []pyvalue.Value) ([][]pyvalue.Value, bool, erro
 	bt := op.join
 	var out [][]pyvalue.Value
 	if key, ok := rows.AppendJoinKeyValue(nil, row[op.keyIdx]); ok {
-		for _, m := range bt.lookup(rows.Hash64(key), key) {
-			joined := append(append([]pyvalue.Value{}, row...), rows.RowToValues(m)...)
+		for _, ref := range bt.lookup(rows.Hash64(key), key) {
+			joined := append(append([]pyvalue.Value{}, row...), bt.boxRow(ref)...)
 			out = append(out, joined)
 		}
 		for _, m := range bt.general[string(key)] {
@@ -402,7 +402,7 @@ func (eng *engine) resolveExceptions(cs *compiledStage, out *mat) error {
 	// Input-materialization exceptions from the previous stage also run
 	// through this stage's boxed program. Source stages (materialized
 	// records or streamed chunks) have no previous stage.
-	if cs.boxedInput != nil && cs.records == nil && cs.stream == nil && cs.inputRows == nil {
+	if cs.boxedInput != nil && cs.records == nil && cs.stream == nil && cs.inputSlots == nil {
 		n := len(pool)
 		pool = append(pool, cs.boxedInput.exceptional...)
 		// Carried-over rows raised in a previous stage; their op indexes

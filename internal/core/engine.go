@@ -128,9 +128,15 @@ type FailedRow struct {
 
 // Result is the outcome of one pipeline execution.
 type Result struct {
-	Schema  *types.Schema
-	Rows    [][]pyvalue.Value
-	CSV     []byte
+	Schema *types.Schema
+	// Rows holds boxed output rows. Only aggregate results populate it;
+	// collect sinks return SlotRows and leave boxing to the caller.
+	Rows [][]pyvalue.Value
+	// SlotRows holds collect-sink output as unboxed slot rows in input
+	// order; callers box lazily (slab boxing in the public API avoids
+	// the per-cell interface allocations a [][]pyvalue.Value forces).
+	SlotRows []rows.Row
+	CSV      []byte
 	Failed  []FailedRow
 	Metrics *metrics.Metrics
 	// Trace is the run's observability trace (nil when Options.Trace is
@@ -301,6 +307,9 @@ func (eng *engine) runStage(st *physical.Stage, input *mat) (*mat, error) {
 	tExec := time.Now()
 	bytes0 := eng.res.Metrics.Ingest.BytesRead.Load()
 	rows0 := eng.res.Metrics.Counters.InputRows.Load()
+	bm := &eng.res.Metrics.Batch
+	columnar0, bounced0 := bm.ColumnarRows.Load(), bm.BouncedRows.Load()
+	fused0, elided0, checked0 := bm.FusedPasses.Load(), bm.NullElisions.Load(), bm.NullChecked.Load()
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	mallocs0 := ms.Mallocs
@@ -318,6 +327,16 @@ func (eng *engine) runStage(st *physical.Stage, input *mat) (*mat, error) {
 		Allocs:   int64(ms.Mallocs - mallocs0),
 		Duration: dExec,
 	})
+	// Stage-delta batch-plane attrs: how much of this stage ran
+	// column-at-a-time, how much bounced to the row bridge, and whether
+	// the no-null kernel variants kicked in.
+	if columnar := bm.ColumnarRows.Load() - columnar0; columnar > 0 {
+		esp.Add(trace.Int("columnar_rows", columnar),
+			trace.Int("bounced_rows", bm.BouncedRows.Load()-bounced0),
+			trace.Int("fused_passes", bm.FusedPasses.Load()-fused0),
+			trace.Int("null_elisions", bm.NullElisions.Load()-elided0),
+			trace.Int("null_checked", bm.NullChecked.Load()-checked0))
+	}
 	if esp != nil {
 		esp.Tasks = eng.taskTimings(cs.tasks)
 	}
@@ -480,9 +499,9 @@ func (eng *engine) finish(out *mat, kind SinkKind, csvPath string, res *Result) 
 	}
 	switch kind {
 	case SinkCollect:
-		merged := eng.mergeOrdered(out)
+		merged := eng.mergeOrderedSlots(out)
 		eng.res.Metrics.Counters.OutputRows.Add(int64(len(merged)))
-		res.Rows = merged
+		res.SlotRows = merged
 		return nil
 	case SinkCSV:
 		// Rows were rendered inside the partition tasks; stitch buffers
@@ -549,29 +568,30 @@ func (eng *engine) finish(out *mat, kind SinkKind, csvPath string, res *Result) 
 	}
 }
 
-// mergeOrdered merges normal and exception-resolved rows back into input
-// order (§4.3 "Merge Rows") and boxes them. Partitions merge
-// independently in parallel; the final concatenation follows partition
-// order, which is input order.
-func (eng *engine) mergeOrdered(out *mat) [][]pyvalue.Value {
+// mergeOrderedSlots merges normal and exception-resolved rows back into
+// input order (§4.3 "Merge Rows") without boxing: normal rows pass
+// through as the slot rows the compiled path produced, exception rows
+// unbox once. Partitions merge independently in parallel; the final
+// concatenation follows partition order, which is input order.
+func (eng *engine) mergeOrderedSlots(out *mat) []rows.Row {
 	// Group resolved exceptional rows per partition.
 	exByPart := map[int][]exRow{}
 	for _, ex := range out.exceptional {
 		exByPart[ex.part] = append(exByPart[ex.part], ex)
 	}
-	perPart := make([][][]pyvalue.Value, len(out.parts))
+	perPart := make([][]rows.Row, len(out.parts))
 	eng.parallelFor(len(out.parts), func(p int) {
 		exs := exByPart[p]
 		sortExRows(exs)
 		rowsP, keysP := out.parts[p], out.keys[p]
-		m := make([][]pyvalue.Value, 0, len(rowsP)+len(exs))
+		m := make([]rows.Row, 0, len(rowsP)+len(exs))
 		i, j := 0, 0
 		for i < len(rowsP) || j < len(exs) {
 			if j >= len(exs) || (i < len(rowsP) && keysP[i] <= exs[j].key) {
-				m = append(m, rows.RowToValues(rowsP[i]))
+				m = append(m, rowsP[i])
 				i++
 			} else {
-				m = append(m, exs[j].vals)
+				m = append(m, rows.RowFromValues(exs[j].vals))
 				j++
 			}
 		}
@@ -581,7 +601,7 @@ func (eng *engine) mergeOrdered(out *mat) [][]pyvalue.Value {
 	for _, m := range perPart {
 		total += len(m)
 	}
-	merged := make([][]pyvalue.Value, 0, total)
+	merged := make([]rows.Row, 0, total)
 	for _, m := range perPart {
 		merged = append(merged, m...)
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"github.com/gotuplex/tuplex/internal/colvec"
 	"github.com/gotuplex/tuplex/internal/logical"
 	"github.com/gotuplex/tuplex/internal/pyvalue"
 	"github.com/gotuplex/tuplex/internal/rows"
@@ -16,20 +17,31 @@ import (
 // probe row to the exception path so all four NC/EC join pairs are
 // covered without slowing the fast path.
 //
-// The normal side is a sharded hash table over the canonical 64-bit key
-// hash (internal/rows): shard = hash & shardMask, and within a shard a
-// map from hash to the (rare) list of entries sharing it, each holding
-// the encoded key bytes for exact equality. Probing costs one scratch-
-// buffer key encoding, one map lookup and one bytes.Equal — no per-row
-// heap allocation. Shards exist so the build can run in parallel across
-// the build side's partitions and so future grouped/shuffled operators
-// can reuse the layout.
+// The normal side stores its contributed columns as column vectors, one
+// vector set per build partition (bparts), and the hash table holds
+// packed (partition, row) references instead of materialized rows: the
+// probe gathers match cells straight from the vectors — column-at-a-time
+// on the batch plane, slot-at-a-time on the row bridge — so the build
+// never boxes and never allocates per row. Hashing is sharded over the
+// canonical 64-bit key hash (internal/rows): shard = hash & shardMask,
+// and within a shard a map from hash to the (rare) list of entries
+// sharing it, each holding the encoded key bytes for exact equality.
+// Probing costs one scratch-buffer key encoding, one map lookup and one
+// bytes.Equal — no per-row heap allocation. Shards exist so the build
+// can run in parallel across the build side's partitions and so future
+// grouped/shuffled operators can reuse the layout.
 type buildTable struct {
 	schema  *types.Schema // build-side columns in output order (key excluded)
 	keyName string
 	shards  []buildShard
 	// shardMask is len(shards)-1 (shard count is a power of two).
 	shardMask uint64
+	// bparts holds the build side's contributed columns as column
+	// vectors, one set per build partition, plus a trailing overflow
+	// partition for conforming exception rows. buildRef values index
+	// into it. Vectors are sealed once after the build — concurrent
+	// probes read cells without mutating vector state.
+	bparts [][]*colvec.Vec
 	// general holds exception-path build rows, keyed by the same encoded
 	// key bytes (as string, for map use); probe keys hitting it divert to
 	// the exception path. Rare by construction, so a boxed map is fine.
@@ -41,10 +53,14 @@ type buildTable struct {
 	buildRows int
 }
 
+// buildRef packs one build row's location as partition<<32 | row; the
+// partition indexes bt.bparts.
+type buildRef = int64
+
 // buildEntry is one distinct join key within a shard.
 type buildEntry struct {
 	key  []byte
-	rows []rows.Row
+	refs []buildRef
 }
 
 // buildShard is one hash shard: a map from 64-bit key hash to the
@@ -54,36 +70,58 @@ type buildShard struct {
 	rows int
 }
 
-// insert appends row under (h, key), keeping insertion order per key.
+// insert appends ref under (h, key), keeping insertion order per key.
 // key must stay valid for the table's lifetime (arena- or heap-backed).
-func (sh *buildShard) insert(h uint64, key []byte, row rows.Row) {
+func (sh *buildShard) insert(h uint64, key []byte, ref buildRef) {
 	ents := sh.m[h]
 	for i := range ents {
 		if bytes.Equal(ents[i].key, key) {
-			ents[i].rows = append(ents[i].rows, row)
+			ents[i].refs = append(ents[i].refs, ref)
 			sh.rows++
 			return
 		}
 	}
-	sh.m[h] = append(ents, buildEntry{key: key, rows: []rows.Row{row}})
+	sh.m[h] = append(ents, buildEntry{key: key, refs: []buildRef{ref}})
 	sh.rows++
 }
 
-// lookup returns the build rows matching (h, key), or nil.
-func (bt *buildTable) lookup(h uint64, key []byte) []rows.Row {
+// lookup returns the build-row references matching (h, key), or nil.
+func (bt *buildTable) lookup(h uint64, key []byte) []buildRef {
 	for _, e := range bt.shards[h&bt.shardMask].m[h] {
 		if bytes.Equal(e.key, key) {
-			return e.rows
+			return e.refs
 		}
 	}
 	return nil
 }
 
-// insert routes one row to its shard (serial use only — the parallel
+// insert routes one ref to its shard (serial use only — the parallel
 // build path writes shards directly).
-func (bt *buildTable) insert(h uint64, key []byte, row rows.Row) {
-	bt.shards[h&bt.shardMask].insert(h, key, row)
+func (bt *buildTable) insert(h uint64, key []byte, ref buildRef) {
+	bt.shards[h&bt.shardMask].insert(h, key, ref)
 	bt.buildRows++
+}
+
+// appendRow gathers the referenced build row's cells onto out (the
+// row-bridge probe path).
+func (bt *buildTable) appendRow(out rows.Row, ref buildRef) rows.Row {
+	vecs := bt.bparts[ref>>32]
+	i := int(int32(ref))
+	for _, v := range vecs {
+		out = append(out, v.Slot(i))
+	}
+	return out
+}
+
+// boxRow boxes the referenced build row (the exception-path join).
+func (bt *buildTable) boxRow(ref buildRef) []pyvalue.Value {
+	vecs := bt.bparts[ref>>32]
+	i := int(int32(ref))
+	out := make([]pyvalue.Value, len(vecs))
+	for j, v := range vecs {
+		out[j] = v.Slot(i).Value()
+	}
+	return out
 }
 
 // maxShardRows reports the largest shard's row count (balance metric).
@@ -119,7 +157,7 @@ type pendingBuildRow struct {
 	h uint64
 	// off/end delimit the encoded key in the partition's key arena.
 	off, end int32
-	row      rows.Row
+	ref      buildRef
 }
 
 // buildJoinTable executes the build-side plan and hashes it. Per §4.5,
@@ -127,11 +165,19 @@ type pendingBuildRow struct {
 // resolves its exception rows before executing any code path of the
 // other side". The normal-case rows are hashed in two parallel phases
 // over the existing partitions: each partition encodes its keys into a
-// private arena and buckets rows by shard, then each shard merges its
-// buckets in partition order (so duplicate-key match order stays the
-// input order, exactly as the old single-map build produced).
+// private arena, appends its projected cells onto per-partition column
+// vectors, and buckets packed row references by shard; then each shard
+// merges its buckets in partition order (so duplicate-key match order
+// stays the input order, exactly as the old single-map build produced).
 func (eng *engine) buildJoinTable(op *logical.JoinOp) (*buildTable, error) {
+	// The build side always materializes rows for the hash table,
+	// whatever the run's final sink is: with the engine-wide sink left
+	// at SinkCSV the sub-chain's terminal stage would render CSV and
+	// materialize nothing, silently emptying every build table.
+	prevSink := eng.sink
+	eng.sink = SinkCollect
 	buildMat, err := eng.runChain(op.Build)
+	eng.sink = prevSink
 	if err != nil {
 		return nil, err
 	}
@@ -170,37 +216,44 @@ func (eng *engine) buildJoinTable(op *logical.JoinOp) (*buildTable, error) {
 		addedCols: len(outCols),
 	}
 
-	// Phase 1 — partition-parallel: encode keys, hash, project, bucket by
-	// shard. Projected rows are sub-slices of one per-partition slot slab
-	// and keys are slices of one per-partition arena: O(1) allocations per
-	// partition instead of per row.
+	// Phase 1 — partition-parallel: encode keys, hash, append projected
+	// cells onto the partition's column vectors, bucket packed refs by
+	// shard. Keys are slices of one per-partition arena and cells live in
+	// the vectors: O(1) allocations per partition instead of per row.
 	nparts := len(buildMat.parts)
 	pend := make([][][]pendingBuildRow, nparts)
 	arenas := make([][]byte, nparts)
+	bt.bparts = make([][]*colvec.Vec, nparts, nparts+1)
 	eng.parallelFor(nparts, func(p int) {
 		part := buildMat.parts[p]
 		byShard := make([][]pendingBuildRow, nshards)
 		arena := make([]byte, 0, len(part)*12)
-		slab := make([]rows.Slot, 0, len(part)*len(colMap))
+		vecs := make([]*colvec.Vec, len(colMap))
+		for j, i := range colMap {
+			vecs[j] = colvec.NewVec(sch.Col(i).Type)
+		}
 		var buf []byte
+		nrows := 0
 		for _, r := range part {
-			buf, ok = rows.AppendJoinKey(buf[:0], r[keyIdx])
-			if !ok {
+			key, kok := rows.AppendJoinKey(buf[:0], r[keyIdx])
+			buf = key
+			if !kok {
 				continue // null keys never match
 			}
-			h := rows.Hash64(buf)
+			h := rows.Hash64(key)
 			off := len(arena)
-			arena = append(arena, buf...)
-			start := len(slab)
-			for _, i := range colMap {
-				slab = append(slab, r[i])
+			arena = append(arena, key...)
+			for j, i := range colMap {
+				vecs[j].AppendSlot(r[i])
 			}
-			proj := slab[start:len(slab):len(slab)]
 			s := h & bt.shardMask
-			byShard[s] = append(byShard[s], pendingBuildRow{h: h, off: int32(off), end: int32(len(arena)), row: proj})
+			byShard[s] = append(byShard[s], pendingBuildRow{h: h, off: int32(off), end: int32(len(arena)),
+				ref: buildRef(p)<<32 | buildRef(nrows)})
+			nrows++
 		}
 		pend[p] = byShard
 		arenas[p] = arena
+		bt.bparts[p] = vecs
 	})
 
 	// Phase 2 — shard-parallel merge in partition order.
@@ -216,7 +269,7 @@ func (eng *engine) buildJoinTable(op *logical.JoinOp) (*buildTable, error) {
 		sh.m = make(map[uint64][]buildEntry, n)
 		for p := range pend {
 			for _, e := range pend[p][s] {
-				sh.insert(e.h, arenas[p][e.off:e.end], e.row)
+				sh.insert(e.h, arenas[p][e.off:e.end], e.ref)
 			}
 		}
 	})
@@ -228,31 +281,51 @@ func (eng *engine) buildJoinTable(op *logical.JoinOp) (*buildTable, error) {
 	}
 
 	// Exception-path build rows (rare): conforming ones join the fast
-	// table serially, the rest stay boxed in the general map.
+	// table serially via a trailing overflow partition, the rest stay
+	// boxed in the general map.
 	var buf []byte
+	var overflow []*colvec.Vec
+	ovRows := 0
 	for _, ex := range buildMat.exceptional {
 		if len(ex.vals) != sch.Len() {
 			continue
 		}
-		buf, ok = rows.AppendJoinKeyValue(buf[:0], ex.vals[keyIdx])
-		if !ok {
+		key, kok := rows.AppendJoinKeyValue(buf[:0], ex.vals[keyIdx])
+		buf = key
+		if !kok {
 			continue
 		}
 		// Conforming rows can join on the fast path; the rest stay boxed.
 		if slots, okc := unboxConforming(ex.vals, sch, make([]rows.Slot, sch.Len())); okc {
-			proj := make(rows.Row, len(colMap))
-			for j, i := range colMap {
-				proj[j] = slots[i]
+			if overflow == nil {
+				overflow = make([]*colvec.Vec, len(colMap))
+				for j, i := range colMap {
+					overflow[j] = colvec.NewVec(sch.Col(i).Type)
+				}
+				bt.bparts = append(bt.bparts, overflow)
 			}
-			bt.insert(rows.Hash64(buf), append([]byte(nil), buf...), proj)
+			for j, i := range colMap {
+				overflow[j].AppendSlot(slots[i])
+			}
+			ref := buildRef(len(bt.bparts)-1)<<32 | buildRef(ovRows)
+			ovRows++
+			bt.insert(rows.Hash64(key), append([]byte(nil), key...), ref)
 			continue
 		}
 		proj := make([]pyvalue.Value, len(colMap))
 		for j, i := range colMap {
 			proj[j] = ex.vals[i]
 		}
-		bt.general[string(buf)] = append(bt.general[string(buf)], proj)
+		bt.general[string(key)] = append(bt.general[string(key)], proj)
 		bt.genCount++
+	}
+
+	// Seal every string vector now: concurrent probe tasks read cells via
+	// Slot(), which must never hit the lazy first Seal in parallel.
+	for _, vecs := range bt.bparts {
+		for _, v := range vecs {
+			v.Seal()
+		}
 	}
 
 	jm := &eng.res.Metrics.Join

@@ -74,8 +74,8 @@ type compiledStage struct {
 	parse      *csvio.ParseSpec
 	isText     bool
 	nFields    int               // projected parser field count (source stages)
-	boxedInput *mat              // input materialization for non-source stages
-	inputRows  [][]pyvalue.Value // parallelize source
+	boxedInput *mat        // input materialization for non-source stages
+	inputSlots []rows.Row  // parallelize source (unboxed slot rows)
 	partRanges [][2]int
 
 	inSchema   *types.Schema
@@ -159,6 +159,10 @@ type task struct {
 
 	outRows []rows.Row
 	outKeys []uint64
+	// outSlab backs materialized outRows: rows append here and slice
+	// capped views out, so the collect sink costs one amortized slab
+	// per task instead of one allocation per row.
+	outSlab []rows.Slot
 	pool    []exRow
 
 	// streaming CSV sink state
@@ -176,6 +180,17 @@ type task struct {
 	// probe counters accumulate locally and flush with the other
 	// per-task counters (atomics per probe would dominate tight loops).
 	probeHits, probeMisses int64
+
+	// Batch-plane counters (columnar stages only). columnarRows counts
+	// rows that completed the kernel prefix in vector form; bounced
+	// counts rows handed to the row-at-a-time suffix at the stage
+	// barrier; fusedPasses counts fused-group scans over a batch;
+	// nullElided/nullChecked count batch-column dispatches that did /
+	// did not take the no-null inner loop.
+	columnarRows, bounced   int64
+	bouncedFlushed          int64
+	fusedPasses             int64
+	nullElided, nullChecked int64
 
 	// Tracing scratch. worker/start/dur/inRows feed the execute span's
 	// task timings (filled only when the tracer is on). route/routeExc
@@ -247,6 +262,12 @@ func (cs *compiledStage) mergedRouting() []trace.OpRouting {
 		for i := range out {
 			out[i].NormalIn += ts.route[i]
 			out[i].NormalExc += ts.routeExc[i]
+		}
+		// Rows that fell off the kernel prefix at the stage barrier are
+		// attributed to the barrier op itself, not folded into the
+		// generic boxed counters.
+		if cs.batch != nil && cs.batch.suffix != nil && int(cs.batch.barrierIdx) < len(out) {
+			out[cs.batch.barrierIdx].Bounced += ts.bounced
 		}
 	}
 	for oi, bop := range cs.boxed {
@@ -324,22 +345,25 @@ func (cs *compiledStage) runPartition(ts *task, p int) error {
 	if cs.records != nil {
 		return cs.runRecords(ts, p, cs.records[r[0]:r[1]], uint64(r[0]), false)
 	}
+	if cs.inputSlots != nil && cs.batch != nil {
+		return cs.runSlotsColumnar(ts, p)
+	}
 	var input, rejects, normalExc, normal int64
 	switch {
-	case cs.inputRows != nil:
+	case cs.inputSlots != nil:
 		for i := r[0]; i < r[1]; i++ {
 			key := uint64(i)
 			input++
-			boxed := cs.inputRows[i]
-			row, ok := unboxConforming(boxed, cs.inSchema, ts.rowBuf)
-			if !ok {
+			src := cs.inputSlots[i]
+			if !rowConforms(src, cs.inSchema) {
 				rejects++
-				ts.pool = append(ts.pool, exRow{part: p, key: key, vals: boxed, ec: pyvalue.ExcBadParse})
+				ts.pool = append(ts.pool, exRow{part: p, key: key, vals: rows.RowToValues(src), ec: pyvalue.ExcBadParse})
 				continue
 			}
+			row := append(ts.rowBuf[:0], src...)
 			if ec := cs.entry(ts, key, row); ec != 0 {
 				normalExc++
-				ts.pool = append(ts.pool, exRow{part: p, key: key, vals: boxed, ec: ec, op: ts.excOp})
+				ts.pool = append(ts.pool, exRow{part: p, key: key, vals: rows.RowToValues(src), ec: ec, op: ts.excOp})
 				if ts.routeExc != nil {
 					ts.routeExc[ts.excOp]++
 				}
@@ -390,6 +414,33 @@ func (ts *task) flushProbeCounters() {
 	ts.probeHits, ts.probeMisses = 0, 0
 }
 
+// flushBatchCounters drains the task-local batch-plane tallies into the
+// shared metrics (called once per run-partition call, like the probe
+// counters; ts.bounced stays live for the routing-ledger merge).
+func (ts *task) flushBatchCounters() {
+	bm := &ts.eng.res.Metrics.Batch
+	if ts.columnarRows != 0 {
+		bm.ColumnarRows.Add(ts.columnarRows)
+		ts.columnarRows = 0
+	}
+	if d := ts.bounced - ts.bouncedFlushed; d != 0 {
+		bm.BouncedRows.Add(d)
+		ts.bouncedFlushed = ts.bounced
+	}
+	if ts.fusedPasses != 0 {
+		bm.FusedPasses.Add(ts.fusedPasses)
+		ts.fusedPasses = 0
+	}
+	if ts.nullElided != 0 {
+		bm.NullElisions.Add(ts.nullElided)
+		ts.nullElided = 0
+	}
+	if ts.nullChecked != 0 {
+		bm.NullChecked.Add(ts.nullChecked)
+		ts.nullChecked = 0
+	}
+}
+
 // unboxConforming converts a boxed row to slots when it matches the
 // normal schema.
 func unboxConforming(vals []pyvalue.Value, sch *types.Schema, buf []rows.Slot) (rows.Row, bool) {
@@ -405,6 +456,20 @@ func unboxConforming(vals []pyvalue.Value, sch *types.Schema, buf []rows.Slot) (
 		row[i] = s
 	}
 	return row, true
+}
+
+// rowConforms reports whether a slot row matches the normal schema
+// (the classifier for slot-native sources — no conversion needed).
+func rowConforms(row rows.Row, sch *types.Schema) bool {
+	if len(row) != sch.Len() {
+		return false
+	}
+	for i, s := range row {
+		if !rows.Matches(s, sch.Col(i).Type) {
+			return false
+		}
+	}
+	return true
 }
 
 // compileStage builds the normal and boxed programs for one stage.
@@ -711,7 +776,13 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 			scratchIdx := frameIdx
 			frameIdx++ // reserve a scratch slot (no frame needed)
 			cs.boxed = append(cs.boxed, &boxedOp{kind: bOpJoin, join: bt, keyIdx: keyIdx, leftOuter: left, inSchema: schema, outSchema: outSchema})
-			nops = append(nops, compiledOp{ridx: ridx, make: func(next nstep) nstep {
+			jOutTs := make([]types.Type, outSchema.Len())
+			for i := range jOutTs {
+				jOutTs[i] = outSchema.Col(i).Type
+			}
+			jbk := &batchKernel{kind: bkJoin, ridx: ridx, colIdx: keyIdx, join: bt, leftOuter: left,
+				inCols: schema.Len(), outTypes: jOutTs}
+			nops = append(nops, compiledOp{ridx: ridx, batch: jbk, make: func(next nstep) nstep {
 				return func(ts *task, key uint64, row rows.Row) ECode {
 					// Probe: encode the key into the task scratch buffer,
 					// hash, and look up the shard — no allocation. (The
@@ -720,7 +791,7 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 					// is only consulted when exception build rows exist.)
 					buf, ok := rows.AppendJoinKey(ts.keyBuf[:0], row[keyIdx])
 					ts.keyBuf = buf
-					var matches []rows.Row
+					var matches []buildRef
 					if ok {
 						if bt.genCount > 0 && len(bt.general[string(buf)]) > 0 {
 							// Normal×exception join pairs run on the
@@ -743,14 +814,14 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 						return next(ts, key*256, out)
 					}
 					ts.probeHits++
-					for i, m := range matches {
+					for i, ref := range matches {
 						sub := uint64(i)
 						if sub > 255 {
 							sub = 255
 						}
 						out := ts.opScratch(scratchIdx, cs.maxCols)
 						out = append(out, row...)
-						out = append(out, m...)
+						out = bt.appendRow(out, ref)
 						if ec := next(ts, key*256+sub, out); ec != 0 {
 							return ec
 						}
@@ -806,10 +877,12 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 	}
 	cs.entry = compose(0)
 
-	// Columnar batch plan: CSV sources compile the maximal prefix of
-	// batchable ops into kernels; anything after (plus non-batchable
-	// terminals) runs through the composed suffix via the row bridge.
-	if eng.opts.Columnar && cs.parse != nil && !cs.isText {
+	// Columnar batch plan: CSV and Parallelize sources compile the
+	// maximal prefix of batchable ops into kernels; anything after (plus
+	// non-batchable terminals) runs through the composed suffix via the
+	// row bridge. Adjacent per-row kernels group into fused passes that
+	// share one selection-vector scan.
+	if eng.opts.Columnar && ((cs.parse != nil && !cs.isText) || cs.inputSlots != nil) {
 		prefix := 0
 		for prefix < len(nops) && nops[prefix].batch != nil {
 			prefix++
@@ -818,10 +891,17 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 		for i := range kernels {
 			kernels[i] = nops[i].batch
 		}
-		bp := &batchProg{kernels: kernels}
-		batchTerm := cs.terminal == physical.TerminalSink || cs.terminal == physical.TerminalMaterialize
+		bp := &batchProg{kernels: kernels, groups: fuseKernels(kernels)}
+		batchTerm := cs.terminal == physical.TerminalSink || cs.terminal == physical.TerminalMaterialize ||
+			cs.terminal == physical.TerminalUnique || cs.terminal == physical.TerminalAggregate
 		if prefix < len(nops) || !batchTerm {
 			bp.suffix = compose(prefix)
+			// The stage barrier: rows reaching the end of the kernel
+			// prefix bounce to the composed row path at this ledger index.
+			bp.barrierIdx = cs.termRouteIdx
+			if prefix < len(nops) {
+				bp.barrierIdx = nops[prefix].ridx
+			}
 		}
 		cs.batch = bp
 	}
@@ -1150,16 +1230,34 @@ func (eng *engine) prepareSource(cs *compiledStage, st *physical.Stage, input *m
 		}
 	case *logical.ParallelizeSource:
 		t0 := time.Now()
-		plan, err := sample.SampleValues(src.Rows, src.Names, eng.mkSampleCfg(nil))
+		slotRows := src.SlotRows
+		if slotRows == nil && src.Rows != nil {
+			// Legacy boxed form: unbox once up front.
+			slotRows = make([]rows.Row, len(src.Rows))
+			for i, r := range src.Rows {
+				slotRows[i] = rows.RowFromValues(r)
+			}
+		}
+		// The sampler only reads the prefix; box exactly those rows
+		// instead of the whole input.
+		need := eng.mkSampleCfg(nil).WithDefaults().Size
+		if need > len(slotRows) {
+			need = len(slotRows)
+		}
+		sampleRows := make([][]pyvalue.Value, need)
+		for i := range sampleRows {
+			sampleRows[i] = rows.RowToValues(slotRows[i])
+		}
+		plan, err := sample.SampleValues(sampleRows, src.Names, eng.mkSampleCfg(nil))
 		cs.sampleTime = time.Since(t0)
 		if err != nil {
 			return err
 		}
-		cs.inputRows = src.Rows
+		cs.inputSlots = slotRows
 		cs.nullValues = csvio.DefaultNullValues
 		cs.inSchema = plan.Schema
 		cs.srcFacts = seedColFacts(plan.Schema, plan.Stats, nil)
-		cs.partRanges = splitRange(len(src.Rows), eng.partSize(len(src.Rows)))
+		cs.partRanges = splitRange(len(slotRows), eng.partSize(len(slotRows)))
 	case nil:
 		if input == nil {
 			return fmt.Errorf("core: stage without source or input")

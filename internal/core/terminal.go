@@ -29,9 +29,14 @@ func (cs *compiledStage) makeTerminal() (nstep, error) {
 			}, nil
 		}
 		// Materialize rows with order keys; the engine merges and
-		// renders at finish().
+		// renders at finish(). Rows copy into the task's slot slab —
+		// one amortized backing array per task instead of one heap
+		// allocation per output row. Slices are capped so later slab
+		// growth can never write through an earlier row's view.
 		return func(ts *task, key uint64, row rows.Row) ECode {
-			ts.outRows = append(ts.outRows, rows.CopyRow(row))
+			start := len(ts.outSlab)
+			ts.outSlab = append(ts.outSlab, row...)
+			ts.outRows = append(ts.outRows, ts.outSlab[start:len(ts.outSlab):len(ts.outSlab)])
 			ts.outKeys = append(ts.outKeys, key)
 			return 0
 		}, nil

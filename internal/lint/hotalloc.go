@@ -17,13 +17,19 @@ import (
 // through struct fields) are allowed: they reuse capacity and allocate
 // only on growth.
 //
+// Beyond raw allocation, the analyzer also flags per-row boxed-row
+// construction: a `rows.Slot{...}` composite literal or an
+// `unboxConforming` call inside a kernel loop means the kernel is
+// rebuilding boxed rows the columnar plane was supposed to retire —
+// the bounce path exists for that, and it lives outside kernels.
+//
 // The check is syntactic: it sees loop bodies, not dominance, so an
 // allocation hoisted out of the loop (per-batch setup) is never
 // flagged, and a flagged site can be silenced by hoisting or by
 // switching to a reused scratch buffer.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
-	Doc:  "no make/append-per-row allocation inside //tuplex:kernel loop bodies",
+	Doc:  "no make/append-per-row allocation or boxed-Slot construction inside //tuplex:kernel loop bodies",
 	Run:  runHotAlloc,
 }
 
@@ -103,6 +109,10 @@ func checkKernelBody(p *Pass, body *ast.BlockStmt) {
 						}
 					}
 				}
+			case *ast.CompositeLit:
+				if depth > 0 && isSlotLiteral(m) {
+					p.Reportf(m.Pos(), "rows.Slot composite inside kernel loop rebuilds boxed rows per row; read cells through vector accessors or bounce the row outside the kernel")
+				}
 			case *ast.CallExpr:
 				if depth > 0 && !handled[m] {
 					switch builtinName(m) {
@@ -113,6 +123,9 @@ func checkKernelBody(p *Pass, body *ast.BlockStmt) {
 						// fresh slice per row (discarded, passed as an
 						// argument, or assigned elsewhere).
 						p.Reportf(m.Pos(), "append result not stored back inside kernel loop allocates per row")
+					}
+					if calleeName(m) == "unboxConforming" {
+						p.Reportf(m.Pos(), "unboxConforming inside kernel loop reboxes per row; classify once per batch or bounce the row outside the kernel")
 					}
 				}
 			}
@@ -132,6 +145,32 @@ func builtinName(call *ast.CallExpr) string {
 	switch id.Name {
 	case "make", "append":
 		return id.Name
+	}
+	return ""
+}
+
+// isSlotLiteral reports whether the composite builds a rows.Slot (seen
+// as `rows.Slot{...}` from other packages or `Slot{...}` within
+// package rows).
+func isSlotLiteral(cl *ast.CompositeLit) bool {
+	switch t := cl.Type.(type) {
+	case *ast.SelectorExpr:
+		pkg, ok := t.X.(*ast.Ident)
+		return ok && pkg.Name == "rows" && t.Sel.Name == "Slot"
+	case *ast.Ident:
+		return t.Name == "Slot"
+	}
+	return false
+}
+
+// calleeName returns the called function's bare name for plain and
+// selector calls ("" for anything else).
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
 	}
 	return ""
 }

@@ -31,6 +31,35 @@ func sink(v []int32) {}
 	}
 }
 
+func TestHotAllocFlagsBoxedSlotConstruction(t *testing.T) {
+	src := `package core
+
+type slotRow []int
+
+//tuplex:kernel
+func boxyKernel(vals []int64, sel []int32, sch *schema) {
+	for _, r := range sel {
+		s := rows.Slot{}            // boxed-Slot composite: flagged
+		_ = s
+		row, ok := unboxConforming(nil, sch, nil) // rebox call: flagged
+		_, _ = row, ok
+		_ = cs.unboxConforming(r) // selector form: flagged
+		_ = vals[r]
+	}
+	pad := rows.Slot{} // outside the loop: allowed
+	_ = pad
+}
+
+type schema struct{}
+`
+	diags := analyze(t, "internal/core", src, HotAlloc)
+	wantDiag(t, diags, "hotalloc", "rows.Slot composite inside kernel loop")
+	wantDiag(t, diags, "hotalloc", "unboxConforming inside kernel loop")
+	if len(diags) != 3 {
+		t.Fatalf("diagnostics = %d, want 3: %v", len(diags), diags)
+	}
+}
+
 func TestHotAllocAllowsAmortizedAndHoisted(t *testing.T) {
 	src := `package core
 

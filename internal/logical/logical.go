@@ -11,6 +11,7 @@ import (
 
 	"github.com/gotuplex/tuplex/internal/pyast"
 	"github.com/gotuplex/tuplex/internal/pyvalue"
+	"github.com/gotuplex/tuplex/internal/rows"
 )
 
 // UDFSpec is a parsed user function plus everything the planner knows
@@ -67,10 +68,14 @@ type TextSource struct {
 	Column string
 }
 
-// ParallelizeSource wraps in-memory boxed rows.
+// ParallelizeSource wraps in-memory rows. SlotRows is the primary
+// representation (unboxed slots over a shared slab, so the engine
+// classifies and executes without a boxed detour); Rows is the legacy
+// boxed form, still honored when SlotRows is nil.
 type ParallelizeSource struct {
-	Rows  [][]pyvalue.Value
-	Names []string
+	Rows     [][]pyvalue.Value
+	SlotRows []rows.Row
+	Names    []string
 }
 
 // MapOp replaces each row with the UDF result (dict/tuple results become

@@ -96,6 +96,37 @@ func (j *Join) HitRate() float64 {
 	return float64(j.ProbeHits.Load()) / float64(n)
 }
 
+// Batch tallies the columnar batch plane: how many rows ran
+// column-at-a-time versus bounced to the row bridge at a stage barrier,
+// plus kernel-fusion and null-check-elision activity. Flushed per task.
+type Batch struct {
+	// ColumnarRows counts row×kernel-group passes executed on the batch
+	// plane (a row surviving three fused groups counts three times, so
+	// the ratio to BouncedRows reflects actual columnar work done).
+	ColumnarRows atomic.Int64
+	// BouncedRows counts rows that left the batch plane at a stage
+	// barrier and finished on the compiled row bridge.
+	BouncedRows atomic.Int64
+	// FusedPasses counts fused kernel-group executions (one scan over a
+	// batch's selection vector, however many adjacent ops it covers).
+	FusedPasses atomic.Int64
+	// NullElisions / NullChecked count per-batch argument-dispatch
+	// decisions: a column bound with the no-null inner loop versus one
+	// that kept its per-row null check.
+	NullElisions atomic.Int64
+	NullChecked  atomic.Int64
+}
+
+// ElisionRate reports the fraction of batch argument bindings that
+// skipped per-row null checks.
+func (b *Batch) ElisionRate() float64 {
+	n := b.NullElisions.Load() + b.NullChecked.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(b.NullElisions.Load()) / float64(n)
+}
+
 // StageIngest is one stage's throughput figures.
 type StageIngest struct {
 	// Stage is the stage index within the run.
@@ -169,6 +200,8 @@ type Metrics struct {
 	Ingest   Ingest
 	// Join tallies hash-join build and probe activity.
 	Join Join
+	// Batch tallies columnar batch-plane activity.
+	Batch Batch
 	// Stage holds per-stage throughput figures in execution order.
 	Stage []StageIngest
 	// Stages is the number of generated stages.
@@ -216,6 +249,10 @@ func (m *Metrics) String() string {
 		if n := j.GeneralRows.Load(); n > 0 {
 			fmt.Fprintf(&sb, " general=%d", n)
 		}
+	}
+	if b := &m.Batch; b.ColumnarRows.Load() > 0 || b.BouncedRows.Load() > 0 {
+		fmt.Fprintf(&sb, " | batch: columnar=%d bounced=%d fused_passes=%d elision=%.2f",
+			b.ColumnarRows.Load(), b.BouncedRows.Load(), b.FusedPasses.Load(), b.ElisionRate())
 	}
 	for _, s := range m.Stage {
 		if s.Records == 0 && s.Bytes == 0 {

@@ -1,0 +1,153 @@
+package rows
+
+import (
+	"unsafe"
+
+	"github.com/gotuplex/tuplex/internal/pyvalue"
+	"github.com/gotuplex/tuplex/internal/types"
+)
+
+// AnyValue converts a boxed pyvalue into the plain-Go `any` form the
+// public API hands back: nil, bool, int64, float64, string, []any for
+// sequences, map[string]any for dicts, and str() as the escape hatch.
+func AnyValue(v pyvalue.Value) any {
+	switch v := v.(type) {
+	case pyvalue.None:
+		return nil
+	case pyvalue.Bool:
+		return bool(v)
+	case pyvalue.Int:
+		return int64(v)
+	case pyvalue.Float:
+		return float64(v)
+	case pyvalue.Str:
+		return string(v)
+	case *pyvalue.List:
+		out := make([]any, len(v.Items))
+		for i, it := range v.Items {
+			out[i] = AnyValue(it)
+		}
+		return out
+	case *pyvalue.Tuple:
+		out := make([]any, len(v.Items))
+		for i, it := range v.Items {
+			out[i] = AnyValue(it)
+		}
+		return out
+	case *pyvalue.Dict:
+		out := map[string]any{}
+		for _, k := range v.Keys() {
+			val, _ := v.Get(k)
+			out[k] = AnyValue(val)
+		}
+		return out
+	default:
+		return pyvalue.ToStr(v)
+	}
+}
+
+// Boxer batch-converts unboxed slots into `any` values without one heap
+// allocation per cell. Converting a scalar to `any` normally allocates
+// (only int64 values 0..255 hit the runtime's static box cache); the
+// boxer instead appends the payload to a typed slab and hand-builds the
+// interface value as {type word, pointer into slab}, so a million-cell
+// result costs a handful of slab growths instead of a million boxes.
+//
+// Safety: issued interface values hold interior pointers into the slab
+// arrays. Slab growth reallocates, but the superseded arrays stay
+// reachable through those interior pointers and slab cells are never
+// mutated after issue, so every issued value stays valid. The layout
+// assumption (eface = {typ, data}) is verified at init by a round-trip
+// self-test; if it ever fails the boxer degrades to ordinary boxing.
+//
+// A Boxer is single-goroutine state; use one per merge/collect task.
+type Boxer struct {
+	i64  []int64
+	f64  []float64
+	str  []string
+	anys []any
+}
+
+// eface mirrors the runtime's empty-interface header.
+type eface struct{ typ, data unsafe.Pointer }
+
+func typePtr(v any) unsafe.Pointer { return (*eface)(unsafe.Pointer(&v)).typ }
+
+var (
+	i64Type = typePtr(int64(0))
+	f64Type = typePtr(float64(0))
+	strType = typePtr("")
+
+	// fastEface gates the slab path on the runtime actually using the
+	// assumed interface layout.
+	fastEface = efaceSelfTest()
+)
+
+func slabFace(typ, data unsafe.Pointer) any {
+	var out any
+	e := (*eface)(unsafe.Pointer(&out))
+	e.typ = typ
+	e.data = data
+	return out
+}
+
+func efaceSelfTest() bool {
+	i, f, s := int64(123456), 2.5, "tuplex"
+	iv, iok := slabFace(i64Type, unsafe.Pointer(&i)).(int64)
+	fv, fok := slabFace(f64Type, unsafe.Pointer(&f)).(float64)
+	sv, sok := slabFace(strType, unsafe.Pointer(&s)).(string)
+	return iok && fok && sok && iv == i && fv == f && sv == s
+}
+
+// Grow preallocates slab capacity for roughly nRows rows of nCells
+// cells each.
+func (b *Boxer) Grow(nRows, nCells int) {
+	n := nRows * nCells
+	if cap(b.anys)-len(b.anys) < n {
+		next := make([]any, len(b.anys), len(b.anys)+n)
+		copy(next, b.anys)
+		b.anys = next
+	}
+}
+
+// Box converts one slot.
+func (b *Boxer) Box(s Slot) any {
+	switch s.Tag {
+	case types.KindNull:
+		return nil
+	case types.KindBool:
+		return s.B
+	case types.KindI64:
+		if !fastEface || (s.I >= 0 && s.I < 256) {
+			// 0..255 hit the runtime's static box cache: no allocation
+			// and no slab entry needed.
+			return s.I
+		}
+		b.i64 = append(b.i64, s.I)
+		return slabFace(i64Type, unsafe.Pointer(&b.i64[len(b.i64)-1]))
+	case types.KindF64:
+		if !fastEface {
+			return s.F
+		}
+		b.f64 = append(b.f64, s.F)
+		return slabFace(f64Type, unsafe.Pointer(&b.f64[len(b.f64)-1]))
+	case types.KindStr:
+		if !fastEface {
+			return s.S
+		}
+		b.str = append(b.str, s.S)
+		return slabFace(strType, unsafe.Pointer(&b.str[len(b.str)-1]))
+	default:
+		return AnyValue(s.Value())
+	}
+}
+
+// BoxRow converts one unboxed row, returning a slice backed by the
+// boxer's shared []any slab (capped, so later appends never alias it).
+func (b *Boxer) BoxRow(r Row) []any {
+	start := len(b.anys)
+	for _, s := range r {
+		b.anys = append(b.anys, b.Box(s))
+	}
+	return b.anys[start:len(b.anys):len(b.anys)]
+}

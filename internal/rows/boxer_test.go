@@ -1,0 +1,80 @@
+package rows
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"github.com/gotuplex/tuplex/internal/pyvalue"
+)
+
+func TestBoxerScalarsMatchPlainBoxing(t *testing.T) {
+	slots := []Slot{
+		Null(), Bool(true), Bool(false),
+		I64(0), I64(7), I64(255), I64(256), I64(-1), I64(1 << 62),
+		F64(0), F64(2.5), F64(-1e300),
+		Str(""), Str("hello"), Str("quoted,\"cell\""),
+		List([]Slot{I64(1), Str("x")}),
+		Tuple([]Slot{F64(0.5), Null()}),
+	}
+	var b Boxer
+	for _, s := range slots {
+		got := b.Box(s)
+		want := AnyValue(s.Value())
+		if fmt.Sprintf("%#v", got) != fmt.Sprintf("%#v", want) {
+			t.Fatalf("Box(%v) = %#v, want %#v", s, got, want)
+		}
+	}
+}
+
+// Slab growth must not invalidate previously issued interface values:
+// they hold interior pointers into superseded arrays, which stay alive.
+func TestBoxerSlabGrowthKeepsIssuedValues(t *testing.T) {
+	var b Boxer
+	const n = 50_000
+	out := make([][]any, n)
+	for i := range n {
+		out[i] = b.BoxRow(Row{I64(int64(i) + 1000), F64(float64(i) * 0.5), Str(fmt.Sprintf("s%d", i))})
+	}
+	runtime.GC()
+	runtime.GC()
+	for i, r := range out {
+		if r[0] != int64(i)+1000 || r[1] != float64(i)*0.5 || r[2] != fmt.Sprintf("s%d", i) {
+			t.Fatalf("row %d = %v after slab growth", i, r)
+		}
+	}
+}
+
+func TestBoxerAllocsAmortized(t *testing.T) {
+	if !fastEface {
+		t.Skip("runtime interface layout differs; slab path disabled")
+	}
+	const rowsN = 1000
+	avg := testing.AllocsPerRun(10, func() {
+		var b Boxer
+		b.Grow(rowsN, 3)
+		for i := range rowsN {
+			b.BoxRow(Row{I64(int64(i) + 500), F64(float64(i)), Str("abc")})
+		}
+	})
+	// Plain boxing would cost ~3 allocations per row (3000 total); the
+	// slab path should only pay geometric slab growth.
+	if avg > 200 {
+		t.Fatalf("allocs per 1000 rows = %.0f, want amortized slab growth only", avg)
+	}
+}
+
+func TestAnyValueComplex(t *testing.T) {
+	d := pyvalue.NewDict()
+	d.Set("k", pyvalue.Int(3))
+	got := AnyValue(d)
+	m, ok := got.(map[string]any)
+	if !ok || m["k"] != int64(3) {
+		t.Fatalf("AnyValue(dict) = %#v", got)
+	}
+	l := &pyvalue.List{Items: []pyvalue.Value{pyvalue.Str("a"), pyvalue.None{}}}
+	lv, ok := AnyValue(l).([]any)
+	if !ok || lv[0] != "a" || lv[1] != nil {
+		t.Fatalf("AnyValue(list) = %#v", AnyValue(l))
+	}
+}

@@ -113,6 +113,12 @@ type RunReport struct {
 	ResolveP50NS int64 `json:"resolve_p50_ns"`
 	ResolveP99NS int64 `json:"resolve_p99_ns"`
 
+	// Columnar batch-plane activity (0 when the run is row-at-a-time).
+	ColumnarRows    int64   `json:"columnar_rows"`
+	BouncedRows     int64   `json:"bounced_rows"`
+	FusedPasses     int64   `json:"fused_passes"`
+	NullElisionRate float64 `json:"null_elision_rate"`
+
 	// Samples is the time-series tail (?samples=N, newest last).
 	Samples []Sample `json:"samples,omitempty"`
 }
@@ -148,6 +154,13 @@ func runReport(m *RunMonitor, live bool, maxSamples int) RunReport {
 		ChunkP99NS:   m.ChunkLatency.Quantile(0.99),
 		ResolveP50NS: m.ResolveLatency.Quantile(0.50),
 		ResolveP99NS: m.ResolveLatency.Quantile(0.99),
+	}
+	if mm := m.m; mm != nil {
+		b := &mm.Batch
+		r.ColumnarRows = b.ColumnarRows.Load()
+		r.BouncedRows = b.BouncedRows.Load()
+		r.FusedPasses = b.FusedPasses.Load()
+		r.NullElisionRate = b.ElisionRate()
 	}
 	// Counter reads go through the last sample so live and finished
 	// runs report from the same source the sampler wrote.

@@ -166,6 +166,27 @@ func TestJoinShardedMatchesReference(t *testing.T) {
 	}
 }
 
+// TestJoinCSVSinkMaterializesBuildSide: regression — with a CSV sink
+// the join build sub-chain used to inherit the engine-wide sink kind,
+// so its terminal stage rendered CSV and materialized nothing, leaving
+// every build table empty (joins under ToCSV silently matched zero
+// rows).
+func TestJoinCSVSinkMaterializesBuildSide(t *testing.T) {
+	c := NewContext()
+	build := c.CSV("", CSVData([]byte("k,name\n1,one\n2,two\n")))
+	probe := c.CSV("", CSVData([]byte("k,v\n1,p1\n3,p3\n")))
+	res, err := probe.Join(build, "k", "k").ToCSV("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(res.CSV); got != "k,v,name\n1,p1,one\n" {
+		t.Fatalf("csv = %q", got)
+	}
+	if res.Metrics.Join.BuildRows != 2 {
+		t.Fatalf("build rows = %d, want 2", res.Metrics.Join.BuildRows)
+	}
+}
+
 // TestUniqueNoFramingCollision: regression for the old uniqueKey
 // encoding, which concatenated per-column renders with 0-byte/tag-byte
 // separators — these two distinct rows used to encode identically and

@@ -23,6 +23,8 @@ type Metrics struct {
 	Ingest IngestMetrics `json:"ingest"`
 	// Join tallies hash-join build and probe activity.
 	Join JoinMetrics `json:"join"`
+	// Batch tallies the columnar batch plane (§7).
+	Batch BatchMetrics `json:"batch"`
 	// Stages holds per-stage throughput figures in execution order.
 	Stages []StageMetrics `json:"stages,omitempty"`
 	// NumStages is the number of generated stages.
@@ -118,6 +120,36 @@ func (j JoinMetrics) HitRate() float64 {
 		return 0
 	}
 	return float64(j.ProbeHits) / float64(n)
+}
+
+// BatchMetrics tallies the columnar batch plane: how much of the run
+// stayed column-at-a-time versus bouncing to the row bridge at a stage
+// barrier, plus kernel-fusion and null-check-elision activity.
+type BatchMetrics struct {
+	// ColumnarRows counts row×kernel-group passes executed on the batch
+	// plane.
+	ColumnarRows int64 `json:"columnar_rows"`
+	// BouncedRows counts rows that left the batch plane at a stage
+	// barrier and finished on the compiled row bridge.
+	BouncedRows int64 `json:"bounced_rows"`
+	// FusedPasses counts fused kernel-group executions (one scan over a
+	// batch's selection vector, however many adjacent ops it covers).
+	FusedPasses int64 `json:"fused_passes"`
+	// NullElisions / NullChecked count per-batch argument-dispatch
+	// decisions: a column bound with the no-null inner loop versus one
+	// that kept its per-row null check.
+	NullElisions int64 `json:"null_elisions"`
+	NullChecked  int64 `json:"null_checked"`
+}
+
+// ElisionRate reports the fraction of batch argument bindings that
+// skipped per-row null checks.
+func (b BatchMetrics) ElisionRate() float64 {
+	n := b.NullElisions + b.NullChecked
+	if n == 0 {
+		return 0
+	}
+	return float64(b.NullElisions) / float64(n)
 }
 
 // LatencyMetrics bundles the run's latency distributions, recorded by
@@ -216,6 +248,13 @@ func newMetrics(m *metrics.Metrics) *Metrics {
 			Shards:       m.Join.Shards.Load(),
 			MaxShardRows: m.Join.MaxShardRows.Load(),
 		},
+		Batch: BatchMetrics{
+			ColumnarRows: m.Batch.ColumnarRows.Load(),
+			BouncedRows:  m.Batch.BouncedRows.Load(),
+			FusedPasses:  m.Batch.FusedPasses.Load(),
+			NullElisions: m.Batch.NullElisions.Load(),
+			NullChecked:  m.Batch.NullChecked.Load(),
+		},
 		NumStages: m.Stages,
 		Latency: LatencyMetrics{
 			Chunk:   newLatencySummary(m.Latency.Chunk),
@@ -274,6 +313,10 @@ func (m *Metrics) String() string {
 		if j.GeneralRows > 0 {
 			fmt.Fprintf(&sb, " general=%d", j.GeneralRows)
 		}
+	}
+	if b := m.Batch; b.ColumnarRows > 0 || b.BouncedRows > 0 {
+		fmt.Fprintf(&sb, " | batch: columnar=%d bounced=%d fused_passes=%d elision=%.2f",
+			b.ColumnarRows, b.BouncedRows, b.FusedPasses, b.ElisionRate())
 	}
 	for _, s := range m.Stages {
 		if s.Records == 0 && s.Bytes == 0 {

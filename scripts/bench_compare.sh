@@ -2,17 +2,21 @@
 # bench_compare.sh — regression gate over the committed benchmark
 # snapshot.
 #
-# Snapshots the committed BENCH_6.json baseline, reruns `make
-# bench-json` (which overwrites BENCH_6.json in place), and compares
+# Snapshots the committed BENCH_7.json baseline, reruns `make
+# bench-json` (which overwrites BENCH_7.json in place), and compares
 # the fresh numbers against the baseline. Fails when any benchmark
 # regresses by more than 25% in mb_per_sec or rows_per_sec, or grows
-# allocs_per_op beyond 2x. Improvements print a note; commit the
-# refreshed BENCH_6.json when they are real.
+# allocs_per_op beyond 2x. join/sharded additionally has a hard
+# allocs/op guard: the columnar build/probe path must stay within 2x
+# of the committed snapshot (the boxed bounce it removed cost ~210k
+# allocs/op; silently reverting to it would pass a rate-only gate on
+# a fast machine). Improvements print a note; commit the refreshed
+# BENCH_7.json when they are real.
 #
 # Usage: sh scripts/bench_compare.sh [baseline.json]
 set -eu
 
-BASE_FILE=${1:-BENCH_6.json}
+BASE_FILE=${1:-BENCH_7.json}
 if [ ! -f "$BASE_FILE" ]; then
     echo "bench_compare: baseline $BASE_FILE not found" >&2
     exit 2
@@ -59,6 +63,19 @@ for name, b in sorted(base.items()):
             print("ok        " + tag)
 for name in sorted(set(new) - set(base)):
     print(f"new       {name} (no baseline yet)")
+
+# Hard guard: join/sharded must keep the columnar build/probe path.
+# A revert to the boxed bounce multiplies allocs/op ~20x, which the
+# generic 2x gate above also catches — but only if the entry exists
+# in both files, so pin it explicitly.
+jb, jn = base.get("join/sharded"), new.get("join/sharded")
+if jb is None or jn is None:
+    failures.append("join/sharded: missing from baseline or fresh run")
+elif jb.get("allocs_per_op", 0) > 0 and \
+        jn.get("allocs_per_op", 0) > 2 * jb["allocs_per_op"]:
+    failures.append(
+        f"REGRESSION join/sharded allocs_per_op guard: "
+        f"{jb['allocs_per_op']} -> {jn['allocs_per_op']} (>2x; boxed bounce back?)")
 
 if failures:
     print()

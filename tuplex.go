@@ -27,6 +27,7 @@ import (
 	"github.com/gotuplex/tuplex/internal/core"
 	"github.com/gotuplex/tuplex/internal/logical"
 	"github.com/gotuplex/tuplex/internal/pyvalue"
+	"github.com/gotuplex/tuplex/internal/rows"
 )
 
 // ExcKind identifies a Python exception class for Resolve/Ignore.
@@ -273,11 +274,19 @@ const maxParallelizeWarnings = 5
 func (c *Context) Parallelize(data [][]any, columns []string) *DataSet {
 	var warns []string
 	skipped := 0
-	boxed := make([][]pyvalue.Value, len(data))
+	// Rows convert straight to the unboxed slot representation over one
+	// shared slab: scalar cells never touch the heap, and the engine
+	// samples, classifies and executes without a boxed detour.
+	ncells := 0
+	for _, r := range data {
+		ncells += len(r)
+	}
+	slab := make([]rows.Slot, 0, ncells)
+	slotRows := make([]rows.Row, len(data))
 	for i, r := range data {
-		row := make([]pyvalue.Value, len(r))
+		start := len(slab)
 		for j, v := range r {
-			bv, ok := boxValueChecked(v)
+			s, ok := slotFromAny(v)
 			if !ok {
 				if len(warns) < maxParallelizeWarnings {
 					col := fmt.Sprintf("%d", j)
@@ -290,15 +299,38 @@ func (c *Context) Parallelize(data [][]any, columns []string) *DataSet {
 					skipped++
 				}
 			}
-			row[j] = bv
+			slab = append(slab, s)
 		}
-		boxed[i] = row
+		slotRows[i] = slab[start:len(slab):len(slab)]
 	}
 	if skipped > 0 {
 		warns = append(warns, fmt.Sprintf("parallelize: %d more unsupported-type conversions", skipped))
 	}
-	src := &logical.ParallelizeSource{Rows: boxed, Names: columns}
+	src := &logical.ParallelizeSource{SlotRows: slotRows, Names: columns}
 	return &DataSet{ctx: c, node: &logical.Node{Op: src}, warns: warns}
+}
+
+// slotFromAny converts one Go value to a slot; scalars convert in place,
+// everything else goes through the boxed checker (ok=false when the
+// value was stringified with fmt.Sprint).
+func slotFromAny(v any) (rows.Slot, bool) {
+	switch v := v.(type) {
+	case nil:
+		return rows.Null(), true
+	case bool:
+		return rows.Bool(v), true
+	case int:
+		return rows.I64(int64(v)), true
+	case int64:
+		return rows.I64(v), true
+	case float64:
+		return rows.F64(v), true
+	case string:
+		return rows.Str(v), true
+	default:
+		bv, ok := boxValueChecked(v)
+		return rows.FromValue(bv), ok
+	}
 }
 
 func boxValue(v any) pyvalue.Value {
@@ -602,7 +634,22 @@ func (d *DataSet) run(kind core.SinkKind, path string) (*Result, error) {
 	if cr.Schema != nil {
 		res.Columns = cr.Schema.Names()
 	}
-	if cr.Rows != nil {
+	switch {
+	case cr.SlotRows != nil:
+		// Collect sinks return unboxed slot rows; box them here through
+		// the slab boxer (bulk eface construction instead of one
+		// interface allocation per cell).
+		var b rows.Boxer
+		ncells := 0
+		for _, r := range cr.SlotRows {
+			ncells += len(r)
+		}
+		b.Grow(1, ncells)
+		res.Rows = make([]Row, len(cr.SlotRows))
+		for i, r := range cr.SlotRows {
+			res.Rows[i] = Row(b.BoxRow(r))
+		}
+	case cr.Rows != nil:
 		res.Rows = make([]Row, len(cr.Rows))
 		for i, r := range cr.Rows {
 			row := make(Row, len(r))
