@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet tuplex-vet race check bench-ingest bench-smoke bench-json bench-compare telemetry-smoke trace-demo
+.PHONY: all build test vet tuplex-vet race check bench-ingest bench-smoke bench-json bench-compare telemetry-smoke serve-smoke trace-demo
 
 all: build test
 
@@ -44,17 +44,24 @@ telemetry-smoke:
 	sh scripts/telemetry_smoke.sh
 
 # Machine-readable benchmark snapshot (ingest, join, flights, compiler
-# optimizations) written to BENCH_7.json; commit the refreshed file
-# when performance-relevant code changes.
+# optimizations, serve cold/warm/throughput) written to BENCH_8.json;
+# commit the refreshed file when performance-relevant code changes.
 bench-json:
-	$(GO) run ./cmd/tuplex-bench -out BENCH_7.json bench-json
+	$(GO) run ./cmd/tuplex-bench -out BENCH_8.json bench-json
 
 # Regression gate: rerun bench-json and compare against the committed
-# BENCH_7.json; fails on >25% throughput drop or >2x allocs growth,
+# BENCH_8.json; fails on >25% throughput drop or >2x allocs growth,
 # with a hard guard on join/sharded allocs/op (the columnar-barrier
-# win this snapshot pins down).
+# win pinned down by the BENCH_7 snapshot).
 bench-compare:
 	sh scripts/bench_compare.sh
+
+# End-to-end check of the tuplex-serve daemon: zillow job answers 200,
+# byte-identical resubmission is a cache hit, cold p50 >= 10x warm p50
+# on a compile-heavy small job, >= 1k sustained jobs/sec, overload
+# sheds with 429s, SIGTERM drains cleanly.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # Run the Zillow example with full tracing: prints the span tree, the
 # per-operator row-routing ledger and sampled exception rows.

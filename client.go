@@ -1,0 +1,224 @@
+package tuplex
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to a tuplex-serve daemon's /v1/jobs API. The zero value
+// is unusable; construct with NewClient.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:5005").
+func NewClient(baseURL string) *Client {
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: &http.Client{}}
+}
+
+// Job is one submitted pipeline's lifecycle record, as reported by the
+// service: queued → running → done | failed | canceled.
+type Job struct {
+	ID          string `json:"id"`
+	State       string `json:"state"`
+	CacheHit    bool   `json:"cache_hit"`
+	Fingerprint string `json:"fingerprint"`
+
+	SubmittedAt time.Time `json:"submitted_at"`
+	DurationNS  int64     `json:"duration_ns"`
+
+	Error  string     `json:"error,omitempty"`
+	Result *JobResult `json:"result,omitempty"`
+}
+
+// Done reports whether the job reached a terminal state.
+func (j *Job) Done() bool {
+	return j.State == "done" || j.State == "failed" || j.State == "canceled"
+}
+
+// JobResult is a finished job's output: rows for collect/take sinks
+// (possibly truncated by the server's row cap), rendered CSV or its
+// output path for csv sinks, the accumulator for aggregate sinks.
+type JobResult struct {
+	Columns   []string `json:"columns,omitempty"`
+	Rows      [][]any  `json:"rows,omitempty"`
+	Value     any      `json:"value,omitempty"`
+	CSV       string   `json:"csv,omitempty"`
+	CSVPath   string   `json:"csv_path,omitempty"`
+	Truncated bool     `json:"truncated,omitempty"`
+
+	InputRows  int64 `json:"input_rows"`
+	OutputRows int64 `json:"output_rows"`
+	FailedRows int64 `json:"failed_rows"`
+}
+
+// ServiceError is a non-OK answer from the daemon. StatusCode
+// distinguishes admission rejections (429 over capacity, 413 over
+// budget, 503 draining) from job failures (500) and bad requests (400).
+type ServiceError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *ServiceError) Error() string {
+	return fmt.Sprintf("tuplex service: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// Submit runs the plan synchronously: it returns once the job reaches a
+// terminal state, with the result inline. A failed or canceled job
+// returns both the Job record and a *ServiceError.
+func (c *Client) Submit(ctx context.Context, p *Plan) (*Job, error) {
+	return c.submit(ctx, p, false)
+}
+
+// SubmitAsync enqueues the plan and returns immediately with the job id
+// (HTTP 202); poll with Job until Done.
+func (c *Client) SubmitAsync(ctx context.Context, p *Plan) (*Job, error) {
+	return c.submit(ctx, p, true)
+}
+
+func (c *Client) submit(ctx context.Context, p *Plan, async bool) (*Job, error) {
+	body, err := json.Marshal(p)
+	if err != nil {
+		return nil, err
+	}
+	url := c.base + "/v1/jobs"
+	if async {
+		url += "?wait=false"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req)
+}
+
+// Job fetches one job's current state by id.
+func (c *Client) Job(ctx context.Context, id string) (*Job, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.do(req)
+}
+
+// Jobs lists every job the daemon knows about (live plus the retained
+// finished ring), without result payloads.
+func (c *Client) Jobs(ctx context.Context) ([]Job, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp.StatusCode, raw)
+	}
+	var listing struct {
+		Jobs []Job `json:"jobs"`
+	}
+	if err := json.Unmarshal(raw, &listing); err != nil {
+		return nil, fmt.Errorf("tuplex service: decoding listing: %w", err)
+	}
+	return listing.Jobs, nil
+}
+
+// Cancel requests cancellation of a running job and returns its state
+// afterwards (a finished job is unaffected and reports its terminal
+// state).
+func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.do(req)
+}
+
+// Wait polls a job until it reaches a terminal state (use after
+// SubmitAsync). The poll interval backs off from 5ms to 250ms; ctx
+// bounds the overall wait.
+func (c *Client) Wait(ctx context.Context, id string) (*Job, error) {
+	delay := 5 * time.Millisecond
+	for {
+		j, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if j.Done() {
+			return j, nil
+		}
+		select {
+		case <-ctx.Done():
+			return j, context.Cause(ctx)
+		case <-time.After(delay):
+		}
+		if delay < 250*time.Millisecond {
+			delay *= 2
+		}
+	}
+}
+
+// do executes a request whose successful answers carry a Job document.
+// Answers that carry a job alongside an error status (failed/canceled
+// jobs) return both.
+func (c *Client) do(req *http.Request) (*Job, error) {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusAccepted:
+		var j Job
+		if err := json.Unmarshal(raw, &j); err != nil {
+			return nil, fmt.Errorf("tuplex service: decoding job: %w", err)
+		}
+		return &j, nil
+	case http.StatusInternalServerError, http.StatusGatewayTimeout:
+		// The body is still a job document for sync submissions that
+		// failed or were canceled.
+		var j Job
+		if err := json.Unmarshal(raw, &j); err == nil && j.ID != "" {
+			return &j, decodeError(resp.StatusCode, raw)
+		}
+		return nil, decodeError(resp.StatusCode, raw)
+	default:
+		return nil, decodeError(resp.StatusCode, raw)
+	}
+}
+
+func decodeError(code int, raw []byte) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	msg := strings.TrimSpace(string(raw))
+	if err := json.Unmarshal(raw, &e); err == nil && e.Error != "" {
+		msg = e.Error
+	} else {
+		var j Job
+		if err := json.Unmarshal(raw, &j); err == nil && j.Error != "" {
+			msg = j.Error
+		}
+	}
+	return &ServiceError{StatusCode: code, Message: msg}
+}

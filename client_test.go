@@ -1,0 +1,104 @@
+package tuplex
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/gotuplex/tuplex/internal/service"
+	"github.com/gotuplex/tuplex/internal/telemetry"
+)
+
+// TestClientEndToEnd drives a real daemon through the public client:
+// sync submit, warm resubmit (cache hit), async submit + wait, listing,
+// cancel semantics and typed rejection errors.
+func TestClientEndToEnd(t *testing.T) {
+	srv, err := service.Serve(service.Config{
+		Addr:     "127.0.0.1:0",
+		Registry: telemetry.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl := NewClient("http://" + srv.Addr())
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	c := NewContext(WithExecutors(1))
+	pl, err := c.Parallelize([][]any{{int64(1)}, {int64(2)}, {int64(3)}}, []string{"a"}).
+		Map(UDF("lambda a: a * k").WithGlobal("k", int64(5))).
+		Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold, err := cl.Submit(ctx, pl)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if cold.State != "done" || cold.CacheHit || cold.Result == nil {
+		t.Fatalf("cold job: %+v", cold)
+	}
+	if len(cold.Result.Rows) != 3 || cold.Result.Rows[0][0].(float64) != 5 {
+		t.Fatalf("cold rows: %v", cold.Result.Rows)
+	}
+
+	warm, err := cl.Submit(ctx, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit {
+		t.Fatalf("identical resubmission must hit the plan cache: %+v", warm)
+	}
+	if fp, _ := pl.Fingerprint(); fp != warm.Fingerprint {
+		t.Fatalf("client and server fingerprints disagree: %s vs %s", fp, warm.Fingerprint)
+	}
+
+	async, err := cl.SubmitAsync(ctx, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finished, err := cl.Wait(ctx, async.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finished.State != "done" || !finished.CacheHit {
+		t.Fatalf("async job: %+v", finished)
+	}
+
+	jobs, err := cl.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("want 3 listed jobs, got %d", len(jobs))
+	}
+
+	// Cancel on a finished job reports its terminal state untouched.
+	got, err := cl.Cancel(ctx, finished.ID)
+	if err != nil || got.State != "done" {
+		t.Fatalf("cancel finished: %+v / %v", got, err)
+	}
+
+	// A job that fails at runtime returns both the record and a typed
+	// error.
+	badPlan, err := ParsePlan([]byte(`{"v":1,"source":{"kind":"csv","path":"/does/not/exist.csv"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed, err := cl.Submit(ctx, badPlan)
+	var se *ServiceError
+	if !errors.As(err, &se) || se.StatusCode != 500 {
+		t.Fatalf("want ServiceError 500, got %v", err)
+	}
+	if failed == nil || failed.State != "failed" || failed.Error == "" {
+		t.Fatalf("failed job record: %+v", failed)
+	}
+
+	// Unknown job ids surface as typed 404s.
+	if _, err := cl.Job(ctx, "nope"); !errors.As(err, &se) || se.StatusCode != 404 {
+		t.Fatalf("want ServiceError 404, got %v", err)
+	}
+}

@@ -21,7 +21,7 @@
 //	-listen ADDR   serve /metrics, /debug/tuplex/runz and pprof while the
 //	               experiments run (runs are monitored automatically)
 //	-progress      live TTY progress line (stage, rows, rate, exc%, ETA)
-//	-out F         output path for the bench-json experiment (default BENCH_7.json)
+//	-out F         output path for the bench-json experiment (default BENCH_8.json)
 package main
 
 import (
@@ -45,7 +45,7 @@ func main() {
 	traceDir := flag.String("trace", "", "trace Tuplex runs and write <dir>/<id>.trace.json")
 	listen := flag.String("listen", "", "introspection server address (e.g. :9090)")
 	progress := flag.Bool("progress", false, "live TTY progress line for the running experiment")
-	benchOut := flag.String("out", "BENCH_7.json", "output path for bench-json")
+	benchOut := flag.String("out", "BENCH_8.json", "output path for bench-json")
 	flag.Parse()
 
 	if *listen != "" {

@@ -1,0 +1,314 @@
+// Command tuplex-loadgen drives a tuplex-serve daemon with pipeline
+// submissions and reports throughput, latency percentiles, cache-hit
+// counts and admission rejections. It is both the serve-smoke harness
+// (cold-vs-warm assertions) and the overload probe (the daemon must
+// shed load with 429s instead of collapsing).
+//
+// The run has two phases: a cold phase submits each distinct plan
+// variant once (first-touch latency includes sampling + compilation),
+// then a sustained phase re-submits the same plans -n times (or for
+// -duration) across -c workers, where every submission should be a
+// cache hit.
+//
+// Usage:
+//
+//	tuplex-loadgen -addr http://127.0.0.1:5005 [flags]
+//
+// Flags:
+//
+//	-pipeline tiny|small|zillow  built-in workload (default small)
+//	-spec FILE              submit this plan JSON instead of a built-in
+//	-zillow-rows N          rows for the zillow workload (default 20000)
+//	-distinct N             rotate N fingerprint-distinct variants (default 1)
+//	-n N                    sustained submissions (default 0: use -duration)
+//	-duration D             sustained-phase length when -n is 0 (default 3s)
+//	-c N                    concurrent submitters (default 16)
+//	-assert-hits            fail unless every sustained submission hit the cache
+//	-assert-speedup F       fail unless cold p50 / warm p50 >= F
+//	-assert-min-rate F      fail unless sustained jobs/sec >= F
+//	-expect-429             fail unless at least one submission was rejected 429
+//	-out FILE               write the JSON report to FILE (default stdout only)
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	tuplex "github.com/gotuplex/tuplex"
+	"github.com/gotuplex/tuplex/internal/data"
+	"github.com/gotuplex/tuplex/internal/pipelines"
+)
+
+// Report is the machine-readable run summary (-out).
+type Report struct {
+	Pipeline  string `json:"pipeline"`
+	Distinct  int    `json:"distinct"`
+	Workers   int    `json:"workers"`
+	Submitted int64  `json:"submitted"`
+	OK        int64  `json:"ok"`
+	Rejected  int64  `json:"rejected_429"`
+	Failed    int64  `json:"failed"`
+	CacheHits int64  `json:"cache_hits"`
+
+	ColdP50NS int64   `json:"cold_p50_ns"`
+	WarmP50NS int64   `json:"warm_p50_ns"`
+	WarmP99NS int64   `json:"warm_p99_ns"`
+	Speedup   float64 `json:"cold_over_warm_p50"`
+
+	DurationS  float64 `json:"duration_s"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:5005", "daemon base URL")
+	pipeline := flag.String("pipeline", "small", "built-in workload: tiny | small | zillow")
+	specFile := flag.String("spec", "", "submit this plan JSON file instead of a built-in")
+	zillowRows := flag.Int("zillow-rows", 20000, "rows for the zillow workload")
+	distinct := flag.Int("distinct", 1, "fingerprint-distinct plan variants to rotate")
+	n := flag.Int64("n", 0, "sustained submissions (0: run for -duration)")
+	duration := flag.Duration("duration", 3*time.Second, "sustained-phase length when -n is 0")
+	workers := flag.Int("c", 16, "concurrent submitters")
+	assertHits := flag.Bool("assert-hits", false, "fail unless every sustained submission hit the cache")
+	assertSpeedup := flag.Float64("assert-speedup", 0, "fail unless cold p50 / warm p50 >= this")
+	assertMinRate := flag.Float64("assert-min-rate", 0, "fail unless sustained jobs/sec >= this")
+	expect429 := flag.Bool("expect-429", false, "fail unless at least one submission was rejected 429")
+	out := flag.String("out", "", "write the JSON report here too")
+	flag.Parse()
+
+	plans, cleanup, err := buildPlans(*pipeline, *specFile, *distinct, *zillowRows)
+	if err != nil {
+		fatal(err)
+	}
+	defer cleanup()
+
+	cl := tuplex.NewClient(*addr)
+	ctx := context.Background()
+	rep := Report{Pipeline: *pipeline, Distinct: len(plans), Workers: *workers}
+	if *specFile != "" {
+		rep.Pipeline = *specFile
+	}
+
+	// Cold phase: first touch of each variant compiles.
+	var coldNS []int64
+	for i, p := range plans {
+		t0 := time.Now()
+		j, err := cl.Submit(ctx, p)
+		if err != nil {
+			fatal(fmt.Errorf("cold submit %d: %w", i, err))
+		}
+		coldNS = append(coldNS, time.Since(t0).Nanoseconds())
+		if j.CacheHit {
+			fmt.Fprintf(os.Stderr, "loadgen: warning: cold submission %d was already cached\n", i)
+		}
+	}
+	rep.ColdP50NS = percentile(coldNS, 50)
+
+	// Sustained phase: re-submission storm.
+	var (
+		submitted, ok, rejected, failed, hits atomic.Int64
+		mu                                    sync.Mutex
+		warmNS                                []int64
+	)
+	deadline := time.Now().Add(*duration)
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if *n > 0 {
+					if i >= *n {
+						return
+					}
+				} else if time.Now().After(deadline) {
+					return
+				}
+				p := plans[int(i)%len(plans)]
+				t0 := time.Now()
+				j, err := cl.Submit(ctx, p)
+				el := time.Since(t0).Nanoseconds()
+				submitted.Add(1)
+				var se *tuplex.ServiceError
+				switch {
+				case err == nil:
+					ok.Add(1)
+					if j.CacheHit {
+						hits.Add(1)
+					}
+					mu.Lock()
+					warmNS = append(warmNS, el)
+					mu.Unlock()
+				case errors.As(err, &se) && se.StatusCode == 429:
+					rejected.Add(1)
+				default:
+					failed.Add(1)
+					fmt.Fprintf(os.Stderr, "loadgen: submit: %v\n", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep.Submitted = submitted.Load()
+	rep.OK = ok.Load()
+	rep.Rejected = rejected.Load()
+	rep.Failed = failed.Load()
+	rep.CacheHits = hits.Load()
+	rep.WarmP50NS = percentile(warmNS, 50)
+	rep.WarmP99NS = percentile(warmNS, 99)
+	rep.DurationS = elapsed.Seconds()
+	if elapsed > 0 {
+		rep.JobsPerSec = float64(rep.OK+rep.Rejected) / elapsed.Seconds()
+	}
+	if rep.WarmP50NS > 0 {
+		rep.Speedup = float64(rep.ColdP50NS) / float64(rep.WarmP50NS)
+	}
+
+	b, _ := json.MarshalIndent(rep, "", "  ")
+	fmt.Println(string(b))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	if rep.Failed > 0 {
+		fatal(fmt.Errorf("%d submissions failed outright", rep.Failed))
+	}
+	if *assertHits && rep.CacheHits != rep.OK {
+		fatal(fmt.Errorf("assert-hits: only %d/%d sustained submissions hit the cache", rep.CacheHits, rep.OK))
+	}
+	if *assertSpeedup > 0 && rep.Speedup < *assertSpeedup {
+		fatal(fmt.Errorf("assert-speedup: cold/warm p50 = %.1fx, want >= %.1fx (cold %dns, warm %dns)",
+			rep.Speedup, *assertSpeedup, rep.ColdP50NS, rep.WarmP50NS))
+	}
+	if *assertMinRate > 0 && rep.JobsPerSec < *assertMinRate {
+		fatal(fmt.Errorf("assert-min-rate: %.0f jobs/sec, want >= %.0f", rep.JobsPerSec, *assertMinRate))
+	}
+	if *expect429 && rep.Rejected == 0 {
+		fatal(errors.New("expect-429: the daemon never shed load"))
+	}
+}
+
+// buildPlans returns count fingerprint-distinct variants of the chosen
+// workload (distinct via a per-variant global constant, so each one
+// compiles separately but is individually cacheable).
+func buildPlans(pipeline, specFile string, count, zillowRows int) ([]*tuplex.Plan, func(), error) {
+	cleanup := func() {}
+	if count < 1 {
+		count = 1
+	}
+	if specFile != "" {
+		raw, err := os.ReadFile(specFile)
+		if err != nil {
+			return nil, cleanup, err
+		}
+		p, err := tuplex.ParsePlan(raw)
+		if err != nil {
+			return nil, cleanup, fmt.Errorf("%s: %w", specFile, err)
+		}
+		return []*tuplex.Plan{p}, cleanup, nil
+	}
+	var mk func(k int64) (*tuplex.Plan, error)
+	switch pipeline {
+	case "tiny":
+		// Minimal spec and minimal execution: measures the service's
+		// per-job floor (HTTP + decode + fingerprint + cache hit + run).
+		mk = func(k int64) (*tuplex.Plan, error) {
+			c := tuplex.NewContext(tuplex.WithExecutors(1))
+			return c.Parallelize([][]any{{int64(1)}, {int64(2)}, {int64(3)}, {int64(4)}}, []string{"a"}).
+				Map(tuplex.UDF("lambda a: a * k + 1").WithGlobal("k", k)).
+				Plan()
+		}
+	case "small":
+		// Tiny data, expression-heavy plan: execution is microseconds, so
+		// the cold/warm gap isolates what the cache actually saves —
+		// sampling, type inference and code generation scale with UDF AST
+		// size, while the compiled closures evaluate the same expressions
+		// in nanoseconds per row.
+		mk = func(k int64) (*tuplex.Plan, error) {
+			c := tuplex.NewContext(tuplex.WithExecutors(1))
+			d := c.Parallelize([][]any{
+				{int64(1), "aa"}, {int64(2), "bb"}, {int64(3), "cc"}, {int64(4), "dd"},
+			}, []string{"a", "s"})
+			prev := "a"
+			for i := 0; i < 6; i++ {
+				col := fmt.Sprintf("c%d", i)
+				var sb []byte
+				sb = fmt.Appendf(sb, "lambda x: x['%s'] + k0", prev)
+				for t := 0; t < 40; t++ {
+					sb = fmt.Appendf(sb, " + (x['%s'] * %d if x['%s'] %% %d == 0 else %d - x['%s'])",
+						prev, t+1, prev, t+2, t, prev)
+				}
+				udf := tuplex.UDF(string(sb)).WithGlobal("k0", k)
+				d = d.WithColumn(col, udf)
+				prev = col
+			}
+			return d.SelectColumns("a", prev, "s").Plan()
+		}
+	case "zillow":
+		dir, err := os.MkdirTemp("", "tuplex-loadgen")
+		if err != nil {
+			return nil, cleanup, err
+		}
+		cleanup = func() { os.RemoveAll(dir) }
+		path := filepath.Join(dir, "zillow.csv")
+		raw := data.Zillow(data.ZillowConfig{Rows: zillowRows, Seed: 7})
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			return nil, cleanup, err
+		}
+		mk = func(k int64) (*tuplex.Plan, error) {
+			c := tuplex.NewContext()
+			p, err := pipelines.Zillow(c.CSV(path)).Plan()
+			if err != nil {
+				return nil, err
+			}
+			return p.WithCSVSink(""), nil
+		}
+		if count > 1 {
+			return nil, cleanup, errors.New("zillow workload does not support -distinct > 1")
+		}
+	default:
+		return nil, cleanup, fmt.Errorf("unknown pipeline %q (want small or zillow)", pipeline)
+	}
+	plans := make([]*tuplex.Plan, count)
+	for i := range plans {
+		p, err := mk(int64(i))
+		if err != nil {
+			return nil, cleanup, err
+		}
+		plans[i] = p
+	}
+	return plans, cleanup, nil
+}
+
+func percentile(ns []int64, p int) int64 {
+	if len(ns) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), ns...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := len(s) * p / 100
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tuplex-loadgen:", err)
+	os.Exit(1)
+}

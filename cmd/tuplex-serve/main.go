@@ -1,0 +1,75 @@
+// Command tuplex-serve runs the long-lived multi-tenant query service:
+// an HTTP daemon that accepts versioned JSON pipeline specs on
+// /v1/jobs, executes them under admission control, and caches compiled
+// pipelines so byte-identical resubmissions skip sampling and
+// compilation.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs            submit a pipeline spec (?wait=false for async)
+//	GET    /v1/jobs            list jobs
+//	GET    /v1/jobs/{id}       one job's state and result
+//	DELETE /v1/jobs/{id}       cancel a running job
+//	GET    /metrics            Prometheus text exposition (tuplex_service_*)
+//	GET    /debug/tuplex/runz  JSON introspection (jobs, cache, live runs)
+//
+// SIGTERM/SIGINT triggers a graceful drain: the listener stops
+// accepting submissions (503), in-flight jobs finish (bounded by
+// -drain-timeout), stragglers are canceled at the next chunk boundary.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/gotuplex/tuplex/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:5005", "listen address (use :0 for a free port)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max jobs executing at once (default: GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 64, "submissions allowed to wait for a slot; -1 disables queuing")
+	cacheEntries := flag.Int("cache-entries", 64, "compiled-pipeline cache capacity (plans)")
+	executorsPerJob := flag.Int("executors-per-job", 0, "clamp on per-job executor pools (0 = no clamp)")
+	memoryBudget := flag.Int64("memory-budget", 0, "max input bytes one job may reference (0 = unlimited)")
+	requestTimeout := flag.Duration("request-timeout", 60*time.Second, "per-job deadline, queue wait included")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
+	maxResultRows := flag.Int("max-result-rows", 10000, "rows inlined into a job response before truncation")
+	maxBodyBytes := flag.Int64("max-body-bytes", 8<<20, "request body cap in bytes")
+	flag.Parse()
+
+	srv, err := service.Serve(service.Config{
+		Addr:            *addr,
+		MaxConcurrent:   *maxConcurrent,
+		QueueDepth:      *queueDepth,
+		CacheEntries:    *cacheEntries,
+		ExecutorsPerJob: *executorsPerJob,
+		MemoryBudget:    *memoryBudget,
+		RequestTimeout:  *requestTimeout,
+		DrainTimeout:    *drainTimeout,
+		MaxResultRows:   *maxResultRows,
+		MaxBodyBytes:    *maxBodyBytes,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tuplex-serve:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "tuplex-serve: listening on %s (POST /v1/jobs)\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	s := <-sig
+	fmt.Fprintf(os.Stderr, "tuplex-serve: %s received, draining (timeout %s)\n", s, *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout+5*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "tuplex-serve: drain:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "tuplex-serve: drained cleanly")
+}

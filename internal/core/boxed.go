@@ -44,8 +44,10 @@ type boxedUDF struct {
 	dictParam bool
 }
 
-// compileBoxedUDF prepares a UDF for the exception paths.
-func (eng *engine) compileBoxedUDF(spec *logical.UDFSpec) (*boxedUDF, error) {
+// compileBoxedUDF prepares a UDF for the exception paths. It is a free
+// function (not an engine method) because cached-plan clones rebuild
+// their boxed programs outside any live run.
+func compileBoxedUDF(spec *logical.UDFSpec) (*boxedUDF, error) {
 	u := &boxedUDF{spec: spec, ip: interp.New(spec.Globals)}
 	u.dictParam = len(spec.Access.ByName) > 0 || len(spec.Access.ByIndex) == 0
 	if compiled, err := u.ip.Compile(spec.Fn); err == nil {
@@ -150,7 +152,7 @@ func (cs *compiledStage) cloneBoxedProgram() []*boxedOp {
 		if u == nil {
 			return nil
 		}
-		nu, err := cs.eng.compileBoxedUDF(u.spec)
+		nu, err := compileBoxedUDF(u.spec)
 		if err != nil {
 			return u
 		}
@@ -497,6 +499,10 @@ func (eng *engine) resolveExceptions(cs *compiledStage, out *mat) error {
 	}
 	outcomes := make([]exOutcome, len(pool))
 	workers := eng.opts.Executors
+	// Cancellation is observed every 256 rows; the parallel fan-out
+	// finishes its wg.Wait before bailing so no worker is abandoned
+	// mid-chunk with half-written outcomes.
+	var ctxStop atomic.Bool
 	if workers > 1 && len(pool) >= 64 {
 		var wg sync.WaitGroup
 		chunk := (len(pool) + workers - 1) / workers
@@ -514,6 +520,10 @@ func (eng *engine) resolveExceptions(cs *compiledStage, out *mat) error {
 				defer wg.Done()
 				prog := cs.cloneBoxedProgram()
 				for i := lo; i < hi; i++ {
+					if (i-lo)&0xff == 0 && (ctxStop.Load() || eng.canceled() != nil) {
+						ctxStop.Store(true)
+						return
+					}
 					vals := genVals(&pool[i])
 					outRows, resolved, err := runResolve(prog, pathGeneral, vals)
 					outcomes[i] = exOutcome{vals: vals, outRows: outRows, resolved: resolved, err: err, mode: pathGeneral}
@@ -521,8 +531,18 @@ func (eng *engine) resolveExceptions(cs *compiledStage, out *mat) error {
 			}(lo, hi)
 		}
 		wg.Wait()
+		if ctxStop.Load() {
+			if err := eng.canceled(); err != nil {
+				return err
+			}
+		}
 	} else {
 		for i := range pool {
+			if i&0xff == 0 {
+				if err := eng.canceled(); err != nil {
+					return err
+				}
+			}
 			vals := genVals(&pool[i])
 			outRows, resolved, err := runResolve(cs.boxed, pathGeneral, vals)
 			outcomes[i] = exOutcome{vals: vals, outRows: outRows, resolved: resolved, err: err, mode: pathGeneral}
@@ -532,6 +552,11 @@ func (eng *engine) resolveExceptions(cs *compiledStage, out *mat) error {
 	// Phase 2 — retries on the interpreter fallback run serially (the
 	// GIL analog), then terminal application in input order.
 	for i := range pool {
+		if i&0xff == 0 {
+			if err := eng.canceled(); err != nil {
+				return err
+			}
+		}
 		ex := pool[i]
 		oc := &outcomes[i]
 		vals := oc.vals
@@ -683,7 +708,7 @@ func (eng *engine) combinePartials(cs *compiledStage, boxedAgg pyvalue.Value, bo
 			next := make([]pyvalue.Value, (len(partials)+1)/2)
 			errs := make([]error, pairs)
 			eng.parallelFor(pairs, func(i int) {
-				cu, err := eng.compileBoxedUDF(cs.combUDF.spec)
+				cu, err := compileBoxedUDF(cs.combUDF.spec)
 				if err != nil {
 					errs[i] = err
 					return

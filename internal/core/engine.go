@@ -16,6 +16,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -147,12 +148,39 @@ type Result struct {
 	Warnings []string
 }
 
+// ErrCanceled reports that an execution stopped because its context was
+// canceled or its deadline expired. Errors returned by the context-aware
+// entry points wrap it, so callers test with errors.Is(err, ErrCanceled).
+var ErrCanceled = errors.New("execution canceled")
+
 // Execute runs the plan rooted at sink.
 func Execute(sinkNode *logical.Node, kind SinkKind, csvPath string, opts Options) (*Result, error) {
+	return ExecuteContext(context.Background(), sinkNode, kind, csvPath, opts)
+}
+
+// ExecuteContext runs the plan rooted at sink under ctx. Cancellation is
+// observed at chunk/task boundaries (never per row), so a canceled run
+// stops within one partition's worth of work and returns an error
+// wrapping ErrCanceled.
+func ExecuteContext(ctx context.Context, sinkNode *logical.Node, kind SinkKind, csvPath string, opts Options) (*Result, error) {
+	res, _, err := executeWith(ctx, sinkNode, kind, csvPath, opts, false)
+	return res, err
+}
+
+// CompileAndExecute runs the plan like ExecuteContext and additionally
+// captures the compiled stages into a CompiledPlan: the sampled normal
+// case, the generated stage closures, the batch plans and the join build
+// tables survive the run and can be re-executed against fresh inputs
+// with (*CompiledPlan).Execute, skipping sampling and compilation.
+func CompileAndExecute(ctx context.Context, sinkNode *logical.Node, kind SinkKind, csvPath string, opts Options) (*Result, *CompiledPlan, error) {
+	return executeWith(ctx, sinkNode, kind, csvPath, opts, true)
+}
+
+func executeWith(ctx context.Context, sinkNode *logical.Node, kind SinkKind, csvPath string, opts Options, capture bool) (*Result, *CompiledPlan, error) {
 	opts = opts.withDefaults()
 	res := &Result{Metrics: &metrics.Metrics{}}
 	t0 := time.Now()
-	eng := &engine{opts: opts, res: res, sink: kind, tr: trace.New(opts.Trace)}
+	eng := &engine{ctx: ctx, opts: opts, res: res, sink: kind, tr: trace.New(opts.Trace), capture: capture}
 	// Live monitoring: only when opted in (or an introspection server is
 	// up) does a RunMonitor exist — with mon nil every hook below is a
 	// nil-receiver no-op and the execution path is the unmonitored one.
@@ -173,7 +201,7 @@ func Execute(sinkNode *logical.Node, kind SinkKind, csvPath string, opts Options
 	if optimized {
 		plan, err = logical.Optimize(sinkNode, opts.Logical)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	res.Metrics.Timings.Optimize = time.Since(tOpt)
@@ -181,11 +209,11 @@ func Execute(sinkNode *logical.Node, kind SinkKind, csvPath string, opts Options
 
 	out, err := eng.runChain(plan)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	tSink := time.Now()
 	if err := eng.finish(out, kind, csvPath, res); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	eng.tr.Child("sink", time.Since(tSink),
 		trace.Str("kind", sinkName(kind)),
@@ -194,7 +222,11 @@ func Execute(sinkNode *logical.Node, kind SinkKind, csvPath string, opts Options
 	res.Warnings = append(res.Warnings, eng.warns.flush()...)
 	res.Metrics.Latency = eng.mon.Latency()
 	res.Trace = eng.tr.Finish()
-	return res, nil
+	var cp *CompiledPlan
+	if capture {
+		cp = newCompiledPlan(eng)
+	}
+	return res, cp, nil
 }
 
 func sinkName(kind SinkKind) string {
@@ -206,8 +238,14 @@ func sinkName(kind SinkKind) string {
 
 // engine carries run-wide state.
 type engine struct {
+	// ctx is the run's cancellation context (nil means background).
+	// Checked at chunk/task boundaries only, never per row.
+	ctx  context.Context
 	opts Options
 	res  *Result
+	// capture/captured collect the compiled stages for CompileAndExecute.
+	capture  bool
+	captured []*stageTemplate
 	// sink is the requested output form; the final stage's terminal
 	// renders CSV directly when it is SinkCSV.
 	sink SinkKind
@@ -222,6 +260,21 @@ type engine struct {
 	// warns collects advisory messages with per-source caps; Execute
 	// flushes it into Result.Warnings.
 	warns warnings
+}
+
+// canceled returns the run's cancellation error when eng.ctx is done,
+// nil otherwise. Call sites sit at partition/chunk/stage boundaries so
+// the per-row hot paths stay uninstrumented.
+func (eng *engine) canceled() error {
+	if eng.ctx == nil {
+		return nil
+	}
+	select {
+	case <-eng.ctx.Done():
+		return fmt.Errorf("core: %w: %w", ErrCanceled, context.Cause(eng.ctx))
+	default:
+		return nil
+	}
 }
 
 // exRow is one pooled exception row awaiting slow-path processing.
@@ -269,6 +322,9 @@ func (eng *engine) runChain(sinkNode *logical.Node) (*mat, error) {
 	eng.mon.SetStages(eng.res.Metrics.Stages)
 	var cur *mat
 	for si := range pplan.Stages {
+		if err := eng.canceled(); err != nil {
+			return nil, err
+		}
 		st := &pplan.Stages[si]
 		cur, err = eng.runStage(st, cur)
 		if err != nil {
@@ -278,17 +334,24 @@ func (eng *engine) runChain(sinkNode *logical.Node) (*mat, error) {
 	return cur, nil
 }
 
-// runStage compiles and executes one stage over its input.
-func (eng *engine) runStage(st *physical.Stage, input *mat) (*mat, error) {
+// beginStage opens a stage span and points eng.curStage at it; the
+// returned func restores the previous current stage (call via defer).
+func (eng *engine) beginStage(nops int) (*trace.Span, func()) {
 	stageIdx := eng.stageSeq
 	eng.stageSeq++
 	eng.mon.SetStage(stageIdx)
 	ssp := eng.tr.Begin("stage",
 		trace.Int("index", int64(stageIdx)),
-		trace.Int("ops", int64(len(st.Ops))))
+		trace.Int("ops", int64(nops)))
 	prevStage := eng.curStage
 	eng.curStage = ssp
-	defer func() { eng.curStage = prevStage }()
+	return ssp, func() { eng.curStage = prevStage }
+}
+
+// runStage compiles and executes one stage over its input.
+func (eng *engine) runStage(st *physical.Stage, input *mat) (*mat, error) {
+	ssp, restore := eng.beginStage(len(st.Ops))
+	defer restore()
 
 	tCompile := time.Now()
 	cs, err := eng.compileStage(st, input)
@@ -302,7 +365,16 @@ func (eng *engine) runStage(st *physical.Stage, input *mat) (*mat, error) {
 		eng.tr.Child("sample", cs.sampleTime)
 	}
 	eng.tr.Child("compile", dCompile, trace.Int("udfs", int64(cs.nUDFs)))
+	if eng.capture {
+		eng.captured = append(eng.captured, &stageTemplate{st: st, cs: cs})
+	}
+	return eng.execAndResolve(cs, ssp)
+}
 
+// execAndResolve runs a compiled stage's partitions and the post-facto
+// exception-resolution pass, closing the stage span. Shared by the cold
+// path (runStage) and the cached path ((*CompiledPlan).Execute).
+func (eng *engine) execAndResolve(cs *compiledStage, ssp *trace.Span) (*mat, error) {
 	esp := eng.tr.Begin("execute")
 	tExec := time.Now()
 	bytes0 := eng.res.Metrics.Ingest.BytesRead.Load()
@@ -425,6 +497,11 @@ func (eng *engine) executeStage(cs *compiledStage) (*mat, error) {
 			body := func(context.Context) {
 				for p := range partCh {
 					if stop.Load() {
+						continue
+					}
+					if err := eng.canceled(); err != nil {
+						errs[w] = err
+						stop.Store(true)
 						continue
 					}
 					ts := cs.newTask(eng, p)

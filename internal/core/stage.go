@@ -730,7 +730,7 @@ func (eng *engine) compileStage(st *physical.Stage, input *mat) (*compiledStage,
 			if lastHandlers == nil {
 				return nil, fmt.Errorf("core: resolve() without a preceding UDF operator")
 			}
-			bu, err := eng.compileBoxedUDF(op.UDF)
+			bu, err := compileBoxedUDF(op.UDF)
 			if err != nil {
 				return nil, err
 			}
@@ -1012,7 +1012,7 @@ func paramStyle(spec *logical.UDFSpec, schema *types.Schema) (scalar bool, param
 // the operator in warnings and trace output.
 func (eng *engine) compileUDF(spec *logical.UDFSpec, paramTypes []types.Type, scalar bool, colFacts []dataflow.ColFact, label string) (*stageUDF, error) {
 	su := &stageUDF{spec: spec, scalarParam: scalar}
-	bu, err := eng.compileBoxedUDF(spec)
+	bu, err := compileBoxedUDF(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -1142,33 +1142,13 @@ func (eng *engine) prepareSource(cs *compiledStage, st *physical.Stage, input *m
 			cs.stream = ss
 			cs.sampleTime = time.Since(t0)
 		} else {
-			data := src.Data
-			addData := func(data []byte) {
-				recs := csvio.SplitRecords(data)
-				if src.Header && len(recs) > 0 {
-					// Each file carries its own header; the first one names
-					// the columns, the rest are dropped.
-					if names == nil && src.Columns == nil {
-						names = csvio.SplitCells(recs[0], delim, nil)
-					}
-					recs = recs[1:]
-				}
-				records = append(records, recs...)
+			var bytesRead int64
+			var err error
+			records, names, bytesRead, err = readCSVRecords(src, delim)
+			if err != nil {
+				return err
 			}
-			if data != nil {
-				addData(data)
-			} else {
-				// The paper's pipelines open multi-file inputs as
-				// ','.join(paths); accept the same spelling.
-				for _, path := range strings.Split(src.Path, ",") {
-					data, err := os.ReadFile(strings.TrimSpace(path))
-					if err != nil {
-						return fmt.Errorf("core: reading %s: %w", path, err)
-					}
-					eng.res.Metrics.Ingest.BytesRead.Add(int64(len(data)))
-					addData(data)
-				}
-			}
+			eng.res.Metrics.Ingest.BytesRead.Add(bytesRead)
 			if len(records) == 0 {
 				return fmt.Errorf("core: empty CSV input %s", src.Path)
 			}
@@ -1215,16 +1195,11 @@ func (eng *engine) prepareSource(cs *compiledStage, st *physical.Stage, input *m
 			}
 			cs.stream = ss
 		} else {
-			data := src.Data
-			if data == nil {
-				var err error
-				data, err = os.ReadFile(src.Path)
-				if err != nil {
-					return fmt.Errorf("core: reading %s: %w", src.Path, err)
-				}
-				eng.res.Metrics.Ingest.BytesRead.Add(int64(len(data)))
+			lines, bytesRead, err := readTextLines(src)
+			if err != nil {
+				return err
 			}
-			lines := splitPlainLines(data)
+			eng.res.Metrics.Ingest.BytesRead.Add(bytesRead)
 			cs.records = lines
 			cs.partRanges = splitRange(len(lines), eng.partSize(len(lines)))
 		}
@@ -1276,6 +1251,52 @@ func (eng *engine) prepareSource(cs *compiledStage, st *physical.Stage, input *m
 		cs.nullValues = csvio.DefaultNullValues
 	}
 	return nil
+}
+
+// readCSVRecords materializes a CSV source's records: inline data, or
+// the paper's ','.join(paths) multi-file spelling. Each file carries its
+// own header; the first one names the columns (unless configured), the
+// rest are dropped. Shared by the cold path and cached-plan rebinding.
+func readCSVRecords(src *logical.CSVSource, delim byte) (records [][]byte, names []string, bytesRead int64, err error) {
+	addData := func(data []byte) {
+		recs := csvio.SplitRecords(data)
+		if src.Header && len(recs) > 0 {
+			if names == nil && src.Columns == nil {
+				names = csvio.SplitCells(recs[0], delim, nil)
+			}
+			recs = recs[1:]
+		}
+		records = append(records, recs...)
+	}
+	if src.Data != nil {
+		addData(src.Data)
+		return records, names, 0, nil
+	}
+	for _, path := range strings.Split(src.Path, ",") {
+		data, rerr := os.ReadFile(strings.TrimSpace(path))
+		if rerr != nil {
+			return nil, nil, bytesRead, fmt.Errorf("core: reading %s: %w", path, rerr)
+		}
+		bytesRead += int64(len(data))
+		addData(data)
+	}
+	return records, names, bytesRead, nil
+}
+
+// readTextLines materializes a text source's lines (inline data or one
+// file). Shared by the cold path and cached-plan rebinding.
+func readTextLines(src *logical.TextSource) ([][]byte, int64, error) {
+	data := src.Data
+	var n int64
+	if data == nil {
+		var err error
+		data, err = os.ReadFile(src.Path)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: reading %s: %w", src.Path, err)
+		}
+		n = int64(len(data))
+	}
+	return splitPlainLines(data), n, nil
 }
 
 func (eng *engine) mkSampleCfg(nullValues []string) sample.Config {

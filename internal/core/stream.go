@@ -259,6 +259,11 @@ func (eng *engine) executeStreamed(cs *compiledStage) (*mat, error) {
 		}
 		ss.prefix = nil
 		for !ss.exhausted && !stop.Load() {
+			if err := eng.canceled(); err != nil {
+				prodErr = err
+				stop.Store(true)
+				return
+			}
 			c, err := ss.prod.next()
 			if err != nil {
 				prodErr = err
@@ -290,6 +295,16 @@ func (eng *engine) executeStreamed(cs *compiledStage) (*mat, error) {
 				for t := range taskCh {
 					if stop.Load() {
 						t.chunk.Release()
+						continue
+					}
+					if err := eng.canceled(); err != nil {
+						t.chunk.Release()
+						mu.Lock()
+						if workErr == nil {
+							workErr = err
+						}
+						mu.Unlock()
+						stop.Store(true)
 						continue
 					}
 					recs := t.recs

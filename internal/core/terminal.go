@@ -83,13 +83,13 @@ func (cs *compiledStage) makeTerminal() (nstep, error) {
 // normal path must anticipate).
 func (eng *engine) compileAggregate(cs *compiledStage, agg *logical.AggregateOp, schema *types.Schema) error {
 	cs.aggInit = agg.Initial
-	bu, err := eng.compileBoxedUDF(agg.Agg)
+	bu, err := compileBoxedUDF(agg.Agg)
 	if err != nil {
 		return err
 	}
 	var comb *boxedUDF
 	if agg.Comb != nil {
-		comb, err = eng.compileBoxedUDF(agg.Comb)
+		comb, err = compileBoxedUDF(agg.Comb)
 		if err != nil {
 			return err
 		}

@@ -182,6 +182,14 @@ func BenchJSON(path string, w io.Writer) error {
 	add("compileropt/optimized", optRows, opt(true))
 	add("compileropt/unoptimized", optRows, opt(false))
 
+	// Serve: per-job daemon latency cold (sample+compile every time) vs
+	// warm (compiled-pipeline cache hit), plus sustained jobs/sec.
+	serve, err := serveEntries(w)
+	if err != nil {
+		return err
+	}
+	entries = append(entries, serve...)
+
 	f, err := os.Create(path)
 	if err != nil {
 		return err

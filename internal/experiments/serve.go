@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	tuplex "github.com/gotuplex/tuplex"
+	"github.com/gotuplex/tuplex/internal/service"
+	"github.com/gotuplex/tuplex/internal/telemetry"
+)
+
+// Serve-path entries for the trajectory file: what a tuplex-serve
+// daemon costs per job. cold_submit compiles every plan (distinct
+// fingerprints), warm_submit resubmits one byte-identical plan (cache
+// hit skipping sample+compile — the gap between the two is what the
+// compiled-pipeline cache saves), throughput is a concurrent
+// warm-submission storm where rows_per_sec reads as jobs/sec.
+
+// servePlan builds the loadgen "small" workload: tiny data under
+// expression-heavy UDFs, so compilation dominates cold latency.
+func servePlan(k int64) (*tuplex.Plan, error) {
+	c := tuplex.NewContext(tuplex.WithExecutors(1))
+	d := c.Parallelize([][]any{
+		{int64(1), "aa"}, {int64(2), "bb"}, {int64(3), "cc"}, {int64(4), "dd"},
+	}, []string{"a", "s"})
+	prev := "a"
+	for i := 0; i < 6; i++ {
+		col := fmt.Sprintf("c%d", i)
+		var sb []byte
+		sb = fmt.Appendf(sb, "lambda x: x['%s'] + k0", prev)
+		for t := 0; t < 40; t++ {
+			sb = fmt.Appendf(sb, " + (x['%s'] * %d if x['%s'] %% %d == 0 else %d - x['%s'])",
+				prev, t+1, prev, t+2, t, prev)
+		}
+		d = d.WithColumn(col, tuplex.UDF(string(sb)).WithGlobal("k0", k))
+		prev = col
+	}
+	return d.SelectColumns("a", prev, "s").Plan()
+}
+
+// tinyServePlan is the per-job floor workload (minimal spec, minimal
+// execution) used for the throughput entry.
+func tinyServePlan(k int64) (*tuplex.Plan, error) {
+	c := tuplex.NewContext(tuplex.WithExecutors(1))
+	return c.Parallelize([][]any{{int64(1)}, {int64(2)}, {int64(3)}, {int64(4)}}, []string{"a"}).
+		Map(tuplex.UDF("lambda a: a * k + 1").WithGlobal("k", k)).
+		Plan()
+}
+
+// serveEntries measures the daemon over real HTTP on a loopback port.
+func serveEntries(w io.Writer) ([]BenchEntry, error) {
+	srv, err := service.Serve(service.Config{
+		Addr:         "127.0.0.1:0",
+		CacheEntries: 1 << 20, // cold benchmark must never evict
+		Registry:     telemetry.NewRegistry(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	cl := tuplex.NewClient("http://" + srv.Addr())
+	ctx := context.Background()
+
+	var entries []BenchEntry
+	report := func(e BenchEntry) {
+		fmt.Fprintf(w, "bench %-28s %12d ns/op %10.0f jobs/s\n", e.Name, e.NsPerOp, e.RowsPerSec)
+		entries = append(entries, e)
+	}
+
+	// Cold: every submission is a distinct fingerprint, so each one
+	// samples and compiles before it runs.
+	var seq atomic.Int64
+	seq.Store(1) // 0 is used below as the warm plan
+	var benchErr error
+	submit := func(p *tuplex.Plan) {
+		if benchErr != nil {
+			return
+		}
+		if _, err := cl.Submit(ctx, p); err != nil {
+			benchErr = err
+		}
+	}
+	cold := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, err := servePlan(seq.Add(1))
+			if err != nil {
+				benchErr = err
+				return
+			}
+			submit(p)
+		}
+	})
+	if benchErr != nil {
+		return nil, benchErr
+	}
+	report(benchEntry("serve/cold_submit", 1, cold))
+
+	// Warm: one byte-identical plan over and over — after the first
+	// submission every run is a cache hit.
+	warmPlan, err := servePlan(0)
+	if err != nil {
+		return nil, err
+	}
+	submit(warmPlan)
+	warm := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			submit(warmPlan)
+		}
+	})
+	if benchErr != nil {
+		return nil, benchErr
+	}
+	report(benchEntry("serve/warm_submit", 1, warm))
+
+	// Throughput: concurrent warm submissions of the floor workload;
+	// rows_per_sec is jobs/sec.
+	tiny, err := tinyServePlan(0)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := cl.Submit(ctx, tiny); err != nil {
+		return nil, err
+	}
+	const jobs, workers = 3000, 8
+	var next, failed atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for next.Add(1) <= jobs {
+				if _, err := cl.Submit(ctx, tiny); err != nil {
+					failed.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if n := failed.Load(); n > 0 {
+		return nil, fmt.Errorf("serve/throughput: %d submissions failed", n)
+	}
+	report(BenchEntry{
+		Name:       "serve/throughput",
+		NsPerOp:    elapsed.Nanoseconds() / jobs,
+		RowsPerSec: float64(jobs) / elapsed.Seconds(),
+	})
+	return entries, nil
+}

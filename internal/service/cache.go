@@ -1,0 +1,99 @@
+package service
+
+import (
+	"sync"
+
+	"github.com/gotuplex/tuplex/internal/core"
+	"github.com/gotuplex/tuplex/internal/spec"
+	"github.com/gotuplex/tuplex/internal/telemetry"
+)
+
+// planCache maps pipeline fingerprints to compiled plans with
+// single-flight semantics: the first submitter of a key owns the
+// compile, concurrent submitters of the same key wait on it, and a
+// failed flight removes the entry so the next submitter retries instead
+// of being served a poisoned error forever. Completed entries evict
+// least-recently-used under the cap; in-flight compiles are never
+// evicted (they are not in the LRU list until they complete).
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*cacheEntry
+	order   []string // completed keys, least-recently-used first
+	stats   *telemetry.ServiceStats
+}
+
+type cacheEntry struct {
+	key   string
+	ready chan struct{} // closed when the flight completes (either way)
+	plan  *core.CompiledPlan
+	built *spec.Built
+	err   error // set (before close) when the flight failed
+}
+
+func newPlanCache(capEntries int, stats *telemetry.ServiceStats) *planCache {
+	return &planCache{cap: capEntries, entries: make(map[string]*cacheEntry), stats: stats}
+}
+
+// acquire returns the entry for key and whether the caller owns the
+// flight. Owners must call complete or fail exactly once; non-owners
+// wait on entry.ready.
+func (c *planCache) acquire(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.touch(key)
+		return e, false
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	c.entries[key] = e
+	return e, true
+}
+
+// complete publishes a successful flight and applies LRU eviction.
+func (c *planCache) complete(e *cacheEntry, plan *core.CompiledPlan, built *spec.Built) {
+	c.mu.Lock()
+	e.plan, e.built = plan, built
+	close(e.ready)
+	c.order = append(c.order, e.key)
+	for len(c.order) > c.cap {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		if old, ok := c.entries[victim]; ok && old != e {
+			delete(c.entries, victim)
+			c.stats.CacheEvictions.Add(1)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// fail publishes a failed flight and removes the entry so a later
+// submission of the same key compiles fresh. Waiters observe e.err.
+func (c *planCache) fail(e *cacheEntry, err error) {
+	c.mu.Lock()
+	e.err = err
+	close(e.ready)
+	if c.entries[e.key] == e {
+		delete(c.entries, e.key)
+	}
+	c.mu.Unlock()
+}
+
+// touch moves a completed key to the most-recently-used end. In-flight
+// keys are absent from order; nothing to do for them.
+func (c *planCache) touch(key string) {
+	for i, k := range c.order {
+		if k == key {
+			copy(c.order[i:], c.order[i+1:])
+			c.order[len(c.order)-1] = key
+			return
+		}
+	}
+}
+
+// len reports cached (completed) plans, for tests and reports.
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.order)
+}

@@ -1,0 +1,100 @@
+// Package service implements the tuplex-serve daemon: a long-lived
+// multi-tenant HTTP job service over the engine. Clients POST versioned
+// JSON pipeline specs to /v1/jobs; the service admits them under a
+// bounded concurrency cap and queue, executes them, and caches compiled
+// pipelines keyed on (UDF sources, input schema, sample fingerprint) so
+// byte-identical resubmissions skip sampling and compilation entirely.
+package service
+
+import (
+	"runtime"
+	"time"
+
+	"github.com/gotuplex/tuplex/internal/telemetry"
+)
+
+// Config sizes the service. The zero value is usable: every field has a
+// conservative default applied by withDefaults.
+type Config struct {
+	// Addr is the listen address (default "127.0.0.1:5005"; ":0" picks a
+	// free port — read it back with Addr()).
+	Addr string
+
+	// MaxConcurrent bounds jobs executing simultaneously (default:
+	// GOMAXPROCS). Submissions beyond it queue.
+	MaxConcurrent int
+	// QueueDepth bounds submissions waiting for an execution slot
+	// (default 64). Beyond it the service answers 429 immediately rather
+	// than buffering unboundedly. Negative disables queuing (reject as
+	// soon as all slots are busy).
+	QueueDepth int
+
+	// CacheEntries caps the compiled-pipeline cache (default 64 plans).
+	// Completed entries evict least-recently-used; in-flight compiles are
+	// never evicted.
+	CacheEntries int
+
+	// ExecutorsPerJob clamps the executor pool any single job may
+	// request via its spec options (default 0 = no clamp). The per-job
+	// budget keeps one greedy tenant from monopolizing the host.
+	ExecutorsPerJob int
+	// MemoryBudget caps the input bytes a job may reference — inline
+	// data plus the on-disk size of file-backed sources, join build
+	// sides included (default 0 = unlimited). Oversized submissions get
+	// 413 before any work happens.
+	MemoryBudget int64
+
+	// RequestTimeout bounds one job end to end: queue wait plus
+	// execution (default 60s). Jobs still running at the deadline are
+	// canceled at the next chunk boundary.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds how long Drain waits for in-flight jobs before
+	// canceling them (default 30s).
+	DrainTimeout time.Duration
+
+	// MaxResultRows caps the rows a job response inlines (default
+	// 10000); responses note truncation. CSV-sink jobs with an output
+	// path are unaffected.
+	MaxResultRows int
+	// MaxBodyBytes caps the request body (default 8 MiB).
+	MaxBodyBytes int64
+
+	// Registry receives the service's job/cache stats and hosts
+	// /metrics + /debug/tuplex/runz (default telemetry.Default; tests
+	// use private registries).
+	Registry *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:5005"
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.MaxResultRows <= 0 {
+		c.MaxResultRows = 10000
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.Default
+	}
+	return c
+}

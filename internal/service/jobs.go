@@ -1,0 +1,189 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Job states. A job is queued between admission and execution start,
+// running while the engine owns it, and exactly one of done / failed /
+// canceled afterwards.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// maxRecentJobs bounds finished jobs retained for GET /v1/jobs/{id}.
+const maxRecentJobs = 256
+
+// JobStatus is the wire form of one job, returned by every /v1/jobs
+// endpoint.
+type JobStatus struct {
+	ID          string `json:"id"`
+	State       string `json:"state"`
+	CacheHit    bool   `json:"cache_hit"`
+	Fingerprint string `json:"fingerprint"`
+
+	SubmittedAt time.Time `json:"submitted_at"`
+	// DurationNS is queue wait + execution so far (frozen at finish).
+	DurationNS int64 `json:"duration_ns"`
+
+	Error  string     `json:"error,omitempty"`
+	Result *JobResult `json:"result,omitempty"`
+}
+
+// JobResult carries a finished job's output and row accounting.
+type JobResult struct {
+	Columns []string `json:"columns,omitempty"`
+	Rows    [][]any  `json:"rows,omitempty"`
+	// Value is the aggregate-sink accumulator.
+	Value any `json:"value,omitempty"`
+	// CSV inlines csv-sink bytes when the sink has no output path;
+	// CSVPath echoes the path otherwise.
+	CSV     string `json:"csv,omitempty"`
+	CSVPath string `json:"csv_path,omitempty"`
+	// Truncated marks a Rows payload capped by the server's
+	// max-result-rows limit (OutputRows still reports the full count).
+	Truncated bool `json:"truncated,omitempty"`
+
+	InputRows  int64 `json:"input_rows"`
+	OutputRows int64 `json:"output_rows"`
+	FailedRows int64 `json:"failed_rows"`
+}
+
+type job struct {
+	mu          sync.Mutex
+	id          string
+	state       string
+	cacheHit    bool
+	fingerprint string
+	submitted   time.Time
+	finished    time.Time
+	cancel      context.CancelFunc
+	err         error
+	result      *JobResult
+}
+
+func (j *job) setRunning(cancel context.CancelFunc) {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.cancel = cancel
+	j.mu.Unlock()
+}
+
+func (j *job) finish(state string, hit bool, res *JobResult, err error) {
+	j.mu.Lock()
+	j.state = state
+	j.cacheHit = hit
+	j.result = res
+	j.err = err
+	j.finished = time.Now()
+	j.cancel = nil
+	j.mu.Unlock()
+}
+
+// requestCancel fires the job's cancel func if it is still running and
+// reports the state observed.
+func (j *job) requestCancel() string {
+	j.mu.Lock()
+	cancel, state := j.cancel, j.state
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return state
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		CacheHit:    j.cacheHit,
+		Fingerprint: j.fingerprint,
+		SubmittedAt: j.submitted,
+		Result:      j.result,
+	}
+	end := j.finished
+	if end.IsZero() {
+		end = time.Now()
+	}
+	s.DurationNS = end.Sub(j.submitted).Nanoseconds()
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	return s
+}
+
+// jobTable tracks live jobs plus a bounded ring of finished ones so
+// clients can poll async submissions after completion.
+type jobTable struct {
+	mu     sync.Mutex
+	nextID int64
+	live   map[string]*job
+	recent []*job // oldest first
+}
+
+func newJobTable() *jobTable {
+	return &jobTable{live: make(map[string]*job)}
+}
+
+func (t *jobTable) create(fingerprint string) *job {
+	t.mu.Lock()
+	t.nextID++
+	j := &job{
+		id:          fmt.Sprintf("j%06d", t.nextID),
+		state:       StateQueued,
+		fingerprint: fingerprint,
+		submitted:   time.Now(),
+	}
+	t.live[j.id] = j
+	t.mu.Unlock()
+	return j
+}
+
+// retire moves a finished job from the live set to the recent ring.
+func (t *jobTable) retire(j *job) {
+	t.mu.Lock()
+	if _, ok := t.live[j.id]; ok {
+		delete(t.live, j.id)
+		t.recent = append(t.recent, j)
+		if len(t.recent) > maxRecentJobs {
+			t.recent = t.recent[len(t.recent)-maxRecentJobs:]
+		}
+	}
+	t.mu.Unlock()
+}
+
+func (t *jobTable) get(id string) *job {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if j, ok := t.live[id]; ok {
+		return j
+	}
+	for i := len(t.recent) - 1; i >= 0; i-- {
+		if t.recent[i].id == id {
+			return t.recent[i]
+		}
+	}
+	return nil
+}
+
+// list snapshots every known job, live first, newest last within each
+// group.
+func (t *jobTable) list() []*job {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*job, 0, len(t.live)+len(t.recent))
+	for _, j := range t.live {
+		out = append(out, j)
+	}
+	out = append(out, t.recent...)
+	return out
+}

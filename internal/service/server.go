@@ -1,0 +1,469 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/gotuplex/tuplex/internal/core"
+	"github.com/gotuplex/tuplex/internal/spec"
+	"github.com/gotuplex/tuplex/internal/telemetry"
+)
+
+// Server is the tuplex-serve daemon: the telemetry introspection
+// surface (/metrics, /debug/tuplex/runz, pprof) plus the /v1/jobs API
+// with admission control and the compiled-pipeline cache.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	stats *telemetry.ServiceStats
+	cache *planCache
+	jobs  *jobTable
+
+	// sem holds one token per executing job (admission control).
+	sem      chan struct{}
+	draining atomic.Bool
+	inflight sync.WaitGroup
+
+	ln      net.Listener
+	hsrv    *http.Server
+	started bool
+	done    chan struct{}
+	release func() // telemetry process auto-enable
+	closed  sync.Once
+}
+
+// New builds a server (not yet listening). While the server lives,
+// every engine run in the process is telemetry-monitored, so each job
+// shows up as its own row in /runz labeled with its job id.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		stats:   telemetry.NewServiceStats(),
+		jobs:    newJobTable(),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		done:    make(chan struct{}),
+		release: telemetry.EnableProcess(),
+	}
+	s.cache = newPlanCache(cfg.CacheEntries, s.stats)
+	cfg.Registry.SetService(s.stats)
+	s.mux = telemetry.NewMux(cfg.Registry)
+	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("/v1/jobs/", s.handleJob)
+	return s
+}
+
+// Serve builds a server and starts listening on cfg.Addr.
+func Serve(cfg Config) (*Server, error) {
+	s := New(cfg)
+	if err := s.Start(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Start binds the listen address and serves in the background.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("service: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.ln = ln
+	s.hsrv = &http.Server{Handler: s.mux}
+	s.started = true
+	go func() {
+		defer close(s.done)
+		s.hsrv.Serve(ln)
+	}()
+	return nil
+}
+
+// Addr reports the listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Handler exposes the full mux (tests drive it via httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats exposes the live service counters.
+func (s *Server) Stats() *telemetry.ServiceStats { return s.stats }
+
+// Close stops the listener immediately. In-flight jobs keep their
+// slots until they notice cancellation; prefer Drain for shutdown.
+func (s *Server) Close() error {
+	var err error
+	s.closed.Do(func() {
+		if s.started {
+			err = s.hsrv.Close()
+			<-s.done
+		}
+		s.release()
+	})
+	return err
+}
+
+// Drain is the graceful-shutdown path (SIGTERM): stop admitting
+// (503 from here on), wait up to DrainTimeout for in-flight jobs, then
+// cancel stragglers and close. ctx aborts the wait early.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	idle := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(idle)
+	}()
+	t := time.NewTimer(s.cfg.DrainTimeout)
+	defer t.Stop()
+	select {
+	case <-idle:
+	case <-t.C:
+		s.cancelAll()
+		select {
+		case <-idle:
+		case <-ctx.Done():
+		}
+	case <-ctx.Done():
+		s.cancelAll()
+	}
+	return s.Close()
+}
+
+func (s *Server) cancelAll() {
+	for _, j := range s.jobs.list() {
+		j.requestCancel()
+	}
+}
+
+// ---- handlers ----
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.handleSubmit(w, r)
+	case http.MethodGet:
+		s.handleList(w, r)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "use POST to submit or GET to list jobs")
+	}
+}
+
+// handleSubmit admits and runs one job. Default is synchronous (the
+// response carries the result); ?wait=false answers 202 immediately
+// and the client polls GET /v1/jobs/{id}.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.reject(w, http.StatusServiceUnavailable, "service is draining")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading request body: %v", err)
+		return
+	}
+	if int64(len(body)) > s.cfg.MaxBodyBytes {
+		s.reject(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+		return
+	}
+	p, err := spec.Decode(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if s.cfg.MemoryBudget > 0 {
+		if n := estimateInputBytes(p); n > s.cfg.MemoryBudget {
+			s.reject(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("job references ~%d input bytes, per-job budget is %d", n, s.cfg.MemoryBudget))
+			return
+		}
+	}
+	fp, err := p.Fingerprint()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Admission happens before the job exists: a rejected submission
+	// leaves no trace beyond the rejected counter. The queue wait is
+	// bounded by the request timeout.
+	actx, acancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	if err := s.admit(actx); err != nil {
+		acancel()
+		s.stats.JobsRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+	s.stats.JobsSubmitted.Add(1)
+	jb := s.jobs.create(fp)
+	s.inflight.Add(1)
+
+	if r.URL.Query().Get("wait") == "false" {
+		acancel()
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+			defer cancel()
+			s.runJob(ctx, jb, p)
+		}()
+		writeJSON(w, http.StatusAccepted, jb.status())
+		return
+	}
+	defer acancel()
+	s.runJob(actx, jb, p)
+	st := jb.status()
+	code := http.StatusOK
+	switch st.State {
+	case StateFailed:
+		code = http.StatusInternalServerError
+	case StateCanceled:
+		code = http.StatusGatewayTimeout
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.jobs.list()
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].id < jobs[j].id })
+	sts := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		sts[i] = j.status()
+		sts[i].Result = nil // listings stay light; fetch one job for rows
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": sts})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		httpError(w, http.StatusNotFound, "no such resource")
+		return
+	}
+	jb := s.jobs.get(id)
+	if jb == nil {
+		httpError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, jb.status())
+	case http.MethodDelete:
+		jb.requestCancel()
+		writeJSON(w, http.StatusOK, jb.status())
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "use GET for status or DELETE to cancel")
+	}
+}
+
+// ---- execution ----
+
+// admit takes an execution slot, queueing up to QueueDepth waiters.
+func (s *Server) admit(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.cfg.QueueDepth == 0 {
+		return fmt.Errorf("service at capacity (%d jobs running, queueing disabled)", s.cfg.MaxConcurrent)
+	}
+	if n := s.stats.QueueDepth.Add(1); n > int64(s.cfg.QueueDepth) {
+		s.stats.QueueDepth.Add(-1)
+		return fmt.Errorf("service at capacity (%d jobs running, %d queued)", s.cfg.MaxConcurrent, s.cfg.QueueDepth)
+	}
+	defer s.stats.QueueDepth.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("queue wait aborted: %w", context.Cause(ctx))
+	}
+}
+
+// runJob executes one admitted job (the caller holds its slot) and
+// records its lifecycle. Blocking; async submissions wrap it in a
+// goroutine.
+func (s *Server) runJob(ctx context.Context, jb *job, p *spec.Pipeline) {
+	defer s.inflight.Done()
+	defer func() { <-s.sem }()
+	defer s.jobs.retire(jb)
+
+	jctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	jb.setRunning(cancel)
+	s.stats.RunningJobs.Add(1)
+	defer s.stats.RunningJobs.Add(-1)
+
+	t0 := time.Now()
+	res, built, hit, err := s.execute(jctx, jb, p)
+	dur := time.Since(t0)
+	switch {
+	case err == nil:
+		s.stats.JobsCompleted.Add(1)
+		if hit {
+			s.stats.WarmLatency.RecordDuration(dur)
+		} else {
+			s.stats.ColdLatency.RecordDuration(dur)
+		}
+		jb.finish(StateDone, hit, shapeResult(built, res, s.cfg.MaxResultRows), nil)
+	case errors.Is(err, core.ErrCanceled), errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		s.stats.JobsCanceled.Add(1)
+		jb.finish(StateCanceled, hit, nil, err)
+	default:
+		s.stats.JobsFailed.Add(1)
+		jb.finish(StateFailed, hit, nil, err)
+	}
+}
+
+// execute resolves the job through the plan cache: own the flight
+// (compile fresh, capturing the plan), or wait on the in-flight owner
+// and re-execute the cached plan. A failed flight is retried by the
+// next submitter rather than poisoning the key.
+func (s *Server) execute(ctx context.Context, jb *job, p *spec.Pipeline) (*core.Result, *spec.Built, bool, error) {
+	for attempt := 0; attempt < 4; attempt++ {
+		e, owner := s.cache.acquire(jb.fingerprint)
+		if owner {
+			built, err := p.Build()
+			if err != nil {
+				s.cache.fail(e, err)
+				return nil, nil, false, err
+			}
+			s.tuneOpts(&built.Opts, jb)
+			s.stats.CacheMisses.Add(1)
+			res, cp, err := core.CompileAndExecute(ctx, built.Node, built.Kind, built.CSVPath, built.Opts)
+			if err != nil {
+				s.cache.fail(e, err)
+				return nil, built, false, err
+			}
+			s.cache.complete(e, cp, built)
+			return res, built, false, nil
+		}
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, nil, false, fmt.Errorf("service: %w", context.Cause(ctx))
+		}
+		if e.err != nil {
+			continue // the owner failed; compete to compile it ourselves
+		}
+		s.stats.CacheHits.Add(1)
+		res, err := e.plan.ExecuteLabeled(ctx, e.built.CSVPath, jb.id)
+		return res, e.built, true, err
+	}
+	// Pathological churn of failing flights: run once, uncached.
+	built, err := p.Build()
+	if err != nil {
+		return nil, nil, false, err
+	}
+	s.tuneOpts(&built.Opts, jb)
+	s.stats.CacheMisses.Add(1)
+	res, err := core.ExecuteContext(ctx, built.Node, built.Kind, built.CSVPath, built.Opts)
+	return res, built, false, err
+}
+
+// tuneOpts applies the server's per-job budgets and telemetry labeling
+// on top of the spec's options.
+func (s *Server) tuneOpts(o *core.Options, jb *job) {
+	if s.cfg.ExecutorsPerJob > 0 && (o.Executors <= 0 || o.Executors > s.cfg.ExecutorsPerJob) {
+		o.Executors = s.cfg.ExecutorsPerJob
+	}
+	o.Telemetry.Enabled = true
+	o.Telemetry.Label = jb.id
+}
+
+// shapeResult renders an engine result into the job's wire form,
+// honoring the sink kind, a take cap and the server row limit.
+func shapeResult(b *spec.Built, res *core.Result, maxRows int) *JobResult {
+	jr := &JobResult{
+		InputRows:  res.Metrics.Counters.InputRows.Load(),
+		OutputRows: res.Metrics.Counters.OutputRows.Load(),
+		FailedRows: int64(len(res.Failed)),
+	}
+	if res.Schema != nil {
+		jr.Columns = res.Schema.Names()
+	}
+	switch {
+	case b.IsAgg:
+		if vals := spec.ResultRows(res, 1); len(vals) == 1 && len(vals[0]) == 1 {
+			jr.Value = vals[0][0]
+		}
+		jr.Columns = nil
+	case b.Kind == core.SinkCSV:
+		if b.CSVPath != "" {
+			jr.CSVPath = b.CSVPath
+		} else {
+			jr.CSV = string(res.CSV)
+		}
+	default:
+		limit := maxRows
+		if b.Take >= 0 && b.Take < limit {
+			limit = b.Take
+		}
+		jr.Rows = spec.ResultRows(res, limit)
+		total := spec.ResultLen(res)
+		if b.Take >= 0 && b.Take < total {
+			total = b.Take
+		}
+		jr.Truncated = len(jr.Rows) < total
+	}
+	return jr
+}
+
+// estimateInputBytes sizes a job's referenced input for the memory
+// budget: inline data verbatim, file-backed sources by on-disk size
+// (join build sides included), inline rows at a nominal 64 bytes each.
+func estimateInputBytes(p *spec.Pipeline) int64 {
+	if p == nil {
+		return 0
+	}
+	n := int64(len(p.Source.Data))
+	if p.Source.Path != "" && len(p.Source.Rows) == 0 {
+		for _, path := range strings.Split(p.Source.Path, ",") {
+			if fi, err := os.Stat(strings.TrimSpace(path)); err == nil {
+				n += fi.Size()
+			}
+		}
+	}
+	n += int64(len(p.Source.Rows)) * 64
+	for i := range p.Ops {
+		n += estimateInputBytes(p.Ops[i].Build)
+	}
+	return n
+}
+
+// ---- wire helpers ----
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) reject(w http.ResponseWriter, code int, msg string) {
+	s.stats.JobsRejected.Add(1)
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	httpError(w, code, "%s", msg)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,157 @@
+package spec
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/gotuplex/tuplex/internal/core"
+)
+
+// dirtyPipeline exercises the full dual-mode machinery (normal path,
+// resolvers, exception rows) so the warm/cold comparison covers more
+// than the happy path.
+func dirtyPipeline() *Pipeline {
+	p := &Pipeline{
+		V: Version,
+		Source: Source{
+			Kind: "csv",
+			Data: "a,b\n1,2\n3,4\nbad,6\n5,oops\n7,8\n",
+		},
+		Ops: []Op{
+			{Kind: "withColumn", Col: "s", UDF: &UDF{Code: "lambda x: int(x['a']) + int(x['b'])"}},
+			{Kind: "resolve", Exc: "ValueError", UDF: &UDF{Code: "lambda x: -1"}},
+			{Kind: "filter", UDF: &UDF{Code: "lambda x: x['s'] != 0"}},
+		},
+		Options: &Options{Executors: 2},
+	}
+	return p
+}
+
+func rowsJSON(t *testing.T, res *core.Result) string {
+	t.Helper()
+	b, err := json.Marshal(ResultRows(res, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestCompiledPlanWarmMatchesCold is the warm-path differential: a
+// CompiledPlan re-execution must produce exactly what the compiling run
+// produced and what a from-scratch execution produces — including the
+// failed-row accounting — and stay correct across repeated and
+// concurrent warm runs (template state must be per-run).
+func TestCompiledPlanWarmMatchesCold(t *testing.T) {
+	b, err := dirtyPipeline().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	cold, cp, err := core.CompileAndExecute(ctx, b.Node, b.Kind, b.CSVPath, b.Opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := core.ExecuteContext(ctx, b.Node, b.Kind, b.CSVPath, b.Opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rowsJSON(t, fresh)
+	if got := rowsJSON(t, cold); got != want {
+		t.Fatalf("cold run diverged from fresh:\n%s\nvs\n%s", got, want)
+	}
+	for i := 0; i < 3; i++ {
+		warm, err := cp.Execute(ctx, "")
+		if err != nil {
+			t.Fatalf("warm %d: %v", i, err)
+		}
+		if got := rowsJSON(t, warm); got != want {
+			t.Fatalf("warm %d diverged:\n%s\nvs\n%s", i, got, want)
+		}
+		if got, want := len(warm.Failed), len(fresh.Failed); got != want {
+			t.Fatalf("warm %d failed rows: %d vs %d", i, got, want)
+		}
+	}
+	// Concurrent warm executions of one shared template (run under
+	// -race in CI: clones must not share mutable state).
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	outs := make([]string, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			warm, err := cp.Execute(ctx, "")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			outs[i] = rowsJSON(t, warm)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 4; i++ {
+		if errs[i] != nil {
+			t.Fatalf("concurrent warm %d: %v", i, errs[i])
+		}
+		if outs[i] != want {
+			t.Fatalf("concurrent warm %d diverged", i)
+		}
+	}
+}
+
+// TestCompiledPlanAggregateWarm covers the boxed-interpreter cloning
+// path (aggregate folds are interpreted, and interpreters are not
+// shareable across runs).
+func TestCompiledPlanAggregateWarm(t *testing.T) {
+	p := &Pipeline{
+		V:      Version,
+		Source: Source{Kind: "parallelize", Columns: []string{"a"}, Rows: [][]any{{int64(1)}, {int64(2)}, {int64(3)}, {int64(4)}}},
+		Sink: Sink{
+			Kind:    "aggregate",
+			Agg:     &UDF{Code: "lambda acc, row: acc + row"},
+			Comb:    &UDF{Code: "lambda a, b: a + b"},
+			Initial: int64(0),
+		},
+		Options: &Options{Executors: 2},
+	}
+	b, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	cold, cp, err := core.CompileAndExecute(ctx, b.Node, b.Kind, b.CSVPath, b.Opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rowsJSON(t, cold)
+	for i := 0; i < 3; i++ {
+		warm, err := cp.Execute(ctx, "")
+		if err != nil {
+			t.Fatalf("warm %d: %v", i, err)
+		}
+		if got := rowsJSON(t, warm); got != want {
+			t.Fatalf("warm aggregate %d: %s vs %s", i, got, want)
+		}
+	}
+}
+
+// TestCompiledPlanCancellation: warm executions observe context
+// cancellation like cold ones.
+func TestCompiledPlanCancellation(t *testing.T) {
+	b, err := dirtyPipeline().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cp, err := core.CompileAndExecute(context.Background(), b.Node, b.Kind, b.CSVPath, b.Opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cp.Execute(ctx, ""); !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}

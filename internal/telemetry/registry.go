@@ -13,10 +13,11 @@ const maxRecentRuns = 16
 // introspection server can report on them. The zero value is unusable;
 // use Default (one per process) or NewRegistry in tests.
 type Registry struct {
-	mu     sync.Mutex
-	nextID int64
-	live   map[int64]*RunMonitor
-	recent []*RunMonitor // oldest first, capped at maxRecentRuns
+	mu      sync.Mutex
+	nextID  int64
+	live    map[int64]*RunMonitor
+	recent  []*RunMonitor // oldest first, capped at maxRecentRuns
+	service *ServiceStats // attached by tuplex-serve; nil otherwise
 }
 
 // Default is the process-wide registry the engine and the introspection

@@ -125,8 +125,53 @@ type RunReport struct {
 
 // RunzReport is the /debug/tuplex/runz payload.
 type RunzReport struct {
-	Live   []RunReport `json:"live"`
-	Recent []RunReport `json:"recent"`
+	Live    []RunReport    `json:"live"`
+	Recent  []RunReport    `json:"recent"`
+	Service *ServiceReport `json:"service,omitempty"`
+}
+
+// ServiceReport is the job-service section of /debug/tuplex/runz,
+// present only when a tuplex-serve daemon owns the registry.
+type ServiceReport struct {
+	JobsSubmitted int64 `json:"jobs_submitted"`
+	JobsCompleted int64 `json:"jobs_completed"`
+	JobsFailed    int64 `json:"jobs_failed"`
+	JobsRejected  int64 `json:"jobs_rejected"`
+	JobsCanceled  int64 `json:"jobs_canceled"`
+
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEvictions int64 `json:"cache_evictions"`
+
+	QueueDepth  int64 `json:"queue_depth"`
+	RunningJobs int64 `json:"running_jobs"`
+
+	ColdP50NS int64 `json:"cold_p50_ns"`
+	ColdP99NS int64 `json:"cold_p99_ns"`
+	WarmP50NS int64 `json:"warm_p50_ns"`
+	WarmP99NS int64 `json:"warm_p99_ns"`
+}
+
+func serviceReport(st *ServiceStats) *ServiceReport {
+	if st == nil {
+		return nil
+	}
+	return &ServiceReport{
+		JobsSubmitted:  st.JobsSubmitted.Load(),
+		JobsCompleted:  st.JobsCompleted.Load(),
+		JobsFailed:     st.JobsFailed.Load(),
+		JobsRejected:   st.JobsRejected.Load(),
+		JobsCanceled:   st.JobsCanceled.Load(),
+		CacheHits:      st.CacheHits.Load(),
+		CacheMisses:    st.CacheMisses.Load(),
+		CacheEvictions: st.CacheEvictions.Load(),
+		QueueDepth:     st.QueueDepth.Load(),
+		RunningJobs:    st.RunningJobs.Load(),
+		ColdP50NS:      st.ColdLatency.Quantile(0.50),
+		ColdP99NS:      st.ColdLatency.Quantile(0.99),
+		WarmP50NS:      st.WarmLatency.Quantile(0.50),
+		WarmP99NS:      st.WarmLatency.Quantile(0.99),
+	}
 }
 
 func runzReport(reg *Registry, maxSamples int) RunzReport {
@@ -137,6 +182,7 @@ func runzReport(reg *Registry, maxSamples int) RunzReport {
 	for _, m := range reg.Recent() {
 		rep.Recent = append(rep.Recent, runReport(m, false, maxSamples))
 	}
+	rep.Service = serviceReport(reg.Service())
 	return rep
 }
 
@@ -193,6 +239,7 @@ func runLabels(m *RunMonitor) string {
 // writePrometheus renders the registry in Prometheus text exposition
 // format (hand-rolled: the repo takes no dependencies).
 func writePrometheus(w http.ResponseWriter, reg *Registry) {
+	writeServicePrometheus(w, reg.Service())
 	live, recent := reg.Live(), reg.Recent()
 	fmt.Fprintf(w, "# HELP tuplex_runs_live Number of runs currently executing.\n")
 	fmt.Fprintf(w, "# TYPE tuplex_runs_live gauge\n")
@@ -261,4 +308,34 @@ func writePrometheus(w http.ResponseWriter, reg *Registry) {
 	for _, m := range all {
 		m.ResolveLatency.WritePrometheus(w, "tuplex_resolve_latency_seconds", runLabels(m))
 	}
+}
+
+// writeServicePrometheus renders the tuplex-serve job/cache counters.
+// A process that never attached ServiceStats emits nothing here.
+func writeServicePrometheus(w http.ResponseWriter, st *ServiceStats) {
+	if st == nil {
+		return
+	}
+	c := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	g := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	c("tuplex_service_jobs_submitted_total", "Jobs accepted for execution.", st.JobsSubmitted.Load())
+	c("tuplex_service_jobs_completed_total", "Jobs that finished successfully.", st.JobsCompleted.Load())
+	c("tuplex_service_jobs_failed_total", "Jobs that finished with an error.", st.JobsFailed.Load())
+	c("tuplex_service_jobs_rejected_total", "Submissions rejected by admission control (429/413/503).", st.JobsRejected.Load())
+	c("tuplex_service_jobs_canceled_total", "Jobs canceled by the client or a deadline.", st.JobsCanceled.Load())
+	c("tuplex_service_cache_hits_total", "Jobs served from the compiled-pipeline cache.", st.CacheHits.Load())
+	c("tuplex_service_cache_misses_total", "Jobs that compiled a fresh pipeline.", st.CacheMisses.Load())
+	c("tuplex_service_cache_evictions_total", "Compiled pipelines evicted under the cache cap.", st.CacheEvictions.Load())
+	g("tuplex_service_queue_depth", "Submissions waiting for an execution slot.", st.QueueDepth.Load())
+	g("tuplex_service_running_jobs", "Jobs currently executing.", st.RunningJobs.Load())
+	fmt.Fprintf(w, "# HELP tuplex_service_cold_latency_seconds End-to-end latency of cache-miss jobs.\n")
+	fmt.Fprintf(w, "# TYPE tuplex_service_cold_latency_seconds histogram\n")
+	st.ColdLatency.WritePrometheus(w, "tuplex_service_cold_latency_seconds", "")
+	fmt.Fprintf(w, "# HELP tuplex_service_warm_latency_seconds End-to-end latency of cache-hit jobs.\n")
+	fmt.Fprintf(w, "# TYPE tuplex_service_warm_latency_seconds histogram\n")
+	st.WarmLatency.WritePrometheus(w, "tuplex_service_warm_latency_seconds", "")
 }

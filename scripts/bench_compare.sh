@@ -2,8 +2,8 @@
 # bench_compare.sh — regression gate over the committed benchmark
 # snapshot.
 #
-# Snapshots the committed BENCH_7.json baseline, reruns `make
-# bench-json` (which overwrites BENCH_7.json in place), and compares
+# Snapshots the committed BENCH_8.json baseline, reruns `make
+# bench-json` (which overwrites BENCH_8.json in place), and compares
 # the fresh numbers against the baseline. Fails when any benchmark
 # regresses by more than 25% in mb_per_sec or rows_per_sec, or grows
 # allocs_per_op beyond 2x. join/sharded additionally has a hard
@@ -11,12 +11,12 @@
 # of the committed snapshot (the boxed bounce it removed cost ~210k
 # allocs/op; silently reverting to it would pass a rate-only gate on
 # a fast machine). Improvements print a note; commit the refreshed
-# BENCH_7.json when they are real.
+# BENCH_8.json when they are real.
 #
 # Usage: sh scripts/bench_compare.sh [baseline.json]
 set -eu
 
-BASE_FILE=${1:-BENCH_7.json}
+BASE_FILE=${1:-BENCH_8.json}
 if [ ! -f "$BASE_FILE" ]; then
     echo "bench_compare: baseline $BASE_FILE not found" >&2
     exit 2

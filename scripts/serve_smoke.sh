@@ -1,0 +1,98 @@
+#!/bin/sh
+# serve_smoke.sh — CI smoke test for the tuplex-serve daemon.
+#
+# Exercises the service end to end with tuplex-loadgen:
+#   1. zillow: a real pipeline over a generated 20k-row CSV answers 200
+#      and its byte-identical resubmissions are cache hits.
+#   2. small: an expression-heavy tiny-data job shows the cache skipping
+#      sampling + compilation — cold p50 must be >= 10x warm p50.
+#   3. tiny: sustained resubmission throughput >= 1000 jobs/sec, every
+#      one a cache hit.
+#   4. /metrics exposes the service counters with the hits recorded.
+#   5. overload: a daemon capped at one slot and no queue sheds a
+#      32-way storm with 429s, then still answers afterwards.
+#   6. SIGTERM drains cleanly (exit 0, "drained cleanly" in the log).
+set -eu
+
+PORT="${PORT:-9825}"
+PORT2="${PORT2:-9826}"
+ADDR="127.0.0.1:$PORT"
+ADDR2="127.0.0.1:$PORT2"
+TMP="$(mktemp -d)"
+SERVE_PID=""
+SERVE2_PID=""
+trap 'kill "$SERVE_PID" "$SERVE2_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/tuplex-serve" ./cmd/tuplex-serve
+go build -o "$TMP/tuplex-loadgen" ./cmd/tuplex-loadgen
+
+"$TMP/tuplex-serve" -addr "$ADDR" >"$TMP/serve.log" 2>&1 &
+SERVE_PID=$!
+
+# Wait for the daemon to accept connections.
+ready() {
+    addr="$1"
+    for i in $(seq 1 50); do
+        if curl -s -o /dev/null "http://$addr/v1/jobs"; then
+            return 0
+        fi
+        sleep 0.2
+    done
+    echo "serve-smoke: daemon on $addr never came up" >&2
+    return 1
+}
+ready "$ADDR"
+
+echo "serve-smoke: [1/6] zillow job + cache hit on resubmission"
+"$TMP/tuplex-loadgen" -addr "http://$ADDR" -pipeline zillow -zillow-rows 20000 \
+    -n 2 -c 1 -assert-hits >"$TMP/zillow.json"
+
+echo "serve-smoke: [2/6] cold vs warm: cache must skip sample+compile (>=10x)"
+"$TMP/tuplex-loadgen" -addr "http://$ADDR" -pipeline small \
+    -n 20 -c 1 -assert-hits -assert-speedup 10 >"$TMP/small.json"
+
+echo "serve-smoke: [3/6] sustained throughput >= 1000 jobs/sec"
+"$TMP/tuplex-loadgen" -addr "http://$ADDR" -pipeline tiny \
+    -n 3000 -c 8 -assert-hits -assert-min-rate 1000 >"$TMP/tiny.json"
+
+echo "serve-smoke: [4/6] service metrics exposed"
+curl -s "http://$ADDR/metrics" >"$TMP/metrics.txt"
+grep -q '^tuplex_service_cache_hits_total ' "$TMP/metrics.txt" || {
+    echo "serve-smoke: tuplex_service_cache_hits_total missing from /metrics" >&2
+    exit 1
+}
+hits=$(awk '/^tuplex_service_cache_hits_total /{print int($2)}' "$TMP/metrics.txt")
+[ "$hits" -gt 0 ] || {
+    echo "serve-smoke: /metrics recorded no cache hits (got $hits)" >&2
+    exit 1
+}
+
+echo "serve-smoke: [5/6] overload sheds with 429 instead of collapsing"
+"$TMP/tuplex-serve" -addr "$ADDR2" -max-concurrent 1 -queue-depth -1 \
+    >"$TMP/serve2.log" 2>&1 &
+SERVE2_PID=$!
+ready "$ADDR2"
+"$TMP/tuplex-loadgen" -addr "http://$ADDR2" -pipeline tiny \
+    -n 800 -c 32 -expect-429 >"$TMP/overload.json"
+# The daemon must still answer normally after the storm.
+"$TMP/tuplex-loadgen" -addr "http://$ADDR2" -pipeline tiny \
+    -n 5 -c 1 -assert-hits >"$TMP/after.json"
+
+echo "serve-smoke: [6/6] SIGTERM drains cleanly"
+for pid in "$SERVE_PID" "$SERVE2_PID"; do
+    kill -TERM "$pid"
+    wait "$pid" || {
+        echo "serve-smoke: daemon (pid $pid) exited non-zero on SIGTERM" >&2
+        cat "$TMP/serve.log" "$TMP/serve2.log" >&2
+        exit 1
+    }
+done
+SERVE_PID=""
+SERVE2_PID=""
+grep -q 'drained cleanly' "$TMP/serve.log" || {
+    echo "serve-smoke: daemon did not report a clean drain:" >&2
+    cat "$TMP/serve.log" >&2
+    exit 1
+}
+
+echo "serve-smoke: ok (cache hit, >=10x cold/warm, >=1k jobs/sec, 429 shedding, clean drain)"

@@ -62,6 +62,12 @@ type Server struct {
 //
 // While a server is open, every run in the process is monitored (no
 // per-run WithTelemetry needed). Close the returned Server to stop.
+//
+// Serve is kept as a thin introspection-only shim: it does NOT accept
+// job submissions. For the long-lived multi-tenant query service —
+// the same introspection surface plus the /v1/jobs API with admission
+// control and the compiled-pipeline cache — run the cmd/tuplex-serve
+// daemon and talk to it with Client.
 func Serve(addr string) (*Server, error) {
 	s, err := telemetry.Serve(addr)
 	if err != nil {

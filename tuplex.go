@@ -21,6 +21,7 @@
 package tuplex
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/gotuplex/tuplex/internal/codegen"
@@ -589,33 +590,18 @@ func (d *DataSet) ToCSV(path string) (*Result, error) {
 // two partial accumulators, initial is the starting value. Returns the
 // final accumulator.
 func (d *DataSet) Aggregate(agg, comb UDFDef, initial any) (any, *Result, error) {
-	if d.err != nil {
-		return nil, nil, d.err
-	}
-	aggSpec, err := d.udf(agg)
-	if err != nil {
-		return nil, nil, err
-	}
-	combSpec, err := d.udf(comb)
-	if err != nil {
-		return nil, nil, err
-	}
-	ds := d.chain(&logical.AggregateOp{Agg: aggSpec, Comb: combSpec, Initial: boxValue(initial)})
-	res, err := ds.run(core.SinkCollect, "")
-	if err != nil {
-		return nil, nil, err
-	}
-	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
-		return nil, res, fmt.Errorf("tuplex: aggregate produced unexpected shape")
-	}
-	return res.Rows[0][0], res, nil
+	return d.AggregateContext(context.Background(), agg, comb, initial)
 }
 
 func (d *DataSet) run(kind core.SinkKind, path string) (*Result, error) {
+	return d.runCtx(context.Background(), kind, path)
+}
+
+func (d *DataSet) runCtx(ctx context.Context, kind core.SinkKind, path string) (*Result, error) {
 	if d.err != nil {
 		return nil, d.err
 	}
-	cr, err := core.Execute(d.node, kind, path, d.ctx.opts)
+	cr, err := core.ExecuteContext(ctx, d.node, kind, path, d.ctx.opts)
 	if err != nil {
 		return nil, err
 	}
