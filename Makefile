@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet tuplex-vet race check bench-ingest bench-smoke bench-json bench-compare telemetry-smoke serve-smoke trace-demo
+.PHONY: all build test vet tuplex-vet plancheck race check bench-ingest bench-smoke bench-json bench-compare telemetry-smoke serve-smoke trace-demo
 
 all: build test
 
@@ -18,14 +18,24 @@ vet:
 	$(GO) vet ./...
 
 # Repo-specific analyzers (internal/lint): exported-API internal-type
-# leaks and trace-span Begin/End mispairings.
+# leaks, trace-span Begin/End mispairings, atomic copies, hot-path
+# allocs, sentinel-error == comparisons, dropped-ctx calls.
 tuplex-vet:
 	$(GO) run ./cmd/tuplex-vet
+
+# Whole-plan static verifier: golden diagnostics for the adversarial
+# corpus (testdata/plancheck/) and the five paper pipelines, plus
+# `tuplex-run -check` over each paper pipeline as a CLI end-to-end.
+plancheck:
+	$(GO) test ./internal/plancheck/
+	for p in zillow flights weblogs 311 q6; do \
+		$(GO) run ./cmd/tuplex-run -pipeline $$p -rows 200 -check || exit 1; \
+	done
 
 race:
 	$(GO) test -race ./...
 
-check: build vet tuplex-vet test race
+check: build vet tuplex-vet plancheck test race
 
 bench-ingest:
 	$(GO) test -bench BenchmarkIngest -run '^$$' .

@@ -33,6 +33,7 @@ func main() {
 	executors := flag.Int("executors", 4, "executor threads")
 	variant := flag.String("variant", "strip", "weblogs parse variant: strip|split|regex|percol")
 	noOpt := flag.Bool("no-opt", false, "disable all optimizations (for comparison)")
+	check := flag.Bool("check", false, "statically verify the pipeline and exit without running it")
 	listen := flag.String("listen", "", "introspection server address (e.g. :9090)")
 	progress := flag.Bool("progress", false, "live TTY progress line while the run executes")
 	flag.Parse()
@@ -124,10 +125,17 @@ func main() {
 		}))
 	case "q6":
 		aggregate = true
-		t0 := time.Now()
-		revenue, res, err := pipelines.Q6(csvSource(func() []byte {
+		src := csvSource(func() []byte {
 			return data.TPCHLineitem(data.TPCHConfig{Rows: *rows, Seed: 42})
-		}))
+		})
+		if *check {
+			p, err := src.Plan()
+			fatalIf(err)
+			agg, comb, initial := pipelines.Q6UDFs()
+			os.Exit(reportDiagnostics(*pipeline, p.WithAggregateSink(agg, comb, initial)))
+		}
+		t0 := time.Now()
+		revenue, res, err := pipelines.Q6(src)
 		fatalIf(err)
 		fmt.Printf("Q6 revenue: %.2f (in %v)\n", revenue, time.Since(t0))
 		fmt.Println("metrics:", res.Metrics)
@@ -137,6 +145,12 @@ func main() {
 		os.Exit(2)
 	}
 	_ = aggregate
+
+	if *check {
+		p, err := ds.Plan()
+		fatalIf(err)
+		os.Exit(reportDiagnostics(*pipeline, p))
+	}
 
 	t0 := time.Now()
 	var res *tuplex.Result
@@ -173,6 +187,28 @@ func main() {
 	for _, wmsg := range res.Warnings {
 		fmt.Println("warning:", wmsg)
 	}
+}
+
+// reportDiagnostics prints every verifier finding and returns the
+// process exit code: 0 when the plan carries no error-severity
+// diagnostic, 1 otherwise.
+func reportDiagnostics(name string, p *tuplex.Plan) int {
+	diags := tuplex.Validate(p)
+	for _, d := range diags {
+		fmt.Printf("%s: %s\n", name, d)
+	}
+	errs := 0
+	for _, d := range diags {
+		if d.Severity == "error" {
+			errs++
+		}
+	}
+	if errs > 0 {
+		fmt.Fprintf(os.Stderr, "tuplex-run: %s: %d error(s), %d total diagnostic(s)\n", name, errs, len(diags))
+		return 1
+	}
+	fmt.Printf("%s: plan verifies clean (%d diagnostics)\n", name, len(diags))
+	return 0
 }
 
 func fatalIf(err error) {

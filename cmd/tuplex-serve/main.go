@@ -20,14 +20,18 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"github.com/gotuplex/tuplex/internal/plancheck"
 	"github.com/gotuplex/tuplex/internal/service"
+	"github.com/gotuplex/tuplex/internal/spec"
 )
 
 func main() {
@@ -41,7 +45,14 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
 	maxResultRows := flag.Int("max-result-rows", 10000, "rows inlined into a job response before truncation")
 	maxBodyBytes := flag.Int64("max-body-bytes", 8<<20, "request body cap in bytes")
+	checkSpecs := flag.String("check-specs", "", "verify every *.json spec in this directory at startup; refuse to serve on errors")
 	flag.Parse()
+
+	if *checkSpecs != "" {
+		if !verifySpecDir(*checkSpecs) {
+			os.Exit(1)
+		}
+	}
 
 	srv, err := service.Serve(service.Config{
 		Addr:            *addr,
@@ -72,4 +83,55 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "tuplex-serve: drained cleanly")
+}
+
+// verifySpecDir runs the whole-plan static verifier over every *.json
+// spec in dir (a spool of pipelines the deployment expects to serve)
+// and reports whether the daemon should start: any error-severity
+// diagnostic — or an unreadable spool — blocks startup, so a bad
+// deploy fails at boot instead of at the first 422.
+func verifySpecDir(dir string) bool {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(paths) == 0 {
+		fmt.Fprintf(os.Stderr, "tuplex-serve: -check-specs %s: no *.json specs found (err=%v)\n", dir, err)
+		return false
+	}
+	bad := 0
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tuplex-serve: %s: %v\n", path, err)
+			bad++
+			continue
+		}
+		var diags []plancheck.Diagnostic
+		p, err := spec.Decode(data)
+		if err != nil {
+			var de *spec.DecodeError
+			if !errors.As(err, &de) {
+				fmt.Fprintf(os.Stderr, "tuplex-serve: %s: %v\n", path, err)
+				bad++
+				continue
+			}
+			for _, prob := range de.Problems {
+				diags = append(diags, plancheck.Diagnostic{
+					Code: plancheck.CodeDecode, Severity: plancheck.SevError, Msg: prob,
+				})
+			}
+		} else {
+			diags = plancheck.Check(p)
+		}
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "tuplex-serve: %s: %s\n", filepath.Base(path), d)
+		}
+		if plancheck.HasErrors(diags) {
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "tuplex-serve: %d of %d spooled spec(s) failed verification, refusing to start\n", bad, len(paths))
+		return false
+	}
+	fmt.Fprintf(os.Stderr, "tuplex-serve: %d spooled spec(s) verify clean\n", len(paths))
+	return true
 }

@@ -78,6 +78,10 @@ type Options struct {
 	// default; also forced on while an introspection server is active in
 	// the process (telemetry.AutoEnabled).
 	Telemetry telemetry.Config
+	// Validate runs the whole-plan static verifier at each DataSet
+	// operator chain step, failing construction on error-severity
+	// findings (internal/plancheck; off by default).
+	Validate bool
 }
 
 // DefaultOptions returns the fully-optimized single-threaded setup.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -160,7 +161,7 @@ func (p *chunkProducer) next() (*csvio.Chunk, error) {
 			p.firstOfFile = true
 		}
 		c, err := p.cr.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			p.closedBytes += p.cr.BytesRead()
 			p.f.Close()
 			p.f, p.cr = nil, nil

@@ -1,6 +1,7 @@
 package csvio
 
 import (
+	"errors"
 	"io"
 	"sync"
 )
@@ -133,7 +134,7 @@ func (cr *ChunkReader) Next() (*Chunk, error) {
 			n, err := io.ReadFull(cr.r, buf[len(data):len(data)+want])
 			data = data[:len(data)+n]
 			cr.bytes += int64(n)
-			if err == io.EOF || err == io.ErrUnexpectedEOF {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 				cr.eof = true
 			} else if err != nil {
 				cr.pool.Put(&buf)

@@ -153,6 +153,16 @@ func (r *Result) Constant(e pyast.Expr) (pyvalue.Value, bool) {
 	return f.Const, true
 }
 
+// ConstantTruth reports the Python truthiness of e when e is a proven
+// constant. ok is false when e's value is not known statically.
+func (r *Result) ConstantTruth(e pyast.Expr) (bool, bool) {
+	v, ok := r.Constant(e)
+	if !ok {
+		return false, false
+	}
+	return pyvalue.Truth(v), true
+}
+
 // AlwaysRaises reports that e unconditionally raises the returned
 // exception kind (dep-free proofs only, so the exit is valid for every
 // normal-case row).

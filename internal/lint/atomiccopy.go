@@ -32,10 +32,15 @@ type Facts struct {
 	// atomicStructs maps "pkg.TypeName" to true for named struct types
 	// that transitively contain sync/atomic fields.
 	atomicStructs map[string]bool
+	// ctxVariants records declared ...Context functions: "pkg.Name" for
+	// top-level funcs, bare "Name" for methods (see ctxflow).
+	ctxVariants map[string]bool
 }
 
 // NewFacts returns an empty fact set.
-func NewFacts() *Facts { return &Facts{atomicStructs: map[string]bool{}} }
+func NewFacts() *Facts {
+	return &Facts{atomicStructs: map[string]bool{}, ctxVariants: map[string]bool{}}
+}
 
 // atomicImportName returns the file-local name of the sync/atomic
 // import ("" when the file does not import it).
@@ -97,6 +102,7 @@ func typeContainsAtomic(t ast.Expr, pkg, atomicName string, facts *Facts) bool {
 // iterates dirs to a fixpoint so nesting across files and packages
 // resolves regardless of scan order).
 func collectFacts(files []*ast.File, facts *Facts) (changed bool) {
+	changed = collectCtxVariants(files, facts)
 	for _, f := range files {
 		pkg := f.Name.Name
 		atomicName := atomicImportName(f)

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// CtxFlow flags exported functions in the blocking tiers
+// (internal/core, internal/service, and the public API) that accept a
+// context.Context but then call a helper through its context-free
+// variant when a ...Context twin exists. Dropping ctx at one hop
+// severs the whole cancellation chain below it: the service's
+// request-timeout and DELETE-cancel paths rely on ctx reaching every
+// chunk boundary, so a core.Execute call inside a handler that was
+// given ctx is a silent hang-forever bug, not a style issue.
+//
+// Detection is syntactic. The fact prepass records every *Context
+// function and method declared across the module; a call to Bar or
+// pkg.Bar (or method x.Bar) inside an exported ctx-taking function is
+// flagged when BarContext is known to exist.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "ctx-taking exported functions must call the ...Context variant of blocking helpers",
+	Run:  runCtxFlow,
+}
+
+// ctxFlowDir limits the check to the tiers whose calls block on the
+// engine; test fixtures pass matching dirs explicitly.
+func ctxFlowDir(dir string) bool {
+	d := filepath.ToSlash(dir) + "/"
+	return strings.Contains(d, "internal/core/") ||
+		strings.Contains(d, "internal/service/")
+}
+
+// collectCtxVariants records the package's ...Context declarations
+// into facts: top-level funcs as "pkg.Name", methods by bare name
+// (receiver types are not resolvable syntactically, so method variants
+// match on name alone).
+func collectCtxVariants(files []*ast.File, facts *Facts) (changed bool) {
+	for _, f := range files {
+		pkg := f.Name.Name
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !strings.HasSuffix(fd.Name.Name, "Context") || fd.Name.Name == "Context" {
+				continue
+			}
+			key := pkg + "." + fd.Name.Name
+			if fd.Recv != nil {
+				key = fd.Name.Name
+			}
+			if !facts.ctxVariants[key] {
+				facts.ctxVariants[key] = true
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// ctxParamName returns the name of fn's context.Context parameter ("")
+// when fn takes none or leaves it blank (a blank ctx cannot be passed
+// through, so there is nothing to enforce).
+func ctxParamName(fn *ast.FuncDecl) string {
+	if fn.Type.Params == nil {
+		return ""
+	}
+	for _, fl := range fn.Type.Params.List {
+		sel, ok := fl.Type.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Context" {
+			continue
+		}
+		if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "context" {
+			continue
+		}
+		for _, name := range fl.Names {
+			if name.Name != "_" {
+				return name.Name
+			}
+		}
+	}
+	return ""
+}
+
+func runCtxFlow(p *Pass) {
+	if !ctxFlowDir(p.Dir) {
+		return
+	}
+	facts := p.Facts
+	if facts == nil {
+		facts = NewFacts()
+		for collectCtxVariants(p.Files, facts) {
+		}
+	}
+	for _, f := range p.Files {
+		pkg := f.Name.Name
+		imports := importNames(f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if ctxParamName(fd) == "" {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := call.Fun.(type) {
+				case *ast.Ident:
+					if facts.ctxVariants[pkg+"."+fun.Name+"Context"] {
+						p.Reportf(call.Pos(),
+							"%s drops ctx calling %s; use %sContext(ctx, ...)",
+							fd.Name.Name, fun.Name, fun.Name)
+					}
+				case *ast.SelectorExpr:
+					id, isIdent := fun.X.(*ast.Ident)
+					name := fun.Sel.Name
+					switch {
+					case isIdent && imports[id.Name]: // qualified pkg.Bar
+						if facts.ctxVariants[id.Name+"."+name+"Context"] {
+							p.Reportf(call.Pos(),
+								"%s drops ctx calling %s.%s; use %s.%sContext(ctx, ...)",
+								fd.Name.Name, id.Name, name, id.Name, name)
+						}
+					default: // method x.Bar — match variants by bare name
+						if facts.ctxVariants[name+"Context"] {
+							p.Reportf(call.Pos(),
+								"%s drops ctx calling %s; use %sContext(ctx, ...)",
+								fd.Name.Name, name, name)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}

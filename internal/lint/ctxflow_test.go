@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestCtxFlowFlagsSeededViolations(t *testing.T) {
+	src := `package service
+
+import "context"
+
+func run(node int) {}
+
+func runContext(ctx context.Context, node int) {}
+
+type engine struct{}
+
+func (e *engine) Execute(n int) {}
+
+func (e *engine) ExecuteContext(ctx context.Context, n int) {}
+
+// Handle receives ctx but calls the context-free variants.
+func Handle(ctx context.Context, e *engine) {
+	run(1)
+	e.Execute(2)
+}
+
+// HandleRight threads ctx through; nothing to report.
+func HandleRight(ctx context.Context, e *engine) {
+	runContext(ctx, 1)
+	e.ExecuteContext(ctx, 2)
+}
+
+// lower is unexported: internal plumbing may hold ctx in state.
+func lower(ctx context.Context, e *engine) { e.Execute(2) }
+
+// NoCtx takes no context, so it has nothing to pass.
+func NoCtx(e *engine) { e.Execute(2) }
+`
+	diags := analyze(t, "internal/service", src, CtxFlow)
+	wantDiag(t, diags, "ctxflow", "Handle drops ctx calling run; use runContext(ctx, ...)")
+	wantDiag(t, diags, "ctxflow", "Handle drops ctx calling Execute; use ExecuteContext(ctx, ...)")
+	if len(diags) != 2 {
+		t.Fatalf("diagnostics = %d, want 2: %v", len(diags), diags)
+	}
+}
+
+func TestCtxFlowCrossPackageFacts(t *testing.T) {
+	fset := token.NewFileSet()
+	parse := func(name, src string) *ast.File {
+		t.Helper()
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	coreFile := parse("core.go", `package core
+
+import "context"
+
+func Execute(n int) {}
+
+func ExecuteContext(ctx context.Context, n int) {}
+`)
+	serviceFile := parse("service.go", `package service
+
+import (
+	"context"
+	"example.com/tuplex/internal/core"
+)
+
+func Run(ctx context.Context) { core.Execute(1) }
+
+func RunRight(ctx context.Context) { core.ExecuteContext(ctx, 1) }
+`)
+	facts := NewFacts()
+	for changed := true; changed; {
+		changed = collectFacts([]*ast.File{coreFile}, facts)
+		if collectFacts([]*ast.File{serviceFile}, facts) {
+			changed = true
+		}
+	}
+	diags := runFiles(fset, []*ast.File{serviceFile}, "internal/service", []*Analyzer{CtxFlow}, facts)
+	wantDiag(t, diags, "ctxflow", "Run drops ctx calling core.Execute; use core.ExecuteContext(ctx, ...)")
+	if len(diags) != 1 {
+		t.Fatalf("diagnostics = %d, want 1: %v", len(diags), diags)
+	}
+}
+
+func TestCtxFlowScopedToBlockingTiers(t *testing.T) {
+	// The same drop outside internal/core & internal/service stays
+	// unflagged: higher tiers are allowed deliberate Background() use.
+	src := `package pipelines
+
+import "context"
+
+func step(n int) {}
+
+func stepContext(ctx context.Context, n int) {}
+
+func Build(ctx context.Context) { step(1) }
+`
+	if diags := analyze(t, "internal/pipelines", src, CtxFlow); len(diags) != 0 {
+		t.Fatalf("non-blocking tier flagged: %v", diags)
+	}
+}

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ErrCmp flags ==/!= comparisons against another package's sentinel
+// errors (err == core.ErrCanceled). Sentinels cross wrap boundaries:
+// the service layer wraps engine errors with %w, so a direct equality
+// silently stops matching the moment anyone adds context to the chain.
+// errors.Is is the only comparison that survives wrapping, and the
+// repo's cancellation path (core.ErrCanceled traveling through
+// service job handling) is exactly where a broken comparison would
+// turn a graceful cancel into a spurious failure.
+//
+// The check is scoped to qualified references: inside the defining
+// package a bare `err == ErrX` can be a deliberate identity check on
+// an unwrapped value, so it stays legal.
+var ErrCmp = &Analyzer{
+	Name: "errcmp",
+	Doc:  "sentinel errors from other packages must be compared with errors.Is",
+	Run:  runErrCmp,
+}
+
+// importNames returns the file-local names under which f's imports are
+// accessible (explicit alias, else the import path's base).
+func importNames(f *ast.File) map[string]bool {
+	names := map[string]bool{}
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := path.Base(p)
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name != "_" && name != "." {
+			names[name] = true
+		}
+	}
+	return names
+}
+
+// isSentinelName reports whether name follows the ErrXxx sentinel
+// convention (Err followed by an upper-case rune, or exactly "Err").
+func isSentinelName(name string) bool {
+	if name == "Err" {
+		return true
+	}
+	rest, ok := strings.CutPrefix(name, "Err")
+	if !ok || rest == "" {
+		return false
+	}
+	return unicode.IsUpper([]rune(rest)[0])
+}
+
+// wellKnownSentinels are stdlib sentinels that predate the ErrXxx
+// naming convention but break under wrapping all the same.
+var wellKnownSentinels = map[string]bool{
+	"context.Canceled":         true,
+	"context.DeadlineExceeded": true,
+	"io.EOF":                   true,
+}
+
+// foreignSentinel reports whether e is a qualified reference to a
+// sentinel error in another package (imports scopes the selector base
+// to real packages, so struct fields like resp.ErrCount don't trip).
+func foreignSentinel(e ast.Expr, imports map[string]bool) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || !imports[id.Name] {
+		return false
+	}
+	return isSentinelName(sel.Sel.Name) || wellKnownSentinels[id.Name+"."+sel.Sel.Name]
+}
+
+func runErrCmp(p *Pass) {
+	for _, f := range p.Files {
+		imports := importNames(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			for _, side := range []ast.Expr{be.X, be.Y} {
+				if foreignSentinel(side, imports) {
+					p.Reportf(be.Pos(),
+						"comparison %s with sentinel error %s breaks under wrapping; use errors.Is",
+						be.Op, types.ExprString(side))
+					break
+				}
+			}
+			return true
+		})
+	}
+}

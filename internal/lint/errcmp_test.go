@@ -1,0 +1,76 @@
+package lint
+
+import "testing"
+
+func TestErrCmpFlagsSeededViolations(t *testing.T) {
+	src := `package service
+
+import (
+	"context"
+	"github.com/gotuplex/tuplex/internal/core"
+)
+
+func handle(err error) bool {
+	if err == core.ErrCanceled {
+		return true
+	}
+	if core.ErrCanceled == err {
+		return true
+	}
+	return err != context.Canceled && err != core.Err
+}
+`
+	diags := analyze(t, "internal/service", src, ErrCmp)
+	wantDiag(t, diags, "errcmp", "core.ErrCanceled")
+	wantDiag(t, diags, "errcmp", "use errors.Is")
+	wantDiag(t, diags, "errcmp", "core.Err breaks")
+	if len(diags) != 4 {
+		t.Fatalf("diagnostics = %d, want 4: %v", len(diags), diags)
+	}
+}
+
+func TestErrCmpAllowsLegitimateComparisons(t *testing.T) {
+	src := `package service
+
+import (
+	"errors"
+	"github.com/gotuplex/tuplex/internal/core"
+)
+
+type resp struct {
+	ErrCount int
+	Errs     []error
+}
+
+func handle(err error, r resp, core2 resp) bool {
+	if errors.Is(err, core.ErrCanceled) {
+		return true
+	}
+	if err == nil || r.ErrCount == 0 {
+		return false
+	}
+	// Selector bases that aren't imported packages are not sentinels.
+	return core2.ErrCount != 1
+}
+
+// Inside the defining package a bare identity check stays legal.
+var ErrLocal = errors.New("local")
+
+func local(err error) bool { return err == ErrLocal }
+`
+	if diags := analyze(t, "internal/service", src, ErrCmp); len(diags) != 0 {
+		t.Fatalf("legitimate comparisons flagged: %v", diags)
+	}
+}
+
+func TestErrCmpNotScopedToServiceDirs(t *testing.T) {
+	// Unlike ctxflow, sentinel comparisons are wrong anywhere.
+	src := `package pipelines
+
+import "github.com/gotuplex/tuplex/internal/core"
+
+func bad(err error) bool { return err == core.ErrCanceled }
+`
+	diags := analyze(t, "internal/pipelines", src, ErrCmp)
+	wantDiag(t, diags, "errcmp", "core.ErrCanceled")
+}

@@ -36,14 +36,22 @@ func ThreeOneOne(ds *tuplex.DataSet) *tuplex.DataSet {
 		Unique()
 }
 
+// Q6UDFs returns the aggregate and combiner UDFs (plus the initial
+// accumulator) Q6 runs, so callers can attach them to a plan for
+// static validation without executing anything.
+func Q6UDFs() (agg, comb tuplex.UDFDef, initial any) {
+	agg = tuplex.UDF(fmt.Sprintf(
+		"lambda acc, r: acc + r['l_extendedprice'] * r['l_discount'] if (r['l_shipdate'] >= %d and r['l_shipdate'] < %d and 0.05 <= r['l_discount'] <= 0.07 and r['l_quantity'] < 24) else acc",
+		data.Q6DateLo, data.Q6DateHi))
+	comb = tuplex.UDF("lambda a, b: a + b")
+	return agg, comb, 0.0
+}
+
 // Q6 runs TPC-H Q6 as a Tuplex aggregate: the revenue sum under the
 // shipdate/discount/quantity predicates.
 func Q6(ds *tuplex.DataSet) (float64, *tuplex.Result, error) {
-	agg := tuplex.UDF(fmt.Sprintf(
-		"lambda acc, r: acc + r['l_extendedprice'] * r['l_discount'] if (r['l_shipdate'] >= %d and r['l_shipdate'] < %d and 0.05 <= r['l_discount'] <= 0.07 and r['l_quantity'] < 24) else acc",
-		data.Q6DateLo, data.Q6DateHi))
-	comb := tuplex.UDF("lambda a, b: a + b")
-	v, res, err := ds.Aggregate(agg, comb, 0.0)
+	agg, comb, initial := Q6UDFs()
+	v, res, err := ds.Aggregate(agg, comb, initial)
 	if err != nil {
 		return 0, res, err
 	}

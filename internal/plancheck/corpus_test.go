@@ -1,0 +1,107 @@
+package plancheck_test
+
+import (
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/gotuplex/tuplex/internal/plancheck"
+	"github.com/gotuplex/tuplex/internal/spec"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// corpusDir is the shared adversarial spec corpus, also exercised by
+// `make plancheck` and the service's /v1/validate tests.
+const corpusDir = "../../testdata/plancheck"
+
+// checkFile runs the verifier over one corpus spec, mapping
+// accumulated decode problems to TPX000 the way the service does.
+func checkFile(t *testing.T, path string) []plancheck.Diagnostic {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := spec.Decode(data)
+	if err != nil {
+		var de *spec.DecodeError
+		if !errors.As(err, &de) {
+			t.Fatalf("decode %s: %v", path, err)
+		}
+		var diags []plancheck.Diagnostic
+		for _, prob := range de.Problems {
+			diags = append(diags, plancheck.Diagnostic{
+				Code: plancheck.CodeDecode, Severity: plancheck.SevError, Msg: prob,
+			})
+		}
+		return diags
+	}
+	return plancheck.Check(p)
+}
+
+// TestAdversarialCorpusGoldens pins every diagnostic the corpus
+// produces — codes, severities and op/line attribution — against golden
+// files, one per spec.
+func TestAdversarialCorpusGoldens(t *testing.T) {
+	specs, err := filepath.Glob(filepath.Join(corpusDir, "*.json"))
+	if err != nil || len(specs) == 0 {
+		t.Fatalf("no corpus specs in %s (err=%v)", corpusDir, err)
+	}
+	for _, sp := range specs {
+		name := strings.TrimSuffix(filepath.Base(sp), ".json")
+		t.Run(name, func(t *testing.T) {
+			diags := checkFile(t, sp)
+			var b strings.Builder
+			for _, d := range diags {
+				b.WriteString(d.String())
+				b.WriteByte('\n')
+			}
+			got := b.String()
+			golden := strings.TrimSuffix(sp, ".json") + ".golden"
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics drifted for %s:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+			}
+		})
+	}
+}
+
+// TestCorpusCoversEveryCode asserts the adversarial corpus exercises
+// every diagnostic code the verifier can emit, so no code ships without
+// a golden pinning its text and attribution.
+func TestCorpusCoversEveryCode(t *testing.T) {
+	specs, err := filepath.Glob(filepath.Join(corpusDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, sp := range specs {
+		for _, d := range checkFile(t, sp) {
+			seen[d.Code] = true
+		}
+	}
+	all := []string{
+		plancheck.CodeDecode, plancheck.CodeUndefinedColumn, plancheck.CodeJoinKeyMismatch,
+		plancheck.CodeAlwaysRaises, plancheck.CodeDeadResolver, plancheck.CodeConstantFilter,
+		plancheck.CodeDeadWrite, plancheck.CodeOrphanResolver, plancheck.CodeNoopOperator,
+		plancheck.CodeNoopOption, plancheck.CodeMalformedSpec, plancheck.CodeUnknownSchema,
+	}
+	for _, code := range all {
+		if !seen[code] {
+			t.Errorf("no corpus spec produces %s", code)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package plancheck_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	tuplex "github.com/gotuplex/tuplex"
+)
+
+// TestValidateCleanPlansCompile is the verifier's soundness
+// differential: any plan Validate passes without errors must build
+// against this binary's operator set, and — when its sources are inline
+// — run end to end without a top-level failure. Rows may still route to
+// the exception path (that is dual-mode execution working, e.g. the
+// always-raising corpus map); what must never happen is a clean verdict
+// followed by a schema or compilation error.
+func TestValidateCleanPlansCompile(t *testing.T) {
+	var plans []struct {
+		name   string
+		plan   *tuplex.Plan
+		inline bool
+	}
+
+	specs, err := filepath.Glob(filepath.Join(corpusDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs = append(specs, filepath.Join("..", "..", "testdata", "plan_full.json"))
+	for _, sp := range specs {
+		data, err := os.ReadFile(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := tuplex.ParsePlan(data)
+		if err != nil {
+			continue // accumulated decode errors: corpus for TPX000
+		}
+		plans = append(plans, struct {
+			name   string
+			plan   *tuplex.Plan
+			inline bool
+		}{filepath.Base(sp), p, !strings.Contains(string(data), `"path"`)})
+	}
+	for name, p := range paperPlans(t) {
+		plans = append(plans, struct {
+			name   string
+			plan   *tuplex.Plan
+			inline bool
+		}{"paper/" + name, p, true})
+	}
+
+	for _, tc := range plans {
+		t.Run(tc.name, func(t *testing.T) {
+			hasError := false
+			for _, d := range tuplex.Validate(tc.plan) {
+				if d.Severity == "error" {
+					hasError = true
+				}
+			}
+			if hasError {
+				t.Skip("plan has validation errors; rejection is the contract")
+			}
+			if err := tc.plan.Validate(); err != nil {
+				t.Fatalf("Validate-clean plan failed to build: %v", err)
+			}
+			if !tc.inline {
+				return // file-backed sources may not exist in the test env
+			}
+			if _, err := tc.plan.Run(context.Background()); err != nil {
+				t.Fatalf("Validate-clean plan failed to run: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,137 @@
+package plancheck
+
+import (
+	"fmt"
+
+	"github.com/gotuplex/tuplex/internal/spec"
+)
+
+// liveEvent is one operator's read/write summary, recorded during the
+// forward walk and replayed backwards by deadWrites. inNames is the
+// operator's input column set (nil when the schema was open at that
+// point).
+type liveEvent struct {
+	path      string
+	kind      string
+	ord       int
+	inNames   []string
+	col       string   // withColumn/mapColumn target, renameColumn old
+	renamedTo string   // renameColumn new
+	reads     []string // columns the op's UDF reads by name
+	readsAll  bool     // whole-row/positional/unknown access: reads everything
+	sel       []string // selectColumns projection list
+}
+
+// deadWrites runs a backward liveness pass over one chain's events: a
+// column is live when some later operator or the sink reads it. A
+// withColumn/mapColumn whose target is provably never read before being
+// dropped or overwritten is a TPX006 dead write. The pass is
+// conservative in exactly one direction — whenever reads are unknown
+// (open schema, whole-row access, unknown op) everything becomes live —
+// so it never reports a false dead write.
+func (c *checker) deadWrites(events []liveEvent, final absSchema, p *spec.Pipeline, top bool) {
+	live := map[string]bool{}
+	allLive := final.open
+	if !allLive {
+		for _, n := range final.names() {
+			live[n] = true
+		}
+	}
+	if top && p.Sink.Kind == "aggregate" {
+		// The fold may read any column; its access set is not threaded
+		// through events, so keep everything live.
+		allLive = true
+	}
+
+	markAll := func(ev *liveEvent) {
+		if ev.inNames == nil {
+			allLive = true
+			return
+		}
+		for _, n := range ev.inNames {
+			live[n] = true
+		}
+	}
+	markReads := func(ev *liveEvent) {
+		if ev.readsAll {
+			markAll(ev)
+			return
+		}
+		for _, n := range ev.reads {
+			live[n] = true
+		}
+	}
+
+	for i := len(events) - 1; i >= 0; i-- {
+		ev := &events[i]
+		switch ev.kind {
+		case "withColumn":
+			if !allLive && ev.col != "" && !live[ev.col] {
+				c.addAt(ev.ord, CodeDeadWrite, SevWarning, ev.path, ev.kind,
+					"column %q is written here but never read before being dropped or overwritten", ev.col)
+			}
+			if ev.col != "" {
+				delete(live, ev.col)
+			}
+			markReads(ev)
+
+		case "mapColumn":
+			if !allLive && ev.col != "" && !live[ev.col] {
+				c.addAt(ev.ord, CodeDeadWrite, SevWarning, ev.path, ev.kind,
+					"column %q is rewritten here but never read before being dropped or overwritten", ev.col)
+			}
+			markReads(ev) // reads includes the target column itself
+
+		case "map":
+			// The map's output replaces the whole row: only its own reads
+			// are live upstream of it.
+			live = map[string]bool{}
+			allLive = false
+			markReads(ev)
+
+		case "filter", "resolve", "ignore":
+			markReads(ev)
+
+		case "renameColumn":
+			if ev.col != "" && ev.renamedTo != "" && !allLive {
+				if live[ev.renamedTo] {
+					delete(live, ev.renamedTo)
+					live[ev.col] = true
+				}
+			} else if allLive {
+				// Everything stays live; nothing to rewrite.
+			}
+
+		case "selectColumns":
+			// Columns not in the projection cannot be read downstream.
+			kept := map[string]bool{}
+			for _, n := range ev.sel {
+				if allLive || live[n] {
+					kept[n] = true
+				}
+			}
+			live = kept
+			allLive = false
+
+		case "join", "unique", "aggregate":
+			// Conservative: keys, hash inputs and fold inputs may touch any
+			// column.
+			markAll(ev)
+
+		case "cache":
+			// Pure materialization: liveness unchanged.
+
+		default:
+			allLive = true
+		}
+	}
+}
+
+// addAt appends a diagnostic stamped with an explicit document order, so
+// backward-pass findings sort to their operator's position.
+func (c *checker) addAt(ord int, code string, sev Severity, op, kind, format string, args ...any) {
+	c.diags = append(c.diags, Diagnostic{
+		Code: code, Severity: sev, Op: op, Kind: kind,
+		Msg: fmt.Sprintf(format, args...), ord: ord,
+	})
+}

@@ -1,0 +1,89 @@
+package plancheck_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	tuplex "github.com/gotuplex/tuplex"
+	"github.com/gotuplex/tuplex/internal/data"
+	"github.com/gotuplex/tuplex/internal/pipelines"
+)
+
+// paperPlans builds the five paper evaluation pipelines (Appendix A /
+// §6.1) over inline synthetic data, exactly as the integration tests
+// run them.
+func paperPlans(t *testing.T) map[string]*tuplex.Plan {
+	t.Helper()
+	c := tuplex.NewContext()
+	plans := map[string]*tuplex.Plan{}
+	add := func(name string, ds *tuplex.DataSet) {
+		t.Helper()
+		p, err := ds.Plan()
+		if err != nil {
+			t.Fatalf("%s: Plan: %v", name, err)
+		}
+		plans[name] = p
+	}
+
+	zillow := data.Zillow(data.ZillowConfig{Rows: 200, Seed: 42, DirtyFraction: 0.01})
+	add("zillow", pipelines.Zillow(c.CSV("", tuplex.CSVData(zillow))))
+
+	perf := data.Flights(data.FlightsConfig{Rows: 200, Seed: 11})
+	in := pipelines.FlightsSources(c, perf, data.Carriers(), data.Airports())
+	add("flights", pipelines.Flights(in))
+
+	logs, bad := data.Weblogs(data.WeblogConfig{Rows: 200, Seed: 5})
+	add("weblogs", pipelines.Weblogs(
+		c.Text("", tuplex.TextData(logs)),
+		c.CSV("", tuplex.CSVData(bad)),
+		pipelines.WeblogStrip))
+
+	svc := data.ThreeOneOne(data.ThreeOneOneConfig{Rows: 200, Seed: 9})
+	add("311", pipelines.ThreeOneOne(c.CSV("", tuplex.CSVData(svc))))
+
+	q6 := data.TPCHLineitem(data.TPCHConfig{Rows: 200, Seed: 13})
+	q6ds := c.CSV("", tuplex.CSVData(q6))
+	p, err := q6ds.Plan()
+	if err != nil {
+		t.Fatalf("q6: Plan: %v", err)
+	}
+	plans["q6"] = p.WithAggregateSink(
+		tuplex.UDF(fmt.Sprintf(
+			"lambda acc, r: acc + r['l_extendedprice'] * r['l_discount'] if (r['l_shipdate'] >= %d and r['l_shipdate'] < %d and 0.05 <= r['l_discount'] <= 0.07 and r['l_quantity'] < 24) else acc",
+			data.Q6DateLo, data.Q6DateHi)),
+		tuplex.UDF("lambda a, b: a + b"),
+		0.0)
+	return plans
+}
+
+// TestPaperPipelinesValidateClean pins the verifier's zero-false-
+// positive contract: all five paper pipelines validate with zero
+// diagnostics, checked against golden files so any future finding on
+// them is an explicit, reviewed change.
+func TestPaperPipelinesValidateClean(t *testing.T) {
+	for name, p := range paperPlans(t) {
+		t.Run(name, func(t *testing.T) {
+			diags := tuplex.Validate(p)
+			var b strings.Builder
+			for _, d := range diags {
+				b.WriteString(d.String())
+				b.WriteByte('\n')
+			}
+			got := b.String()
+			golden := filepath.Join("testdata", "paper", name+".golden")
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("read golden: %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics changed for %s:\ngot:\n%swant:\n%s", name, got, want)
+			}
+			if len(diags) != 0 {
+				t.Errorf("paper pipeline %s must validate clean, got %d diagnostics", name, len(diags))
+			}
+		})
+	}
+}

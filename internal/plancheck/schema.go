@@ -1,0 +1,268 @@
+package plancheck
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/gotuplex/tuplex/internal/csvio"
+	"github.com/gotuplex/tuplex/internal/pyvalue"
+	"github.com/gotuplex/tuplex/internal/spec"
+	"github.com/gotuplex/tuplex/internal/types"
+)
+
+// absSchema is the abstract schema flowing through the walk: a closed
+// column list with lattice types, or "open" when the column set cannot
+// be determined statically. Open schemas suppress downstream
+// name-resolution checks — the checker never guesses, so it never
+// reports a false undefined column.
+type absSchema struct {
+	open bool
+	sch  *types.Schema
+}
+
+func closedSchema(s *types.Schema) absSchema { return absSchema{sch: s} }
+
+// names returns the column names (nil when open).
+func (a absSchema) names() []string {
+	if a.open || a.sch == nil {
+		return nil
+	}
+	return a.sch.Names()
+}
+
+// colType looks up a column's lattice type. ok is false when the
+// schema is open or the column is absent.
+func (a absSchema) colType(name string) (types.Type, bool) {
+	if a.open || a.sch == nil {
+		return types.Any, false
+	}
+	idx, ok := a.sch.Lookup(name)
+	if !ok {
+		return types.Any, false
+	}
+	return a.sch.Col(idx).Type, true
+}
+
+// headerPeekLimit bounds how much of a file-backed CSV source the
+// checker reads to learn column names. Validation must stay cheap: one
+// bounded read, never a scan.
+const headerPeekLimit = 64 << 10
+
+// sourceSchema derives the abstract input schema for a spec source.
+// CSV columns are seeded at ⊤ (types.Any): without running the sampler
+// there is no evidence for anything narrower. Parallelize rows carry
+// literal values in the spec itself, so their types are exact — a
+// static fact of the program text, not a sample.
+func (c *checker) sourceSchema(s *spec.Source, path string) absSchema {
+	switch s.Kind {
+	case "csv":
+		return c.csvSchema(s, path)
+	case "text":
+		col := s.Column
+		if col == "" {
+			col = "value"
+		}
+		if s.Path == "" && s.Data == "" {
+			c.addf(CodeMalformedSpec, SevError, path, s.Kind, "", "text source needs path or data")
+		}
+		return closedSchema(types.NewSchema([]types.Column{{Name: col, Type: types.Str}}))
+	case "parallelize":
+		return c.parallelizeSchema(s, path)
+	default:
+		c.addf(CodeMalformedSpec, SevError, path, s.Kind, "",
+			"unknown source kind %q", s.Kind)
+		return absSchema{open: true}
+	}
+}
+
+func (c *checker) csvSchema(s *spec.Source, path string) absSchema {
+	delim := byte(',')
+	if s.Delim != "" {
+		if len(s.Delim) != 1 {
+			c.addf(CodeMalformedSpec, SevError, path, s.Kind, "",
+				"csv delim must be one character, got %q", s.Delim)
+		} else {
+			delim = s.Delim[0]
+		}
+	}
+	if s.Path == "" && s.Data == "" {
+		c.addf(CodeMalformedSpec, SevError, path, s.Kind, "", "csv source needs path or data")
+		return absSchema{open: true}
+	}
+	header := s.Header == nil || *s.Header
+
+	var names []string
+	switch {
+	case len(s.Columns) > 0:
+		names = s.Columns
+	default:
+		line, ok := c.firstLine(s, path)
+		if !ok {
+			return absSchema{open: true}
+		}
+		cells := csvio.SplitCells(line, delim, nil)
+		if header {
+			names = append([]string(nil), cells...)
+		} else {
+			// Headerless without explicit columns: the engine names them
+			// positionally, and so do we.
+			names = make([]string, len(cells))
+			for i := range cells {
+				names[i] = fmt.Sprintf("_%d", i)
+			}
+		}
+	}
+	cols := make([]types.Column, len(names))
+	for i, n := range names {
+		cols[i] = types.Column{Name: n, Type: types.Any} // ⊤: no sample, no evidence
+	}
+	return closedSchema(types.NewSchema(cols))
+}
+
+// firstLine returns the first record line of a CSV source: from inline
+// data, or a bounded peek at the first file of a path list. A failed
+// peek emits TPX011 and reports !ok (open schema downstream).
+func (c *checker) firstLine(s *spec.Source, path string) ([]byte, bool) {
+	if s.Data != "" {
+		line, ok := splitFirstLine([]byte(s.Data))
+		if !ok {
+			c.addf(CodeUnknownSchema, SevInfo, path, s.Kind, "",
+				"csv data is empty; column set unknown, downstream column checks skipped")
+			return nil, false
+		}
+		return line, true
+	}
+	first := s.Path
+	if i := strings.IndexByte(first, ','); i >= 0 {
+		first = first[:i]
+	}
+	first = strings.TrimSpace(first)
+	f, err := os.Open(first)
+	if err != nil {
+		c.addf(CodeUnknownSchema, SevInfo, path, s.Kind, "",
+			"cannot peek csv header of %s (%v); column set unknown, downstream column checks skipped", first, err)
+		return nil, false
+	}
+	defer f.Close()
+	buf := make([]byte, headerPeekLimit)
+	n, err := io.ReadFull(f, buf)
+	if err != nil && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+		c.addf(CodeUnknownSchema, SevInfo, path, s.Kind, "",
+			"cannot peek csv header of %s (%v); column set unknown, downstream column checks skipped", first, err)
+		return nil, false
+	}
+	line, ok := splitFirstLine(buf[:n])
+	if !ok {
+		c.addf(CodeUnknownSchema, SevInfo, path, s.Kind, "",
+			"no complete header line in the first %d bytes of %s; column set unknown", headerPeekLimit, first)
+		return nil, false
+	}
+	return line, true
+}
+
+// splitFirstLine extracts the first newline-terminated line (CR
+// stripped). ok is false for empty input; input without any newline is
+// accepted as a single-line file.
+func splitFirstLine(data []byte) ([]byte, bool) {
+	if len(data) == 0 {
+		return nil, false
+	}
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		data = data[:i]
+	}
+	return bytes.TrimSuffix(data, []byte{'\r'}), true
+}
+
+func (c *checker) parallelizeSchema(s *spec.Source, path string) absSchema {
+	if len(s.Rows) == 0 {
+		c.addf(CodeMalformedSpec, SevError, path, s.Kind, "", "parallelize source needs rows")
+		return absSchema{open: true}
+	}
+	// Column count: the widest common width, matching the sampler's
+	// majority vote closely enough for static purposes (mismatched rows
+	// route to the exception path at run time either way).
+	width := 0
+	for _, r := range s.Rows {
+		if len(r) > width {
+			width = len(r)
+		}
+	}
+	cols := make([]types.Column, width)
+	for i := range cols {
+		var u types.Type
+		for _, r := range s.Rows {
+			if i < len(r) {
+				u = types.Unify(u, typeOfValue(r[i]))
+			}
+		}
+		if !u.IsValid() {
+			u = types.Any
+		}
+		name := fmt.Sprintf("_%d", i)
+		if i < len(s.Columns) {
+			name = s.Columns[i]
+		}
+		cols[i] = types.Column{Name: name, Type: u}
+	}
+	return closedSchema(types.NewSchema(cols))
+}
+
+// typeOfValue types a wire value (decoded JSON) in the lattice — exact,
+// because the value is part of the spec text.
+func typeOfValue(v any) types.Type {
+	switch v := spec.BoxValue(v).(type) {
+	case pyvalue.None:
+		return types.Null
+	case pyvalue.Bool:
+		return types.Bool
+	case pyvalue.Int:
+		return types.I64
+	case pyvalue.Float:
+		return types.F64
+	case pyvalue.Str:
+		return types.Str
+	case *pyvalue.List:
+		var u types.Type
+		for _, it := range v.Items {
+			u = types.Unify(u, typeOfValue(it))
+		}
+		if !u.IsValid() {
+			u = types.Any
+		}
+		return types.List(u)
+	default:
+		return types.Any
+	}
+}
+
+// joinSchema mirrors the engine's join output layout: probe columns
+// with the left prefix, then build columns minus the build key with the
+// right prefix (Option-wrapped for left joins, which pad unmatched
+// probe rows with None).
+func joinSchema(probe, build absSchema, op *spec.Op) absSchema {
+	if probe.open || build.open {
+		return absSchema{open: true}
+	}
+	cols := make([]types.Column, 0, probe.sch.Len()+build.sch.Len())
+	for i := 0; i < probe.sch.Len(); i++ {
+		col := probe.sch.Col(i)
+		cols = append(cols, types.Column{Name: op.LeftPrefix + col.Name, Type: col.Type})
+	}
+	keyIdx, _ := build.sch.Lookup(op.RightKey)
+	for i := 0; i < build.sch.Len(); i++ {
+		if i == keyIdx {
+			continue
+		}
+		col := build.sch.Col(i)
+		t := col.Type
+		if op.Left {
+			t = types.Option(t)
+		}
+		cols = append(cols, types.Column{Name: op.RightPrefix + col.Name, Type: t})
+	}
+	return closedSchema(types.NewSchema(cols))
+}

@@ -91,6 +91,26 @@ func (c *planCache) touch(key string) {
 	}
 }
 
+// has reports whether key holds a successfully completed plan. The
+// submit path uses it to skip re-validating warm resubmissions: a
+// cached plan passed the static verifier (and the compiler) on the
+// cold submission, so only the first sighting of a spec pays for
+// plancheck.
+func (c *planCache) has(key string) bool {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	select {
+	case <-e.ready:
+		return e.err == nil
+	default:
+		return false
+	}
+}
+
 // len reports cached (completed) plans, for tests and reports.
 func (c *planCache) len() int {
 	c.mu.Lock()

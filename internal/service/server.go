@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/gotuplex/tuplex/internal/core"
+	"github.com/gotuplex/tuplex/internal/plancheck"
 	"github.com/gotuplex/tuplex/internal/spec"
 	"github.com/gotuplex/tuplex/internal/telemetry"
 )
@@ -61,6 +62,7 @@ func New(cfg Config) *Server {
 	s.mux = telemetry.NewMux(cfg.Registry)
 	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("/v1/jobs/", s.handleJob)
+	s.mux.HandleFunc("/v1/validate", s.handleValidate)
 	return s
 }
 
@@ -183,6 +185,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	p, err := spec.Decode(body)
 	if err != nil {
+		if diags := decodeDiagnostics(err); diags != nil {
+			s.rejectInvalid(w, diags)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -197,6 +203,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	// Fail-fast admission: a spec the verifier can prove broken is
+	// turned away before it consumes a queue slot or a cache flight.
+	// Warm resubmissions skip the verifier entirely — a cached plan
+	// already passed it (and the compiler) on its cold submission, so
+	// the warm path stays at cache-hit cost.
+	if !s.cache.has(fp) {
+		if diags := plancheck.Check(p); plancheck.HasErrors(diags) {
+			s.rejectInvalid(w, diags)
+			return
+		}
 	}
 
 	// Admission happens before the job exists: a rejected submission

@@ -491,8 +491,11 @@ func TestSubmissionValidation(t *testing.T) {
 	if code, _ := post(t, hs.URL+"/v1/jobs", "{not json"); code != http.StatusBadRequest {
 		t.Fatalf("bad json: want 400, got %d", code)
 	}
-	if code, raw := post(t, hs.URL+"/v1/jobs", `{"v":9,"source":{"kind":"csv","path":"x"}}`); code != http.StatusBadRequest {
-		t.Fatalf("bad version: want 400, got %d (%s)", code, raw)
+	// Version mismatches are accumulated decode problems now: 422 with
+	// a TPX000 diagnostic instead of a bare 400.
+	if code, raw := post(t, hs.URL+"/v1/jobs", `{"v":9,"source":{"kind":"csv","path":"x"}}`); code != http.StatusUnprocessableEntity ||
+		!strings.Contains(string(raw), `"TPX000"`) {
+		t.Fatalf("bad version: want 422 with TPX000, got %d (%s)", code, raw)
 	}
 	big := `{"v":1,"source":{"kind":"csv","data":"` + strings.Repeat("a", 600) + `"}}`
 	if code, _ := post(t, hs.URL+"/v1/jobs", big); code != http.StatusRequestEntityTooLarge {

@@ -1,0 +1,153 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"github.com/gotuplex/tuplex/internal/plancheck"
+)
+
+// invalidSpec provably references a column the source does not carry,
+// so the static verifier rejects it with TPX001 before compilation.
+const invalidSpec = `{"v":1,
+	"source": {"kind":"parallelize","columns":["a","b"],"rows":[[1,2]]},
+	"ops": [{"kind":"withColumn","col":"c","udf":{"code":"lambda x: x['nope'] + 1"}}]}`
+
+// unknownFieldSpec trips the accumulating decoder (TPX000), not the
+// verifier proper.
+const unknownFieldSpec = `{"v":1,
+	"source": {"kind":"parallelize","columns":["a"],"rows":[[1]]},
+	"bogus": true}`
+
+func decodeValidate(t *testing.T, raw []byte) validateResponse {
+	t.Helper()
+	var vr validateResponse
+	if err := json.Unmarshal(raw, &vr); err != nil {
+		t.Fatalf("decoding validate response: %v\n%s", err, raw)
+	}
+	return vr
+}
+
+// TestValidateEndpoint checks POST /v1/validate returns the full
+// diagnostic list without compiling, caching or executing anything.
+func TestValidateEndpoint(t *testing.T) {
+	s, hs := newTestServer(t, Config{MaxConcurrent: 2})
+
+	code, raw := post(t, hs.URL+"/v1/validate", smallSpec(1))
+	if code != http.StatusOK {
+		t.Fatalf("valid spec: status %d (%s)", code, raw)
+	}
+	if vr := decodeValidate(t, raw); !vr.OK || len(vr.Diagnostics) != 0 {
+		t.Fatalf("valid spec: want ok with no diagnostics, got %s", raw)
+	}
+
+	code, raw = post(t, hs.URL+"/v1/validate", invalidSpec)
+	if code != http.StatusOK {
+		t.Fatalf("invalid spec: status %d (%s)", code, raw)
+	}
+	vr := decodeValidate(t, raw)
+	if vr.OK || len(vr.Diagnostics) == 0 {
+		t.Fatalf("invalid spec: want diagnostics, got %s", raw)
+	}
+	if vr.Diagnostics[0].Code != plancheck.CodeUndefinedColumn {
+		t.Fatalf("want %s first, got %s", plancheck.CodeUndefinedColumn, raw)
+	}
+
+	code, raw = post(t, hs.URL+"/v1/validate", unknownFieldSpec)
+	if code != http.StatusOK {
+		t.Fatalf("unknown-field spec: status %d (%s)", code, raw)
+	}
+	vr = decodeValidate(t, raw)
+	if vr.OK || len(vr.Diagnostics) == 0 || vr.Diagnostics[0].Code != plancheck.CodeDecode {
+		t.Fatalf("unknown-field spec: want %s diagnostics, got %s", plancheck.CodeDecode, raw)
+	}
+
+	if code, raw = post(t, hs.URL+"/v1/validate", "{not json"); code != http.StatusBadRequest {
+		t.Fatalf("broken JSON: want 400, got %d (%s)", code, raw)
+	}
+
+	resp, err := http.Get(hs.URL + "/v1/validate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: want 405, got %d", resp.StatusCode)
+	}
+
+	// Validation is pure: no job, no slot, no cache traffic.
+	if n := s.stats.JobsSubmitted.Load(); n != 0 {
+		t.Fatalf("validate consumed a submission: %d", n)
+	}
+	if n := s.stats.CacheMisses.Load() + s.stats.CacheHits.Load(); n != 0 {
+		t.Fatalf("validate touched the plan cache: %d", n)
+	}
+	if n := s.cache.len(); n != 0 {
+		t.Fatalf("validate populated the plan cache: %d entries", n)
+	}
+}
+
+// TestSubmitFailsFastOnInvalidSpec is the admission contract: a spec
+// the verifier rejects gets a 422 with diagnostics while consuming no
+// admission slot, no cache entry and no job id — only jobs_invalid
+// moves.
+func TestSubmitFailsFastOnInvalidSpec(t *testing.T) {
+	s, hs := newTestServer(t, Config{MaxConcurrent: 1})
+
+	for _, tc := range []struct {
+		name, body, wantCode string
+	}{
+		{"verifier", invalidSpec, plancheck.CodeUndefinedColumn},
+		{"decoder", unknownFieldSpec, plancheck.CodeDecode},
+	} {
+		code, raw := post(t, hs.URL+"/v1/jobs", tc.body)
+		if code != http.StatusUnprocessableEntity {
+			t.Fatalf("%s: want 422, got %d (%s)", tc.name, code, raw)
+		}
+		vr := decodeValidate(t, raw)
+		if vr.OK || vr.Error == "" || len(vr.Diagnostics) == 0 {
+			t.Fatalf("%s: want error + diagnostics, got %s", tc.name, raw)
+		}
+		if vr.Diagnostics[0].Code != tc.wantCode {
+			t.Fatalf("%s: want %s first, got %s", tc.name, tc.wantCode, raw)
+		}
+	}
+
+	if n := s.stats.JobsInvalid.Load(); n != 2 {
+		t.Fatalf("want jobs_invalid=2, got %d", n)
+	}
+	if n := s.stats.JobsSubmitted.Load(); n != 0 {
+		t.Fatalf("invalid submission was admitted: jobs_submitted=%d", n)
+	}
+	if n := s.stats.JobsRejected.Load(); n != 0 {
+		t.Fatalf("422 must not count as admission rejection: jobs_rejected=%d", n)
+	}
+	if n := s.stats.QueueDepth.Load(); n != 0 {
+		t.Fatalf("queue depth leaked: %d", n)
+	}
+	if n := s.stats.RunningJobs.Load(); n != 0 {
+		t.Fatalf("running gauge leaked: %d", n)
+	}
+	if n := s.cache.len(); n != 0 {
+		t.Fatalf("invalid submission populated the cache: %d entries", n)
+	}
+	s.cache.mu.Lock()
+	inflight := len(s.cache.entries)
+	s.cache.mu.Unlock()
+	if inflight != 0 {
+		t.Fatalf("invalid submission left a cache flight: %d entries", inflight)
+	}
+	if jobs := s.jobs.list(); len(jobs) != 0 {
+		t.Fatalf("invalid submission created a job: %d", len(jobs))
+	}
+
+	// The slot it did not consume is still free: a valid job runs.
+	code, raw := post(t, hs.URL+"/v1/jobs", smallSpec(7))
+	if code != http.StatusOK {
+		t.Fatalf("valid follow-up: status %d (%s)", code, raw)
+	}
+	if n := s.stats.JobsCompleted.Load(); n != 1 {
+		t.Fatalf("valid follow-up did not complete: %d", n)
+	}
+}

@@ -341,6 +341,19 @@ func (o *Options) resolve() core.Options {
 	return opts
 }
 
+// BoxValue converts a decoded JSON wire value to a boxed Python value —
+// the same conversion Build applies to UDF globals and aggregate
+// initial values, exported for static verifiers that reason about spec
+// literals without building a plan.
+func BoxValue(v any) pyvalue.Value { return boxAny(v) }
+
+// ExcKindFor resolves a wire exception-class name (e.g. "TypeError") to
+// its exception kind. ok is false for names specs cannot address.
+func ExcKindFor(name string) (pyvalue.ExcKind, bool) {
+	k, ok := excNames[name]
+	return k, ok
+}
+
 // boxAny converts a decoded JSON value to a boxed Python value.
 func boxAny(v any) pyvalue.Value {
 	switch v := v.(type) {

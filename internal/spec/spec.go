@@ -146,25 +146,172 @@ var knownSourceKinds = []string{"csv", "parallelize", "text"}
 // knownSinkKinds lists every sink kind Build accepts.
 var knownSinkKinds = []string{"aggregate", "collect", "csv", "take"}
 
+// DecodeError reports every structural problem a strict decode found —
+// all unknown fields across the whole document (join build sides and
+// nested UDF objects included) plus a version mismatch — so one round
+// trip surfaces the complete list instead of only the first offender.
+type DecodeError struct {
+	// Problems are the individual findings, each prefixed with its
+	// location ("ops[2]", "ops[1].build.source", ...).
+	Problems []string
+}
+
+func (e *DecodeError) Error() string {
+	if len(e.Problems) == 1 {
+		return "spec: " + e.Problems[0]
+	}
+	return fmt.Sprintf("spec: %d problems: %s", len(e.Problems), strings.Join(e.Problems, "; "))
+}
+
 // Decode parses a versioned pipeline spec strictly: unknown fields,
 // unknown spec versions and malformed JSON all error with context.
-// Numbers decode as json.Number so integer globals stay integers.
+// Structural problems accumulate into a *DecodeError listing every
+// unknown field in the document, not just the first. Numbers decode as
+// json.Number so integer globals stay integers.
 func Decode(data []byte) (*Pipeline, error) {
+	var raw any
 	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("spec: invalid pipeline JSON: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("spec: trailing data after pipeline JSON")
+	}
+	if problems := scanPipeline(raw, ""); len(problems) > 0 {
+		return nil, &DecodeError{Problems: problems}
+	}
+	dec = json.NewDecoder(bytes.NewReader(data))
 	dec.UseNumber()
 	dec.DisallowUnknownFields()
 	var p Pipeline
 	if err := dec.Decode(&p); err != nil {
 		return nil, fmt.Errorf("spec: invalid pipeline JSON: %w", err)
 	}
-	if dec.More() {
-		return nil, fmt.Errorf("spec: trailing data after pipeline JSON")
-	}
-	if p.V != Version {
-		return nil, fmt.Errorf("spec: unsupported spec version %d (this build reads \"v\": %d)", p.V, Version)
-	}
 	normalizeNumbers(&p)
 	return &p, nil
+}
+
+// Known field sets per wire struct, for the accumulating structural
+// scan. These must track the json tags above.
+var (
+	pipelineFields = map[string]bool{"v": true, "source": true, "ops": true, "sink": true, "options": true}
+	sourceFields   = map[string]bool{"kind": true, "path": true, "data": true, "delim": true, "header": true,
+		"columns": true, "null_values": true, "rows": true, "column": true}
+	opFields = map[string]bool{"kind": true, "udf": true, "col": true, "old": true, "new": true, "cols": true,
+		"exc": true, "build": true, "left_key": true, "right_key": true, "left": true,
+		"left_prefix": true, "right_prefix": true, "agg": true, "comb": true, "initial": true}
+	udfFields  = map[string]bool{"code": true, "globals": true}
+	sinkFields = map[string]bool{"kind": true, "n": true, "path": true, "agg": true, "comb": true, "initial": true}
+	optFields  = map[string]bool{"executors": true, "partition_rows": true, "sample_size": true,
+		"null_threshold": true, "null_optimization": true, "projection_pushdown": true,
+		"filter_pushdown": true, "join_reorder": true, "stage_fusion": true,
+		"compiler_optimizations": true, "seed": true, "streaming": true, "columnar": true,
+		"chunk_size": true}
+)
+
+// scanPipeline walks the generic JSON form of one pipeline (path "" for
+// the top level, "ops[i].build" for join build sides) and returns every
+// structural problem. Unknown operator/source/sink kinds are not decode
+// problems — Build and the static verifier report those with the full
+// known-kind list — so a spec with only a bad kind still decodes.
+func scanPipeline(v any, path string) []string {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return []string{locate(path, "pipeline") + " must be a JSON object"}
+	}
+	ps := unknownFieldProblems(m, pipelineFields, path)
+	if path == "" {
+		ver := 0
+		if n, ok := m["v"].(json.Number); ok {
+			if i, err := n.Int64(); err == nil {
+				ver = int(i)
+			}
+		}
+		if ver != Version {
+			ps = append(ps, fmt.Sprintf("unsupported spec version %d (this build reads \"v\": %d)", ver, Version))
+		}
+	}
+	if s, ok := m["source"]; ok {
+		ps = append(ps, scanFlatObject(s, sourceFields, childPath(path, "source"))...)
+	}
+	if ops, ok := m["ops"].([]any); ok {
+		for i, o := range ops {
+			ps = append(ps, scanOp(o, fmt.Sprintf("%s[%d]", childPath(path, "ops"), i))...)
+		}
+	}
+	if s, ok := m["sink"]; ok {
+		sp := childPath(path, "sink")
+		ps = append(ps, scanFlatObject(s, sinkFields, sp)...)
+		if sm, ok := s.(map[string]any); ok {
+			for _, f := range []string{"agg", "comb"} {
+				if u, ok := sm[f]; ok {
+					ps = append(ps, scanFlatObject(u, udfFields, sp+"."+f)...)
+				}
+			}
+		}
+	}
+	if o, ok := m["options"]; ok {
+		ps = append(ps, scanFlatObject(o, optFields, childPath(path, "options"))...)
+	}
+	return ps
+}
+
+func scanOp(v any, path string) []string {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return []string{path + ": op must be a JSON object"}
+	}
+	ps := unknownFieldProblems(m, opFields, path)
+	for _, f := range []string{"udf", "agg", "comb"} {
+		if u, ok := m[f]; ok {
+			ps = append(ps, scanFlatObject(u, udfFields, path+"."+f)...)
+		}
+	}
+	if b, ok := m["build"]; ok {
+		ps = append(ps, scanPipeline(b, path+".build")...)
+	}
+	return ps
+}
+
+// scanFlatObject checks one leaf object's field names.
+func scanFlatObject(v any, known map[string]bool, path string) []string {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return []string{path + " must be a JSON object"}
+	}
+	return unknownFieldProblems(m, known, path)
+}
+
+// unknownFieldProblems lists the map's unknown keys, sorted so the
+// report is deterministic.
+func unknownFieldProblems(m map[string]any, known map[string]bool, path string) []string {
+	var bad []string
+	for k := range m {
+		if !known[k] {
+			bad = append(bad, k)
+		}
+	}
+	sort.Strings(bad)
+	var ps []string
+	for _, k := range bad {
+		ps = append(ps, fmt.Sprintf("%s: unknown field %q", locate(path, "pipeline"), k))
+	}
+	return ps
+}
+
+func locate(path, topName string) string {
+	if path == "" {
+		return topName
+	}
+	return path
+}
+
+func childPath(path, field string) string {
+	if path == "" {
+		return field
+	}
+	return path + "." + field
 }
 
 // Encode renders the pipeline as stable, versioned JSON. Field order is

@@ -2,6 +2,7 @@ package spec
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"os"
 	"path/filepath"
@@ -157,6 +158,41 @@ func TestDecodeRejectsUnknownFields(t *testing.T) {
 	_, err := Decode([]byte(`{"v": 1, "source": {"kind": "csv", "path": "x.csv"}, "bogus": 1}`))
 	if err == nil || !strings.Contains(err.Error(), "bogus") {
 		t.Fatalf("want unknown-field error, got %v", err)
+	}
+}
+
+func TestDecodeAccumulatesAllProblems(t *testing.T) {
+	_, err := Decode([]byte(`{"v": 2,
+		"source": {"kind": "csv", "path": "x.csv", "sep": ","},
+		"ops": [
+			{"kind": "map", "udf": {"code": "lambda x: x", "global": {}}, "cool": 1},
+			{"kind": "join", "left_key": "a", "right_key": "a",
+			 "build": {"source": {"kind": "csv", "path": "y.csv", "seperator": ";"}}}
+		],
+		"bogus": 1, "also_bogus": 2}`))
+	var de *DecodeError
+	if !errors.As(err, &de) {
+		t.Fatalf("want *DecodeError, got %T: %v", err, err)
+	}
+	want := []string{
+		`pipeline: unknown field "also_bogus"`,
+		`pipeline: unknown field "bogus"`,
+		`unsupported spec version 2 (this build reads "v": 1)`,
+		`source: unknown field "sep"`,
+		`ops[0]: unknown field "cool"`,
+		`ops[0].udf: unknown field "global"`,
+		`ops[1].build.source: unknown field "seperator"`,
+	}
+	if len(de.Problems) != len(want) {
+		t.Fatalf("got %d problems %q, want %d", len(de.Problems), de.Problems, len(want))
+	}
+	for i, w := range want {
+		if de.Problems[i] != w {
+			t.Errorf("problem[%d] = %q, want %q", i, de.Problems[i], w)
+		}
+	}
+	if !strings.Contains(err.Error(), "7 problems") {
+		t.Errorf("Error() should count problems, got %q", err.Error())
 	}
 }
 

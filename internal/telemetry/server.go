@@ -137,6 +137,7 @@ type ServiceReport struct {
 	JobsCompleted int64 `json:"jobs_completed"`
 	JobsFailed    int64 `json:"jobs_failed"`
 	JobsRejected  int64 `json:"jobs_rejected"`
+	JobsInvalid   int64 `json:"jobs_invalid"`
 	JobsCanceled  int64 `json:"jobs_canceled"`
 
 	CacheHits      int64 `json:"cache_hits"`
@@ -161,6 +162,7 @@ func serviceReport(st *ServiceStats) *ServiceReport {
 		JobsCompleted:  st.JobsCompleted.Load(),
 		JobsFailed:     st.JobsFailed.Load(),
 		JobsRejected:   st.JobsRejected.Load(),
+		JobsInvalid:    st.JobsInvalid.Load(),
 		JobsCanceled:   st.JobsCanceled.Load(),
 		CacheHits:      st.CacheHits.Load(),
 		CacheMisses:    st.CacheMisses.Load(),
@@ -326,6 +328,7 @@ func writeServicePrometheus(w http.ResponseWriter, st *ServiceStats) {
 	c("tuplex_service_jobs_completed_total", "Jobs that finished successfully.", st.JobsCompleted.Load())
 	c("tuplex_service_jobs_failed_total", "Jobs that finished with an error.", st.JobsFailed.Load())
 	c("tuplex_service_jobs_rejected_total", "Submissions rejected by admission control (429/413/503).", st.JobsRejected.Load())
+	c("tuplex_service_jobs_invalid_total", "Submissions rejected by the static verifier (422).", st.JobsInvalid.Load())
 	c("tuplex_service_jobs_canceled_total", "Jobs canceled by the client or a deadline.", st.JobsCanceled.Load())
 	c("tuplex_service_cache_hits_total", "Jobs served from the compiled-pipeline cache.", st.CacheHits.Load())
 	c("tuplex_service_cache_misses_total", "Jobs that compiled a fresh pipeline.", st.CacheMisses.Load())

@@ -12,6 +12,7 @@ type ServiceStats struct {
 	JobsCompleted atomic.Int64
 	JobsFailed    atomic.Int64
 	JobsRejected  atomic.Int64
+	JobsInvalid   atomic.Int64
 	JobsCanceled  atomic.Int64
 
 	CacheHits      atomic.Int64

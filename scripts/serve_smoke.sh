@@ -9,9 +9,12 @@
 #   3. tiny: sustained resubmission throughput >= 1000 jobs/sec, every
 #      one a cache hit.
 #   4. /metrics exposes the service counters with the hits recorded.
-#   5. overload: a daemon capped at one slot and no queue sheds a
+#   5. validate: an invalid spec gets 422 + TPX diagnostics from
+#      /v1/jobs without consuming an admission slot or cache entry,
+#      and /v1/validate returns the list without executing anything.
+#   6. overload: a daemon capped at one slot and no queue sheds a
 #      32-way storm with 429s, then still answers afterwards.
-#   6. SIGTERM drains cleanly (exit 0, "drained cleanly" in the log).
+#   7. SIGTERM drains cleanly (exit 0, "drained cleanly" in the log).
 set -eu
 
 PORT="${PORT:-9825}"
@@ -43,19 +46,19 @@ ready() {
 }
 ready "$ADDR"
 
-echo "serve-smoke: [1/6] zillow job + cache hit on resubmission"
+echo "serve-smoke: [1/7] zillow job + cache hit on resubmission"
 "$TMP/tuplex-loadgen" -addr "http://$ADDR" -pipeline zillow -zillow-rows 20000 \
     -n 2 -c 1 -assert-hits >"$TMP/zillow.json"
 
-echo "serve-smoke: [2/6] cold vs warm: cache must skip sample+compile (>=10x)"
+echo "serve-smoke: [2/7] cold vs warm: cache must skip sample+compile (>=10x)"
 "$TMP/tuplex-loadgen" -addr "http://$ADDR" -pipeline small \
     -n 20 -c 1 -assert-hits -assert-speedup 10 >"$TMP/small.json"
 
-echo "serve-smoke: [3/6] sustained throughput >= 1000 jobs/sec"
+echo "serve-smoke: [3/7] sustained throughput >= 1000 jobs/sec"
 "$TMP/tuplex-loadgen" -addr "http://$ADDR" -pipeline tiny \
     -n 3000 -c 8 -assert-hits -assert-min-rate 1000 >"$TMP/tiny.json"
 
-echo "serve-smoke: [4/6] service metrics exposed"
+echo "serve-smoke: [4/7] service metrics exposed"
 curl -s "http://$ADDR/metrics" >"$TMP/metrics.txt"
 grep -q '^tuplex_service_cache_hits_total ' "$TMP/metrics.txt" || {
     echo "serve-smoke: tuplex_service_cache_hits_total missing from /metrics" >&2
@@ -67,7 +70,47 @@ hits=$(awk '/^tuplex_service_cache_hits_total /{print int($2)}' "$TMP/metrics.tx
     exit 1
 }
 
-echo "serve-smoke: [5/6] overload sheds with 429 instead of collapsing"
+echo "serve-smoke: [5/7] invalid spec: 422 with diagnostics, no slot or cache entry consumed"
+BAD_SPEC='{"v":1,"source":{"kind":"parallelize","columns":["a","b"],"rows":[[1,2]]},"ops":[{"kind":"withColumn","col":"c","udf":{"code":"lambda x: x[\"nope\"] + 1"}}]}'
+metric() { awk -v m="^$2 " '$0 ~ m {print int($2)}' "$1"; }
+curl -s "http://$ADDR/metrics" >"$TMP/before.txt"
+code=$(curl -s -o "$TMP/invalid.json" -w '%{http_code}' -X POST "http://$ADDR/v1/jobs" -d "$BAD_SPEC")
+[ "$code" = "422" ] || {
+    echo "serve-smoke: invalid spec got $code, want 422:" >&2
+    cat "$TMP/invalid.json" >&2
+    exit 1
+}
+grep -q '"TPX001"' "$TMP/invalid.json" || {
+    echo "serve-smoke: 422 body carries no TPX001 diagnostic:" >&2
+    cat "$TMP/invalid.json" >&2
+    exit 1
+}
+curl -s "http://$ADDR/metrics" >"$TMP/after.txt"
+for m in tuplex_service_jobs_submitted_total tuplex_service_cache_hits_total \
+         tuplex_service_cache_misses_total tuplex_service_queue_depth; do
+    b=$(metric "$TMP/before.txt" "$m"); a=$(metric "$TMP/after.txt" "$m")
+    [ "$b" = "$a" ] || {
+        echo "serve-smoke: invalid spec moved $m ($b -> $a)" >&2
+        exit 1
+    }
+done
+inv=$(metric "$TMP/after.txt" tuplex_service_jobs_invalid_total)
+[ "$inv" -ge 1 ] || {
+    echo "serve-smoke: tuplex_service_jobs_invalid_total did not count the 422 (got $inv)" >&2
+    exit 1
+}
+code=$(curl -s -o "$TMP/validate.json" -w '%{http_code}' -X POST "http://$ADDR/v1/validate" -d "$BAD_SPEC")
+[ "$code" = "200" ] || {
+    echo "serve-smoke: /v1/validate answered $code, want 200" >&2
+    exit 1
+}
+grep -q '"TPX001"' "$TMP/validate.json" || {
+    echo "serve-smoke: /v1/validate body carries no TPX001 diagnostic:" >&2
+    cat "$TMP/validate.json" >&2
+    exit 1
+}
+
+echo "serve-smoke: [6/7] overload sheds with 429 instead of collapsing"
 "$TMP/tuplex-serve" -addr "$ADDR2" -max-concurrent 1 -queue-depth -1 \
     >"$TMP/serve2.log" 2>&1 &
 SERVE2_PID=$!
@@ -78,7 +121,7 @@ ready "$ADDR2"
 "$TMP/tuplex-loadgen" -addr "http://$ADDR2" -pipeline tiny \
     -n 5 -c 1 -assert-hits >"$TMP/after.json"
 
-echo "serve-smoke: [6/6] SIGTERM drains cleanly"
+echo "serve-smoke: [7/7] SIGTERM drains cleanly"
 for pid in "$SERVE_PID" "$SERVE2_PID"; do
     kill -TERM "$pid"
     wait "$pid" || {
@@ -95,4 +138,4 @@ grep -q 'drained cleanly' "$TMP/serve.log" || {
     exit 1
 }
 
-echo "serve-smoke: ok (cache hit, >=10x cold/warm, >=1k jobs/sec, 429 shedding, clean drain)"
+echo "serve-smoke: ok (cache hit, >=10x cold/warm, >=1k jobs/sec, 422 fail-fast, 429 shedding, clean drain)"

@@ -397,7 +397,13 @@ func (d *DataSet) chain(op logical.Op) *DataSet {
 	if d.err != nil {
 		return d
 	}
-	return &DataSet{ctx: d.ctx, node: &logical.Node{Op: op, Input: d.node}, warns: d.warns}
+	nd := &DataSet{ctx: d.ctx, node: &logical.Node{Op: op, Input: d.node}, warns: d.warns}
+	if d.ctx != nil && d.ctx.opts.Validate {
+		if err := nd.validateNow(); err != nil {
+			return nd.fail(err)
+		}
+	}
+	return nd
 }
 
 func (d *DataSet) udf(u UDFDef) (*logical.UDFSpec, error) {

@@ -1,0 +1,142 @@
+package tuplex
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/gotuplex/tuplex/internal/core"
+	"github.com/gotuplex/tuplex/internal/plancheck"
+	"github.com/gotuplex/tuplex/internal/spec"
+)
+
+// Diagnostic is one finding from the whole-plan static verifier: a
+// stable TPX0xx code, a severity ("error", "warning" or "info"), the
+// spec location it attributes to ("source", "ops[2]",
+// "ops[1].build.ops[0]", "sink", "options") and — for findings inside a
+// UDF — a line:col position in the UDF source.
+//
+// Severities grade confidence and consequence: errors would fail
+// compilation or execution deterministically (undefined column,
+// incompatible join keys, malformed spec); warnings are provable logic
+// defects that run but almost certainly do not mean what the author
+// intended (always-raising UDF, dead resolver, constant filter, dead
+// column write); infos are no-ops worth knowing about.
+type Diagnostic struct {
+	Code     string `json:"code"`
+	Severity string `json:"severity"`
+	Op       string `json:"op,omitempty"`
+	Kind     string `json:"kind,omitempty"`
+	Pos      string `json:"pos,omitempty"`
+	Msg      string `json:"msg"`
+}
+
+// String renders "TPX001 error ops[2]: ..." like a compiler diagnostic.
+func (d Diagnostic) String() string {
+	loc := d.Op
+	if d.Pos != "" {
+		loc += " @" + d.Pos
+	}
+	if loc != "" {
+		loc = " " + loc
+	}
+	return fmt.Sprintf("%s %s%s: %s", d.Code, d.Severity, loc, d.Msg)
+}
+
+// Validate statically verifies a plan without sampling, compiling or
+// executing anything: an abstract interpreter walks the full operator
+// DAG (join build sides included) propagating per-column abstract
+// schemas seeded at ⊤ instead of sample statistics, and returns every
+// finding sorted by spec position. An empty result means the plan is
+// clean — it will not fail compilation with a schema error, and no
+// provable logic defect was found.
+//
+// Validate reads no input data beyond a bounded peek at CSV headers to
+// learn column names; when even that is unavailable the affected checks
+// are suppressed (TPX011) rather than guessed.
+func Validate(p *Plan) []Diagnostic {
+	if p == nil {
+		return []Diagnostic{{Code: "TPX010", Severity: "error", Msg: "nil plan"}}
+	}
+	return fromPlancheck(plancheck.Check(p.p))
+}
+
+// ValidationError carries the diagnostics that failed validation when
+// it is enforced (WithValidation, service admission). Diagnostics holds
+// the full list, not only the errors that triggered rejection.
+type ValidationError struct {
+	Diagnostics []Diagnostic
+}
+
+func (e *ValidationError) Error() string {
+	n := 0
+	var first string
+	for _, d := range e.Diagnostics {
+		if d.Severity == "error" {
+			if n == 0 {
+				first = d.String()
+			}
+			n++
+		}
+	}
+	switch n {
+	case 0:
+		return "tuplex: plan failed validation"
+	case 1:
+		return "tuplex: invalid plan: " + first
+	default:
+		var b strings.Builder
+		fmt.Fprintf(&b, "tuplex: invalid plan: %d errors:", n)
+		for _, d := range e.Diagnostics {
+			if d.Severity == "error" {
+				b.WriteString("\n\t")
+				b.WriteString(d.String())
+			}
+		}
+		return b.String()
+	}
+}
+
+// WithValidation makes every DataSet operator chain step run the static
+// verifier (default off). A step that introduces a validation error —
+// an undefined column, incompatible join keys, a malformed op — fails
+// the DataSet immediately with a *ValidationError instead of deferring
+// discovery to the terminal action's sample/compile, so the failing
+// call site is the one in the stack trace. Warnings and infos do not
+// fail construction.
+func WithValidation(on bool) Option {
+	return Option{apply: func(o *core.Options) { o.Validate = on }}
+}
+
+// validateNow converts the DataSet's chain to a spec and checks it,
+// returning a *ValidationError when any error-severity finding exists.
+func (d *DataSet) validateNow() error {
+	p, err := spec.FromNode(d.node, d.ctx.opts)
+	if err != nil {
+		// Chains the spec encoder cannot express yet are out of the
+		// verifier's scope; building will vet them.
+		return nil
+	}
+	diags := plancheck.Check(p)
+	if !plancheck.HasErrors(diags) {
+		return nil
+	}
+	return &ValidationError{Diagnostics: fromPlancheck(diags)}
+}
+
+func fromPlancheck(in []plancheck.Diagnostic) []Diagnostic {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]Diagnostic, len(in))
+	for i, d := range in {
+		out[i] = Diagnostic{
+			Code:     d.Code,
+			Severity: string(d.Severity),
+			Op:       d.Op,
+			Kind:     d.Kind,
+			Pos:      d.Pos,
+			Msg:      d.Msg,
+		}
+	}
+	return out
+}
