@@ -3,6 +3,8 @@ package tuplex
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -31,12 +33,36 @@ type Job struct {
 	State       string `json:"state"`
 	CacheHit    bool   `json:"cache_hit"`
 	Fingerprint string `json:"fingerprint"`
+	// TraceID is the correlation id threading this job through the
+	// service's logs, metrics exemplars and exported trace — the id the
+	// client sent (SubmitTraced) or a server-generated one.
+	TraceID string `json:"trace_id,omitempty"`
 
 	SubmittedAt time.Time `json:"submitted_at"`
 	DurationNS  int64     `json:"duration_ns"`
 
-	Error  string     `json:"error,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Events is the service flight recorder's tail for this job,
+	// attached automatically when the job failed.
+	Events []JobEvent `json:"events,omitempty"`
 	Result *JobResult `json:"result,omitempty"`
+}
+
+// JobEvent is one service lifecycle event (admit, compile, cache_hit,
+// execute, done, failed, ...) from the daemon's flight recorder.
+type JobEvent struct {
+	// AtNS is the event time in nanoseconds since the daemon started.
+	AtNS int64 `json:"at_ns"`
+	// Kind names the lifecycle step.
+	Kind string `json:"kind"`
+	// Job / TraceID tie the event to a submission.
+	Job     string `json:"job,omitempty"`
+	TraceID string `json:"trace_id,omitempty"`
+	// DurNS carries the step's duration where one applies (queue wait
+	// for admit, end-to-end latency for done/failed).
+	DurNS int64 `json:"dur_ns,omitempty"`
+	// Detail is a short qualifier (shed reason, error class).
+	Detail string `json:"detail,omitempty"`
 }
 
 // Done reports whether the job reached a terminal state.
@@ -74,18 +100,28 @@ func (e *ServiceError) Error() string {
 
 // Submit runs the plan synchronously: it returns once the job reaches a
 // terminal state, with the result inline. A failed or canceled job
-// returns both the Job record and a *ServiceError.
+// returns both the Job record and a *ServiceError. Every submission
+// carries a generated trace id (X-Tuplex-Trace) so the job can be
+// followed through the daemon's metrics and exported trace; use
+// SubmitTraced to thread your own.
 func (c *Client) Submit(ctx context.Context, p *Plan) (*Job, error) {
-	return c.submit(ctx, p, false)
+	return c.submit(ctx, p, false, "")
+}
+
+// SubmitTraced is Submit with a caller-chosen trace id (letters,
+// digits, "-", "_", "." — up to 64 chars; anything else is replaced by
+// a server-generated id).
+func (c *Client) SubmitTraced(ctx context.Context, p *Plan, traceID string) (*Job, error) {
+	return c.submit(ctx, p, false, traceID)
 }
 
 // SubmitAsync enqueues the plan and returns immediately with the job id
 // (HTTP 202); poll with Job until Done.
 func (c *Client) SubmitAsync(ctx context.Context, p *Plan) (*Job, error) {
-	return c.submit(ctx, p, true)
+	return c.submit(ctx, p, true, "")
 }
 
-func (c *Client) submit(ctx context.Context, p *Plan, async bool) (*Job, error) {
+func (c *Client) submit(ctx context.Context, p *Plan, async bool, traceID string) (*Job, error) {
 	body, err := json.Marshal(p)
 	if err != nil {
 		return nil, err
@@ -99,7 +135,59 @@ func (c *Client) submit(ctx context.Context, p *Plan, async bool) (*Job, error) 
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traceID == "" {
+		traceID = newClientTraceID()
+	}
+	req.Header.Set("X-Tuplex-Trace", traceID)
 	return c.do(req)
+}
+
+// Trace fetches a finished job's span tree: the service-side phases
+// (admission queue wait, plan-cache lookup) with the engine's own spans
+// — stages, tasks, routing ledger — nested beneath them.
+func (c *Client) Trace(ctx context.Context, id string) (*Trace, error) {
+	raw, err := c.traceRaw(ctx, id, "native")
+	if err != nil {
+		return nil, err
+	}
+	return ParseTrace(raw)
+}
+
+// TraceChrome fetches a finished job's trace as a Chrome trace-event
+// JSON document, ready to drop into chrome://tracing or
+// https://ui.perfetto.dev.
+func (c *Client) TraceChrome(ctx context.Context, id string) ([]byte, error) {
+	return c.traceRaw(ctx, id, "chrome")
+}
+
+func (c *Client) traceRaw(ctx context.Context, id, format string) ([]byte, error) {
+	url := c.base + "/v1/jobs/" + id + "/trace?format=" + format
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp.StatusCode, raw)
+	}
+	return raw, nil
+}
+
+// newClientTraceID generates a 16-hex-char submission trace id.
+func newClientTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "trace-unavailable"
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // Job fetches one job's current state by id.

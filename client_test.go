@@ -2,6 +2,7 @@ package tuplex
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"testing"
 	"time"
@@ -45,15 +46,44 @@ func TestClientEndToEnd(t *testing.T) {
 		t.Fatalf("cold rows: %v", cold.Result.Rows)
 	}
 
-	warm, err := cl.Submit(ctx, pl)
+	if cold.TraceID == "" {
+		t.Fatal("submissions must carry a trace id")
+	}
+
+	warm, err := cl.SubmitTraced(ctx, pl, "client-warm-1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !warm.CacheHit {
 		t.Fatalf("identical resubmission must hit the plan cache: %+v", warm)
 	}
+	if warm.TraceID != "client-warm-1" {
+		t.Fatalf("trace id not propagated: %+v", warm.TraceID)
+	}
 	if fp, _ := pl.Fingerprint(); fp != warm.Fingerprint {
 		t.Fatalf("client and server fingerprints disagree: %s vs %s", fp, warm.Fingerprint)
+	}
+
+	// The warm job's trace is fetchable in both formats: the native span
+	// tree with service spans above the engine run, and a Chrome
+	// trace-event document.
+	jtr, err := cl.Trace(ctx, warm.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jtr.Root == nil || jtr.Root.Name != "job" {
+		t.Fatalf("job trace root: %+v", jtr.Root)
+	}
+	if len(findSpans(jtr.Root, "admission")) != 1 || len(findSpans(jtr.Root, "run")) != 1 {
+		t.Fatalf("job trace lacks service or engine spans: %s", jtr)
+	}
+	chromeTrace, err := cl.TraceChrome(ctx, warm.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(chromeTrace, &doc); err != nil || len(doc.TraceEvents) == 0 {
+		t.Fatalf("chrome trace invalid (%v), %d events", err, len(doc.TraceEvents))
 	}
 
 	async, err := cl.SubmitAsync(ctx, pl)
@@ -95,6 +125,16 @@ func TestClientEndToEnd(t *testing.T) {
 	}
 	if failed == nil || failed.State != "failed" || failed.Error == "" {
 		t.Fatalf("failed job record: %+v", failed)
+	}
+	// Failed jobs ship the flight recorder's tail for the job so the
+	// error report is self-contained.
+	if len(failed.Events) == 0 {
+		t.Fatalf("failed job carries no flight-recorder events: %+v", failed)
+	}
+	for _, ev := range failed.Events {
+		if ev.Job != failed.ID {
+			t.Fatalf("foreign event in failed job payload: %+v", ev)
+		}
 	}
 
 	// Unknown job ids surface as typed 404s.

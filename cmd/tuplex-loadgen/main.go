@@ -27,6 +27,7 @@
 //	-assert-speedup F       fail unless cold p50 / warm p50 >= F
 //	-assert-min-rate F      fail unless sustained jobs/sec >= F
 //	-expect-429             fail unless at least one submission was rejected 429
+//	-json                   print one line of machine-readable JSON instead of the summary
 //	-out FILE               write the JSON report to FILE (default stdout only)
 package main
 
@@ -60,6 +61,7 @@ type Report struct {
 	CacheHits int64  `json:"cache_hits"`
 
 	ColdP50NS int64   `json:"cold_p50_ns"`
+	ColdP99NS int64   `json:"cold_p99_ns"`
 	WarmP50NS int64   `json:"warm_p50_ns"`
 	WarmP99NS int64   `json:"warm_p99_ns"`
 	Speedup   float64 `json:"cold_over_warm_p50"`
@@ -81,6 +83,7 @@ func main() {
 	assertSpeedup := flag.Float64("assert-speedup", 0, "fail unless cold p50 / warm p50 >= this")
 	assertMinRate := flag.Float64("assert-min-rate", 0, "fail unless sustained jobs/sec >= this")
 	expect429 := flag.Bool("expect-429", false, "fail unless at least one submission was rejected 429")
+	jsonOut := flag.Bool("json", false, "emit the report as one line of JSON on stdout (machine-readable; no summary text)")
 	out := flag.String("out", "", "write the JSON report here too")
 	flag.Parse()
 
@@ -111,6 +114,7 @@ func main() {
 		}
 	}
 	rep.ColdP50NS = percentile(coldNS, 50)
+	rep.ColdP99NS = percentile(coldNS, 99)
 
 	// Sustained phase: re-submission storm.
 	var (
@@ -177,9 +181,16 @@ func main() {
 		rep.Speedup = float64(rep.ColdP50NS) / float64(rep.WarmP50NS)
 	}
 
-	b, _ := json.MarshalIndent(rep, "", "  ")
-	fmt.Println(string(b))
+	if *jsonOut {
+		// One line of compact JSON, nothing else on stdout: the contract
+		// scripts (serve_smoke.sh) parse this instead of scraping text.
+		b, _ := json.Marshal(rep)
+		fmt.Println(string(b))
+	} else {
+		printSummary(rep)
+	}
 	if *out != "" {
+		b, _ := json.MarshalIndent(rep, "", "  ")
 		if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
 			fatal(err)
 		}
@@ -293,6 +304,19 @@ func buildPlans(pipeline, specFile string, count, zillowRows int) ([]*tuplex.Pla
 		plans[i] = p
 	}
 	return plans, cleanup, nil
+}
+
+// printSummary renders the human-readable report (default output; -json
+// replaces it with one machine-readable line).
+func printSummary(rep Report) {
+	fmt.Printf("loadgen: %s (%d variant(s), %d workers)\n", rep.Pipeline, rep.Distinct, rep.Workers)
+	fmt.Printf("  submitted %d: %d ok, %d rejected (429), %d failed, %d cache hits\n",
+		rep.Submitted, rep.OK, rep.Rejected, rep.Failed, rep.CacheHits)
+	fmt.Printf("  cold p50 %v  p99 %v\n",
+		time.Duration(rep.ColdP50NS), time.Duration(rep.ColdP99NS))
+	fmt.Printf("  warm p50 %v  p99 %v  (cold/warm p50 %.1fx)\n",
+		time.Duration(rep.WarmP50NS), time.Duration(rep.WarmP99NS), rep.Speedup)
+	fmt.Printf("  %.0f jobs/sec over %.2fs\n", rep.JobsPerSec, rep.DurationS)
 }
 
 func percentile(ns []int64, p int) int64 {

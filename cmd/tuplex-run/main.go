@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,7 +37,16 @@ func main() {
 	check := flag.Bool("check", false, "statically verify the pipeline and exit without running it")
 	listen := flag.String("listen", "", "introspection server address (e.g. :9090)")
 	progress := flag.Bool("progress", false, "live TTY progress line while the run executes")
+	traceFormat := flag.String("trace-format", "", "export the run trace: json (native span tree) | chrome (trace-event, loads in Perfetto) | tree (human-readable)")
+	traceOut := flag.String("trace-out", "", "trace output path (stdout when empty)")
 	flag.Parse()
+
+	switch *traceFormat {
+	case "", "json", "chrome", "tree":
+	default:
+		fmt.Fprintf(os.Stderr, "tuplex-run: unknown -trace-format %q (json | chrome | tree)\n", *traceFormat)
+		os.Exit(2)
+	}
 
 	if *listen != "" {
 		srv, err := tuplex.Serve(*listen)
@@ -55,6 +65,11 @@ func main() {
 	}
 
 	opts := []tuplex.Option{tuplex.WithExecutors(*executors)}
+	if *traceFormat != "" {
+		// Exported traces carry the routing ledger — it is the point of
+		// reading one.
+		opts = append(opts, tuplex.WithTracing(tuplex.TraceRows))
+	}
 	if *noOpt {
 		opts = append(opts,
 			tuplex.WithoutLogicalOptimizations(),
@@ -139,6 +154,7 @@ func main() {
 		fatalIf(err)
 		fmt.Printf("Q6 revenue: %.2f (in %v)\n", revenue, time.Since(t0))
 		fmt.Println("metrics:", res.Metrics)
+		fatalIf(writeTrace(res.Trace, *traceFormat, *traceOut))
 		return
 	default:
 		fmt.Fprintf(os.Stderr, "tuplex-run: unknown pipeline %q\n", *pipeline)
@@ -187,6 +203,43 @@ func main() {
 	for _, wmsg := range res.Warnings {
 		fmt.Println("warning:", wmsg)
 	}
+	fatalIf(writeTrace(res.Trace, *traceFormat, *traceOut))
+}
+
+// writeTrace exports the run's trace in the requested format to the
+// requested sink (stdout by default; -trace-out redirects to a file
+// ready to drop into chrome://tracing or ui.perfetto.dev).
+func writeTrace(tr *tuplex.Trace, format, out string) error {
+	if format == "" {
+		return nil
+	}
+	if tr == nil {
+		return fmt.Errorf("no trace recorded")
+	}
+	var b []byte
+	var err error
+	switch format {
+	case "json":
+		if b, err = json.MarshalIndent(tr, "", " "); err == nil {
+			b = append(b, '\n')
+		}
+	case "chrome":
+		b, err = tr.MarshalChrome()
+	case "tree":
+		b = []byte(tr.String())
+	}
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	if err := os.WriteFile(out, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tuplex-run: wrote %s trace to %s\n", format, out)
+	return nil
 }
 
 // reportDiagnostics prints every verifier finding and returns the

@@ -6,12 +6,15 @@
 //
 // Endpoints:
 //
-//	POST   /v1/jobs            submit a pipeline spec (?wait=false for async)
-//	GET    /v1/jobs            list jobs
-//	GET    /v1/jobs/{id}       one job's state and result
-//	DELETE /v1/jobs/{id}       cancel a running job
-//	GET    /metrics            Prometheus text exposition (tuplex_service_*)
-//	GET    /debug/tuplex/runz  JSON introspection (jobs, cache, live runs)
+//	POST   /v1/jobs              submit a pipeline spec (?wait=false for async)
+//	GET    /v1/jobs              list jobs
+//	GET    /v1/jobs/{id}         one job's state and result
+//	GET    /v1/jobs/{id}/trace   the job's trace (?format=chrome for Perfetto)
+//	DELETE /v1/jobs/{id}         cancel a running job
+//	GET    /metrics              Prometheus text exposition (tuplex_service_*)
+//	GET    /debug/tuplex/runz    JSON introspection (jobs, cache, live runs)
+//	GET    /debug/tuplex/eventz  flight recorder: recent lifecycle events
+//	GET    /debug/tuplex/slowz   retained traces of jobs over -slow-job-threshold
 //
 // SIGTERM/SIGINT triggers a graceful drain: the listener stops
 // accepting submissions (503), in-flight jobs finish (bounded by
@@ -46,6 +49,8 @@ func main() {
 	maxResultRows := flag.Int("max-result-rows", 10000, "rows inlined into a job response before truncation")
 	maxBodyBytes := flag.Int64("max-body-bytes", 8<<20, "request body cap in bytes")
 	checkSpecs := flag.String("check-specs", "", "verify every *.json spec in this directory at startup; refuse to serve on errors")
+	slowJobThreshold := flag.Duration("slow-job-threshold", 0, "retain full traces of jobs slower than this at /debug/tuplex/slowz (0 disables)")
+	flightEvents := flag.Int("flight-events", 0, "flight-recorder ring capacity at /debug/tuplex/eventz (0 = default 1024)")
 	flag.Parse()
 
 	if *checkSpecs != "" {
@@ -65,6 +70,9 @@ func main() {
 		DrainTimeout:    *drainTimeout,
 		MaxResultRows:   *maxResultRows,
 		MaxBodyBytes:    *maxBodyBytes,
+
+		SlowJobThreshold: *slowJobThreshold,
+		FlightEvents:     *flightEvents,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tuplex-serve:", err)

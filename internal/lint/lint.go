@@ -68,7 +68,7 @@ func (d Diagnostic) String() string {
 
 // All returns the repo's analyzer set.
 func All() []*Analyzer {
-	return []*Analyzer{APIInternal, SpanPair, AtomicCopy, HotAlloc, ErrCmp, CtxFlow}
+	return []*Analyzer{APIInternal, SpanPair, AtomicCopy, HotAlloc, ErrCmp, CtxFlow, RawLog}
 }
 
 // parseDir parses the package's non-test sources in dir (nil files when

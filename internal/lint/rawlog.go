@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// RawLog flags fmt.Print*/log.Print* (and log.Fatal*/log.Panic*) calls
+// in the engine, service and telemetry packages. Those layers run
+// inside library callers and inside tuplex-serve, where raw writes to
+// stdout/stderr bypass the flight recorder and the structured slow-job
+// log, corrupt machine-read output (tuplex-loadgen -json, serve-smoke
+// parsing), and cannot be correlated with a job's trace id. Diagnostics
+// belong in the span tree, the flight recorder, or a returned error —
+// not on the process streams. Commands (package main) and the other
+// packages keep fmt for their user-facing output.
+var RawLog = &Analyzer{
+	Name: "rawlog",
+	Doc:  "no fmt.Print*/log.Print* in core, service or telemetry — use traces, the flight recorder or errors",
+	Run:  runRawLog,
+}
+
+// rawLogDirs are the package directories (module-relative) the check
+// applies to, matched as exact dirs or prefixes (subpackages included).
+var rawLogDirs = []string{
+	"internal/core",
+	"internal/service",
+	"internal/telemetry",
+}
+
+// rawLogScoped reports whether dir falls under one of rawLogDirs.
+func rawLogScoped(dir string) bool {
+	d := filepath.ToSlash(dir)
+	// RunDir is invoked with module-relative paths from cmd/tuplex-vet,
+	// but tests and ad-hoc runs may pass absolute ones.
+	for _, scoped := range rawLogDirs {
+		if d == scoped || strings.HasSuffix(d, "/"+scoped) || strings.Contains(d+"/", "/"+scoped+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// rawLogCalls maps import path -> banned function-name prefixes.
+var rawLogCalls = map[string][]string{
+	"fmt": {"Print"},
+	"log": {"Print", "Fatal", "Panic"},
+}
+
+// rawLogImports maps each file-local name of a banned package to its
+// import path, following aliases (so `stdlog "log"` is still caught).
+func rawLogImports(f *ast.File) map[string]string {
+	byName := map[string]string{}
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || rawLogCalls[p] == nil {
+			continue
+		}
+		name := p
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name != "_" && name != "." {
+			byName[name] = p
+		}
+	}
+	return byName
+}
+
+func runRawLog(p *Pass) {
+	if !rawLogScoped(p.Dir) {
+		return
+	}
+	for _, f := range p.Files {
+		imports := rawLogImports(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			path, ok := imports[id.Name]
+			if !ok {
+				return true
+			}
+			for _, prefix := range rawLogCalls[path] {
+				if strings.HasPrefix(sel.Sel.Name, prefix) {
+					p.Reportf(call.Pos(),
+						"%s.%s writes raw output from %s; route diagnostics through the trace, flight recorder or a returned error",
+						path, sel.Sel.Name, p.Dir)
+					break
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,85 @@
+package lint
+
+import "testing"
+
+func TestRawLogFlagsSeededViolations(t *testing.T) {
+	src := `package service
+
+import (
+	"fmt"
+	"log"
+)
+
+func noisy(err error) {
+	fmt.Println("admitting job")
+	fmt.Printf("queue wait %v\n", err)
+	log.Printf("shed: %v", err)
+	log.Fatalf("boom: %v", err)
+}
+`
+	diags := analyze(t, "internal/service", src, RawLog)
+	wantDiag(t, diags, "rawlog", "fmt.Println")
+	wantDiag(t, diags, "rawlog", "fmt.Printf")
+	wantDiag(t, diags, "rawlog", "log.Printf")
+	wantDiag(t, diags, "rawlog", "log.Fatalf")
+	if len(diags) != 4 {
+		t.Fatalf("diagnostics = %d, want 4: %v", len(diags), diags)
+	}
+}
+
+func TestRawLogFollowsAliases(t *testing.T) {
+	src := `package telemetry
+
+import stdlog "log"
+
+func alias() {
+	stdlog.Print("sneaky")
+}
+`
+	diags := analyze(t, "internal/telemetry", src, RawLog)
+	wantDiag(t, diags, "rawlog", "log.Print")
+}
+
+func TestRawLogAllowsCleanAndUnscopedCode(t *testing.T) {
+	// Fprintf to a caller-supplied writer is how the scoped packages
+	// legitimately render (telemetry's Prometheus text, progress lines).
+	clean := `package telemetry
+
+import "fmt"
+
+import "io"
+
+func render(w io.Writer, v int) {
+	fmt.Fprintf(w, "value %d\n", v)
+	_ = fmt.Sprintf("label %d", v)
+}
+`
+	if diags := analyze(t, "internal/telemetry", clean, RawLog); len(diags) != 0 {
+		t.Fatalf("clean writer usage flagged: %v", diags)
+	}
+
+	// Commands and unscoped packages keep their user-facing prints.
+	cmd := `package main
+
+import "fmt"
+
+func main() { fmt.Println("collected 3 rows") }
+`
+	if diags := analyze(t, "cmd/tuplex-run", cmd, RawLog); len(diags) != 0 {
+		t.Fatalf("command output flagged: %v", diags)
+	}
+
+	// Selectors on non-package identifiers named like the packages must
+	// not trip the syntactic check.
+	shadow := `package core
+
+type logger struct{}
+
+func (logger) Printf(string, ...any) {}
+
+func use(log logger) { log.Printf("fine") }
+`
+	if diags := analyze(t, "internal/core", shadow, RawLog); len(diags) != 0 {
+		t.Fatalf("shadowed identifier flagged: %v", diags)
+	}
+}

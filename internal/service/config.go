@@ -59,6 +59,14 @@ type Config struct {
 	// MaxBodyBytes caps the request body (default 8 MiB).
 	MaxBodyBytes int64
 
+	// SlowJobThreshold: jobs whose end-to-end latency meets or exceeds
+	// it are captured — full span tree plus routing ledger — in the
+	// slow-job log at /debug/tuplex/slowz (default 0 = disabled).
+	SlowJobThreshold time.Duration
+	// FlightEvents sizes the always-on lifecycle-event ring backing
+	// /debug/tuplex/eventz (default 1024 events).
+	FlightEvents int
+
 	// Registry receives the service's job/cache stats and hosts
 	// /metrics + /debug/tuplex/runz (default telemetry.Default; tests
 	// use private registries).

@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"github.com/gotuplex/tuplex/internal/telemetry"
+	"github.com/gotuplex/tuplex/internal/trace"
 )
 
 // Job states. A job is queued between admission and execution start,
@@ -28,13 +31,21 @@ type JobStatus struct {
 	State       string `json:"state"`
 	CacheHit    bool   `json:"cache_hit"`
 	Fingerprint string `json:"fingerprint"`
+	// TraceID is the client-propagated (X-Tuplex-Trace) or
+	// server-generated correlation id threading this job through logs,
+	// exemplars and the exported trace.
+	TraceID string `json:"trace_id,omitempty"`
 
 	SubmittedAt time.Time `json:"submitted_at"`
 	// DurationNS is queue wait + execution so far (frozen at finish).
 	DurationNS int64 `json:"duration_ns"`
 
-	Error  string     `json:"error,omitempty"`
-	Result *JobResult `json:"result,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Events is the flight-recorder tail for this job, attached
+	// automatically when the job failed so the error payload carries its
+	// own context (admission, cache outcome, execution start).
+	Events []telemetry.FlightEvent `json:"events,omitempty"`
+	Result *JobResult              `json:"result,omitempty"`
 }
 
 // JobResult carries a finished job's output and row accounting.
@@ -67,6 +78,66 @@ type job struct {
 	cancel      context.CancelFunc
 	err         error
 	result      *JobResult
+
+	// Observability state (see trace.go): the correlation id, the
+	// service-side timing samples the job trace is assembled from, the
+	// assembled trace itself, and the flight-recorder tail attached to
+	// failures.
+	traceID    string
+	arrival    time.Time     // request arrival (before admission)
+	queueWait  time.Duration // admission slot wait
+	lookupWait time.Duration // plan-cache resolution (wait-on-flight)
+	execOffset time.Duration // arrival → engine execution start
+	jobTrace   *trace.Trace
+	events     []telemetry.FlightEvent
+}
+
+// setAdmission stamps the pre-execution observability fields right
+// after the job is created (the queue wait happened before it existed).
+func (j *job) setAdmission(traceID string, arrival time.Time, queueWait time.Duration) {
+	j.mu.Lock()
+	j.traceID = traceID
+	if !arrival.IsZero() {
+		j.arrival = arrival
+	}
+	j.queueWait = queueWait
+	j.mu.Unlock()
+}
+
+// noteLookup records how long plan-cache resolution took (≈0 for the
+// compile owner, the wait-on-flight time for warm waiters).
+func (j *job) noteLookup(d time.Duration) {
+	j.mu.Lock()
+	j.lookupWait = d
+	j.mu.Unlock()
+}
+
+// noteExecStart records when engine execution began relative to
+// arrival, so the engine span tree can be shifted onto the job clock.
+func (j *job) noteExecStart() {
+	j.mu.Lock()
+	j.execOffset = time.Since(j.arrival)
+	j.mu.Unlock()
+}
+
+// setTrace publishes the assembled job trace for GET /v1/jobs/{id}/trace.
+func (j *job) setTrace(t *trace.Trace) {
+	j.mu.Lock()
+	j.jobTrace = t
+	j.mu.Unlock()
+}
+
+func (j *job) getTrace() *trace.Trace {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.jobTrace
+}
+
+// setEvents attaches the flight-recorder tail (failed jobs only).
+func (j *job) setEvents(ev []telemetry.FlightEvent) {
+	j.mu.Lock()
+	j.events = ev
+	j.mu.Unlock()
 }
 
 func (j *job) setRunning(cancel context.CancelFunc) {
@@ -107,7 +178,9 @@ func (j *job) status() JobStatus {
 		State:       j.state,
 		CacheHit:    j.cacheHit,
 		Fingerprint: j.fingerprint,
+		TraceID:     j.traceID,
 		SubmittedAt: j.submitted,
+		Events:      j.events,
 		Result:      j.result,
 	}
 	end := j.finished
@@ -137,11 +210,13 @@ func newJobTable() *jobTable {
 func (t *jobTable) create(fingerprint string) *job {
 	t.mu.Lock()
 	t.nextID++
+	now := time.Now()
 	j := &job{
 		id:          fmt.Sprintf("j%06d", t.nextID),
 		state:       StateQueued,
 		fingerprint: fingerprint,
-		submitted:   time.Now(),
+		submitted:   now,
+		arrival:     now, // refined by setAdmission when known
 	}
 	t.live[j.id] = j
 	t.mu.Unlock()

@@ -19,17 +19,20 @@ import (
 	"github.com/gotuplex/tuplex/internal/plancheck"
 	"github.com/gotuplex/tuplex/internal/spec"
 	"github.com/gotuplex/tuplex/internal/telemetry"
+	"github.com/gotuplex/tuplex/internal/trace"
 )
 
 // Server is the tuplex-serve daemon: the telemetry introspection
 // surface (/metrics, /debug/tuplex/runz, pprof) plus the /v1/jobs API
 // with admission control and the compiled-pipeline cache.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	stats *telemetry.ServiceStats
-	cache *planCache
-	jobs  *jobTable
+	cfg    Config
+	mux    *http.ServeMux
+	stats  *telemetry.ServiceStats
+	cache  *planCache
+	jobs   *jobTable
+	flight *telemetry.FlightRecorder
+	slow   *slowLog
 
 	// sem holds one token per executing job (admission control).
 	sem      chan struct{}
@@ -53,16 +56,20 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		stats:   telemetry.NewServiceStats(),
 		jobs:    newJobTable(),
+		flight:  telemetry.NewFlightRecorder(cfg.FlightEvents),
+		slow:    &slowLog{},
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		done:    make(chan struct{}),
 		release: telemetry.EnableProcess(),
 	}
 	s.cache = newPlanCache(cfg.CacheEntries, s.stats)
 	cfg.Registry.SetService(s.stats)
+	cfg.Registry.SetFlight(s.flight)
 	s.mux = telemetry.NewMux(cfg.Registry)
 	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("/v1/jobs/", s.handleJob)
 	s.mux.HandleFunc("/v1/validate", s.handleValidate)
+	s.mux.HandleFunc("/debug/tuplex/slowz", s.handleSlowz)
 	return s
 }
 
@@ -125,6 +132,7 @@ func (s *Server) Close() error {
 // cancel stragglers and close. ctx aborts the wait early.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
+	s.flight.Record(telemetry.EventDrain, "", "", 0, "")
 	idle := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
@@ -169,7 +177,13 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 // response carries the result); ?wait=false answers 202 immediately
 // and the client polls GET /v1/jobs/{id}.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	arrival := time.Now()
+	traceID := sanitizeTraceID(r.Header.Get("X-Tuplex-Trace"))
+	if traceID == "" {
+		traceID = newTraceID()
+	}
 	if s.draining.Load() {
+		s.flight.Record(telemetry.EventReject, "", traceID, 0, "draining")
 		s.reject(w, http.StatusServiceUnavailable, "service is draining")
 		return
 	}
@@ -179,6 +193,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if int64(len(body)) > s.cfg.MaxBodyBytes {
+		s.flight.Record(telemetry.EventReject, "", traceID, 0, "body too large")
 		s.reject(w, http.StatusRequestEntityTooLarge,
 			fmt.Sprintf("request body exceeds %d bytes", s.cfg.MaxBodyBytes))
 		return
@@ -186,7 +201,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	p, err := spec.Decode(body)
 	if err != nil {
 		if diags := decodeDiagnostics(err); diags != nil {
-			s.rejectInvalid(w, diags)
+			s.rejectInvalid(w, traceID, diags)
 			return
 		}
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -194,6 +209,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.cfg.MemoryBudget > 0 {
 		if n := estimateInputBytes(p); n > s.cfg.MemoryBudget {
+			s.flight.Record(telemetry.EventReject, "", traceID, 0, "memory budget")
 			s.reject(w, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("job references ~%d input bytes, per-job budget is %d", n, s.cfg.MemoryBudget))
 			return
@@ -211,7 +227,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// the warm path stays at cache-hit cost.
 	if !s.cache.has(fp) {
 		if diags := plancheck.Check(p); plancheck.HasErrors(diags) {
-			s.rejectInvalid(w, diags)
+			s.rejectInvalid(w, traceID, diags)
 			return
 		}
 	}
@@ -220,15 +236,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// leaves no trace beyond the rejected counter. The queue wait is
 	// bounded by the request timeout.
 	actx, acancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-	if err := s.admit(actx); err != nil {
+	if err := s.admit(actx, traceID); err != nil {
 		acancel()
 		s.stats.JobsRejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "%v", err)
 		return
 	}
+	queueWait := time.Since(arrival)
 	s.stats.JobsSubmitted.Add(1)
 	jb := s.jobs.create(fp)
+	jb.setAdmission(traceID, arrival, queueWait)
+	s.flight.Record(telemetry.EventAdmit, jb.id, traceID, queueWait.Nanoseconds(), "")
 	s.inflight.Add(1)
 
 	if r.URL.Query().Get("wait") == "false" {
@@ -267,13 +286,21 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
-	if id == "" || strings.Contains(id, "/") {
+	sub := ""
+	if i := strings.Index(id, "/"); i >= 0 {
+		id, sub = id[:i], id[i+1:]
+	}
+	if id == "" || (sub != "" && sub != "trace") {
 		httpError(w, http.StatusNotFound, "no such resource")
 		return
 	}
 	jb := s.jobs.get(id)
 	if jb == nil {
 		httpError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	if sub == "trace" {
+		s.handleJobTrace(w, r, jb)
 		return
 	}
 	switch r.Method {
@@ -290,24 +317,30 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // ---- execution ----
 
 // admit takes an execution slot, queueing up to QueueDepth waiters.
-func (s *Server) admit(ctx context.Context) error {
+// Shed submissions (429) leave a flight-recorder event — they are
+// exactly what an operator looks for after an overload incident.
+func (s *Server) admit(ctx context.Context, traceID string) error {
 	select {
 	case s.sem <- struct{}{}:
 		return nil
 	default:
 	}
 	if s.cfg.QueueDepth == 0 {
+		s.flight.Record(telemetry.EventShed, "", traceID, 0, "queueing disabled")
 		return fmt.Errorf("service at capacity (%d jobs running, queueing disabled)", s.cfg.MaxConcurrent)
 	}
 	if n := s.stats.QueueDepth.Add(1); n > int64(s.cfg.QueueDepth) {
 		s.stats.QueueDepth.Add(-1)
+		s.flight.Record(telemetry.EventShed, "", traceID, 0, "queue full")
 		return fmt.Errorf("service at capacity (%d jobs running, %d queued)", s.cfg.MaxConcurrent, s.cfg.QueueDepth)
 	}
 	defer s.stats.QueueDepth.Add(-1)
+	s.flight.Record(telemetry.EventQueue, "", traceID, 0, "")
 	select {
 	case s.sem <- struct{}{}:
 		return nil
 	case <-ctx.Done():
+		s.flight.Record(telemetry.EventShed, "", traceID, 0, "queue wait aborted")
 		return fmt.Errorf("queue wait aborted: %w", context.Cause(ctx))
 	}
 }
@@ -329,22 +362,37 @@ func (s *Server) runJob(ctx context.Context, jb *job, p *spec.Pipeline) {
 	t0 := time.Now()
 	res, built, hit, err := s.execute(jctx, jb, p)
 	dur := time.Since(t0)
+	// End-to-end latency (what the exemplars and slow log key on) is
+	// measured from request arrival, queue wait included.
+	total := time.Since(jb.arrival)
 	switch {
 	case err == nil:
 		s.stats.JobsCompleted.Add(1)
 		if hit {
-			s.stats.WarmLatency.RecordDuration(dur)
+			s.stats.WarmLatency.RecordExemplar(dur.Nanoseconds(), jb.id, jb.traceID)
 		} else {
-			s.stats.ColdLatency.RecordDuration(dur)
+			s.stats.ColdLatency.RecordExemplar(dur.Nanoseconds(), jb.id, jb.traceID)
 		}
 		jb.finish(StateDone, hit, shapeResult(built, res, s.cfg.MaxResultRows), nil)
+		s.flight.Record(telemetry.EventDone, jb.id, jb.traceID, total.Nanoseconds(), "")
 	case errors.Is(err, core.ErrCanceled), errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		s.stats.JobsCanceled.Add(1)
 		jb.finish(StateCanceled, hit, nil, err)
+		s.flight.Record(telemetry.EventCanceled, jb.id, jb.traceID, total.Nanoseconds(), "")
 	default:
 		s.stats.JobsFailed.Add(1)
 		jb.finish(StateFailed, hit, nil, err)
+		// The error payload carries the job's own black-box tail so the
+		// failure arrives with its context attached.
+		s.flight.Record(telemetry.EventFailed, jb.id, jb.traceID, total.Nanoseconds(), "")
+		jb.setEvents(s.flight.JobEvents(jb.id, 32))
 	}
+	var engineTrace *trace.Trace
+	if res != nil {
+		engineTrace = res.Trace
+	}
+	jb.setTrace(buildJobTrace(jb, engineTrace, total))
+	s.noteSlow(jb, total)
 }
 
 // execute resolves the job through the plan cache: own the flight
@@ -352,9 +400,12 @@ func (s *Server) runJob(ctx context.Context, jb *job, p *spec.Pipeline) {
 // and re-execute the cached plan. A failed flight is retried by the
 // next submitter rather than poisoning the key.
 func (s *Server) execute(ctx context.Context, jb *job, p *spec.Pipeline) (*core.Result, *spec.Built, bool, error) {
+	lookup := time.Now()
 	for attempt := 0; attempt < 4; attempt++ {
 		e, owner := s.cache.acquire(jb.fingerprint)
 		if owner {
+			jb.noteLookup(time.Since(lookup))
+			s.flight.Record(telemetry.EventCompile, jb.id, jb.traceID, 0, "")
 			built, err := p.Build()
 			if err != nil {
 				s.cache.fail(e, err)
@@ -362,6 +413,8 @@ func (s *Server) execute(ctx context.Context, jb *job, p *spec.Pipeline) (*core.
 			}
 			s.tuneOpts(&built.Opts, jb)
 			s.stats.CacheMisses.Add(1)
+			s.flight.Record(telemetry.EventExecute, jb.id, jb.traceID, 0, "")
+			jb.noteExecStart()
 			res, cp, err := core.CompileAndExecute(ctx, built.Node, built.Kind, built.CSVPath, built.Opts)
 			if err != nil {
 				s.cache.fail(e, err)
@@ -378,17 +431,24 @@ func (s *Server) execute(ctx context.Context, jb *job, p *spec.Pipeline) (*core.
 		if e.err != nil {
 			continue // the owner failed; compete to compile it ourselves
 		}
+		jb.noteLookup(time.Since(lookup))
 		s.stats.CacheHits.Add(1)
+		s.flight.Record(telemetry.EventCacheHit, jb.id, jb.traceID, 0, "")
+		s.flight.Record(telemetry.EventExecute, jb.id, jb.traceID, 0, "")
+		jb.noteExecStart()
 		res, err := e.plan.ExecuteLabeled(ctx, e.built.CSVPath, jb.id)
 		return res, e.built, true, err
 	}
 	// Pathological churn of failing flights: run once, uncached.
+	jb.noteLookup(time.Since(lookup))
 	built, err := p.Build()
 	if err != nil {
 		return nil, nil, false, err
 	}
 	s.tuneOpts(&built.Opts, jb)
 	s.stats.CacheMisses.Add(1)
+	s.flight.Record(telemetry.EventExecute, jb.id, jb.traceID, 0, "")
+	jb.noteExecStart()
 	res, err := core.ExecuteContext(ctx, built.Node, built.Kind, built.CSVPath, built.Opts)
 	return res, built, false, err
 }
@@ -401,6 +461,14 @@ func (s *Server) tuneOpts(o *core.Options, jb *job) {
 	}
 	o.Telemetry.Enabled = true
 	o.Telemetry.Label = jb.id
+	// Service jobs always carry a routing ledger in their trace: the
+	// per-op normal/general/fallback row counts are the first thing an
+	// operator reads from GET /v1/jobs/{id}/trace. Warm re-executions
+	// inherit this (compiled plans run with the options they were
+	// compiled under), so the ledger is there on cache hits too.
+	if o.Trace < trace.LevelRows {
+		o.Trace = trace.LevelRows
+	}
 }
 
 // shapeResult renders an engine result into the job's wire form,

@@ -1,0 +1,400 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/gotuplex/tuplex/internal/telemetry"
+	"github.com/gotuplex/tuplex/internal/trace"
+)
+
+// fetchTrace GETs a job's trace in the requested format.
+func fetchTrace(t *testing.T, base, id, format string) (int, []byte) {
+	t.Helper()
+	url := base + "/v1/jobs/" + id + "/trace"
+	if format != "" {
+		url += "?format=" + format
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp.StatusCode, []byte(sb.String())
+}
+
+// submitTraced POSTs a spec with a trace header and returns the status.
+func submitTraced(t *testing.T, base, body, traceID string) JobStatus {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodPost, base+"/v1/jobs", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		req.Header.Set("X-Tuplex-Trace", traceID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestJobTraceNative covers the assembled job trace for a cold, then a
+// warm (cache-hit) submission: service-side spans above the engine
+// spans, the trace id propagated from the client header, and the warm
+// job's routing ledger present.
+func TestJobTraceNative(t *testing.T) {
+	_, hs := newTestServer(t, Config{MaxConcurrent: 2})
+	cold := submitTraced(t, hs.URL, smallSpec(1), "trace-cold-1")
+	if cold.TraceID != "trace-cold-1" {
+		t.Fatalf("cold trace id = %q, want propagated header", cold.TraceID)
+	}
+	if cold.CacheHit {
+		t.Fatal("first submission must be a miss")
+	}
+	warm := submitTraced(t, hs.URL, smallSpec(1), "trace-warm-1")
+	if !warm.CacheHit {
+		t.Fatal("second submission must hit the cache")
+	}
+
+	for _, tc := range []struct {
+		st  JobStatus
+		hit bool
+	}{{cold, false}, {warm, true}} {
+		code, body := fetchTrace(t, hs.URL, tc.st.ID, "native")
+		if code != http.StatusOK {
+			t.Fatalf("trace fetch for %s = %d: %s", tc.st.ID, code, body)
+		}
+		tr, err := trace.Parse(body)
+		if err != nil {
+			t.Fatalf("parsing native trace: %v", err)
+		}
+		if tr.Root == nil || tr.Root.Name != "job" {
+			t.Fatalf("root span = %+v, want job", tr.Root)
+		}
+		names := map[string]*trace.Span{}
+		for _, c := range tr.Root.Children {
+			names[c.Name] = c
+		}
+		for _, want := range []string{"admission", "cache_lookup", "run"} {
+			if names[want] == nil {
+				t.Fatalf("job %s trace lacks %q child (got %v)", tc.st.ID, want, tr.Root.Children)
+			}
+		}
+		// Service spans sit above (before) the engine run on the timeline
+		// root; the engine subtree must be inside the job window.
+		run := names["run"]
+		if run.StartNS < 0 || run.StartNS+run.DurNS > tr.Root.DurNS+run.DurNS {
+			t.Fatalf("run span [%d,%d] outside job window %d", run.StartNS, run.StartNS+run.DurNS, tr.Root.DurNS)
+		}
+		var hitAttr string
+		for _, a := range names["cache_lookup"].Attrs {
+			if a.Key == "hit" {
+				hitAttr = a.Val
+			}
+		}
+		if want := fmt.Sprintf("%v", tc.hit); hitAttr != want {
+			t.Fatalf("cache_lookup hit attr = %q, want %q", hitAttr, want)
+		}
+		// The engine subtree must carry a routing ledger (tuneOpts raises
+		// the trace level to rows for service jobs, warm runs included).
+		found := false
+		var walk func(s *trace.Span)
+		walk = func(s *trace.Span) {
+			if len(s.Routing) > 0 {
+				found = true
+			}
+			for _, c := range s.Children {
+				walk(c)
+			}
+		}
+		walk(run)
+		if !found {
+			t.Fatalf("job %s engine trace has no routing ledger", tc.st.ID)
+		}
+	}
+}
+
+// TestJobTraceChrome validates the chrome export of a warm job's trace
+// structurally: the document shape, pid/tid/ph/ts fields, one X event
+// per span, and service spans present alongside engine spans.
+func TestJobTraceChrome(t *testing.T) {
+	_, hs := newTestServer(t, Config{MaxConcurrent: 2})
+	submitTraced(t, hs.URL, smallSpec(2), "")
+	warm := submitTraced(t, hs.URL, smallSpec(2), "")
+	if !warm.CacheHit {
+		t.Fatal("second submission must hit the cache")
+	}
+
+	code, body := fetchTrace(t, hs.URL, warm.ID, "chrome")
+	if code != http.StatusOK {
+		t.Fatalf("chrome trace fetch = %d: %s", code, body)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	// Compare against the native span tree: one X event per span.
+	_, nbody := fetchTrace(t, hs.URL, warm.ID, "native")
+	nat, err := trace.Parse(nbody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans int
+	var count func(s *trace.Span)
+	count = func(s *trace.Span) {
+		spans++
+		for _, c := range s.Children {
+			count(c)
+		}
+	}
+	count(nat.Root)
+
+	byName := map[string]bool{}
+	var xEvents int
+	for _, e := range doc.TraceEvents {
+		if e.PID != 1 {
+			t.Fatalf("event %q pid = %d", e.Name, e.PID)
+		}
+		switch e.Ph {
+		case "M":
+		case "X":
+			if e.TS < 0 || e.Dur < 0 {
+				t.Fatalf("event %q has negative ts/dur", e.Name)
+			}
+			if e.TID == 1 {
+				xEvents++
+			}
+			byName[e.Name] = true
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	if xEvents != spans {
+		t.Fatalf("driver X events = %d, native spans = %d", xEvents, spans)
+	}
+	for _, want := range []string{"job", "admission", "cache_lookup", "run"} {
+		if !byName[want] {
+			t.Fatalf("chrome trace lacks %q event", want)
+		}
+	}
+
+	// Unknown format is a 400; unknown subresource a 404.
+	if code, _ := fetchTrace(t, hs.URL, warm.ID, "svg"); code != http.StatusBadRequest {
+		t.Fatalf("format=svg = %d, want 400", code)
+	}
+	resp, err := http.Get(hs.URL + "/v1/jobs/" + warm.ID + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown subresource = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestConcurrentJobTraceIsolation races distinct pipelines and checks
+// every job ends with its own trace: the right job id attr, no span
+// tree shared between jobs (run under -race this also proves the
+// assembly path is data-race free).
+func TestConcurrentJobTraceIsolation(t *testing.T) {
+	_, hs := newTestServer(t, Config{MaxConcurrent: 4})
+	const n = 8
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st := submitTraced(t, hs.URL, smallSpec(100+i%3), fmt.Sprintf("iso-%d", i))
+			ids[i] = st.ID
+		}(i)
+	}
+	wg.Wait()
+	seen := map[string]string{} // job attr -> id it came from
+	for i, id := range ids {
+		_, body := fetchTrace(t, hs.URL, id, "native")
+		tr, err := trace.Parse(body)
+		if err != nil {
+			t.Fatalf("job %s: %v", id, err)
+		}
+		var jobAttr, traceAttr string
+		for _, a := range tr.Root.Attrs {
+			switch a.Key {
+			case "job":
+				jobAttr = a.Val
+			case "trace_id":
+				traceAttr = a.Val
+			}
+		}
+		if jobAttr != id {
+			t.Fatalf("trace for %s carries job attr %q", id, jobAttr)
+		}
+		if want := fmt.Sprintf("iso-%d", i); traceAttr != want {
+			t.Fatalf("trace for %s carries trace_id %q, want %q", id, traceAttr, want)
+		}
+		if prev, dup := seen[jobAttr]; dup {
+			t.Fatalf("jobs %s and %s share a trace", prev, id)
+		}
+		seen[jobAttr] = id
+	}
+}
+
+// TestSlowJobLog submits with a zero threshold-crossing bar and checks
+// the job lands in /debug/tuplex/slowz with its trace attached.
+func TestSlowJobLog(t *testing.T) {
+	_, hs := newTestServer(t, Config{MaxConcurrent: 1, SlowJobThreshold: time.Nanosecond})
+	st := submitTraced(t, hs.URL, smallSpec(3), "slowpoke")
+	resp, err := http.Get(hs.URL + "/debug/tuplex/slowz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep struct {
+		ThresholdNS int64     `json:"threshold_ns"`
+		SlowJobs    []SlowJob `json:"slow_jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.ThresholdNS != 1 {
+		t.Fatalf("threshold_ns = %d", rep.ThresholdNS)
+	}
+	if len(rep.SlowJobs) != 1 {
+		t.Fatalf("slow jobs = %d, want 1", len(rep.SlowJobs))
+	}
+	e := rep.SlowJobs[0]
+	if e.Status.ID != st.ID || e.Status.TraceID != "slowpoke" {
+		t.Fatalf("slow entry = %+v", e.Status)
+	}
+	if e.Status.Result != nil {
+		t.Fatal("slow log must not retain result payloads")
+	}
+	if e.Trace == nil || e.Trace.Root == nil || e.Trace.Root.Name != "job" {
+		t.Fatalf("slow entry lacks the job trace: %+v", e.Trace)
+	}
+}
+
+// TestShedEventsInFlightRecorder fills all slots and the queue, then
+// checks the 429 storm left shed events in /debug/tuplex/eventz.
+func TestShedEventsInFlightRecorder(t *testing.T) {
+	s, hs := newTestServer(t, Config{MaxConcurrent: 1, QueueDepth: -1})
+	// Occupy the only slot directly — no job needed.
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	for i := 0; i < 3; i++ {
+		code, _ := post(t, hs.URL+"/v1/jobs", smallSpec(4))
+		if code != http.StatusTooManyRequests {
+			t.Fatalf("want 429, got %d", code)
+		}
+	}
+	resp, err := http.Get(hs.URL + "/debug/tuplex/eventz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep telemetry.EventzReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	shed := 0
+	for _, e := range rep.Events {
+		if e.Kind == telemetry.EventShed {
+			shed++
+			if e.Detail != "queueing disabled" {
+				t.Fatalf("shed detail = %q", e.Detail)
+			}
+		}
+	}
+	if shed != 3 {
+		t.Fatalf("shed events = %d, want 3\n%+v", shed, rep.Events)
+	}
+}
+
+// TestFailedJobCarriesEvents checks a failing job's error payload dumps
+// its flight-recorder tail (admit → compile → execute → failed).
+func TestFailedJobCarriesEvents(t *testing.T) {
+	_, hs := newTestServer(t, Config{MaxConcurrent: 1})
+	badSpec := `{"v":1,
+		"source": {"kind":"csv","path":"/nonexistent/input.csv"},
+		"ops": [{"kind":"filter","udf":{"code":"lambda x: True"}}]}`
+	code, body := post(t, hs.URL+"/v1/jobs", badSpec)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("want 500, got %d: %s", code, body)
+	}
+	st := decodeStatus(t, body)
+	if st.State != StateFailed {
+		t.Fatalf("state = %q", st.State)
+	}
+	if len(st.Events) == 0 {
+		t.Fatal("failed job status carries no flight events")
+	}
+	kinds := map[string]bool{}
+	for _, e := range st.Events {
+		if e.Job != st.ID {
+			t.Fatalf("foreign event in payload: %+v", e)
+		}
+		kinds[e.Kind] = true
+	}
+	for _, want := range []string{telemetry.EventAdmit, telemetry.EventCompile, telemetry.EventFailed} {
+		if !kinds[want] {
+			t.Fatalf("failed job events lack %q: %+v", want, st.Events)
+		}
+	}
+}
+
+// TestTraceIDGeneratedAndSanitized: a submission without the header
+// gets a server-generated id; a hostile header is replaced.
+func TestTraceIDGeneratedAndSanitized(t *testing.T) {
+	_, hs := newTestServer(t, Config{MaxConcurrent: 1})
+	st := submitTraced(t, hs.URL, smallSpec(5), "")
+	if len(st.TraceID) != 16 {
+		t.Fatalf("generated trace id = %q, want 16 hex chars", st.TraceID)
+	}
+	st = submitTraced(t, hs.URL, smallSpec(5), "ok-id_1.2")
+	if st.TraceID != "ok-id_1.2" {
+		t.Fatalf("benign id rewritten to %q", st.TraceID)
+	}
+	if got := sanitizeTraceID(`evil"id`); got != "" {
+		t.Fatalf("sanitize kept %q", got)
+	}
+	if got := sanitizeTraceID(strings.Repeat("a", 65)); got != "" {
+		t.Fatal("sanitize kept overlong id")
+	}
+}

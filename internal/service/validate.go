@@ -8,6 +8,7 @@ import (
 
 	"github.com/gotuplex/tuplex/internal/plancheck"
 	"github.com/gotuplex/tuplex/internal/spec"
+	"github.com/gotuplex/tuplex/internal/telemetry"
 )
 
 // validateResponse is the wire shape of POST /v1/validate and the 422
@@ -78,8 +79,9 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 // 422 with the full diagnostic list. It runs before fingerprinting and
 // admission, so an invalid spec consumes no queue slot, no cache entry
 // and no job id — only the invalid counter moves.
-func (s *Server) rejectInvalid(w http.ResponseWriter, diags []plancheck.Diagnostic) {
+func (s *Server) rejectInvalid(w http.ResponseWriter, traceID string, diags []plancheck.Diagnostic) {
 	s.stats.JobsInvalid.Add(1)
+	s.flight.Record(telemetry.EventInvalid, "", traceID, 0, "static verification")
 	n := 0
 	for _, d := range diags {
 		if d.Severity == plancheck.SevError {

@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Exemplars tie a latency histogram's buckets back to concrete jobs: a
+// p99 spike on the dashboard becomes "job j000421, trace 8f3a…" that an
+// operator can feed straight into GET /v1/jobs/{id}/trace. One exemplar
+// slot exists per power-of-two octave of the histogram, so the store is
+// tiny (a few dozen slots), bounded, and lazily allocated — a histogram
+// that never records an exemplar pays one nil pointer.
+//
+// The slots are mutex-protected (not atomics): exemplars record once
+// per job on the service path, never on the engine's per-row hot path,
+// so a short lock is fine and keeps the (value, job, trace) triple
+// consistent.
+
+// Exemplar references the concrete observation retained for an octave.
+type Exemplar struct {
+	ValueNS int64  `json:"value_ns"`
+	Job     string `json:"job"`
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// exemplarOctaves sizes the per-octave slot array: bucketIndex >>
+// subBits maps any representable value to its octave.
+var exemplarOctaves = bucketIndex(histMaxValue)>>subBits + 1
+
+// exemplarStore holds the lazily-allocated slots alongside a Histogram.
+type exemplarStore struct {
+	mu    sync.Mutex
+	slots []Exemplar // index = octave; zero Job means empty
+}
+
+// octaveOf maps a recorded value to its exemplar slot.
+func octaveOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v > histMaxValue {
+		v = histMaxValue
+	}
+	return bucketIndex(v) >> subBits
+}
+
+// RecordExemplar records one observation like Record and additionally
+// retains (job, traceID) as the exemplar for the value's octave,
+// overwriting the previous holder — the freshest job in each latency
+// band wins, which is what an operator debugging "why is p99 high right
+// now" wants.
+func (h *Histogram) RecordExemplar(v int64, job, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Record(v)
+	if job == "" {
+		return
+	}
+	h.exMu.Lock()
+	if h.ex == nil {
+		h.ex = make([]Exemplar, exemplarOctaves)
+	}
+	h.ex[octaveOf(v)] = Exemplar{ValueNS: v, Job: job, TraceID: traceID}
+	h.exMu.Unlock()
+}
+
+// exemplarAt returns the slot for octave idx (ok=false when empty).
+func (h *Histogram) exemplarAt(octave int) (Exemplar, bool) {
+	if h == nil {
+		return Exemplar{}, false
+	}
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	if h.ex == nil || octave < 0 || octave >= len(h.ex) || h.ex[octave].Job == "" {
+		return Exemplar{}, false
+	}
+	return h.ex[octave], true
+}
+
+// ExemplarNear returns the retained exemplar closest to quantile q:
+// the slot for Quantile(q)'s octave, falling back to the nearest
+// non-empty octave below, then above. ok=false when no exemplar has
+// been recorded at all.
+func (h *Histogram) ExemplarNear(q float64) (Exemplar, bool) {
+	if h == nil {
+		return Exemplar{}, false
+	}
+	target := octaveOf(h.Quantile(q))
+	if e, ok := h.exemplarAt(target); ok {
+		return e, true
+	}
+	for d := 1; d < exemplarOctaves; d++ {
+		if e, ok := h.exemplarAt(target - d); ok {
+			return e, true
+		}
+		if e, ok := h.exemplarAt(target + d); ok {
+			return e, true
+		}
+	}
+	return Exemplar{}, false
+}
+
+// WriteOpenMetrics renders the histogram like WritePrometheus but in
+// OpenMetrics syntax, attaching each octave's exemplar to the last
+// bucket line of that octave (`# {job="...",trace_id="..."} value`).
+// Exemplars are only legal in the OpenMetrics exposition format, which
+// is why /metrics keeps serving the classic text format unless the
+// scraper asks for application/openmetrics-text.
+func (h *Histogram) WriteOpenMetrics(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum int64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		cum += n
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d",
+			name, labels, sep, float64(bucketHigh(i))/1e9, cum)
+		// Attach the octave's exemplar to the first non-empty bucket whose
+		// range contains it (OpenMetrics: exemplar value must be <= le).
+		if e, ok := h.exemplarAt(i >> subBits); ok && e.ValueNS <= bucketHigh(i) && e.ValueNS >= bucketLow(i) {
+			fmt.Fprintf(w, " # {job=\"%s\"", promEscape(e.Job))
+			if e.TraceID != "" {
+				fmt.Fprintf(w, ",trace_id=\"%s\"", promEscape(e.TraceID))
+			}
+			fmt.Fprintf(w, "} %g", float64(e.ValueNS)/1e9)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, h.count.Load())
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, labels, float64(h.sum.Load())/1e9)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.count.Load())
+}

@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// FlightRecorder is an always-on, bounded ring of structured service
+// lifecycle events (admit / queue / compile / cache_hit / execute /
+// shed / invalid / done / failed / canceled / slow / drain). It is the
+// service's black box: cheap enough to leave recording permanently,
+// bounded so an event storm can never grow memory, and dumped into a
+// failed job's error payload and /debug/tuplex/eventz so the operator
+// sees the minutes before an incident without having had any
+// collection turned on.
+//
+// Cost contract: the ring is allocated once at construction and
+// recording copies fixed-size struct fields (string headers included)
+// into a pre-existing slot under a short mutex — zero allocations per
+// event, zero work when nothing records. Callers must pass only
+// pre-existing strings (job ids, constant kinds), never format into
+// Record's arguments.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	start time.Time
+	buf   []FlightEvent
+	next  int
+	count int
+	total int64
+}
+
+// Flight event kinds. Constants so recording never formats.
+const (
+	EventAdmit    = "admit"     // job admitted; Dur = queue wait
+	EventQueue    = "queue"     // submission entered the wait queue
+	EventShed     = "shed"      // 429: queue full or queueing disabled
+	EventInvalid  = "invalid"   // 422: static verifier rejected the spec
+	EventReject   = "reject"    // 413/503: budget or drain rejection
+	EventCompile  = "compile"   // cache miss: this job owns the compile flight
+	EventCacheHit = "cache_hit" // warm submission: compiled plan reused
+	EventExecute  = "execute"   // engine run started
+	EventDone     = "done"      // job finished; Dur = end-to-end latency
+	EventFailed   = "failed"
+	EventCanceled = "canceled"
+	EventSlow     = "slow"  // job exceeded the slow-job threshold
+	EventDrain    = "drain" // graceful shutdown began
+)
+
+// FlightEvent is one recorded lifecycle event.
+type FlightEvent struct {
+	// AtNS is the event time in nanoseconds since the recorder started.
+	AtNS int64 `json:"at_ns"`
+	// Kind is one of the Event* constants.
+	Kind string `json:"kind"`
+	// Job is the job id the event belongs to ("" for pre-admission
+	// events like queue/shed, which fire before a job exists).
+	Job string `json:"job,omitempty"`
+	// TraceID is the propagated client trace id, when known.
+	TraceID string `json:"trace_id,omitempty"`
+	// DurNS carries the event's duration measurement (queue wait for
+	// admit, end-to-end latency for done/failed), 0 when inapplicable.
+	DurNS int64 `json:"dur_ns,omitempty"`
+	// Detail is a short pre-existing string (error class, shed reason).
+	Detail string `json:"detail,omitempty"`
+}
+
+// DefaultFlightEvents is the ring capacity when size <= 0.
+const DefaultFlightEvents = 1024
+
+// NewFlightRecorder returns a recorder with a ring of size events.
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size <= 0 {
+		size = DefaultFlightEvents
+	}
+	return &FlightRecorder{start: time.Now(), buf: make([]FlightEvent, size)}
+}
+
+// Record appends one event, overwriting the oldest when full. Nil-safe.
+// kind/job/traceID/detail must be pre-existing strings.
+func (f *FlightRecorder) Record(kind, job, traceID string, durNS int64, detail string) {
+	if f == nil {
+		return
+	}
+	at := time.Since(f.start).Nanoseconds()
+	f.mu.Lock()
+	f.buf[f.next] = FlightEvent{AtNS: at, Kind: kind, Job: job, TraceID: traceID, DurNS: durNS, Detail: detail}
+	f.next = (f.next + 1) % len(f.buf)
+	if f.count < len(f.buf) {
+		f.count++
+	}
+	f.total++
+	f.mu.Unlock()
+}
+
+// Snapshot returns up to max retained events (0 = all), oldest first,
+// plus the count of events dropped by ring wrap-around since start.
+func (f *FlightRecorder) Snapshot(max int) (events []FlightEvent, dropped int64) {
+	if f == nil {
+		return nil, 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.count
+	if max > 0 && n > max {
+		n = max
+	}
+	events = make([]FlightEvent, n)
+	for i := range n {
+		events[i] = f.buf[(f.next-n+i+len(f.buf))%len(f.buf)]
+	}
+	return events, f.total - int64(f.count)
+}
+
+// JobEvents returns the retained events for one job id, oldest first,
+// capped at max (0 = all). Pre-admission events (empty Job) are not
+// attributed to any job.
+func (f *FlightRecorder) JobEvents(job string, max int) []FlightEvent {
+	if f == nil || job == "" {
+		return nil
+	}
+	all, _ := f.Snapshot(0)
+	var out []FlightEvent
+	for _, e := range all {
+		if e.Job == job {
+			out = append(out, e)
+		}
+	}
+	if max > 0 && len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out
+}
+
+// SetFlight attaches a flight recorder to the registry so the
+// introspection mux can serve /debug/tuplex/eventz. Nil-safe.
+func (r *Registry) SetFlight(f *FlightRecorder) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.flight = f
+	r.mu.Unlock()
+}
+
+// Flight returns the attached recorder (nil when none).
+func (r *Registry) Flight() *FlightRecorder {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.flight
+}

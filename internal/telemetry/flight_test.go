@@ -1,0 +1,259 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestFlightRecorderRingWrap(t *testing.T) {
+	f := NewFlightRecorder(4)
+	jobs := []string{"j0", "j1", "j2", "j3", "j4", "j5", "j6", "j7", "j8", "j9"}
+	for i, j := range jobs {
+		f.Record(EventDone, j, "", int64(i), "")
+	}
+	events, dropped := f.Snapshot(0)
+	if len(events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(events))
+	}
+	if dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", dropped)
+	}
+	for i, e := range events {
+		if want := jobs[6+i]; e.Job != want {
+			t.Fatalf("event %d is job %q, want %q (oldest first)", i, e.Job, want)
+		}
+	}
+	// max caps to the newest events.
+	events, _ = f.Snapshot(2)
+	if len(events) != 2 || events[0].Job != "j8" || events[1].Job != "j9" {
+		t.Fatalf("Snapshot(2) = %+v, want j8,j9", events)
+	}
+	// Timestamps are monotone non-decreasing.
+	events, _ = f.Snapshot(0)
+	for i := 1; i < len(events); i++ {
+		if events[i].AtNS < events[i-1].AtNS {
+			t.Fatalf("timestamps out of order: %d then %d", events[i-1].AtNS, events[i].AtNS)
+		}
+	}
+}
+
+func TestFlightRecorderJobEvents(t *testing.T) {
+	f := NewFlightRecorder(16)
+	f.Record(EventShed, "", "", 0, "queue full") // pre-admission: no job
+	f.Record(EventAdmit, "j1", "t1", 100, "")
+	f.Record(EventAdmit, "j2", "t2", 200, "")
+	f.Record(EventExecute, "j1", "t1", 0, "")
+	f.Record(EventDone, "j1", "t1", 5000, "")
+	got := f.JobEvents("j1", 0)
+	if len(got) != 3 {
+		t.Fatalf("j1 has %d events, want 3: %+v", len(got), got)
+	}
+	if got[0].Kind != EventAdmit || got[1].Kind != EventExecute || got[2].Kind != EventDone {
+		t.Fatalf("j1 event order wrong: %+v", got)
+	}
+	if capped := f.JobEvents("j1", 2); len(capped) != 2 || capped[0].Kind != EventExecute {
+		t.Fatalf("JobEvents cap must keep the newest: %+v", capped)
+	}
+	if f.JobEvents("", 0) != nil {
+		t.Fatal("empty job id must return nil")
+	}
+}
+
+// TestFlightRecordZeroAlloc pins the always-on cost contract: recording
+// into the ring allocates nothing.
+func TestFlightRecordZeroAlloc(t *testing.T) {
+	f := NewFlightRecorder(64)
+	job, trace := "j000001", "deadbeef"
+	if n := testing.AllocsPerRun(200, func() {
+		f.Record(EventAdmit, job, trace, 1234, "")
+	}); n != 0 {
+		t.Fatalf("Record allocates %.1f times per call, want 0", n)
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(EventAdmit, "j", "", 0, "")
+	if ev, dropped := f.Snapshot(0); ev != nil || dropped != 0 {
+		t.Fatal("nil Snapshot must be empty")
+	}
+	if f.JobEvents("j", 0) != nil {
+		t.Fatal("nil JobEvents must be empty")
+	}
+	var r *Registry
+	r.SetFlight(nil)
+	if r.Flight() != nil {
+		t.Fatal("nil registry Flight must be nil")
+	}
+}
+
+func TestEventzEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	f := NewFlightRecorder(32)
+	reg.SetFlight(f)
+	f.Record(EventShed, "", "", 0, "queue full")
+	f.Record(EventAdmit, "j1", "t1", 100, "")
+	f.Record(EventCacheHit, "j1", "t1", 0, "")
+	f.Record(EventDone, "j1", "t1", 9000, "")
+
+	srv := httptest.NewServer(NewMux(reg))
+	defer srv.Close()
+
+	get := func(url string) EventzReport {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("Content-Type = %q", ct)
+		}
+		var rep EventzReport
+		if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	rep := get(srv.URL + "/debug/tuplex/eventz")
+	if len(rep.Events) != 4 {
+		t.Fatalf("eventz returned %d events, want 4", len(rep.Events))
+	}
+	if rep.Events[0].Kind != EventShed || rep.Events[0].Detail != "queue full" {
+		t.Fatalf("first event = %+v, want the shed", rep.Events[0])
+	}
+
+	rep = get(srv.URL + "/debug/tuplex/eventz?job=j1")
+	if len(rep.Events) != 3 {
+		t.Fatalf("job filter returned %d events, want 3", len(rep.Events))
+	}
+	for _, e := range rep.Events {
+		if e.Job != "j1" {
+			t.Fatalf("job filter leaked event %+v", e)
+		}
+	}
+
+	if rep = get(srv.URL + "/debug/tuplex/eventz?max=2"); len(rep.Events) != 2 {
+		t.Fatalf("max=2 returned %d events", len(rep.Events))
+	}
+}
+
+// TestEventzWithoutRecorder covers a registry that never attached a
+// flight recorder (library use): the endpoint must answer with an empty
+// report, not crash.
+func TestEventzWithoutRecorder(t *testing.T) {
+	srv := httptest.NewServer(NewMux(NewRegistry()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/tuplex/eventz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep EventzReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Events) != 0 || rep.Dropped != 0 {
+		t.Fatalf("empty registry eventz = %+v", rep)
+	}
+}
+
+func TestExemplarNear(t *testing.T) {
+	h := NewHistogram()
+	// 100 fast observations without exemplars, one slow one with.
+	for range 100 {
+		h.Record(1_000_000) // 1ms
+	}
+	h.RecordExemplar(500_000_000, "j000042", "cafe01") // 500ms tail
+	e, ok := h.ExemplarNear(0.99)
+	if !ok {
+		t.Fatal("no exemplar found")
+	}
+	if e.Job != "j000042" || e.TraceID != "cafe01" || e.ValueNS != 500_000_000 {
+		t.Fatalf("exemplar = %+v", e)
+	}
+	// p50 sits in an octave with no exemplar; the nearest (the tail one)
+	// must still be found.
+	if e, ok = h.ExemplarNear(0.50); !ok || e.Job != "j000042" {
+		t.Fatalf("ExemplarNear(0.5) = %+v ok=%v, want nearest fallback", e, ok)
+	}
+	// A fresher job in the same octave overwrites the slot.
+	h.RecordExemplar(510_000_000, "j000043", "cafe02")
+	if e, _ = h.ExemplarNear(0.99); e.Job != "j000043" {
+		t.Fatalf("exemplar not overwritten: %+v", e)
+	}
+	// Empty histogram and empty job are no-ops.
+	empty := NewHistogram()
+	if _, ok := empty.ExemplarNear(0.99); ok {
+		t.Fatal("empty histogram must have no exemplar")
+	}
+	empty.RecordExemplar(5, "", "")
+	if _, ok := empty.ExemplarNear(0.99); ok {
+		t.Fatal("empty job id must not retain an exemplar")
+	}
+}
+
+// TestMetricsExemplarFormats pins the format negotiation: the classic
+// text format never carries exemplars (they are illegal there), while
+// an OpenMetrics scrape gets `# {job=...}` annotations and the # EOF
+// terminator.
+func TestMetricsExemplarFormats(t *testing.T) {
+	reg := NewRegistry()
+	st := NewServiceStats()
+	st.WarmLatency.RecordExemplar(2_000_000, "j000007", "beef99")
+	reg.SetService(st)
+	srv := httptest.NewServer(NewMux(reg))
+	defer srv.Close()
+
+	fetch := func(accept string) (string, string) {
+		t.Helper()
+		req, _ := http.NewRequest("GET", srv.URL+"/metrics", nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return string(b), resp.Header.Get("Content-Type")
+	}
+
+	classic, ct := fetch("")
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("classic Content-Type = %q", ct)
+	}
+	if strings.Contains(classic, "# {") || strings.Contains(classic, "# EOF") {
+		t.Fatalf("classic format must not carry exemplars or EOF:\n%s", classic)
+	}
+	checkPrometheusText(t, classic)
+
+	om, ct := fetch("application/openmetrics-text; version=1.0.0")
+	if !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Fatalf("openmetrics Content-Type = %q", ct)
+	}
+	if !strings.HasSuffix(strings.TrimRight(om, "\n"), "# EOF") {
+		t.Fatalf("openmetrics output must end with # EOF:\n%s", om)
+	}
+	want := `# {job="j000007",trace_id="beef99"} 0.002`
+	if !strings.Contains(om, want) {
+		t.Fatalf("openmetrics output lacks exemplar %q:\n%s", want, om)
+	}
+	// The exemplar must hang off a warm-latency bucket line.
+	for _, line := range strings.Split(om, "\n") {
+		if strings.Contains(line, "# {job=") {
+			if !strings.HasPrefix(line, "tuplex_service_warm_latency_seconds_bucket{le=") {
+				t.Fatalf("exemplar on unexpected line: %q", line)
+			}
+		}
+	}
+}

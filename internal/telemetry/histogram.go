@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/bits"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -21,6 +22,11 @@ type Histogram struct {
 	counts []atomic.Int64
 	count  atomic.Int64
 	sum    atomic.Int64
+
+	// Exemplar slots (see exemplar.go): lazily allocated, touched only
+	// by RecordExemplar/readers, never by the hot-path Record.
+	exMu sync.Mutex
+	ex   []Exemplar
 }
 
 // subBits sets the sub-bucket resolution: 16 linear sub-buckets per

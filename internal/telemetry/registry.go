@@ -16,8 +16,9 @@ type Registry struct {
 	mu      sync.Mutex
 	nextID  int64
 	live    map[int64]*RunMonitor
-	recent  []*RunMonitor // oldest first, capped at maxRecentRuns
-	service *ServiceStats // attached by tuplex-serve; nil otherwise
+	recent  []*RunMonitor   // oldest first, capped at maxRecentRuns
+	service *ServiceStats   // attached by tuplex-serve; nil otherwise
+	flight  *FlightRecorder // attached by tuplex-serve; nil otherwise
 }
 
 // Default is the process-wide registry the engine and the introspection

@@ -59,8 +59,31 @@ func (s *Server) Close() error {
 func NewMux(reg *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		writePrometheus(w, reg)
+		// Exemplars are only legal in the OpenMetrics exposition format,
+		// so they appear only when the scraper negotiates it; the classic
+		// text format stays byte-identical to what it was without them.
+		om := strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text")
+		if om {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		} else {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		}
+		writePrometheus(w, reg, om)
+		if om {
+			fmt.Fprintln(w, "# EOF")
+		}
+	})
+	mux.HandleFunc("/debug/tuplex/eventz", func(w http.ResponseWriter, r *http.Request) {
+		maxEvents := 0
+		if v := r.URL.Query().Get("max"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
+				maxEvents = n
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(eventzReport(reg.Flight(), r.URL.Query().Get("job"), maxEvents))
 	})
 	mux.HandleFunc("/debug/tuplex/runz", func(w http.ResponseWriter, r *http.Request) {
 		maxSamples := 0
@@ -151,13 +174,40 @@ type ServiceReport struct {
 	ColdP99NS int64 `json:"cold_p99_ns"`
 	WarmP50NS int64 `json:"warm_p50_ns"`
 	WarmP99NS int64 `json:"warm_p99_ns"`
+
+	// Exemplars link the latency tails to concrete jobs: the job/trace
+	// id retained nearest each histogram's p99 (absent until a job with
+	// an id lands in that region).
+	ColdP99Exemplar *Exemplar `json:"cold_p99_exemplar,omitempty"`
+	WarmP99Exemplar *Exemplar `json:"warm_p99_exemplar,omitempty"`
+}
+
+// EventzReport is the /debug/tuplex/eventz payload: the flight
+// recorder's retained lifecycle events, oldest first.
+type EventzReport struct {
+	// Dropped counts events lost to ring wrap-around since start.
+	Dropped int64         `json:"dropped"`
+	Events  []FlightEvent `json:"events"`
+}
+
+func eventzReport(f *FlightRecorder, job string, maxEvents int) EventzReport {
+	var rep EventzReport
+	if job != "" {
+		rep.Events = f.JobEvents(job, maxEvents)
+	} else {
+		rep.Events, rep.Dropped = f.Snapshot(maxEvents)
+	}
+	if rep.Events == nil {
+		rep.Events = []FlightEvent{}
+	}
+	return rep
 }
 
 func serviceReport(st *ServiceStats) *ServiceReport {
 	if st == nil {
 		return nil
 	}
-	return &ServiceReport{
+	rep := &ServiceReport{
 		JobsSubmitted:  st.JobsSubmitted.Load(),
 		JobsCompleted:  st.JobsCompleted.Load(),
 		JobsFailed:     st.JobsFailed.Load(),
@@ -174,6 +224,13 @@ func serviceReport(st *ServiceStats) *ServiceReport {
 		WarmP50NS:      st.WarmLatency.Quantile(0.50),
 		WarmP99NS:      st.WarmLatency.Quantile(0.99),
 	}
+	if e, ok := st.ColdLatency.ExemplarNear(0.99); ok {
+		rep.ColdP99Exemplar = &e
+	}
+	if e, ok := st.WarmLatency.ExemplarNear(0.99); ok {
+		rep.WarmP99Exemplar = &e
+	}
+	return rep
 }
 
 func runzReport(reg *Registry, maxSamples int) RunzReport {
@@ -239,9 +296,11 @@ func runLabels(m *RunMonitor) string {
 }
 
 // writePrometheus renders the registry in Prometheus text exposition
-// format (hand-rolled: the repo takes no dependencies).
-func writePrometheus(w http.ResponseWriter, reg *Registry) {
-	writeServicePrometheus(w, reg.Service())
+// format (hand-rolled: the repo takes no dependencies). When om is set
+// (OpenMetrics negotiated) the service latency histograms carry
+// exemplars; everything else is format-compatible with both.
+func writePrometheus(w http.ResponseWriter, reg *Registry, om bool) {
+	writeServicePrometheus(w, reg.Service(), om)
 	live, recent := reg.Live(), reg.Recent()
 	fmt.Fprintf(w, "# HELP tuplex_runs_live Number of runs currently executing.\n")
 	fmt.Fprintf(w, "# TYPE tuplex_runs_live gauge\n")
@@ -314,7 +373,7 @@ func writePrometheus(w http.ResponseWriter, reg *Registry) {
 
 // writeServicePrometheus renders the tuplex-serve job/cache counters.
 // A process that never attached ServiceStats emits nothing here.
-func writeServicePrometheus(w http.ResponseWriter, st *ServiceStats) {
+func writeServicePrometheus(w http.ResponseWriter, st *ServiceStats, om bool) {
 	if st == nil {
 		return
 	}
@@ -335,10 +394,17 @@ func writeServicePrometheus(w http.ResponseWriter, st *ServiceStats) {
 	c("tuplex_service_cache_evictions_total", "Compiled pipelines evicted under the cache cap.", st.CacheEvictions.Load())
 	g("tuplex_service_queue_depth", "Submissions waiting for an execution slot.", st.QueueDepth.Load())
 	g("tuplex_service_running_jobs", "Jobs currently executing.", st.RunningJobs.Load())
+	hist := func(h *Histogram, name string) {
+		if om {
+			h.WriteOpenMetrics(w, name, "")
+		} else {
+			h.WritePrometheus(w, name, "")
+		}
+	}
 	fmt.Fprintf(w, "# HELP tuplex_service_cold_latency_seconds End-to-end latency of cache-miss jobs.\n")
 	fmt.Fprintf(w, "# TYPE tuplex_service_cold_latency_seconds histogram\n")
-	st.ColdLatency.WritePrometheus(w, "tuplex_service_cold_latency_seconds", "")
+	hist(st.ColdLatency, "tuplex_service_cold_latency_seconds")
 	fmt.Fprintf(w, "# HELP tuplex_service_warm_latency_seconds End-to-end latency of cache-hit jobs.\n")
 	fmt.Fprintf(w, "# TYPE tuplex_service_warm_latency_seconds histogram\n")
-	st.WarmLatency.WritePrometheus(w, "tuplex_service_warm_latency_seconds", "")
+	hist(st.WarmLatency, "tuplex_service_warm_latency_seconds")
 }

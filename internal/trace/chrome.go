@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Chrome trace-event export: a finished span tree renders into the
+// Trace Event Format that chrome://tracing and Perfetto load directly
+// (JSON object with a traceEvents array of complete "X" events).
+// Span containment maps onto event containment on one timeline track;
+// per-executor task timings render on their own worker tracks so the
+// execute phase reads as a swimlane diagram. The output is fully
+// deterministic for a given span tree: events are sorted by
+// (tid, ts, -dur, name) and every id is derived from tree position,
+// never from map iteration or pointers.
+
+// Chrome event phases and the fixed ids the exporter uses. One exported
+// trace is always a single synthetic process; the driver span stack is
+// thread 1 and worker w is thread 100+w, so sorting by tid groups the
+// tracks stably.
+const (
+	chromePID       = 1
+	chromeDriverTID = 1
+	chromeWorkerTID = 100
+)
+
+// ChromeEvent is one entry of the traceEvents array. Args carries span
+// attributes (string values) plus structured payloads like the routing
+// ledger; Perfetto renders nested JSON in the args panel.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the exported document.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// usec converts span nanoseconds to the microsecond timestamps the
+// trace-event format expects (fractional microseconds are legal and
+// keep sub-microsecond spans distinguishable).
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// ChromeEvents flattens the trace into sorted trace events. Metadata
+// events naming the tracks come first, then complete events ordered by
+// (tid, ts, -dur, name) so a parent at the same start time precedes its
+// children and the output is byte-stable for a given tree.
+func (t *Trace) ChromeEvents() []ChromeEvent {
+	if t == nil || t.Root == nil {
+		return nil
+	}
+	var events []ChromeEvent
+	workers := map[int]bool{}
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		args := map[string]any{}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Val
+		}
+		if len(s.Routing) > 0 {
+			ledger := make([]OpRouting, 0, len(s.Routing))
+			for _, r := range s.Routing {
+				if !r.Zero() {
+					ledger = append(ledger, r)
+				}
+			}
+			if len(ledger) > 0 {
+				args["routing"] = ledger
+			}
+		}
+		if len(s.Samples) > 0 {
+			args["exception_samples"] = s.Samples
+		}
+		if len(args) == 0 {
+			args = nil
+		}
+		events = append(events, ChromeEvent{
+			Name: s.Name, Cat: "tuplex", Ph: "X",
+			TS: usec(s.StartNS), Dur: usec(s.DurNS),
+			PID: chromePID, TID: chromeDriverTID, Args: args,
+		})
+		for _, tk := range s.Tasks {
+			workers[tk.Worker] = true
+			events = append(events, ChromeEvent{
+				Name: fmt.Sprintf("task p%d", tk.Part), Cat: "tuplex.task", Ph: "X",
+				TS: usec(tk.StartNS), Dur: usec(tk.DurNS),
+				PID: chromePID, TID: chromeWorkerTID + tk.Worker,
+				Args: map[string]any{"part": tk.Part, "rows": tk.Rows, "worker": tk.Worker},
+			})
+		}
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.Dur != b.Dur {
+			return a.Dur > b.Dur // parent before child at equal start
+		}
+		return a.Name < b.Name
+	})
+
+	// Track-name metadata first: the driver track, then workers in
+	// ascending id order.
+	meta := []ChromeEvent{
+		{Name: "process_name", Ph: "M", PID: chromePID, TID: chromeDriverTID,
+			Args: map[string]any{"name": "tuplex"}},
+		{Name: "thread_name", Ph: "M", PID: chromePID, TID: chromeDriverTID,
+			Args: map[string]any{"name": "driver"}},
+	}
+	ids := make([]int, 0, len(workers))
+	for w := range workers {
+		ids = append(ids, w)
+	}
+	sort.Ints(ids)
+	for _, w := range ids {
+		meta = append(meta, ChromeEvent{
+			Name: "thread_name", Ph: "M", PID: chromePID, TID: chromeWorkerTID + w,
+			Args: map[string]any{"name": fmt.Sprintf("worker %d", w)},
+		})
+	}
+	return append(meta, events...)
+}
+
+// MarshalChrome renders the trace as a Chrome trace-event JSON document
+// (load it in chrome://tracing or https://ui.perfetto.dev).
+func (t *Trace) MarshalChrome() ([]byte, error) {
+	doc := ChromeTrace{TraceEvents: t.ChromeEvents(), DisplayTimeUnit: "ms"}
+	if doc.TraceEvents == nil {
+		doc.TraceEvents = []ChromeEvent{}
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(doc); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Parse decodes a trace's native JSON form (the inverse of
+// json.Marshal on Trace; the span tree round-trips exactly).
+func Parse(data []byte) (*Trace, error) {
+	var t Trace
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("trace: parsing native trace JSON: %w", err)
+	}
+	return &t, nil
+}
+
+// Shift moves a span subtree forward by delta nanoseconds (span starts
+// and task starts alike). The service uses it to re-parent an engine
+// trace, whose clock starts at run begin, under a job span whose clock
+// starts at request arrival.
+func Shift(s *Span, delta int64) {
+	if s == nil {
+		return
+	}
+	s.StartNS += delta
+	for i := range s.Tasks {
+		s.Tasks[i].StartNS += delta
+	}
+	for _, c := range s.Children {
+		Shift(c, delta)
+	}
+}

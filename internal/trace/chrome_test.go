@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixedTrace builds a deterministic span tree resembling a two-stage
+// run: fixed times, attrs, per-worker tasks, a routing ledger and one
+// exception sample, so the Chrome export golden pins the full format.
+func fixedTrace() *Trace {
+	root := &Span{Name: "run", DurNS: 10_000_000}
+	root.Children = append(root.Children,
+		&Span{Name: "plan", StartNS: 1_000, DurNS: 50_000,
+			Attrs: []Attr{Bool("optimized", true)}},
+		&Span{Name: "stage", StartNS: 60_000, DurNS: 8_000_000,
+			Attrs: []Attr{Int("index", 0), Int("ops", 2)},
+			Children: []*Span{
+				{Name: "sample", StartNS: 70_000, DurNS: 500_000},
+				{Name: "compile", StartNS: 600_000, DurNS: 400_000, Attrs: []Attr{Int("udfs", 2)}},
+				{Name: "execute", StartNS: 1_100_000, DurNS: 6_000_000,
+					Tasks: []TaskTiming{
+						{Part: 0, Worker: 0, Rows: 500, StartNS: 1_200_000, DurNS: 2_500_000},
+						{Part: 1, Worker: 1, Rows: 500, StartNS: 1_250_000, DurNS: 2_400_000},
+						{Part: 2, Worker: 0, Rows: 400, StartNS: 3_800_000, DurNS: 2_000_000},
+					}},
+			},
+			Routing: []OpRouting{
+				{Op: "source", NormalIn: 1400, NormalExc: 12, GeneralResolved: 10, Failed: 2},
+				{Op: "map"}, // zero entry: must be elided from args
+				{Op: "filter", NormalIn: 1388},
+			},
+			Samples: []ExcSample{
+				{Op: "source", Exc: "ValueError", Input: "a,b,", Outcome: "general"},
+			}},
+		&Span{Name: "sink", StartNS: 8_100_000, DurNS: 1_800_000,
+			Attrs: []Attr{Str("kind", "collect"), Int("output_rows", 1398)}},
+	)
+	return &Trace{Level: LevelSamples, Root: root}
+}
+
+// TestChromeGolden pins the exported Chrome trace-event document byte
+// for byte for a fixed span tree (run with -update to regenerate).
+func TestChromeGolden(t *testing.T) {
+	got, err := fixedTrace().MarshalChrome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("chrome export drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestChromeExportDeterministic marshals twice and requires identical
+// bytes — no map-iteration or pointer-derived ordering may leak in.
+func TestChromeExportDeterministic(t *testing.T) {
+	a, err := fixedTrace().MarshalChrome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fixedTrace().MarshalChrome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("two marshals of the same trace differ")
+	}
+}
+
+// TestChromeEventsStructure validates the invariants Perfetto needs:
+// every complete event carries pid/tid/ph, events are sorted, one X
+// event exists per span, and child events are contained within their
+// parent's [ts, ts+dur] window.
+func TestChromeEventsStructure(t *testing.T) {
+	tr := fixedTrace()
+	events := tr.ChromeEvents()
+	if len(events) == 0 {
+		t.Fatal("no events exported")
+	}
+	var spans, tasks int
+	var count func(s *Span)
+	count = func(s *Span) {
+		spans++
+		tasks += len(s.Tasks)
+		for _, c := range s.Children {
+			count(c)
+		}
+	}
+	count(tr.Root)
+	var xDriver, xWorker, meta int
+	for _, e := range events {
+		if e.PID != chromePID {
+			t.Fatalf("event %q has pid %d, want %d", e.Name, e.PID, chromePID)
+		}
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			if e.TID == chromeDriverTID {
+				xDriver++
+			} else {
+				xWorker++
+			}
+		default:
+			t.Fatalf("event %q has unexpected phase %q", e.Name, e.Ph)
+		}
+	}
+	if xDriver != spans {
+		t.Fatalf("driver X events = %d, want one per span (%d)", xDriver, spans)
+	}
+	if xWorker != tasks {
+		t.Fatalf("worker X events = %d, want one per task (%d)", xWorker, tasks)
+	}
+	if meta < 2 {
+		t.Fatalf("missing track metadata events (got %d)", meta)
+	}
+
+	// Containment: walk the span tree and assert each child's exported
+	// window nests inside its parent's.
+	var nest func(s *Span)
+	nest = func(s *Span) {
+		for _, c := range s.Children {
+			if c.StartNS < s.StartNS || c.StartNS+c.DurNS > s.StartNS+s.DurNS {
+				t.Fatalf("span %q [%d,%d] escapes parent %q [%d,%d]",
+					c.Name, c.StartNS, c.StartNS+c.DurNS, s.Name, s.StartNS, s.StartNS+s.DurNS)
+			}
+			nest(c)
+		}
+	}
+	nest(tr.Root)
+
+	// The zero routing entry must not appear in the stage's args.
+	for _, e := range events {
+		if e.Ph != "X" || e.Name != "stage" {
+			continue
+		}
+		ledger, ok := e.Args["routing"].([]OpRouting)
+		if !ok {
+			t.Fatalf("stage event lacks routing args: %v", e.Args)
+		}
+		for _, r := range ledger {
+			if r.Zero() {
+				t.Fatalf("zero routing entry %q exported", r.Op)
+			}
+		}
+	}
+}
+
+// TestNativeRoundTrip marshals the native JSON form and re-parses it
+// into an equal span tree.
+func TestNativeRoundTrip(t *testing.T) {
+	orig := fixedTrace()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, back) {
+		t.Fatalf("round trip diverged:\norig: %+v\nback: %+v", orig, back)
+	}
+}
+
+// TestShift moves a subtree and its tasks uniformly.
+func TestShift(t *testing.T) {
+	tr := fixedTrace()
+	before := tr.Root.Children[1].Children[2].Tasks[0].StartNS
+	Shift(tr.Root, 5_000_000)
+	if got := tr.Root.StartNS; got != 5_000_000 {
+		t.Fatalf("root start = %d, want 5000000", got)
+	}
+	if got := tr.Root.Children[1].Children[2].Tasks[0].StartNS; got != before+5_000_000 {
+		t.Fatalf("task start = %d, want %d", got, before+5_000_000)
+	}
+	if tr.Root.DurNS != 10_000_000 {
+		t.Fatal("Shift must not change durations")
+	}
+	Shift(nil, 1) // nil-safe
+}

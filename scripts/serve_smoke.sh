@@ -5,16 +5,22 @@
 #   1. zillow: a real pipeline over a generated 20k-row CSV answers 200
 #      and its byte-identical resubmissions are cache hits.
 #   2. small: an expression-heavy tiny-data job shows the cache skipping
-#      sampling + compilation — cold p50 must be >= 10x warm p50.
+#      sampling + compilation — cold p50 must be >= 10x warm p50,
+#      checked here from loadgen's -json report (not scraped text).
 #   3. tiny: sustained resubmission throughput >= 1000 jobs/sec, every
 #      one a cache hit.
 #   4. /metrics exposes the service counters with the hits recorded.
-#   5. validate: an invalid spec gets 422 + TPX diagnostics from
+#   5. trace: a traced warm submission's /v1/jobs/{id}/trace?format=chrome
+#      is a valid Chrome trace-event document with spans; it is kept as a
+#      workflow artifact ($SMOKE_ARTIFACTS).
+#   6. validate: an invalid spec gets 422 + TPX diagnostics from
 #      /v1/jobs without consuming an admission slot or cache entry,
 #      and /v1/validate returns the list without executing anything.
-#   6. overload: a daemon capped at one slot and no queue sheds a
-#      32-way storm with 429s, then still answers afterwards.
-#   7. SIGTERM drains cleanly (exit 0, "drained cleanly" in the log).
+#   7. overload: a daemon capped at one slot and no queue sheds a
+#      32-way storm with 429s, the flight recorder at
+#      /debug/tuplex/eventz shows the shed events, and the daemon still
+#      answers afterwards.
+#   8. SIGTERM drains cleanly (exit 0, "drained cleanly" in the log).
 set -eu
 
 PORT="${PORT:-9825}"
@@ -22,6 +28,8 @@ PORT2="${PORT2:-9826}"
 ADDR="127.0.0.1:$PORT"
 ADDR2="127.0.0.1:$PORT2"
 TMP="$(mktemp -d)"
+ART="${SMOKE_ARTIFACTS:-$TMP}"
+mkdir -p "$ART"
 SERVE_PID=""
 SERVE2_PID=""
 trap 'kill "$SERVE_PID" "$SERVE2_PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
@@ -46,19 +54,38 @@ ready() {
 }
 ready "$ADDR"
 
-echo "serve-smoke: [1/7] zillow job + cache hit on resubmission"
+# jnum FILE FIELD extracts a numeric field from a JSON report (compact
+# loadgen output or the daemon's indented documents).
+jnum() { sed -n "s/.*\"$2\": *\([0-9][0-9]*\).*/\1/p" "$1" | head -n 1; }
+# jstr FILE FIELD extracts a string field.
+jstr() { sed -n "s/.*\"$2\": *\"\([^\"]*\)\".*/\1/p" "$1" | head -n 1; }
+
+echo "serve-smoke: [1/8] zillow job + cache hit on resubmission"
 "$TMP/tuplex-loadgen" -addr "http://$ADDR" -pipeline zillow -zillow-rows 20000 \
-    -n 2 -c 1 -assert-hits >"$TMP/zillow.json"
+    -n 2 -c 1 -assert-hits -json >"$TMP/zillow.json"
 
-echo "serve-smoke: [2/7] cold vs warm: cache must skip sample+compile (>=10x)"
+echo "serve-smoke: [2/8] cold vs warm: cache must skip sample+compile (>=10x)"
 "$TMP/tuplex-loadgen" -addr "http://$ADDR" -pipeline small \
-    -n 20 -c 1 -assert-hits -assert-speedup 10 >"$TMP/small.json"
+    -n 20 -c 1 -assert-hits -json >"$TMP/small.json"
+cold_p50=$(jnum "$TMP/small.json" cold_p50_ns)
+warm_p50=$(jnum "$TMP/small.json" warm_p50_ns)
+warm_p99=$(jnum "$TMP/small.json" warm_p99_ns)
+[ -n "$cold_p50" ] && [ -n "$warm_p50" ] && [ "$warm_p50" -gt 0 ] || {
+    echo "serve-smoke: loadgen -json report missing percentiles:" >&2
+    cat "$TMP/small.json" >&2
+    exit 1
+}
+[ "$cold_p50" -ge $((warm_p50 * 10)) ] || {
+    echo "serve-smoke: cold p50 ${cold_p50}ns < 10x warm p50 ${warm_p50}ns" >&2
+    exit 1
+}
+echo "serve-smoke:   cold p50 ${cold_p50}ns, warm p50 ${warm_p50}ns, warm p99 ${warm_p99}ns"
 
-echo "serve-smoke: [3/7] sustained throughput >= 1000 jobs/sec"
+echo "serve-smoke: [3/8] sustained throughput >= 1000 jobs/sec"
 "$TMP/tuplex-loadgen" -addr "http://$ADDR" -pipeline tiny \
-    -n 3000 -c 8 -assert-hits -assert-min-rate 1000 >"$TMP/tiny.json"
+    -n 3000 -c 8 -assert-hits -assert-min-rate 1000 -json >"$TMP/tiny.json"
 
-echo "serve-smoke: [4/7] service metrics exposed"
+echo "serve-smoke: [4/8] service metrics exposed"
 curl -s "http://$ADDR/metrics" >"$TMP/metrics.txt"
 grep -q '^tuplex_service_cache_hits_total ' "$TMP/metrics.txt" || {
     echo "serve-smoke: tuplex_service_cache_hits_total missing from /metrics" >&2
@@ -70,7 +97,42 @@ hits=$(awk '/^tuplex_service_cache_hits_total /{print int($2)}' "$TMP/metrics.tx
     exit 1
 }
 
-echo "serve-smoke: [5/7] invalid spec: 422 with diagnostics, no slot or cache entry consumed"
+echo "serve-smoke: [5/8] job trace endpoint: valid Chrome trace for a warm job"
+GOOD_SPEC='{"v":1,"source":{"kind":"parallelize","columns":["a","b"],"rows":[[1,2],[3,4]]},"ops":[{"kind":"withColumn","col":"c","udf":{"code":"lambda x: x[\"a\"] + 1"}}]}'
+curl -s -o /dev/null -X POST "http://$ADDR/v1/jobs" -d "$GOOD_SPEC"
+curl -s -H 'X-Tuplex-Trace: smoke-trace-1' -X POST "http://$ADDR/v1/jobs" \
+    -d "$GOOD_SPEC" >"$TMP/traced-job.json"
+job_id=$(jstr "$TMP/traced-job.json" id)
+[ -n "$job_id" ] || {
+    echo "serve-smoke: traced submission returned no job id:" >&2
+    cat "$TMP/traced-job.json" >&2
+    exit 1
+}
+grep -q '"trace_id": *"smoke-trace-1"' "$TMP/traced-job.json" || {
+    echo "serve-smoke: X-Tuplex-Trace id did not round-trip:" >&2
+    cat "$TMP/traced-job.json" >&2
+    exit 1
+}
+code=$(curl -s -o "$TMP/job-trace.json" -w '%{http_code}' \
+    "http://$ADDR/v1/jobs/$job_id/trace?format=chrome")
+[ "$code" = "200" ] || {
+    echo "serve-smoke: trace endpoint answered $code, want 200" >&2
+    exit 1
+}
+# Structural checks: a trace-event document with complete events for the
+# service spans and the engine run beneath them.
+grep -q '"traceEvents"' "$TMP/job-trace.json" &&
+    grep -q '"ph": *"X"' "$TMP/job-trace.json" &&
+    grep -q '"name": *"job"' "$TMP/job-trace.json" &&
+    grep -q '"name": *"run"' "$TMP/job-trace.json" || {
+    echo "serve-smoke: chrome trace is not a span-bearing trace-event doc:" >&2
+    head -c 400 "$TMP/job-trace.json" >&2
+    exit 1
+}
+[ "$ART" = "$TMP" ] || cp "$TMP/job-trace.json" "$ART/job-trace.json"
+echo "serve-smoke:   chrome trace for job $job_id kept at $ART/job-trace.json"
+
+echo "serve-smoke: [6/8] invalid spec: 422 with diagnostics, no slot or cache entry consumed"
 BAD_SPEC='{"v":1,"source":{"kind":"parallelize","columns":["a","b"],"rows":[[1,2]]},"ops":[{"kind":"withColumn","col":"c","udf":{"code":"lambda x: x[\"nope\"] + 1"}}]}'
 metric() { awk -v m="^$2 " '$0 ~ m {print int($2)}' "$1"; }
 curl -s "http://$ADDR/metrics" >"$TMP/before.txt"
@@ -110,18 +172,32 @@ grep -q '"TPX001"' "$TMP/validate.json" || {
     exit 1
 }
 
-echo "serve-smoke: [6/7] overload sheds with 429 instead of collapsing"
+echo "serve-smoke: [7/8] overload sheds with 429 and the flight recorder shows it"
 "$TMP/tuplex-serve" -addr "$ADDR2" -max-concurrent 1 -queue-depth -1 \
     >"$TMP/serve2.log" 2>&1 &
 SERVE2_PID=$!
 ready "$ADDR2"
 "$TMP/tuplex-loadgen" -addr "http://$ADDR2" -pipeline tiny \
-    -n 800 -c 32 -expect-429 >"$TMP/overload.json"
+    -n 800 -c 32 -expect-429 -json >"$TMP/overload.json"
+rejected=$(jnum "$TMP/overload.json" rejected_429)
+[ -n "$rejected" ] && [ "$rejected" -gt 0 ] || {
+    echo "serve-smoke: overload report shows no 429s:" >&2
+    cat "$TMP/overload.json" >&2
+    exit 1
+}
+# The storm must be visible in the flight recorder as shed events.
+curl -s "http://$ADDR2/debug/tuplex/eventz" >"$TMP/eventz.json"
+grep -q '"kind": *"shed"' "$TMP/eventz.json" || {
+    echo "serve-smoke: /debug/tuplex/eventz recorded no shed events after $rejected 429s:" >&2
+    head -c 400 "$TMP/eventz.json" >&2
+    exit 1
+}
+[ "$ART" = "$TMP" ] || cp "$TMP/eventz.json" "$ART/eventz.json"
 # The daemon must still answer normally after the storm.
 "$TMP/tuplex-loadgen" -addr "http://$ADDR2" -pipeline tiny \
-    -n 5 -c 1 -assert-hits >"$TMP/after.json"
+    -n 5 -c 1 -assert-hits -json >"$TMP/after.json"
 
-echo "serve-smoke: [7/7] SIGTERM drains cleanly"
+echo "serve-smoke: [8/8] SIGTERM drains cleanly"
 for pid in "$SERVE_PID" "$SERVE2_PID"; do
     kill -TERM "$pid"
     wait "$pid" || {
@@ -138,4 +214,4 @@ grep -q 'drained cleanly' "$TMP/serve.log" || {
     exit 1
 }
 
-echo "serve-smoke: ok (cache hit, >=10x cold/warm, >=1k jobs/sec, 422 fail-fast, 429 shedding, clean drain)"
+echo "serve-smoke: ok (cache hit, >=10x cold/warm, >=1k jobs/sec, chrome trace, 422 fail-fast, 429 shedding + eventz, clean drain)"

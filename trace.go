@@ -1,6 +1,7 @@
 package tuplex
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
@@ -167,6 +168,65 @@ func newSpan(s *trace.Span) *Span {
 		out.Children = append(out.Children, newSpan(c))
 	}
 	return out
+}
+
+// toInternal converts the public view back into the engine's internal
+// representation (the exact inverse of newTrace; the two forms share
+// JSON tags, so this is field-for-field).
+func (t *Trace) toInternal() *trace.Trace {
+	if t == nil {
+		return nil
+	}
+	return &trace.Trace{Level: trace.Level(t.Level), Root: toInternalSpan(t.Root)}
+}
+
+func toInternalSpan(s *Span) *trace.Span {
+	if s == nil {
+		return nil
+	}
+	out := &trace.Span{Name: s.Name, StartNS: s.StartNS, DurNS: s.DurNS}
+	for _, a := range s.Attrs {
+		out.Attrs = append(out.Attrs, trace.Attr{Key: a.Key, Val: a.Val})
+	}
+	for _, t := range s.Tasks {
+		out.Tasks = append(out.Tasks, trace.TaskTiming{
+			Part: t.Part, Worker: t.Worker, Rows: t.Rows,
+			StartNS: t.StartNS, DurNS: t.DurNS,
+		})
+	}
+	for _, r := range s.Routing {
+		out.Routing = append(out.Routing, trace.OpRouting(r))
+	}
+	for _, e := range s.Samples {
+		out.Samples = append(out.Samples, trace.ExcSample(e))
+	}
+	for _, c := range s.Children {
+		out.Children = append(out.Children, toInternalSpan(c))
+	}
+	return out
+}
+
+// MarshalChrome renders the trace as a Chrome trace-event JSON document
+// loadable in chrome://tracing or https://ui.perfetto.dev: spans become
+// nested complete events on a driver track, per-executor task timings
+// become swimlanes, and routing ledgers / exception samples land in the
+// event args panel.
+func (t *Trace) MarshalChrome() ([]byte, error) {
+	if t == nil {
+		return nil, fmt.Errorf("tuplex: no trace recorded (tracing off?)")
+	}
+	return t.toInternal().MarshalChrome()
+}
+
+// ParseTrace decodes a trace's native JSON form (the output of
+// json.Marshal on Trace, or GET /v1/jobs/{id}/trace). The span tree
+// round-trips exactly.
+func ParseTrace(data []byte) (*Trace, error) {
+	var t Trace
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("tuplex: parsing trace JSON: %w", err)
+	}
+	return &t, nil
 }
 
 // String renders the trace as a human-readable tree:
